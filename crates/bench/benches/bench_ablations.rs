@@ -1,0 +1,42 @@
+//! Criterion benches for the design-choice ablations called out in
+//! DESIGN.md §5 (the *quality* side of the same ablations is printed by the
+//! `ablations` binary):
+//!
+//! * ready-queue reordering on vs off (simulation cost of the stall scan);
+//! * uniform vs alternating reuse (schedule shape effect on sim time);
+//! * analyzer vs simulator (the speed gap that justifies using Eq. 5 in the
+//!   search loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fnas_bench::{fig8_architectures, fig8_design};
+use fnas_fpga::analyzer::analyze;
+use fnas_fpga::sched::{FnasScheduler, ReuseStrategy};
+use fnas_fpga::sim::simulate_design;
+
+fn bench_ablations(c: &mut Criterion) {
+    let (_, network) = &fig8_architectures()[5]; // a mixed 64/128 pipeline
+    let (design, graph) = fig8_design(network).expect("designable");
+
+    let with_queue = FnasScheduler::new().schedule(&graph);
+    let without_queue = FnasScheduler::new().without_reordering().schedule(&graph);
+    c.bench_function("ablate/sim_with_ready_queue", |b| {
+        b.iter(|| simulate_design(&design, &graph, &with_queue).expect("simulates"))
+    });
+    c.bench_function("ablate/sim_without_ready_queue", |b| {
+        b.iter(|| simulate_design(&design, &graph, &without_queue).expect("simulates"))
+    });
+
+    let uniform = FnasScheduler::new()
+        .with_uniform_reuse(ReuseStrategy::IfmReuse)
+        .schedule(&graph);
+    c.bench_function("ablate/sim_uniform_ifm_reuse", |b| {
+        b.iter(|| simulate_design(&design, &graph, &uniform).expect("simulates"))
+    });
+
+    c.bench_function("ablate/analyzer_closed_form", |b| {
+        b.iter(|| analyze(std::hint::black_box(&design)).expect("analyzable"))
+    });
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench behind **Figure 6**: per-device FNAS-tool throughput.
+//!
+//! Figure 6 compares the two MNIST target FPGAs; the quantity that differs
+//! between devices inside this implementation is the design-space search of
+//! FNAS-Design (more DSPs ⇒ a larger `⟨Tm, Tn⟩` enumeration) and the
+//! resulting analyzer pass. This bench measures the full tool invocation on
+//! each catalogue device.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fnas::latency::LatencyEvaluator;
+use fnas_controller::arch::{ChildArch, LayerChoice};
+use fnas_fpga::device::FpgaDevice;
+
+fn arch() -> ChildArch {
+    ChildArch::new(vec![
+        LayerChoice { filter_size: 5, num_filters: 36 },
+        LayerChoice { filter_size: 7, num_filters: 18 },
+        LayerChoice { filter_size: 5, num_filters: 36 },
+        LayerChoice { filter_size: 3, num_filters: 18 },
+    ])
+    .expect("constants are valid")
+}
+
+fn bench_per_device(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/fnas_tool_per_device");
+    for device in [
+        FpgaDevice::xc7a50t(),
+        FpgaDevice::xc7z020(),
+        FpgaDevice::zu9eg(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(device.name().to_string()),
+            &device,
+            |b, device| {
+                let a = arch();
+                b.iter(|| {
+                    let mut eval = LatencyEvaluator::new(device.clone(), (1, 28, 28));
+                    eval.latency(std::hint::black_box(&a)).expect("analyzable")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_device);
+criterion_main!(benches);

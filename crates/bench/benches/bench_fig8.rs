@@ -1,0 +1,36 @@
+//! Criterion bench behind **Figure 8**: schedule generation and cycle-level
+//! simulation of the two schedulers on the study's largest architecture
+//! (128/128/128/128).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fnas_bench::{fig8_architectures, fig8_design};
+use fnas_fpga::sched::{FixedScheduler, FnasScheduler};
+use fnas_fpga::sim::simulate_design;
+use fnas_fpga::taskgraph::TileTaskGraph;
+
+fn bench_fig8(c: &mut Criterion) {
+    let (_, network) = fig8_architectures().pop().expect("16 architectures");
+    let (design, graph) = fig8_design(&network).expect("designable");
+
+    c.bench_function("fig8/taskgraph_generation", |b| {
+        b.iter(|| TileTaskGraph::from_design(std::hint::black_box(&design)).expect("buildable"))
+    });
+
+    c.bench_function("fig8/fnas_sched_generation", |b| {
+        b.iter(|| FnasScheduler::new().schedule(std::hint::black_box(&graph)))
+    });
+
+    let fnas = FnasScheduler::new().schedule(&graph);
+    let fixed = FixedScheduler::new().schedule(&graph);
+    c.bench_function("fig8/simulate_fnas_sched", |b| {
+        b.iter(|| simulate_design(&design, &graph, std::hint::black_box(&fnas)).expect("simulates"))
+    });
+    c.bench_function("fig8/simulate_fixed_sched", |b| {
+        b.iter(|| {
+            simulate_design(&design, &graph, std::hint::black_box(&fixed)).expect("simulates")
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

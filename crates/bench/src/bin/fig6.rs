@@ -1,0 +1,65 @@
+//! Regenerates **Figure 6**: search time (a), latency (b) and accuracy (c)
+//! for NAS vs FNAS-loose/med/tight on the two MNIST target FPGAs
+//! (7Z020 high-end, 7A50T low-end).
+//!
+//! FNAS-loose/med/tight correspond to TS2/TS3/TS4 of Table 2 (per-device
+//! TS-High / TS-Low lists).
+//!
+//! Run with: `cargo run --release -p fnas-bench --bin fig6`
+
+use fnas::experiment::ExperimentPreset;
+use fnas::report::{pct, Table};
+use fnas::search::SearchConfig;
+use fnas_bench::{emit, run_search};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 2019;
+    let mut table = Table::new(vec![
+        "device",
+        "method",
+        "spec (ms)",
+        "search time (min)",
+        "latency (ms)",
+        "accuracy",
+    ]);
+    for preset in [ExperimentPreset::mnist(), ExperimentPreset::mnist_low_end()] {
+        let device = preset.device().name().to_string();
+        let nas = run_search(&SearchConfig::nas(preset.clone()), seed)?;
+        let best = nas.best().expect("NAS trains every child");
+        table.push_row(vec![
+            device.clone(),
+            "NAS".to_string(),
+            "—".to_string(),
+            format!("{:.1}", nas.cost().total_minutes()),
+            best.latency
+                .map_or("—".to_string(), |l| format!("{:.2}", l.get())),
+            pct(best.accuracy.expect("trained")),
+        ]);
+        for (label, n) in [("FNAS-loose", 2usize), ("FNAS-med", 3), ("FNAS-tight", 4)] {
+            let ts = preset.ts(n);
+            let out = run_search(&SearchConfig::fnas(preset.clone(), ts.get()), seed)?;
+            let (lat, acc) = match out.best() {
+                Some(b) => (
+                    format!("{:.2}", b.latency.expect("valid").get()),
+                    pct(b.accuracy.expect("trained")),
+                ),
+                None => ("no valid child".to_string(), "—".to_string()),
+            };
+            table.push_row(vec![
+                device.clone(),
+                label.to_string(),
+                format!("{}", ts.get()),
+                format!("{:.1}", out.cost().total_minutes()),
+                lat,
+                acc,
+            ]);
+        }
+    }
+    emit("fig6", &table)?;
+    println!(
+        "paper shape: (a) FNAS search time drops as the spec tightens;\n\
+         (b) FNAS latency tracks each spec while the single NAS architecture\n\
+         overshoots (paper: 2.54x/4.19x/7.81x); (c) accuracy within ~1% of NAS."
+    );
+    Ok(())
+}

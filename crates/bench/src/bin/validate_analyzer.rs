@@ -1,0 +1,48 @@
+//! Model-fidelity check: FNAS-Analyzer (Eq. 5) vs the cycle-level
+//! simulator across randomly sampled MNIST-space architectures.
+//!
+//! The paper claims the analyzer is "a tight lower bound" on the schedule
+//! latency; this harness quantifies the gap on this implementation.
+//!
+//! Run with: `cargo run --release -p fnas-bench --bin validate_analyzer`
+
+use fnas::latency::LatencyEvaluator;
+use fnas::report::Table;
+use fnas_bench::emit;
+use fnas_controller::arch::ChildArch;
+use fnas_controller::space::SearchSpace;
+use fnas_fpga::device::FpgaDevice;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let space = SearchSpace::mnist();
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+    let mut table = Table::new(vec![
+        "arch",
+        "analytic (ms)",
+        "simulated (ms)",
+        "gap",
+    ]);
+    let mut max_gap = 0.0f64;
+    for _ in 0..20 {
+        let indices: Vec<usize> = (0..space.num_decisions())
+            .map(|t| rng.gen_range(0..space.options(t).len()))
+            .collect();
+        let arch = ChildArch::from_indices(&space, &indices)?;
+        let analytic = eval.latency(&arch)?;
+        let simulated = eval.simulated_latency(&arch)?;
+        let gap = simulated.get() / analytic.get() - 1.0;
+        max_gap = max_gap.max(gap);
+        table.push_row(vec![
+            arch.describe(),
+            format!("{:.3}", analytic.get()),
+            format!("{:.3}", simulated.get()),
+            format!("{:+.2}%", gap * 100.0),
+        ]);
+    }
+    emit("validate_analyzer", &table)?;
+    println!("largest analyzer under-estimate: {:.2}%", max_gap * 100.0);
+    Ok(())
+}

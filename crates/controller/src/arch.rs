@@ -1,0 +1,241 @@
+//! Sampled child architectures.
+
+use fnas_nn::layer::LayerSpec;
+
+use crate::space::SearchSpace;
+use crate::{ControllerError, Result};
+
+/// One convolutional layer of a child network: the values (not menu
+/// indices) the controller chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerChoice {
+    /// Square kernel extent.
+    pub filter_size: usize,
+    /// Number of filters (output channels).
+    pub num_filters: usize,
+}
+
+/// A complete child architecture: an ordered list of layer choices.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_controller::arch::ChildArch;
+/// use fnas_controller::space::SearchSpace;
+///
+/// # fn main() -> Result<(), fnas_controller::ControllerError> {
+/// let space = SearchSpace::mnist();
+/// // Indices into the menus, one (size, count) pair per layer.
+/// let arch = ChildArch::from_indices(&space, &[0, 0, 1, 1, 2, 2, 0, 2])?;
+/// assert_eq!(arch.num_layers(), 4);
+/// assert_eq!(arch.layer(0).filter_size, 5);
+/// assert_eq!(arch.layer(2).num_filters, 36);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChildArch {
+    layers: Vec<LayerChoice>,
+}
+
+impl ChildArch {
+    /// Creates an architecture directly from layer choices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::InvalidConfig`] for an empty layer list or
+    /// zero-valued choices.
+    pub fn new(layers: Vec<LayerChoice>) -> Result<Self> {
+        if layers.is_empty() {
+            return Err(ControllerError::InvalidConfig {
+                what: "child architecture needs at least one layer".to_string(),
+            });
+        }
+        if layers
+            .iter()
+            .any(|l| l.filter_size == 0 || l.num_filters == 0)
+        {
+            return Err(ControllerError::InvalidConfig {
+                what: "layer choices must be non-zero".to_string(),
+            });
+        }
+        Ok(ChildArch { layers })
+    }
+
+    /// Decodes a flat decision-index sequence (as emitted by the policy)
+    /// against `space`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::EpisodeMismatch`] if the index count is
+    /// not `2·L`, and [`ControllerError::InvalidConfig`] if any index is out
+    /// of range for its menu.
+    pub fn from_indices(space: &SearchSpace, indices: &[usize]) -> Result<Self> {
+        if indices.len() != space.num_decisions() {
+            return Err(ControllerError::EpisodeMismatch {
+                episode_steps: indices.len(),
+                space_steps: space.num_decisions(),
+            });
+        }
+        let mut layers = Vec::with_capacity(space.layers());
+        for (layer, pair) in indices.chunks_exact(2).enumerate() {
+            let (si, ci) = (pair[0], pair[1]);
+            let sizes = space.filter_sizes();
+            let counts = space.filter_counts();
+            if si >= sizes.len() || ci >= counts.len() {
+                return Err(ControllerError::InvalidConfig {
+                    what: format!(
+                        "layer {layer}: option index out of range (size {si}/{}, count {ci}/{})",
+                        sizes.len(),
+                        counts.len()
+                    ),
+                });
+            }
+            layers.push(LayerChoice {
+                filter_size: sizes[si],
+                num_filters: counts[ci],
+            });
+        }
+        ChildArch::new(layers)
+    }
+
+    /// Number of convolutional layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The choice for layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer(&self, i: usize) -> LayerChoice {
+        self.layers[i]
+    }
+
+    /// All layer choices in order.
+    pub fn layers(&self) -> &[LayerChoice] {
+        &self.layers
+    }
+
+    /// Expands the architecture into a trainable layer stack: each chosen
+    /// convolution followed by ReLU, then global average pooling and a
+    /// classifier with `num_classes` outputs.
+    pub fn layer_specs(&self, num_classes: usize) -> Vec<LayerSpec> {
+        let mut specs = Vec::with_capacity(2 * self.layers.len() + 2);
+        for l in &self.layers {
+            specs.push(LayerSpec::conv(l.num_filters, l.filter_size));
+            specs.push(LayerSpec::relu());
+        }
+        specs.push(LayerSpec::global_avg_pool());
+        specs.push(LayerSpec::dense(num_classes));
+        specs
+    }
+
+    /// Total trainable parameters of the convolutional trunk given the
+    /// input channel count (a cheap complexity proxy used by accuracy
+    /// surrogates).
+    pub fn conv_param_count(&self, in_channels: usize) -> u64 {
+        let mut prev = in_channels as u64;
+        let mut total = 0u64;
+        for l in &self.layers {
+            let k = l.filter_size as u64;
+            let m = l.num_filters as u64;
+            total += m * prev * k * k + m;
+            prev = m;
+        }
+        total
+    }
+
+    /// A compact human-readable description like `5x5:18, 7x7:36`.
+    pub fn describe(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| format!("{0}x{0}:{1}", l.filter_size, l.num_filters))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_indices_decodes_menus() {
+        let space = SearchSpace::mnist();
+        let arch = ChildArch::from_indices(&space, &[2, 1, 0, 0, 1, 2, 2, 2]).unwrap();
+        assert_eq!(arch.layer(0).filter_size, 14);
+        assert_eq!(arch.layer(0).num_filters, 18);
+        assert_eq!(arch.layer(1).filter_size, 5);
+        assert_eq!(arch.layer(3).num_filters, 36);
+    }
+
+    #[test]
+    fn wrong_lengths_and_indices_rejected() {
+        let space = SearchSpace::mnist();
+        assert!(matches!(
+            ChildArch::from_indices(&space, &[0, 0]),
+            Err(ControllerError::EpisodeMismatch { .. })
+        ));
+        assert!(ChildArch::from_indices(&space, &[3, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        assert!(ChildArch::from_indices(&space, &[0, 9, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn layer_specs_shapes_the_standard_stack() {
+        let arch = ChildArch::new(vec![
+            LayerChoice {
+                filter_size: 3,
+                num_filters: 8,
+            },
+            LayerChoice {
+                filter_size: 5,
+                num_filters: 16,
+            },
+        ])
+        .unwrap();
+        let specs = arch.layer_specs(10);
+        assert_eq!(specs.len(), 6); // 2×(conv, relu) + gap + dense
+        assert_eq!(specs[0], LayerSpec::conv(8, 3));
+        assert_eq!(specs[2], LayerSpec::conv(16, 5));
+        assert_eq!(specs[5], LayerSpec::dense(10));
+    }
+
+    #[test]
+    fn conv_param_count_matches_hand_computation() {
+        let arch = ChildArch::new(vec![
+            LayerChoice {
+                filter_size: 3,
+                num_filters: 4,
+            },
+            LayerChoice {
+                filter_size: 5,
+                num_filters: 2,
+            },
+        ])
+        .unwrap();
+        // layer0: 4·1·9 + 4 = 40; layer1: 2·4·25 + 2 = 202.
+        assert_eq!(arch.conv_param_count(1), 242);
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        let arch = ChildArch::new(vec![LayerChoice {
+            filter_size: 7,
+            num_filters: 36,
+        }])
+        .unwrap();
+        assert_eq!(arch.describe(), "7x7:36");
+    }
+
+    #[test]
+    fn empty_and_zero_archs_rejected() {
+        assert!(ChildArch::new(vec![]).is_err());
+        assert!(ChildArch::new(vec![LayerChoice {
+            filter_size: 0,
+            num_filters: 4
+        }])
+        .is_err());
+    }
+}

@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+use fnas_nn::NnError;
+
+/// Errors produced by the NAS controller.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_controller::space::SearchSpace;
+///
+/// let err = SearchSpace::new(0, vec![3], vec![8]).unwrap_err();
+/// assert!(err.to_string().contains("layer"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ControllerError {
+    /// A search-space or policy configuration value is invalid.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        what: String,
+    },
+    /// The recurrent policy substrate failed.
+    Nn(NnError),
+    /// An episode does not belong to the search space it is used with.
+    EpisodeMismatch {
+        /// Steps the episode recorded.
+        episode_steps: usize,
+        /// Steps the space requires.
+        space_steps: usize,
+    },
+}
+
+impl fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControllerError::InvalidConfig { what } => {
+                write!(f, "invalid controller config: {what}")
+            }
+            ControllerError::Nn(e) => write!(f, "policy network failed: {e}"),
+            ControllerError::EpisodeMismatch {
+                episode_steps,
+                space_steps,
+            } => write!(
+                f,
+                "episode has {episode_steps} decisions but the space needs {space_steps}"
+            ),
+        }
+    }
+}
+
+impl Error for ControllerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ControllerError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for ControllerError {
+    fn from(e: NnError) -> Self {
+        ControllerError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ControllerError>();
+    }
+
+    #[test]
+    fn nn_source_is_preserved() {
+        let err: ControllerError = NnError::InvalidConfig {
+            what: "x".to_string(),
+        }
+        .into();
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,291 @@
+//! The REINFORCE trainer tying policy, sampling and updates together.
+//!
+//! FNAS feeds the controller the reward of Eq. (1) — which already contains
+//! the exponential-moving-average accuracy baseline `b` — so the trainer
+//! treats the incoming value as the *advantage* directly. For plain NAS
+//! usage the trainer can also maintain its own EMA baseline.
+
+use fnas_nn::optim::Adam;
+use rand::RngCore;
+
+use crate::arch::ChildArch;
+use crate::rnn::{Episode, PolicyRnn};
+use crate::space::SearchSpace;
+use crate::Result;
+
+/// Default controller learning rate.
+pub const DEFAULT_LR: f32 = 0.02;
+
+/// A sampled architecture together with its policy episode.
+#[derive(Debug, Clone)]
+pub struct ArchSample {
+    arch: ChildArch,
+    episode: Episode,
+}
+
+impl ArchSample {
+    /// The decoded child architecture.
+    pub fn arch(&self) -> &ChildArch {
+        &self.arch
+    }
+
+    /// The underlying policy episode.
+    pub fn episode(&self) -> &Episode {
+        &self.episode
+    }
+}
+
+/// Policy-gradient trainer for the NAS controller.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_controller::reinforce::ReinforceTrainer;
+/// use fnas_controller::space::SearchSpace;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), fnas_controller::ControllerError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut trainer = ReinforceTrainer::new(&SearchSpace::mnist(), &mut rng)?;
+/// let sample = trainer.sample(&mut rng)?;
+/// trainer.update(&sample, 0.8)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ReinforceTrainer {
+    policy: PolicyRnn,
+    optimizer: Adam,
+    updates: usize,
+}
+
+impl ReinforceTrainer {
+    /// Creates a trainer with a fresh policy and the default learning rate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy construction errors.
+    pub fn new(space: &SearchSpace, rng: &mut dyn RngCore) -> Result<Self> {
+        Ok(ReinforceTrainer {
+            policy: PolicyRnn::new(space, rng)?,
+            optimizer: Adam::new(DEFAULT_LR),
+            updates: 0,
+        })
+    }
+
+    /// Creates a trainer around an existing policy (for custom widths or
+    /// entropy settings).
+    pub fn with_policy(policy: PolicyRnn, lr: f32) -> Self {
+        ReinforceTrainer {
+            policy,
+            optimizer: Adam::new(lr),
+            updates: 0,
+        }
+    }
+
+    /// The underlying policy (e.g. for [`PolicyRnn::log_prob_of`]
+    /// diagnostics).
+    pub fn policy(&self) -> &PolicyRnn {
+        &self.policy
+    }
+
+    /// Number of gradient updates applied so far.
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Samples a child architecture from the current policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy errors.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> Result<ArchSample> {
+        let episode = self.policy.sample(rng)?;
+        let arch = ChildArch::from_indices(self.policy.space(), episode.indices())?;
+        Ok(ArchSample { arch, episode })
+    }
+
+    /// Applies one REINFORCE update with the given advantage (FNAS passes
+    /// the Eq. (1) reward, which is already baselined).
+    ///
+    /// # Errors
+    ///
+    /// Returns an episode/space mismatch or optimiser error.
+    pub fn update(&mut self, sample: &ArchSample, advantage: f32) -> Result<()> {
+        self.update_batch(std::slice::from_ref(&(sample.clone(), advantage)))
+    }
+
+    /// Applies one optimiser step over the *averaged* gradient of several
+    /// episodes — the lower-variance minibatch REINFORCE of \[16\], where
+    /// gradients from a batch of child networks are combined before the
+    /// controller moves.
+    ///
+    /// # Errors
+    ///
+    /// Returns an episode/space mismatch or optimiser error; an empty batch
+    /// is a no-op.
+    pub fn update_batch(&mut self, batch: &[(ArchSample, f32)]) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let scale = 1.0 / batch.len() as f32;
+        for (sample, advantage) in batch {
+            self.policy
+                .accumulate_gradient(&sample.episode, advantage * scale)?;
+        }
+        self.policy.apply(&mut self.optimizer)?;
+        self.updates += 1;
+        Ok(())
+    }
+}
+
+/// An exponential-moving-average baseline over accuracies, as used by the
+/// reward function of Eq. (1) (`b` is "an exponential moving average of the
+/// previous architecture accuracies").
+///
+/// # Examples
+///
+/// ```
+/// use fnas_controller::reinforce::EmaBaseline;
+///
+/// let mut b = EmaBaseline::new(0.5);
+/// assert_eq!(b.value(), 0.0);
+/// b.observe(1.0);
+/// b.observe(0.0);
+/// assert!((b.value() - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmaBaseline {
+    decay: f32,
+    value: Option<f32>,
+}
+
+impl EmaBaseline {
+    /// Creates a baseline with decay `β`: `b ← β·b + (1−β)·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ decay < 1`.
+    pub fn new(decay: f32) -> Self {
+        assert!((0.0..1.0).contains(&decay), "decay must be in [0, 1)");
+        EmaBaseline { decay, value: None }
+    }
+
+    /// Current baseline; `0.0` before the first observation.
+    pub fn value(&self) -> f32 {
+        self.value.unwrap_or(0.0)
+    }
+
+    /// Folds a new observation into the average. The first observation
+    /// initialises the baseline directly.
+    pub fn observe(&mut self, x: f32) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => self.decay * v + (1.0 - self.decay) * x,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// REINFORCE must be able to optimise a simple synthetic objective:
+    /// reward = fraction of decisions equal to option 0.
+    #[test]
+    fn learns_to_prefer_option_zero() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let space = SearchSpace::mnist();
+        let mut trainer = ReinforceTrainer::new(&space, &mut rng).unwrap();
+        let mut baseline = EmaBaseline::new(0.8);
+        let score = |idx: &[usize]| {
+            idx.iter().filter(|&&i| i == 0).count() as f32 / idx.len() as f32
+        };
+        let mut early = 0.0f32;
+        let mut late = 0.0f32;
+        for it in 0..300 {
+            let s = trainer.sample(&mut rng).unwrap();
+            let r = score(s.episode().indices());
+            let adv = r - baseline.value();
+            baseline.observe(r);
+            trainer.update(&s, adv).unwrap();
+            if it < 30 {
+                early += r;
+            }
+            if it >= 270 {
+                late += r;
+            }
+        }
+        assert!(
+            late > early + 3.0,
+            "late score {late} should beat early {early} clearly"
+        );
+        assert_eq!(trainer.updates(), 300);
+    }
+
+    #[test]
+    fn sample_decodes_into_the_space() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let space = SearchSpace::cifar10();
+        let trainer = ReinforceTrainer::new(&space, &mut rng).unwrap();
+        let s = trainer.sample(&mut rng).unwrap();
+        assert_eq!(s.arch().num_layers(), 10);
+        for l in s.arch().layers() {
+            assert!(space.filter_sizes().contains(&l.filter_size));
+            assert!(space.filter_counts().contains(&l.num_filters));
+        }
+    }
+
+    #[test]
+    fn batched_updates_also_learn() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let space = SearchSpace::mnist();
+        let mut trainer = ReinforceTrainer::new(&space, &mut rng).unwrap();
+        let mut baseline = EmaBaseline::new(0.8);
+        let score = |idx: &[usize]| {
+            idx.iter().filter(|&&i| i == 0).count() as f32 / idx.len() as f32
+        };
+        let mut early = 0.0f32;
+        let mut late = 0.0f32;
+        for round in 0..80 {
+            let batch: Vec<(ArchSample, f32)> = (0..4)
+                .map(|_| {
+                    let s = trainer.sample(&mut rng).unwrap();
+                    let r = score(s.episode().indices());
+                    let adv = r - baseline.value();
+                    baseline.observe(r);
+                    if round < 10 {
+                        early += r;
+                    }
+                    if round >= 70 {
+                        late += r;
+                    }
+                    (s, adv)
+                })
+                .collect();
+            trainer.update_batch(&batch).unwrap();
+        }
+        assert_eq!(trainer.updates(), 80);
+        assert!(late > early + 2.0, "late {late} vs early {early}");
+        // Empty batches are harmless no-ops.
+        trainer.update_batch(&[]).unwrap();
+        assert_eq!(trainer.updates(), 80);
+    }
+
+    #[test]
+    fn ema_baseline_tracks_rewards() {
+        let mut b = EmaBaseline::new(0.9);
+        for _ in 0..200 {
+            b.observe(0.75);
+        }
+        assert!((b.value() - 0.75).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay")]
+    fn bad_decay_panics() {
+        let _ = EmaBaseline::new(1.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Search spaces (Table 2 of the paper).
+//!
+//! A child network has `L` convolutional layers; for each layer the
+//! controller picks a *filter size* and a *number of filters* from small
+//! menus, giving `2·L` sequential decisions.
+
+use crate::{ControllerError, Result};
+
+/// Whether a decision step selects a filter size or a filter count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionKind {
+    /// Pick the convolution kernel extent for the current layer.
+    FilterSize,
+    /// Pick the number of filters (output channels) for the current layer.
+    FilterCount,
+}
+
+/// A NAS search space: layer count and the per-layer option menus.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_controller::space::SearchSpace;
+///
+/// let space = SearchSpace::mnist();
+/// assert_eq!(space.layers(), 4);
+/// assert_eq!(space.num_decisions(), 8);
+/// assert_eq!(space.cardinality(), 9u128.pow(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchSpace {
+    layers: usize,
+    filter_sizes: Vec<usize>,
+    filter_counts: Vec<usize>,
+}
+
+impl SearchSpace {
+    /// Creates a search space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::InvalidConfig`] for zero layers, empty
+    /// menus, or zero-valued options.
+    pub fn new(layers: usize, filter_sizes: Vec<usize>, filter_counts: Vec<usize>) -> Result<Self> {
+        if layers == 0 {
+            return Err(ControllerError::InvalidConfig {
+                what: "search space needs at least one layer".to_string(),
+            });
+        }
+        if filter_sizes.is_empty() || filter_counts.is_empty() {
+            return Err(ControllerError::InvalidConfig {
+                what: "option menus must be non-empty".to_string(),
+            });
+        }
+        if filter_sizes.iter().chain(&filter_counts).any(|&v| v == 0) {
+            return Err(ControllerError::InvalidConfig {
+                what: "options must be non-zero".to_string(),
+            });
+        }
+        Ok(SearchSpace {
+            layers,
+            filter_sizes,
+            filter_counts,
+        })
+    }
+
+    /// Table 2, MNIST row: `L = 4`, filter sizes `{5, 7, 14}`, filter
+    /// counts `{9, 18, 36}`.
+    pub fn mnist() -> Self {
+        SearchSpace::new(4, vec![5, 7, 14], vec![9, 18, 36]).expect("preset is valid")
+    }
+
+    /// Table 2, CIFAR-10 row: `L = 10`, filter sizes `{1, 3, 5, 7}`, filter
+    /// counts `{24, 36, 48, 64}`.
+    pub fn cifar10() -> Self {
+        SearchSpace::new(10, vec![1, 3, 5, 7], vec![24, 36, 48, 64]).expect("preset is valid")
+    }
+
+    /// Table 2, ImageNet row: `L = 15`, filter sizes `{1, 3, 5, 7}`, filter
+    /// counts `{16, 32, 64, 128}`.
+    pub fn imagenet() -> Self {
+        SearchSpace::new(15, vec![1, 3, 5, 7], vec![16, 32, 64, 128]).expect("preset is valid")
+    }
+
+    /// Number of convolutional layers `L`.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// The filter-size menu.
+    pub fn filter_sizes(&self) -> &[usize] {
+        &self.filter_sizes
+    }
+
+    /// The filter-count menu.
+    pub fn filter_counts(&self) -> &[usize] {
+        &self.filter_counts
+    }
+
+    /// Total sequential decisions: `2·L` (size then count, per layer).
+    pub fn num_decisions(&self) -> usize {
+        2 * self.layers
+    }
+
+    /// Which menu decision step `t` draws from.
+    ///
+    /// Even steps pick the filter size, odd steps the filter count — the
+    /// order the controller of \[16\] emits them in.
+    pub fn decision_kind(&self, step: usize) -> DecisionKind {
+        if step.is_multiple_of(2) {
+            DecisionKind::FilterSize
+        } else {
+            DecisionKind::FilterCount
+        }
+    }
+
+    /// The option menu for decision step `t`.
+    pub fn options(&self, step: usize) -> &[usize] {
+        match self.decision_kind(step) {
+            DecisionKind::FilterSize => &self.filter_sizes,
+            DecisionKind::FilterCount => &self.filter_counts,
+        }
+    }
+
+    /// Number of distinct architectures in the space.
+    pub fn cardinality(&self) -> u128 {
+        let per_layer = (self.filter_sizes.len() * self.filter_counts.len()) as u128;
+        per_layer.pow(self.layers as u32)
+    }
+
+    /// The widest option menu (sizing the policy's output heads).
+    pub fn max_options(&self) -> usize {
+        self.filter_sizes.len().max(self.filter_counts.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_2() {
+        let m = SearchSpace::mnist();
+        assert_eq!(m.layers(), 4);
+        assert_eq!(m.filter_sizes(), &[5, 7, 14]);
+        assert_eq!(m.filter_counts(), &[9, 18, 36]);
+
+        let c = SearchSpace::cifar10();
+        assert_eq!(c.layers(), 10);
+        assert_eq!(c.filter_sizes(), &[1, 3, 5, 7]);
+        assert_eq!(c.filter_counts(), &[24, 36, 48, 64]);
+
+        let i = SearchSpace::imagenet();
+        assert_eq!(i.layers(), 15);
+        assert_eq!(i.filter_counts(), &[16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn decisions_alternate_size_then_count() {
+        let s = SearchSpace::mnist();
+        assert_eq!(s.decision_kind(0), DecisionKind::FilterSize);
+        assert_eq!(s.decision_kind(1), DecisionKind::FilterCount);
+        assert_eq!(s.decision_kind(6), DecisionKind::FilterSize);
+        assert_eq!(s.options(0), s.filter_sizes());
+        assert_eq!(s.options(3), s.filter_counts());
+    }
+
+    #[test]
+    fn cardinality_counts_architectures() {
+        assert_eq!(SearchSpace::mnist().cardinality(), 9u128.pow(4));
+        assert_eq!(SearchSpace::cifar10().cardinality(), 16u128.pow(10));
+    }
+
+    #[test]
+    fn invalid_spaces_rejected() {
+        assert!(SearchSpace::new(0, vec![3], vec![8]).is_err());
+        assert!(SearchSpace::new(2, vec![], vec![8]).is_err());
+        assert!(SearchSpace::new(2, vec![3], vec![]).is_err());
+        assert!(SearchSpace::new(2, vec![0], vec![8]).is_err());
+    }
+
+    #[test]
+    fn max_options_sizes_heads() {
+        assert_eq!(SearchSpace::mnist().max_options(), 3);
+        assert_eq!(SearchSpace::cifar10().max_options(), 4);
+        let lop = SearchSpace::new(1, vec![1, 3, 5, 7, 9], vec![2]).unwrap();
+        assert_eq!(lop.max_options(), 5);
+    }
+}

@@ -1,0 +1,197 @@
+//! Modelled search-cost accounting.
+//!
+//! The paper's headline efficiency metric is wall-clock *search time*
+//! (Table 1: 190 m 33 s for NAS vs 17–74 m for FNAS). That time is
+//! dominated by child training on the authors' GPUs; the FNAS speedup comes
+//! from **not training** latency-violating children, whose only cost is one
+//! analyzer call. This module reproduces that accounting: every trained
+//! child contributes its training FLOP-time under a modelled throughput,
+//! every analysed child a fixed analyzer cost. Absolute seconds depend on
+//! the throughput constant (we do not claim to match the paper's cluster);
+//! ratios — the speedups the paper reports — do not.
+
+use std::fmt;
+
+use fnas_fpga::layer::Network;
+
+/// Accumulated cost of one search run, in modelled seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SearchCost {
+    /// Seconds spent training children.
+    pub training_seconds: f64,
+    /// Seconds spent in the FNAS tool (analyzer calls).
+    pub analyzer_seconds: f64,
+}
+
+impl SearchCost {
+    /// Total modelled seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.training_seconds + self.analyzer_seconds
+    }
+
+    /// Total modelled minutes (the paper's unit).
+    pub fn total_minutes(&self) -> f64 {
+        self.total_seconds() / 60.0
+    }
+
+    /// Adds another cost in place.
+    pub fn add(&mut self, other: SearchCost) {
+        self.training_seconds += other.training_seconds;
+        self.analyzer_seconds += other.analyzer_seconds;
+    }
+}
+
+impl fmt::Display for SearchCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_seconds();
+        let m = (total / 60.0).floor();
+        let s = total - m * 60.0;
+        write!(f, "{m:.0}m{s:02.0}s")
+    }
+}
+
+/// The cost model: training throughput and per-call analyzer cost.
+///
+/// # Examples
+///
+/// ```
+/// use fnas::cost::CostModel;
+/// use fnas_fpga::layer::{ConvShape, Network};
+///
+/// # fn main() -> Result<(), fnas::FnasError> {
+/// let model = CostModel::new(25, 60_000);
+/// let net = Network::new(vec![ConvShape::square(1, 16, 28, 5)?])?;
+/// assert!(model.training_cost(&net).training_seconds > 0.0);
+/// assert!(model.analyzer_cost().analyzer_seconds > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    epochs: usize,
+    train_examples: usize,
+    /// Modelled training throughput in MAC/s (forward; backward counted 2×).
+    macs_per_second: f64,
+    /// Modelled seconds per analyzer invocation.
+    analyzer_call_seconds: f64,
+    /// Fixed per-trained-child overhead (data loading, checkpointing, …).
+    train_overhead_seconds: f64,
+}
+
+impl CostModel {
+    /// Creates a cost model for `epochs` passes over `train_examples`
+    /// examples, with default throughput constants (a single mid-range GPU:
+    /// 3 TMAC/s; 50 ms per analyzer call).
+    pub fn new(epochs: usize, train_examples: usize) -> Self {
+        CostModel {
+            epochs,
+            train_examples,
+            macs_per_second: 3.0e12,
+            analyzer_call_seconds: 0.05,
+            train_overhead_seconds: 30.0,
+        }
+    }
+
+    /// Replaces the modelled training throughput.
+    #[must_use]
+    pub fn with_throughput(mut self, macs_per_second: f64) -> Self {
+        self.macs_per_second = macs_per_second;
+        self
+    }
+
+    /// Replaces the per-call analyzer cost.
+    #[must_use]
+    pub fn with_analyzer_seconds(mut self, seconds: f64) -> Self {
+        self.analyzer_call_seconds = seconds;
+        self
+    }
+
+    /// Replaces the fixed per-child training overhead.
+    #[must_use]
+    pub fn with_overhead_seconds(mut self, seconds: f64) -> Self {
+        self.train_overhead_seconds = seconds;
+        self
+    }
+
+    /// Cost of fully training one child whose conv pipeline is `network`:
+    /// a fixed per-child overhead plus
+    /// `3 × MACs × examples × epochs / throughput` (forward + backward ≈ 3×
+    /// the forward MACs).
+    pub fn training_cost(&self, network: &Network) -> SearchCost {
+        let macs = network.total_macs().get() as f64;
+        SearchCost {
+            training_seconds: self.train_overhead_seconds
+                + 3.0 * macs * self.train_examples as f64 * self.epochs as f64
+                    / self.macs_per_second,
+            analyzer_seconds: 0.0,
+        }
+    }
+
+    /// Cost of one FNAS-tool invocation.
+    pub fn analyzer_cost(&self) -> SearchCost {
+        SearchCost {
+            training_seconds: 0.0,
+            analyzer_seconds: self.analyzer_call_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnas_fpga::layer::ConvShape;
+
+    fn net(filters: usize) -> Network {
+        Network::new(vec![ConvShape::square(1, filters, 28, 5).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn training_dominates_analysis() {
+        let m = CostModel::new(25, 60_000);
+        let t = m.training_cost(&net(36));
+        let a = m.analyzer_cost();
+        assert!(t.training_seconds > 100.0 * a.analyzer_seconds);
+    }
+
+    #[test]
+    fn bigger_networks_cost_more() {
+        let m = CostModel::new(25, 60_000);
+        assert!(
+            m.training_cost(&net(36)).training_seconds
+                > m.training_cost(&net(9)).training_seconds
+        );
+    }
+
+    #[test]
+    fn cost_accumulates_and_formats() {
+        let mut c = SearchCost::default();
+        c.add(SearchCost {
+            training_seconds: 119.0,
+            analyzer_seconds: 1.0,
+        });
+        assert_eq!(c.total_seconds(), 120.0);
+        assert_eq!(c.total_minutes(), 2.0);
+        assert_eq!(c.to_string(), "2m00s");
+    }
+
+    #[test]
+    fn throughput_scales_inversely() {
+        // Remove the fixed overhead so the FLOP-time ratio is visible.
+        let base = CostModel::new(10, 1000).with_overhead_seconds(0.0);
+        let fast = base.with_throughput(6.0e12);
+        let n = net(16);
+        let ratio =
+            base.training_cost(&n).training_seconds / fast.training_cost(&n).training_seconds;
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_is_charged_once_per_child() {
+        let with = CostModel::new(1, 1);
+        let without = with.with_overhead_seconds(0.0);
+        let n = net(16);
+        let delta =
+            with.training_cost(&n).training_seconds - without.training_cost(&n).training_seconds;
+        assert!((delta - 30.0).abs() < 1e-9);
+    }
+}

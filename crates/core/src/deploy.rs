@@ -1,0 +1,280 @@
+//! Deployment reports: from a chosen architecture to its full FPGA
+//! implementation record.
+//!
+//! The paper's Fig. 1(b) ends the search with "implement NN → get
+//! performance". This module packages that step: given an architecture and
+//! a platform, it runs the complete FNAS tool once more — design, task
+//! graph, schedule, closed-form analysis *and* cycle-level simulation —
+//! and collects everything a hardware engineer would want to see before
+//! committing to the bitstream.
+
+use fnas_controller::arch::ChildArch;
+use fnas_fpga::analyzer::{analyze, throughput_fps, AnalyzerReport};
+use fnas_fpga::design::{PipelineDesign, UtilizationReport};
+use fnas_fpga::device::FpgaCluster;
+use fnas_fpga::sched::FnasScheduler;
+use fnas_fpga::sim::{simulate_traced, SimReport, TaskTrace};
+use fnas_fpga::taskgraph::TileTaskGraph;
+use fnas_fpga::{Cycles, Millis};
+
+use crate::mapping::arch_to_network;
+use crate::report::Table;
+use crate::Result;
+
+/// Everything known about one architecture's implementation on a platform.
+///
+/// # Examples
+///
+/// ```
+/// use fnas::deploy::DeploymentReport;
+/// use fnas_controller::arch::{ChildArch, LayerChoice};
+/// use fnas_fpga::device::{FpgaCluster, FpgaDevice};
+///
+/// # fn main() -> Result<(), fnas::FnasError> {
+/// let arch = ChildArch::new(vec![LayerChoice { filter_size: 5, num_filters: 18 }])?;
+/// let platform = FpgaCluster::single(FpgaDevice::pynq());
+/// let report = DeploymentReport::generate(&arch, &platform, (1, 28, 28))?;
+/// assert!(report.simulated_latency().get() >= report.analytic_latency().get());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeploymentReport {
+    arch: ChildArch,
+    design: PipelineDesign,
+    analyzer: AnalyzerReport,
+    simulation: SimReport,
+    trace: TaskTrace,
+    utilization: UtilizationReport,
+}
+
+impl DeploymentReport {
+    /// Runs the full FNAS tool plus the simulator for `arch` on `platform`
+    /// with per-example input shape `(channels, height, width)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping, design, analysis and simulation errors — e.g. an
+    /// architecture whose kernels do not fit the input, or a platform with
+    /// too few resources.
+    pub fn generate(
+        arch: &ChildArch,
+        platform: &FpgaCluster,
+        input: (usize, usize, usize),
+    ) -> Result<Self> {
+        let network = arch_to_network(arch, input)?;
+        let design = PipelineDesign::generate_on_cluster(&network, platform)?;
+        let graph = TileTaskGraph::from_design(&design)?;
+        let schedule = FnasScheduler::new().schedule(&graph);
+        let transfers: Vec<Cycles> = (0..graph.num_layers().saturating_sub(1))
+            .map(|i| design.boundary_transfer_cycles(i))
+            .collect();
+        let (mut simulation, trace) = simulate_traced(&graph, &schedule, &transfers)?;
+        simulation.latency = simulation.makespan.to_millis(design.clock_mhz());
+        let analyzer = analyze(&design)?;
+        Ok(DeploymentReport {
+            arch: arch.clone(),
+            utilization: design.utilization(),
+            design,
+            analyzer,
+            simulation,
+            trace,
+        })
+    }
+
+    /// The deployed architecture.
+    pub fn arch(&self) -> &ChildArch {
+        &self.arch
+    }
+
+    /// The per-layer tiling design.
+    pub fn design(&self) -> &PipelineDesign {
+        &self.design
+    }
+
+    /// The closed-form latency analysis (Eqs. 2–5).
+    pub fn analyzer(&self) -> &AnalyzerReport {
+        &self.analyzer
+    }
+
+    /// The cycle-level simulation results.
+    pub fn simulation(&self) -> &SimReport {
+        &self.simulation
+    }
+
+    /// The per-task execution trace (for Gantt plots).
+    pub fn trace(&self) -> &TaskTrace {
+        &self.trace
+    }
+
+    /// Resource accounting.
+    pub fn utilization(&self) -> &UtilizationReport {
+        &self.utilization
+    }
+
+    /// Analytic latency (the value the search pruned against).
+    pub fn analytic_latency(&self) -> Millis {
+        self.analyzer.latency
+    }
+
+    /// Simulated latency (what the "board" would measure).
+    pub fn simulated_latency(&self) -> Millis {
+        self.simulation.latency
+    }
+
+    /// Analytic streaming throughput in images per second (an extension
+    /// beyond the paper's single-image latency; see
+    /// [`fnas_fpga::analyzer::pipeline_interval`]).
+    pub fn throughput_fps(&self) -> f64 {
+        throughput_fps(&self.design)
+    }
+
+    /// Relative gap between simulation and the analytic lower bound.
+    pub fn model_gap(&self) -> f64 {
+        let a = self.analyzer.latency.get();
+        if a == 0.0 {
+            0.0
+        } else {
+            self.simulation.latency.get() / a - 1.0
+        }
+    }
+
+    /// A per-layer implementation table (tiling, resources, timing).
+    pub fn layer_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "layer",
+            "shape (N→M, R×C, K)",
+            "tiling ⟨Tm,Tn,Tr,Tc⟩",
+            "device",
+            "DSPs",
+            "BRAM (bytes)",
+            "MAC efficiency",
+            "bound by",
+        ]);
+        for (l, u) in self.design.layers().iter().zip(&self.utilization.per_layer) {
+            let s = l.shape();
+            let t = l.tiling();
+            table.push_row(vec![
+                u.layer.to_string(),
+                format!(
+                    "{}→{}, {}×{}, {}",
+                    s.in_channels(),
+                    s.out_channels(),
+                    s.out_rows(),
+                    s.out_cols(),
+                    s.kernel_h()
+                ),
+                format!("⟨{},{},{},{}⟩", t.tm, t.tn, t.tr, t.tc),
+                u.device.to_string(),
+                u.dsp_slices.to_string(),
+                u.bram_bytes.to_string(),
+                format!("{:.0}%", u.mac_efficiency * 100.0),
+                if u.compute_bound { "compute" } else { "memory" }.to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// A one-paragraph markdown summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "architecture {} on {} device(s): analytic latency {}, simulated {} \
+             (gap {:+.1}%), throughput {:.0} fps, {} / {} DSPs, {} / {} BRAM \
+             bytes, total stall {}.",
+            self.arch.describe(),
+            self.design.cluster().len(),
+            self.analyzer.latency,
+            self.simulation.latency,
+            self.model_gap() * 100.0,
+            self.throughput_fps(),
+            self.utilization.dsp_used,
+            self.utilization.dsp_available,
+            self.utilization.bram_used,
+            self.utilization.bram_available,
+            self.simulation.total_stall(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnas_controller::arch::LayerChoice;
+    use fnas_fpga::device::FpgaDevice;
+
+    fn arch() -> ChildArch {
+        ChildArch::new(vec![
+            LayerChoice { filter_size: 5, num_filters: 18 },
+            LayerChoice { filter_size: 3, num_filters: 36 },
+        ])
+        .expect("valid arch")
+    }
+
+    fn report() -> DeploymentReport {
+        DeploymentReport::generate(
+            &arch(),
+            &FpgaCluster::single(FpgaDevice::pynq()),
+            (1, 28, 28),
+        )
+        .expect("deployable")
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let r = report();
+        assert!(r.simulated_latency().get() >= r.analytic_latency().get() * 0.999);
+        assert!(r.model_gap() >= -1e-6);
+        assert_eq!(r.design().layers().len(), 2);
+        assert_eq!(r.utilization().per_layer.len(), 2);
+        let tasks: usize = r.design().layers().iter().map(|l| l.task_count()).sum();
+        assert_eq!(r.trace().events().len(), tasks);
+        assert_eq!(r.arch(), &arch());
+    }
+
+    #[test]
+    fn layer_table_has_one_row_per_layer() {
+        let r = report();
+        let t = r.layer_table();
+        assert_eq!(t.len(), 2);
+        let md = t.to_markdown();
+        assert!(md.contains("⟨"));
+        assert!(md.contains("1→18"));
+    }
+
+    #[test]
+    fn summary_mentions_the_key_numbers() {
+        let r = report();
+        let s = r.summary();
+        assert!(s.contains("analytic latency"));
+        assert!(s.contains("DSPs"));
+        assert!(s.contains("fps"));
+        assert!(s.contains(&r.arch().describe()));
+        assert!(r.throughput_fps() > 0.0);
+    }
+
+    #[test]
+    fn undeployable_architectures_error() {
+        let bad = ChildArch::new(vec![LayerChoice { filter_size: 14, num_filters: 4 }])
+            .expect("constructible");
+        assert!(DeploymentReport::generate(
+            &bad,
+            &FpgaCluster::single(FpgaDevice::pynq()),
+            (1, 1, 1)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn multi_board_deployment_spreads_layers() {
+        let cluster =
+            FpgaCluster::homogeneous(FpgaDevice::pynq(), 2, 16.0).expect("valid cluster");
+        let r = DeploymentReport::generate(&arch(), &cluster, (1, 28, 28)).expect("deployable");
+        let devices: std::collections::HashSet<usize> = r
+            .utilization()
+            .per_layer
+            .iter()
+            .map(|l| l.device)
+            .collect();
+        assert_eq!(devices.len(), 2);
+    }
+}

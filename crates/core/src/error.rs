@@ -1,0 +1,122 @@
+use std::error::Error;
+use std::fmt;
+
+use fnas_controller::ControllerError;
+use fnas_data::DataError;
+use fnas_fpga::FpgaError;
+use fnas_nn::NnError;
+
+/// Errors produced by the FNAS framework.
+///
+/// Wraps the substrate errors (`fnas-nn`, `fnas-data`, `fnas-fpga`,
+/// `fnas-controller`) and adds framework-level configuration failures; all
+/// of them keep their `source()` chain intact.
+///
+/// # Examples
+///
+/// ```
+/// use fnas::FnasError;
+///
+/// let err = FnasError::InvalidConfig { what: "trials must be non-zero".into() };
+/// assert!(err.to_string().contains("trials"));
+/// ```
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FnasError {
+    /// A framework configuration value is invalid.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        what: String,
+    },
+    /// Training substrate failure.
+    Nn(NnError),
+    /// Dataset generation failure.
+    Data(DataError),
+    /// FPGA design/analysis failure.
+    Fpga(FpgaError),
+    /// Controller failure.
+    Controller(ControllerError),
+    /// Writing a report file failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FnasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FnasError::InvalidConfig { what } => write!(f, "invalid fnas config: {what}"),
+            FnasError::Nn(e) => write!(f, "child training failed: {e}"),
+            FnasError::Data(e) => write!(f, "dataset failed: {e}"),
+            FnasError::Fpga(e) => write!(f, "fpga model failed: {e}"),
+            FnasError::Controller(e) => write!(f, "controller failed: {e}"),
+            FnasError::Io(e) => write!(f, "report io failed: {e}"),
+        }
+    }
+}
+
+impl Error for FnasError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FnasError::Nn(e) => Some(e),
+            FnasError::Data(e) => Some(e),
+            FnasError::Fpga(e) => Some(e),
+            FnasError::Controller(e) => Some(e),
+            FnasError::Io(e) => Some(e),
+            FnasError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<NnError> for FnasError {
+    fn from(e: NnError) -> Self {
+        FnasError::Nn(e)
+    }
+}
+
+impl From<DataError> for FnasError {
+    fn from(e: DataError) -> Self {
+        FnasError::Data(e)
+    }
+}
+
+impl From<FpgaError> for FnasError {
+    fn from(e: FpgaError) -> Self {
+        FnasError::Fpga(e)
+    }
+}
+
+impl From<ControllerError> for FnasError {
+    fn from(e: ControllerError) -> Self {
+        FnasError::Controller(e)
+    }
+}
+
+impl From<std::io::Error> for FnasError {
+    fn from(e: std::io::Error) -> Self {
+        FnasError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FnasError>();
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        let err: FnasError = FpgaError::InvalidConfig {
+            what: "x".to_string(),
+        }
+        .into();
+        assert!(err.source().is_some());
+        let err: FnasError = NnError::InvalidConfig {
+            what: "y".to_string(),
+        }
+        .into();
+        assert!(err.to_string().contains('y'));
+    }
+}

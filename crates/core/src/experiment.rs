@@ -1,0 +1,269 @@
+//! Experiment presets — Table 2 of the paper, executable.
+//!
+//! A preset bundles everything one evaluation run needs: the dataset
+//! configuration, the controller search space, the target FPGA, the trial
+//! budget, training epochs and the four timing specifications TS4 (tightest)
+//! through TS1 (loosest).
+
+use fnas_controller::space::SearchSpace;
+use fnas_data::SynthConfig;
+use fnas_fpga::device::FpgaDevice;
+use fnas_fpga::Millis;
+
+use crate::evaluator::SurrogateCalibration;
+use crate::{FnasError, Result};
+
+/// One row of Table 2, bound to a concrete device.
+///
+/// # Examples
+///
+/// ```
+/// use fnas::experiment::ExperimentPreset;
+///
+/// let p = ExperimentPreset::mnist();
+/// assert_eq!(p.trials(), 60);
+/// assert_eq!(p.epochs(), 25);
+/// assert_eq!(p.ts(4).get(), 2.0); // TS4 is the tightest spec
+/// assert_eq!(p.ts(1).get(), 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentPreset {
+    name: String,
+    dataset: SynthConfig,
+    space: SearchSpace,
+    device: FpgaDevice,
+    trials: usize,
+    epochs: usize,
+    /// Ordered `[TS4, TS3, TS2, TS1]` (tightest → loosest), Table 2.
+    timing_specs_ms: [f64; 4],
+    calibration: SurrogateCalibration,
+}
+
+impl ExperimentPreset {
+    /// MNIST row, high-end FPGA (7Z020 / PYNQ): TS-High `[2, 5, 10, 20]` ms.
+    pub fn mnist() -> Self {
+        ExperimentPreset {
+            name: "mnist".to_string(),
+            dataset: SynthConfig::mnist_like(),
+            space: SearchSpace::mnist(),
+            device: FpgaDevice::xc7z020(),
+            trials: 60,
+            epochs: 25,
+            timing_specs_ms: [2.0, 5.0, 10.0, 20.0],
+            calibration: SurrogateCalibration::mnist(),
+        }
+    }
+
+    /// MNIST row, low-end FPGA (7A50T): TS-Low `[1, 4, 10, 20]` ms.
+    ///
+    /// Kindly note the paper's TS-Low list reads `[1, 4, 10, 20]`; the
+    /// low-end device is slower, so identical architectures sit closer to
+    /// (or beyond) these budgets.
+    pub fn mnist_low_end() -> Self {
+        let mut p = ExperimentPreset::mnist();
+        p.name = "mnist-7a50t".to_string();
+        p.device = FpgaDevice::xc7a50t();
+        p.timing_specs_ms = [1.0, 4.0, 10.0, 20.0];
+        p
+    }
+
+    /// CIFAR-10 row on the ZU9EG: TS `[1.5, 2, 2.5, 10]` ms.
+    pub fn cifar10() -> Self {
+        ExperimentPreset {
+            name: "cifar-10".to_string(),
+            dataset: SynthConfig::cifar_like(),
+            space: SearchSpace::cifar10(),
+            device: FpgaDevice::zu9eg(),
+            trials: 60,
+            epochs: 25,
+            timing_specs_ms: [1.5, 2.0, 2.5, 10.0],
+            calibration: SurrogateCalibration::cifar10(),
+        }
+    }
+
+    /// Reduced-ImageNet row on the ZU9EG: TS `[2.5, 5, 7.5, 10]` ms.
+    pub fn imagenet() -> Self {
+        ExperimentPreset {
+            name: "imagenet".to_string(),
+            dataset: SynthConfig::imagenet_like(),
+            space: SearchSpace::imagenet(),
+            device: FpgaDevice::zu9eg(),
+            trials: 60,
+            epochs: 25,
+            timing_specs_ms: [2.5, 5.0, 7.5, 10.0],
+            calibration: SurrogateCalibration::imagenet(),
+        }
+    }
+
+    /// Preset name (used in report headers).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dataset configuration.
+    pub fn dataset(&self) -> &SynthConfig {
+        &self.dataset
+    }
+
+    /// The controller search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// The target FPGA.
+    pub fn device(&self) -> &FpgaDevice {
+        &self.device
+    }
+
+    /// Number of child networks the controller explores (`T` in Table 2).
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Training epochs per child (`E` in Table 2).
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Timing specification `TSn` in ms; `n ∈ 1..=4`, TS4 tightest.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ n ≤ 4`.
+    pub fn ts(&self, n: usize) -> Millis {
+        assert!((1..=4).contains(&n), "timing specs are TS1..TS4");
+        Millis::new(self.timing_specs_ms[4 - n])
+    }
+
+    /// All four specs, tightest (TS4) first.
+    pub fn timing_specs(&self) -> [Millis; 4] {
+        [
+            Millis::new(self.timing_specs_ms[0]),
+            Millis::new(self.timing_specs_ms[1]),
+            Millis::new(self.timing_specs_ms[2]),
+            Millis::new(self.timing_specs_ms[3]),
+        ]
+    }
+
+    /// Surrogate calibration for this dataset regime.
+    pub fn calibration(&self) -> SurrogateCalibration {
+        self.calibration
+    }
+
+    /// Replaces the trial budget.
+    #[must_use]
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Replaces the per-child epoch budget.
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Replaces the target device (keeping everything else).
+    #[must_use]
+    pub fn with_device(mut self, device: FpgaDevice) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Shrinks the dataset splits by `fraction` (for CPU-sized runs with
+    /// the trained evaluator).
+    #[must_use]
+    pub fn scaled_data(mut self, fraction: f64) -> Self {
+        self.dataset = self.dataset.scaled(fraction);
+        self
+    }
+
+    /// Replaces the dataset configuration (e.g. smaller images for
+    /// CPU-sized trained-evaluator runs).
+    #[must_use]
+    pub fn with_dataset(mut self, dataset: SynthConfig) -> Self {
+        self.dataset = dataset;
+        self
+    }
+
+    /// Replaces the controller search space.
+    #[must_use]
+    pub fn with_space(mut self, space: SearchSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Validates the preset (non-zero budgets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FnasError::InvalidConfig`] for zero trials or epochs.
+    pub fn validate(&self) -> Result<()> {
+        if self.trials == 0 {
+            return Err(FnasError::InvalidConfig {
+                what: "trials must be non-zero".to_string(),
+            });
+        }
+        if self.epochs == 0 {
+            return Err(FnasError::InvalidConfig {
+                what: "epochs must be non-zero".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_2_constants() {
+        let m = ExperimentPreset::mnist();
+        assert_eq!(m.space().layers(), 4);
+        assert_eq!(m.trials(), 60);
+        assert_eq!(m.epochs(), 25);
+        assert_eq!(m.device().name(), "xc7z020");
+        assert_eq!(m.ts(4).get(), 2.0);
+        assert_eq!(m.ts(3).get(), 5.0);
+        assert_eq!(m.ts(2).get(), 10.0);
+        assert_eq!(m.ts(1).get(), 20.0);
+
+        let low = ExperimentPreset::mnist_low_end();
+        assert_eq!(low.device().name(), "xc7a50t");
+        assert_eq!(low.ts(4).get(), 1.0);
+
+        let c = ExperimentPreset::cifar10();
+        assert_eq!(c.space().layers(), 10);
+        assert_eq!(c.ts(4).get(), 1.5);
+        assert_eq!(c.device().name(), "zu9eg");
+
+        let i = ExperimentPreset::imagenet();
+        assert_eq!(i.space().layers(), 15);
+        assert_eq!(i.ts(1).get(), 10.0);
+    }
+
+    #[test]
+    fn builders_and_validation() {
+        let p = ExperimentPreset::mnist().with_trials(5).with_epochs(2);
+        assert_eq!(p.trials(), 5);
+        assert_eq!(p.epochs(), 2);
+        assert!(p.validate().is_ok());
+        assert!(ExperimentPreset::mnist().with_trials(0).validate().is_err());
+        assert!(ExperimentPreset::mnist().with_epochs(0).validate().is_err());
+    }
+
+    #[test]
+    fn scaled_data_shrinks_splits() {
+        let p = ExperimentPreset::mnist().scaled_data(0.001);
+        assert_eq!(p.dataset().train_size(), 60);
+        assert_eq!(p.dataset().val_size(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "TS1..TS4")]
+    fn ts_out_of_range_panics() {
+        let _ = ExperimentPreset::mnist().ts(5);
+    }
+}

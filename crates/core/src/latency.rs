@@ -1,0 +1,200 @@
+//! Cached child-network latency evaluation through the FNAS tool.
+//!
+//! Every controller proposal goes FNAS-Design → FNAS-GG → FNAS-Sched →
+//! FNAS-Analyzer (components ➀–➃) to get an inference latency *without
+//! training and without HLS/RTL generation* — the property that makes the
+//! whole framework fast. Results are memoised per architecture because the
+//! controller frequently revisits promising regions of the space.
+
+use std::collections::HashMap;
+
+use fnas_controller::arch::ChildArch;
+use fnas_fpga::analyzer::analyze;
+use fnas_fpga::design::PipelineDesign;
+use fnas_fpga::device::{FpgaCluster, FpgaDevice};
+use fnas_fpga::sched::FnasScheduler;
+use fnas_fpga::sim::simulate_design;
+use fnas_fpga::taskgraph::TileTaskGraph;
+use fnas_fpga::Millis;
+
+use crate::mapping::arch_to_network;
+use crate::Result;
+
+/// Latency oracle for child architectures on a fixed platform.
+///
+/// # Examples
+///
+/// ```
+/// use fnas::latency::LatencyEvaluator;
+/// use fnas_controller::arch::{ChildArch, LayerChoice};
+/// use fnas_fpga::device::FpgaDevice;
+///
+/// # fn main() -> Result<(), fnas::FnasError> {
+/// let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+/// let arch = ChildArch::new(vec![LayerChoice { filter_size: 5, num_filters: 9 }])?;
+/// let ms = eval.latency(&arch)?;
+/// assert!(ms.get() > 0.0);
+/// assert_eq!(eval.analyzer_calls(), 1);
+/// let _ = eval.latency(&arch)?; // cached
+/// assert_eq!(eval.analyzer_calls(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LatencyEvaluator {
+    cluster: FpgaCluster,
+    input: (usize, usize, usize),
+    cache: HashMap<ChildArch, Millis>,
+    analyzer_calls: usize,
+}
+
+impl LatencyEvaluator {
+    /// Creates an evaluator for a single device and input shape
+    /// `(channels, height, width)`.
+    pub fn new(device: FpgaDevice, input: (usize, usize, usize)) -> Self {
+        LatencyEvaluator::on_cluster(FpgaCluster::single(device), input)
+    }
+
+    /// Creates an evaluator for a multi-FPGA cluster.
+    pub fn on_cluster(cluster: FpgaCluster, input: (usize, usize, usize)) -> Self {
+        LatencyEvaluator {
+            cluster,
+            input,
+            cache: HashMap::new(),
+            analyzer_calls: 0,
+        }
+    }
+
+    /// The target platform.
+    pub fn cluster(&self) -> &FpgaCluster {
+        &self.cluster
+    }
+
+    /// The per-example input shape.
+    pub fn input_shape(&self) -> (usize, usize, usize) {
+        self.input
+    }
+
+    /// Number of uncached analyzer invocations so far (the FNAS tool's
+    /// per-child cost in the search-cost model).
+    pub fn analyzer_calls(&self) -> usize {
+        self.analyzer_calls
+    }
+
+    /// Analytic latency of `arch` (Eq. 5), memoised.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and design errors — e.g. a kernel that does not
+    /// fit the input, or a pipeline that exceeds the platform's resources.
+    pub fn latency(&mut self, arch: &ChildArch) -> Result<Millis> {
+        if let Some(&ms) = self.cache.get(arch) {
+            return Ok(ms);
+        }
+        let design = self.design(arch)?;
+        let report = analyze(&design)?;
+        self.analyzer_calls += 1;
+        self.cache.insert(arch.clone(), report.latency);
+        Ok(report.latency)
+    }
+
+    /// The full pipeline design for `arch` (exposed for inspection and the
+    /// scheduler benches).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and design errors.
+    pub fn design(&self, arch: &ChildArch) -> Result<PipelineDesign> {
+        let network = arch_to_network(arch, self.input)?;
+        Ok(PipelineDesign::generate_on_cluster(&network, &self.cluster)?)
+    }
+
+    /// Cycle-accurate simulated latency under the FNAS schedule (used to
+    /// validate the analytic model; roughly 100× slower than
+    /// [`LatencyEvaluator::latency`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates design, graph and simulation errors.
+    pub fn simulated_latency(&self, arch: &ChildArch) -> Result<Millis> {
+        let design = self.design(arch)?;
+        let graph = TileTaskGraph::from_design(&design)?;
+        let schedule = FnasScheduler::new().schedule(&graph);
+        let report = simulate_design(&design, &graph, &schedule)?;
+        Ok(report.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnas_controller::arch::LayerChoice;
+
+    fn arch(choices: &[(usize, usize)]) -> ChildArch {
+        ChildArch::new(
+            choices
+                .iter()
+                .map(|&(filter_size, num_filters)| LayerChoice {
+                    filter_size,
+                    num_filters,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bigger_architectures_take_longer() {
+        let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+        let small = eval.latency(&arch(&[(5, 9)])).unwrap();
+        let large = eval
+            .latency(&arch(&[(7, 36), (7, 36), (7, 36), (7, 36)]))
+            .unwrap();
+        assert!(large.get() > small.get() * 3.0, "{small} vs {large}");
+    }
+
+    #[test]
+    fn cache_avoids_repeat_analysis() {
+        let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+        let a = arch(&[(5, 18), (3, 36)]);
+        let first = eval.latency(&a).unwrap();
+        let again = eval.latency(&a).unwrap();
+        assert_eq!(first.get(), again.get());
+        assert_eq!(eval.analyzer_calls(), 1);
+    }
+
+    #[test]
+    fn low_end_device_is_slower_on_dsp_bound_networks() {
+        // The 7A50T's calibrated clock is slightly higher than the 7Z020's
+        // (small designs close timing more easily), so the comparison is
+        // made where it matters: a network big enough to be DSP-bound.
+        let a = arch(&[(7, 36), (7, 36), (7, 36), (7, 36)]);
+        let mut hi = LatencyEvaluator::new(FpgaDevice::xc7z020(), (1, 28, 28));
+        let mut lo = LatencyEvaluator::new(FpgaDevice::xc7a50t(), (1, 28, 28));
+        assert!(lo.latency(&a).unwrap().get() > hi.latency(&a).unwrap().get());
+    }
+
+    #[test]
+    fn simulated_latency_close_to_analytic() {
+        let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 14, 14));
+        let a = arch(&[(5, 18), (3, 18)]);
+        let analytic = eval.latency(&a).unwrap();
+        let simulated = eval.simulated_latency(&a).unwrap();
+        assert!(
+            simulated.get() >= analytic.get() * 0.99,
+            "analytic {analytic} should lower-bound simulated {simulated}"
+        );
+        assert!(
+            simulated.get() <= analytic.get() * 2.0,
+            "bound too loose: {analytic} vs {simulated}"
+        );
+    }
+
+    #[test]
+    fn impossible_arch_is_an_error() {
+        // An even 14-kernel on a unit extent cannot be realised even with
+        // half padding (1 + 2·6 = 13 < 14).
+        let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 1, 1));
+        assert!(eval.latency(&arch(&[(14, 9)])).is_err());
+    }
+}

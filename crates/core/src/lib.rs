@@ -1,0 +1,62 @@
+//! **FNAS** — FPGA-implementation aware neural architecture search.
+//!
+//! A from-scratch Rust reproduction of *"Accuracy vs. Efficiency: Achieving
+//! Both through FPGA-Implementation Aware Neural Architecture Search"*
+//! (Weiwen Jiang et al., DAC 2019). The framework searches for a child CNN
+//! that maximises accuracy **subject to a required inference latency** on a
+//! target FPGA, by scoring every candidate with a fast analytic latency
+//! model *before* deciding whether to train it:
+//!
+//! * [`reward`] — the reward function of Eq. (1);
+//! * [`mapping`] — child architecture → FPGA convolution pipeline;
+//! * [`latency`] — cached latency evaluation through the `fnas-fpga` stack
+//!   (FNAS-Design → FNAS-GG → FNAS-Sched → FNAS-Analyzer);
+//! * [`evaluator`] — child accuracy, either by really training the network
+//!   (`TrainedEvaluator`) or through a calibrated surrogate
+//!   (`SurrogateEvaluator`) for large parameter sweeps (see DESIGN.md §2);
+//! * [`search`] — the NAS baseline loop of \[16\] and the FNAS loop with
+//!   early latency pruning;
+//! * [`cost`] — the modelled search-cost accounting that reproduces the
+//!   paper's "search time" axis;
+//! * [`deploy`] — the final "implement NN → get performance" step of
+//!   Fig. 1(b): a full implementation record for a chosen architecture;
+//! * [`experiment`] — the per-dataset presets of Table 2;
+//! * [`report`] — markdown/CSV emitters for the benchmark harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use fnas::experiment::ExperimentPreset;
+//! use fnas::search::{SearchConfig, Searcher};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), fnas::FnasError> {
+//! let preset = ExperimentPreset::mnist().with_trials(4).scaled_data(0.001);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! // A tiny FNAS run with a 5 ms budget on the PYNQ board, using the
+//! // accuracy surrogate.
+//! let config = SearchConfig::fnas(preset, 5.0);
+//! let outcome = Searcher::surrogate(&config)?.run(&config, &mut rng)?;
+//! assert_eq!(outcome.trials().len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod deploy;
+mod error;
+pub mod evaluator;
+pub mod experiment;
+pub mod latency;
+pub mod mapping;
+pub mod report;
+pub mod reward;
+pub mod search;
+
+pub use error::FnasError;
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, FnasError>;

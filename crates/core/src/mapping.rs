@@ -1,0 +1,172 @@
+//! Child architecture → FPGA convolution pipeline.
+//!
+//! The FPGA abstraction sees a child network as a chain of
+//! [`ConvShape`]s. The trainable stack built from a
+//! [`ChildArch`] uses stride-1 convolutions with half padding
+//! (`⌊(k − 1)/2⌋`), so the output extent is preserved for odd kernels and
+//! shrinks by one for even kernels; this module tracks that arithmetic so
+//! the latency model sees exactly the shapes the trained network computes.
+
+use fnas_controller::arch::ChildArch;
+use fnas_fpga::layer::{ConvShape, Network};
+use fnas_fpga::FpgaError;
+
+use crate::Result;
+
+/// Output extent of a half-padded stride-1 convolution on `extent` input.
+///
+/// # Examples
+///
+/// ```
+/// use fnas::mapping::conv_out_extent;
+///
+/// assert_eq!(conv_out_extent(28, 5), Some(28)); // odd kernels preserve
+/// assert_eq!(conv_out_extent(28, 14), Some(27)); // even kernels shrink by 1
+/// assert_eq!(conv_out_extent(1, 14), None); // 1 + 2·6 = 13 < 14: no fit
+/// ```
+pub fn conv_out_extent(extent: usize, kernel: usize) -> Option<usize> {
+    let pad = kernel.saturating_sub(1) / 2;
+    let padded = extent + 2 * pad;
+    if padded < kernel || kernel == 0 {
+        return None;
+    }
+    let out = padded - kernel + 1;
+    if out == 0 {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Converts a child architecture into the convolution pipeline the FPGA
+/// design flow consumes, for inputs of shape `(channels, height, width)`.
+///
+/// # Errors
+///
+/// Returns [`FnasError::Fpga`](crate::FnasError::Fpga) if a kernel does not
+/// fit the running spatial extent (such an architecture is untrainable too,
+/// so the search loop discards it with a strongly negative reward).
+///
+/// # Examples
+///
+/// ```
+/// use fnas::mapping::arch_to_network;
+/// use fnas_controller::arch::{ChildArch, LayerChoice};
+///
+/// # fn main() -> Result<(), fnas::FnasError> {
+/// let arch = ChildArch::new(vec![
+///     LayerChoice { filter_size: 5, num_filters: 18 },
+///     LayerChoice { filter_size: 3, num_filters: 36 },
+/// ])?;
+/// let net = arch_to_network(&arch, (1, 28, 28))?;
+/// assert_eq!(net.len(), 2);
+/// assert_eq!(net.layers()[0].out_rows(), 28);
+/// assert_eq!(net.layers()[1].in_channels(), 18);
+/// # Ok(())
+/// # }
+/// ```
+pub fn arch_to_network(arch: &ChildArch, input: (usize, usize, usize)) -> Result<Network> {
+    let (mut channels, mut height, mut width) = input;
+    let mut layers = Vec::with_capacity(arch.num_layers());
+    for (i, choice) in arch.layers().iter().enumerate() {
+        let (oh, ow) = match (
+            conv_out_extent(height, choice.filter_size),
+            conv_out_extent(width, choice.filter_size),
+        ) {
+            (Some(oh), Some(ow)) => (oh, ow),
+            _ => {
+                return Err(FpgaError::InvalidConfig {
+                    what: format!(
+                        "layer {i}: kernel {} does not fit extent {}×{}",
+                        choice.filter_size, height, width
+                    ),
+                }
+                .into())
+            }
+        };
+        layers.push(ConvShape::new(
+            channels,
+            choice.num_filters,
+            oh,
+            ow,
+            choice.filter_size,
+            choice.filter_size,
+        )?);
+        channels = choice.num_filters;
+        height = oh;
+        width = ow;
+    }
+    Ok(Network::new(layers)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnas_controller::arch::LayerChoice;
+
+    fn arch(choices: &[(usize, usize)]) -> ChildArch {
+        ChildArch::new(
+            choices
+                .iter()
+                .map(|&(filter_size, num_filters)| LayerChoice {
+                    filter_size,
+                    num_filters,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn odd_kernels_preserve_extent_through_the_chain() {
+        let net = arch_to_network(&arch(&[(5, 9), (7, 18), (5, 36)]), (1, 28, 28)).unwrap();
+        for l in net.layers() {
+            assert_eq!(l.out_rows(), 28);
+            assert_eq!(l.out_cols(), 28);
+        }
+    }
+
+    #[test]
+    fn even_kernels_shrink_by_one_per_layer() {
+        let net = arch_to_network(&arch(&[(14, 9), (14, 9)]), (1, 28, 28)).unwrap();
+        assert_eq!(net.layers()[0].out_rows(), 27);
+        assert_eq!(net.layers()[1].out_rows(), 26);
+    }
+
+    #[test]
+    fn channels_chain_through_layers() {
+        let net = arch_to_network(&arch(&[(3, 24), (3, 48)]), (3, 32, 32)).unwrap();
+        assert_eq!(net.layers()[0].in_channels(), 3);
+        assert_eq!(net.layers()[0].out_channels(), 24);
+        assert_eq!(net.layers()[1].in_channels(), 24);
+    }
+
+    #[test]
+    fn oversized_kernel_is_rejected() {
+        // Half padding lets surprisingly large kernels fit (k = 7 on a 2×2
+        // input is legal: 2 + 2·3 = 8 ≥ 7), so the genuinely impossible
+        // case needs an even kernel on a unit extent: 1 + 2·6 = 13 < 14.
+        assert!(arch_to_network(&arch(&[(7, 4)]), (1, 2, 2)).is_ok());
+        assert!(arch_to_network(&arch(&[(14, 4)]), (1, 1, 1)).is_err());
+    }
+
+    #[test]
+    fn out_extent_matches_nn_conv_arithmetic() {
+        // Must agree with fnas-nn's Conv2d so the latency model sees the
+        // trained network's true shapes.
+        use fnas_nn::layer::Conv2d;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for k in [1usize, 3, 5, 7, 14] {
+            for extent in [16usize, 27, 28] {
+                let conv =
+                    Conv2d::new(1, 1, k, 1, Conv2d::half_pad(k), &mut rng).unwrap();
+                assert_eq!(
+                    conv_out_extent(extent, k),
+                    conv.out_extent(extent).filter(|&e| e > 0),
+                    "k={k} extent={extent}"
+                );
+            }
+        }
+    }
+}

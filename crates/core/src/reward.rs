@@ -1,0 +1,135 @@
+//! The FNAS reward function, Eq. (1) of the paper.
+//!
+//! ```text
+//!       ⎧ (rL − L)/rL − 1          if L > rL   (latency violated, no training)
+//! R  =  ⎨
+//!       ⎩ (A − b) + L/rL           if L ≤ rL   (valid; trained accuracy A)
+//! ```
+//!
+//! `b` is an exponential moving average of previous accuracies
+//! ([`EmaBaseline`](fnas_controller::reinforce::EmaBaseline)).
+//!
+//! In the violated branch the reward is strictly negative (it equals
+//! `−L/rL < −1` rearranged as written in the paper: `(rL − L)/rL − 1 =
+//! −L/rL`), and grows more negative the further the latency overshoots, so
+//! the controller is steered away from slow architectures without training
+//! them.
+
+use fnas_fpga::Millis;
+
+/// The reward of Eq. (1) in the latency-violated case (`latency > required`).
+///
+/// # Examples
+///
+/// ```
+/// use fnas::reward::violation_reward;
+/// use fnas_fpga::Millis;
+///
+/// // 2× over budget ⇒ −2.
+/// let r = violation_reward(Millis::new(10.0), Millis::new(5.0));
+/// assert!((r - (-2.0)).abs() < 1e-6);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `required` is non-positive.
+pub fn violation_reward(latency: Millis, required: Millis) -> f32 {
+    assert!(required.get() > 0.0, "required latency must be positive");
+    ((required.get() - latency.get()) / required.get() - 1.0) as f32
+}
+
+/// The reward of Eq. (1) in the valid case (`latency ≤ required`).
+///
+/// # Examples
+///
+/// ```
+/// use fnas::reward::valid_reward;
+/// use fnas_fpga::Millis;
+///
+/// let r = valid_reward(0.95, 0.90, Millis::new(4.0), Millis::new(5.0));
+/// assert!((r - (0.05 + 0.8)).abs() < 1e-6);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `required` is non-positive.
+pub fn valid_reward(accuracy: f32, baseline: f32, latency: Millis, required: Millis) -> f32 {
+    assert!(required.get() > 0.0, "required latency must be positive");
+    (accuracy - baseline) + (latency.get() / required.get()) as f32
+}
+
+/// Dispatches between the two branches of Eq. (1).
+///
+/// Returns `(reward, violated)`; when `violated` is `true` the child was
+/// never trained and `accuracy`/`baseline` were ignored.
+///
+/// # Panics
+///
+/// Panics if `required` is non-positive.
+pub fn fnas_reward(
+    accuracy: f32,
+    baseline: f32,
+    latency: Millis,
+    required: Millis,
+) -> (f32, bool) {
+    if latency.get() > required.get() {
+        (violation_reward(latency, required), true)
+    } else {
+        (valid_reward(accuracy, baseline, latency, required), false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_is_always_negative_and_monotone() {
+        let r1 = violation_reward(Millis::new(5.1), Millis::new(5.0));
+        let r2 = violation_reward(Millis::new(10.0), Millis::new(5.0));
+        let r3 = violation_reward(Millis::new(50.0), Millis::new(5.0));
+        assert!(r1 < 0.0);
+        assert!(r2 < r1);
+        assert!(r3 < r2);
+    }
+
+    #[test]
+    fn violation_equals_negative_latency_ratio() {
+        // (rL − L)/rL − 1 simplifies to −L/rL.
+        let r = violation_reward(Millis::new(7.81 * 2.0), Millis::new(2.0));
+        assert!((r - (-7.81)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn valid_reward_grows_with_accuracy() {
+        let lo = valid_reward(0.90, 0.9, Millis::new(3.0), Millis::new(5.0));
+        let hi = valid_reward(0.99, 0.9, Millis::new(3.0), Millis::new(5.0));
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn valid_reward_prefers_latency_close_to_budget() {
+        // The paper: "a solution has higher performance reward if its
+        // latency approaches the required level".
+        let near = valid_reward(0.95, 0.9, Millis::new(4.9), Millis::new(5.0));
+        let far = valid_reward(0.95, 0.9, Millis::new(0.5), Millis::new(5.0));
+        assert!(near > far);
+    }
+
+    #[test]
+    fn dispatch_chooses_the_right_branch() {
+        let (r, violated) = fnas_reward(0.99, 0.9, Millis::new(6.0), Millis::new(5.0));
+        assert!(violated && r < 0.0);
+        let (r, violated) = fnas_reward(0.99, 0.9, Millis::new(4.0), Millis::new(5.0));
+        assert!(!violated && r > 0.0);
+        // Exactly on budget is valid (L ≤ rL).
+        let (_, violated) = fnas_reward(0.99, 0.9, Millis::new(5.0), Millis::new(5.0));
+        assert!(!violated);
+    }
+
+    #[test]
+    #[should_panic(expected = "required latency")]
+    fn zero_budget_panics() {
+        let _ = fnas_reward(0.9, 0.9, Millis::new(1.0), Millis::new(0.0));
+    }
+}

@@ -1,0 +1,730 @@
+//! The search loops: the NAS baseline of \[16\] and FNAS with early pruning.
+//!
+//! Both loops share the controller, the dataset and the accuracy oracle;
+//! they differ exactly where the paper says they do:
+//!
+//! * **NAS** trains *every* sampled child and rewards `A − b`;
+//! * **FNAS** first runs the FNAS tool to get the child's latency `L`; if
+//!   `L > rL` the child is **not trained** and receives the negative reward
+//!   of Eq. (1), otherwise it is trained and rewarded `(A − b) + L/rL`.
+//!
+//! The search cost (Table 1's "search time") accumulates per the
+//! [`CostModel`]: full training cost for trained children, one analyzer
+//! call for pruned ones.
+
+use fnas_controller::arch::ChildArch;
+use fnas_controller::reinforce::{EmaBaseline, ReinforceTrainer, DEFAULT_LR};
+use fnas_controller::rnn::PolicyRnn;
+use fnas_fpga::device::FpgaCluster;
+use fnas_fpga::Millis;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::cost::{CostModel, SearchCost};
+use crate::report::{pct, Table};
+use crate::evaluator::{AccuracyEvaluator, SurrogateEvaluator, TrainedEvaluator};
+use crate::experiment::ExperimentPreset;
+use crate::latency::LatencyEvaluator;
+use crate::mapping::arch_to_network;
+use crate::{FnasError, Result};
+
+/// Which search the loop runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SearchMode {
+    /// Accuracy-only NAS \[16\] (the baseline).
+    Nas,
+    /// FPGA-implementation aware search with the given latency budget.
+    Fnas {
+        /// The required latency `rL`.
+        required: Millis,
+    },
+}
+
+impl SearchMode {
+    /// The latency budget, if this is an FNAS run.
+    pub fn required_latency(&self) -> Option<Millis> {
+        match self {
+            SearchMode::Nas => None,
+            SearchMode::Fnas { required } => Some(*required),
+        }
+    }
+}
+
+/// Configuration of one search run.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    preset: ExperimentPreset,
+    mode: SearchMode,
+    seed: u64,
+    baseline_decay: f32,
+    controller_lr: f32,
+    entropy_weight: f32,
+    prune: bool,
+    cluster: Option<FpgaCluster>,
+    required_accuracy: Option<f32>,
+}
+
+impl SearchConfig {
+    /// A NAS-baseline run over `preset`.
+    pub fn nas(preset: ExperimentPreset) -> Self {
+        SearchConfig {
+            preset,
+            mode: SearchMode::Nas,
+            seed: 0xF0A5,
+            baseline_decay: 0.8,
+            controller_lr: DEFAULT_LR,
+            entropy_weight: 0.02,
+            prune: true,
+            cluster: None,
+            required_accuracy: None,
+        }
+    }
+
+    /// An FNAS run over `preset` with a latency budget in milliseconds.
+    pub fn fnas(preset: ExperimentPreset, required_ms: f64) -> Self {
+        SearchConfig {
+            preset,
+            mode: SearchMode::Fnas {
+                required: Millis::new(required_ms),
+            },
+            seed: 0xF0A5,
+            baseline_decay: 0.8,
+            controller_lr: DEFAULT_LR,
+            entropy_weight: 0.02,
+            prune: true,
+            cluster: None,
+            required_accuracy: None,
+        }
+    }
+
+    /// Replaces the RNG seed (controller init and sampling).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the controller learning rate.
+    #[must_use]
+    pub fn with_controller_lr(mut self, lr: f32) -> Self {
+        self.controller_lr = lr;
+        self
+    }
+
+    /// Replaces the controller entropy bonus (0 disables it).
+    #[must_use]
+    pub fn with_entropy_weight(mut self, weight: f32) -> Self {
+        self.entropy_weight = weight;
+        self
+    }
+
+    /// The controller learning rate.
+    pub fn controller_lr(&self) -> f32 {
+        self.controller_lr
+    }
+
+    /// The controller entropy bonus weight.
+    pub fn entropy_weight(&self) -> f32 {
+        self.entropy_weight
+    }
+
+    /// Ablation: when `false`, latency-violating children still receive the
+    /// negative Eq. (1) reward but are *trained anyway* (and billed for it),
+    /// isolating how much of FNAS's speedup comes from early pruning.
+    #[must_use]
+    pub fn with_pruning(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Whether latency-violating children are pruned without training.
+    pub fn pruning(&self) -> bool {
+        self.prune
+    }
+
+    /// Targets a multi-FPGA cluster instead of the preset's single device
+    /// (the paper's schedule paradigm explicitly covers multi-FPGA systems
+    /// \[4, 14\]).
+    #[must_use]
+    pub fn on_cluster(mut self, cluster: FpgaCluster) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// The target platform: the explicit cluster if one was set, else the
+    /// preset's device.
+    pub fn platform(&self) -> FpgaCluster {
+        self.cluster
+            .clone()
+            .unwrap_or_else(|| FpgaCluster::single(self.preset.device().clone()))
+    }
+
+    /// Stops the search early once a (spec-satisfying) child reaches this
+    /// accuracy — the paper's `rA` termination criterion (§2: "the search
+    /// process will be stopped if … the accuracy of child network satisfies
+    /// the required accuracy rA").
+    #[must_use]
+    pub fn with_required_accuracy(mut self, accuracy: f32) -> Self {
+        self.required_accuracy = Some(accuracy);
+        self
+    }
+
+    /// The early-stop accuracy, if any.
+    pub fn required_accuracy(&self) -> Option<f32> {
+        self.required_accuracy
+    }
+
+    /// The experiment preset.
+    pub fn preset(&self) -> &ExperimentPreset {
+        &self.preset
+    }
+
+    /// The search mode.
+    pub fn mode(&self) -> SearchMode {
+        self.mode
+    }
+
+    /// The RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Everything recorded about one explored child.
+#[derive(Debug, Clone)]
+pub struct TrialRecord {
+    /// Trial index (0-based).
+    pub index: usize,
+    /// The sampled architecture.
+    pub arch: ChildArch,
+    /// FPGA latency, when it was computed (always for FNAS; post-hoc for
+    /// NAS reporting, at zero modelled cost).
+    pub latency: Option<Millis>,
+    /// Trained/surrogate accuracy, when the child was evaluated.
+    pub accuracy: Option<f32>,
+    /// The reward fed to the controller.
+    pub reward: f32,
+    /// Whether the child was trained (false = pruned by the FNAS tool).
+    pub trained: bool,
+}
+
+impl TrialRecord {
+    /// `true` when this trial's latency meets `required`.
+    pub fn meets(&self, required: Millis) -> bool {
+        self.latency.is_some_and(|l| l.get() <= required.get())
+    }
+}
+
+/// The result of one search run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    mode: SearchMode,
+    trials: Vec<TrialRecord>,
+    cost: SearchCost,
+}
+
+impl SearchOutcome {
+    /// All trials in exploration order.
+    pub fn trials(&self) -> &[TrialRecord] {
+        &self.trials
+    }
+
+    /// The mode this outcome was produced under.
+    pub fn mode(&self) -> SearchMode {
+        self.mode
+    }
+
+    /// Modelled search cost (the paper's "search time").
+    pub fn cost(&self) -> SearchCost {
+        self.cost
+    }
+
+    /// The architecture the run would deploy: the highest-accuracy trained
+    /// child — restricted to spec-satisfying children for FNAS runs.
+    pub fn best(&self) -> Option<&TrialRecord> {
+        let required = self.mode.required_latency();
+        self.trials
+            .iter()
+            .filter(|t| t.accuracy.is_some())
+            .filter(|t| match required {
+                Some(r) => t.meets(r),
+                None => true,
+            })
+            .max_by(|a, b| {
+                a.accuracy
+                    .partial_cmp(&b.accuracy)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Number of children that were actually trained.
+    pub fn trained_count(&self) -> usize {
+        self.trials.iter().filter(|t| t.trained).count()
+    }
+
+    /// Number of children pruned without training.
+    pub fn pruned_count(&self) -> usize {
+        self.trials.len() - self.trained_count()
+    }
+
+    /// Renders all trials as a markdown/CSV-ready [`Table`] (the format the
+    /// examples and the benchmark harness print).
+    pub fn summary_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "trial",
+            "architecture",
+            "latency",
+            "accuracy",
+            "reward",
+        ]);
+        for t in &self.trials {
+            table.push_row(vec![
+                t.index.to_string(),
+                t.arch.describe(),
+                t.latency.map_or("—".to_string(), |l| l.to_string()),
+                t.accuracy.map_or("pruned".to_string(), pct),
+                format!("{:+.3}", t.reward),
+            ]);
+        }
+        table
+    }
+
+    /// The accuracy–latency Pareto front over all trained trials: trials
+    /// for which no other trial is both at least as accurate *and* at
+    /// least as fast (strictly better in one dimension). Sorted by latency.
+    ///
+    /// Useful for the designer-facing view the paper motivates ("the
+    /// flexibility of FNAS provides more choices for designers").
+    pub fn pareto_front(&self) -> Vec<&TrialRecord> {
+        let mut candidates: Vec<&TrialRecord> = self
+            .trials
+            .iter()
+            .filter(|t| t.accuracy.is_some() && t.latency.is_some())
+            .collect();
+        candidates.sort_by(|a, b| {
+            let la = a.latency.expect("filtered").get();
+            let lb = b.latency.expect("filtered").get();
+            la.partial_cmp(&lb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut front: Vec<&TrialRecord> = Vec::new();
+        let mut best_acc = f32::NEG_INFINITY;
+        for t in candidates {
+            let acc = t.accuracy.expect("filtered");
+            if acc > best_acc {
+                front.push(t);
+                best_acc = acc;
+            }
+        }
+        front
+    }
+}
+
+/// The reusable search engine: controller + oracles + cost accounting.
+#[derive(Debug)]
+pub struct Searcher {
+    trainer: ReinforceTrainer,
+    latency_eval: LatencyEvaluator,
+    evaluator: Box<dyn AccuracyEvaluator>,
+    baseline: EmaBaseline,
+    cost_model: CostModel,
+    rng: StdRng,
+}
+
+impl Searcher {
+    /// Builds a searcher that scores accuracy with the calibrated
+    /// surrogate — the configuration used by the paper-scale sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller construction and preset validation errors.
+    pub fn surrogate(config: &SearchConfig) -> Result<Self> {
+        let evaluator = Box::new(SurrogateEvaluator::new(config.preset().calibration()));
+        Searcher::with_evaluator(config, evaluator)
+    }
+
+    /// Builds a searcher that really trains each child on the preset's
+    /// (possibly scaled) synthetic dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset generation errors in addition to
+    /// [`Searcher::surrogate`]'s.
+    pub fn trained(config: &SearchConfig, batch_size: usize) -> Result<Self> {
+        let evaluator = Box::new(TrainedEvaluator::new(
+            config.preset().dataset(),
+            config.preset().epochs(),
+            batch_size,
+        )?);
+        Searcher::with_evaluator(config, evaluator)
+    }
+
+    /// Builds a searcher around any accuracy oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller construction and preset validation errors.
+    pub fn with_evaluator(
+        config: &SearchConfig,
+        evaluator: Box<dyn AccuracyEvaluator>,
+    ) -> Result<Self> {
+        config.preset().validate()?;
+        let mut rng = StdRng::seed_from_u64(config.seed());
+        // A mild entropy bonus (default) keeps the 60-trial controller from
+        // collapsing into a latency-violating mode before it has seen a
+        // single valid child (the paper's cluster-scale runs amortise this
+        // over far more reward evaluations).
+        let policy = PolicyRnn::new(config.preset().space(), &mut rng)?
+            .with_entropy_weight(config.entropy_weight());
+        let trainer = ReinforceTrainer::with_policy(policy, config.controller_lr());
+        let latency_eval =
+            LatencyEvaluator::on_cluster(config.platform(), config.preset().dataset().shape());
+        Ok(Searcher {
+            trainer,
+            latency_eval,
+            evaluator,
+            baseline: EmaBaseline::new(0.8),
+            cost_model: CostModel::new(
+                config.preset().epochs(),
+                config.preset().dataset().train_size(),
+            ),
+            rng,
+        })
+    }
+
+    /// Replaces the cost model (e.g. for throughput sensitivity studies).
+    #[must_use]
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Runs the configured search to completion.
+    ///
+    /// `rng` drives child-weight initialisation and sampling; the
+    /// controller itself was seeded by the config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller and oracle errors. Architectures that cannot
+    /// be built at all (kernel larger than the input) are not errors: they
+    /// receive a strongly negative reward, like latency violations.
+    pub fn run(&mut self, config: &SearchConfig, rng: &mut dyn RngCore) -> Result<SearchOutcome> {
+        let preset = config.preset();
+        let mode = config.mode();
+        self.baseline = EmaBaseline::new(config.baseline_decay);
+        let mut trials = Vec::with_capacity(preset.trials());
+        let mut cost = SearchCost::default();
+        for index in 0..preset.trials() {
+            let sample = self.trainer.sample(&mut self.rng)?;
+            let arch = sample.arch().clone();
+            let record = match mode {
+                SearchMode::Fnas { required } => {
+                    cost.add(self.cost_model.analyzer_cost());
+                    match self.latency_eval.latency(&arch) {
+                        Err(_) => TrialRecord {
+                            index,
+                            arch,
+                            latency: None,
+                            accuracy: None,
+                            reward: UNBUILDABLE_REWARD,
+                            trained: false,
+                        },
+                        Ok(latency) if latency.get() > required.get() => {
+                            let reward = crate::reward::violation_reward(latency, required);
+                            if config.pruning() {
+                                TrialRecord {
+                                    index,
+                                    arch,
+                                    latency: Some(latency),
+                                    accuracy: None,
+                                    reward,
+                                    trained: false,
+                                }
+                            } else {
+                                // Ablation: pay for training even though the
+                                // child cannot be deployed.
+                                let accuracy = self.evaluator.evaluate(&arch, rng)?;
+                                cost.add(self.training_cost(&arch, preset)?);
+                                TrialRecord {
+                                    index,
+                                    arch,
+                                    latency: Some(latency),
+                                    accuracy: Some(accuracy),
+                                    reward,
+                                    trained: true,
+                                }
+                            }
+                        }
+                        Ok(latency) => {
+                            let accuracy = self.evaluator.evaluate(&arch, rng)?;
+                            let reward = crate::reward::valid_reward(
+                                accuracy,
+                                self.baseline.value(),
+                                latency,
+                                required,
+                            );
+                            self.baseline.observe(accuracy);
+                            cost.add(self.training_cost(&arch, preset)?);
+                            TrialRecord {
+                                index,
+                                arch,
+                                latency: Some(latency),
+                                accuracy: Some(accuracy),
+                                reward,
+                                trained: true,
+                            }
+                        }
+                    }
+                }
+                SearchMode::Nas => {
+                    match self.evaluator.evaluate(&arch, rng) {
+                        Err(FnasError::Nn(_)) | Err(FnasError::Fpga(_)) => TrialRecord {
+                            index,
+                            arch,
+                            latency: None,
+                            accuracy: None,
+                            reward: UNBUILDABLE_REWARD,
+                            trained: false,
+                        },
+                        Err(e) => return Err(e),
+                        Ok(accuracy) => {
+                            let reward = accuracy - self.baseline.value();
+                            self.baseline.observe(accuracy);
+                            cost.add(self.training_cost(&arch, preset)?);
+                            // Latency recorded post-hoc for reporting only —
+                            // plain NAS never consults the FPGA model, so no
+                            // analyzer cost is charged.
+                            let latency = self.latency_eval.latency(&arch).ok();
+                            TrialRecord {
+                                index,
+                                arch,
+                                latency,
+                                accuracy: Some(accuracy),
+                                reward,
+                                trained: true,
+                            }
+                        }
+                    }
+                }
+            };
+            self.trainer.update(&sample, record.reward)?;
+            let satisfied = config.required_accuracy().is_some_and(|ra| {
+                record.accuracy.is_some_and(|a| a >= ra)
+            });
+            trials.push(record);
+            if satisfied {
+                break;
+            }
+        }
+        Ok(SearchOutcome { mode, trials, cost })
+    }
+
+    fn training_cost(&self, arch: &ChildArch, preset: &ExperimentPreset) -> Result<SearchCost> {
+        let network = arch_to_network(arch, preset.dataset().shape())?;
+        Ok(self.cost_model.training_cost(&network))
+    }
+}
+
+/// Reward for architectures that cannot be realised at all.
+const UNBUILDABLE_REWARD: f32 = -2.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_preset() -> ExperimentPreset {
+        ExperimentPreset::mnist().with_trials(12)
+    }
+
+    #[test]
+    fn fnas_prunes_and_nas_does_not() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // A tight budget on MNIST: plenty of children violate it.
+        let fnas_cfg = SearchConfig::fnas(quick_preset(), 2.0);
+        let fnas = Searcher::surrogate(&fnas_cfg)
+            .unwrap()
+            .run(&fnas_cfg, &mut rng)
+            .unwrap();
+        assert!(fnas.pruned_count() > 0, "tight spec should prune children");
+
+        let nas_cfg = SearchConfig::nas(quick_preset());
+        let nas = Searcher::surrogate(&nas_cfg)
+            .unwrap()
+            .run(&nas_cfg, &mut rng)
+            .unwrap();
+        assert_eq!(nas.pruned_count(), 0);
+        assert_eq!(nas.trained_count(), 12);
+    }
+
+    #[test]
+    fn fnas_is_cheaper_than_nas_under_a_tight_spec() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let nas_cfg = SearchConfig::nas(quick_preset());
+        let nas = Searcher::surrogate(&nas_cfg)
+            .unwrap()
+            .run(&nas_cfg, &mut rng)
+            .unwrap();
+        let fnas_cfg = SearchConfig::fnas(quick_preset(), 2.0);
+        let fnas = Searcher::surrogate(&fnas_cfg)
+            .unwrap()
+            .run(&fnas_cfg, &mut rng)
+            .unwrap();
+        assert!(
+            fnas.cost().total_seconds() < nas.cost().total_seconds(),
+            "fnas {} vs nas {}",
+            fnas.cost(),
+            nas.cost()
+        );
+    }
+
+    #[test]
+    fn fnas_best_always_meets_the_spec() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = SearchConfig::fnas(quick_preset().with_trials(20), 5.0);
+        let out = Searcher::surrogate(&cfg).unwrap().run(&cfg, &mut rng).unwrap();
+        if let Some(best) = out.best() {
+            assert!(best.meets(Millis::new(5.0)));
+            assert!(best.trained);
+            assert!(best.accuracy.is_some());
+        }
+        // Every violated trial has a negative reward and was not trained.
+        for t in out.trials() {
+            if let Some(l) = t.latency {
+                if l.get() > 5.0 {
+                    assert!(t.reward < 0.0);
+                    assert!(!t.trained);
+                    assert!(t.accuracy.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nas_best_is_global_accuracy_max() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = SearchConfig::nas(quick_preset());
+        let out = Searcher::surrogate(&cfg).unwrap().run(&cfg, &mut rng).unwrap();
+        let best = out.best().unwrap();
+        let max = out
+            .trials()
+            .iter()
+            .filter_map(|t| t.accuracy)
+            .fold(0.0f32, f32::max);
+        assert_eq!(best.accuracy.unwrap(), max);
+    }
+
+    #[test]
+    fn runs_are_reproducible_under_a_seed() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(4);
+            let cfg = SearchConfig::fnas(quick_preset(), 5.0).with_seed(77);
+            let out = Searcher::surrogate(&cfg).unwrap().run(&cfg, &mut rng).unwrap();
+            out.trials()
+                .iter()
+                .map(|t| (t.arch.describe(), t.reward.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn looser_specs_prune_less() {
+        let count_pruned = |ms: f64| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let cfg = SearchConfig::fnas(quick_preset().with_trials(30), ms);
+            Searcher::surrogate(&cfg)
+                .unwrap()
+                .run(&cfg, &mut rng)
+                .unwrap()
+                .pruned_count()
+        };
+        assert!(count_pruned(2.0) >= count_pruned(20.0));
+    }
+
+    #[test]
+    fn summary_table_has_one_row_per_trial() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let cfg = SearchConfig::fnas(quick_preset(), 5.0);
+        let out = Searcher::surrogate(&cfg).unwrap().run(&cfg, &mut rng).unwrap();
+        let table = out.summary_table();
+        assert_eq!(table.len(), out.trials().len());
+        let md = table.to_markdown();
+        assert!(md.contains("architecture"));
+    }
+
+    #[test]
+    fn pareto_front_is_monotone_and_non_dominated() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = SearchConfig::fnas(quick_preset().with_trials(25), 20.0);
+        let out = Searcher::surrogate(&cfg).unwrap().run(&cfg, &mut rng).unwrap();
+        let front = out.pareto_front();
+        assert!(!front.is_empty());
+        // Latency strictly increasing, accuracy strictly increasing.
+        for pair in front.windows(2) {
+            assert!(pair[0].latency.unwrap().get() < pair[1].latency.unwrap().get());
+            assert!(pair[0].accuracy.unwrap() < pair[1].accuracy.unwrap());
+        }
+        // No trained trial dominates a front member.
+        for f in &front {
+            for t in out.trials() {
+                if let (Some(acc), Some(lat)) = (t.accuracy, t.latency) {
+                    let dominates = acc >= f.accuracy.unwrap()
+                        && lat.get() <= f.latency.unwrap().get()
+                        && (acc > f.accuracy.unwrap() || lat.get() < f.latency.unwrap().get());
+                    assert!(!dominates, "{} dominates {}", t.arch.describe(), f.arch.describe());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn required_accuracy_stops_the_search_early() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // A very permissive rA: the first trained child satisfies it.
+        let cfg = SearchConfig::nas(quick_preset().with_trials(50))
+            .with_required_accuracy(0.5);
+        let out = Searcher::surrogate(&cfg).unwrap().run(&cfg, &mut rng).unwrap();
+        assert!(out.trials().len() < 50, "ran {} trials", out.trials().len());
+        let last = out.trials().last().unwrap();
+        assert!(last.accuracy.unwrap() >= 0.5);
+        // An unreachable rA never triggers.
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = SearchConfig::nas(quick_preset()).with_required_accuracy(2.0);
+        let out = Searcher::surrogate(&cfg).unwrap().run(&cfg, &mut rng).unwrap();
+        assert_eq!(out.trials().len(), 12);
+    }
+
+    #[test]
+    fn cluster_target_loosens_the_same_budget() {
+        // The same tight budget prunes fewer children on a 4-board platform.
+        use fnas_fpga::device::FpgaDevice;
+        let pruned_on = |boards: usize| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut cfg = SearchConfig::fnas(quick_preset().with_trials(20), 3.0).with_seed(7);
+            if boards > 1 {
+                cfg = cfg.on_cluster(
+                    FpgaCluster::homogeneous(FpgaDevice::xc7z020(), boards, 32.0)
+                        .expect("valid cluster"),
+                );
+            }
+            Searcher::surrogate(&cfg)
+                .unwrap()
+                .run(&cfg, &mut rng)
+                .unwrap()
+                .pruned_count()
+        };
+        assert!(pruned_on(4) <= pruned_on(1));
+    }
+
+    #[test]
+    fn mode_accessors() {
+        assert_eq!(SearchMode::Nas.required_latency(), None);
+        let m = SearchMode::Fnas {
+            required: Millis::new(3.0),
+        };
+        assert_eq!(m.required_latency().unwrap().get(), 3.0);
+        let cfg = SearchConfig::fnas(quick_preset(), 3.0);
+        assert!(matches!(cfg.mode(), SearchMode::Fnas { .. }));
+        assert_eq!(SearchConfig::nas(quick_preset()).mode(), SearchMode::Nas);
+    }
+}

@@ -1,0 +1,253 @@
+/// Which procedural pattern family class prototypes are drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PatternKind {
+    /// Smooth sums of random plane waves (the default): translation-
+    /// sensitive, band-limited textures.
+    #[default]
+    Waves,
+    /// Sums of random Gaussian blobs: localised features, closer in spirit
+    /// to object-centric images.
+    Blobs,
+}
+
+/// Configuration of a synthetic classification problem.
+///
+/// Presets mirror the three corpora of the FNAS paper (Table 2): the tensor
+/// shapes match the real datasets, and the default split sizes match the
+/// paper's counts. Production-scale sizes are expensive to train on a single
+/// CPU core, so [`SynthConfig::with_sizes`] (or
+/// [`SynthConfig::scaled`]) shrinks a preset while keeping its shape and
+/// difficulty.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_data::SynthConfig;
+///
+/// let c = SynthConfig::cifar_like().scaled(0.01);
+/// assert_eq!(c.shape(), (3, 32, 32));
+/// assert_eq!(c.train_size(), 450);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    name: String,
+    channels: usize,
+    height: usize,
+    width: usize,
+    classes: usize,
+    train_size: usize,
+    val_size: usize,
+    noise: f32,
+    max_shift: usize,
+    seed: u64,
+    pattern: PatternKind,
+}
+
+impl SynthConfig {
+    /// A generic configuration; prefer the named presets.
+    pub fn new(
+        name: impl Into<String>,
+        shape: (usize, usize, usize),
+        classes: usize,
+        train_size: usize,
+        val_size: usize,
+    ) -> Self {
+        SynthConfig {
+            name: name.into(),
+            channels: shape.0,
+            height: shape.1,
+            width: shape.2,
+            classes,
+            train_size,
+            val_size,
+            noise: 0.3,
+            max_shift: 2,
+            seed: 0xF9A5,
+            pattern: PatternKind::default(),
+        }
+    }
+
+    /// MNIST-like: `1 × 28 × 28`, 10 classes, 60 000 / 10 000 split
+    /// (Table 2 of the paper).
+    pub fn mnist_like() -> Self {
+        let mut c = SynthConfig::new("mnist-like", (1, 28, 28), 10, 60_000, 10_000);
+        c.noise = 0.25;
+        c
+    }
+
+    /// CIFAR-10-like: `3 × 32 × 32`, 10 classes, 45 000 / 5 000 split.
+    pub fn cifar_like() -> Self {
+        let mut c = SynthConfig::new("cifar-like", (3, 32, 32), 10, 45_000, 5_000);
+        c.noise = 0.45;
+        c
+    }
+
+    /// Reduced-ImageNet-like: `3 × 48 × 48`, 20 classes, 4 500 / 500 split
+    /// (the paper itself uses a reduced ImageNet of 4 500 / 500 examples;
+    /// 48×48 images and 20 classes keep the synthetic stand-in tractable
+    /// and its ImageNet-space children inside the Table 2 timing budgets,
+    /// see DESIGN.md §2).
+    pub fn imagenet_like() -> Self {
+        let mut c = SynthConfig::new("imagenet-like", (3, 48, 48), 20, 4_500, 500);
+        c.noise = 0.6;
+        c.max_shift = 4;
+        c
+    }
+
+    /// Replaces the split sizes.
+    #[must_use]
+    pub fn with_sizes(mut self, train: usize, val: usize) -> Self {
+        self.train_size = train;
+        self.val_size = val;
+        self
+    }
+
+    /// Multiplies both split sizes by `fraction` (flooring, min 1 each).
+    #[must_use]
+    pub fn scaled(self, fraction: f64) -> Self {
+        let train = ((self.train_size as f64 * fraction) as usize).max(1);
+        let val = ((self.val_size as f64 * fraction) as usize).max(1);
+        self.with_sizes(train, val)
+    }
+
+    /// Replaces the class count.
+    #[must_use]
+    pub fn with_classes(mut self, classes: usize) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Replaces the per-pixel Gaussian noise level (σ); higher is harder.
+    #[must_use]
+    pub fn with_noise(mut self, noise: f32) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Replaces the maximum translation jitter in pixels.
+    #[must_use]
+    pub fn with_max_shift(mut self, max_shift: usize) -> Self {
+        self.max_shift = max_shift;
+        self
+    }
+
+    /// Replaces the generation seed (prototypes *and* samples derive from it).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the pattern family prototypes are drawn from.
+    #[must_use]
+    pub fn with_pattern(mut self, pattern: PatternKind) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Replaces the image shape `(channels, height, width)`.
+    #[must_use]
+    pub fn with_shape(mut self, shape: (usize, usize, usize)) -> Self {
+        self.channels = shape.0;
+        self.height = shape.1;
+        self.width = shape.2;
+        self
+    }
+
+    /// Human-readable preset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Image shape `(channels, height, width)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Number of training examples.
+    pub fn train_size(&self) -> usize {
+        self.train_size
+    }
+
+    /// Number of validation examples.
+    pub fn val_size(&self) -> usize {
+        self.val_size
+    }
+
+    /// Per-pixel Gaussian noise σ.
+    pub fn noise(&self) -> f32 {
+        self.noise
+    }
+
+    /// Maximum translation jitter in pixels.
+    pub fn max_shift(&self) -> usize {
+        self.max_shift
+    }
+
+    /// Generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The pattern family.
+    pub fn pattern(&self) -> PatternKind {
+        self.pattern
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_2_sizes() {
+        let m = SynthConfig::mnist_like();
+        assert_eq!((m.train_size(), m.val_size()), (60_000, 10_000));
+        let c = SynthConfig::cifar_like();
+        assert_eq!((c.train_size(), c.val_size()), (45_000, 5_000));
+        let i = SynthConfig::imagenet_like();
+        assert_eq!((i.train_size(), i.val_size()), (4_500, 500));
+    }
+
+    #[test]
+    fn preset_shapes_match_the_real_corpora() {
+        assert_eq!(SynthConfig::mnist_like().shape(), (1, 28, 28));
+        assert_eq!(SynthConfig::cifar_like().shape(), (3, 32, 32));
+        assert_eq!(SynthConfig::imagenet_like().shape(), (3, 48, 48));
+    }
+
+    #[test]
+    fn scaled_floors_but_never_zeroes() {
+        let c = SynthConfig::mnist_like().scaled(0.0001);
+        assert_eq!(c.train_size(), 6);
+        assert_eq!(c.val_size(), 1);
+        let tiny = SynthConfig::imagenet_like().scaled(1e-9);
+        assert_eq!(tiny.train_size(), 1);
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let c = SynthConfig::mnist_like()
+            .with_classes(4)
+            .with_noise(0.9)
+            .with_max_shift(5)
+            .with_seed(77)
+            .with_shape((2, 8, 8));
+        assert_eq!(c.classes(), 4);
+        assert_eq!(c.noise(), 0.9);
+        assert_eq!(c.max_shift(), 5);
+        assert_eq!(c.seed(), 77);
+        assert_eq!(c.shape(), (2, 8, 8));
+        assert_eq!(c.name(), "mnist-like");
+        assert_eq!(c.pattern(), PatternKind::Waves);
+        assert_eq!(
+            c.with_pattern(PatternKind::Blobs).pattern(),
+            PatternKind::Blobs
+        );
+    }
+}

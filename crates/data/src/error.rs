@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+use fnas_nn::NnError;
+
+/// Errors produced while configuring or generating synthetic datasets.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_data::{SynthConfig, SynthDataset};
+///
+/// let bad = SynthConfig::mnist_like().with_classes(0);
+/// assert!(SynthDataset::generate(&bad).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// A configuration value is invalid (zero classes, empty shape, …).
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        what: String,
+    },
+    /// Batch assembly failed in the training substrate.
+    Nn(NnError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidConfig { what } => write!(f, "invalid dataset config: {what}"),
+            DataError::Nn(e) => write!(f, "batch assembly failed: {e}"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for DataError {
+    fn from(e: NnError) -> Self {
+        DataError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+
+    #[test]
+    fn nn_error_keeps_source() {
+        let err: DataError = NnError::InvalidConfig {
+            what: "x".to_string(),
+        }
+        .into();
+        assert!(err.source().is_some());
+    }
+}

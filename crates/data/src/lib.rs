@@ -1,0 +1,40 @@
+//! Synthetic image-classification datasets for the FNAS reproduction.
+//!
+//! The FNAS paper evaluates on MNIST, CIFAR-10 and a reduced ImageNet. Those
+//! corpora are not available in this environment, so this crate generates
+//! *procedural* classification problems with the same tensor shapes and a
+//! controllable difficulty: each class is a smooth random prototype pattern
+//! (a sum of seeded sinusoids), and each example is its class prototype under
+//! a random translation plus Gaussian pixel noise. The NAS search loop only
+//! ever consumes the scalar accuracy a trained child network achieves, so
+//! any dataset with tunable class structure exercises the identical
+//! train → validate → reward path (see DESIGN.md §2).
+//!
+//! # Examples
+//!
+//! ```
+//! use fnas_data::{SynthConfig, SynthDataset};
+//!
+//! # fn main() -> Result<(), fnas_data::DataError> {
+//! let config = SynthConfig::mnist_like().with_sizes(64, 32);
+//! let dataset = SynthDataset::generate(&config)?;
+//! assert_eq!(dataset.train().len(), 64);
+//! let batches = dataset.train().batches(16)?;
+//! assert_eq!(batches.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod synth;
+
+pub use config::{PatternKind, SynthConfig};
+pub use error::DataError;
+pub use synth::{Split, SynthDataset};
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,446 @@
+//! Procedural sample generation.
+
+use fnas_nn::train::Batch;
+use fnas_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{DataError, PatternKind, Result, SynthConfig};
+
+/// Number of sinusoidal components per class prototype.
+const PROTO_WAVES: usize = 4;
+/// Number of Gaussian blobs per class prototype.
+const PROTO_BLOBS: usize = 5;
+
+/// One split (train or validation) of a generated dataset.
+///
+/// Examples are stored as one flat `Vec<f32>` in NCHW order with parallel
+/// labels, and materialised into [`Batch`]es on demand.
+#[derive(Debug, Clone)]
+pub struct Split {
+    data: Vec<f32>,
+    labels: Vec<usize>,
+    channels: usize,
+    height: usize,
+    width: usize,
+}
+
+impl Split {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the split holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Per-example shape `(channels, height, width)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Labels of all examples, in order.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Materialises the split into batches of at most `batch_size` examples
+    /// (the final batch may be smaller).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] if `batch_size` is zero.
+    pub fn batches(&self, batch_size: usize) -> Result<Vec<Batch>> {
+        if batch_size == 0 {
+            return Err(DataError::InvalidConfig {
+                what: "batch size must be non-zero".to_string(),
+            });
+        }
+        let example = self.channels * self.height * self.width;
+        let mut out = Vec::with_capacity(self.len().div_ceil(batch_size));
+        let mut start = 0usize;
+        while start < self.len() {
+            let end = (start + batch_size).min(self.len());
+            let n = end - start;
+            let images = Tensor::from_vec(
+                self.data[start * example..end * example].to_vec(),
+                &[n, self.channels, self.height, self.width][..],
+            )
+            .map_err(fnas_nn::NnError::from)?;
+            out.push(Batch::new(images, self.labels[start..end].to_vec())?);
+            start = end;
+        }
+        Ok(out)
+    }
+
+    /// A single example as a `[1, c, h, w]` tensor plus its label, or `None`
+    /// when out of range.
+    pub fn example(&self, index: usize) -> Option<(Tensor, usize)> {
+        if index >= self.len() {
+            return None;
+        }
+        let example = self.channels * self.height * self.width;
+        let image = Tensor::from_vec(
+            self.data[index * example..(index + 1) * example].to_vec(),
+            &[1, self.channels, self.height, self.width][..],
+        )
+        .expect("slice length matches shape");
+        Some((image, self.labels[index]))
+    }
+}
+
+/// A generated dataset: train and validation splits drawn from the same
+/// class prototypes.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_data::{SynthConfig, SynthDataset};
+///
+/// # fn main() -> Result<(), fnas_data::DataError> {
+/// let dataset = SynthDataset::generate(
+///     &SynthConfig::mnist_like().with_sizes(32, 16),
+/// )?;
+/// assert_eq!(dataset.config().classes(), 10);
+/// assert_eq!(dataset.val().len(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthDataset {
+    config: SynthConfig,
+    train: Split,
+    val: Split,
+}
+
+impl SynthDataset {
+    /// Generates a dataset according to `config`.
+    ///
+    /// Deterministic in `config.seed()`: the same configuration always
+    /// produces identical splits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] for zero classes, an empty image
+    /// shape, or a zero-sized training split.
+    pub fn generate(config: &SynthConfig) -> Result<Self> {
+        let (c, h, w) = config.shape();
+        if config.classes() == 0 {
+            return Err(DataError::InvalidConfig {
+                what: "at least one class is required".to_string(),
+            });
+        }
+        if c == 0 || h == 0 || w == 0 {
+            return Err(DataError::InvalidConfig {
+                what: format!("image shape must be non-empty, got ({c}, {h}, {w})"),
+            });
+        }
+        if config.train_size() == 0 {
+            return Err(DataError::InvalidConfig {
+                what: "training split must be non-empty".to_string(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed());
+        let prototypes = Prototypes::generate(config, &mut rng);
+        let train = generate_split(config, &prototypes, config.train_size(), &mut rng);
+        let val = generate_split(config, &prototypes, config.val_size(), &mut rng);
+        Ok(SynthDataset {
+            config: config.clone(),
+            train,
+            val,
+        })
+    }
+
+    /// The configuration this dataset was generated from.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// The training split.
+    pub fn train(&self) -> &Split {
+        &self.train
+    }
+
+    /// The validation split.
+    pub fn val(&self) -> &Split {
+        &self.val
+    }
+}
+
+/// Per-class smooth prototype patterns.
+#[derive(Debug)]
+struct Prototypes {
+    /// `classes × (c·h·w)` prototype pixels.
+    pixels: Vec<Vec<f32>>,
+}
+
+impl Prototypes {
+    fn generate(config: &SynthConfig, rng: &mut StdRng) -> Self {
+        let mut pixels = Vec::with_capacity(config.classes());
+        for _ in 0..config.classes() {
+            let proto = match config.pattern() {
+                PatternKind::Waves => Prototypes::waves(config, rng),
+                PatternKind::Blobs => Prototypes::blobs(config, rng),
+            };
+            pixels.push(proto);
+        }
+        Prototypes { pixels }
+    }
+
+    /// A smooth sum of random plane waves per channel: translation-
+    /// sensitive, band-limited, class-distinctive.
+    fn waves(config: &SynthConfig, rng: &mut StdRng) -> Vec<f32> {
+        let (c, h, w) = config.shape();
+        {
+            let mut proto = vec![0.0f32; c * h * w];
+            for ch in 0..c {
+                let mut waves = Vec::with_capacity(PROTO_WAVES);
+                for _ in 0..PROTO_WAVES {
+                    let fx: f32 = rng.gen_range(0.5..3.0);
+                    let fy: f32 = rng.gen_range(0.5..3.0);
+                    let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+                    let amp: f32 = rng.gen_range(0.3..1.0);
+                    waves.push((fx, fy, phase, amp));
+                }
+                for r in 0..h {
+                    for col in 0..w {
+                        let mut v = 0.0f32;
+                        for &(fx, fy, phase, amp) in &waves {
+                            let x = col as f32 / w as f32;
+                            let y = r as f32 / h as f32;
+                            v += amp
+                                * (std::f32::consts::TAU * (fx * x + fy * y) + phase).sin();
+                        }
+                        proto[ch * h * w + r * w + col] = v / PROTO_WAVES as f32;
+                    }
+                }
+            }
+            proto
+        }
+    }
+
+    /// A sum of random Gaussian blobs per channel: localised features.
+    fn blobs(config: &SynthConfig, rng: &mut StdRng) -> Vec<f32> {
+        let (c, h, w) = config.shape();
+        let mut proto = vec![0.0f32; c * h * w];
+        for ch in 0..c {
+            let blobs: Vec<(f32, f32, f32, f32)> = (0..PROTO_BLOBS)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.0..w as f32),
+                        rng.gen_range(0.0..h as f32),
+                        rng.gen_range((w.min(h) as f32 / 8.0).max(0.5)..(w.min(h) as f32 / 3.0).max(1.0)),
+                        rng.gen_range(-1.0f32..1.0),
+                    )
+                })
+                .collect();
+            for r in 0..h {
+                for col in 0..w {
+                    let mut v = 0.0f32;
+                    for &(cx, cy, sigma, amp) in &blobs {
+                        let dx = col as f32 - cx;
+                        let dy = r as f32 - cy;
+                        v += amp * (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp();
+                    }
+                    proto[ch * h * w + r * w + col] = v;
+                }
+            }
+        }
+        proto
+    }
+}
+
+fn generate_split(
+    config: &SynthConfig,
+    prototypes: &Prototypes,
+    count: usize,
+    rng: &mut StdRng,
+) -> Split {
+    let (c, h, w) = config.shape();
+    let example = c * h * w;
+    let mut data = vec![0.0f32; count * example];
+    let mut labels = Vec::with_capacity(count);
+    let shift = config.max_shift() as isize;
+    for i in 0..count {
+        let class = i % config.classes();
+        labels.push(class);
+        let proto = &prototypes.pixels[class];
+        let dx: isize = if shift > 0 { rng.gen_range(-shift..=shift) } else { 0 };
+        let dy: isize = if shift > 0 { rng.gen_range(-shift..=shift) } else { 0 };
+        let out = &mut data[i * example..(i + 1) * example];
+        for ch in 0..c {
+            for r in 0..h {
+                // Toroidal shift keeps energy constant across jitters.
+                let sr = (r as isize + dy).rem_euclid(h as isize) as usize;
+                for col in 0..w {
+                    let sc = (col as isize + dx).rem_euclid(w as isize) as usize;
+                    out[ch * h * w + r * w + col] = proto[ch * h * w + sr * w + sc];
+                }
+            }
+        }
+        if config.noise() > 0.0 {
+            for v in out.iter_mut() {
+                // Box–Muller; one sample per pixel is fine here.
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                let n = (-2.0 * u1.ln()).sqrt()
+                    * (std::f32::consts::TAU * u2).cos();
+                *v += config.noise() * n;
+            }
+        }
+    }
+    Split {
+        data,
+        labels,
+        channels: c,
+        height: h,
+        width: w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SynthConfig {
+        SynthConfig::mnist_like()
+            .with_shape((1, 8, 8))
+            .with_classes(3)
+            .with_sizes(30, 12)
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = SynthDataset::generate(&tiny()).unwrap();
+        let b = SynthDataset::generate(&tiny()).unwrap();
+        assert_eq!(a.train().data, b.train().data);
+        let c = SynthDataset::generate(&tiny().with_seed(123)).unwrap();
+        assert_ne!(a.train().data, c.train().data);
+    }
+
+    #[test]
+    fn labels_cycle_through_classes() {
+        let d = SynthDataset::generate(&tiny()).unwrap();
+        assert_eq!(&d.train().labels()[..6], &[0, 1, 2, 0, 1, 2]);
+        assert_eq!(d.train().len(), 30);
+        assert_eq!(d.val().len(), 12);
+    }
+
+    #[test]
+    fn batches_cover_every_example_once() {
+        let d = SynthDataset::generate(&tiny()).unwrap();
+        let batches = d.train().batches(7).unwrap();
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 30);
+        assert_eq!(batches.len(), 5);
+        assert_eq!(batches.last().unwrap().len(), 2);
+        assert!(d.train().batches(0).is_err());
+    }
+
+    #[test]
+    fn example_accessor_matches_batches() {
+        let d = SynthDataset::generate(&tiny()).unwrap();
+        let (img, label) = d.val().example(3).unwrap();
+        assert_eq!(img.shape().dims(), &[1, 1, 8, 8]);
+        assert_eq!(label, d.val().labels()[3]);
+        assert!(d.val().example(99).is_none());
+    }
+
+    #[test]
+    fn same_class_examples_correlate_more_than_cross_class() {
+        let d = SynthDataset::generate(&tiny().with_noise(0.05).with_max_shift(0)).unwrap();
+        let (a0, _) = d.train().example(0).unwrap(); // class 0
+        let (b0, _) = d.train().example(3).unwrap(); // class 0
+        let (c1, _) = d.train().example(1).unwrap(); // class 1
+        let same = a0.dot(&b0).unwrap() / (a0.norm_sq().sqrt() * b0.norm_sq().sqrt());
+        let diff = a0.dot(&c1).unwrap() / (a0.norm_sq().sqrt() * c1.norm_sq().sqrt());
+        assert!(
+            same > diff + 0.2,
+            "same-class correlation {same} should exceed cross-class {diff}"
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(SynthDataset::generate(&tiny().with_classes(0)).is_err());
+        assert!(SynthDataset::generate(&tiny().with_shape((0, 8, 8))).is_err());
+        assert!(SynthDataset::generate(&tiny().with_sizes(0, 4)).is_err());
+    }
+
+    #[test]
+    fn noise_increases_sample_variance() {
+        let clean = SynthDataset::generate(&tiny().with_noise(0.0)).unwrap();
+        let noisy = SynthDataset::generate(&tiny().with_noise(1.0)).unwrap();
+        // Same class, same seed ⇒ same prototype; compare two samples of the
+        // same class within each set.
+        let var = |s: &Split| {
+            let (a, _) = s.example(0).unwrap();
+            let (b, _) = s.example(3).unwrap();
+            a.sub(&b).unwrap().norm_sq()
+        };
+        assert!(var(noisy.train()) > var(clean.train()));
+    }
+
+    #[test]
+    fn blob_prototypes_differ_from_waves_and_stay_class_separable() {
+        use crate::PatternKind;
+        let waves = SynthDataset::generate(&tiny()).unwrap();
+        let blobs =
+            SynthDataset::generate(&tiny().with_pattern(PatternKind::Blobs)).unwrap();
+        assert_ne!(waves.train().data, blobs.train().data);
+        // Same-class correlation still beats cross-class for blobs.
+        let d = SynthDataset::generate(
+            &tiny()
+                .with_pattern(PatternKind::Blobs)
+                .with_noise(0.05)
+                .with_max_shift(0),
+        )
+        .unwrap();
+        let (a0, _) = d.train().example(0).unwrap();
+        let (b0, _) = d.train().example(3).unwrap();
+        let (c1, _) = d.train().example(1).unwrap();
+        let same = a0.dot(&b0).unwrap() / (a0.norm_sq().sqrt() * b0.norm_sq().sqrt());
+        let diff = a0.dot(&c1).unwrap() / (a0.norm_sq().sqrt() * c1.norm_sq().sqrt());
+        assert!(same > diff + 0.2, "same {same} vs cross {diff}");
+    }
+
+    #[test]
+    fn a_small_cnn_can_learn_the_problem() {
+        use fnas_nn::layer::LayerSpec;
+        use fnas_nn::model::Sequential;
+        use fnas_nn::optim::Sgd;
+        use fnas_nn::train::train;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let config = tiny().with_noise(0.1).with_sizes(60, 30);
+        let d = SynthDataset::generate(&config).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = Sequential::build(
+            (1, 8, 8),
+            &[
+                LayerSpec::conv(8, 3),
+                LayerSpec::relu(),
+                LayerSpec::global_avg_pool(),
+                LayerSpec::dense(3),
+            ],
+            &mut rng,
+        )
+        .unwrap();
+        let report = train(
+            &mut model,
+            &mut Sgd::new(0.3, 0.9),
+            &d.train().batches(10).unwrap(),
+            &d.val().batches(10).unwrap(),
+            12,
+        )
+        .unwrap();
+        assert!(
+            report.reward_accuracy(5) > 0.6,
+            "synthetic problem should be learnable, got {}",
+            report.reward_accuracy(5)
+        );
+    }
+}

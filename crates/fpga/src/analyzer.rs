@@ -1,0 +1,400 @@
+//! **FNAS-Analyzer** (component ➃): closed-form latency estimation.
+//!
+//! Implements the paper's §3.6 model for the alternating-reuse FNAS
+//! schedule. All quantities are per the paper's equations, with 0-based
+//! layer indices:
+//!
+//! * per-task execution time `ET_i = Kh·Kw·Tr·Tc` (we use the effective
+//!   per-task latency from the design, which equals the paper's value when
+//!   the layer is compute-bound);
+//! * processing time, Eq. (2):
+//!   `PT_i = ET_i · |CHⁱᶠᵐᵢ| · |CHᵒᶠᵐᵢ₊₁| · |RCᵢ|` — the paper's printed
+//!   equation omits the `|RC|` factor, but its own worked example
+//!   (Fig. 3(e)) counts one task per row/col tile, so the factor is
+//!   included here;
+//! * start-time deltas, Eqs. (3) and (4), choosing the OFM or IFM form by
+//!   the producer layer's reuse strategy;
+//! * the latency lower bound, Eq. (5): the sum of all start deltas plus the
+//!   last PE's processing time. Cross-device tile transfers (multi-FPGA
+//!   designs) add their per-tile delay to the corresponding boundary.
+
+use crate::design::{LayerDesign, PipelineDesign};
+use crate::sched::ReuseStrategy;
+use crate::{Cycles, Millis, Result};
+
+/// Closed-form latency estimate for a pipeline design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzerReport {
+    /// The latency lower bound in cycles: `max_i (start_i + PT_i)` — the
+    /// paper's Eq. (5) strengthened to account for a bottleneck PE in the
+    /// middle of the pipeline (Eq. (5) itself only tracks the last PE; see
+    /// [`AnalyzerReport::eq5_cycles`] for the verbatim value).
+    pub latency_cycles: Cycles,
+    /// The same at the pipeline clock.
+    pub latency: Millis,
+    /// The paper's Eq. (5) value verbatim: `Σ Δt + PT_N`.
+    pub eq5_cycles: Cycles,
+    /// Per-layer per-task execution time `ET_i`.
+    pub et: Vec<Cycles>,
+    /// Per-layer processing time `PT_i` (Eq. 2, with the `|RC|` factor).
+    pub processing: Vec<Cycles>,
+    /// Start-time delta of each boundary `i → i+1` (Eqs. 3/4, plus
+    /// transfer).
+    pub start_deltas: Vec<Cycles>,
+    /// Reuse strategy assumed for each layer (alternating, OFM first).
+    pub reuse: Vec<ReuseStrategy>,
+}
+
+/// Analyzes `design` under the paper's alternating-reuse schedule (OFM
+/// reuse on even layers).
+///
+/// # Errors
+///
+/// Currently infallible for designs produced by
+/// [`PipelineDesign::generate`]; the `Result` covers future model
+/// extensions that can reject hand-built designs.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_fpga::analyzer::analyze;
+/// use fnas_fpga::design::PipelineDesign;
+/// use fnas_fpga::device::FpgaDevice;
+/// use fnas_fpga::layer::{ConvShape, Network};
+///
+/// # fn main() -> Result<(), fnas_fpga::FpgaError> {
+/// let net = Network::new(vec![ConvShape::square(3, 8, 16, 3)?])?;
+/// let design = PipelineDesign::generate(&net, &FpgaDevice::pynq())?;
+/// let report = analyze(&design)?;
+/// assert_eq!(report.latency_cycles, report.processing[0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze(design: &PipelineDesign) -> Result<AnalyzerReport> {
+    analyze_with_reuse(design, &alternating_reuse(design.layers().len()))
+}
+
+/// Analytic steady-state initiation interval of the pipeline: when images
+/// stream through back to back, each PE repeats its per-image workload, so
+/// the long-run cycles-per-image is set by the busiest PE — `max_i PT_i`.
+///
+/// An extension beyond the paper's single-image Eq. (5); validated against
+/// [`simulate_stream`](crate::sim::simulate_stream) in the test suite.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_fpga::analyzer::pipeline_interval;
+/// use fnas_fpga::design::PipelineDesign;
+/// use fnas_fpga::device::FpgaDevice;
+/// use fnas_fpga::layer::{ConvShape, Network};
+///
+/// # fn main() -> Result<(), fnas_fpga::FpgaError> {
+/// let net = Network::new(vec![ConvShape::square(3, 8, 16, 3)?])?;
+/// let design = PipelineDesign::generate(&net, &FpgaDevice::pynq())?;
+/// assert!(pipeline_interval(&design).get() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pipeline_interval(design: &PipelineDesign) -> Cycles {
+    design
+        .layers()
+        .iter()
+        .map(|l| l.task_cycles().saturating_mul(l.task_count() as u64))
+        .max()
+        .unwrap_or(Cycles::new(0))
+}
+
+/// Analytic throughput in images per second at the design clock, derived
+/// from [`pipeline_interval`].
+pub fn throughput_fps(design: &PipelineDesign) -> f64 {
+    let interval = pipeline_interval(design).get();
+    if interval == 0 {
+        0.0
+    } else {
+        design.clock_mhz() * 1e6 / interval as f64
+    }
+}
+
+/// The paper's default strategy assignment: OFM reuse on even layers, IFM
+/// reuse on odd layers.
+pub fn alternating_reuse(layers: usize) -> Vec<ReuseStrategy> {
+    (0..layers)
+        .map(|i| {
+            if i % 2 == 0 {
+                ReuseStrategy::OfmReuse
+            } else {
+                ReuseStrategy::IfmReuse
+            }
+        })
+        .collect()
+}
+
+/// [`analyze`] with an explicit per-layer reuse assignment (for ablations).
+///
+/// # Errors
+///
+/// See [`analyze`].
+///
+/// # Panics
+///
+/// Panics if `reuse.len()` differs from the design's layer count.
+pub fn analyze_with_reuse(
+    design: &PipelineDesign,
+    reuse: &[ReuseStrategy],
+) -> Result<AnalyzerReport> {
+    let layers = design.layers();
+    assert_eq!(
+        reuse.len(),
+        layers.len(),
+        "reuse assignment must cover every layer"
+    );
+    let et: Vec<Cycles> = layers.iter().map(LayerDesign::task_cycles).collect();
+    let processing: Vec<Cycles> = layers
+        .iter()
+        .zip(&et)
+        .map(|(l, et)| et.saturating_mul(l.task_count() as u64))
+        .collect();
+
+    let mut start_deltas = Vec::with_capacity(layers.len().saturating_sub(1));
+    for i in 1..layers.len() {
+        let producer = &layers[i - 1];
+        let consumer = &layers[i];
+        let et_prev = et[i - 1].get();
+        // ⌈Tn_i / Tm_{i-1}⌉ — OFM tiles of the producer needed per IFM tile.
+        let tiles_per_ifm =
+            (consumer.tiling().tn.div_ceil(producer.tiling().tm)).max(1) as u64;
+        let delta = match reuse[i - 1] {
+            ReuseStrategy::OfmReuse => {
+                // Eq. (3): ⌈CH_{i-1}/Tn_{i-1}⌉ · ⌈Tn_i/Tm_{i-1}⌉ · ET_{i-1}
+                producer.ch_ifm_tiles() as u64 * tiles_per_ifm * et_prev
+            }
+            ReuseStrategy::IfmReuse => {
+                // Eq. (4): [(⌈CH_{i-1}/Tn_{i-1}⌉ − 1) · ⌈CH_i/Tm_{i-1}⌉
+                //           + ⌈Tn_i/Tm_{i-1}⌉] · ET_{i-1}
+                ((producer.ch_ifm_tiles() as u64 - 1) * producer.ch_ofm_tiles() as u64
+                    + tiles_per_ifm)
+                    * et_prev
+            }
+        };
+        let transfer = design.boundary_transfer_cycles(i - 1).get();
+        start_deltas.push(Cycles::new(delta + transfer));
+    }
+
+    let eq5_cycles = start_deltas.iter().copied().sum::<Cycles>()
+        + *processing.last().expect("designs are non-empty");
+    // Strengthened bound: every PE must still execute its whole workload
+    // after its (lower-bounded) start time, so the pipeline cannot finish
+    // before the slowest such chain.
+    let mut start = Cycles::new(0);
+    let mut latency_cycles = Cycles::new(0);
+    for (i, pt) in processing.iter().enumerate() {
+        if i > 0 {
+            start += start_deltas[i - 1];
+        }
+        latency_cycles = latency_cycles.max(start + *pt);
+    }
+    Ok(AnalyzerReport {
+        latency: latency_cycles.to_millis(design.clock_mhz()),
+        latency_cycles,
+        eq5_cycles,
+        et,
+        processing,
+        start_deltas,
+        reuse: reuse.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::FpgaDevice;
+    use crate::layer::{ConvShape, Network};
+    use crate::sched::FnasScheduler;
+    use crate::sim::simulate_design;
+    use crate::taskgraph::TileTaskGraph;
+
+    fn design(filters: &[usize]) -> PipelineDesign {
+        let mut layers = Vec::new();
+        let mut prev = 3usize;
+        for &f in filters {
+            layers.push(ConvShape::square(prev, f, 16, 3).unwrap());
+            prev = f;
+        }
+        PipelineDesign::generate(&Network::new(layers).unwrap(), &FpgaDevice::pynq()).unwrap()
+    }
+
+    #[test]
+    fn single_layer_latency_is_processing_time() {
+        let d = design(&[8]);
+        let r = analyze(&d).unwrap();
+        assert_eq!(r.latency_cycles, r.processing[0]);
+        assert!(r.start_deltas.is_empty());
+    }
+
+    #[test]
+    fn processing_time_counts_every_task() {
+        let d = design(&[8, 16]);
+        let r = analyze(&d).unwrap();
+        for (l, pt) in d.layers().iter().zip(&r.processing) {
+            assert_eq!(pt.get(), l.task_count() as u64 * l.task_cycles().get());
+        }
+    }
+
+    #[test]
+    fn reuse_assignment_alternates() {
+        let r = alternating_reuse(4);
+        assert_eq!(
+            r,
+            vec![
+                ReuseStrategy::OfmReuse,
+                ReuseStrategy::IfmReuse,
+                ReuseStrategy::OfmReuse,
+                ReuseStrategy::IfmReuse
+            ]
+        );
+    }
+
+    /// The analyzer is a *lower bound* (§3.6: "a tight lower bound"): the
+    /// simulator, which executes the real schedule with all stalls, can
+    /// never beat it by more than rounding, and should be close.
+    #[test]
+    fn analyzer_lower_bounds_simulation() {
+        for filters in [&[16usize, 32][..], &[64, 64, 64, 64][..], &[8, 16, 32][..]] {
+            let d = design(filters);
+            let g = TileTaskGraph::from_design(&d).unwrap();
+            let s = FnasScheduler::new().schedule(&g);
+            let sim = simulate_design(&d, &g, &s).unwrap();
+            let ana = analyze(&d).unwrap();
+            assert!(
+                ana.latency_cycles <= sim.makespan,
+                "{filters:?}: analyzer {} exceeds simulated {}",
+                ana.latency_cycles,
+                sim.makespan
+            );
+            // And the bound is tight-ish: within 2× on these pipelines.
+            assert!(
+                sim.makespan.get() <= 2 * ana.latency_cycles.get(),
+                "{filters:?}: bound too loose: sim {} vs analyzer {}",
+                sim.makespan,
+                ana.latency_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn eq3_matches_hand_computation() {
+        let d = design(&[8, 16]);
+        let r = analyze(&d).unwrap();
+        let p = &d.layers()[0];
+        let c = &d.layers()[1];
+        let expected = p.ch_ifm_tiles() as u64
+            * (c.tiling().tn.div_ceil(p.tiling().tm)) as u64
+            * p.task_cycles().get();
+        assert_eq!(r.start_deltas[0].get(), expected);
+    }
+
+    #[test]
+    fn eq4_matches_hand_computation() {
+        let d = design(&[8, 16, 16]);
+        let r = analyze(&d).unwrap();
+        // Boundary 1→2: producer layer 1 uses IFM reuse.
+        let p = &d.layers()[1];
+        let c = &d.layers()[2];
+        let tiles_per_ifm = (c.tiling().tn.div_ceil(p.tiling().tm)).max(1) as u64;
+        let expected = ((p.ch_ifm_tiles() as u64 - 1) * p.ch_ofm_tiles() as u64
+            + tiles_per_ifm)
+            * p.task_cycles().get();
+        assert_eq!(r.start_deltas[1].get(), expected);
+    }
+
+    #[test]
+    fn eq5_is_sum_of_deltas_plus_last_processing() {
+        let d = design(&[16, 16, 16, 16]);
+        let r = analyze(&d).unwrap();
+        let manual: u64 = r.start_deltas.iter().map(|c| c.get()).sum::<u64>()
+            + r.processing.last().unwrap().get();
+        assert_eq!(r.eq5_cycles.get(), manual);
+        // The strengthened bound dominates Eq. (5) by construction.
+        assert!(r.latency_cycles >= r.eq5_cycles);
+        assert!(r.latency.get() > 0.0);
+    }
+
+    #[test]
+    fn bottleneck_middle_pe_raises_the_bound_above_eq5() {
+        // A fat middle layer with skinny neighbours: Eq. (5) only sees the
+        // last PE and undershoots; the max-form bound tracks the bottleneck.
+        let net = Network::new(vec![
+            ConvShape::square(3, 8, 16, 3).unwrap(),
+            ConvShape::square(8, 128, 16, 7).unwrap(),
+            ConvShape::square(128, 8, 16, 1).unwrap(),
+        ])
+        .unwrap();
+        let d = PipelineDesign::generate(&net, &FpgaDevice::pynq()).unwrap();
+        let r = analyze(&d).unwrap();
+        assert!(
+            r.latency_cycles > r.eq5_cycles,
+            "max-form {} should exceed eq5 {}",
+            r.latency_cycles,
+            r.eq5_cycles
+        );
+    }
+
+    #[test]
+    fn tighter_device_means_longer_latency() {
+        let mk = |dev: &FpgaDevice| {
+            let net = Network::new(vec![
+                ConvShape::square(3, 64, 16, 3).unwrap(),
+                ConvShape::square(64, 64, 16, 3).unwrap(),
+            ])
+            .unwrap();
+            analyze(&PipelineDesign::generate(&net, dev).unwrap())
+                .unwrap()
+                .latency_cycles
+        };
+        assert!(mk(&FpgaDevice::xc7a50t()) >= mk(&FpgaDevice::zu9eg()));
+    }
+
+    #[test]
+    fn pipeline_interval_matches_streamed_simulation() {
+        use crate::sim::simulate_design_stream;
+        use crate::Cycles;
+        for filters in [&[16usize, 32][..], &[64, 64, 64, 64][..]] {
+            let d = design(filters);
+            let g = TileTaskGraph::from_design(&d).unwrap();
+            let s = FnasScheduler::new().schedule(&g);
+            let stream = simulate_design_stream(&d, &g, &s, 8, Cycles::new(0)).unwrap();
+            let analytic = pipeline_interval(&d).get();
+            let simulated = stream.steady_interval().get();
+            // The bottleneck PE's work per image lower-bounds the interval;
+            // the simulated interval should sit within 30% of it.
+            assert!(simulated + 1 >= analytic, "sim {simulated} < analytic {analytic}");
+            assert!(
+                simulated <= analytic + analytic * 3 / 10,
+                "{filters:?}: sim {simulated} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_is_positive_and_scales_with_the_device() {
+        let net = Network::new(vec![
+            ConvShape::square(3, 64, 16, 3).unwrap(),
+            ConvShape::square(64, 64, 16, 3).unwrap(),
+        ])
+        .unwrap();
+        let small =
+            throughput_fps(&PipelineDesign::generate(&net, &FpgaDevice::xc7a50t()).unwrap());
+        let large =
+            throughput_fps(&PipelineDesign::generate(&net, &FpgaDevice::zu9eg()).unwrap());
+        assert!(small > 0.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "reuse assignment")]
+    fn wrong_reuse_length_panics() {
+        let d = design(&[8, 8]);
+        let _ = analyze_with_reuse(&d, &[ReuseStrategy::OfmReuse]);
+    }
+}

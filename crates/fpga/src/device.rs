@@ -1,0 +1,289 @@
+//! FPGA resource models and multi-FPGA clusters.
+//!
+//! The paper evaluates on three Xilinx parts: the low-end Artix-7 **7A50T**,
+//! the Zynq **7Z020** on the PYNQ-Z1 board, and the Zynq UltraScale+
+//! **ZU9EG**. Physical boards are not available in this reproduction, so a
+//! device is modelled by the four quantities the paper's abstraction
+//! actually consumes: DSP slices (16-bit MACs per cycle), on-chip BRAM
+//! capacity (tile buffers), external memory bandwidth, and clock frequency.
+//! Nominal figures come from the public Xilinx datasheets.
+
+use crate::{FpgaError, Result};
+
+/// Resource model of one FPGA part.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_fpga::device::FpgaDevice;
+///
+/// let pynq = FpgaDevice::pynq();
+/// assert_eq!(pynq.dsp_slices(), 220);
+/// assert!(pynq.bram_bytes() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaDevice {
+    name: String,
+    dsp_slices: usize,
+    bram_bytes: usize,
+    bandwidth_bytes_per_cycle: f64,
+    clock_mhz: f64,
+}
+
+impl FpgaDevice {
+    /// Creates a custom device model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidConfig`] for zero resources or a
+    /// non-positive clock.
+    pub fn new(
+        name: impl Into<String>,
+        dsp_slices: usize,
+        bram_bytes: usize,
+        bandwidth_bytes_per_cycle: f64,
+        clock_mhz: f64,
+    ) -> Result<Self> {
+        if dsp_slices == 0 || bram_bytes == 0 {
+            return Err(FpgaError::InvalidConfig {
+                what: "device needs non-zero DSP and BRAM resources".to_string(),
+            });
+        }
+        let positive = |x: f64| x.is_finite() && x > 0.0;
+        if !positive(clock_mhz) || !positive(bandwidth_bytes_per_cycle) {
+            return Err(FpgaError::InvalidConfig {
+                what: "clock and bandwidth must be positive".to_string(),
+            });
+        }
+        Ok(FpgaDevice {
+            name: name.into(),
+            dsp_slices,
+            bram_bytes,
+            bandwidth_bytes_per_cycle,
+            clock_mhz,
+        })
+    }
+
+    /// Xilinx Artix-7 **XC7A50T**: 120 DSP slices, 2 700 Kb BRAM.
+    /// The paper's "low-end FPGA".
+    ///
+    /// The 50 MHz effective clock is a calibration: the abstraction ignores
+    /// DMA setup, AXI contention and timing-closure derating that the
+    /// paper's physical measurements include, and with this value the
+    /// Table 1 NAS architecture lands near the paper's measured latency
+    /// regime (see EXPERIMENTS.md).
+    pub fn xc7a50t() -> Self {
+        FpgaDevice::new("xc7a50t", 120, 2_700 * 1024 / 8, 30.0, 70.0)
+            .expect("catalogue constants are valid")
+    }
+
+    /// Xilinx Zynq **XC7Z020**: 220 DSP slices, 4 480 Kb BRAM.
+    /// The paper's "high-end FPGA" for the MNIST study. See
+    /// [`FpgaDevice::xc7a50t`] for the effective-clock calibration note.
+    pub fn xc7z020() -> Self {
+        FpgaDevice::new("xc7z020", 220, 4_480 * 1024 / 8, 42.0, 50.0)
+            .expect("catalogue constants are valid")
+    }
+
+    /// The PYNQ-Z1 board carries an XC7Z020; this alias matches the paper's
+    /// "PYNQ board" phrasing.
+    pub fn pynq() -> Self {
+        let mut d = FpgaDevice::xc7z020();
+        d.name = "pynq-z1 (xc7z020)".to_string();
+        d
+    }
+
+    /// Xilinx Zynq UltraScale+ **ZU9EG**: 2 520 DSP slices, 32.1 Mb BRAM.
+    /// Used for the CIFAR-10 and ImageNet studies. The 100 MHz effective
+    /// clock follows the same calibration as [`FpgaDevice::xc7a50t`].
+    pub fn zu9eg() -> Self {
+        FpgaDevice::new("zu9eg", 2_520, 32_100 * 1024 / 8, 190.0, 100.0)
+            .expect("catalogue constants are valid")
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of DSP slices (one 16-bit MAC per slice per cycle, after
+    /// Zhang et al. \[13\]).
+    pub fn dsp_slices(&self) -> usize {
+        self.dsp_slices
+    }
+
+    /// On-chip BRAM capacity in bytes.
+    pub fn bram_bytes(&self) -> usize {
+        self.bram_bytes
+    }
+
+    /// External memory bandwidth in bytes per clock cycle.
+    pub fn bandwidth_bytes_per_cycle(&self) -> f64 {
+        self.bandwidth_bytes_per_cycle
+    }
+
+    /// Clock frequency in MHz.
+    pub fn clock_mhz(&self) -> f64 {
+        self.clock_mhz
+    }
+}
+
+/// A set of FPGAs cooperating on one pipeline, with an inter-device link.
+///
+/// The paper's schedule paradigm explicitly targets multi-FPGA systems
+/// (\[4, 14\]); a cluster models the per-tile transfer cost between devices.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_fpga::device::{FpgaCluster, FpgaDevice};
+///
+/// # fn main() -> Result<(), fnas_fpga::FpgaError> {
+/// let cluster = FpgaCluster::homogeneous(FpgaDevice::pynq(), 4, 2.0)?;
+/// assert_eq!(cluster.len(), 4);
+/// assert_eq!(cluster.total_dsp_slices(), 880);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaCluster {
+    devices: Vec<FpgaDevice>,
+    link_bytes_per_cycle: f64,
+}
+
+impl FpgaCluster {
+    /// Creates a cluster from explicit devices and an inter-device link
+    /// bandwidth (bytes per producer-side cycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidConfig`] for an empty device list or a
+    /// non-positive link bandwidth.
+    pub fn new(devices: Vec<FpgaDevice>, link_bytes_per_cycle: f64) -> Result<Self> {
+        if devices.is_empty() {
+            return Err(FpgaError::InvalidConfig {
+                what: "cluster needs at least one device".to_string(),
+            });
+        }
+        if !(link_bytes_per_cycle.is_finite() && link_bytes_per_cycle > 0.0) {
+            return Err(FpgaError::InvalidConfig {
+                what: "link bandwidth must be positive".to_string(),
+            });
+        }
+        Ok(FpgaCluster {
+            devices,
+            link_bytes_per_cycle,
+        })
+    }
+
+    /// Creates a cluster of `count` copies of `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidConfig`] if `count` is zero or the link
+    /// bandwidth is non-positive.
+    pub fn homogeneous(device: FpgaDevice, count: usize, link_bytes_per_cycle: f64) -> Result<Self> {
+        FpgaCluster::new(vec![device; count], link_bytes_per_cycle)
+    }
+
+    /// A single-device "cluster" (the common case).
+    pub fn single(device: FpgaDevice) -> Self {
+        FpgaCluster {
+            devices: vec![device],
+            link_bytes_per_cycle: f64::INFINITY,
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `true` if the cluster has no devices (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The devices, in pipeline order.
+    pub fn devices(&self) -> &[FpgaDevice] {
+        &self.devices
+    }
+
+    /// Inter-device link bandwidth in bytes per cycle.
+    pub fn link_bytes_per_cycle(&self) -> f64 {
+        self.link_bytes_per_cycle
+    }
+
+    /// DSP slices summed across the cluster.
+    pub fn total_dsp_slices(&self) -> usize {
+        self.devices.iter().map(FpgaDevice::dsp_slices).sum()
+    }
+
+    /// BRAM bytes summed across the cluster.
+    pub fn total_bram_bytes(&self) -> usize {
+        self.devices.iter().map(FpgaDevice::bram_bytes).sum()
+    }
+
+    /// The slowest clock in the cluster, used as the pipeline clock.
+    pub fn pipeline_clock_mhz(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(FpgaDevice::clock_mhz)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_matches_datasheets() {
+        assert_eq!(FpgaDevice::xc7a50t().dsp_slices(), 120);
+        assert_eq!(FpgaDevice::xc7z020().dsp_slices(), 220);
+        assert_eq!(FpgaDevice::zu9eg().dsp_slices(), 2_520);
+        assert!(FpgaDevice::zu9eg().bram_bytes() > FpgaDevice::xc7z020().bram_bytes());
+        assert!(FpgaDevice::xc7z020().bram_bytes() > FpgaDevice::xc7a50t().bram_bytes());
+    }
+
+    #[test]
+    fn pynq_is_a_7z020() {
+        let pynq = FpgaDevice::pynq();
+        assert_eq!(pynq.dsp_slices(), FpgaDevice::xc7z020().dsp_slices());
+        assert!(pynq.name().contains("pynq"));
+    }
+
+    #[test]
+    fn custom_device_validation() {
+        assert!(FpgaDevice::new("x", 0, 1024, 1.0, 100.0).is_err());
+        assert!(FpgaDevice::new("x", 10, 0, 1.0, 100.0).is_err());
+        assert!(FpgaDevice::new("x", 10, 1024, 0.0, 100.0).is_err());
+        assert!(FpgaDevice::new("x", 10, 1024, 1.0, -5.0).is_err());
+        assert!(FpgaDevice::new("x", 10, 1024, 1.0, 100.0).is_ok());
+    }
+
+    #[test]
+    fn cluster_aggregates_resources() {
+        let c = FpgaCluster::homogeneous(FpgaDevice::xc7a50t(), 3, 1.0).unwrap();
+        assert_eq!(c.total_dsp_slices(), 360);
+        assert_eq!(c.total_bram_bytes(), 3 * FpgaDevice::xc7a50t().bram_bytes());
+        assert_eq!(c.pipeline_clock_mhz(), FpgaDevice::xc7a50t().clock_mhz());
+    }
+
+    #[test]
+    fn cluster_validation() {
+        assert!(FpgaCluster::new(vec![], 1.0).is_err());
+        assert!(FpgaCluster::homogeneous(FpgaDevice::pynq(), 2, 0.0).is_err());
+        let single = FpgaCluster::single(FpgaDevice::pynq());
+        assert_eq!(single.len(), 1);
+        assert!(!single.is_empty());
+    }
+
+    #[test]
+    fn heterogeneous_cluster_uses_slowest_clock() {
+        let fast = FpgaDevice::new("fast", 100, 1024, 4.0, 300.0).unwrap();
+        let slow = FpgaDevice::new("slow", 100, 1024, 4.0, 50.0).unwrap();
+        let c = FpgaCluster::new(vec![fast, slow], 2.0).unwrap();
+        assert_eq!(c.pipeline_clock_mhz(), 50.0);
+    }
+}

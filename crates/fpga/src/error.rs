@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the FPGA design, scheduling and analysis pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_fpga::layer::ConvShape;
+///
+/// let err = ConvShape::new(0, 8, 8, 8, 3, 3).unwrap_err();
+/// assert!(err.to_string().contains("non-zero"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FpgaError {
+    /// A workload or design parameter is invalid.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        what: String,
+    },
+    /// The workload cannot fit on the given device(s).
+    InsufficientResources {
+        /// What ran out (DSP slices, BRAM, devices, …).
+        resource: &'static str,
+        /// How much the design needs.
+        needed: u64,
+        /// How much the platform offers.
+        available: u64,
+    },
+    /// A schedule references a task or tile that the graph does not contain.
+    UnknownTask {
+        /// Layer index of the dangling reference.
+        layer: usize,
+        /// Flat task index of the dangling reference.
+        index: usize,
+    },
+    /// The simulator detected a schedule that can never complete
+    /// (circular waiting or missing producers).
+    Deadlock {
+        /// Simulation time at which no progress was possible.
+        at_cycle: u64,
+        /// Number of tasks still outstanding.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            FpgaError::InsufficientResources {
+                resource,
+                needed,
+                available,
+            } => write!(
+                f,
+                "insufficient {resource}: need {needed}, have {available}"
+            ),
+            FpgaError::UnknownTask { layer, index } => {
+                write!(f, "schedule references unknown task {index} in layer {layer}")
+            }
+            FpgaError::Deadlock { at_cycle, remaining } => write!(
+                f,
+                "schedule deadlocked at cycle {at_cycle} with {remaining} tasks outstanding"
+            ),
+        }
+    }
+}
+
+impl Error for FpgaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FpgaError>();
+    }
+
+    #[test]
+    fn messages_carry_numbers() {
+        let e = FpgaError::InsufficientResources {
+            resource: "DSP slices",
+            needed: 500,
+            available: 220,
+        };
+        let s = e.to_string();
+        assert!(s.contains("500") && s.contains("220"));
+    }
+
+    #[test]
+    fn deadlock_message() {
+        let e = FpgaError::Deadlock {
+            at_cycle: 42,
+            remaining: 3,
+        };
+        assert!(e.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Convolution workload shapes.
+//!
+//! The FNAS abstraction describes a child network as a pipeline of
+//! convolutional operations, each characterised by the six quantities of
+//! §3.3 of the paper: input channels `N`, output channels `M`, output rows
+//! `R`, output columns `C`, and the filter extent `Kh × Kw`.
+
+use crate::{FpgaError, MacCount, Result};
+
+/// Shape of one convolutional layer as seen by the FPGA design flow.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_fpga::layer::ConvShape;
+///
+/// # fn main() -> Result<(), fnas_fpga::FpgaError> {
+/// let layer = ConvShape::square(3, 64, 32, 3)?;
+/// assert_eq!(layer.macs().get(), 3 * 64 * 32 * 32 * 9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    in_channels: usize,
+    out_channels: usize,
+    out_rows: usize,
+    out_cols: usize,
+    kernel_h: usize,
+    kernel_w: usize,
+}
+
+impl ConvShape {
+    /// Creates a layer shape `⟨N, M, R, C, Kh, Kw⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidConfig`] if any extent is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        out_rows: usize,
+        out_cols: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+    ) -> Result<Self> {
+        if in_channels == 0
+            || out_channels == 0
+            || out_rows == 0
+            || out_cols == 0
+            || kernel_h == 0
+            || kernel_w == 0
+        {
+            return Err(FpgaError::InvalidConfig {
+                what: format!(
+                    "conv shape extents must be non-zero, got N={in_channels} M={out_channels} R={out_rows} C={out_cols} Kh={kernel_h} Kw={kernel_w}"
+                ),
+            });
+        }
+        Ok(ConvShape {
+            in_channels,
+            out_channels,
+            out_rows,
+            out_cols,
+            kernel_h,
+            kernel_w,
+        })
+    }
+
+    /// Square feature maps and square kernel: `⟨n, m, r, r, k, k⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidConfig`] if any extent is zero.
+    pub fn square(in_channels: usize, out_channels: usize, extent: usize, kernel: usize) -> Result<Self> {
+        ConvShape::new(in_channels, out_channels, extent, extent, kernel, kernel)
+    }
+
+    /// Input channels `N`.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channels (filters) `M`.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Output rows `R`.
+    pub fn out_rows(&self) -> usize {
+        self.out_rows
+    }
+
+    /// Output columns `C`.
+    pub fn out_cols(&self) -> usize {
+        self.out_cols
+    }
+
+    /// Filter height `Kh`.
+    pub fn kernel_h(&self) -> usize {
+        self.kernel_h
+    }
+
+    /// Filter width `Kw`.
+    pub fn kernel_w(&self) -> usize {
+        self.kernel_w
+    }
+
+    /// Total multiply-accumulate operations: `N·M·R·C·Kh·Kw`.
+    pub fn macs(&self) -> MacCount {
+        MacCount::new(
+            self.in_channels as u64
+                * self.out_channels as u64
+                * self.out_rows as u64
+                * self.out_cols as u64
+                * self.kernel_h as u64
+                * self.kernel_w as u64,
+        )
+    }
+}
+
+/// A pipeline of convolutional layers, consecutive layers channel-compatible.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_fpga::layer::{ConvShape, Network};
+///
+/// # fn main() -> Result<(), fnas_fpga::FpgaError> {
+/// let net = Network::new(vec![
+///     ConvShape::square(1, 16, 28, 5)?,
+///     ConvShape::square(16, 32, 28, 3)?,
+/// ])?;
+/// assert_eq!(net.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    layers: Vec<ConvShape>,
+}
+
+impl Network {
+    /// Creates a network, validating channel compatibility between
+    /// consecutive layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidConfig`] for an empty pipeline or when
+    /// layer `i+1`'s input channels differ from layer `i`'s output channels.
+    pub fn new(layers: Vec<ConvShape>) -> Result<Self> {
+        if layers.is_empty() {
+            return Err(FpgaError::InvalidConfig {
+                what: "network needs at least one layer".to_string(),
+            });
+        }
+        for (i, pair) in layers.windows(2).enumerate() {
+            if pair[0].out_channels() != pair[1].in_channels() {
+                return Err(FpgaError::InvalidConfig {
+                    what: format!(
+                        "layer {} produces {} channels but layer {} consumes {}",
+                        i,
+                        pair[0].out_channels(),
+                        i + 1,
+                        pair[1].in_channels()
+                    ),
+                });
+            }
+        }
+        Ok(Network { layers })
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the network has no layers (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The layers, first to last.
+    pub fn layers(&self) -> &[ConvShape] {
+        &self.layers
+    }
+
+    /// Layer `i`, if present.
+    pub fn get(&self, i: usize) -> Option<&ConvShape> {
+        self.layers.get(i)
+    }
+
+    /// Total MAC operations across the pipeline.
+    pub fn total_macs(&self) -> MacCount {
+        self.layers.iter().map(ConvShape::macs).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a Network {
+    type Item = &'a ConvShape;
+    type IntoIter = std::slice::Iter<'a, ConvShape>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.layers.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_formula() {
+        let l = ConvShape::new(3, 8, 10, 12, 3, 5).unwrap();
+        assert_eq!(l.macs().get(), 3 * 8 * 10 * 12 * 3 * 5);
+    }
+
+    #[test]
+    fn zero_extent_rejected() {
+        assert!(ConvShape::new(0, 1, 1, 1, 1, 1).is_err());
+        assert!(ConvShape::square(1, 1, 0, 1).is_err());
+    }
+
+    #[test]
+    fn network_checks_channel_compatibility() {
+        let a = ConvShape::square(3, 16, 8, 3).unwrap();
+        let good = ConvShape::square(16, 8, 8, 3).unwrap();
+        let bad = ConvShape::square(12, 8, 8, 3).unwrap();
+        assert!(Network::new(vec![a, good]).is_ok());
+        let err = Network::new(vec![a, bad]).unwrap_err();
+        assert!(err.to_string().contains("16"));
+        assert!(Network::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn network_totals_and_iteration() {
+        let a = ConvShape::square(1, 2, 4, 3).unwrap();
+        let b = ConvShape::square(2, 4, 4, 3).unwrap();
+        let net = Network::new(vec![a, b]).unwrap();
+        assert_eq!(net.total_macs(), a.macs() + b.macs());
+        assert_eq!(net.into_iter().count(), 2);
+        assert_eq!(net.get(1), Some(&b));
+        assert_eq!(net.get(5), None);
+    }
+}

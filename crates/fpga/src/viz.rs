@@ -1,0 +1,222 @@
+//! Schedule visualisation: render a [`TaskTrace`] as an SVG Gantt chart.
+//!
+//! One row per PE, one rectangle per executed task, colour-keyed by the
+//! task's channel-tile pair (so OFM/IFM reuse runs show up as solid colour
+//! blocks, exactly like the paper's Fig. 4(b)) or by image index for
+//! streaming traces. No plotting stack needed — the output is a plain SVG
+//! file any browser opens.
+
+use std::fmt::Write as _;
+
+use crate::sim::TaskTrace;
+use crate::Cycles;
+
+/// What the rectangle colours encode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ColorKey {
+    /// Colour by the task's `(j, k)` channel-tile pair — makes data-reuse
+    /// runs visible (the default).
+    #[default]
+    ChannelPair,
+    /// Colour by image index — makes image-level pipelining visible in
+    /// streaming traces.
+    Image,
+}
+
+/// Options for [`render_gantt`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GanttOptions {
+    /// Pixel width of the drawing area (time axis is scaled to fit).
+    pub width: u32,
+    /// Pixel height of one PE row.
+    pub row_height: u32,
+    /// Colour encoding.
+    pub color_key: ColorKey,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions {
+            width: 1200,
+            row_height: 28,
+            color_key: ColorKey::default(),
+        }
+    }
+}
+
+/// A small qualitative palette (12 distinguishable hues).
+const PALETTE: [&str; 12] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac", "#2f4b7c", "#a05195",
+];
+
+/// Renders `trace` as an SVG Gantt chart.
+///
+/// Returns an empty-chart SVG (axes only) for an empty trace.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_fpga::design::PipelineDesign;
+/// use fnas_fpga::device::FpgaDevice;
+/// use fnas_fpga::layer::{ConvShape, Network};
+/// use fnas_fpga::sched::FnasScheduler;
+/// use fnas_fpga::sim::simulate_traced;
+/// use fnas_fpga::taskgraph::TileTaskGraph;
+/// use fnas_fpga::viz::{render_gantt, GanttOptions};
+///
+/// # fn main() -> Result<(), fnas_fpga::FpgaError> {
+/// let net = Network::new(vec![ConvShape::square(3, 8, 8, 3)?])?;
+/// let design = PipelineDesign::generate(&net, &FpgaDevice::pynq())?;
+/// let graph = TileTaskGraph::from_design(&design)?;
+/// let schedule = FnasScheduler::new().schedule(&graph);
+/// let (_, trace) = simulate_traced(&graph, &schedule, &[])?;
+/// let svg = render_gantt(&trace, &GanttOptions::default());
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("<rect"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_gantt(trace: &TaskTrace, options: &GanttOptions) -> String {
+    let events = trace.events();
+    let makespan: u64 = events
+        .iter()
+        .map(|e| e.end.get())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let pes: usize = events.iter().map(|e| e.pe + 1).max().unwrap_or(1);
+    let label_w = 70u32;
+    let width = options.width.max(label_w + 100);
+    let plot_w = (width - label_w) as f64;
+    let height = options.row_height * pes as u32 + 40;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         font-family=\"sans-serif\" font-size=\"11\">"
+    );
+    let _ = write!(
+        svg,
+        "<rect width=\"{width}\" height=\"{height}\" fill=\"white\"/>"
+    );
+    // Row labels and separators.
+    for pe in 0..pes {
+        let y = 20 + pe as u32 * options.row_height;
+        let _ = write!(
+            svg,
+            "<text x=\"4\" y=\"{}\" fill=\"#333\">PE{}</text>",
+            y + options.row_height / 2 + 4,
+            pe
+        );
+        let _ = write!(
+            svg,
+            "<line x1=\"{label_w}\" y1=\"{y}\" x2=\"{width}\" y2=\"{y}\" stroke=\"#ddd\"/>"
+        );
+    }
+    // Task rectangles.
+    for e in events {
+        let x = label_w as f64 + e.start.get() as f64 / makespan as f64 * plot_w;
+        let w = ((e.end.get() - e.start.get()) as f64 / makespan as f64 * plot_w).max(1.0);
+        let y = 22 + e.pe as u32 * options.row_height;
+        let h = options.row_height - 4;
+        let color_idx = match options.color_key {
+            ColorKey::ChannelPair => e.task.j * 5 + e.task.k * 3 + e.task.m,
+            ColorKey::Image => e.image,
+        } % PALETTE.len();
+        let _ = write!(
+            svg,
+            "<rect x=\"{x:.1}\" y=\"{y}\" width=\"{w:.1}\" height=\"{h}\" fill=\"{}\" \
+             stroke=\"#fff\" stroke-width=\"0.5\"><title>pe{} img{} j{} k{} m{} [{}..{}]</title></rect>",
+            PALETTE[color_idx],
+            e.pe,
+            e.image,
+            e.task.j,
+            e.task.k,
+            e.task.m,
+            e.start.get(),
+            e.end.get()
+        );
+    }
+    // Time axis.
+    let axis_y = height - 14;
+    let _ = write!(
+        svg,
+        "<text x=\"{label_w}\" y=\"{axis_y}\" fill=\"#666\">0</text>\
+         <text x=\"{}\" y=\"{axis_y}\" fill=\"#666\" text-anchor=\"end\">{}</text>",
+        width - 4,
+        Cycles::new(makespan)
+    );
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::PipelineDesign;
+    use crate::device::FpgaDevice;
+    use crate::layer::{ConvShape, Network};
+    use crate::sched::FnasScheduler;
+    use crate::sim::simulate_traced;
+    use crate::taskgraph::TileTaskGraph;
+
+    fn trace() -> TaskTrace {
+        let net = Network::new(vec![
+            ConvShape::square(3, 8, 8, 3).unwrap(),
+            ConvShape::square(8, 8, 8, 3).unwrap(),
+        ])
+        .unwrap();
+        let design = PipelineDesign::generate(&net, &FpgaDevice::pynq()).unwrap();
+        let graph = TileTaskGraph::from_design(&design).unwrap();
+        let schedule = FnasScheduler::new().schedule(&graph);
+        let transfers = vec![Cycles::new(0)];
+        simulate_traced(&graph, &schedule, &transfers).unwrap().1
+    }
+
+    #[test]
+    fn svg_contains_one_rect_per_task_plus_background() {
+        let t = trace();
+        let svg = render_gantt(&t, &GanttOptions::default());
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, t.events().len() + 1); // + background
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("PE0"));
+        assert!(svg.contains("PE1"));
+    }
+
+    #[test]
+    fn tags_are_balanced() {
+        let svg = render_gantt(&trace(), &GanttOptions::default());
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+        assert_eq!(
+            svg.matches("<title>").count(),
+            svg.matches("</title>").count()
+        );
+        // Every task rect (the ones with tooltips) is explicitly closed;
+        // the background rect is self-closing.
+        let t = trace();
+        assert_eq!(svg.matches("</rect>").count(), t.events().len());
+    }
+
+    #[test]
+    fn empty_trace_renders_axes_only() {
+        let svg = render_gantt(&TaskTrace::default(), &GanttOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<rect").count(), 1); // just the background
+    }
+
+    #[test]
+    fn image_color_key_renders_too() {
+        let svg = render_gantt(
+            &trace(),
+            &GanttOptions {
+                color_key: ColorKey::Image,
+                ..GanttOptions::default()
+            },
+        );
+        assert!(svg.contains("#4e79a7")); // image 0 always takes the first hue
+    }
+}

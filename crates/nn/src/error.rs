@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+use fnas_tensor::TensorError;
+
+/// Errors produced while building, running or training networks.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_nn::NnError;
+///
+/// let err = NnError::InvalidConfig {
+///     what: "filter size must be odd".to_string(),
+/// };
+/// assert!(err.to_string().contains("odd"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+    /// A layer received an input whose shape it cannot process.
+    BadInput {
+        /// Which layer rejected the input.
+        layer: &'static str,
+        /// Human-readable description of the expectation that was violated.
+        expected: String,
+        /// The offending shape, formatted.
+        got: String,
+    },
+    /// A configuration value is invalid (zero sizes, mismatched counts, …).
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        what: String,
+    },
+    /// `backward` was called before `forward` on a stateful layer.
+    BackwardBeforeForward {
+        /// Which layer was misused.
+        layer: &'static str,
+    },
+    /// A label was outside the valid class range.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            NnError::BadInput {
+                layer,
+                expected,
+                got,
+            } => write!(f, "{layer} expected {expected}, got {got}"),
+            NnError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "{layer}: backward called before forward")
+            }
+            NnError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+
+    #[test]
+    fn tensor_error_is_wrapped_with_source() {
+        let inner = TensorError::Empty { op: "max" };
+        let err: NnError = inner.clone().into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("max"));
+    }
+
+    #[test]
+    fn label_error_message() {
+        let err = NnError::LabelOutOfRange {
+            label: 12,
+            classes: 10,
+        };
+        assert_eq!(err.to_string(), "label 12 out of range for 10 classes");
+    }
+}

@@ -1,0 +1,235 @@
+//! Numerical gradient verification for layers.
+//!
+//! Every backward pass in this workspace was verified against central
+//! finite differences during development; this module makes that check a
+//! reusable, public tool so downstream code adding custom [`Layer`]
+//! implementations can hold itself to the same standard.
+
+use fnas_tensor::Tensor;
+
+use crate::layer::Layer;
+use crate::Result;
+
+/// Configuration for [`check_layer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheck {
+    /// Perturbation step for central differences.
+    pub epsilon: f32,
+    /// Maximum tolerated absolute error between analytic and numeric
+    /// derivatives.
+    pub tolerance: f32,
+}
+
+impl Default for GradCheck {
+    fn default() -> Self {
+        GradCheck {
+            epsilon: 1e-2,
+            tolerance: 2e-2,
+        }
+    }
+}
+
+/// Outcome of a gradient check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest |numeric − analytic| over the input gradient.
+    pub max_input_error: f32,
+    /// Largest |numeric − analytic| over all parameter gradients
+    /// (zero for parameter-free layers).
+    pub max_param_error: f32,
+    /// Entries checked in total.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// `true` when both maxima are within the configured tolerance.
+    pub fn passed(&self, config: &GradCheck) -> bool {
+        self.max_input_error <= config.tolerance && self.max_param_error <= config.tolerance
+    }
+}
+
+/// Verifies `layer`'s backward pass against central finite differences of
+/// the scalar objective `sum(forward(input))`.
+///
+/// Checks the gradient with respect to the input *and* to every trainable
+/// parameter. The layer is left with the parameters it came in with (up to
+/// floating-point rounding of the `+ε, −2ε, +ε` perturbation arithmetic),
+/// but its cached forward state corresponds to the last perturbed
+/// evaluation — re-run `forward` before reusing it.
+///
+/// # Errors
+///
+/// Propagates forward/backward errors from the layer.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_nn::gradcheck::{check_layer, GradCheck};
+/// use fnas_nn::layer::Dense;
+/// use fnas_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), fnas_nn::NnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut dense = Dense::new(4, 3, &mut rng)?;
+/// let input = Tensor::rand_uniform(&[2, 4], -1.0, 1.0, &mut rng);
+/// let config = GradCheck::default();
+/// let report = check_layer(&mut dense, &input, &config)?;
+/// assert!(report.passed(&config));
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_layer(
+    layer: &mut dyn Layer,
+    input: &Tensor,
+    config: &GradCheck,
+) -> Result<GradCheckReport> {
+    let eps = config.epsilon;
+
+    // Analytic gradients at the unperturbed point.
+    let out = layer.forward(input)?;
+    layer.zero_grad();
+    let grad_in = layer.backward(&Tensor::ones(out.shape().clone()))?;
+    let mut analytic_params: Vec<Tensor> = Vec::new();
+    layer.visit_params(&mut |p| analytic_params.push(p.grad.clone()));
+
+    let mut checked = 0usize;
+    let mut max_input_error = 0.0f32;
+    for idx in 0..input.len() {
+        let mut plus = input.clone();
+        *plus.at_mut(idx) += eps;
+        let mut minus = input.clone();
+        *minus.at_mut(idx) -= eps;
+        let f_plus = layer.forward(&plus)?.sum();
+        let f_minus = layer.forward(&minus)?.sum();
+        let numeric = (f_plus - f_minus) / (2.0 * eps);
+        max_input_error = max_input_error.max((numeric - grad_in.at(idx)).abs());
+        checked += 1;
+    }
+
+    // Parameter gradients: perturb each scalar in place, undo afterwards.
+    let mut max_param_error = 0.0f32;
+    for (pi, analytic) in analytic_params.iter().enumerate() {
+        for idx in 0..analytic.len() {
+            perturb(layer, pi, idx, eps);
+            let f_plus = layer.forward(input)?.sum();
+            perturb(layer, pi, idx, -2.0 * eps);
+            let f_minus = layer.forward(input)?.sum();
+            perturb(layer, pi, idx, eps); // restore
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            max_param_error = max_param_error.max((numeric - analytic.at(idx)).abs());
+            checked += 1;
+        }
+    }
+
+    Ok(GradCheckReport {
+        max_input_error,
+        max_param_error,
+        checked,
+    })
+}
+
+/// Adds `delta` to parameter `pi`, element `idx`.
+fn perturb(layer: &mut dyn Layer, pi: usize, idx: usize, delta: f32) {
+    let mut current = 0usize;
+    layer.visit_params(&mut |p| {
+        if current == pi {
+            *p.value.at_mut(idx) += delta;
+        }
+        current += 1;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{AvgPool2d, Conv2d, ConvAlgo, Dense, GlobalAvgPool, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_shipped_layers_pass() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let config = GradCheck::default();
+
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng).unwrap();
+        let x = Tensor::rand_uniform([1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let r = check_layer(&mut conv, &x, &config).unwrap();
+        assert!(r.passed(&config), "conv: {r:?}");
+        assert!(r.max_param_error > 0.0 || r.checked > x.len());
+
+        let mut conv_direct = Conv2d::new(2, 3, 3, 1, 1, &mut rng)
+            .unwrap()
+            .with_algo(ConvAlgo::Direct);
+        let r = check_layer(&mut conv_direct, &x, &config).unwrap();
+        assert!(r.passed(&config), "conv-direct: {r:?}");
+
+        let mut dense = Dense::new(5, 4, &mut rng).unwrap();
+        let x = Tensor::rand_uniform([3, 5], -1.0, 1.0, &mut rng);
+        let r = check_layer(&mut dense, &x, &config).unwrap();
+        assert!(r.passed(&config), "dense: {r:?}");
+
+        let mut relu = Relu::new();
+        // Stay away from the kink at zero.
+        let x = Tensor::rand_uniform([8], 0.2, 1.0, &mut rng);
+        let r = check_layer(&mut relu, &x, &config).unwrap();
+        assert!(r.passed(&config), "relu: {r:?}");
+        assert_eq!(r.max_param_error, 0.0);
+
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::rand_uniform([2, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let r = check_layer(&mut gap, &x, &config).unwrap();
+        assert!(r.passed(&config), "gap: {r:?}");
+
+        let mut avg = AvgPool2d::new(2).unwrap();
+        let x = Tensor::rand_uniform([1, 2, 4, 4], -1.0, 1.0, &mut rng);
+        let r = check_layer(&mut avg, &x, &config).unwrap();
+        assert!(r.passed(&config), "avg: {r:?}");
+    }
+
+    #[test]
+    fn a_broken_layer_fails() {
+        /// A deliberately wrong layer: backward returns half the gradient.
+        #[derive(Debug, Default)]
+        struct HalfGrad;
+        impl Layer for HalfGrad {
+            fn forward(&mut self, input: &Tensor) -> crate::Result<Tensor> {
+                Ok(input.scale(2.0))
+            }
+            fn backward(&mut self, grad_out: &Tensor) -> crate::Result<Tensor> {
+                Ok(grad_out.clone()) // should be ×2
+            }
+            fn name(&self) -> &'static str {
+                "half-grad"
+            }
+        }
+        let config = GradCheck::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::rand_uniform([4], -1.0, 1.0, &mut rng);
+        let r = check_layer(&mut HalfGrad, &x, &config).unwrap();
+        assert!(!r.passed(&config));
+        assert!(r.max_input_error > 0.5);
+    }
+
+    #[test]
+    fn parameters_are_restored_after_the_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut dense = Dense::new(3, 2, &mut rng).unwrap();
+        let before: Vec<f32> = {
+            let mut v = Vec::new();
+            dense.visit_params(&mut |p| v.extend_from_slice(p.value.as_slice()));
+            v
+        };
+        let x = Tensor::rand_uniform([1, 3], -1.0, 1.0, &mut rng);
+        let _ = check_layer(&mut dense, &x, &GradCheck::default()).unwrap();
+        let after: Vec<f32> = {
+            let mut v = Vec::new();
+            dense.visit_params(&mut |p| v.extend_from_slice(p.value.as_slice()));
+            v
+        };
+        for (b, a) in before.iter().zip(&after) {
+            // +ε, −2ε, +ε cancels only up to rounding.
+            assert!((b - a).abs() < 1e-5, "{b} vs {a}");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+use fnas_tensor::Tensor;
+
+use crate::layer::Layer;
+use crate::{NnError, Result};
+
+/// Leaky rectified linear unit: `y = x` for `x > 0`, else `y = αx`.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_nn::layer::{Layer, LeakyRelu};
+/// use fnas_tensor::Tensor;
+///
+/// # fn main() -> Result<(), fnas_nn::NnError> {
+/// let mut act = LeakyRelu::new(0.1);
+/// let x = Tensor::from_vec(vec![-2.0, 4.0], &[2])?;
+/// let y = act.forward(&x)?;
+/// assert_eq!(y.as_slice(), &[-0.2, 4.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LeakyRelu {
+    alpha: f32,
+    /// Per-element derivative from the last forward pass.
+    slope: Option<Tensor>,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with negative-side slope `alpha`.
+    pub fn new(alpha: f32) -> Self {
+        LeakyRelu { alpha, slope: None }
+    }
+
+    /// The negative-side slope.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let alpha = self.alpha;
+        self.slope = Some(input.map(|x| if x > 0.0 { 1.0 } else { alpha }));
+        Ok(input.map(|x| if x > 0.0 { x } else { alpha * x }))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let slope = self
+            .slope
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "leaky_relu" })?;
+        Ok(grad_out.mul(slope)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "leaky_relu"
+    }
+}
+
+/// Logistic sigmoid: `y = 1 / (1 + e^{−x})`.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    /// Cached outputs (the derivative is `y·(1−y)`).
+    output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Sigmoid::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let out = input.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.output = Some(out.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let y = self
+            .output
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "sigmoid" })?;
+        Ok(grad_out.mul(&y.map(|v| v * (1.0 - v)))?)
+    }
+
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    /// Cached outputs (the derivative is `1 − y²`).
+    output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let out = input.map(f32::tanh);
+        self.output = Some(out.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let y = self
+            .output
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "tanh" })?;
+        Ok(grad_out.mul(&y.map(|v| 1.0 - v * v))?)
+    }
+
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+}
+
+/// Rectified linear unit: `y = max(x, 0)`, applied element-wise to tensors
+/// of any rank.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_nn::layer::{Layer, Relu};
+/// use fnas_tensor::Tensor;
+///
+/// # fn main() -> Result<(), fnas_nn::NnError> {
+/// let mut relu = Relu::new();
+/// let x = Tensor::from_vec(vec![-1.0, 2.0], &[2])?;
+/// assert_eq!(relu.forward(&x)?.as_slice(), &[0.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Relu {
+    /// 1.0 where the input was positive, else 0.0.
+    mask: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        self.mask = Some(input.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
+        Ok(input.map(|x| x.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "relu" })?;
+        Ok(grad_out.mul(mask)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-3.0, 0.0, 5.0], [3]).unwrap();
+        let y = relu.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-3.0, 0.0, 5.0], [3]).unwrap();
+        let _ = relu.forward(&x).unwrap();
+        let g = Tensor::from_vec(vec![1.0, 1.0, 1.0], [3]).unwrap();
+        let gx = relu.backward(&g).unwrap();
+        assert_eq!(gx.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut relu = Relu::new();
+        let err = relu.backward(&Tensor::zeros([2])).unwrap_err();
+        assert!(matches!(err, NnError::BackwardBeforeForward { layer: "relu" }));
+    }
+
+    #[test]
+    fn backward_rejects_mismatched_gradient_shape() {
+        let mut relu = Relu::new();
+        let _ = relu.forward(&Tensor::zeros([3])).unwrap();
+        assert!(relu.backward(&Tensor::zeros([4])).is_err());
+    }
+
+    #[test]
+    fn leaky_relu_forward_and_gradient() {
+        use crate::gradcheck::{check_layer, GradCheck};
+        use rand::SeedableRng;
+        let mut act = LeakyRelu::new(0.2);
+        let x = Tensor::from_vec(vec![-5.0, 0.0, 5.0], [3]).unwrap();
+        let y = act.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[-1.0, 0.0, 5.0]);
+        assert_eq!(act.alpha(), 0.2);
+        // Gradcheck away from the kink.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let cfg = GradCheck::default();
+        let pos = Tensor::rand_uniform([6], 0.3, 1.0, &mut rng);
+        assert!(check_layer(&mut act, &pos, &cfg).unwrap().passed(&cfg));
+        let neg = Tensor::rand_uniform([6], -1.0, -0.3, &mut rng);
+        assert!(check_layer(&mut act, &neg, &cfg).unwrap().passed(&cfg));
+        assert!(LeakyRelu::new(0.1).backward(&Tensor::zeros([1])).is_err());
+    }
+
+    #[test]
+    fn sigmoid_and_tanh_pass_gradcheck() {
+        use crate::gradcheck::{check_layer, GradCheck};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let cfg = GradCheck::default();
+        let x = Tensor::rand_uniform([8], -2.0, 2.0, &mut rng);
+        assert!(check_layer(&mut Sigmoid::new(), &x, &cfg).unwrap().passed(&cfg));
+        assert!(check_layer(&mut Tanh::new(), &x, &cfg).unwrap().passed(&cfg));
+    }
+
+    #[test]
+    fn sigmoid_saturates_and_tanh_is_odd() {
+        let mut sig = Sigmoid::new();
+        let y = sig
+            .forward(&Tensor::from_vec(vec![-20.0, 0.0, 20.0], [3]).unwrap())
+            .unwrap();
+        assert!(y.at(0) < 1e-6);
+        assert!((y.at(1) - 0.5).abs() < 1e-6);
+        assert!(y.at(2) > 1.0 - 1e-6);
+        let mut tanh = Tanh::new();
+        let y = tanh
+            .forward(&Tensor::from_vec(vec![-1.5, 1.5], [2]).unwrap())
+            .unwrap();
+        assert!((y.at(0) + y.at(1)).abs() < 1e-6);
+        assert!(Sigmoid::new().backward(&Tensor::zeros([1])).is_err());
+        assert!(Tanh::new().backward(&Tensor::zeros([1])).is_err());
+    }
+
+    #[test]
+    fn relu_has_no_params() {
+        let mut relu = Relu::new();
+        let mut count = 0;
+        relu.visit_params(&mut |_| count += 1);
+        assert_eq!(count, 0);
+        assert_eq!(relu.param_count(), 0);
+    }
+}

@@ -1,0 +1,235 @@
+use fnas_tensor::{Init, Tensor, XavierUniform};
+use rand::RngCore;
+
+use crate::layer::{Layer, ParamMut};
+use crate::{NnError, Result};
+
+/// Fully connected layer: `y = x · Wᵀ + b` over rank-2 `[batch, features]`
+/// activations.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_nn::layer::{Dense, Layer};
+/// use fnas_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), fnas_nn::NnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut dense = Dense::new(16, 10, &mut rng)?;
+/// let x = Tensor::zeros(&[4, 16]);
+/// let y = dense.forward(&x)?;
+/// assert_eq!(y.shape().dims(), &[4, 10]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    /// `[out_features, in_features]`.
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-uniform weights and zero biases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if either feature count is zero.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut dyn RngCore) -> Result<Self> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NnError::InvalidConfig {
+                what: format!(
+                    "dense requires non-zero features, got in={in_features} out={out_features}"
+                ),
+            });
+        }
+        Ok(Dense {
+            in_features,
+            out_features,
+            weight: XavierUniform.init(&[out_features, in_features].into(), rng),
+            bias: Tensor::zeros([out_features]),
+            grad_weight: Tensor::zeros([out_features, in_features]),
+            grad_bias: Tensor::zeros([out_features]),
+            cached_input: None,
+        })
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.rank() != 2 || input.shape().dim(1) != self.in_features {
+            return Err(NnError::BadInput {
+                layer: "dense",
+                expected: format!("rank-2 input with {} features", self.in_features),
+                got: input.shape().to_string(),
+            });
+        }
+        let out = input.matmul(&self.weight.transpose()?)?;
+        let n = out.shape().dim(0);
+        let mut data = out.into_vec();
+        let b = self.bias.as_slice();
+        for row in data.chunks_exact_mut(self.out_features) {
+            for (o, &bv) in row.iter_mut().zip(b) {
+                *o += bv;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(Tensor::from_vec(data, [n, self.out_features])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "dense" })?;
+        if grad_out.rank() != 2
+            || grad_out.shape().dim(0) != input.shape().dim(0)
+            || grad_out.shape().dim(1) != self.out_features
+        {
+            return Err(NnError::BadInput {
+                layer: "dense",
+                expected: "gradient matching forward output shape".to_string(),
+                got: grad_out.shape().to_string(),
+            });
+        }
+        // dW = goᵀ · x, db = Σ_batch go, dx = go · W
+        let gw = grad_out.transpose()?.matmul(input)?;
+        self.grad_weight.add_scaled(&gw, 1.0)?;
+        let go = grad_out.as_slice();
+        let gb = self.grad_bias.as_mut_slice();
+        for row in go.chunks_exact(self.out_features) {
+            for (g, &v) in gb.iter_mut().zip(row) {
+                *g += v;
+            }
+        }
+        Ok(grad_out.matmul(&self.weight)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
+        f(ParamMut {
+            value: &mut self.weight,
+            grad: &mut self.grad_weight,
+        });
+        f(ParamMut {
+            value: &mut self.bias,
+            grad: &mut self.grad_bias,
+        });
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_is_affine() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut dense = Dense::new(2, 2, &mut rng).unwrap();
+        dense.weight = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        dense.bias = Tensor::from_vec(vec![10.0, 20.0], [2]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 1.0], [1, 2]).unwrap();
+        let y = dense.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut dense = Dense::new(4, 2, &mut rng).unwrap();
+        assert!(dense.forward(&Tensor::zeros([1, 3])).is_err());
+        assert!(dense.forward(&Tensor::zeros([4])).is_err());
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut dense = Dense::new(3, 2, &mut rng).unwrap();
+        let x = Tensor::rand_uniform([2, 3], -1.0, 1.0, &mut rng);
+        let y = dense.forward(&x).unwrap();
+        dense.zero_grad();
+        let _ = dense.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let analytic = dense.grad_weight.clone();
+
+        let eps = 1e-2f32;
+        for idx in 0..dense.weight.len() {
+            let orig = dense.weight.at(idx);
+            *dense.weight.at_mut(idx) = orig + eps;
+            let fp = dense.forward(&x).unwrap().sum();
+            *dense.weight.at_mut(idx) = orig - eps;
+            let fm = dense.forward(&x).unwrap().sum();
+            *dense.weight.at_mut(idx) = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - analytic.at(idx)).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn bias_gradient_is_batch_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut dense = Dense::new(3, 2, &mut rng).unwrap();
+        let x = Tensor::zeros([5, 3]);
+        let y = dense.forward(&x).unwrap();
+        dense.zero_grad();
+        let _ = dense.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(dense.grad_bias.as_slice(), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backward_calls() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut dense = Dense::new(2, 2, &mut rng).unwrap();
+        let x = Tensor::ones([1, 2]);
+        let y = dense.forward(&x).unwrap();
+        let g = Tensor::ones(y.shape().clone());
+        dense.zero_grad();
+        let _ = dense.backward(&g).unwrap();
+        let once = dense.grad_weight.clone();
+        let _ = dense.backward(&g).unwrap();
+        let twice = dense.grad_weight.clone();
+        assert_eq!(twice.as_slice(), once.scale(2.0).as_slice());
+    }
+
+    #[test]
+    fn visit_params_yields_weight_and_bias() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut dense = Dense::new(3, 2, &mut rng).unwrap();
+        let mut count = 0;
+        dense.visit_params(&mut |p| {
+            assert_eq!(p.value.shape(), p.grad.shape());
+            count += 1;
+        });
+        assert_eq!(count, 2);
+        assert_eq!(dense.param_count(), 6 + 2);
+    }
+}

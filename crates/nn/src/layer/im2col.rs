@@ -1,0 +1,173 @@
+//! The im2col convolution lowering.
+//!
+//! Direct convolution walks six nested loops; lowering to matrix form —
+//! unfolding every receptive field into a column and multiplying by the
+//! reshaped weight matrix — trades memory for the much better cache
+//! behaviour of [`Tensor::matmul`]'s tight inner loop. [`Conv2d`] exposes
+//! both algorithms through [`ConvAlgo`]; they are bit-for-bit interchange-
+//! able up to floating-point summation order (property-tested in
+//! `tests/proptest_invariants.rs` and below).
+//!
+//! [`Conv2d`]: crate::layer::Conv2d
+//! [`ConvAlgo`]: crate::layer::ConvAlgo
+
+use fnas_tensor::Tensor;
+
+use crate::Result;
+
+/// Geometry of one im2col lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ColGeometry {
+    pub in_channels: usize,
+    pub height: usize,
+    pub width: usize,
+    pub kernel: usize,
+    pub stride: usize,
+    pub pad: usize,
+    pub out_h: usize,
+    pub out_w: usize,
+}
+
+impl ColGeometry {
+    /// Rows of the column matrix: one per weight element.
+    pub fn rows(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Columns of the column matrix: one per output position.
+    pub fn cols(&self) -> usize {
+        self.out_h * self.out_w
+    }
+}
+
+/// Unfolds one image (`[c·h·w]` slice) into a `[rows × cols]` column
+/// matrix, zero-filling the padded border.
+pub(crate) fn im2col(image: &[f32], g: &ColGeometry) -> Result<Tensor> {
+    let (rows, cols) = (g.rows(), g.cols());
+    let mut out = vec![0.0f32; rows * cols];
+    for c in 0..g.in_channels {
+        let plane = &image[c * g.height * g.width..(c + 1) * g.height * g.width];
+        for ki in 0..g.kernel {
+            for kj in 0..g.kernel {
+                let row = (c * g.kernel + ki) * g.kernel + kj;
+                let orow = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..g.out_h {
+                    let iy = (oy * g.stride + ki) as isize - g.pad as isize;
+                    if iy < 0 || iy as usize >= g.height {
+                        continue;
+                    }
+                    let irow = &plane[iy as usize * g.width..(iy as usize + 1) * g.width];
+                    for ox in 0..g.out_w {
+                        let ix = (ox * g.stride + kj) as isize - g.pad as isize;
+                        if ix >= 0 && (ix as usize) < g.width {
+                            orow[oy * g.out_w + ox] = irow[ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, &[rows, cols][..])?)
+}
+
+/// Folds a `[rows × cols]` gradient back onto the image, accumulating
+/// overlapping receptive fields (the adjoint of [`im2col`]).
+pub(crate) fn col2im(cols_grad: &Tensor, g: &ColGeometry, image_grad: &mut [f32]) {
+    let cols = g.cols();
+    let data = cols_grad.as_slice();
+    for c in 0..g.in_channels {
+        let plane = &mut image_grad[c * g.height * g.width..(c + 1) * g.height * g.width];
+        for ki in 0..g.kernel {
+            for kj in 0..g.kernel {
+                let row = (c * g.kernel + ki) * g.kernel + kj;
+                let grow = &data[row * cols..(row + 1) * cols];
+                for oy in 0..g.out_h {
+                    let iy = (oy * g.stride + ki) as isize - g.pad as isize;
+                    if iy < 0 || iy as usize >= g.height {
+                        continue;
+                    }
+                    let base = iy as usize * g.width;
+                    for ox in 0..g.out_w {
+                        let ix = (ox * g.stride + kj) as isize - g.pad as isize;
+                        if ix >= 0 && (ix as usize) < g.width {
+                            plane[base + ix as usize] += grow[oy * g.out_w + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> ColGeometry {
+        ColGeometry {
+            in_channels: 2,
+            height: 4,
+            width: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            out_h: 4,
+            out_w: 4,
+        }
+    }
+
+    #[test]
+    fn shapes_follow_geometry() {
+        let g = geometry();
+        let img = vec![1.0f32; 2 * 16];
+        let cols = im2col(&img, &g).unwrap();
+        assert_eq!(cols.shape().dims(), &[2 * 9, 16]);
+    }
+
+    #[test]
+    fn centre_kernel_row_reproduces_the_image() {
+        // With pad 1, the kernel-centre row (ki = kj = 1) of the column
+        // matrix is exactly the original image plane.
+        let g = geometry();
+        let img: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        let cols = im2col(&img, &g).unwrap();
+        for c in 0..2 {
+            let row = (c * 3 + 1) * 3 + 1;
+            let start = row * 16;
+            assert_eq!(
+                &cols.as_slice()[start..start + 16],
+                &img[c * 16..(c + 1) * 16]
+            );
+        }
+    }
+
+    #[test]
+    fn padding_cells_are_zero() {
+        let g = geometry();
+        let img = vec![1.0f32; 32];
+        let cols = im2col(&img, &g).unwrap();
+        // Row (c=0, ki=0, kj=0) at output (0,0) reads input (-1,-1): zero.
+        assert_eq!(cols.at(0), 0.0);
+    }
+
+    #[test]
+    fn col2im_is_the_adjoint_of_im2col() {
+        // ⟨im2col(x), y⟩ = ⟨x, col2im(y)⟩ for all x, y — the defining
+        // property of an adjoint, checked on random data.
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let g = geometry();
+        let x: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f32> = (0..g.rows() * g.cols())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let y_t = Tensor::from_vec(y.clone(), &[g.rows(), g.cols()][..]).unwrap();
+        let cols = im2col(&x, &g).unwrap();
+        let lhs: f32 = cols.as_slice().iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut back = vec![0.0f32; 32];
+        col2im(&y_t, &g, &mut back);
+        let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "⟨Ax,y⟩={lhs} vs ⟨x,Aᵀy⟩={rhs}");
+    }
+}

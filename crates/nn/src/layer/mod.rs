@@ -1,0 +1,286 @@
+//! Network layers with hand-derived forward and backward passes.
+//!
+//! All spatial layers use NCHW layout: activations are rank-4 tensors
+//! `[batch, channels, height, width]`. Dense layers operate on rank-2
+//! `[batch, features]`.
+//!
+//! Layers are stateful: [`Layer::forward`] caches whatever the corresponding
+//! [`Layer::backward`] needs, and parameterised layers accumulate gradients
+//! into their own buffers (drained by an optimiser through
+//! [`Layer::visit_params`]).
+
+mod activation;
+mod conv;
+mod dense;
+mod im2col;
+mod pool;
+mod regularize;
+
+pub use activation::{LeakyRelu, Relu, Sigmoid, Tanh};
+pub use conv::{Conv2d, ConvAlgo};
+pub use dense::Dense;
+pub use pool::{Flatten, GlobalAvgPool, MaxPool2d};
+pub use regularize::{AvgPool2d, Dropout};
+
+use fnas_tensor::Tensor;
+
+use crate::Result;
+
+/// A mutable view of one parameter tensor and its gradient accumulator.
+///
+/// Handed to optimisers by [`Layer::visit_params`]; the optimiser updates
+/// `value` in place using `grad`.
+#[derive(Debug)]
+pub struct ParamMut<'a> {
+    /// The trainable tensor.
+    pub value: &'a mut Tensor,
+    /// The gradient accumulated by the most recent backward pass(es).
+    pub grad: &'a mut Tensor,
+}
+
+/// A trainable (or stateless) network layer.
+///
+/// Implementations cache forward activations so that `backward` can compute
+/// input gradients and accumulate parameter gradients.
+pub trait Layer: std::fmt::Debug {
+    /// Runs the layer on `input`, caching state for the backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`](crate::NnError::BadInput) if the input
+    /// shape is not what the layer expects.
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor>;
+
+    /// Propagates `grad_out` (gradient of the loss w.r.t. this layer's
+    /// output) backwards, returning the gradient w.r.t. the layer's input
+    /// and accumulating parameter gradients internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`](crate::NnError::BackwardBeforeForward)
+    /// if called before [`Layer::forward`].
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Calls `f` once per trainable parameter of this layer.
+    ///
+    /// Stateless layers do nothing; the default implementation is empty.
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
+        let _ = f;
+    }
+
+    /// Resets all accumulated gradients to zero.
+    fn zero_grad(&mut self) {}
+
+    /// Switches between training and evaluation behaviour (only layers with
+    /// mode-dependent semantics, e.g. [`Dropout`], react; the default is a
+    /// no-op).
+    fn set_training(&mut self, training: bool) {
+        let _ = training;
+    }
+
+    /// Short human-readable layer name, e.g. `"conv2d"`.
+    fn name(&self) -> &'static str;
+
+    /// Number of trainable scalars in this layer.
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+/// Declarative description of a layer, used by
+/// [`Sequential::build`](crate::model::Sequential::build) to infer shapes and
+/// instantiate concrete layers.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_nn::layer::LayerSpec;
+///
+/// let spec = [
+///     LayerSpec::conv(16, 3),
+///     LayerSpec::relu(),
+///     LayerSpec::max_pool(2),
+///     LayerSpec::global_avg_pool(),
+///     LayerSpec::dense(10),
+/// ];
+/// assert_eq!(spec.len(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LayerSpec {
+    /// 2-D convolution with square `kernel` and `out_channels` filters,
+    /// stride 1, half padding (`(kernel − 1) / 2`).
+    Conv {
+        /// Number of output channels (filters).
+        out_channels: usize,
+        /// Side length of the square kernel.
+        kernel: usize,
+    },
+    /// Rectified linear unit.
+    Relu,
+    /// Square max pooling with window and stride `k`.
+    MaxPool {
+        /// Window side length and stride.
+        k: usize,
+    },
+    /// Collapse `[N, C, H, W]` to `[N, C·H·W]`.
+    Flatten,
+    /// Collapse `[N, C, H, W]` to `[N, C]` by spatial averaging.
+    GlobalAvgPool,
+    /// Square average pooling with window and stride `k`.
+    AvgPool {
+        /// Window side length and stride.
+        k: usize,
+    },
+    /// Inverted dropout with probability `p` (active only in training).
+    Dropout {
+        /// Drop probability in `[0, 1)`, times 1000 (stored as integer so
+        /// the spec stays `Eq`/`Hash`; `250` means `p = 0.25`).
+        p_millis: u32,
+    },
+    /// Fully connected layer with `out_features` outputs.
+    Dense {
+        /// Number of output features.
+        out_features: usize,
+    },
+}
+
+impl LayerSpec {
+    /// Convolution spec (see [`LayerSpec::Conv`]).
+    pub fn conv(out_channels: usize, kernel: usize) -> Self {
+        LayerSpec::Conv {
+            out_channels,
+            kernel,
+        }
+    }
+
+    /// ReLU spec.
+    pub fn relu() -> Self {
+        LayerSpec::Relu
+    }
+
+    /// Max-pooling spec (see [`LayerSpec::MaxPool`]).
+    pub fn max_pool(k: usize) -> Self {
+        LayerSpec::MaxPool { k }
+    }
+
+    /// Flatten spec.
+    pub fn flatten() -> Self {
+        LayerSpec::Flatten
+    }
+
+    /// Global-average-pool spec.
+    pub fn global_avg_pool() -> Self {
+        LayerSpec::GlobalAvgPool
+    }
+
+    /// Dense spec (see [`LayerSpec::Dense`]).
+    pub fn dense(out_features: usize) -> Self {
+        LayerSpec::Dense { out_features }
+    }
+
+    /// Average-pooling spec (see [`LayerSpec::AvgPool`]).
+    pub fn avg_pool(k: usize) -> Self {
+        LayerSpec::AvgPool { k }
+    }
+
+    /// Dropout spec with probability `p` (see [`LayerSpec::Dropout`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn dropout(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        LayerSpec::Dropout {
+            p_millis: (p * 1000.0).round() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnas_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Numerically checks `backward` of `layer` against finite differences
+    /// of the scalar loss `sum(forward(x))`.
+    pub(crate) fn check_input_gradient(layer: &mut dyn Layer, input: &Tensor, tol: f32) {
+        let out = layer.forward(input).expect("forward");
+        let grad_out = Tensor::ones(out.shape().clone());
+        let grad_in = layer.backward(&grad_out).expect("backward");
+        assert_eq!(grad_in.shape(), input.shape());
+
+        let eps = 1e-2f32;
+        for idx in 0..input.len() {
+            let mut plus = input.clone();
+            *plus.at_mut(idx) += eps;
+            let mut minus = input.clone();
+            *minus.at_mut(idx) -= eps;
+            let f_plus = layer.forward(&plus).expect("forward+").sum();
+            let f_minus = layer.forward(&minus).expect("forward-").sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let analytic = grad_in.at(idx);
+            assert!(
+                (numeric - analytic).abs() < tol,
+                "grad mismatch at {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_input_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng).unwrap();
+        let input = Tensor::rand_uniform([1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        check_input_gradient(&mut conv, &input, 2e-2);
+    }
+
+    #[test]
+    fn dense_input_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut dense = Dense::new(6, 4, &mut rng).unwrap();
+        let input = Tensor::rand_uniform([2, 6], -1.0, 1.0, &mut rng);
+        check_input_gradient(&mut dense, &input, 2e-2);
+    }
+
+    #[test]
+    fn relu_input_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut relu = Relu::new();
+        // Keep values away from the kink at 0 where the numeric check is
+        // ill-defined.
+        let input = Tensor::rand_uniform([2, 3], 0.2, 1.0, &mut rng);
+        check_input_gradient(&mut relu, &input, 1e-2);
+        let negative = Tensor::rand_uniform([2, 3], -1.0, -0.2, &mut rng);
+        check_input_gradient(&mut relu, &negative, 1e-2);
+    }
+
+    #[test]
+    fn max_pool_input_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut pool = MaxPool2d::new(2).unwrap();
+        // Distinct values so the argmax is stable under ±eps.
+        let data: Vec<f32> = (0..16).map(|i| i as f32 * 0.37 + ((i * 7) % 5) as f32).collect();
+        let input = Tensor::from_vec(data, [1, 1, 4, 4]).unwrap();
+        check_input_gradient(&mut pool, &input, 1e-2);
+        let _ = &mut rng;
+    }
+
+    #[test]
+    fn global_avg_pool_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut gap = GlobalAvgPool::new();
+        let input = Tensor::rand_uniform([2, 3, 4, 4], -1.0, 1.0, &mut rng);
+        check_input_gradient(&mut gap, &input, 1e-2);
+    }
+
+    #[test]
+    fn flatten_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut fl = Flatten::new();
+        let input = Tensor::rand_uniform([2, 2, 3, 3], -1.0, 1.0, &mut rng);
+        check_input_gradient(&mut fl, &input, 1e-2);
+    }
+}

@@ -1,0 +1,341 @@
+use fnas_tensor::{Shape, Tensor};
+
+use crate::layer::Layer;
+use crate::{NnError, Result};
+
+/// Square max pooling over NCHW activations, window and stride both `k`.
+///
+/// Trailing rows/columns that do not fill a complete window are dropped
+/// (floor semantics), matching the common deep-learning default.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_nn::layer::{Layer, MaxPool2d};
+/// use fnas_tensor::Tensor;
+///
+/// # fn main() -> Result<(), fnas_nn::NnError> {
+/// let mut pool = MaxPool2d::new(2)?;
+/// let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4])?;
+/// let y = pool.forward(&x)?;
+/// assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+/// assert_eq!(y.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MaxPool2d {
+    k: usize,
+    /// Flat input offsets of each output's argmax, plus the input shape.
+    cache: Option<(Vec<usize>, Shape)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with window/stride `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `k` is zero.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(NnError::InvalidConfig {
+                what: "max pool window must be non-zero".to_string(),
+            });
+        }
+        Ok(MaxPool2d { k, cache: None })
+    }
+
+    /// Window (and stride) side length.
+    pub fn window(&self) -> usize {
+        self.k
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(NnError::BadInput {
+                layer: "max_pool2d",
+                expected: "rank-4 NCHW input".to_string(),
+                got: input.shape().to_string(),
+            });
+        }
+        let dims = input.shape().dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let k = self.k;
+        let (oh, ow) = (h / k, w / k);
+        if oh == 0 || ow == 0 {
+            return Err(NnError::BadInput {
+                layer: "max_pool2d",
+                expected: format!("spatial extent ≥ window {k}"),
+                got: input.shape().to_string(),
+            });
+        }
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        for nc in 0..n * c {
+            let base = nc * h * w;
+            let obase = nc * oh * ow;
+            for or in 0..oh {
+                for oc in 0..ow {
+                    let mut best_idx = base + (or * k) * w + oc * k;
+                    let mut best = x[best_idx];
+                    for ki in 0..k {
+                        let row = base + (or * k + ki) * w + oc * k;
+                        for kj in 0..k {
+                            let idx = row + kj;
+                            if x[idx] > best {
+                                best = x[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out[obase + or * ow + oc] = best;
+                    argmax[obase + or * ow + oc] = best_idx;
+                }
+            }
+        }
+        self.cache = Some((argmax, input.shape().clone()));
+        Ok(Tensor::from_vec(out, [n, c, oh, ow])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (argmax, in_shape) = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "max_pool2d" })?;
+        if grad_out.len() != argmax.len() {
+            return Err(NnError::BadInput {
+                layer: "max_pool2d",
+                expected: "gradient matching forward output shape".to_string(),
+                got: grad_out.shape().to_string(),
+            });
+        }
+        let mut gx = Tensor::zeros(in_shape.clone());
+        for (i, &src) in argmax.iter().enumerate() {
+            *gx.at_mut(src) += grad_out.at(i);
+        }
+        Ok(gx)
+    }
+
+    fn name(&self) -> &'static str {
+        "max_pool2d"
+    }
+}
+
+/// Collapses `[N, C, H, W]` into `[N, C·H·W]`.
+///
+/// The backward pass simply reshapes the gradient back.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    in_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.rank() < 2 {
+            return Err(NnError::BadInput {
+                layer: "flatten",
+                expected: "input of rank ≥ 2".to_string(),
+                got: input.shape().to_string(),
+            });
+        }
+        let n = input.shape().dim(0);
+        let rest = input.len() / n.max(1);
+        self.in_shape = Some(input.shape().clone());
+        Ok(input.reshape(&[n, rest][..])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .in_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "flatten" })?;
+        Ok(grad_out.reshape(shape.clone())?)
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]` by averaging each
+/// channel's spatial plane.
+///
+/// Used as the head of NAS child networks so that any spatial extent feeds
+/// the same classifier.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    in_shape: Option<Shape>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pool layer.
+    pub fn new() -> Self {
+        GlobalAvgPool::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(NnError::BadInput {
+                layer: "global_avg_pool",
+                expected: "rank-4 NCHW input".to_string(),
+                got: input.shape().to_string(),
+            });
+        }
+        let dims = input.shape().dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let plane = h * w;
+        if plane == 0 {
+            return Err(NnError::BadInput {
+                layer: "global_avg_pool",
+                expected: "non-empty spatial plane".to_string(),
+                got: input.shape().to_string(),
+            });
+        }
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; n * c];
+        for (nc, o) in out.iter_mut().enumerate() {
+            let s: f32 = x[nc * plane..(nc + 1) * plane].iter().sum();
+            *o = s / plane as f32;
+        }
+        self.in_shape = Some(input.shape().clone());
+        Ok(Tensor::from_vec(out, [n, c])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .in_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward {
+                layer: "global_avg_pool",
+            })?;
+        let dims = shape.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let plane = (h * w) as f32;
+        if grad_out.len() != n * c {
+            return Err(NnError::BadInput {
+                layer: "global_avg_pool",
+                expected: "gradient matching forward output shape".to_string(),
+                got: grad_out.shape().to_string(),
+            });
+        }
+        let mut gx = vec![0.0f32; n * c * h * w];
+        for nc in 0..n * c {
+            let g = grad_out.at(nc) / plane;
+            for v in &mut gx[nc * h * w..(nc + 1) * h * w] {
+                *v = g;
+            }
+        }
+        Ok(Tensor::from_vec(gx, shape.clone())?)
+    }
+
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 1.0, 2.0, 3.0, //
+                4.0, 5.0, 6.0, 7.0,
+            ],
+            [1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn max_pool_drops_incomplete_windows() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        let x = Tensor::zeros([1, 1, 5, 5]);
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax_only() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 9.0],
+            [1, 1, 2, 2],
+        )
+        .unwrap();
+        let _ = pool.forward(&x).unwrap();
+        let g = Tensor::from_vec(vec![5.0], [1, 1, 1, 1]).unwrap();
+        let gx = pool.backward(&g).unwrap();
+        assert_eq!(gx.as_slice(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn max_pool_rejects_small_inputs_and_bad_rank() {
+        let mut pool = MaxPool2d::new(4).unwrap();
+        assert!(pool.forward(&Tensor::zeros([1, 1, 2, 2])).is_err());
+        assert!(pool.forward(&Tensor::zeros([4, 4])).is_err());
+        assert!(MaxPool2d::new(0).is_err());
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let mut fl = Flatten::new();
+        let x = Tensor::from_vec((0..24).map(|i| i as f32).collect(), [2, 3, 2, 2]).unwrap();
+        let y = fl.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 12]);
+        let gx = fl.backward(&y).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+        assert_eq!(gx.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn global_avg_pool_averages_planes() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            [1, 2, 2, 2],
+        )
+        .unwrap();
+        let y = gap.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_backward_spreads_evenly() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::zeros([1, 1, 2, 2]);
+        let _ = gap.forward(&x).unwrap();
+        let g = Tensor::from_vec(vec![8.0], [1, 1]).unwrap();
+        let gx = gap.backward(&g).unwrap();
+        assert_eq!(gx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        assert!(MaxPool2d::new(2)
+            .unwrap()
+            .backward(&Tensor::zeros([1]))
+            .is_err());
+        assert!(Flatten::new().backward(&Tensor::zeros([1])).is_err());
+        assert!(GlobalAvgPool::new().backward(&Tensor::zeros([1])).is_err());
+    }
+}

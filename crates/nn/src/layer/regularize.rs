@@ -1,0 +1,305 @@
+//! Regularisation layers: average pooling and (inverted) dropout.
+
+use fnas_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layer::Layer;
+use crate::{NnError, Result};
+
+/// Square average pooling over NCHW activations, window and stride both
+/// `k`; trailing rows/columns that do not fill a window are dropped.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_nn::layer::{AvgPool2d, Layer};
+/// use fnas_tensor::Tensor;
+///
+/// # fn main() -> Result<(), fnas_nn::NnError> {
+/// let mut pool = AvgPool2d::new(2)?;
+/// let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4])?;
+/// let y = pool.forward(&x)?;
+/// assert_eq!(y.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AvgPool2d {
+    k: usize,
+    in_shape: Option<Shape>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with window/stride `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `k` is zero.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(NnError::InvalidConfig {
+                what: "avg pool window must be non-zero".to_string(),
+            });
+        }
+        Ok(AvgPool2d { k, in_shape: None })
+    }
+
+    /// Window (and stride) side length.
+    pub fn window(&self) -> usize {
+        self.k
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(NnError::BadInput {
+                layer: "avg_pool2d",
+                expected: "rank-4 NCHW input".to_string(),
+                got: input.shape().to_string(),
+            });
+        }
+        let dims = input.shape().dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let k = self.k;
+        let (oh, ow) = (h / k, w / k);
+        if oh == 0 || ow == 0 {
+            return Err(NnError::BadInput {
+                layer: "avg_pool2d",
+                expected: format!("spatial extent ≥ window {k}"),
+                got: input.shape().to_string(),
+            });
+        }
+        let x = input.as_slice();
+        let inv = 1.0 / (k * k) as f32;
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        for nc in 0..n * c {
+            let base = nc * h * w;
+            let obase = nc * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ki in 0..k {
+                        let row = base + (oy * k + ki) * w + ox * k;
+                        acc += x[row..row + k].iter().sum::<f32>();
+                    }
+                    out[obase + oy * ow + ox] = acc * inv;
+                }
+            }
+        }
+        self.in_shape = Some(input.shape().clone());
+        Ok(Tensor::from_vec(out, [n, c, oh, ow])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .in_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "avg_pool2d" })?;
+        let dims = shape.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let k = self.k;
+        let (oh, ow) = (h / k, w / k);
+        if grad_out.len() != n * c * oh * ow {
+            return Err(NnError::BadInput {
+                layer: "avg_pool2d",
+                expected: "gradient matching forward output shape".to_string(),
+                got: grad_out.shape().to_string(),
+            });
+        }
+        let inv = 1.0 / (k * k) as f32;
+        let mut gx = vec![0.0f32; n * c * h * w];
+        let go = grad_out.as_slice();
+        for nc in 0..n * c {
+            let base = nc * h * w;
+            let obase = nc * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = go[obase + oy * ow + ox] * inv;
+                    for ki in 0..k {
+                        let row = base + (oy * k + ki) * w + ox * k;
+                        for v in &mut gx[row..row + k] {
+                            *v += g;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(gx, shape.clone())?)
+    }
+
+    fn name(&self) -> &'static str {
+        "avg_pool2d"
+    }
+}
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and the survivors are scaled by `1/(1−p)`, so that
+/// evaluation needs no rescaling; in evaluation mode the layer is the
+/// identity.
+///
+/// The layer owns its RNG (seeded at construction), so training runs stay
+/// reproducible without threading randomness through the `Layer` trait.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    training: bool,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and RNG `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] unless `0 ≤ p < 1`.
+    pub fn new(p: f32, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::InvalidConfig {
+                what: format!("dropout probability must be in [0, 1), got {p}"),
+            });
+        }
+        Ok(Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            training: true,
+            mask: None,
+        })
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if !self.training || self.p == 0.0 {
+            self.mask = None;
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..input.len())
+            .map(|_| {
+                if self.rng.gen_range(0.0f32..1.0) < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, input.shape().clone())?;
+        let out = input.mul(&mask)?;
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        match &self.mask {
+            Some(mask) => Ok(grad_out.mul(mask)?),
+            // Identity in evaluation mode (or p = 0).
+            None => Ok(grad_out.clone()),
+        }
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_means_each_window() {
+        let mut pool = AvgPool2d::new(2).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], [1, 1, 2, 2]).unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[4.0]);
+        assert_eq!(pool.window(), 2);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_gradient() {
+        let mut pool = AvgPool2d::new(2).unwrap();
+        let x = Tensor::zeros([1, 1, 2, 2]);
+        let _ = pool.forward(&x).unwrap();
+        let gx = pool
+            .backward(&Tensor::from_vec(vec![8.0], [1, 1, 1, 1]).unwrap())
+            .unwrap();
+        assert_eq!(gx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn avg_pool_gradient_matches_finite_differences() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pool = AvgPool2d::new(2).unwrap();
+        let input = Tensor::rand_uniform([1, 2, 4, 4], -1.0, 1.0, &mut rng);
+        crate::layer::tests::check_input_gradient(&mut pool, &input, 1e-2);
+    }
+
+    #[test]
+    fn avg_pool_rejects_bad_inputs() {
+        assert!(AvgPool2d::new(0).is_err());
+        let mut pool = AvgPool2d::new(4).unwrap();
+        assert!(pool.forward(&Tensor::zeros([1, 1, 2, 2])).is_err());
+        assert!(pool.forward(&Tensor::zeros([4, 4])).is_err());
+        assert!(AvgPool2d::new(2)
+            .unwrap()
+            .backward(&Tensor::zeros([1]))
+            .is_err());
+    }
+
+    #[test]
+    fn dropout_keeps_expected_mass_when_training() {
+        let mut d = Dropout::new(0.4, 7).unwrap();
+        let x = Tensor::ones([10_000]);
+        let y = d.forward(&x).unwrap();
+        // Inverted dropout preserves the expectation.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Roughly 40% of the entries are zero.
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((3_500..4_500).contains(&zeros), "{zeros} zeros");
+    }
+
+    #[test]
+    fn dropout_is_identity_in_eval_mode() {
+        let mut d = Dropout::new(0.5, 7).unwrap();
+        d.set_training(false);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]).unwrap();
+        let y = d.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+        let g = d.backward(&x).unwrap();
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn dropout_backward_uses_the_forward_mask() {
+        let mut d = Dropout::new(0.5, 3).unwrap();
+        let x = Tensor::ones([64]);
+        let y = d.forward(&x).unwrap();
+        let g = d.backward(&Tensor::ones([64])).unwrap();
+        // Gradient is zero exactly where the activation was dropped.
+        for (a, b) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*a == 0.0, *b == 0.0);
+        }
+    }
+
+    #[test]
+    fn dropout_validates_probability() {
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(-0.1, 0).is_err());
+        assert!(Dropout::new(0.0, 0).is_ok());
+    }
+}

@@ -1,0 +1,61 @@
+//! From-scratch neural-network training engine for the FNAS reproduction.
+//!
+//! The DAC'19 FNAS paper trains every *child network* proposed by the RNN
+//! controller in order to obtain its validation accuracy, and trains the
+//! controller itself with REINFORCE. Mature GPU training stacks are not
+//! available in this reproduction, so this crate implements the complete
+//! substrate on the CPU:
+//!
+//! * [`layer`] — convolution, dense, ReLU, max-pooling, flatten and global
+//!   average pooling layers with hand-derived backward passes (NCHW layout);
+//! * [`loss`] — softmax cross-entropy on logits;
+//! * [`lstm`] — an LSTM cell with backpropagation-through-time support, used
+//!   by the NAS controller;
+//! * [`optim`] — SGD with momentum and Adam;
+//! * [`model`] — a [`Sequential`](model::Sequential) container assembled
+//!   from layer descriptions;
+//! * [`train`] — mini-batch training loops and accuracy evaluation;
+//! * [`gradcheck`] — numerical gradient verification for custom layers.
+//!
+//! # Examples
+//!
+//! ```
+//! use fnas_nn::model::Sequential;
+//! use fnas_nn::layer::LayerSpec;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), fnas_nn::NnError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! // A 2-layer CNN for 8×8 single-channel inputs, 4 classes.
+//! let model = Sequential::build(
+//!     (1, 8, 8),
+//!     &[
+//!         LayerSpec::conv(8, 3),
+//!         LayerSpec::relu(),
+//!         LayerSpec::global_avg_pool(),
+//!         LayerSpec::dense(4),
+//!     ],
+//!     &mut rng,
+//! )?;
+//! assert_eq!(model.num_classes(), Some(4));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod gradcheck;
+pub mod layer;
+pub mod loss;
+pub mod lstm;
+pub mod metrics;
+pub mod model;
+pub mod optim;
+pub mod train;
+
+pub use error::NnError;
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, NnError>;

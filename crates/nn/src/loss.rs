@@ -1,0 +1,186 @@
+//! Loss functions on logits.
+
+use fnas_tensor::Tensor;
+
+use crate::{NnError, Result};
+
+/// Result of a softmax cross-entropy evaluation: the mean loss over the
+/// batch and the gradient with respect to the logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean negative log-likelihood over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss w.r.t. the logits, shaped like the logits.
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy over rank-2 logits `[batch, classes]` with integer
+/// class labels.
+///
+/// Combines the softmax and the negative log-likelihood so the backward pass
+/// is the numerically friendly `softmax(x) − onehot(y)` (scaled by `1/batch`).
+///
+/// # Examples
+///
+/// ```
+/// use fnas_nn::loss::softmax_cross_entropy;
+/// use fnas_tensor::Tensor;
+///
+/// # fn main() -> Result<(), fnas_nn::NnError> {
+/// let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0, 10.0], &[2, 2])?;
+/// let out = softmax_cross_entropy(&logits, &[0, 1])?;
+/// assert!(out.loss < 0.01); // confident and correct
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] if `logits` is not rank 2 or the label count
+/// differs from the batch size, and [`NnError::LabelOutOfRange`] for labels
+/// `≥ classes`.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+    if logits.rank() != 2 {
+        return Err(NnError::BadInput {
+            layer: "softmax_cross_entropy",
+            expected: "rank-2 [batch, classes] logits".to_string(),
+            got: logits.shape().to_string(),
+        });
+    }
+    let (n, c) = (logits.shape().dim(0), logits.shape().dim(1));
+    if labels.len() != n {
+        return Err(NnError::BadInput {
+            layer: "softmax_cross_entropy",
+            expected: format!("{n} labels"),
+            got: format!("{} labels", labels.len()),
+        });
+    }
+    let x = logits.as_slice();
+    let mut grad = vec![0.0f32; n * c];
+    let mut loss = 0.0f32;
+    for (i, &label) in labels.iter().enumerate() {
+        if label >= c {
+            return Err(NnError::LabelOutOfRange { label, classes: c });
+        }
+        let row = &x[i * c..(i + 1) * c];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let denom: f32 = exps.iter().sum();
+        let grow = &mut grad[i * c..(i + 1) * c];
+        for (j, (&e, g)) in exps.iter().zip(grow.iter_mut()).enumerate() {
+            let p = e / denom;
+            *g = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+        loss += -(exps[label] / denom).max(f32::MIN_POSITIVE).ln();
+    }
+    Ok(LossOutput {
+        loss: loss / n as f32,
+        grad: Tensor::from_vec(grad, logits.shape().clone())?,
+    })
+}
+
+/// Counts how many rows of rank-2 `logits` argmax to their label.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] on shape/label-count mismatch.
+pub fn count_correct(logits: &Tensor, labels: &[usize]) -> Result<usize> {
+    if logits.rank() != 2 {
+        return Err(NnError::BadInput {
+            layer: "count_correct",
+            expected: "rank-2 [batch, classes] logits".to_string(),
+            got: logits.shape().to_string(),
+        });
+    }
+    let (n, c) = (logits.shape().dim(0), logits.shape().dim(1));
+    if labels.len() != n {
+        return Err(NnError::BadInput {
+            layer: "count_correct",
+            expected: format!("{n} labels"),
+            got: format!("{} labels", labels.len()),
+        });
+    }
+    let x = logits.as_slice();
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &x[i * c..(i + 1) * c];
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    Ok(correct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Tensor::zeros([1, 4]);
+        let out = softmax_cross_entropy(&logits, &[2]).unwrap();
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], [2, 3]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0, 2]).unwrap();
+        let g = out.grad.as_slice();
+        for row in g.chunks_exact(3) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1], [2, 2]).unwrap();
+        let labels = [1usize, 0];
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..logits.len() {
+            let mut plus = logits.clone();
+            *plus.at_mut(idx) += eps;
+            let mut minus = logits.clone();
+            *minus.at_mut(idx) -= eps;
+            let lp = softmax_cross_entropy(&plus, &labels).unwrap().loss;
+            let lm = softmax_cross_entropy(&minus, &labels).unwrap().loss;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - out.grad.at(idx)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn huge_logits_stay_finite() {
+        let logits = Tensor::from_vec(vec![1e4, -1e4], [1, 2]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[1]).unwrap();
+        assert!(out.loss.is_finite());
+        assert!(out.grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn rejects_bad_labels_and_shapes() {
+        let logits = Tensor::zeros([2, 3]);
+        assert!(matches!(
+            softmax_cross_entropy(&logits, &[0, 3]),
+            Err(NnError::LabelOutOfRange { label: 3, classes: 3 })
+        ));
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros([6]), &[0]).is_err());
+    }
+
+    #[test]
+    fn count_correct_counts_argmax_hits() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.2, 0.1], [3, 2]).unwrap();
+        assert_eq!(count_correct(&logits, &[0, 1, 0]).unwrap(), 3);
+        assert_eq!(count_correct(&logits, &[1, 0, 1]).unwrap(), 0);
+    }
+}

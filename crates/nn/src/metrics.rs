@@ -1,0 +1,233 @@
+//! Classification metrics beyond plain accuracy.
+
+use crate::model::Sequential;
+use crate::train::Batch;
+use crate::{NnError, Result};
+
+/// A `classes × classes` confusion matrix: `count(true, predicted)`.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_nn::metrics::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(2);
+/// cm.record(0, 0);
+/// cm.record(0, 1);
+/// cm.record(1, 1);
+/// assert_eq!(cm.count(0, 1), 1);
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "confusion matrix needs at least one class");
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one example with ground truth `truth` and prediction `pred`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, pred: usize) {
+        assert!(truth < self.classes && pred < self.classes, "class out of range");
+        self.counts[truth * self.classes + pred] += 1;
+    }
+
+    /// How many examples of class `truth` were predicted as `pred`.
+    pub fn count(&self, truth: usize, pred: usize) -> u64 {
+        self.counts[truth * self.classes + pred]
+    }
+
+    /// Total recorded examples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy; `0.0` when empty.
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        diag as f32 / total as f32
+    }
+
+    /// Per-class recall: `count(c, c) / Σ_p count(c, p)`; `0.0` for classes
+    /// never seen.
+    pub fn recall(&self, class: usize) -> f32 {
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f32 / row as f32
+        }
+    }
+
+    /// Per-class precision: `count(c, c) / Σ_t count(t, c)`; `0.0` for
+    /// classes never predicted.
+    pub fn precision(&self, class: usize) -> f32 {
+        let col: u64 = (0..self.classes).map(|t| self.count(t, class)).sum();
+        if col == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f32 / col as f32
+        }
+    }
+}
+
+/// Evaluates `model` over `batches` into a confusion matrix (the model is
+/// switched to evaluation mode).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] if the model does not end in a
+/// classifier, and propagates forward-pass errors.
+pub fn confusion_matrix(model: &mut Sequential, batches: &[Batch]) -> Result<ConfusionMatrix> {
+    let classes = model.num_classes().ok_or_else(|| NnError::InvalidConfig {
+        what: "confusion matrix needs a model ending in a dense classifier".to_string(),
+    })?;
+    model.set_training(false);
+    let mut cm = ConfusionMatrix::new(classes);
+    for batch in batches {
+        if batch.is_empty() {
+            continue;
+        }
+        let logits = model.forward(&batch.images)?;
+        for (row, &truth) in logits
+            .as_slice()
+            .chunks_exact(classes)
+            .zip(&batch.labels)
+        {
+            let mut pred = 0usize;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[pred] {
+                    pred = j;
+                }
+            }
+            if truth >= classes {
+                return Err(NnError::LabelOutOfRange {
+                    label: truth,
+                    classes,
+                });
+            }
+            cm.record(truth, pred);
+        }
+    }
+    Ok(cm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerSpec;
+    use crate::optim::Sgd;
+    use crate::train::train;
+    use fnas_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_precision_and_recall() {
+        let mut cm = ConfusionMatrix::new(3);
+        // class 0: 2 right, 1 confused as 2.
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(0, 2);
+        // class 1: always right.
+        cm.record(1, 1);
+        // class 2: predicted as 0 once.
+        cm.record(2, 0);
+        assert_eq!(cm.total(), 5);
+        assert!((cm.accuracy() - 3.0 / 5.0).abs() < 1e-6);
+        assert!((cm.recall(0) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((cm.precision(0) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(cm.recall(1), 1.0);
+        assert_eq!(cm.precision(2), 0.0); // never predicted correctly
+        assert_eq!(cm.classes(), 3);
+    }
+
+    #[test]
+    fn empty_matrix_is_zero_accuracy() {
+        let cm = ConfusionMatrix::new(2);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.recall(0), 0.0);
+        assert_eq!(cm.precision(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_record_panics() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+
+    #[test]
+    fn model_confusion_matrix_matches_eval_accuracy() {
+        use crate::train::evaluate;
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = Sequential::build(
+            (1, 4, 4),
+            &[LayerSpec::flatten(), LayerSpec::dense(2)],
+            &mut rng,
+        )
+        .unwrap();
+        // A separable toy problem.
+        let mut data = vec![0.0f32; 16 * 16];
+        let mut labels = Vec::new();
+        for i in 0..16 {
+            let class = i % 2;
+            labels.push(class);
+            for px in 0..16 {
+                let bright = (px % 4 < 2) == (class == 0);
+                data[i * 16 + px] = if bright { 1.0 } else { 0.0 } + rng.gen_range(-0.05..0.05);
+            }
+        }
+        let batch = Batch::new(
+            Tensor::from_vec(data, [16, 1, 4, 4]).unwrap(),
+            labels,
+        )
+        .unwrap();
+        let _ = train(
+            &mut model,
+            &mut Sgd::new(0.5, 0.9),
+            std::slice::from_ref(&batch),
+            std::slice::from_ref(&batch),
+            10,
+        )
+        .unwrap();
+        let cm = confusion_matrix(&mut model, std::slice::from_ref(&batch)).unwrap();
+        let acc = evaluate(&mut model, std::slice::from_ref(&batch)).unwrap();
+        assert!((cm.accuracy() - acc).abs() < 1e-6);
+        assert_eq!(cm.total(), 16);
+    }
+
+    #[test]
+    fn classifier_free_models_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model =
+            Sequential::build((1, 4, 4), &[LayerSpec::flatten()], &mut rng).unwrap();
+        assert!(confusion_matrix(&mut model, &[]).is_err());
+    }
+}

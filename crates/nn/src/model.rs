@@ -1,0 +1,403 @@
+//! The [`Sequential`] model container.
+
+use fnas_tensor::Tensor;
+use rand::{Rng, RngCore};
+
+use crate::layer::{
+    AvgPool2d, Conv2d, Dense, Dropout, Flatten, GlobalAvgPool, Layer, LayerSpec, MaxPool2d, Relu,
+};
+use crate::optim::Optimizer;
+use crate::{NnError, Result};
+
+/// Shape of a single activation as it flows through a [`Sequential`] model:
+/// either spatial `(channels, height, width)` or flat `features`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlowShape {
+    Spatial(usize, usize, usize),
+    Flat(usize),
+}
+
+/// A feed-forward stack of layers built from [`LayerSpec`]s with automatic
+/// shape inference.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_nn::layer::LayerSpec;
+/// use fnas_nn::model::Sequential;
+/// use fnas_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), fnas_nn::NnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut model = Sequential::build(
+///     (3, 8, 8),
+///     &[
+///         LayerSpec::conv(4, 3),
+///         LayerSpec::relu(),
+///         LayerSpec::max_pool(2),
+///         LayerSpec::global_avg_pool(),
+///         LayerSpec::dense(5),
+///     ],
+///     &mut rng,
+/// )?;
+/// let logits = model.forward(&Tensor::zeros(&[2, 3, 8, 8]))?;
+/// assert_eq!(logits.shape().dims(), &[2, 5]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    input_shape: (usize, usize, usize),
+    num_classes: Option<usize>,
+}
+
+impl Sequential {
+    /// Builds a model for inputs shaped `[batch, c, h, w]` where
+    /// `(c, h, w) = input_shape`, inferring every intermediate shape.
+    ///
+    /// Convolutions get stride 1 and half padding; see [`LayerSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when the stack is inconsistent:
+    /// a spatial layer after flattening, a dense layer before flattening,
+    /// a kernel or pooling window that does not fit the current extent, or
+    /// an empty spec list.
+    pub fn build(
+        input_shape: (usize, usize, usize),
+        specs: &[LayerSpec],
+        rng: &mut dyn RngCore,
+    ) -> Result<Self> {
+        if specs.is_empty() {
+            return Err(NnError::InvalidConfig {
+                what: "model needs at least one layer".to_string(),
+            });
+        }
+        let mut layers: Vec<Box<dyn Layer>> = Vec::with_capacity(specs.len());
+        let mut flow = FlowShape::Spatial(input_shape.0, input_shape.1, input_shape.2);
+        let mut num_classes = None;
+        for (i, spec) in specs.iter().enumerate() {
+            match *spec {
+                LayerSpec::Conv {
+                    out_channels,
+                    kernel,
+                } => {
+                    let (c, h, w) = spatial(flow, i, "conv")?;
+                    let pad = Conv2d::half_pad(kernel);
+                    let conv = Conv2d::new(c, out_channels, kernel, 1, pad, rng)?;
+                    let oh = conv.out_extent(h).ok_or_else(|| bad_fit(i, kernel, h))?;
+                    let ow = conv.out_extent(w).ok_or_else(|| bad_fit(i, kernel, w))?;
+                    if oh == 0 || ow == 0 {
+                        return Err(bad_fit(i, kernel, h.min(w)));
+                    }
+                    flow = FlowShape::Spatial(out_channels, oh, ow);
+                    layers.push(Box::new(conv));
+                }
+                LayerSpec::Relu => layers.push(Box::new(Relu::new())),
+                LayerSpec::MaxPool { k } => {
+                    let (c, h, w) = spatial(flow, i, "max_pool")?;
+                    if h / k == 0 || w / k == 0 {
+                        return Err(bad_fit(i, k, h.min(w)));
+                    }
+                    flow = FlowShape::Spatial(c, h / k, w / k);
+                    layers.push(Box::new(MaxPool2d::new(k)?));
+                }
+                LayerSpec::AvgPool { k } => {
+                    let (c, h, w) = spatial(flow, i, "avg_pool")?;
+                    if h / k == 0 || w / k == 0 {
+                        return Err(bad_fit(i, k, h.min(w)));
+                    }
+                    flow = FlowShape::Spatial(c, h / k, w / k);
+                    layers.push(Box::new(AvgPool2d::new(k)?));
+                }
+                LayerSpec::Dropout { p_millis } => {
+                    // Shape-preserving; seeded from the build RNG so whole-
+                    // model construction stays reproducible.
+                    let seed = rng.gen::<u64>();
+                    layers.push(Box::new(Dropout::new(p_millis as f32 / 1000.0, seed)?));
+                }
+                LayerSpec::Flatten => {
+                    let (c, h, w) = spatial(flow, i, "flatten")?;
+                    flow = FlowShape::Flat(c * h * w);
+                    layers.push(Box::new(Flatten::new()));
+                }
+                LayerSpec::GlobalAvgPool => {
+                    let (c, _, _) = spatial(flow, i, "global_avg_pool")?;
+                    flow = FlowShape::Flat(c);
+                    layers.push(Box::new(GlobalAvgPool::new()));
+                }
+                LayerSpec::Dense { out_features } => {
+                    let in_features = match flow {
+                        FlowShape::Flat(f) => f,
+                        FlowShape::Spatial(..) => {
+                            return Err(NnError::InvalidConfig {
+                                what: format!(
+                                    "layer {i}: dense requires flat input; insert flatten or global_avg_pool first"
+                                ),
+                            })
+                        }
+                    };
+                    flow = FlowShape::Flat(out_features);
+                    num_classes = Some(out_features);
+                    layers.push(Box::new(Dense::new(in_features, out_features, rng)?));
+                }
+            }
+        }
+        Ok(Sequential {
+            layers,
+            input_shape,
+            num_classes,
+        })
+    }
+
+    /// The `(c, h, w)` shape this model expects per example.
+    pub fn input_shape(&self) -> (usize, usize, usize) {
+        self.input_shape
+    }
+
+    /// Output width of the final dense layer, if the model ends in one.
+    pub fn num_classes(&self) -> Option<usize> {
+        self.num_classes
+    }
+
+    /// Number of layers in the stack.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Runs the full stack, caching per-layer state for [`Sequential::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors (typically shape mismatches on the input).
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Propagates a loss gradient through the whole stack, accumulating
+    /// parameter gradients; returns the gradient w.r.t. the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `forward` has not run or shapes mismatch.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Switches every layer between training and evaluation behaviour
+    /// (dropout masks on/off).
+    pub fn set_training(&mut self, training: bool) {
+        for layer in &mut self.layers {
+            layer.set_training(training);
+        }
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Applies one optimiser step to every parameter, then zeroes gradients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimiser errors (slot/shape mismatches).
+    pub fn step(&mut self, optimizer: &mut dyn Optimizer) -> Result<()> {
+        optimizer.begin_step();
+        let mut slot = 0usize;
+        let mut result = Ok(());
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |param| {
+                if result.is_ok() {
+                    result = optimizer.step_param(slot, param);
+                }
+                slot += 1;
+            });
+        }
+        result?;
+        self.zero_grad();
+        Ok(())
+    }
+}
+
+fn spatial(flow: FlowShape, i: usize, what: &str) -> Result<(usize, usize, usize)> {
+    match flow {
+        FlowShape::Spatial(c, h, w) => Ok((c, h, w)),
+        FlowShape::Flat(_) => Err(NnError::InvalidConfig {
+            what: format!("layer {i}: {what} requires spatial input but the stack is already flat"),
+        }),
+    }
+}
+
+fn bad_fit(i: usize, k: usize, extent: usize) -> NnError {
+    NnError::InvalidConfig {
+        what: format!("layer {i}: window {k} does not fit spatial extent {extent}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use crate::optim::Sgd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(rng: &mut StdRng) -> Sequential {
+        Sequential::build(
+            (1, 6, 6),
+            &[
+                LayerSpec::conv(4, 3),
+                LayerSpec::relu(),
+                LayerSpec::global_avg_pool(),
+                LayerSpec::dense(3),
+            ],
+            rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shapes_flow_through_a_typical_stack() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = tiny_model(&mut rng);
+        let y = m.forward(&Tensor::zeros([5, 1, 6, 6])).unwrap();
+        assert_eq!(y.shape().dims(), &[5, 3]);
+        assert_eq!(m.num_classes(), Some(3));
+        assert_eq!(m.num_layers(), 4);
+        assert!(m.param_count() > 0);
+    }
+
+    #[test]
+    fn flatten_then_dense_uses_full_volume() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = Sequential::build(
+            (2, 4, 4),
+            &[LayerSpec::flatten(), LayerSpec::dense(7)],
+            &mut rng,
+        )
+        .unwrap();
+        let y = m.forward(&Tensor::zeros([1, 2, 4, 4])).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 7]);
+        assert_eq!(m.param_count(), 32 * 7 + 7);
+    }
+
+    #[test]
+    fn rejects_inconsistent_stacks() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // dense on spatial input
+        assert!(Sequential::build((1, 4, 4), &[LayerSpec::dense(2)], &mut rng).is_err());
+        // conv after flatten
+        assert!(Sequential::build(
+            (1, 4, 4),
+            &[LayerSpec::flatten(), LayerSpec::conv(2, 3)],
+            &mut rng
+        )
+        .is_err());
+        // pooling window too large
+        assert!(Sequential::build((1, 4, 4), &[LayerSpec::max_pool(8)], &mut rng).is_err());
+        // empty stack
+        assert!(Sequential::build((1, 4, 4), &[], &mut rng).is_err());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_fixed_batch() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut m = tiny_model(&mut rng);
+        let x = Tensor::rand_uniform([6, 1, 6, 6], -1.0, 1.0, &mut rng);
+        let labels = [0usize, 1, 2, 0, 1, 2];
+        let mut sgd = Sgd::new(0.5, 0.9);
+        let first = {
+            let logits = m.forward(&x).unwrap();
+            softmax_cross_entropy(&logits, &labels).unwrap().loss
+        };
+        let mut last = first;
+        for _ in 0..40 {
+            let logits = m.forward(&x).unwrap();
+            let out = softmax_cross_entropy(&logits, &labels).unwrap();
+            last = out.loss;
+            m.backward(&out.grad).unwrap();
+            m.step(&mut sgd).unwrap();
+        }
+        assert!(
+            last < first * 0.5,
+            "loss should at least halve: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = tiny_model(&mut rng);
+        let x = Tensor::rand_uniform([2, 1, 6, 6], -1.0, 1.0, &mut rng);
+        let logits = m.forward(&x).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        m.backward(&out.grad).unwrap();
+        let mut sgd = Sgd::new(0.1, 0.0);
+        m.step(&mut sgd).unwrap();
+        let mut total = 0.0f32;
+        for layer in &mut m.layers {
+            layer.visit_params(&mut |p| total += p.grad.norm_sq());
+        }
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn avg_pool_and_dropout_specs_build_and_train() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = Sequential::build(
+            (1, 8, 8),
+            &[
+                LayerSpec::conv(4, 3),
+                LayerSpec::relu(),
+                LayerSpec::avg_pool(2),
+                LayerSpec::dropout(0.25),
+                LayerSpec::global_avg_pool(),
+                LayerSpec::dense(2),
+            ],
+            &mut rng,
+        )
+        .unwrap();
+        let x = Tensor::rand_uniform([4, 1, 8, 8], -1.0, 1.0, &mut rng);
+        let y = m.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[4, 2]);
+        // Dropout makes training-mode forwards stochastic but eval-mode
+        // forwards deterministic.
+        m.set_training(false);
+        let e1 = m.forward(&x).unwrap();
+        let e2 = m.forward(&x).unwrap();
+        assert_eq!(e1.as_slice(), e2.as_slice());
+        m.set_training(true);
+        let out = softmax_cross_entropy(&m.forward(&x).unwrap(), &[0, 1, 0, 1]).unwrap();
+        m.backward(&out.grad).unwrap();
+        m.step(&mut Sgd::new(0.1, 0.0)).unwrap();
+    }
+
+    #[test]
+    fn backward_returns_input_shaped_gradient() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = tiny_model(&mut rng);
+        let x = Tensor::rand_uniform([3, 1, 6, 6], -1.0, 1.0, &mut rng);
+        let logits = m.forward(&x).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2]).unwrap();
+        let gx = m.backward(&out.grad).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+    }
+}

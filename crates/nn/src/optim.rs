@@ -1,0 +1,282 @@
+//! First-order optimisers operating on [`ParamMut`] views.
+//!
+//! Optimisers are decoupled from layers: a container (e.g.
+//! [`Sequential`](crate::model::Sequential)) walks its layers in a stable
+//! order and hands each parameter to [`Optimizer::step_param`] with a stable
+//! slot index, letting the optimiser keep per-parameter state (momentum,
+//! Adam moments) without owning the parameters.
+
+use fnas_tensor::Tensor;
+
+use crate::layer::ParamMut;
+use crate::Result;
+
+/// A stateful first-order optimiser.
+pub trait Optimizer: std::fmt::Debug {
+    /// Applies one update to the parameter in `slot`, consuming its
+    /// accumulated gradient (the caller zeroes gradients afterwards).
+    ///
+    /// `slot` must be stable across calls for the same parameter so that the
+    /// optimiser's internal state (momentum buffers, moments) stays attached
+    /// to the right tensor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors, which indicate a slot/parameter
+    /// mismatch between calls.
+    fn step_param(&mut self, slot: usize, param: ParamMut<'_>) -> Result<()>;
+
+    /// Called once before each optimisation step (increments time counters).
+    fn begin_step(&mut self) {}
+
+    /// Multiplies the learning rate by `factor` (for schedules); the
+    /// default ignores it, so rate-free optimisers still compose with
+    /// [`train_with`](crate::train::train_with).
+    fn scale_lr(&mut self, factor: f32) {
+        let _ = factor;
+    }
+}
+
+/// Stochastic gradient descent with classical momentum:
+/// `v ← μ·v + g; w ← w − lr·v`.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_nn::optim::{Optimizer, Sgd};
+/// use fnas_nn::layer::ParamMut;
+/// use fnas_tensor::Tensor;
+///
+/// # fn main() -> Result<(), fnas_nn::NnError> {
+/// let mut sgd = Sgd::new(0.1, 0.0);
+/// let mut w = Tensor::ones(&[2]);
+/// let mut g = Tensor::ones(&[2]);
+/// sgd.step_param(0, ParamMut { value: &mut w, grad: &mut g })?;
+/// assert_eq!(w.as_slice(), &[0.9, 0.9]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr` and momentum coefficient
+    /// `momentum` (use `0.0` for plain SGD).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn slot(&mut self, slot: usize) -> &mut Option<Tensor> {
+        if self.velocity.len() <= slot {
+            self.velocity.resize(slot + 1, None);
+        }
+        &mut self.velocity[slot]
+    }
+}
+
+impl Optimizer for Sgd {
+    fn scale_lr(&mut self, factor: f32) {
+        self.lr *= factor;
+    }
+
+    fn step_param(&mut self, slot: usize, param: ParamMut<'_>) -> Result<()> {
+        let (lr, momentum) = (self.lr, self.momentum);
+        if momentum == 0.0 {
+            param.value.add_scaled(param.grad, -lr)?;
+            return Ok(());
+        }
+        let v = self
+            .slot(slot)
+            .get_or_insert_with(|| Tensor::zeros(param.grad.shape().clone()));
+        for (vi, &gi) in v.as_mut_slice().iter_mut().zip(param.grad.as_slice()) {
+            *vi = momentum * *vi + gi;
+        }
+        param.value.add_scaled(v, -lr)?;
+        Ok(())
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    moments: Vec<Option<(Tensor, Tensor)>>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and default
+    /// `β₁ = 0.9, β₂ = 0.999, ε = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Adam::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates Adam with explicit hyper-parameters.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            moments: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn scale_lr(&mut self, factor: f32) {
+        self.lr *= factor;
+    }
+
+    fn step_param(&mut self, slot: usize, param: ParamMut<'_>) -> Result<()> {
+        if self.moments.len() <= slot {
+            self.moments.resize(slot + 1, None);
+        }
+        let (m, v) = self.moments[slot].get_or_insert_with(|| {
+            (
+                Tensor::zeros(param.grad.shape().clone()),
+                Tensor::zeros(param.grad.shape().clone()),
+            )
+        });
+        let t = self.t.max(1) as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        for ((wi, &gi), (mi, vi)) in param
+            .value
+            .as_mut_slice()
+            .iter_mut()
+            .zip(param.grad.as_slice())
+            .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()))
+        {
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            let mhat = *mi / bc1;
+            let vhat = *vi / bc2;
+            *wi -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(w: &Tensor) -> Tensor {
+        // f(w) = ||w||², ∇f = 2w
+        w.scale(2.0)
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        let mut sgd = Sgd::new(0.1, 0.0);
+        let mut w = Tensor::from_vec(vec![1.0, -2.0], [2]).unwrap();
+        for _ in 0..50 {
+            let mut g = quadratic_grad(&w);
+            sgd.begin_step();
+            sgd.step_param(0, ParamMut { value: &mut w, grad: &mut g }).unwrap();
+        }
+        assert!(w.norm_sq() < 1e-4);
+    }
+
+    #[test]
+    fn momentum_accelerates_on_consistent_gradients() {
+        let mut plain = Sgd::new(0.01, 0.0);
+        let mut momentum = Sgd::new(0.01, 0.9);
+        let mut w1 = Tensor::from_vec(vec![10.0], [1]).unwrap();
+        let mut w2 = w1.clone();
+        for _ in 0..20 {
+            let mut g1 = Tensor::ones([1]);
+            let mut g2 = Tensor::ones([1]);
+            plain.step_param(0, ParamMut { value: &mut w1, grad: &mut g1 }).unwrap();
+            momentum
+                .step_param(0, ParamMut { value: &mut w2, grad: &mut g2 })
+                .unwrap();
+        }
+        assert!(w2.at(0) < w1.at(0), "momentum should have travelled further");
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        let mut adam = Adam::new(0.2);
+        let mut w = Tensor::from_vec(vec![3.0, -1.5], [2]).unwrap();
+        for _ in 0..200 {
+            let mut g = quadratic_grad(&w);
+            adam.begin_step();
+            adam.step_param(0, ParamMut { value: &mut w, grad: &mut g }).unwrap();
+        }
+        assert!(w.norm_sq() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_first_step_size_is_about_lr() {
+        // With bias correction, |Δw| ≈ lr on the first step regardless of
+        // gradient scale.
+        let mut adam = Adam::new(0.1);
+        let mut w = Tensor::from_vec(vec![5.0], [1]).unwrap();
+        let mut g = Tensor::from_vec(vec![1e-3], [1]).unwrap();
+        adam.begin_step();
+        adam.step_param(0, ParamMut { value: &mut w, grad: &mut g }).unwrap();
+        assert!((5.0 - w.at(0) - 0.1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn distinct_slots_keep_distinct_state() {
+        let mut sgd = Sgd::new(0.1, 0.9);
+        let mut a = Tensor::zeros([1]);
+        let mut b = Tensor::zeros([2]);
+        let mut ga = Tensor::ones([1]);
+        let mut gb = Tensor::ones([2]);
+        sgd.step_param(0, ParamMut { value: &mut a, grad: &mut ga }).unwrap();
+        sgd.step_param(1, ParamMut { value: &mut b, grad: &mut gb }).unwrap();
+        // Shapes differ; if slots collided the second step would error.
+        assert!(a.at(0) < 0.0 && b.at(0) < 0.0);
+    }
+
+    #[test]
+    fn set_lr_changes_step_size() {
+        let mut sgd = Sgd::new(1.0, 0.0);
+        sgd.set_lr(0.5);
+        assert_eq!(sgd.lr(), 0.5);
+        let mut w = Tensor::zeros([1]);
+        let mut g = Tensor::ones([1]);
+        sgd.step_param(0, ParamMut { value: &mut w, grad: &mut g }).unwrap();
+        assert_eq!(w.at(0), -0.5);
+    }
+}

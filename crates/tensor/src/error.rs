@@ -1,0 +1,159 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Shape;
+
+/// Errors produced by tensor construction and tensor arithmetic.
+///
+/// Every fallible public function in this crate returns this type, so it can
+/// flow through `?` in downstream crates and be wrapped as the `source()` of
+/// higher-level errors.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_tensor::Tensor;
+///
+/// let err = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[2, 2]).unwrap_err();
+/// assert!(err.to_string().contains("expected 4 elements"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The provided buffer length does not match the number of elements the
+    /// shape requires.
+    LengthMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+        /// The shape the caller asked for.
+        shape: Shape,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Shape,
+        /// Shape of the right-hand operand.
+        right: Shape,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// An operation that requires a particular rank was called on a tensor
+    /// of a different rank.
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the tensor it was called on.
+        actual: usize,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// The inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// Columns of the left operand.
+        left_cols: usize,
+        /// Rows of the right operand.
+        right_rows: usize,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending flat or per-axis index.
+        index: usize,
+        /// The bound that was exceeded.
+        bound: usize,
+        /// Axis the index addressed, if per-axis.
+        axis: Option<usize>,
+    },
+    /// A reshape was requested into a shape with a different element count.
+    ReshapeMismatch {
+        /// Element count of the existing tensor.
+        from: usize,
+        /// Element count of the requested shape.
+        to: usize,
+    },
+    /// A tensor that must be non-empty was empty.
+    Empty {
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch {
+                expected,
+                actual,
+                shape,
+            } => write!(
+                f,
+                "shape {shape} expected {expected} elements, got {actual}"
+            ),
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "{op} requires matching shapes, got {left} and {right}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(f, "{op} requires rank {expected}, got rank {actual}"),
+            TensorError::MatmulDimMismatch {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "matmul inner dimensions disagree: left has {left_cols} columns, right has {right_rows} rows"
+            ),
+            TensorError::IndexOutOfBounds { index, bound, axis } => match axis {
+                Some(axis) => write!(f, "index {index} out of bounds {bound} on axis {axis}"),
+                None => write!(f, "flat index {index} out of bounds {bound}"),
+            },
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from} elements into a shape of {to} elements")
+            }
+            TensorError::Empty { op } => write!(f, "{op} requires a non-empty tensor"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn error_is_send_sync() {
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let err = TensorError::MatmulDimMismatch {
+            left_cols: 3,
+            right_rows: 4,
+        };
+        let msg = err.to_string();
+        assert!(msg.starts_with("matmul"));
+        assert!(msg.contains('3') && msg.contains('4'));
+    }
+
+    #[test]
+    fn display_index_with_and_without_axis() {
+        let with = TensorError::IndexOutOfBounds {
+            index: 9,
+            bound: 4,
+            axis: Some(1),
+        };
+        assert!(with.to_string().contains("axis 1"));
+        let without = TensorError::IndexOutOfBounds {
+            index: 9,
+            bound: 4,
+            axis: None,
+        };
+        assert!(without.to_string().contains("flat index"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Random weight initialisation strategies.
+
+use rand::Rng;
+
+use crate::{Shape, Tensor};
+
+/// A strategy for filling a freshly created tensor with random values.
+///
+/// The trait is object-safe so layer constructors can accept
+/// `&dyn Init` when heterogeneous strategies are configured at run time.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_tensor::{Init, XavierUniform};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let w = XavierUniform.init(&[16, 8].into(), &mut rng);
+/// assert_eq!(w.len(), 128);
+/// ```
+pub trait Init {
+    /// Creates a tensor of `shape` filled according to the strategy.
+    fn init(&self, shape: &Shape, rng: &mut dyn rand::RngCore) -> Tensor;
+}
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// Fan-in/fan-out are derived from the first two axes; for convolution
+/// weights shaped `[out_ch, in_ch, kh, kw]` the kernel area multiplies both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct XavierUniform;
+
+impl Init for XavierUniform {
+    fn init(&self, shape: &Shape, rng: &mut dyn rand::RngCore) -> Tensor {
+        let (fan_in, fan_out) = fans(shape);
+        let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let data = (0..shape.len())
+            .map(|_| rng.gen_range(-a..=a))
+            .collect();
+        Tensor::from_vec(data, shape.clone()).expect("length matches by construction")
+    }
+}
+
+fn fans(shape: &Shape) -> (usize, usize) {
+    match shape.rank() {
+        0 => (1, 1),
+        1 => (shape.dim(0).max(1), shape.dim(0).max(1)),
+        2 => (shape.dim(1).max(1), shape.dim(0).max(1)),
+        _ => {
+            // Convolution-style [out, in, spatial…]
+            let receptive: usize = shape.dims()[2..].iter().product();
+            (
+                (shape.dim(1) * receptive).max(1),
+                (shape.dim(0) * receptive).max(1),
+            )
+        }
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor with elements drawn uniformly from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn rand_uniform(
+        shape: impl Into<Shape>,
+        lo: f32,
+        hi: f32,
+        rng: &mut impl Rng,
+    ) -> Tensor {
+        assert!(lo < hi, "rand_uniform requires lo < hi");
+        let shape = shape.into();
+        let data = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(data, shape).expect("length matches by construction")
+    }
+
+    /// Creates a tensor with elements drawn from a normal distribution
+    /// `N(mean, std²)` using the Box–Muller transform.
+    pub fn rand_normal(
+        shape: impl Into<Shape>,
+        mean: f32,
+        std: f32,
+        rng: &mut impl Rng,
+    ) -> Tensor {
+        let shape = shape.into();
+        let n = shape.len();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(mean + std * r * theta.cos());
+            if data.len() < n {
+                data.push(mean + std * r * theta.sin());
+            }
+        }
+        Tensor::from_vec(data, shape).expect("length matches by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_follow_fans() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = XavierUniform.init(&[100, 50].into(), &mut rng);
+        let a = (6.0f32 / 150.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= a + 1e-6));
+        // Should actually use the range, not collapse near zero.
+        assert!(w.max().unwrap() > a * 0.5);
+    }
+
+    #[test]
+    fn xavier_handles_conv_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = XavierUniform.init(&[8, 4, 3, 3].into(), &mut rng);
+        assert_eq!(w.len(), 8 * 4 * 9);
+        let a = (6.0f32 / ((4 * 9 + 8 * 9) as f32)).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= a + 1e-6));
+    }
+
+    #[test]
+    fn rand_uniform_respects_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::rand_uniform(&[1000][..], -0.25, 0.75, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| (-0.25..0.75).contains(&x)));
+    }
+
+    #[test]
+    fn rand_normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = Tensor::rand_normal(&[20_000][..], 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let ta = Tensor::rand_uniform(&[16][..], 0.0, 1.0, &mut a);
+        let tb = Tensor::rand_uniform(&[16][..], 0.0, 1.0, &mut b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn rand_uniform_panics_on_bad_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = Tensor::rand_uniform(&[4][..], 1.0, 1.0, &mut rng);
+    }
+}

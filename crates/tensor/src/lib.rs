@@ -1,0 +1,39 @@
+//! Dense `f32` tensor substrate for the FNAS reproduction.
+//!
+//! This crate provides the minimal numerical foundation the rest of the
+//! workspace builds on: a row-major, heap-allocated [`Tensor`] with shape
+//! tracking, element-wise arithmetic, 2-D linear algebra, reductions and
+//! random initialisation. It deliberately implements only what the
+//! from-scratch training engine (`fnas-nn`) and the NAS controller need,
+//! with validated shapes and meaningful errors everywhere.
+//!
+//! # Examples
+//!
+//! ```
+//! use fnas_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), fnas_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod init;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use init::{Init, XavierUniform};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,386 @@
+use std::fmt;
+
+use crate::{Result, Shape, TensorError};
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// `Tensor` owns its storage (`Vec<f32>`) and carries a [`Shape`]. All
+/// arithmetic lives either here (construction, indexing, reshape, reductions)
+/// or in the `ops` module (element-wise maths, matmul), and every fallible
+/// operation validates shapes up front.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_tensor::Tensor;
+///
+/// # fn main() -> Result<(), fnas_tensor::TensorError> {
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// let u = t.map(|x| x + 1.0);
+/// assert_eq!(u.sum(), 6.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor of the given shape filled with zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![0.0; shape.len()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor of the given shape filled with ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Tensor::filled(shape, 1.0)
+    }
+
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn filled(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![value; shape.len()],
+            shape,
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fnas_tensor::Tensor;
+    /// let i = Tensor::eye(3);
+    /// assert_eq!(i.get(&[1, 1]), Some(1.0));
+    /// assert_eq!(i.get(&[1, 2]), Some(0.0));
+    /// ```
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n][..]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            data: vec![value],
+            shape: Shape::scalar(),
+        }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the number of elements `shape` requires.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+                shape,
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Rank (number of axes).
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Read-only view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Value at a multi-axis index, or `None` if out of bounds.
+    pub fn get(&self, index: &[usize]) -> Option<f32> {
+        self.shape.offset(index).map(|o| self.data[o])
+    }
+
+    /// Sets the value at a multi-axis index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index is invalid for
+    /// this shape.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        match self.shape.offset(index) {
+            Some(o) => {
+                self.data[o] = value;
+                Ok(())
+            }
+            None => Err(TensorError::IndexOutOfBounds {
+                index: *index.last().unwrap_or(&0),
+                bound: self.shape.len(),
+                axis: None,
+            }),
+        }
+    }
+
+    /// Value at a flat row-major offset.
+    ///
+    /// Prefer this in hot loops where the offset has been computed once.
+    pub fn at(&self, offset: usize) -> f32 {
+        self.data[offset]
+    }
+
+    /// Mutable value at a flat row-major offset.
+    pub fn at_mut(&mut self, offset: usize) -> &mut f32 {
+        &mut self.data[offset]
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ReshapeMismatch`] if element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.len() != self.data.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.data.len(),
+                to: shape.len(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements; `0.0` for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn max(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| {
+                Some(acc.map_or(x, |a| a.max(x)))
+            })
+            .ok_or(TensorError::Empty { op: "max" })
+    }
+
+    /// Index of the maximum element in the flat buffer (first on ties).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn argmax(&self) -> Result<usize> {
+        if self.data.is_empty() {
+            return Err(TensorError::Empty { op: "argmax" });
+        }
+        let mut best = 0usize;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Fills the tensor with a single value.
+    pub fn fill(&mut self, value: f32) {
+        for x in &mut self.data {
+            *x = value;
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        const PREVIEW: usize = 8;
+        write!(f, "[")?;
+        for (i, x) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        if self.data.len() > PREVIEW {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<f32> for Tensor {
+    /// Collects into a rank-1 tensor.
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        let data: Vec<f32> = iter.into_iter().collect();
+        let shape = Shape::new(&[data.len()]);
+        Tensor { data, shape }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_filled() {
+        assert_eq!(Tensor::zeros(&[2, 2][..]).sum(), 0.0);
+        assert_eq!(Tensor::ones(&[2, 2][..]).sum(), 4.0);
+        assert_eq!(Tensor::filled(&[3][..], 2.5).sum(), 7.5);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3][..]).is_ok());
+        let err = Tensor::from_vec(vec![1.0; 5], &[2, 3][..]).unwrap_err();
+        assert!(matches!(err, TensorError::LengthMismatch { expected: 6, actual: 5, .. }));
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tensor::zeros(&[2, 3][..]);
+        t.set(&[1, 2], 7.0).unwrap();
+        assert_eq!(t.get(&[1, 2]), Some(7.0));
+        assert_eq!(t.get(&[2, 0]), None);
+        assert!(t.set(&[0, 3], 1.0).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3][..]).unwrap();
+        let r = t.reshape(&[3, 2][..]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[4][..]).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3][..]).unwrap();
+        assert_eq!(t.sum(), 2.0);
+        assert!((t.mean() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(t.max().unwrap(), 3.0);
+        assert_eq!(t.argmax().unwrap(), 2);
+        assert_eq!(t.norm_sq(), 14.0);
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_ties() {
+        let t = Tensor::from_vec(vec![5.0, 5.0, 1.0], &[3][..]).unwrap();
+        assert_eq!(t.argmax().unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_reductions_error() {
+        let t = Tensor::zeros(&[0][..]);
+        assert!(t.max().is_err());
+        assert!(t.argmax().is_err());
+        assert_eq!(t.mean(), 0.0);
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(4);
+        assert_eq!(i.sum(), 4.0);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(i.get(&[r, c]), Some(if r == c { 1.0 } else { 0.0 }));
+            }
+        }
+    }
+
+    #[test]
+    fn display_truncates_long_tensors() {
+        let t = Tensor::zeros(&[100][..]);
+        let s = t.to_string();
+        assert!(s.contains('…'));
+        assert!(s.len() < 200);
+    }
+
+    #[test]
+    fn collect_builds_rank_one() {
+        let t: Tensor = (0..4).map(|i| i as f32).collect();
+        assert_eq!(t.shape().dims(), &[4]);
+    }
+
+    #[test]
+    fn map_and_fill() {
+        let mut t = Tensor::ones(&[3][..]);
+        let u = t.map(|x| x * 2.0);
+        assert_eq!(u.sum(), 6.0);
+        t.fill(5.0);
+        assert_eq!(t.sum(), 15.0);
+        t.map_inplace(|x| x - 1.0);
+        assert_eq!(t.sum(), 12.0);
+    }
+}

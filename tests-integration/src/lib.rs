@@ -1,0 +1,6 @@
+//! Cross-crate integration tests for the FNAS reproduction.
+//!
+//! The library target is intentionally empty; the tests live in the
+//! repository-level `tests/` directory (wired up as `[[test]]` targets in
+//! this package's manifest) and exercise the public APIs of every crate in
+//! the workspace together.

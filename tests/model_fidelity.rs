@@ -1,0 +1,113 @@
+//! Model-fidelity integration tests: the analytic FNAS-Analyzer against the
+//! cycle-level simulator across the real search spaces, plus platform
+//! monotonicity properties the whole framework relies on.
+
+use fnas::latency::LatencyEvaluator;
+use fnas_controller::arch::ChildArch;
+use fnas_controller::space::SearchSpace;
+use fnas_fpga::device::{FpgaCluster, FpgaDevice};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_arch(space: &SearchSpace, rng: &mut StdRng) -> ChildArch {
+    let indices: Vec<usize> = (0..space.num_decisions())
+        .map(|t| rng.gen_range(0..space.options(t).len()))
+        .collect();
+    ChildArch::from_indices(space, &indices).expect("indices are in range")
+}
+
+/// The analyzer must lower-bound the simulator and stay within 25% of it on
+/// the MNIST space — the property that makes Eq. (5) usable as the pruning
+/// oracle.
+#[test]
+fn analyzer_is_a_tight_lower_bound_across_the_mnist_space() {
+    let space = SearchSpace::mnist();
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+    for _ in 0..15 {
+        let arch = random_arch(&space, &mut rng);
+        let analytic = eval.latency(&arch).expect("designable");
+        let simulated = eval.simulated_latency(&arch).expect("simulates");
+        assert!(
+            analytic.get() <= simulated.get() * 1.0001,
+            "{}: analytic {analytic} exceeds simulated {simulated}",
+            arch.describe()
+        );
+        assert!(
+            simulated.get() <= analytic.get() * 1.25,
+            "{}: bound too loose ({analytic} vs {simulated})",
+            arch.describe()
+        );
+    }
+}
+
+/// The same property on the deeper CIFAR-10 space and the ZU9EG.
+#[test]
+fn analyzer_bound_holds_on_the_cifar_space() {
+    let space = SearchSpace::cifar10();
+    let mut rng = StdRng::seed_from_u64(32);
+    let mut eval = LatencyEvaluator::new(FpgaDevice::zu9eg(), (3, 32, 32));
+    for _ in 0..6 {
+        let arch = random_arch(&space, &mut rng);
+        let analytic = eval.latency(&arch).expect("designable");
+        let simulated = eval.simulated_latency(&arch).expect("simulates");
+        assert!(analytic.get() <= simulated.get() * 1.0001);
+        assert!(simulated.get() <= analytic.get() * 1.35, "{}", arch.describe());
+    }
+}
+
+/// Widening a layer or deepening the network must never reduce latency.
+#[test]
+fn latency_is_monotone_in_architecture_size() {
+    let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+    let space = SearchSpace::mnist();
+    let base = ChildArch::from_indices(&space, &[0, 0, 0, 0, 0, 0, 0, 0]).expect("valid");
+    let wider = ChildArch::from_indices(&space, &[0, 2, 0, 0, 0, 0, 0, 0]).expect("valid");
+    let bigger_kernel =
+        ChildArch::from_indices(&space, &[1, 0, 0, 0, 0, 0, 0, 0]).expect("valid");
+    let l0 = eval.latency(&base).expect("designable").get();
+    assert!(eval.latency(&wider).expect("designable").get() >= l0);
+    assert!(eval.latency(&bigger_kernel).expect("designable").get() >= l0);
+}
+
+/// More boards must help a big pipeline (the paper's multi-FPGA premise)
+/// as long as the inter-board link is not the bottleneck.
+#[test]
+fn clusters_accelerate_large_pipelines() {
+    let space = SearchSpace::cifar10();
+    let mut rng = StdRng::seed_from_u64(33);
+    let arch = random_arch(&space, &mut rng);
+    let single = LatencyEvaluator::new(FpgaDevice::pynq(), (3, 32, 32))
+        .latency(&arch)
+        .expect("designable")
+        .get();
+    let cluster = FpgaCluster::homogeneous(FpgaDevice::pynq(), 4, 32.0).expect("valid");
+    let quad = LatencyEvaluator::on_cluster(cluster, (3, 32, 32))
+        .latency(&arch)
+        .expect("designable")
+        .get();
+    assert!(
+        quad < single,
+        "4 boards ({quad} ms) should beat 1 board ({single} ms)"
+    );
+}
+
+/// The caching contract: repeated queries are free and identical.
+#[test]
+fn latency_cache_is_transparent() {
+    let space = SearchSpace::mnist();
+    let mut rng = StdRng::seed_from_u64(34);
+    let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+    let archs: Vec<ChildArch> = (0..5).map(|_| random_arch(&space, &mut rng)).collect();
+    let first: Vec<f64> = archs
+        .iter()
+        .map(|a| eval.latency(a).expect("designable").get())
+        .collect();
+    let calls = eval.analyzer_calls();
+    let second: Vec<f64> = archs
+        .iter()
+        .map(|a| eval.latency(a).expect("designable").get())
+        .collect();
+    assert_eq!(first, second);
+    assert_eq!(eval.analyzer_calls(), calls, "second pass must be cached");
+}

@@ -13,10 +13,22 @@ use fnas_fpga::device::FpgaDevice;
 
 fn arch() -> ChildArch {
     ChildArch::new(vec![
-        LayerChoice { filter_size: 5, num_filters: 36 },
-        LayerChoice { filter_size: 7, num_filters: 18 },
-        LayerChoice { filter_size: 5, num_filters: 36 },
-        LayerChoice { filter_size: 3, num_filters: 18 },
+        LayerChoice {
+            filter_size: 5,
+            num_filters: 36,
+        },
+        LayerChoice {
+            filter_size: 7,
+            num_filters: 18,
+        },
+        LayerChoice {
+            filter_size: 5,
+            num_filters: 36,
+        },
+        LayerChoice {
+            filter_size: 3,
+            num_filters: 18,
+        },
     ])
     .expect("constants are valid")
 }
@@ -34,7 +46,7 @@ fn bench_per_device(c: &mut Criterion) {
             |b, device| {
                 let a = arch();
                 b.iter(|| {
-                    let mut eval = LatencyEvaluator::new(device.clone(), (1, 28, 28));
+                    let eval = LatencyEvaluator::new(device.clone(), (1, 28, 28));
                     eval.latency(std::hint::black_box(&a)).expect("analyzable")
                 })
             },

@@ -19,10 +19,22 @@ use rand::SeedableRng;
 
 fn mnist_arch() -> ChildArch {
     ChildArch::new(vec![
-        LayerChoice { filter_size: 5, num_filters: 18 },
-        LayerChoice { filter_size: 7, num_filters: 36 },
-        LayerChoice { filter_size: 5, num_filters: 18 },
-        LayerChoice { filter_size: 7, num_filters: 9 },
+        LayerChoice {
+            filter_size: 5,
+            num_filters: 18,
+        },
+        LayerChoice {
+            filter_size: 7,
+            num_filters: 36,
+        },
+        LayerChoice {
+            filter_size: 5,
+            num_filters: 18,
+        },
+        LayerChoice {
+            filter_size: 7,
+            num_filters: 9,
+        },
     ])
     .expect("constants are valid")
 }
@@ -33,8 +45,9 @@ fn bench_fnas_tool(c: &mut Criterion) {
         b.iter(|| {
             // Fresh evaluator each iteration so the cache cannot hide the
             // analyzer cost.
-            let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
-            eval.latency(std::hint::black_box(&arch)).expect("analyzable")
+            let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+            eval.latency(std::hint::black_box(&arch))
+                .expect("analyzable")
         })
     });
 }

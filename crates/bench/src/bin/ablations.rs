@@ -96,7 +96,12 @@ fn pruning_ablation() -> Result<(), Box<dyn std::error::Error>> {
         let no_prune_minutes = results[1].1.cost().total_minutes();
         for (prune, out) in &results {
             table.push_row(vec![
-                if *prune { "FNAS (early pruning)" } else { "FNAS without pruning" }.to_string(),
+                if *prune {
+                    "FNAS (early pruning)"
+                } else {
+                    "FNAS without pruning"
+                }
+                .to_string(),
                 format!("{tc}"),
                 out.cost().to_string(),
                 factor(no_prune_minutes / out.cost().total_minutes()),

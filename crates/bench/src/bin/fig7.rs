@@ -53,8 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for (nas, &seed) in nas_runs.iter().zip(&SEEDS) {
                 let out = run_search(&SearchConfig::fnas(preset.clone(), ts.get()), seed)?;
                 let nas_best = nas.best().expect("NAS trains every child");
-                reductions
-                    .push(nas.cost().total_minutes() / out.cost().total_minutes());
+                reductions.push(nas.cost().total_minutes() / out.cost().total_minutes());
                 pruned.push(out.pruned_count() as f64);
                 if let Some(best) = out.best() {
                     valid_seeds += 1;
@@ -67,8 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 preset.name().to_string(),
                 format!("TS{n}"),
                 format!("{}", ts.get()),
-                median(&mut losses)
-                    .map_or("no valid child".to_string(), |l| format!("{:.2}%", l * 100.0)),
+                median(&mut losses).map_or("no valid child".to_string(), |l| {
+                    format!("{:.2}%", l * 100.0)
+                }),
                 median(&mut reductions).map_or("—".to_string(), factor),
                 format!("{valid_seeds}/{}", SEEDS.len()),
                 median(&mut pruned)

@@ -18,13 +18,8 @@ use rand::{Rng, SeedableRng};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = SearchSpace::mnist();
     let mut rng = StdRng::seed_from_u64(8);
-    let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
-    let mut table = Table::new(vec![
-        "arch",
-        "analytic (ms)",
-        "simulated (ms)",
-        "gap",
-    ]);
+    let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+    let mut table = Table::new(vec!["arch", "analytic (ms)", "simulated (ms)", "gap"]);
     let mut max_gap = 0.0f64;
     for _ in 0..20 {
         let indices: Vec<usize> = (0..space.num_decisions())

@@ -11,13 +11,11 @@
 use std::path::PathBuf;
 
 use fnas::report::Table;
-use fnas::search::{SearchConfig, SearchOutcome, Searcher};
+use fnas::search::{BatchOptions, SearchConfig, SearchOutcome, Searcher};
 use fnas_fpga::design::PipelineDesign;
 use fnas_fpga::device::FpgaDevice;
 use fnas_fpga::layer::{ConvShape, Network};
 use fnas_fpga::taskgraph::TileTaskGraph;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Where the harness writes CSV outputs.
 pub fn results_dir() -> PathBuf {
@@ -38,16 +36,19 @@ pub fn emit(name: &str, table: &Table) -> fnas::Result<()> {
     Ok(())
 }
 
-/// Runs one surrogate-backed search, seeding both the controller and the
-/// evaluation stream from `seed`.
+/// Runs one surrogate-backed search on the batched engine, seeding the
+/// controller and every per-child evaluation stream from `seed`.
+///
+/// Uses one worker per available core; the batched engine guarantees the
+/// outcome is identical for any worker count, so sweep results do not
+/// depend on the machine running them.
 ///
 /// # Errors
 ///
 /// Propagates search construction and execution errors.
 pub fn run_search(config: &SearchConfig, seed: u64) -> fnas::Result<SearchOutcome> {
     let config = config.clone().with_seed(seed);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
-    Searcher::surrogate(&config)?.run(&config, &mut rng)
+    Searcher::surrogate(&config)?.run_batched(&config, &BatchOptions::default())
 }
 
 /// The sixteen 4-layer architectures of the paper's Fig. 8 study:
@@ -96,8 +97,7 @@ mod tests {
     fn sixteen_architectures_cover_all_filter_patterns() {
         let archs = fig8_architectures();
         assert_eq!(archs.len(), 16);
-        let names: std::collections::HashSet<&String> =
-            archs.iter().map(|(n, _)| n).collect();
+        let names: std::collections::HashSet<&String> = archs.iter().map(|(n, _)| n).collect();
         assert_eq!(names.len(), 16);
         for (_, net) in &archs {
             assert_eq!(net.len(), 4);

@@ -200,9 +200,8 @@ mod tests {
         let space = SearchSpace::mnist();
         let mut trainer = ReinforceTrainer::new(&space, &mut rng).unwrap();
         let mut baseline = EmaBaseline::new(0.8);
-        let score = |idx: &[usize]| {
-            idx.iter().filter(|&&i| i == 0).count() as f32 / idx.len() as f32
-        };
+        let score =
+            |idx: &[usize]| idx.iter().filter(|&&i| i == 0).count() as f32 / idx.len() as f32;
         let mut early = 0.0f32;
         let mut late = 0.0f32;
         for it in 0..300 {
@@ -244,9 +243,8 @@ mod tests {
         let space = SearchSpace::mnist();
         let mut trainer = ReinforceTrainer::new(&space, &mut rng).unwrap();
         let mut baseline = EmaBaseline::new(0.8);
-        let score = |idx: &[usize]| {
-            idx.iter().filter(|&&i| i == 0).count() as f32 / idx.len() as f32
-        };
+        let score =
+            |idx: &[usize]| idx.iter().filter(|&&i| i == 0).count() as f32 / idx.len() as f32;
         let mut early = 0.0f32;
         let mut late = 0.0f32;
         for round in 0..80 {

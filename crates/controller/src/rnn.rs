@@ -644,8 +644,7 @@ mod tests {
         let mut adam = Adam::new(0.03);
         for _ in 0..300 {
             let e = p.sample(&mut rng).unwrap();
-            let score = e.indices().iter().filter(|&&i| i == 0).count() as f32
-                / e.len() as f32;
+            let score = e.indices().iter().filter(|&&i| i == 0).count() as f32 / e.len() as f32;
             p.accumulate_gradient(&e, score - 0.4).unwrap();
             p.apply(&mut adam).unwrap();
         }
@@ -660,7 +659,10 @@ mod tests {
         let mut p = PolicyRnn::new(&SearchSpace::mnist(), &mut rng).unwrap();
         let fresh = p.mean_entropy().unwrap();
         // Menus have 3 options ⇒ uniform entropy ln(3) ≈ 1.0986.
-        assert!(fresh > 0.8 && fresh <= (3.0f32).ln() + 0.05, "fresh {fresh}");
+        assert!(
+            fresh > 0.8 && fresh <= (3.0f32).ln() + 0.05,
+            "fresh {fresh}"
+        );
         let mut adam = Adam::new(0.05);
         let e = p.sample(&mut rng).unwrap();
         for _ in 0..80 {
@@ -741,11 +743,7 @@ mod tests {
         #[derive(Debug)]
         struct CountOpt<'a>(&'a mut usize);
         impl Optimizer for CountOpt<'_> {
-            fn step_param(
-                &mut self,
-                _slot: usize,
-                param: ParamMut<'_>,
-            ) -> fnas_nn::Result<()> {
+            fn step_param(&mut self, _slot: usize, param: ParamMut<'_>) -> fnas_nn::Result<()> {
                 *self.0 += param.value.len();
                 Ok(())
             }

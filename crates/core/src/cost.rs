@@ -157,8 +157,7 @@ mod tests {
     fn bigger_networks_cost_more() {
         let m = CostModel::new(25, 60_000);
         assert!(
-            m.training_cost(&net(36)).training_seconds
-                > m.training_cost(&net(9)).training_seconds
+            m.training_cost(&net(36)).training_seconds > m.training_cost(&net(9)).training_seconds
         );
     }
 

@@ -204,8 +204,14 @@ mod tests {
 
     fn arch() -> ChildArch {
         ChildArch::new(vec![
-            LayerChoice { filter_size: 5, num_filters: 18 },
-            LayerChoice { filter_size: 3, num_filters: 36 },
+            LayerChoice {
+                filter_size: 5,
+                num_filters: 18,
+            },
+            LayerChoice {
+                filter_size: 3,
+                num_filters: 36,
+            },
         ])
         .expect("valid arch")
     }
@@ -254,8 +260,11 @@ mod tests {
 
     #[test]
     fn undeployable_architectures_error() {
-        let bad = ChildArch::new(vec![LayerChoice { filter_size: 14, num_filters: 4 }])
-            .expect("constructible");
+        let bad = ChildArch::new(vec![LayerChoice {
+            filter_size: 14,
+            num_filters: 4,
+        }])
+        .expect("constructible");
         assert!(DeploymentReport::generate(
             &bad,
             &FpgaCluster::single(FpgaDevice::pynq()),
@@ -266,15 +275,10 @@ mod tests {
 
     #[test]
     fn multi_board_deployment_spreads_layers() {
-        let cluster =
-            FpgaCluster::homogeneous(FpgaDevice::pynq(), 2, 16.0).expect("valid cluster");
+        let cluster = FpgaCluster::homogeneous(FpgaDevice::pynq(), 2, 16.0).expect("valid cluster");
         let r = DeploymentReport::generate(&arch(), &cluster, (1, 28, 28)).expect("deployable");
-        let devices: std::collections::HashSet<usize> = r
-            .utilization()
-            .per_layer
-            .iter()
-            .map(|l| l.device)
-            .collect();
+        let devices: std::collections::HashSet<usize> =
+            r.utilization().per_layer.iter().map(|l| l.device).collect();
         assert_eq!(devices.len(), 2);
     }
 }

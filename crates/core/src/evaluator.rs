@@ -24,7 +24,12 @@ use rand::{Rng, RngCore, SeedableRng};
 use crate::{FnasError, Result};
 
 /// An oracle returning the validation accuracy of a child architecture.
-pub trait AccuracyEvaluator: std::fmt::Debug {
+///
+/// Oracles take `&self` and must be `Send + Sync`: the batch engine in
+/// [`crate::search`] evaluates children from several worker threads
+/// against one shared oracle. Any per-evaluation randomness comes in
+/// through `rng`, never from interior state.
+pub trait AccuracyEvaluator: std::fmt::Debug + Send + Sync {
     /// Evaluates `arch`, consuming randomness for weight initialisation and
     /// data order from `rng`.
     ///
@@ -32,10 +37,18 @@ pub trait AccuracyEvaluator: std::fmt::Debug {
     ///
     /// Returns an error when the architecture cannot be evaluated at all
     /// (e.g. a kernel larger than the padded input).
-    fn evaluate(&mut self, arch: &ChildArch, rng: &mut dyn RngCore) -> Result<f32>;
+    fn evaluate(&self, arch: &ChildArch, rng: &mut dyn RngCore) -> Result<f32>;
 
     /// Short name for reports, e.g. `"trained"`.
     fn name(&self) -> &'static str;
+
+    /// `true` when the oracle is a pure function of the architecture —
+    /// i.e. it ignores `rng` — so the engine may memoise accuracies across
+    /// episodes without changing results. Defaults to `false` (training a
+    /// child consumes randomness, so its result depends on the seed).
+    fn deterministic(&self) -> bool {
+        false
+    }
 }
 
 /// Accuracy by actually training the child network.
@@ -83,7 +96,7 @@ impl TrainedEvaluator {
 }
 
 impl AccuracyEvaluator for TrainedEvaluator {
-    fn evaluate(&mut self, arch: &ChildArch, rng: &mut dyn RngCore) -> Result<f32> {
+    fn evaluate(&self, arch: &ChildArch, rng: &mut dyn RngCore) -> Result<f32> {
         let config = self.dataset.config();
         let specs = arch.layer_specs(config.classes());
         let mut model = Sequential::build(config.shape(), &specs, rng)?;
@@ -169,7 +182,7 @@ impl SurrogateCalibration {
 /// use rand::SeedableRng;
 ///
 /// # fn main() -> Result<(), fnas::FnasError> {
-/// let mut eval = SurrogateEvaluator::new(SurrogateCalibration::mnist());
+/// let eval = SurrogateEvaluator::new(SurrogateCalibration::mnist());
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 /// let arch = ChildArch::new(vec![LayerChoice { filter_size: 7, num_filters: 36 }])?;
 /// let acc = eval.evaluate(&arch, &mut rng)?;
@@ -204,9 +217,7 @@ impl SurrogateEvaluator {
     pub fn capacity(arch: &ChildArch) -> f32 {
         arch.layers()
             .iter()
-            .map(|l| {
-                (1.0 + (l.num_filters * l.filter_size * l.filter_size) as f32).log2()
-            })
+            .map(|l| (1.0 + (l.num_filters * l.filter_size * l.filter_size) as f32).log2())
             .sum()
     }
 
@@ -221,7 +232,7 @@ impl SurrogateEvaluator {
 }
 
 impl AccuracyEvaluator for SurrogateEvaluator {
-    fn evaluate(&mut self, arch: &ChildArch, _rng: &mut dyn RngCore) -> Result<f32> {
+    fn evaluate(&self, arch: &ChildArch, _rng: &mut dyn RngCore) -> Result<f32> {
         if arch.num_layers() == 0 {
             return Err(FnasError::InvalidConfig {
                 what: "cannot evaluate an empty architecture".to_string(),
@@ -239,6 +250,12 @@ impl AccuracyEvaluator for SurrogateEvaluator {
 
     fn name(&self) -> &'static str {
         "surrogate"
+    }
+
+    /// The surrogate's noise is seeded from the architecture itself, so
+    /// accuracy is a pure function of `arch` and safe to memoise.
+    fn deterministic(&self) -> bool {
+        true
     }
 }
 
@@ -262,20 +279,20 @@ mod tests {
 
     #[test]
     fn surrogate_is_deterministic_per_arch() {
-        let mut e = SurrogateEvaluator::new(SurrogateCalibration::mnist());
+        let e = SurrogateEvaluator::new(SurrogateCalibration::mnist());
         let mut rng = StdRng::seed_from_u64(0);
         let a = arch(&[(5, 18), (7, 36)]);
         let x = e.evaluate(&a, &mut rng).unwrap();
         let y = e.evaluate(&a, &mut rng).unwrap();
         assert_eq!(x, y);
-        let mut salted = e.clone().with_seed_salt(99);
+        let salted = e.clone().with_seed_salt(99);
         let z = salted.evaluate(&a, &mut rng).unwrap();
         assert_ne!(x, z);
     }
 
     #[test]
     fn bigger_networks_score_higher_on_average() {
-        let mut e = SurrogateEvaluator::new(SurrogateCalibration::mnist());
+        let e = SurrogateEvaluator::new(SurrogateCalibration::mnist());
         let mut rng = StdRng::seed_from_u64(0);
         let small = e
             .evaluate(&arch(&[(5, 9), (5, 9), (5, 9), (5, 9)]), &mut rng)
@@ -288,7 +305,7 @@ mod tests {
 
     #[test]
     fn mnist_calibration_lands_in_the_paper_regime() {
-        let mut e = SurrogateEvaluator::new(SurrogateCalibration::mnist());
+        let e = SurrogateEvaluator::new(SurrogateCalibration::mnist());
         let mut rng = StdRng::seed_from_u64(0);
         // The largest MNIST-space network should reach ≈99.4%.
         let best = e
@@ -317,11 +334,9 @@ mod tests {
             .with_classes(3)
             .with_noise(0.1)
             .with_sizes(60, 30);
-        let mut eval = TrainedEvaluator::new(&config, 10, 10).unwrap().with_lr(0.3);
+        let eval = TrainedEvaluator::new(&config, 10, 10).unwrap().with_lr(0.3);
         let mut rng = StdRng::seed_from_u64(1);
-        let acc = eval
-            .evaluate(&arch(&[(3, 8)]), &mut rng)
-            .unwrap();
+        let acc = eval.evaluate(&arch(&[(3, 8)]), &mut rng).unwrap();
         assert!(acc > 0.5, "trained accuracy {acc}");
         assert_eq!(eval.name(), "trained");
     }
@@ -333,7 +348,7 @@ mod tests {
             .with_shape((1, 1, 1))
             .with_classes(2)
             .with_sizes(8, 4);
-        let mut eval = TrainedEvaluator::new(&config, 1, 4).unwrap();
+        let eval = TrainedEvaluator::new(&config, 1, 4).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         assert!(eval.evaluate(&arch(&[(14, 8)]), &mut rng).is_err());
     }

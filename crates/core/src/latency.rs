@@ -4,11 +4,14 @@
 //! FNAS-Analyzer (components ➀–➃) to get an inference latency *without
 //! training and without HLS/RTL generation* — the property that makes the
 //! whole framework fast. Results are memoised per architecture because the
-//! controller frequently revisits promising regions of the space.
+//! controller frequently revisits promising regions of the space; the memo
+//! is a lock-striped [`ShardedCache`] so the batch engine's workers can
+//! share one evaluator without serialising on a single map lock.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use fnas_controller::arch::ChildArch;
+use fnas_exec::ShardedCache;
 use fnas_fpga::analyzer::analyze;
 use fnas_fpga::design::PipelineDesign;
 use fnas_fpga::device::{FpgaCluster, FpgaDevice};
@@ -22,6 +25,11 @@ use crate::Result;
 
 /// Latency oracle for child architectures on a fixed platform.
 ///
+/// Thread-safe: [`LatencyEvaluator::latency`] takes `&self` and may be
+/// called from several workers at once against one shared evaluator. The
+/// analyzer-call and cache counters are monotonic `u64`s, wide enough not
+/// to overflow even on 32-bit targets.
+///
 /// # Examples
 ///
 /// ```
@@ -30,13 +38,14 @@ use crate::Result;
 /// use fnas_fpga::device::FpgaDevice;
 ///
 /// # fn main() -> Result<(), fnas::FnasError> {
-/// let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+/// let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
 /// let arch = ChildArch::new(vec![LayerChoice { filter_size: 5, num_filters: 9 }])?;
 /// let ms = eval.latency(&arch)?;
 /// assert!(ms.get() > 0.0);
 /// assert_eq!(eval.analyzer_calls(), 1);
 /// let _ = eval.latency(&arch)?; // cached
 /// assert_eq!(eval.analyzer_calls(), 1);
+/// assert_eq!((eval.cache_hits(), eval.cache_misses()), (1, 1));
 /// # Ok(())
 /// # }
 /// ```
@@ -44,8 +53,8 @@ use crate::Result;
 pub struct LatencyEvaluator {
     cluster: FpgaCluster,
     input: (usize, usize, usize),
-    cache: HashMap<ChildArch, Millis>,
-    analyzer_calls: usize,
+    cache: ShardedCache<ChildArch, Millis>,
+    analyzer_calls: AtomicU64,
 }
 
 impl LatencyEvaluator {
@@ -60,8 +69,8 @@ impl LatencyEvaluator {
         LatencyEvaluator {
             cluster,
             input,
-            cache: HashMap::new(),
-            analyzer_calls: 0,
+            cache: ShardedCache::new(),
+            analyzer_calls: AtomicU64::new(0),
         }
     }
 
@@ -77,25 +86,38 @@ impl LatencyEvaluator {
 
     /// Number of uncached analyzer invocations so far (the FNAS tool's
     /// per-child cost in the search-cost model).
-    pub fn analyzer_calls(&self) -> usize {
-        self.analyzer_calls
+    pub fn analyzer_calls(&self) -> u64 {
+        self.analyzer_calls.load(Ordering::Relaxed)
+    }
+
+    /// Lookups answered from the memo cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Lookups that had to run the analyzer (or failed trying).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
     }
 
     /// Analytic latency of `arch` (Eq. 5), memoised.
+    ///
+    /// The analyzer runs outside the cache's shard lock, so concurrent
+    /// callers with distinct architectures never wait on each other; two
+    /// callers racing on the *same* uncached architecture may both analyze
+    /// it (the results are identical — the analyzer is deterministic).
     ///
     /// # Errors
     ///
     /// Propagates mapping and design errors — e.g. a kernel that does not
     /// fit the input, or a pipeline that exceeds the platform's resources.
-    pub fn latency(&mut self, arch: &ChildArch) -> Result<Millis> {
-        if let Some(&ms) = self.cache.get(arch) {
-            return Ok(ms);
-        }
-        let design = self.design(arch)?;
-        let report = analyze(&design)?;
-        self.analyzer_calls += 1;
-        self.cache.insert(arch.clone(), report.latency);
-        Ok(report.latency)
+    pub fn latency(&self, arch: &ChildArch) -> Result<Millis> {
+        self.cache.get_or_try_insert_with(arch, || {
+            let design = self.design(arch)?;
+            let report = analyze(&design)?;
+            self.analyzer_calls.fetch_add(1, Ordering::Relaxed);
+            Ok(report.latency)
+        })
     }
 
     /// The full pipeline design for `arch` (exposed for inspection and the
@@ -106,7 +128,10 @@ impl LatencyEvaluator {
     /// Propagates mapping and design errors.
     pub fn design(&self, arch: &ChildArch) -> Result<PipelineDesign> {
         let network = arch_to_network(arch, self.input)?;
-        Ok(PipelineDesign::generate_on_cluster(&network, &self.cluster)?)
+        Ok(PipelineDesign::generate_on_cluster(
+            &network,
+            &self.cluster,
+        )?)
     }
 
     /// Cycle-accurate simulated latency under the FNAS schedule (used to
@@ -145,7 +170,7 @@ mod tests {
 
     #[test]
     fn bigger_architectures_take_longer() {
-        let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+        let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
         let small = eval.latency(&arch(&[(5, 9)])).unwrap();
         let large = eval
             .latency(&arch(&[(7, 36), (7, 36), (7, 36), (7, 36)]))
@@ -155,12 +180,44 @@ mod tests {
 
     #[test]
     fn cache_avoids_repeat_analysis() {
-        let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+        let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
         let a = arch(&[(5, 18), (3, 36)]);
         let first = eval.latency(&a).unwrap();
         let again = eval.latency(&a).unwrap();
         assert_eq!(first.get(), again.get());
         assert_eq!(eval.analyzer_calls(), 1);
+        assert_eq!(eval.cache_hits(), 1);
+        assert_eq!(eval.cache_misses(), 1);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree_with_sequential() {
+        let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+        let archs: Vec<ChildArch> = (0..8)
+            .map(|i| arch(&[(3 + 2 * (i % 3), 9 + 9 * (i % 4))]))
+            .collect();
+        let expected: Vec<f64> = archs
+            .iter()
+            .map(|a| {
+                LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28))
+                    .latency(a)
+                    .unwrap()
+                    .get()
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for (a, &want) in archs.iter().zip(&expected) {
+                        assert_eq!(eval.latency(a).unwrap().get(), want);
+                    }
+                });
+            }
+        });
+        // 8 distinct architectures: one analysis each would be ideal, but
+        // racing first lookups may duplicate work — never produce different
+        // answers. The cache still bounds total calls by thread count.
+        assert!(eval.analyzer_calls() >= 8 && eval.analyzer_calls() <= 4 * 8);
     }
 
     #[test]
@@ -169,14 +226,14 @@ mod tests {
         // (small designs close timing more easily), so the comparison is
         // made where it matters: a network big enough to be DSP-bound.
         let a = arch(&[(7, 36), (7, 36), (7, 36), (7, 36)]);
-        let mut hi = LatencyEvaluator::new(FpgaDevice::xc7z020(), (1, 28, 28));
-        let mut lo = LatencyEvaluator::new(FpgaDevice::xc7a50t(), (1, 28, 28));
+        let hi = LatencyEvaluator::new(FpgaDevice::xc7z020(), (1, 28, 28));
+        let lo = LatencyEvaluator::new(FpgaDevice::xc7a50t(), (1, 28, 28));
         assert!(lo.latency(&a).unwrap().get() > hi.latency(&a).unwrap().get());
     }
 
     #[test]
     fn simulated_latency_close_to_analytic() {
-        let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 14, 14));
+        let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 14, 14));
         let a = arch(&[(5, 18), (3, 18)]);
         let analytic = eval.latency(&a).unwrap();
         let simulated = eval.simulated_latency(&a).unwrap();
@@ -194,7 +251,7 @@ mod tests {
     fn impossible_arch_is_an_error() {
         // An even 14-kernel on a unit extent cannot be realised even with
         // half padding (1 + 2·6 = 13 < 14).
-        let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 1, 1));
+        let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 1, 1));
         assert!(eval.latency(&arch(&[(14, 9)])).is_err());
     }
 }

@@ -159,8 +159,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         for k in [1usize, 3, 5, 7, 14] {
             for extent in [16usize, 27, 28] {
-                let conv =
-                    Conv2d::new(1, 1, k, 1, Conv2d::half_pad(k), &mut rng).unwrap();
+                let conv = Conv2d::new(1, 1, k, 1, Conv2d::half_pad(k), &mut rng).unwrap();
                 assert_eq!(
                     conv_out_extent(extent, k),
                     conv.out_extent(extent).filter(|&e| e > 0),

@@ -8,6 +8,9 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
+use std::time::Duration;
+
+use fnas_exec::TelemetrySnapshot;
 
 use crate::Result;
 
@@ -69,7 +72,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -91,7 +98,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -126,6 +137,49 @@ pub fn pct(x: f32) -> String {
 /// Formats an improvement factor, e.g. `11.13x`.
 pub fn factor(x: f64) -> String {
     format!("{x:.2}x")
+}
+
+/// Renders a [`TelemetrySnapshot`] as a two-column metric table — the
+/// format the throughput bench and the examples print after a search.
+///
+/// # Examples
+///
+/// ```
+/// use fnas::report::telemetry_table;
+/// use fnas_exec::TelemetrySnapshot;
+///
+/// let md = telemetry_table(&TelemetrySnapshot::default()).to_markdown();
+/// assert!(md.contains("children sampled"));
+/// assert!(md.contains("latency cache hit rate"));
+/// ```
+pub fn telemetry_table(t: &TelemetrySnapshot) -> Table {
+    let ms = |d: Duration| format!("{:.1}", d.as_secs_f64() * 1e3);
+    let mut table = Table::new(vec!["metric", "value"]);
+    let mut push = |metric: &str, value: String| {
+        table.push_row(vec![metric.to_string(), value]);
+    };
+    push("children sampled", t.children_sampled.to_string());
+    push("children pruned", t.children_pruned.to_string());
+    push("children trained", t.children_trained.to_string());
+    push("children unbuildable", t.children_unbuildable.to_string());
+    push("episodes", t.episodes.to_string());
+    push("prune rate", pct(t.prune_rate() as f32));
+    push("analyzer calls", t.analyzer_calls.to_string());
+    push("train calls", t.train_calls.to_string());
+    push(
+        "latency cache hit rate",
+        pct(t.latency_cache_hit_rate() as f32),
+    );
+    push(
+        "accuracy cache hit rate",
+        pct(t.accuracy_cache_hit_rate() as f32),
+    );
+    push("sample wall (ms)", ms(t.sample_time));
+    push("latency wall (ms)", ms(t.latency_time));
+    push("accuracy wall (ms)", ms(t.accuracy_time));
+    push("update wall (ms)", ms(t.update_time));
+    push("total wall (ms)", ms(t.total_time()));
+    table
 }
 
 #[cfg(test)]
@@ -176,5 +230,23 @@ mod tests {
     fn formatters() {
         assert_eq!(pct(0.9942), "99.42%");
         assert_eq!(factor(11.131), "11.13x");
+    }
+
+    #[test]
+    fn telemetry_table_has_counter_rate_and_wall_rows() {
+        let snap = TelemetrySnapshot {
+            children_sampled: 10,
+            children_pruned: 4,
+            latency_cache_hits: 3,
+            latency_cache_misses: 1,
+            ..Default::default()
+        };
+        let t = telemetry_table(&snap);
+        assert_eq!(t.len(), 15);
+        let md = t.to_markdown();
+        assert!(md.contains("| children sampled | 10 |"));
+        assert!(md.contains("| prune rate | 40.00% |"));
+        assert!(md.contains("| latency cache hit rate | 75.00% |"));
+        assert!(md.contains("total wall (ms)"));
     }
 }

@@ -66,12 +66,7 @@ pub fn valid_reward(accuracy: f32, baseline: f32, latency: Millis, required: Mil
 /// # Panics
 ///
 /// Panics if `required` is non-positive.
-pub fn fnas_reward(
-    accuracy: f32,
-    baseline: f32,
-    latency: Millis,
-    required: Millis,
-) -> (f32, bool) {
+pub fn fnas_reward(accuracy: f32, baseline: f32, latency: Millis, required: Millis) -> (f32, bool) {
     if latency.get() > required.get() {
         (violation_reward(latency, required), true)
     } else {

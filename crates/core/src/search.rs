@@ -15,17 +15,20 @@
 use fnas_controller::arch::ChildArch;
 use fnas_controller::reinforce::{EmaBaseline, ReinforceTrainer, DEFAULT_LR};
 use fnas_controller::rnn::PolicyRnn;
+use fnas_exec::{derive_child_seed, Executor, Phase, SearchTelemetry, ShardedCache};
 use fnas_fpga::device::FpgaCluster;
 use fnas_fpga::Millis;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
+pub use fnas_exec::TelemetrySnapshot;
+
 use crate::cost::{CostModel, SearchCost};
-use crate::report::{pct, Table};
 use crate::evaluator::{AccuracyEvaluator, SurrogateEvaluator, TrainedEvaluator};
 use crate::experiment::ExperimentPreset;
 use crate::latency::LatencyEvaluator;
 use crate::mapping::arch_to_network;
+use crate::report::{pct, Table};
 use crate::{FnasError, Result};
 
 /// Which search the loop runs.
@@ -190,6 +193,80 @@ impl SearchConfig {
     }
 }
 
+/// How [`Searcher::run_batched`] schedules child evaluation.
+///
+/// The worker count affects **only** wall-clock time, never results: batch
+/// composition is fixed by `batch_size`, every child's RNG stream is
+/// derived from its logical position via [`derive_child_seed`], and all
+/// controller updates happen serially in sample order. Two runs with the
+/// same config and `batch_size` are bit-identical whether they use 0, 1
+/// or 8 workers. Changing `batch_size` *does* change the trajectory
+/// (controller updates land between batches, not between trials).
+///
+/// # Examples
+///
+/// ```
+/// use fnas::search::BatchOptions;
+///
+/// let opts = BatchOptions::sequential().with_batch_size(4);
+/// assert_eq!(opts.workers(), 0);
+/// assert_eq!(opts.batch_size(), 4);
+/// let auto = BatchOptions::default();
+/// assert!(auto.batch_size() >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    workers: usize,
+    batch_size: usize,
+}
+
+impl BatchOptions {
+    /// The default children-per-episode batch size.
+    pub const DEFAULT_BATCH_SIZE: usize = 8;
+
+    /// Evaluate batches in the calling thread (no pool).
+    pub fn sequential() -> Self {
+        BatchOptions {
+            workers: 0,
+            batch_size: Self::DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    /// Replaces the worker count (`0` = in-thread, no spawning).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Replaces the children-per-episode batch size (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// The worker count (`0` = sequential).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Children sampled per episode.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+}
+
+impl Default for BatchOptions {
+    /// One worker per available core, default batch size.
+    fn default() -> Self {
+        BatchOptions {
+            workers: Executor::auto().workers(),
+            batch_size: Self::DEFAULT_BATCH_SIZE,
+        }
+    }
+}
+
 /// Everything recorded about one explored child.
 #[derive(Debug, Clone)]
 pub struct TrialRecord {
@@ -221,6 +298,7 @@ pub struct SearchOutcome {
     mode: SearchMode,
     trials: Vec<TrialRecord>,
     cost: SearchCost,
+    telemetry: TelemetrySnapshot,
 }
 
 impl SearchOutcome {
@@ -237,6 +315,15 @@ impl SearchOutcome {
     /// Modelled search cost (the paper's "search time").
     pub fn cost(&self) -> SearchCost {
         self.cost
+    }
+
+    /// What the engine actually did: counters and per-phase wall time.
+    ///
+    /// Sequential [`Searcher::run`] fills the counters (with zero phase
+    /// times — it has no instrumented phases); [`Searcher::run_batched`]
+    /// fills everything.
+    pub fn telemetry(&self) -> &TelemetrySnapshot {
+        &self.telemetry
     }
 
     /// The architecture the run would deploy: the highest-accuracy trained
@@ -325,6 +412,11 @@ pub struct Searcher {
     trainer: ReinforceTrainer,
     latency_eval: LatencyEvaluator,
     evaluator: Box<dyn AccuracyEvaluator>,
+    // Consulted only when the oracle is deterministic (a pure function of
+    // the architecture): memoising a seed-dependent oracle would make a
+    // child's recorded accuracy depend on which earlier trial happened to
+    // fill the cache.
+    accuracy_cache: ShardedCache<ChildArch, f32>,
     baseline: EmaBaseline,
     cost_model: CostModel,
     rng: StdRng,
@@ -382,6 +474,7 @@ impl Searcher {
             trainer,
             latency_eval,
             evaluator,
+            accuracy_cache: ShardedCache::new(),
             baseline: EmaBaseline::new(0.8),
             cost_model: CostModel::new(
                 config.preset().epochs(),
@@ -412,6 +505,7 @@ impl Searcher {
         let preset = config.preset();
         let mode = config.mode();
         self.baseline = EmaBaseline::new(config.baseline_decay);
+        let cache_base = self.cache_counters();
         let mut trials = Vec::with_capacity(preset.trials());
         let mut cost = SearchCost::default();
         for index in 0..preset.trials() {
@@ -508,15 +602,292 @@ impl Searcher {
                 }
             };
             self.trainer.update(&sample, record.reward)?;
-            let satisfied = config.required_accuracy().is_some_and(|ra| {
-                record.accuracy.is_some_and(|a| a >= ra)
-            });
+            let satisfied = config
+                .required_accuracy()
+                .is_some_and(|ra| record.accuracy.is_some_and(|a| a >= ra));
             trials.push(record);
             if satisfied {
                 break;
             }
         }
-        Ok(SearchOutcome { mode, trials, cost })
+        let telemetry = self.outcome_telemetry(&trials, trials.len() as u64, cache_base);
+        Ok(SearchOutcome {
+            mode,
+            trials,
+            cost,
+            telemetry,
+        })
+    }
+
+    /// Runs the configured search episode-by-episode, evaluating each
+    /// episode's children on an [`Executor`] pool.
+    ///
+    /// Per episode: sample `batch_size` children from the controller
+    /// (serial — the policy RNN consumes the run RNG), analyze their FPGA
+    /// latency in parallel, evaluate the survivors' accuracy in parallel,
+    /// then compute rewards and apply REINFORCE updates serially in sample
+    /// order. Each child's evaluation RNG is seeded from
+    /// [`derive_child_seed`]`(config.seed(), episode, child)`, so the
+    /// outcome is **bit-identical for any worker count** (see
+    /// [`BatchOptions`]).
+    ///
+    /// Note the trajectory legitimately differs from [`Searcher::run`]:
+    /// the sequential loop updates the controller after every child, the
+    /// batched loop between episodes (a standard REINFORCE minibatch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller and oracle errors, exactly like
+    /// [`Searcher::run`]; unbuildable architectures are rewarded
+    /// negatively, not errors.
+    pub fn run_batched(
+        &mut self,
+        config: &SearchConfig,
+        opts: &BatchOptions,
+    ) -> Result<SearchOutcome> {
+        let preset = config.preset();
+        let mode = config.mode();
+        self.baseline = EmaBaseline::new(config.baseline_decay);
+        let telemetry = SearchTelemetry::new();
+        let executor = Executor::with_workers(opts.workers());
+        let batch_size = opts.batch_size().max(1);
+        let cache_base = self.cache_counters();
+
+        let total = preset.trials();
+        let mut trials = Vec::with_capacity(total);
+        let mut cost = SearchCost::default();
+        let mut episode: u64 = 0;
+        'search: while trials.len() < total {
+            let n = batch_size.min(total - trials.len());
+            let samples = {
+                let _t = telemetry.phase_timer(Phase::Sample);
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    batch.push(self.trainer.sample(&mut self.rng)?);
+                }
+                batch
+            };
+            telemetry.add_sampled(n as u64);
+            let archs: Vec<ChildArch> = samples.iter().map(|s| s.arch().clone()).collect();
+
+            let latency_eval = &self.latency_eval;
+            let latencies: Vec<Result<Millis>> = {
+                let _t = telemetry.phase_timer(Phase::Latency);
+                executor.map(&archs, |_, arch| latency_eval.latency(arch))
+            };
+
+            // Which children go to the accuracy oracle. FNAS: buildable and
+            // within spec (or the no-pruning ablation). NAS: everything.
+            let needs_accuracy: Vec<bool> = match mode {
+                SearchMode::Fnas { required } => latencies
+                    .iter()
+                    .map(|r| match r {
+                        Err(_) => false,
+                        Ok(l) => l.get() <= required.get() || !config.pruning(),
+                    })
+                    .collect(),
+                SearchMode::Nas => vec![true; archs.len()],
+            };
+            telemetry.add_train_calls(needs_accuracy.iter().filter(|&&b| b).count() as u64);
+
+            let evaluator = &*self.evaluator;
+            let accuracy_cache = &self.accuracy_cache;
+            let memoise = evaluator.deterministic();
+            let run_seed = config.seed();
+            let accuracies: Vec<Option<Result<f32>>> = {
+                let _t = telemetry.phase_timer(Phase::Accuracy);
+                executor.map(&archs, |child, arch| {
+                    if !needs_accuracy[child] {
+                        return None;
+                    }
+                    let seed = derive_child_seed(run_seed, episode, child as u64);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    Some(if memoise {
+                        accuracy_cache
+                            .get_or_try_insert_with(arch, || evaluator.evaluate(arch, &mut rng))
+                    } else {
+                        evaluator.evaluate(arch, &mut rng)
+                    })
+                })
+            };
+
+            // Serial epilogue, in sample order: rewards see the baseline as
+            // of the previous child, exactly like the sequential loop.
+            let _t = telemetry.phase_timer(Phase::Update);
+            for ((sample, latency), accuracy) in samples.into_iter().zip(latencies).zip(accuracies)
+            {
+                let index = trials.len();
+                let arch = sample.arch().clone();
+                let record = match mode {
+                    SearchMode::Fnas { required } => {
+                        cost.add(self.cost_model.analyzer_cost());
+                        match latency {
+                            Err(_) => {
+                                telemetry.add_unbuildable();
+                                TrialRecord {
+                                    index,
+                                    arch,
+                                    latency: None,
+                                    accuracy: None,
+                                    reward: UNBUILDABLE_REWARD,
+                                    trained: false,
+                                }
+                            }
+                            Ok(l) if l.get() > required.get() => {
+                                let reward = crate::reward::violation_reward(l, required);
+                                if config.pruning() {
+                                    telemetry.add_pruned();
+                                    TrialRecord {
+                                        index,
+                                        arch,
+                                        latency: Some(l),
+                                        accuracy: None,
+                                        reward,
+                                        trained: false,
+                                    }
+                                } else {
+                                    let accuracy =
+                                        accuracy.expect("ablation evaluates violators")?;
+                                    cost.add(self.training_cost(&arch, preset)?);
+                                    telemetry.add_trained();
+                                    TrialRecord {
+                                        index,
+                                        arch,
+                                        latency: Some(l),
+                                        accuracy: Some(accuracy),
+                                        reward,
+                                        trained: true,
+                                    }
+                                }
+                            }
+                            Ok(l) => {
+                                let accuracy = accuracy.expect("valid child was evaluated")?;
+                                let reward = crate::reward::valid_reward(
+                                    accuracy,
+                                    self.baseline.value(),
+                                    l,
+                                    required,
+                                );
+                                self.baseline.observe(accuracy);
+                                cost.add(self.training_cost(&arch, preset)?);
+                                telemetry.add_trained();
+                                TrialRecord {
+                                    index,
+                                    arch,
+                                    latency: Some(l),
+                                    accuracy: Some(accuracy),
+                                    reward,
+                                    trained: true,
+                                }
+                            }
+                        }
+                    }
+                    SearchMode::Nas => match accuracy.expect("every NAS child is evaluated") {
+                        Err(FnasError::Nn(_)) | Err(FnasError::Fpga(_)) => {
+                            telemetry.add_unbuildable();
+                            TrialRecord {
+                                index,
+                                arch,
+                                latency: None,
+                                accuracy: None,
+                                reward: UNBUILDABLE_REWARD,
+                                trained: false,
+                            }
+                        }
+                        Err(e) => return Err(e),
+                        Ok(accuracy) => {
+                            let reward = accuracy - self.baseline.value();
+                            self.baseline.observe(accuracy);
+                            cost.add(self.training_cost(&arch, preset)?);
+                            telemetry.add_trained();
+                            TrialRecord {
+                                index,
+                                arch,
+                                // Post-hoc latency for reporting only (zero
+                                // modelled cost), like the sequential loop.
+                                latency: latency.ok(),
+                                accuracy: Some(accuracy),
+                                reward,
+                                trained: true,
+                            }
+                        }
+                    },
+                };
+                self.trainer.update(&sample, record.reward)?;
+                let satisfied = config
+                    .required_accuracy()
+                    .is_some_and(|ra| record.accuracy.is_some_and(|a| a >= ra));
+                trials.push(record);
+                if satisfied {
+                    telemetry.add_episode();
+                    break 'search;
+                }
+            }
+            drop(_t);
+            telemetry.add_episode();
+            episode += 1;
+        }
+
+        self.charge_cache_deltas(&telemetry, cache_base);
+        Ok(SearchOutcome {
+            mode,
+            trials,
+            cost,
+            telemetry: telemetry.snapshot(),
+        })
+    }
+
+    /// `(latency hits, latency misses, analyzer calls, accuracy hits,
+    /// accuracy misses)` — the searcher's caches outlive individual runs,
+    /// so per-run telemetry is a delta against these.
+    fn cache_counters(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.latency_eval.cache_hits(),
+            self.latency_eval.cache_misses(),
+            self.latency_eval.analyzer_calls(),
+            self.accuracy_cache.hits(),
+            self.accuracy_cache.misses(),
+        )
+    }
+
+    fn charge_cache_deltas(&self, telemetry: &SearchTelemetry, base: (u64, u64, u64, u64, u64)) {
+        let (lat_hits, lat_misses, analyzer, acc_hits, acc_misses) = base;
+        telemetry.add_latency_cache(
+            self.latency_eval.cache_hits() - lat_hits,
+            self.latency_eval.cache_misses() - lat_misses,
+        );
+        telemetry.add_analyzer_calls(self.latency_eval.analyzer_calls() - analyzer);
+        telemetry.add_accuracy_cache(
+            self.accuracy_cache.hits() - acc_hits,
+            self.accuracy_cache.misses() - acc_misses,
+        );
+    }
+
+    /// Builds the sequential loop's snapshot from its trial records (it
+    /// has no instrumented phases, so the timers stay zero).
+    fn outcome_telemetry(
+        &self,
+        trials: &[TrialRecord],
+        episodes: u64,
+        cache_base: (u64, u64, u64, u64, u64),
+    ) -> TelemetrySnapshot {
+        let telemetry = SearchTelemetry::new();
+        telemetry.add_sampled(trials.len() as u64);
+        for t in trials {
+            if t.trained {
+                telemetry.add_trained();
+                telemetry.add_train_calls(1);
+            } else if t.latency.is_some() {
+                telemetry.add_pruned();
+            } else {
+                telemetry.add_unbuildable();
+            }
+        }
+        for _ in 0..episodes {
+            telemetry.add_episode();
+        }
+        self.charge_cache_deltas(&telemetry, cache_base);
+        telemetry.snapshot()
     }
 
     fn training_cost(&self, arch: &ChildArch, preset: &ExperimentPreset) -> Result<SearchCost> {
@@ -581,7 +952,10 @@ mod tests {
     fn fnas_best_always_meets_the_spec() {
         let mut rng = StdRng::seed_from_u64(2);
         let cfg = SearchConfig::fnas(quick_preset().with_trials(20), 5.0);
-        let out = Searcher::surrogate(&cfg).unwrap().run(&cfg, &mut rng).unwrap();
+        let out = Searcher::surrogate(&cfg)
+            .unwrap()
+            .run(&cfg, &mut rng)
+            .unwrap();
         if let Some(best) = out.best() {
             assert!(best.meets(Millis::new(5.0)));
             assert!(best.trained);
@@ -603,7 +977,10 @@ mod tests {
     fn nas_best_is_global_accuracy_max() {
         let mut rng = StdRng::seed_from_u64(3);
         let cfg = SearchConfig::nas(quick_preset());
-        let out = Searcher::surrogate(&cfg).unwrap().run(&cfg, &mut rng).unwrap();
+        let out = Searcher::surrogate(&cfg)
+            .unwrap()
+            .run(&cfg, &mut rng)
+            .unwrap();
         let best = out.best().unwrap();
         let max = out
             .trials()
@@ -618,7 +995,10 @@ mod tests {
         let run = || {
             let mut rng = StdRng::seed_from_u64(4);
             let cfg = SearchConfig::fnas(quick_preset(), 5.0).with_seed(77);
-            let out = Searcher::surrogate(&cfg).unwrap().run(&cfg, &mut rng).unwrap();
+            let out = Searcher::surrogate(&cfg)
+                .unwrap()
+                .run(&cfg, &mut rng)
+                .unwrap();
             out.trials()
                 .iter()
                 .map(|t| (t.arch.describe(), t.reward.to_bits()))
@@ -645,7 +1025,10 @@ mod tests {
     fn summary_table_has_one_row_per_trial() {
         let mut rng = StdRng::seed_from_u64(10);
         let cfg = SearchConfig::fnas(quick_preset(), 5.0);
-        let out = Searcher::surrogate(&cfg).unwrap().run(&cfg, &mut rng).unwrap();
+        let out = Searcher::surrogate(&cfg)
+            .unwrap()
+            .run(&cfg, &mut rng)
+            .unwrap();
         let table = out.summary_table();
         assert_eq!(table.len(), out.trials().len());
         let md = table.to_markdown();
@@ -656,7 +1039,10 @@ mod tests {
     fn pareto_front_is_monotone_and_non_dominated() {
         let mut rng = StdRng::seed_from_u64(6);
         let cfg = SearchConfig::fnas(quick_preset().with_trials(25), 20.0);
-        let out = Searcher::surrogate(&cfg).unwrap().run(&cfg, &mut rng).unwrap();
+        let out = Searcher::surrogate(&cfg)
+            .unwrap()
+            .run(&cfg, &mut rng)
+            .unwrap();
         let front = out.pareto_front();
         assert!(!front.is_empty());
         // Latency strictly increasing, accuracy strictly increasing.
@@ -671,7 +1057,12 @@ mod tests {
                     let dominates = acc >= f.accuracy.unwrap()
                         && lat.get() <= f.latency.unwrap().get()
                         && (acc > f.accuracy.unwrap() || lat.get() < f.latency.unwrap().get());
-                    assert!(!dominates, "{} dominates {}", t.arch.describe(), f.arch.describe());
+                    assert!(
+                        !dominates,
+                        "{} dominates {}",
+                        t.arch.describe(),
+                        f.arch.describe()
+                    );
                 }
             }
         }
@@ -681,16 +1072,21 @@ mod tests {
     fn required_accuracy_stops_the_search_early() {
         let mut rng = StdRng::seed_from_u64(8);
         // A very permissive rA: the first trained child satisfies it.
-        let cfg = SearchConfig::nas(quick_preset().with_trials(50))
-            .with_required_accuracy(0.5);
-        let out = Searcher::surrogate(&cfg).unwrap().run(&cfg, &mut rng).unwrap();
+        let cfg = SearchConfig::nas(quick_preset().with_trials(50)).with_required_accuracy(0.5);
+        let out = Searcher::surrogate(&cfg)
+            .unwrap()
+            .run(&cfg, &mut rng)
+            .unwrap();
         assert!(out.trials().len() < 50, "ran {} trials", out.trials().len());
         let last = out.trials().last().unwrap();
         assert!(last.accuracy.unwrap() >= 0.5);
         // An unreachable rA never triggers.
         let mut rng = StdRng::seed_from_u64(8);
         let cfg = SearchConfig::nas(quick_preset()).with_required_accuracy(2.0);
-        let out = Searcher::surrogate(&cfg).unwrap().run(&cfg, &mut rng).unwrap();
+        let out = Searcher::surrogate(&cfg)
+            .unwrap()
+            .run(&cfg, &mut rng)
+            .unwrap();
         assert_eq!(out.trials().len(), 12);
     }
 
@@ -714,6 +1110,106 @@ mod tests {
                 .pruned_count()
         };
         assert!(pruned_on(4) <= pruned_on(1));
+    }
+
+    fn batched_trace(cfg: &SearchConfig, workers: usize) -> Vec<(String, u32, u64)> {
+        let opts = BatchOptions::sequential()
+            .with_workers(workers)
+            .with_batch_size(6);
+        let out = Searcher::surrogate(cfg)
+            .unwrap()
+            .run_batched(cfg, &opts)
+            .unwrap();
+        out.trials()
+            .iter()
+            .map(|t| {
+                (
+                    t.arch.describe(),
+                    t.reward.to_bits(),
+                    t.latency.map_or(0, |l| l.get().to_bits()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn worker_count_does_not_change_batched_results() {
+        let cfg = SearchConfig::fnas(quick_preset().with_trials(18), 5.0).with_seed(21);
+        let sequential = batched_trace(&cfg, 0);
+        for workers in [1, 2, 8] {
+            assert_eq!(
+                batched_trace(&cfg, workers),
+                sequential,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_runs_all_trials_and_reports_telemetry() {
+        let cfg = SearchConfig::fnas(quick_preset().with_trials(20), 5.0).with_seed(3);
+        let opts = BatchOptions::sequential().with_batch_size(8);
+        let out = Searcher::surrogate(&cfg)
+            .unwrap()
+            .run_batched(&cfg, &opts)
+            .unwrap();
+        assert_eq!(out.trials().len(), 20);
+        // Indices are contiguous exploration order.
+        for (i, t) in out.trials().iter().enumerate() {
+            assert_eq!(t.index, i);
+        }
+        let t = out.telemetry();
+        assert_eq!(t.children_sampled, 20);
+        assert_eq!(t.episodes, 3, "20 trials / batch of 8 = 3 episodes");
+        assert_eq!(
+            t.children_pruned + t.children_trained + t.children_unbuildable,
+            20
+        );
+        assert_eq!(t.children_pruned, out.pruned_count() as u64);
+        // The surrogate is deterministic, so revisited architectures hit
+        // the accuracy cache; every lookup is counted one way or the other.
+        assert_eq!(
+            t.accuracy_cache_hits + t.accuracy_cache_misses,
+            t.train_calls
+        );
+        assert!(t.latency_cache_misses > 0);
+    }
+
+    #[test]
+    fn batched_respects_required_accuracy_early_stop() {
+        let cfg = SearchConfig::nas(quick_preset().with_trials(50)).with_required_accuracy(0.5);
+        let opts = BatchOptions::sequential().with_batch_size(4);
+        let out = Searcher::surrogate(&cfg)
+            .unwrap()
+            .run_batched(&cfg, &opts)
+            .unwrap();
+        assert!(out.trials().len() < 50, "ran {} trials", out.trials().len());
+        assert!(out.trials().last().unwrap().accuracy.unwrap() >= 0.5);
+    }
+
+    #[test]
+    fn sequential_run_fills_telemetry_counters() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = SearchConfig::fnas(quick_preset(), 2.0);
+        let out = Searcher::surrogate(&cfg)
+            .unwrap()
+            .run(&cfg, &mut rng)
+            .unwrap();
+        let t = out.telemetry();
+        assert_eq!(t.children_sampled, out.trials().len() as u64);
+        assert_eq!(t.children_pruned, out.pruned_count() as u64);
+        assert_eq!(t.children_trained, out.trained_count() as u64);
+        assert!(t.latency_cache_hits + t.latency_cache_misses > 0);
+        assert_eq!(t.total_time(), std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn batch_options_accessors_and_clamping() {
+        let opts = BatchOptions::sequential();
+        assert_eq!(opts.workers(), 0);
+        assert_eq!(opts.batch_size(), BatchOptions::DEFAULT_BATCH_SIZE);
+        assert_eq!(opts.with_batch_size(0).batch_size(), 1);
+        assert_eq!(opts.with_workers(4).workers(), 4);
     }
 
     #[test]

@@ -210,8 +210,7 @@ impl Prototypes {
                         for &(fx, fy, phase, amp) in &waves {
                             let x = col as f32 / w as f32;
                             let y = r as f32 / h as f32;
-                            v += amp
-                                * (std::f32::consts::TAU * (fx * x + fy * y) + phase).sin();
+                            v += amp * (std::f32::consts::TAU * (fx * x + fy * y) + phase).sin();
                         }
                         proto[ch * h * w + r * w + col] = v / PROTO_WAVES as f32;
                     }
@@ -231,7 +230,9 @@ impl Prototypes {
                     (
                         rng.gen_range(0.0..w as f32),
                         rng.gen_range(0.0..h as f32),
-                        rng.gen_range((w.min(h) as f32 / 8.0).max(0.5)..(w.min(h) as f32 / 3.0).max(1.0)),
+                        rng.gen_range(
+                            (w.min(h) as f32 / 8.0).max(0.5)..(w.min(h) as f32 / 3.0).max(1.0),
+                        ),
                         rng.gen_range(-1.0f32..1.0),
                     )
                 })
@@ -267,8 +268,16 @@ fn generate_split(
         let class = i % config.classes();
         labels.push(class);
         let proto = &prototypes.pixels[class];
-        let dx: isize = if shift > 0 { rng.gen_range(-shift..=shift) } else { 0 };
-        let dy: isize = if shift > 0 { rng.gen_range(-shift..=shift) } else { 0 };
+        let dx: isize = if shift > 0 {
+            rng.gen_range(-shift..=shift)
+        } else {
+            0
+        };
+        let dy: isize = if shift > 0 {
+            rng.gen_range(-shift..=shift)
+        } else {
+            0
+        };
         let out = &mut data[i * example..(i + 1) * example];
         for ch in 0..c {
             for r in 0..h {
@@ -285,8 +294,7 @@ fn generate_split(
                 // Box–Muller; one sample per pixel is fine here.
                 let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
                 let u2: f32 = rng.gen_range(0.0..1.0);
-                let n = (-2.0 * u1.ln()).sqrt()
-                    * (std::f32::consts::TAU * u2).cos();
+                let n = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
                 *v += config.noise() * n;
             }
         }
@@ -387,8 +395,7 @@ mod tests {
     fn blob_prototypes_differ_from_waves_and_stay_class_separable() {
         use crate::PatternKind;
         let waves = SynthDataset::generate(&tiny()).unwrap();
-        let blobs =
-            SynthDataset::generate(&tiny().with_pattern(PatternKind::Blobs)).unwrap();
+        let blobs = SynthDataset::generate(&tiny().with_pattern(PatternKind::Blobs)).unwrap();
         assert_ne!(waves.train().data, blobs.train().data);
         // Same-class correlation still beats cross-class for blobs.
         let d = SynthDataset::generate(

@@ -1,0 +1,286 @@
+//! The lock-striped memo cache.
+//!
+//! Child-evaluation memoisation (architecture → latency, architecture →
+//! accuracy) is read- and write-heavy from every worker at once, so a
+//! single `Mutex<HashMap>` would serialise the pool. [`ShardedCache`]
+//! stripes the map over N independently locked shards (16 by default,
+//! selected by key hash), which bounds contention to simultaneous lookups
+//! of keys in the *same* shard.
+//!
+//! Hit/miss counters are monotonic `AtomicU64`s — wide enough that they
+//! cannot realistically overflow (2⁶⁴ lookups), unlike the `usize`
+//! counters they replaced, which wrap after 2³² on 32-bit targets.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A concurrent memo cache striped over independently locked shards.
+///
+/// Values are cloned out of the cache; keep them cheap to clone (the FNAS
+/// engine stores `Millis` / `f32`).
+///
+/// # Examples
+///
+/// ```
+/// use fnas_exec::ShardedCache;
+///
+/// let cache: ShardedCache<String, u32> = ShardedCache::new();
+/// assert_eq!(cache.get(&"a".to_string()), None);
+/// cache.insert("a".to_string(), 1);
+/// assert_eq!(cache.get(&"a".to_string()), Some(1));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
+    /// The default stripe count.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// A cache with [`ShardedCache::DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        ShardedCache::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// A cache with a custom shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "a sharded cache needs at least one shard");
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        // DefaultHasher with the default keys is deterministic within a
+        // build, which is all shard selection needs.
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up `key`, recording a hit or miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let found = self
+            .shard_for(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts (or overwrites) an entry. Does not touch the counters.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard_for(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+    }
+
+    /// Returns the cached value for `key`, or computes it with `f` and
+    /// caches the result. The computation runs **outside** the shard lock,
+    /// so a slow analyzer call never blocks other keys in the same shard;
+    /// two workers racing on the same key may both compute, with one
+    /// (identical, by determinism of `f`) result winning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `f`'s error; errors are not cached.
+    pub fn get_or_try_insert_with<E>(
+        &self,
+        key: &K,
+        f: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E>
+    where
+        K: Clone,
+    {
+        if let Some(v) = self.get(key) {
+            return Ok(v);
+        }
+        let v = f()?;
+        self.insert(key.clone(), v.clone());
+        Ok(v)
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// `true` when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Monotonic hit count (lookups that found an entry).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Monotonic miss count (lookups that found nothing).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate over all lookups so far (`0.0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        ShardedCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn get_insert_roundtrip() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        for k in 0..100 {
+            cache.insert(k, k * 2);
+        }
+        assert_eq!(cache.len(), 100);
+        for k in 0..100 {
+            assert_eq!(cache.get(&k), Some(k * 2));
+        }
+        assert_eq!(cache.hits(), 100);
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn misses_are_counted() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        assert_eq!(cache.get(&7), None);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hit_rate(), 0.0);
+        cache.insert(7, 1);
+        assert_eq!(cache.get(&7), Some(1));
+        assert_eq!(cache.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn get_or_try_insert_computes_once_per_key_when_serial() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let calls = AtomicU64::new(0);
+        for _ in 0..5 {
+            let v: Result<u64, ()> = cache.get_or_try_insert_with(&3, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(30)
+            });
+            assert_eq!(v, Ok(30));
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let r: Result<u64, &str> = cache.get_or_try_insert_with(&1, || Err("nope"));
+        assert_eq!(r, Err("nope"));
+        assert!(cache.is_empty());
+        let r: Result<u64, &str> = cache.get_or_try_insert_with(&1, || Ok(10));
+        assert_eq!(r, Ok(10));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_hammering_stays_consistent() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::with_shards(4);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let key = (i + t) % 64;
+                        let v: Result<u64, ()> =
+                            cache.get_or_try_insert_with(&key, || Ok(key * key));
+                        assert_eq!(v, Ok(key * key));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 64);
+        for key in 0..64 {
+            assert_eq!(cache.get(&key), Some(key * key));
+        }
+        // Every op performs exactly one counted lookup: 8 threads × 500
+        // ops + the 64 verification gets.
+        assert_eq!(cache.hits() + cache.misses(), 8 * 500 + 64);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        cache.insert(1, 1);
+        let _ = cache.get(&1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _: ShardedCache<u64, u64> = ShardedCache::with_shards(0);
+    }
+
+    #[test]
+    fn spreads_across_shards() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::with_shards(16);
+        for k in 0..256 {
+            cache.insert(k, k);
+        }
+        // With 256 keys over 16 shards, at least half the shards must be
+        // non-empty for any reasonable hash.
+        let occupied = cache
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().is_empty())
+            .count();
+        assert!(occupied >= 8, "only {occupied} shards occupied");
+    }
+}

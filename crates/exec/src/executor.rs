@@ -1,0 +1,203 @@
+//! The scoped worker pool.
+//!
+//! [`Executor::map`] evaluates a batch of items through a closure, either
+//! in the calling thread (sequential) or on a pool of scoped workers that
+//! pull items from a shared atomic counter (work stealing at item
+//! granularity). Results always come back **in input order**, and every
+//! item is evaluated exactly once, so the output is independent of how
+//! items were interleaved across threads — the property the search
+//! determinism test pins down.
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// A batch evaluator with a fixed worker count.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_exec::Executor;
+///
+/// let items: Vec<u64> = (0..100).collect();
+/// let seq = Executor::sequential().map(&items, |_, &x| x * x);
+/// let par = Executor::with_workers(4).map(&items, |_, &x| x * x);
+/// assert_eq!(seq, par);
+/// assert_eq!(seq[7], 49);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Executor {
+    /// An executor that evaluates in the calling thread, no pool.
+    pub fn sequential() -> Self {
+        Executor { workers: 0 }
+    }
+
+    /// An executor with `workers` pool threads (`0` means sequential).
+    pub fn with_workers(workers: usize) -> Self {
+        Executor { workers }
+    }
+
+    /// An executor sized to the machine: one worker per available core,
+    /// falling back to sequential when parallelism is unavailable.
+    pub fn auto() -> Self {
+        let workers = thread::available_parallelism().map_or(0, |n| n.get());
+        Executor { workers }
+    }
+
+    /// The configured worker count (`0` = sequential).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// `true` when [`Executor::map`] spawns no threads.
+    pub fn is_sequential(&self) -> bool {
+        self.workers == 0
+    }
+
+    /// Evaluates `f(index, &items[index])` for every item and returns the
+    /// results in input order.
+    ///
+    /// With workers, items are claimed from a shared atomic cursor so load
+    /// imbalance (e.g. pruned children finishing early) does not idle the
+    /// pool. A panic in `f` is propagated to the caller after the scope
+    /// joins.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let pool = self.workers.min(items.len());
+        if pool <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let worker = |_: usize| {
+            let mut out: Vec<(usize, R)> = Vec::new();
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                out.push((i, f(i, &items[i])));
+            }
+            out
+        };
+
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..pool).map(|w| s.spawn(move || worker(w))).collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(chunk) => {
+                        for (i, r) in chunk {
+                            debug_assert!(slots[i].is_none(), "item {i} evaluated twice");
+                            slots[i] = Some(r);
+                        }
+                    }
+                    Err(payload) => panic::resume_unwind(payload),
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every item claimed exactly once"))
+            .collect()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 0xA5).collect();
+        for workers in [0, 1, 2, 3, 8, 32] {
+            let got = Executor::with_workers(workers).map(&items, |_, &x| x.wrapping_mul(x) ^ 0xA5);
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn indices_match_items() {
+        let items = vec!["a", "b", "c", "d"];
+        let got = Executor::with_workers(2).map(&items, |i, &s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn every_item_evaluated_exactly_once() {
+        let items: Vec<usize> = (0..1000).collect();
+        let calls = AtomicU64::new(0);
+        let out = Executor::with_workers(8).map(&items, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 1000);
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let items: Vec<u32> = Vec::new();
+        assert!(Executor::with_workers(4).map(&items, |_, &x| x).is_empty());
+        assert!(Executor::sequential().map(&items, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let items = vec![1, 2, 3];
+        let got = Executor::with_workers(64).map(&items, |_, &x| x * 10);
+        assert_eq!(got, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Early items sleep, late items return instantly: result order must
+        // still match input order.
+        let items: Vec<u64> = (0..16).collect();
+        let got = Executor::with_workers(4).map(&items, |_, &x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items = vec![0, 1, 2, 3];
+        let result = std::panic::catch_unwind(|| {
+            Executor::with_workers(2).map(&items, |_, &x| {
+                assert!(x != 2, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(Executor::sequential().is_sequential());
+        assert_eq!(Executor::with_workers(5).workers(), 5);
+        assert!(!Executor::with_workers(5).is_sequential());
+        // auto() never panics and reports its configuration faithfully.
+        let auto = Executor::auto();
+        assert_eq!(auto.is_sequential(), auto.workers() == 0);
+    }
+}

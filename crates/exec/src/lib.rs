@@ -1,0 +1,40 @@
+//! **fnas-exec** — the parallel child-evaluation engine behind the FNAS
+//! search loop.
+//!
+//! The paper's framework prunes latency-violating children before training
+//! them, which makes child evaluation an embarrassingly parallel batch
+//! workload: each sampled architecture is analysed (and possibly trained)
+//! independently, and only the REINFORCE update needs the controller's
+//! serial state. This crate supplies the three pieces the batch loop in
+//! `fnas::search` is built from:
+//!
+//! * [`executor`] — a `std::thread::scope`-based worker pool
+//!   ([`Executor`]) that maps a batch through a closure on N workers and
+//!   returns results **in input order**, so downstream consumers are
+//!   independent of thread interleaving;
+//! * [`cache`] — a lock-striped memo cache ([`ShardedCache`]) shared
+//!   across workers and across search episodes, with overflow-safe atomic
+//!   hit/miss counters;
+//! * [`telemetry`] — atomic counters and monotonic phase timers
+//!   ([`SearchTelemetry`]) snapshotting into a plain
+//!   [`TelemetrySnapshot`] for reports;
+//! * [`seed`] — the deterministic per-child seed derivation
+//!   ([`derive_child_seed`]) that makes results bit-identical regardless
+//!   of worker count.
+//!
+//! The crate is deliberately **std-only**: the build environment has no
+//! registry access, so `thread::scope` + `Arc`/`Mutex`/atomics stand in
+//! for rayon/crossbeam.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod executor;
+pub mod seed;
+pub mod telemetry;
+
+pub use cache::ShardedCache;
+pub use executor::Executor;
+pub use seed::derive_child_seed;
+pub use telemetry::{Phase, SearchTelemetry, TelemetrySnapshot};

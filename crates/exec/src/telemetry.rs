@@ -1,0 +1,363 @@
+//! Search telemetry: atomic counters and monotonic phase timers.
+//!
+//! The engine records what the search actually did — children sampled,
+//! pruned, trained, cache traffic, analyzer/train calls — and how long
+//! each phase of the batch loop took on the wall clock. Counters are
+//! monotonic `AtomicU64`s (overflow-safe for any feasible run length;
+//! the `usize` fields they replace wrap after 2³² on 32-bit targets) so
+//! workers can bump them without locks; a [`SearchTelemetry::snapshot`]
+//! freezes everything into a plain [`TelemetrySnapshot`] for reporting.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// One phase of the batch search loop, for wall-time attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Controller sampling (serial).
+    Sample,
+    /// FPGA latency analysis (parallel).
+    Latency,
+    /// Child accuracy evaluation (parallel).
+    Accuracy,
+    /// Reward computation + REINFORCE updates (serial).
+    Update,
+}
+
+/// Live counters shared by the engine and its workers.
+#[derive(Debug, Default)]
+pub struct SearchTelemetry {
+    children_sampled: AtomicU64,
+    children_pruned: AtomicU64,
+    children_trained: AtomicU64,
+    children_unbuildable: AtomicU64,
+    episodes: AtomicU64,
+    analyzer_calls: AtomicU64,
+    train_calls: AtomicU64,
+    latency_cache_hits: AtomicU64,
+    latency_cache_misses: AtomicU64,
+    accuracy_cache_hits: AtomicU64,
+    accuracy_cache_misses: AtomicU64,
+    sample_nanos: AtomicU64,
+    latency_nanos: AtomicU64,
+    accuracy_nanos: AtomicU64,
+    update_nanos: AtomicU64,
+}
+
+impl SearchTelemetry {
+    /// Fresh, all-zero telemetry.
+    pub fn new() -> Self {
+        SearchTelemetry::default()
+    }
+
+    /// Records `n` sampled children.
+    pub fn add_sampled(&self, n: u64) {
+        self.children_sampled.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one pruned (latency-violating, untrained) child.
+    pub fn add_pruned(&self) {
+        self.children_pruned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one trained child.
+    pub fn add_trained(&self) {
+        self.children_trained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one unbuildable child.
+    pub fn add_unbuildable(&self) {
+        self.children_unbuildable.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed episode (batch).
+    pub fn add_episode(&self) {
+        self.episodes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` uncached analyzer invocations.
+    pub fn add_analyzer_calls(&self, n: u64) {
+        self.analyzer_calls.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` accuracy-oracle invocations.
+    pub fn add_train_calls(&self, n: u64) {
+        self.train_calls.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds latency-cache traffic (hit/miss deltas).
+    pub fn add_latency_cache(&self, hits: u64, misses: u64) {
+        self.latency_cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.latency_cache_misses
+            .fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Adds accuracy-cache traffic (hit/miss deltas).
+    pub fn add_accuracy_cache(&self, hits: u64, misses: u64) {
+        self.accuracy_cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.accuracy_cache_misses
+            .fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Starts a monotonic timer attributing its lifetime to `phase`.
+    #[must_use = "the timer records on drop"]
+    pub fn phase_timer(&self, phase: Phase) -> PhaseTimer<'_> {
+        PhaseTimer {
+            telemetry: self,
+            phase,
+            start: Instant::now(),
+        }
+    }
+
+    fn phase_cell(&self, phase: Phase) -> &AtomicU64 {
+        match phase {
+            Phase::Sample => &self.sample_nanos,
+            Phase::Latency => &self.latency_nanos,
+            Phase::Accuracy => &self.accuracy_nanos,
+            Phase::Update => &self.update_nanos,
+        }
+    }
+
+    /// Freezes the current values into a plain snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        TelemetrySnapshot {
+            children_sampled: load(&self.children_sampled),
+            children_pruned: load(&self.children_pruned),
+            children_trained: load(&self.children_trained),
+            children_unbuildable: load(&self.children_unbuildable),
+            episodes: load(&self.episodes),
+            analyzer_calls: load(&self.analyzer_calls),
+            train_calls: load(&self.train_calls),
+            latency_cache_hits: load(&self.latency_cache_hits),
+            latency_cache_misses: load(&self.latency_cache_misses),
+            accuracy_cache_hits: load(&self.accuracy_cache_hits),
+            accuracy_cache_misses: load(&self.accuracy_cache_misses),
+            sample_time: Duration::from_nanos(load(&self.sample_nanos)),
+            latency_time: Duration::from_nanos(load(&self.latency_nanos)),
+            accuracy_time: Duration::from_nanos(load(&self.accuracy_nanos)),
+            update_time: Duration::from_nanos(load(&self.update_nanos)),
+        }
+    }
+}
+
+/// RAII guard adding its lifetime to one phase's wall time.
+#[derive(Debug)]
+pub struct PhaseTimer<'a> {
+    telemetry: &'a SearchTelemetry,
+    phase: Phase,
+    start: Instant,
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.telemetry
+            .phase_cell(self.phase)
+            .fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+/// A frozen view of [`SearchTelemetry`], safe to store in search outcomes
+/// and render into reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TelemetrySnapshot {
+    /// Children sampled from the controller.
+    pub children_sampled: u64,
+    /// Children pruned by the latency spec without training.
+    pub children_pruned: u64,
+    /// Children whose accuracy was evaluated (trained).
+    pub children_trained: u64,
+    /// Children that could not be built at all.
+    pub children_unbuildable: u64,
+    /// Completed episodes (batches).
+    pub episodes: u64,
+    /// Uncached FNAS-tool (analyzer) invocations.
+    pub analyzer_calls: u64,
+    /// Accuracy-oracle invocations.
+    pub train_calls: u64,
+    /// Latency-cache hits.
+    pub latency_cache_hits: u64,
+    /// Latency-cache misses.
+    pub latency_cache_misses: u64,
+    /// Accuracy-cache hits.
+    pub accuracy_cache_hits: u64,
+    /// Accuracy-cache misses.
+    pub accuracy_cache_misses: u64,
+    /// Wall time in the (serial) sampling phase.
+    pub sample_time: Duration,
+    /// Wall time in the (parallel) latency phase.
+    pub latency_time: Duration,
+    /// Wall time in the (parallel) accuracy phase.
+    pub accuracy_time: Duration,
+    /// Wall time in the (serial) reward/update phase.
+    pub update_time: Duration,
+}
+
+impl TelemetrySnapshot {
+    /// Latency-cache hit rate over all lookups (`0.0` with no traffic).
+    pub fn latency_cache_hit_rate(&self) -> f64 {
+        ratio(self.latency_cache_hits, self.latency_cache_misses)
+    }
+
+    /// Accuracy-cache hit rate over all lookups (`0.0` with no traffic).
+    pub fn accuracy_cache_hit_rate(&self) -> f64 {
+        ratio(self.accuracy_cache_hits, self.accuracy_cache_misses)
+    }
+
+    /// Fraction of sampled children pruned without training.
+    pub fn prune_rate(&self) -> f64 {
+        if self.children_sampled == 0 {
+            0.0
+        } else {
+            self.children_pruned as f64 / self.children_sampled as f64
+        }
+    }
+
+    /// Total attributed wall time across all phases.
+    pub fn total_time(&self) -> Duration {
+        self.sample_time + self.latency_time + self.accuracy_time + self.update_time
+    }
+
+    /// Per-phase `(name, duration)` pairs, in loop order.
+    pub fn phases(&self) -> [(&'static str, Duration); 4] {
+        [
+            ("sample", self.sample_time),
+            ("latency", self.latency_time),
+            ("accuracy", self.accuracy_time),
+            ("update", self.update_time),
+        ]
+    }
+}
+
+fn ratio(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+impl fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sampled {} | pruned {} ({:.0}%) | trained {} | unbuildable {} | episodes {}",
+            self.children_sampled,
+            self.children_pruned,
+            self.prune_rate() * 100.0,
+            self.children_trained,
+            self.children_unbuildable,
+            self.episodes,
+        )?;
+        writeln!(
+            f,
+            "latency cache {}/{} hits ({:.0}%) | accuracy cache {}/{} hits ({:.0}%)",
+            self.latency_cache_hits,
+            self.latency_cache_hits + self.latency_cache_misses,
+            self.latency_cache_hit_rate() * 100.0,
+            self.accuracy_cache_hits,
+            self.accuracy_cache_hits + self.accuracy_cache_misses,
+            self.accuracy_cache_hit_rate() * 100.0,
+        )?;
+        writeln!(
+            f,
+            "analyzer calls {} | train calls {}",
+            self.analyzer_calls, self.train_calls
+        )?;
+        write!(
+            f,
+            "wall: sample {:.1?} | latency {:.1?} | accuracy {:.1?} | update {:.1?} | total {:.1?}",
+            self.sample_time,
+            self.latency_time,
+            self.accuracy_time,
+            self.update_time,
+            self.total_time(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = SearchTelemetry::new();
+        t.add_sampled(10);
+        t.add_pruned();
+        t.add_pruned();
+        t.add_trained();
+        t.add_unbuildable();
+        t.add_episode();
+        t.add_analyzer_calls(5);
+        t.add_train_calls(3);
+        t.add_latency_cache(7, 3);
+        t.add_accuracy_cache(1, 1);
+        let s = t.snapshot();
+        assert_eq!(s.children_sampled, 10);
+        assert_eq!(s.children_pruned, 2);
+        assert_eq!(s.children_trained, 1);
+        assert_eq!(s.children_unbuildable, 1);
+        assert_eq!(s.episodes, 1);
+        assert_eq!(s.analyzer_calls, 5);
+        assert_eq!(s.train_calls, 3);
+        assert_eq!(s.prune_rate(), 0.2);
+        assert_eq!(s.latency_cache_hit_rate(), 0.7);
+        assert_eq!(s.accuracy_cache_hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn phase_timers_attribute_time() {
+        let t = SearchTelemetry::new();
+        {
+            let _g = t.phase_timer(Phase::Latency);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        {
+            let _g = t.phase_timer(Phase::Update);
+        }
+        let s = t.snapshot();
+        assert!(s.latency_time >= Duration::from_millis(5));
+        assert!(s.total_time() >= s.latency_time);
+        assert_eq!(s.phases()[1].0, "latency");
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let t = SearchTelemetry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        t.add_sampled(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.snapshot().children_sampled, 8000);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let s = TelemetrySnapshot::default();
+        assert_eq!(s.prune_rate(), 0.0);
+        assert_eq!(s.latency_cache_hit_rate(), 0.0);
+        assert_eq!(s.accuracy_cache_hit_rate(), 0.0);
+        assert_eq!(s.total_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let t = SearchTelemetry::new();
+        t.add_sampled(4);
+        t.add_pruned();
+        let text = t.snapshot().to_string();
+        assert!(text.contains("sampled 4"));
+        assert!(text.contains("pruned 1"));
+        assert!(text.contains("latency cache"));
+        assert!(text.contains("wall:"));
+    }
+}

@@ -162,8 +162,7 @@ pub fn analyze_with_reuse(
         let consumer = &layers[i];
         let et_prev = et[i - 1].get();
         // ⌈Tn_i / Tm_{i-1}⌉ — OFM tiles of the producer needed per IFM tile.
-        let tiles_per_ifm =
-            (consumer.tiling().tn.div_ceil(producer.tiling().tm)).max(1) as u64;
+        let tiles_per_ifm = (consumer.tiling().tn.div_ceil(producer.tiling().tm)).max(1) as u64;
         let delta = match reuse[i - 1] {
             ReuseStrategy::OfmReuse => {
                 // Eq. (3): ⌈CH_{i-1}/Tn_{i-1}⌉ · ⌈Tn_i/Tm_{i-1}⌉ · ET_{i-1}
@@ -302,8 +301,7 @@ mod tests {
         let p = &d.layers()[1];
         let c = &d.layers()[2];
         let tiles_per_ifm = (c.tiling().tn.div_ceil(p.tiling().tm)).max(1) as u64;
-        let expected = ((p.ch_ifm_tiles() as u64 - 1) * p.ch_ofm_tiles() as u64
-            + tiles_per_ifm)
+        let expected = ((p.ch_ifm_tiles() as u64 - 1) * p.ch_ofm_tiles() as u64 + tiles_per_ifm)
             * p.task_cycles().get();
         assert_eq!(r.start_deltas[1].get(), expected);
     }
@@ -368,7 +366,10 @@ mod tests {
             let simulated = stream.steady_interval().get();
             // The bottleneck PE's work per image lower-bounds the interval;
             // the simulated interval should sit within 30% of it.
-            assert!(simulated + 1 >= analytic, "sim {simulated} < analytic {analytic}");
+            assert!(
+                simulated + 1 >= analytic,
+                "sim {simulated} < analytic {analytic}"
+            );
             assert!(
                 simulated <= analytic + analytic * 3 / 10,
                 "{filters:?}: sim {simulated} vs analytic {analytic}"
@@ -385,8 +386,7 @@ mod tests {
         .unwrap();
         let small =
             throughput_fps(&PipelineDesign::generate(&net, &FpgaDevice::xc7a50t()).unwrap());
-        let large =
-            throughput_fps(&PipelineDesign::generate(&net, &FpgaDevice::zu9eg()).unwrap());
+        let large = throughput_fps(&PipelineDesign::generate(&net, &FpgaDevice::zu9eg()).unwrap());
         assert!(small > 0.0);
         assert!(large > small);
     }

@@ -121,7 +121,10 @@ impl LayerDesign {
     /// Effective per-task latency: compute and transfer overlap under double
     /// buffering, so the slower of the two dominates.
     pub fn task_cycles(&self) -> Cycles {
-        Cycles::new(self.compute_cycles_per_task.max(self.transfer_cycles_per_task))
+        Cycles::new(
+            self.compute_cycles_per_task
+                .max(self.transfer_cycles_per_task),
+        )
     }
 
     /// Total number of tasks on this PE:
@@ -287,8 +290,7 @@ fn make_layer_design(
 ) -> LayerDesign {
     let _ = dev;
     let compute = (shape.kernel_h() * shape.kernel_w() * tiling.tr * tiling.tc) as u64;
-    let transfer =
-        (transfer_bytes_per_task(&shape, &tiling) as f64 / bw_each).ceil() as u64;
+    let transfer = (transfer_bytes_per_task(&shape, &tiling) as f64 / bw_each).ceil() as u64;
     LayerDesign {
         shape,
         tiling,
@@ -406,7 +408,12 @@ pub fn explore_tilings(
     }
     candidates.sort_by_key(|&(t, cycles)| {
         let et = (shape.kernel_h() * shape.kernel_w() * t.tr * t.tc) as u64;
-        (cycles, et, std::cmp::Reverse(t.dsp_slices()), std::cmp::Reverse(t.tm))
+        (
+            cycles,
+            et,
+            std::cmp::Reverse(t.dsp_slices()),
+            std::cmp::Reverse(t.tm),
+        )
     });
     candidates.dedup_by_key(|&mut (t, _)| t);
     candidates
@@ -450,13 +457,10 @@ fn choose_tiling(
                 let better = match &best {
                     None => true,
                     Some((c, bt)) => {
-                        let bet =
-                            (shape.kernel_h() * shape.kernel_w() * bt.tr * bt.tc) as u64;
+                        let bet = (shape.kernel_h() * shape.kernel_w() * bt.tr * bt.tc) as u64;
                         cycles < *c
                             || (cycles == *c && et < bet)
-                            || (cycles == *c
-                                && et == bet
-                                && t.dsp_slices() > bt.dsp_slices())
+                            || (cycles == *c && et == bet && t.dsp_slices() > bt.dsp_slices())
                             || (cycles == *c
                                 && et == bet
                                 && t.dsp_slices() == bt.dsp_slices()
@@ -549,8 +553,7 @@ impl PipelineDesign {
                     } else {
                         0.0
                     },
-                    compute_bound: l.compute_cycles_per_task()
-                        >= l.transfer_cycles_per_task(),
+                    compute_bound: l.compute_cycles_per_task() >= l.transfer_cycles_per_task(),
                 }
             })
             .collect();
@@ -588,7 +591,12 @@ fn spatial_candidates(tr0: usize, tc0: usize) -> Vec<(usize, usize)> {
 
 /// Largest `(Tr, Tc)` whose buffers fit `bram_budget`, shrinking the larger
 /// extent first; `None` if not even `(1, 1)` fits.
-fn fit_spatial(shape: &ConvShape, tm: usize, tn: usize, bram_budget: usize) -> Option<(usize, usize)> {
+fn fit_spatial(
+    shape: &ConvShape,
+    tm: usize,
+    tn: usize,
+    bram_budget: usize,
+) -> Option<(usize, usize)> {
     let (mut tr, mut tc) = (shape.out_rows(), shape.out_cols());
     loop {
         let t = Tiling::new(tm, tn, tr, tc);
@@ -663,13 +671,23 @@ fn harmonize_spatial_grid(layers: &mut [LayerDesign], cluster: &FpgaCluster) {
         // the per-layer extents, which always fit (they were chosen under
         // the same budgets).
         if grid_r <= grid_c {
-            let next = max_grid(&rows, grid_r.saturating_mul(2).min(rows.iter().copied().min().unwrap_or(1)));
+            let next = max_grid(
+                &rows,
+                grid_r
+                    .saturating_mul(2)
+                    .min(rows.iter().copied().min().unwrap_or(1)),
+            );
             if next == grid_r {
                 break;
             }
             grid_r = next;
         } else {
-            let next = max_grid(&cols, grid_c.saturating_mul(2).min(cols.iter().copied().min().unwrap_or(1)));
+            let next = max_grid(
+                &cols,
+                grid_c
+                    .saturating_mul(2)
+                    .min(cols.iter().copied().min().unwrap_or(1)),
+            );
             if next == grid_c {
                 break;
             }
@@ -682,8 +700,7 @@ fn harmonize_spatial_grid(layers: &mut [LayerDesign], cluster: &FpgaCluster) {
         let tc = layer.shape.out_cols().div_ceil(grid_c);
         let tiling = Tiling::new(layer.tiling.tm, layer.tiling.tn, tr, tc);
         let dev = &cluster.devices()[layer.device];
-        let bw_each =
-            dev.bandwidth_bytes_per_cycle() / per_device[layer.device].max(1) as f64;
+        let bw_each = dev.bandwidth_bytes_per_cycle() / per_device[layer.device].max(1) as f64;
         *layer = make_layer_design(layer.shape, tiling, layer.device, dev, bw_each);
     }
     debug_assert!(
@@ -714,7 +731,11 @@ mod tests {
         let dev = FpgaDevice::pynq();
         let d = PipelineDesign::generate(&net, &dev).unwrap();
         let used: usize = d.layers().iter().map(|l| l.tiling().dsp_slices()).sum();
-        assert!(used <= dev.dsp_slices(), "used {used} DSPs of {}", dev.dsp_slices());
+        assert!(
+            used <= dev.dsp_slices(),
+            "used {used} DSPs of {}",
+            dev.dsp_slices()
+        );
         assert_eq!(d.layers().len(), 4);
     }
 
@@ -774,7 +795,10 @@ mod tests {
         let err = PipelineDesign::generate(&net, &tiny).unwrap_err();
         assert!(matches!(
             err,
-            FpgaError::InsufficientResources { resource: "DSP slices", .. }
+            FpgaError::InsufficientResources {
+                resource: "DSP slices",
+                ..
+            }
         ));
     }
 
@@ -785,7 +809,10 @@ mod tests {
         let err = PipelineDesign::generate(&net, &dev).unwrap_err();
         assert!(matches!(
             err,
-            FpgaError::InsufficientResources { resource: "BRAM bytes", .. }
+            FpgaError::InsufficientResources {
+                resource: "BRAM bytes",
+                ..
+            }
         ));
     }
 
@@ -864,7 +891,12 @@ mod tests {
         }
         // Load balancing should keep the design from starving any layer:
         // at least half the device's DSPs are in use for this workload.
-        assert!(u.dsp_used * 2 >= u.dsp_available, "{} of {}", u.dsp_used, u.dsp_available);
+        assert!(
+            u.dsp_used * 2 >= u.dsp_available,
+            "{} of {}",
+            u.dsp_used,
+            u.dsp_available
+        );
     }
 
     #[test]

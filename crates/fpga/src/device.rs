@@ -182,7 +182,11 @@ impl FpgaCluster {
     ///
     /// Returns [`FpgaError::InvalidConfig`] if `count` is zero or the link
     /// bandwidth is non-positive.
-    pub fn homogeneous(device: FpgaDevice, count: usize, link_bytes_per_cycle: f64) -> Result<Self> {
+    pub fn homogeneous(
+        device: FpgaDevice,
+        count: usize,
+        link_bytes_per_cycle: f64,
+    ) -> Result<Self> {
         FpgaCluster::new(vec![device; count], link_bytes_per_cycle)
     }
 

@@ -58,9 +58,15 @@ impl fmt::Display for FpgaError {
                 "insufficient {resource}: need {needed}, have {available}"
             ),
             FpgaError::UnknownTask { layer, index } => {
-                write!(f, "schedule references unknown task {index} in layer {layer}")
+                write!(
+                    f,
+                    "schedule references unknown task {index} in layer {layer}"
+                )
             }
-            FpgaError::Deadlock { at_cycle, remaining } => write!(
+            FpgaError::Deadlock {
+                at_cycle,
+                remaining,
+            } => write!(
                 f,
                 "schedule deadlocked at cycle {at_cycle} with {remaining} tasks outstanding"
             ),

@@ -72,7 +72,12 @@ impl ConvShape {
     /// # Errors
     ///
     /// Returns [`FpgaError::InvalidConfig`] if any extent is zero.
-    pub fn square(in_channels: usize, out_channels: usize, extent: usize, kernel: usize) -> Result<Self> {
+    pub fn square(
+        in_channels: usize,
+        out_channels: usize,
+        extent: usize,
+        kernel: usize,
+    ) -> Result<Self> {
         ConvShape::new(in_channels, out_channels, extent, extent, kernel, kernel)
     }
 

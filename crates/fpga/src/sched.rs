@@ -377,7 +377,9 @@ mod tests {
     fn rowcol_first_visits_all_spatial_tiles_per_channel_pair() {
         let order = layer_order(2, 2, 3, ReuseStrategy::OfmReuse, SpatialOrder::RowColFirst);
         // The first rc entries share one channel pair and sweep m.
-        assert!(order[..3].iter().all(|t| t.j == order[0].j && t.k == order[0].k));
+        assert!(order[..3]
+            .iter()
+            .all(|t| t.j == order[0].j && t.k == order[0].k));
         assert_eq!(order[0].m, 0);
         assert_eq!(order[2].m, 2);
     }

@@ -158,8 +158,7 @@ impl TaskTrace {
 
     /// Events executed by PE `pe`, in issue order.
     pub fn pe_events(&self, pe: usize) -> Vec<TraceEvent> {
-        let mut evs: Vec<TraceEvent> =
-            self.events.iter().copied().filter(|e| e.pe == pe).collect();
+        let mut evs: Vec<TraceEvent> = self.events.iter().copied().filter(|e| e.pe == pe).collect();
         evs.sort_by_key(|e| e.start);
         evs
     }
@@ -444,9 +443,7 @@ fn simulate_images(
             Event::Arrival { img } => {
                 let l = graph.layer(0);
                 let per_image = l.ch_ifm * l.rc;
-                for cell in
-                    ifm_wait[0][img * per_image..(img + 1) * per_image].iter_mut()
-                {
+                for cell in ifm_wait[0][img * per_image..(img + 1) * per_image].iter_mut() {
                     *cell -= 1;
                 }
                 try_dispatch(
@@ -591,7 +588,10 @@ fn validate(graph: &TileTaskGraph, schedule: &Schedule, transfers: &[Cycles]) ->
         }
         for (idx, t) in schedule.order(i).iter().enumerate() {
             if t.j >= l.ch_ifm || t.k >= l.ch_ofm || t.m >= l.rc {
-                return Err(FpgaError::UnknownTask { layer: i, index: idx });
+                return Err(FpgaError::UnknownTask {
+                    layer: i,
+                    index: idx,
+                });
             }
         }
     }
@@ -626,10 +626,7 @@ mod tests {
         let r = simulate_design(&d, &g, &s).unwrap();
         let l = g.layer(0);
         // No dependencies ⇒ makespan = tasks × ET, zero stalls.
-        assert_eq!(
-            r.makespan.get(),
-            l.task_count() as u64 * l.et.get()
-        );
+        assert_eq!(r.makespan.get(), l.task_count() as u64 * l.et.get());
         assert_eq!(r.total_stall().get(), 0);
         assert!(r.latency.get() > 0.0);
     }
@@ -656,7 +653,11 @@ mod tests {
 
     #[test]
     fn fnas_schedule_never_loses_to_fixed() {
-        for filters in [[64usize, 64, 64, 64], [64, 128, 64, 128], [128, 128, 128, 128]] {
+        for filters in [
+            [64usize, 64, 64, 64],
+            [64, 128, 64, 128],
+            [128, 128, 128, 128],
+        ] {
             let (d, g) = pipeline(&filters);
             let fnas = simulate_design(&d, &g, &FnasScheduler::new().schedule(&g)).unwrap();
             let fixed = simulate_design(&d, &g, &FixedScheduler::new().schedule(&g)).unwrap();
@@ -722,9 +723,12 @@ mod tests {
         // largest per-task latency on the last PE's critical path.
         let (d, g) = pipeline(&[64, 128, 64, 128]);
         let with = simulate_design(&d, &g, &FnasScheduler::new().schedule(&g)).unwrap();
-        let without =
-            simulate_design(&d, &g, &FnasScheduler::new().without_reordering().schedule(&g))
-                .unwrap();
+        let without = simulate_design(
+            &d,
+            &g,
+            &FnasScheduler::new().without_reordering().schedule(&g),
+        )
+        .unwrap();
         let max_et = g.layers().iter().map(|l| l.et.get()).max().unwrap();
         let slack = max_et * g.num_layers() as u64;
         assert!(
@@ -803,8 +807,7 @@ mod tests {
         let (d, g) = pipeline(&[16, 16]);
         let s = FnasScheduler::new().schedule(&g);
         let single = simulate_design(&d, &g, &s).unwrap();
-        let stream =
-            simulate_design_stream(&d, &g, &s, 1, Cycles::new(0)).unwrap();
+        let stream = simulate_design_stream(&d, &g, &s, 1, Cycles::new(0)).unwrap();
         assert_eq!(stream.makespan, single.makespan);
         assert_eq!(stream.per_image_finish.len(), 1);
         assert_eq!(stream.first_latency(), single.makespan);
@@ -817,8 +820,7 @@ mod tests {
         let s = FnasScheduler::new().schedule(&g);
         let single = simulate_design(&d, &g, &s).unwrap();
         let images = 6;
-        let stream =
-            simulate_design_stream(&d, &g, &s, images, Cycles::new(0)).unwrap();
+        let stream = simulate_design_stream(&d, &g, &s, images, Cycles::new(0)).unwrap();
         // Image-level pipelining overlaps images across PEs, so the stream
         // finishes well before `images × single-image latency`.
         assert!(

@@ -163,7 +163,7 @@ impl TileTaskGraph {
         // Channels covered by IFM tile j of layer i.
         let lo_ch = j * layer.tn;
         let hi_ch = ((j + 1) * layer.tn).min(layer.in_channels); // exclusive
-        // Producer OFM tiles have granularity Tm_{i-1}.
+                                                                 // Producer OFM tiles have granularity Tm_{i-1}.
         let first = lo_ch / producer.tm;
         let last = hi_ch.div_ceil(producer.tm).saturating_sub(1);
         let last = last.min(producer.ch_ofm - 1);

@@ -79,12 +79,7 @@ const PALETTE: [&str; 12] = [
 /// ```
 pub fn render_gantt(trace: &TaskTrace, options: &GanttOptions) -> String {
     let events = trace.events();
-    let makespan: u64 = events
-        .iter()
-        .map(|e| e.end.get())
-        .max()
-        .unwrap_or(1)
-        .max(1);
+    let makespan: u64 = events.iter().map(|e| e.end.get()).max().unwrap_or(1).max(1);
     let pes: usize = events.iter().map(|e| e.pe + 1).max().unwrap_or(1);
     let label_w = 70u32;
     let width = options.width.max(label_w + 100);

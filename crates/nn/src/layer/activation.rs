@@ -46,10 +46,9 @@ impl Layer for LeakyRelu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let slope = self
-            .slope
-            .as_ref()
-            .ok_or(NnError::BackwardBeforeForward { layer: "leaky_relu" })?;
+        let slope = self.slope.as_ref().ok_or(NnError::BackwardBeforeForward {
+            layer: "leaky_relu",
+        })?;
         Ok(grad_out.mul(slope)?)
     }
 
@@ -200,7 +199,10 @@ mod tests {
     fn backward_before_forward_errors() {
         let mut relu = Relu::new();
         let err = relu.backward(&Tensor::zeros([2])).unwrap_err();
-        assert!(matches!(err, NnError::BackwardBeforeForward { layer: "relu" }));
+        assert!(matches!(
+            err,
+            NnError::BackwardBeforeForward { layer: "relu" }
+        ));
     }
 
     #[test]
@@ -236,8 +238,12 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let cfg = GradCheck::default();
         let x = Tensor::rand_uniform([8], -2.0, 2.0, &mut rng);
-        assert!(check_layer(&mut Sigmoid::new(), &x, &cfg).unwrap().passed(&cfg));
-        assert!(check_layer(&mut Tanh::new(), &x, &cfg).unwrap().passed(&cfg));
+        assert!(check_layer(&mut Sigmoid::new(), &x, &cfg)
+            .unwrap()
+            .passed(&cfg));
+        assert!(check_layer(&mut Tanh::new(), &x, &cfg)
+            .unwrap()
+            .passed(&cfg));
     }
 
     #[test]

@@ -126,9 +126,12 @@ impl Conv2d {
 
     /// Weight viewed as the `[M, N·K²]` matrix the lowering multiplies by.
     fn weight_matrix(&self) -> Result<Tensor> {
-        Ok(self
-            .weight
-            .reshape(&[self.out_channels, self.in_channels * self.kernel * self.kernel][..])?)
+        Ok(self.weight.reshape(
+            &[
+                self.out_channels,
+                self.in_channels * self.kernel * self.kernel,
+            ][..],
+        )?)
     }
 
     fn forward_im2col(&self, input: &Tensor, n: usize, oh: usize, ow: usize) -> Result<Tensor> {
@@ -359,8 +362,7 @@ impl Layer for Conv2d {
                                 continue;
                             }
                             let xrow = &xc[ir as usize * w..(ir as usize + 1) * w];
-                            let gxrow =
-                                &mut gxc[ir as usize * w..(ir as usize + 1) * w];
+                            let gxrow = &mut gxc[ir as usize * w..(ir as usize + 1) * w];
                             for (oc, &g) in gorow.iter().enumerate() {
                                 if g == 0.0 {
                                     continue;
@@ -573,7 +575,12 @@ mod tests {
             for (p, q) in gxa.as_slice().iter().zip(gxb.as_slice()) {
                 assert!((p - q).abs() < 1e-3, "k={k}: input grad {p} vs {q}");
             }
-            for (p, q) in a.grad_weight.as_slice().iter().zip(b.grad_weight.as_slice()) {
+            for (p, q) in a
+                .grad_weight
+                .as_slice()
+                .iter()
+                .zip(b.grad_weight.as_slice())
+            {
                 assert!((p - q).abs() < 1e-3, "k={k}: weight grad {p} vs {q}");
             }
             for (p, q) in a.grad_bias.as_slice().iter().zip(b.grad_bias.as_slice()) {

@@ -190,7 +190,10 @@ impl LayerSpec {
     ///
     /// Panics unless `0 ≤ p < 1`.
     pub fn dropout(p: f32) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
         LayerSpec::Dropout {
             p_millis: (p * 1000.0).round() as u32,
         }
@@ -262,7 +265,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(14);
         let mut pool = MaxPool2d::new(2).unwrap();
         // Distinct values so the argmax is stable under ±eps.
-        let data: Vec<f32> = (0..16).map(|i| i as f32 * 0.37 + ((i * 7) % 5) as f32).collect();
+        let data: Vec<f32> = (0..16)
+            .map(|i| i as f32 * 0.37 + ((i * 7) % 5) as f32)
+            .collect();
         let input = Tensor::from_vec(data, [1, 1, 4, 4]).unwrap();
         check_input_gradient(&mut pool, &input, 1e-2);
         let _ = &mut rng;

@@ -101,10 +101,9 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let (argmax, in_shape) = self
-            .cache
-            .as_ref()
-            .ok_or(NnError::BackwardBeforeForward { layer: "max_pool2d" })?;
+        let (argmax, in_shape) = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward {
+            layer: "max_pool2d",
+        })?;
         if grad_out.len() != argmax.len() {
             return Err(NnError::BadInput {
                 layer: "max_pool2d",
@@ -277,11 +276,7 @@ mod tests {
     #[test]
     fn max_pool_backward_routes_to_argmax_only() {
         let mut pool = MaxPool2d::new(2).unwrap();
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 9.0],
-            [1, 1, 2, 2],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 9.0], [1, 1, 2, 2]).unwrap();
         let _ = pool.forward(&x).unwrap();
         let g = Tensor::from_vec(vec![5.0], [1, 1, 1, 1]).unwrap();
         let gx = pool.backward(&g).unwrap();

@@ -96,7 +96,9 @@ impl Layer for AvgPool2d {
         let shape = self
             .in_shape
             .as_ref()
-            .ok_or(NnError::BackwardBeforeForward { layer: "avg_pool2d" })?;
+            .ok_or(NnError::BackwardBeforeForward {
+                layer: "avg_pool2d",
+            })?;
         let dims = shape.dims();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let k = self.k;

@@ -170,7 +170,10 @@ mod tests {
         let logits = Tensor::zeros([2, 3]);
         assert!(matches!(
             softmax_cross_entropy(&logits, &[0, 3]),
-            Err(NnError::LabelOutOfRange { label: 3, classes: 3 })
+            Err(NnError::LabelOutOfRange {
+                label: 3,
+                classes: 3
+            })
         ));
         assert!(softmax_cross_entropy(&logits, &[0]).is_err());
         assert!(softmax_cross_entropy(&Tensor::zeros([6]), &[0]).is_err());
@@ -178,8 +181,7 @@ mod tests {
 
     #[test]
     fn count_correct_counts_argmax_hits() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.2, 0.1], [3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.2, 0.1], [3, 2]).unwrap();
         assert_eq!(count_correct(&logits, &[0, 1, 0]).unwrap(), 3);
         assert_eq!(count_correct(&logits, &[1, 0, 1]).unwrap(), 0);
     }

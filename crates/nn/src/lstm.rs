@@ -294,8 +294,12 @@ mod tests {
     fn rejects_bad_widths() {
         let mut rng = StdRng::seed_from_u64(0);
         let cell = LstmCell::new(4, 8, &mut rng).unwrap();
-        assert!(cell.step(&Tensor::zeros([5]), &LstmState::zeros(8)).is_err());
-        assert!(cell.step(&Tensor::zeros([4]), &LstmState::zeros(7)).is_err());
+        assert!(cell
+            .step(&Tensor::zeros([5]), &LstmState::zeros(8))
+            .is_err());
+        assert!(cell
+            .step(&Tensor::zeros([4]), &LstmState::zeros(7))
+            .is_err());
         assert!(LstmCell::new(0, 8, &mut rng).is_err());
     }
 
@@ -335,8 +339,14 @@ mod tests {
             *hp.at_mut(idx) += eps;
             let mut hm = state.h.clone();
             *hm.at_mut(idx) -= eps;
-            let sp = LstmState { h: hp, c: state.c.clone() };
-            let sm = LstmState { h: hm, c: state.c.clone() };
+            let sp = LstmState {
+                h: hp,
+                c: state.c.clone(),
+            };
+            let sm = LstmState {
+                h: hm,
+                c: state.c.clone(),
+            };
             let fp = cell.step(&x, &sp).unwrap().0.h.sum();
             let fm = cell.step(&x, &sm).unwrap().0.h.sum();
             let numeric = (fp - fm) / (2.0 * eps);
@@ -348,8 +358,14 @@ mod tests {
             *cp.at_mut(idx) += eps;
             let mut cm = state.c.clone();
             *cm.at_mut(idx) -= eps;
-            let sp = LstmState { h: state.h.clone(), c: cp };
-            let sm = LstmState { h: state.h.clone(), c: cm };
+            let sp = LstmState {
+                h: state.h.clone(),
+                c: cp,
+            };
+            let sm = LstmState {
+                h: state.h.clone(),
+                c: cm,
+            };
             let fp = cell.step(&x, &sp).unwrap().0.h.sum();
             let fm = cell.step(&x, &sm).unwrap().0.h.sum();
             let numeric = (fp - fm) / (2.0 * eps);

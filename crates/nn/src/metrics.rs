@@ -49,7 +49,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either index is out of range.
     pub fn record(&mut self, truth: usize, pred: usize) {
-        assert!(truth < self.classes && pred < self.classes, "class out of range");
+        assert!(
+            truth < self.classes && pred < self.classes,
+            "class out of range"
+        );
         self.counts[truth * self.classes + pred] += 1;
     }
 
@@ -114,11 +117,7 @@ pub fn confusion_matrix(model: &mut Sequential, batches: &[Batch]) -> Result<Con
             continue;
         }
         let logits = model.forward(&batch.images)?;
-        for (row, &truth) in logits
-            .as_slice()
-            .chunks_exact(classes)
-            .zip(&batch.labels)
-        {
+        for (row, &truth) in logits.as_slice().chunks_exact(classes).zip(&batch.labels) {
             let mut pred = 0usize;
             for (j, &v) in row.iter().enumerate() {
                 if v > row[pred] {
@@ -204,11 +203,7 @@ mod tests {
                 data[i * 16 + px] = if bright { 1.0 } else { 0.0 } + rng.gen_range(-0.05..0.05);
             }
         }
-        let batch = Batch::new(
-            Tensor::from_vec(data, [16, 1, 4, 4]).unwrap(),
-            labels,
-        )
-        .unwrap();
+        let batch = Batch::new(Tensor::from_vec(data, [16, 1, 4, 4]).unwrap(), labels).unwrap();
         let _ = train(
             &mut model,
             &mut Sgd::new(0.5, 0.9),
@@ -226,8 +221,7 @@ mod tests {
     #[test]
     fn classifier_free_models_are_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut model =
-            Sequential::build((1, 4, 4), &[LayerSpec::flatten()], &mut rng).unwrap();
+        let mut model = Sequential::build((1, 4, 4), &[LayerSpec::flatten()], &mut rng).unwrap();
         assert!(confusion_matrix(&mut model, &[]).is_err());
     }
 }

@@ -210,7 +210,14 @@ mod tests {
         for _ in 0..50 {
             let mut g = quadratic_grad(&w);
             sgd.begin_step();
-            sgd.step_param(0, ParamMut { value: &mut w, grad: &mut g }).unwrap();
+            sgd.step_param(
+                0,
+                ParamMut {
+                    value: &mut w,
+                    grad: &mut g,
+                },
+            )
+            .unwrap();
         }
         assert!(w.norm_sq() < 1e-4);
     }
@@ -224,12 +231,29 @@ mod tests {
         for _ in 0..20 {
             let mut g1 = Tensor::ones([1]);
             let mut g2 = Tensor::ones([1]);
-            plain.step_param(0, ParamMut { value: &mut w1, grad: &mut g1 }).unwrap();
+            plain
+                .step_param(
+                    0,
+                    ParamMut {
+                        value: &mut w1,
+                        grad: &mut g1,
+                    },
+                )
+                .unwrap();
             momentum
-                .step_param(0, ParamMut { value: &mut w2, grad: &mut g2 })
+                .step_param(
+                    0,
+                    ParamMut {
+                        value: &mut w2,
+                        grad: &mut g2,
+                    },
+                )
                 .unwrap();
         }
-        assert!(w2.at(0) < w1.at(0), "momentum should have travelled further");
+        assert!(
+            w2.at(0) < w1.at(0),
+            "momentum should have travelled further"
+        );
     }
 
     #[test]
@@ -239,7 +263,14 @@ mod tests {
         for _ in 0..200 {
             let mut g = quadratic_grad(&w);
             adam.begin_step();
-            adam.step_param(0, ParamMut { value: &mut w, grad: &mut g }).unwrap();
+            adam.step_param(
+                0,
+                ParamMut {
+                    value: &mut w,
+                    grad: &mut g,
+                },
+            )
+            .unwrap();
         }
         assert!(w.norm_sq() < 1e-3, "w = {w}");
     }
@@ -252,7 +283,14 @@ mod tests {
         let mut w = Tensor::from_vec(vec![5.0], [1]).unwrap();
         let mut g = Tensor::from_vec(vec![1e-3], [1]).unwrap();
         adam.begin_step();
-        adam.step_param(0, ParamMut { value: &mut w, grad: &mut g }).unwrap();
+        adam.step_param(
+            0,
+            ParamMut {
+                value: &mut w,
+                grad: &mut g,
+            },
+        )
+        .unwrap();
         assert!((5.0 - w.at(0) - 0.1).abs() < 1e-3);
     }
 
@@ -263,8 +301,22 @@ mod tests {
         let mut b = Tensor::zeros([2]);
         let mut ga = Tensor::ones([1]);
         let mut gb = Tensor::ones([2]);
-        sgd.step_param(0, ParamMut { value: &mut a, grad: &mut ga }).unwrap();
-        sgd.step_param(1, ParamMut { value: &mut b, grad: &mut gb }).unwrap();
+        sgd.step_param(
+            0,
+            ParamMut {
+                value: &mut a,
+                grad: &mut ga,
+            },
+        )
+        .unwrap();
+        sgd.step_param(
+            1,
+            ParamMut {
+                value: &mut b,
+                grad: &mut gb,
+            },
+        )
+        .unwrap();
         // Shapes differ; if slots collided the second step would error.
         assert!(a.at(0) < 0.0 && b.at(0) < 0.0);
     }
@@ -276,7 +328,14 @@ mod tests {
         assert_eq!(sgd.lr(), 0.5);
         let mut w = Tensor::zeros([1]);
         let mut g = Tensor::ones([1]);
-        sgd.step_param(0, ParamMut { value: &mut w, grad: &mut g }).unwrap();
+        sgd.step_param(
+            0,
+            ParamMut {
+                value: &mut w,
+                grad: &mut g,
+            },
+        )
+        .unwrap();
         assert_eq!(w.at(0), -0.5);
     }
 }

@@ -187,7 +187,13 @@ pub fn train(
     val_batches: &[Batch],
     epochs: usize,
 ) -> Result<TrainReport> {
-    train_with(model, optimizer, train_batches, val_batches, TrainOptions::new(epochs))
+    train_with(
+        model,
+        optimizer,
+        train_batches,
+        val_batches,
+        TrainOptions::new(epochs),
+    )
 }
 
 /// [`train`] with [`TrainOptions`]: per-epoch shuffling and step learning-
@@ -239,7 +245,11 @@ pub fn train_with(
         }
         let val_accuracy = evaluate(model, val_batches)?;
         report.epochs.push(EpochStats {
-            train_loss: if seen > 0 { loss_sum / seen as f32 } else { 0.0 },
+            train_loss: if seen > 0 {
+                loss_sum / seen as f32
+            } else {
+                0.0
+            },
             train_accuracy: if seen > 0 {
                 correct as f32 / seen as f32
             } else {
@@ -389,9 +399,15 @@ mod tests {
             if let Some(seed) = shuffle {
                 opts = opts.with_shuffle_seed(seed);
             }
-            train_with(&mut model, &mut Sgd::new(0.3, 0.0), &batches, &batches, opts)
-                .unwrap()
-                .final_val_accuracy()
+            train_with(
+                &mut model,
+                &mut Sgd::new(0.3, 0.0),
+                &batches,
+                &batches,
+                opts,
+            )
+            .unwrap()
+            .final_val_accuracy()
         };
         // Both converge; shuffled ordering is reproducible under its seed.
         assert_eq!(run(Some(9)), run(Some(9)));

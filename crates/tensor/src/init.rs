@@ -36,9 +36,7 @@ impl Init for XavierUniform {
     fn init(&self, shape: &Shape, rng: &mut dyn rand::RngCore) -> Tensor {
         let (fan_in, fan_out) = fans(shape);
         let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
-        let data = (0..shape.len())
-            .map(|_| rng.gen_range(-a..=a))
-            .collect();
+        let data = (0..shape.len()).map(|_| rng.gen_range(-a..=a)).collect();
         Tensor::from_vec(data, shape.clone()).expect("length matches by construction")
     }
 }
@@ -65,12 +63,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if `lo >= hi`.
-    pub fn rand_uniform(
-        shape: impl Into<Shape>,
-        lo: f32,
-        hi: f32,
-        rng: &mut impl Rng,
-    ) -> Tensor {
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
         assert!(lo < hi, "rand_uniform requires lo < hi");
         let shape = shape.into();
         let data = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
@@ -79,12 +72,7 @@ impl Tensor {
 
     /// Creates a tensor with elements drawn from a normal distribution
     /// `N(mean, std²)` using the Box–Muller transform.
-    pub fn rand_normal(
-        shape: impl Into<Shape>,
-        mean: f32,
-        std: f32,
-        rng: &mut impl Rng,
-    ) -> Tensor {
+    pub fn rand_normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
         let shape = shape.into();
         let n = shape.len();
         let mut data = Vec::with_capacity(n);

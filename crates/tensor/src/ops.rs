@@ -258,7 +258,10 @@ impl Tensor {
         let max = self.max()?;
         let exps: Vec<f32> = self.as_slice().iter().map(|&x| (x - max).exp()).collect();
         let denom: f32 = exps.iter().sum();
-        Tensor::from_vec(exps.into_iter().map(|e| e / denom).collect(), self.shape().clone())
+        Tensor::from_vec(
+            exps.into_iter().map(|e| e / denom).collect(),
+            self.shape().clone(),
+        )
     }
 }
 
@@ -322,7 +325,10 @@ mod tests {
         let b = Tensor::zeros(&[4, 5][..]);
         assert!(matches!(
             a.matmul(&b),
-            Err(TensorError::MatmulDimMismatch { left_cols: 3, right_rows: 4 })
+            Err(TensorError::MatmulDimMismatch {
+                left_cols: 3,
+                right_rows: 4
+            })
         ));
     }
 

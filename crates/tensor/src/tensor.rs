@@ -304,7 +304,14 @@ mod tests {
     fn from_vec_validates_length() {
         assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3][..]).is_ok());
         let err = Tensor::from_vec(vec![1.0; 5], &[2, 3][..]).unwrap_err();
-        assert!(matches!(err, TensorError::LengthMismatch { expected: 6, actual: 5, .. }));
+        assert!(matches!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5,
+                ..
+            }
+        ));
     }
 
     #[test]

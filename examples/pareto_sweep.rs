@@ -24,9 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "NAS baseline: {} @ {} accuracy {}\n",
         nas_best.arch.describe(),
-        nas_best
-            .latency
-            .map_or("?".to_string(), |l| l.to_string()),
+        nas_best.latency.map_or("?".to_string(), |l| l.to_string()),
         pct(nas_best.accuracy.expect("trained")),
     );
 

@@ -20,15 +20,27 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. A hand-written child architecture -------------------------
     let arch = ChildArch::new(vec![
-        LayerChoice { filter_size: 5, num_filters: 18 },
-        LayerChoice { filter_size: 7, num_filters: 36 },
-        LayerChoice { filter_size: 5, num_filters: 18 },
-        LayerChoice { filter_size: 3, num_filters: 9 },
+        LayerChoice {
+            filter_size: 5,
+            num_filters: 18,
+        },
+        LayerChoice {
+            filter_size: 7,
+            num_filters: 36,
+        },
+        LayerChoice {
+            filter_size: 5,
+            num_filters: 18,
+        },
+        LayerChoice {
+            filter_size: 3,
+            num_filters: 9,
+        },
     ])?;
     println!("child architecture: {}", arch.describe());
 
     // --- 2. Latency on the PYNQ board, analytically --------------------
-    let mut latency = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+    let latency = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
     let analytic = latency.latency(&arch)?;
     let simulated = latency.simulated_latency(&arch)?;
     println!("analytic latency (Eq. 5):   {analytic}");
@@ -40,7 +52,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(42);
     let outcome = Searcher::surrogate(&config)?.run(&config, &mut rng)?;
 
-    let mut table = Table::new(vec!["trial", "architecture", "latency", "accuracy", "reward"]);
+    let mut table = Table::new(vec![
+        "trial",
+        "architecture",
+        "latency",
+        "accuracy",
+        "reward",
+    ]);
     for t in outcome.trials() {
         table.push_row(vec![
             t.index.to_string(),

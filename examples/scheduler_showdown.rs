@@ -42,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if fnas.makespan <= fixed.makespan {
             wins += 1;
         }
-        let saving =
-            100.0 * (1.0 - fnas.makespan.get() as f64 / fixed.makespan.get() as f64);
+        let saving = 100.0 * (1.0 - fnas.makespan.get() as f64 / fixed.makespan.get() as f64);
         table.push_row(vec![
             (id + 1).to_string(),
             filters

@@ -12,9 +12,9 @@
 //! Run with: `cargo run --release --example search_mnist`
 
 use fnas::evaluator::TrainedEvaluator;
+use fnas::experiment::ExperimentPreset;
 use fnas::report::{pct, Table};
 use fnas::search::{SearchConfig, Searcher};
-use fnas::experiment::ExperimentPreset;
 use fnas_data::SynthConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,9 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Keep the Table-2 MNIST *structure* (filter-size / filter-count menus)
     // but at CPU scale, and train each child for 6 epochs.
-    let preset = ExperimentPreset::mnist()
-        .with_trials(8)
-        .with_epochs(6);
+    let preset = ExperimentPreset::mnist().with_trials(8).with_epochs(6);
     // Rebind dataset + a smaller space via the trained evaluator directly.
     let space = fnas_controller::space::SearchSpace::new(3, vec![3, 5], vec![8, 16])?;
     let preset = override_preset(preset, dataset.clone(), space);

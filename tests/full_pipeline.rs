@@ -70,7 +70,10 @@ fn nas_and_fnas_explore_the_same_space_but_account_costs_differently() {
         .expect("runs");
     assert_eq!(nas.mode(), SearchMode::Nas);
     assert_eq!(nas.pruned_count(), 0, "plain NAS never prunes");
-    assert!(nas.cost().analyzer_seconds == 0.0, "NAS never pays the FNAS tool");
+    assert!(
+        nas.cost().analyzer_seconds == 0.0,
+        "NAS never pays the FNAS tool"
+    );
 
     let fnas_cfg = SearchConfig::fnas(preset, 0.001).with_seed(9); // brutally tight: 1 µs
     let fnas = Searcher::surrogate(&fnas_cfg)

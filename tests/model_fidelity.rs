@@ -23,7 +23,7 @@ fn random_arch(space: &SearchSpace, rng: &mut StdRng) -> ChildArch {
 fn analyzer_is_a_tight_lower_bound_across_the_mnist_space() {
     let space = SearchSpace::mnist();
     let mut rng = StdRng::seed_from_u64(31);
-    let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+    let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
     for _ in 0..15 {
         let arch = random_arch(&space, &mut rng);
         let analytic = eval.latency(&arch).expect("designable");
@@ -46,25 +46,28 @@ fn analyzer_is_a_tight_lower_bound_across_the_mnist_space() {
 fn analyzer_bound_holds_on_the_cifar_space() {
     let space = SearchSpace::cifar10();
     let mut rng = StdRng::seed_from_u64(32);
-    let mut eval = LatencyEvaluator::new(FpgaDevice::zu9eg(), (3, 32, 32));
+    let eval = LatencyEvaluator::new(FpgaDevice::zu9eg(), (3, 32, 32));
     for _ in 0..6 {
         let arch = random_arch(&space, &mut rng);
         let analytic = eval.latency(&arch).expect("designable");
         let simulated = eval.simulated_latency(&arch).expect("simulates");
         assert!(analytic.get() <= simulated.get() * 1.0001);
-        assert!(simulated.get() <= analytic.get() * 1.35, "{}", arch.describe());
+        assert!(
+            simulated.get() <= analytic.get() * 1.35,
+            "{}",
+            arch.describe()
+        );
     }
 }
 
 /// Widening a layer or deepening the network must never reduce latency.
 #[test]
 fn latency_is_monotone_in_architecture_size() {
-    let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+    let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
     let space = SearchSpace::mnist();
     let base = ChildArch::from_indices(&space, &[0, 0, 0, 0, 0, 0, 0, 0]).expect("valid");
     let wider = ChildArch::from_indices(&space, &[0, 2, 0, 0, 0, 0, 0, 0]).expect("valid");
-    let bigger_kernel =
-        ChildArch::from_indices(&space, &[1, 0, 0, 0, 0, 0, 0, 0]).expect("valid");
+    let bigger_kernel = ChildArch::from_indices(&space, &[1, 0, 0, 0, 0, 0, 0, 0]).expect("valid");
     let l0 = eval.latency(&base).expect("designable").get();
     assert!(eval.latency(&wider).expect("designable").get() >= l0);
     assert!(eval.latency(&bigger_kernel).expect("designable").get() >= l0);
@@ -97,7 +100,7 @@ fn clusters_accelerate_large_pipelines() {
 fn latency_cache_is_transparent() {
     let space = SearchSpace::mnist();
     let mut rng = StdRng::seed_from_u64(34);
-    let mut eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+    let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
     let archs: Vec<ChildArch> = (0..5).map(|_| random_arch(&space, &mut rng)).collect();
     let first: Vec<f64> = archs
         .iter()

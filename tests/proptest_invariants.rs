@@ -14,7 +14,10 @@ use proptest::prelude::*;
 fn arb_network() -> impl Strategy<Value = Network> {
     (
         1usize..=4,
-        prop::collection::vec((1usize..=24, prop_oneof![Just(1usize), Just(3), Just(5)]), 4),
+        prop::collection::vec(
+            (1usize..=24, prop_oneof![Just(1usize), Just(3), Just(5)]),
+            4,
+        ),
         8usize..=20,
     )
         .prop_map(|(depth, specs, extent)| {
@@ -196,6 +199,36 @@ proptest! {
         let u = report.utilization();
         prop_assert!(u.dsp_used <= u.dsp_available);
         prop_assert!(u.bram_used <= u.bram_available);
+    }
+
+    /// The sharded memo cache is transparent: a latency served through a
+    /// shared (possibly warm) evaluator is always bit-identical to a fresh
+    /// analyzer call on a brand-new evaluator — caching can never change a
+    /// result, only skip recomputation.
+    #[test]
+    fn sharded_latency_cache_matches_fresh_analysis(seed in 0u64..200) {
+        use fnas::latency::LatencyEvaluator;
+        use fnas_controller::arch::ChildArch;
+        use fnas_controller::space::SearchSpace;
+        use rand::{Rng, SeedableRng};
+        let space = SearchSpace::mnist();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let shared = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+        for _ in 0..8 {
+            let indices: Vec<usize> = (0..space.num_decisions())
+                .map(|t| rng.gen_range(0..space.options(t).len()))
+                .collect();
+            let arch = ChildArch::from_indices(&space, &indices).expect("in range");
+            let first = shared.latency(&arch).expect("mnist space is designable");
+            let cached = shared.latency(&arch).expect("mnist space is designable");
+            let fresh = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28))
+                .latency(&arch)
+                .expect("mnist space is designable");
+            prop_assert_eq!(first.get().to_bits(), fresh.get().to_bits());
+            prop_assert_eq!(cached.get().to_bits(), fresh.get().to_bits());
+        }
+        // The second lookup of each architecture must have been a hit.
+        prop_assert!(shared.cache_hits() >= 8);
     }
 
     /// Synthetic datasets: labels cycle, batches partition, tensors finite.

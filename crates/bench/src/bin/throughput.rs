@@ -21,6 +21,12 @@
 //! the telemetry table shows where the remaining time goes (cache hit
 //! rates, prune rate, per-phase wall time).
 //!
+//! Part 3: chaos mode. The same sweep against an oracle wrapped in the
+//! deterministic fault injector — children crash, time out and diverge at
+//! elevated rates — with the resilient retry/quarantine decorator in
+//! between. The run must still complete every episode with finite rewards,
+//! and the fault telemetry table shows what the runtime absorbed.
+//!
 //! Run with: `cargo run --release -p fnas-bench --bin throughput`
 
 use std::time::{Duration, Instant};
@@ -28,6 +34,7 @@ use std::time::{Duration, Instant};
 use fnas::evaluator::{AccuracyEvaluator, SurrogateCalibration, SurrogateEvaluator};
 use fnas::experiment::ExperimentPreset;
 use fnas::report::{factor, telemetry_table, Table};
+use fnas::resilience::{FaultInjector, FaultPlan, ResilientEvaluator, RetryPolicy};
 use fnas::search::{BatchOptions, SearchConfig, Searcher};
 use fnas_bench::{emit, fig8_architectures};
 use fnas_controller::arch::ChildArch;
@@ -174,8 +181,54 @@ fn search_engine_throughput() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn chaos_search() -> Result<(), Box<dyn std::error::Error>> {
+    let preset = ExperimentPreset::mnist().with_trials(32);
+    let config = SearchConfig::fnas(preset, 10.0).with_seed(7);
+
+    // Elevated fault rates: one child in five times out, one in twenty
+    // crashes the worker, one in twenty diverges to NaN. The injector is
+    // seeded from the per-child RNG stream, so the chaos itself is
+    // reproducible.
+    let plan = FaultPlan {
+        panic_rate: 0.05,
+        transient_rate: 0.20,
+        nan_rate: 0.05,
+    };
+    let surrogate = SurrogateEvaluator::new(SurrogateCalibration::mnist());
+    let injector = FaultInjector::new(Box::new(surrogate), plan);
+    let evaluator = ResilientEvaluator::new(Box::new(injector), RetryPolicy::default());
+    let mut searcher = Searcher::with_evaluator(&config, Box::new(evaluator))?;
+    let opts = BatchOptions::sequential()
+        .with_workers(8)
+        .with_batch_size(8);
+
+    // Injected panics are caught and settled by the executor; silence the
+    // default hook so the expected crashes don't spam stderr.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = searcher.run_batched(&config, &opts);
+    std::panic::set_hook(hook);
+    let out = out?;
+
+    assert!(
+        out.trials().iter().all(|t| t.reward.is_finite()),
+        "chaos run leaked a non-finite reward"
+    );
+    emit(
+        "throughput_chaos_telemetry",
+        &telemetry_table(out.telemetry()),
+    )?;
+    println!(
+        "chaos mode: all {} trials settled with finite rewards despite\n\
+         injected crashes, timeouts and divergence (see fault rows above).",
+        out.trials().len()
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     streaming_throughput()?;
     search_engine_throughput()?;
+    chaos_search()?;
     Ok(())
 }

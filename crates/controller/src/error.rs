@@ -30,6 +30,14 @@ pub enum ControllerError {
         /// Steps the space requires.
         space_steps: usize,
     },
+    /// A REINFORCE update was handed a NaN/Inf advantage, which would
+    /// silently corrupt every policy parameter it touches. The searcher
+    /// quarantines non-finite accuracies before rewards are computed, so
+    /// reaching this error indicates a broken custom oracle or reward.
+    NonFiniteAdvantage {
+        /// The offending advantage value.
+        value: f32,
+    },
 }
 
 impl fmt::Display for ControllerError {
@@ -45,6 +53,10 @@ impl fmt::Display for ControllerError {
             } => write!(
                 f,
                 "episode has {episode_steps} decisions but the space needs {space_steps}"
+            ),
+            ControllerError::NonFiniteAdvantage { value } => write!(
+                f,
+                "refusing a REINFORCE update with non-finite advantage {value}"
             ),
         }
     }

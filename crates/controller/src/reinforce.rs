@@ -5,13 +5,13 @@
 //! treats the incoming value as the *advantage* directly. For plain NAS
 //! usage the trainer can also maintain its own EMA baseline.
 
-use fnas_nn::optim::Adam;
+use fnas_nn::optim::{Adam, AdamState};
 use rand::RngCore;
 
 use crate::arch::ChildArch;
 use crate::rnn::{Episode, PolicyRnn};
 use crate::space::SearchSpace;
-use crate::Result;
+use crate::{ControllerError, Result};
 
 /// Default controller learning rate.
 pub const DEFAULT_LR: f32 = 0.02;
@@ -33,6 +33,21 @@ impl ArchSample {
     pub fn episode(&self) -> &Episode {
         &self.episode
     }
+}
+
+/// A plain-data snapshot of a [`ReinforceTrainer`]'s mutable state —
+/// policy parameters, optimiser moments and the update counter — for
+/// checkpointing a search mid-run. Restoring it into a trainer built from
+/// the same search space and hyper-parameters resumes training
+/// bit-identically.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainerState {
+    /// Flat policy parameters in [`PolicyRnn::export_params`] order.
+    pub params: Vec<f32>,
+    /// Adam optimiser state (time step and moment buffers).
+    pub optimizer: AdamState,
+    /// Gradient updates applied so far.
+    pub updates: u64,
 }
 
 /// Policy-gradient trainer for the NAS controller.
@@ -94,6 +109,32 @@ impl ReinforceTrainer {
         self.updates
     }
 
+    /// Snapshots the trainer's mutable state for checkpointing; the
+    /// inverse of [`ReinforceTrainer::import_state`].
+    pub fn export_state(&mut self) -> TrainerState {
+        TrainerState {
+            params: self.policy.export_params(),
+            optimizer: self.optimizer.export_state(),
+            updates: self.updates as u64,
+        }
+    }
+
+    /// Restores state captured by [`ReinforceTrainer::export_state`] on a
+    /// trainer built over an identically-shaped policy with the same
+    /// hyper-parameters; sampling and updates then continue
+    /// bit-identically from the snapshot point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::InvalidConfig`] when the parameter
+    /// buffer does not match this policy's parameter count.
+    pub fn import_state(&mut self, state: &TrainerState) -> Result<()> {
+        self.policy.import_params(&state.params)?;
+        self.optimizer.import_state(&state.optimizer);
+        self.updates = state.updates as usize;
+        Ok(())
+    }
+
     /// Samples a child architecture from the current policy.
     ///
     /// # Errors
@@ -123,10 +164,16 @@ impl ReinforceTrainer {
     /// # Errors
     ///
     /// Returns an episode/space mismatch or optimiser error; an empty batch
-    /// is a no-op.
+    /// is a no-op. A NaN/Inf advantage anywhere in the batch is rejected
+    /// with [`ControllerError::NonFiniteAdvantage`] *before* any gradient
+    /// is accumulated — one poisoned reward would otherwise spread NaN
+    /// through every parameter on the next optimiser step.
     pub fn update_batch(&mut self, batch: &[(ArchSample, f32)]) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
+        }
+        if let Some((_, bad)) = batch.iter().find(|(_, adv)| !adv.is_finite()) {
+            return Err(ControllerError::NonFiniteAdvantage { value: *bad });
         }
         let scale = 1.0 / batch.len() as f32;
         for (sample, advantage) in batch {
@@ -171,14 +218,43 @@ impl EmaBaseline {
         EmaBaseline { decay, value: None }
     }
 
+    /// Rebuilds a baseline from checkpointed state: the decay and the raw
+    /// value as returned by [`EmaBaseline::raw_value`] (`None` = no
+    /// observation folded in yet, which `value()`'s `0.0` cannot encode).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ decay < 1`, like [`EmaBaseline::new`].
+    pub fn restore(decay: f32, value: Option<f32>) -> Self {
+        let mut b = EmaBaseline::new(decay);
+        b.value = value;
+        b
+    }
+
     /// Current baseline; `0.0` before the first observation.
     pub fn value(&self) -> f32 {
         self.value.unwrap_or(0.0)
     }
 
+    /// The raw state: `None` before the first observation (for
+    /// checkpointing — see [`EmaBaseline::restore`]).
+    pub fn raw_value(&self) -> Option<f32> {
+        self.value
+    }
+
+    /// The decay constant `β`.
+    pub fn decay(&self) -> f32 {
+        self.decay
+    }
+
     /// Folds a new observation into the average. The first observation
-    /// initialises the baseline directly.
+    /// initialises the baseline directly. Non-finite observations are
+    /// ignored: a single NaN accuracy would otherwise poison the baseline
+    /// — and through it every subsequent reward — permanently.
     pub fn observe(&mut self, x: f32) {
+        if !x.is_finite() {
+            return;
+        }
         self.value = Some(match self.value {
             None => x,
             Some(v) => self.decay * v + (1.0 - self.decay) * x,
@@ -279,6 +355,96 @@ mod tests {
             b.observe(0.75);
         }
         assert!((b.value() - 0.75).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ema_baseline_ignores_non_finite_observations() {
+        let mut b = EmaBaseline::new(0.5);
+        b.observe(f32::NAN);
+        assert_eq!(b.raw_value(), None);
+        b.observe(0.8);
+        b.observe(f32::INFINITY);
+        b.observe(f32::NEG_INFINITY);
+        assert_eq!(b.value(), 0.8);
+    }
+
+    #[test]
+    fn ema_baseline_restore_round_trips() {
+        let mut b = EmaBaseline::new(0.7);
+        b.observe(0.9);
+        b.observe(0.5);
+        let restored = EmaBaseline::restore(b.decay(), b.raw_value());
+        assert_eq!(restored, b);
+        // A never-observed baseline restores to the same "empty" state.
+        let empty = EmaBaseline::restore(0.7, None);
+        assert_eq!(empty, EmaBaseline::new(0.7));
+        assert_eq!(empty.value(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_advantage_is_rejected_before_any_gradient() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut trainer = ReinforceTrainer::new(&SearchSpace::mnist(), &mut rng).unwrap();
+        let s = trainer.sample(&mut rng).unwrap();
+        let before = trainer.policy().log_prob_of(s.episode().indices()).unwrap();
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            assert!(matches!(
+                trainer.update(&s, bad),
+                Err(ControllerError::NonFiniteAdvantage { .. })
+            ));
+        }
+        // Mixed batches are rejected atomically: the good sample's
+        // gradient must not have been applied either.
+        let good = (s.clone(), 0.5f32);
+        let bad = (s.clone(), f32::NAN);
+        assert!(trainer.update_batch(&[good, bad]).is_err());
+        assert_eq!(trainer.updates(), 0);
+        let after = trainer.policy().log_prob_of(s.episode().indices()).unwrap();
+        assert_eq!(
+            before.to_bits(),
+            after.to_bits(),
+            "policy must be untouched"
+        );
+    }
+
+    #[test]
+    fn trainer_state_round_trip_resumes_bit_identically() {
+        let space = SearchSpace::mnist();
+        let score =
+            |idx: &[usize]| idx.iter().filter(|&&i| i == 0).count() as f32 / idx.len() as f32;
+        let drive = |trainer: &mut ReinforceTrainer, rng: &mut StdRng, steps: usize| {
+            for _ in 0..steps {
+                let s = trainer.sample(rng).unwrap();
+                let r = score(s.episode().indices());
+                trainer.update(&s, r - 0.4).unwrap();
+            }
+        };
+        // Uninterrupted run: 20 updates.
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut a = ReinforceTrainer::new(&space, &mut rng_a).unwrap();
+        drive(&mut a, &mut rng_a, 20);
+        // Interrupted run: 8 updates, checkpoint, rebuild, 12 more. The
+        // driving RNG state is carried over via the rand shim's state
+        // snapshot, exactly like the searcher's checkpoint does.
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let mut b = ReinforceTrainer::new(&space, &mut rng_b).unwrap();
+        drive(&mut b, &mut rng_b, 8);
+        let state = b.export_state();
+        assert_eq!(state.updates, 8);
+        let mut rng_c = StdRng::from_state(rng_b.state());
+        let mut fresh_init = StdRng::seed_from_u64(999);
+        let mut c = ReinforceTrainer::new(&space, &mut fresh_init).unwrap();
+        c.import_state(&state).unwrap();
+        drive(&mut c, &mut rng_c, 12);
+        assert_eq!(c.updates(), 20);
+        let probe = a.sample(&mut StdRng::seed_from_u64(0)).unwrap();
+        let la = a.policy().log_prob_of(probe.episode().indices()).unwrap();
+        let lc = c.policy().log_prob_of(probe.episode().indices()).unwrap();
+        assert_eq!(la.to_bits(), lc.to_bits());
+        // A state for a different policy shape is rejected.
+        let mut rng_d = StdRng::seed_from_u64(1);
+        let mut d = ReinforceTrainer::new(&SearchSpace::cifar10(), &mut rng_d).unwrap();
+        assert!(d.import_state(&state).is_err());
     }
 
     #[test]

@@ -1,0 +1,546 @@
+//! Versioned on-disk snapshots of a running search.
+//!
+//! The paper's searches spend hours of cluster time; losing a run to a
+//! crashed node means re-training every child explored so far. This module
+//! captures everything [`crate::search::Searcher::resume_batched`] needs to
+//! continue a batched run **bit-identically**: controller weights and
+//! optimiser moments, the EMA baseline, the run RNG state, the trial
+//! history, the accumulated modelled cost, and the logical telemetry
+//! counters.
+//!
+//! Deliberately *not* captured:
+//!
+//! * **memo caches** (latency and accuracy) — by the engine's
+//!   cache-transparency invariant they affect only wall-clock time, never
+//!   results, so a resumed run merely re-misses and stays bit-identical;
+//! * **wall times and cache counters** — they describe work performed by a
+//!   particular process, not logical search progress.
+//!
+//! The format is a little-endian binary codec written by hand: the build
+//! environment has no registry access, so `serde` is not an option, and a
+//! fixed self-describing layout (magic, version, length-prefixed arrays)
+//! is easy to keep stable. All floating-point state is stored as raw IEEE
+//! bits, so `NaN` payloads and signed zeros survive the round trip
+//! exactly. Writes go through a temporary file in the same directory
+//! followed by an atomic rename, so a crash mid-write leaves the previous
+//! checkpoint intact.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use fnas_controller::arch::{ChildArch, LayerChoice};
+use fnas_controller::reinforce::TrainerState;
+use fnas_exec::TelemetrySnapshot;
+use fnas_fpga::Millis;
+use fnas_nn::optim::AdamState;
+
+use crate::cost::SearchCost;
+use crate::search::TrialRecord;
+use crate::{FnasError, Result};
+
+/// File magic: identifies FNAS checkpoints regardless of extension.
+pub const MAGIC: &[u8; 8] = b"FNASCKPT";
+
+/// Current format version; bumped on any layout change.
+pub const VERSION: u32 = 1;
+
+/// Everything needed to continue a batched search bit-identically.
+///
+/// Produced by the engine at episode boundaries (see
+/// [`crate::search::CheckpointOptions`]) and consumed by
+/// [`crate::search::Searcher::resume_batched`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchCheckpoint {
+    /// The run's config seed; resume refuses a mismatched config.
+    pub run_seed: u64,
+    /// The next episode index to execute.
+    pub next_episode: u64,
+    /// The run RNG's xoshiro256++ state at the episode boundary.
+    pub rng_state: [u64; 4],
+    /// The EMA baseline's raw state (`None` = no observation yet).
+    pub baseline: Option<f32>,
+    /// Modelled search cost accumulated so far.
+    pub cost: SearchCost,
+    /// Controller parameters, optimiser moments and update count.
+    pub trainer: TrainerState,
+    /// Logical telemetry counters (cache traffic and wall times are
+    /// process-local and not persisted — their fields read zero here).
+    pub telemetry: TelemetrySnapshot,
+    /// Every trial explored so far, in exploration order.
+    pub trials: Vec<TrialRecord>,
+}
+
+impl SearchCheckpoint {
+    /// Serialises the checkpoint to its binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.bytes(MAGIC);
+        w.u32(VERSION);
+        w.u64(self.run_seed);
+        w.u64(self.next_episode);
+        for s in self.rng_state {
+            w.u64(s);
+        }
+        w.opt_f32(self.baseline);
+        w.f64(self.cost.training_seconds);
+        w.f64(self.cost.analyzer_seconds);
+        // Trainer.
+        w.u64(self.trainer.params.len() as u64);
+        for &p in &self.trainer.params {
+            w.f32(p);
+        }
+        w.u64(self.trainer.optimizer.t);
+        w.u64(self.trainer.optimizer.moments.len() as u64);
+        for slot in &self.trainer.optimizer.moments {
+            match slot {
+                None => w.u8(0),
+                Some((m, v)) => {
+                    w.u8(1);
+                    w.u64(m.len() as u64);
+                    for &x in m {
+                        w.f32(x);
+                    }
+                    for &x in v {
+                        w.f32(x);
+                    }
+                }
+            }
+        }
+        w.u64(self.trainer.updates);
+        // Logical telemetry counters.
+        let t = &self.telemetry;
+        for c in [
+            t.children_sampled,
+            t.children_pruned,
+            t.children_trained,
+            t.children_unbuildable,
+            t.children_failed,
+            t.episodes,
+            t.panics_caught,
+            t.retries,
+            t.quarantined,
+            t.checkpoints_written,
+            t.train_calls,
+        ] {
+            w.u64(c);
+        }
+        // Trials.
+        w.u64(self.trials.len() as u64);
+        for trial in &self.trials {
+            w.u64(trial.index as u64);
+            w.u64(trial.arch.layers().len() as u64);
+            for l in trial.arch.layers() {
+                w.u32(l.filter_size as u32);
+                w.u32(l.num_filters as u32);
+            }
+            w.opt_f64(trial.latency.map(|l| l.get()));
+            w.opt_f32(trial.accuracy);
+            w.f32(trial.reward);
+            w.u8(u8::from(trial.trained));
+        }
+        w.buf
+    }
+
+    /// Deserialises a checkpoint from its binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FnasError::InvalidConfig`] on a wrong magic, an unknown
+    /// version, or a truncated/corrupt payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let magic = r.bytes(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(corrupt("not an FNAS checkpoint (bad magic)"));
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(corrupt(&format!(
+                "unsupported checkpoint version {version} (this build reads {VERSION})"
+            )));
+        }
+        let run_seed = r.u64()?;
+        let next_episode = r.u64()?;
+        let mut rng_state = [0u64; 4];
+        for s in &mut rng_state {
+            *s = r.u64()?;
+        }
+        let baseline = r.opt_f32()?;
+        let cost = SearchCost {
+            training_seconds: r.f64()?,
+            analyzer_seconds: r.f64()?,
+        };
+        let n_params = r.len()?;
+        let mut params = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            params.push(r.f32()?);
+        }
+        let t = r.u64()?;
+        let n_moments = r.len()?;
+        let mut moments = Vec::with_capacity(n_moments);
+        for _ in 0..n_moments {
+            moments.push(match r.u8()? {
+                0 => None,
+                1 => {
+                    let n = r.len()?;
+                    let mut m = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        m.push(r.f32()?);
+                    }
+                    let mut v = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        v.push(r.f32()?);
+                    }
+                    Some((m, v))
+                }
+                tag => return Err(corrupt(&format!("bad moment tag {tag}"))),
+            });
+        }
+        let updates = r.u64()?;
+        let trainer = TrainerState {
+            params,
+            optimizer: AdamState { t, moments },
+            updates,
+        };
+        let telemetry = TelemetrySnapshot {
+            children_sampled: r.u64()?,
+            children_pruned: r.u64()?,
+            children_trained: r.u64()?,
+            children_unbuildable: r.u64()?,
+            children_failed: r.u64()?,
+            episodes: r.u64()?,
+            panics_caught: r.u64()?,
+            retries: r.u64()?,
+            quarantined: r.u64()?,
+            checkpoints_written: r.u64()?,
+            train_calls: r.u64()?,
+            ..TelemetrySnapshot::default()
+        };
+        let n_trials = r.len()?;
+        let mut trials = Vec::with_capacity(n_trials);
+        for _ in 0..n_trials {
+            let index = r.u64()? as usize;
+            let n_layers = r.len()?;
+            let mut layers = Vec::with_capacity(n_layers);
+            for _ in 0..n_layers {
+                layers.push(LayerChoice {
+                    filter_size: r.u32()? as usize,
+                    num_filters: r.u32()? as usize,
+                });
+            }
+            let arch = ChildArch::new(layers)
+                .map_err(|e| corrupt(&format!("checkpointed architecture is invalid: {e}")))?;
+            trials.push(TrialRecord {
+                index,
+                arch,
+                latency: r.opt_f64()?.map(Millis::new),
+                accuracy: r.opt_f32()?,
+                reward: r.f32()?,
+                trained: r.u8()? != 0,
+            });
+        }
+        if !r.at_end() {
+            return Err(corrupt("trailing bytes after checkpoint payload"));
+        }
+        Ok(SearchCheckpoint {
+            run_seed,
+            next_episode,
+            rng_state,
+            baseline,
+            cost,
+            trainer,
+            telemetry,
+            trials,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically: the payload goes to a
+    /// sibling `*.tmp` file first and is renamed over `path`, so a crash
+    /// mid-write cannot destroy the previous checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors as [`FnasError::Io`].
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&self.to_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`FnasError::Io`] for filesystem failures,
+    /// [`FnasError::InvalidConfig`] for corrupt or incompatible payloads.
+    pub fn load(path: &Path) -> Result<Self> {
+        SearchCheckpoint::from_bytes(&fs::read(path)?)
+    }
+}
+
+fn corrupt(what: &str) -> FnasError {
+    FnasError::InvalidConfig {
+        what: format!("checkpoint: {what}"),
+    }
+}
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+    fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+    fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+    fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+    fn f32(&mut self, x: f32) {
+        self.u32(x.to_bits());
+    }
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+    fn opt_f32(&mut self, x: Option<f32>) {
+        match x {
+            None => self.u8(0),
+            Some(v) => {
+                self.u8(1);
+                self.f32(v);
+            }
+        }
+    }
+    fn opt_f64(&mut self, x: Option<f64>) {
+        match x {
+            None => self.u8(0),
+            Some(v) => {
+                self.u8(1);
+                self.f64(v);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| corrupt("unexpected end of payload"))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+    }
+    fn f32(&mut self) -> Result<f32> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    /// A length prefix, sanity-bounded by the remaining payload so corrupt
+    /// lengths fail cleanly instead of attempting huge allocations.
+    fn len(&mut self) -> Result<usize> {
+        let n = self.u64()?;
+        if n > (self.buf.len() - self.pos) as u64 {
+            return Err(corrupt(&format!("implausible length {n}")));
+        }
+        Ok(n as usize)
+    }
+    fn opt_f32(&mut self) -> Result<Option<f32>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f32()?)),
+            tag => Err(corrupt(&format!("bad option tag {tag}"))),
+        }
+    }
+    fn opt_f64(&mut self) -> Result<Option<f64>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            tag => Err(corrupt(&format!("bad option tag {tag}"))),
+        }
+    }
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SearchCheckpoint {
+        let arch = ChildArch::new(vec![
+            LayerChoice {
+                filter_size: 5,
+                num_filters: 18,
+            },
+            LayerChoice {
+                filter_size: 7,
+                num_filters: 36,
+            },
+        ])
+        .unwrap();
+        SearchCheckpoint {
+            run_seed: 0xF0A5,
+            next_episode: 3,
+            rng_state: [1, 2, 3, u64::MAX],
+            baseline: Some(0.987),
+            cost: SearchCost {
+                training_seconds: 123.456,
+                analyzer_seconds: 0.789,
+            },
+            trainer: TrainerState {
+                params: vec![0.1, -0.2, f32::MIN_POSITIVE],
+                optimizer: AdamState {
+                    t: 17,
+                    moments: vec![None, Some((vec![0.5, -0.5], vec![0.25, 0.125]))],
+                },
+                updates: 17,
+            },
+            telemetry: TelemetrySnapshot {
+                children_sampled: 24,
+                children_pruned: 6,
+                children_trained: 15,
+                children_unbuildable: 2,
+                children_failed: 1,
+                episodes: 3,
+                panics_caught: 1,
+                retries: 4,
+                quarantined: 1,
+                checkpoints_written: 2,
+                train_calls: 16,
+                ..TelemetrySnapshot::default()
+            },
+            trials: vec![
+                TrialRecord {
+                    index: 0,
+                    arch: arch.clone(),
+                    latency: Some(Millis::new(4.25)),
+                    accuracy: Some(0.9911),
+                    reward: 1.0625,
+                    trained: true,
+                },
+                TrialRecord {
+                    index: 1,
+                    arch,
+                    latency: None,
+                    accuracy: None,
+                    reward: -2.0,
+                    trained: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        let ck = sample();
+        let restored = SearchCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(restored, ck);
+        // Float state survives as bits, not as values: a NaN baseline (a
+        // state no healthy run produces, but the codec must not corrupt)
+        // round-trips its payload.
+        let mut odd = ck;
+        odd.trainer.params[0] = f32::from_bits(0x7FC0_1234);
+        let restored = SearchCheckpoint::from_bytes(&odd.to_bytes()).unwrap();
+        assert_eq!(
+            restored.trainer.params[0].to_bits(),
+            odd.trainer.params[0].to_bits()
+        );
+    }
+
+    #[test]
+    fn file_round_trip_via_save_and_load() {
+        let dir = std::env::temp_dir().join("fnas-checkpoint-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ckpt");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        assert_eq!(SearchCheckpoint::load(&path).unwrap(), ck);
+        // Saving again overwrites atomically (no stale tmp file left).
+        ck.save(&path).unwrap();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::PathBuf::from(tmp).exists());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let ck = sample();
+        let mut bytes = ck.to_bytes();
+        bytes[0] = b'X';
+        let err = SearchCheckpoint::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        let mut bytes = ck.to_bytes();
+        bytes[8] = 0xFF; // version LSB
+        let err = SearchCheckpoint::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_are_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in [bytes.len() - 1, bytes.len() / 2, MAGIC.len() + 2, 3] {
+            assert!(
+                SearchCheckpoint::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+        let mut padded = bytes;
+        padded.push(0);
+        assert!(SearchCheckpoint::from_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn implausible_lengths_fail_without_allocating() {
+        let ck = sample();
+        let mut bytes = ck.to_bytes();
+        // The trainer param-count length prefix sits after magic(8) +
+        // version(4) + seed(8) + episode(8) + rng(32) + baseline(5) +
+        // cost(16) = 81 bytes; overwrite it with an absurd count.
+        bytes[81..89].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = SearchCheckpoint::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("implausible length"), "{err}");
+    }
+
+    #[test]
+    fn load_of_missing_file_is_io() {
+        let err = SearchCheckpoint::load(Path::new("/nonexistent/fnas/nope.ckpt")).unwrap_err();
+        assert!(matches!(err, FnasError::Io(_)));
+    }
+}

@@ -38,6 +38,33 @@ pub enum FnasError {
     Controller(ControllerError),
     /// Writing a report file failed.
     Io(std::io::Error),
+    /// An accuracy oracle failed. External oracles (remote trainers,
+    /// hardware farms) fail in two distinct ways the search runtime must
+    /// tell apart: *transient* faults (a dropped connection, a busy board)
+    /// that a retry can clear, and *permanent* faults (a corrupted model,
+    /// a quarantined NaN accuracy) that it cannot.
+    Oracle {
+        /// Human-readable description of the fault.
+        what: String,
+        /// Whether a retry of the same evaluation may succeed.
+        transient: bool,
+    },
+}
+
+impl FnasError {
+    /// Whether retrying the failed operation may succeed.
+    ///
+    /// Transient: [`FnasError::Oracle`] faults flagged as such, and
+    /// [`FnasError::Io`] (file-system hiccups). Everything else —
+    /// configuration, model-build, FPGA-model and controller failures — is
+    /// deterministic and would fail identically on a retry.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            FnasError::Oracle { transient, .. } => *transient,
+            FnasError::Io(_) => true,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for FnasError {
@@ -49,6 +76,10 @@ impl fmt::Display for FnasError {
             FnasError::Fpga(e) => write!(f, "fpga model failed: {e}"),
             FnasError::Controller(e) => write!(f, "controller failed: {e}"),
             FnasError::Io(e) => write!(f, "report io failed: {e}"),
+            FnasError::Oracle { what, transient } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                write!(f, "accuracy oracle failed ({kind}): {what}")
+            }
         }
     }
 }
@@ -61,7 +92,7 @@ impl Error for FnasError {
             FnasError::Fpga(e) => Some(e),
             FnasError::Controller(e) => Some(e),
             FnasError::Io(e) => Some(e),
-            FnasError::InvalidConfig { .. } => None,
+            FnasError::InvalidConfig { .. } | FnasError::Oracle { .. } => None,
         }
     }
 }
@@ -118,5 +149,37 @@ mod tests {
         }
         .into();
         assert!(err.to_string().contains('y'));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(FnasError::Oracle {
+            what: "connection reset".into(),
+            transient: true,
+        }
+        .is_transient());
+        assert!(!FnasError::Oracle {
+            what: "non-finite accuracy".into(),
+            transient: false,
+        }
+        .is_transient());
+        assert!(FnasError::Io(std::io::Error::other("disk hiccup")).is_transient());
+        assert!(!FnasError::InvalidConfig { what: "x".into() }.is_transient());
+        let nn: FnasError = NnError::InvalidConfig { what: "y".into() }.into();
+        assert!(!nn.is_transient());
+    }
+
+    #[test]
+    fn oracle_display_names_the_kind() {
+        let t = FnasError::Oracle {
+            what: "busy board".into(),
+            transient: true,
+        };
+        assert!(t.to_string().contains("transient"));
+        let p = FnasError::Oracle {
+            what: "bad model".into(),
+            transient: false,
+        };
+        assert!(p.to_string().contains("permanent"));
     }
 }

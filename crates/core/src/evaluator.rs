@@ -21,6 +21,7 @@ use fnas_nn::train::{train, Batch};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+use crate::resilience::FaultStatsSnapshot;
 use crate::{FnasError, Result};
 
 /// An oracle returning the validation accuracy of a child architecture.
@@ -48,6 +49,14 @@ pub trait AccuracyEvaluator: std::fmt::Debug + Send + Sync {
     /// child consumes randomness, so its result depends on the seed).
     fn deterministic(&self) -> bool {
         false
+    }
+
+    /// Fault-handling counters, when this oracle tracks them. Only
+    /// resilience decorators ([`crate::resilience::ResilientEvaluator`])
+    /// return `Some`; plain oracles keep the default `None` and the search
+    /// engine simply skips fault accounting for them.
+    fn fault_stats(&self) -> Option<FaultStatsSnapshot> {
+        None
     }
 }
 
@@ -221,13 +230,25 @@ impl SurrogateEvaluator {
             .sum()
     }
 
+    /// Stable per-architecture noise seed: the layer choices and the salt
+    /// folded through a SplitMix64-style avalanche mix (the same finaliser
+    /// as `fnas_exec::derive_child_seed`). A fixed published algorithm —
+    /// not `DefaultHasher`, whose output the standard library does not
+    /// guarantee across releases — so surrogate accuracies recorded in one
+    /// toolchain replay bit-identically in every other.
     fn arch_seed(&self, arch: &ChildArch) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
-        let mut h = DefaultHasher::new();
-        arch.hash(&mut h);
-        self.seed_salt.hash(&mut h);
-        h.finish()
+        fn mix(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut h = mix(self.seed_salt);
+        for l in arch.layers() {
+            h = mix(h ^ l.filter_size as u64);
+            h = mix(h ^ l.num_filters as u64);
+        }
+        h
     }
 }
 
@@ -317,6 +338,23 @@ mod tests {
             .evaluate(&arch(&[(5, 9), (5, 9), (5, 9), (5, 9)]), &mut rng)
             .unwrap();
         assert!((0.97..best).contains(&worst), "worst {worst}");
+    }
+
+    #[test]
+    fn arch_seed_accuracy_is_pinned_across_toolchains() {
+        // `DefaultHasher` output is a std implementation detail that may
+        // change between releases; the stable splitmix hash must not. This
+        // pins one architecture's surrogate accuracy bit-for-bit — if it
+        // drifts, recorded experiments stop replaying: fail loudly here.
+        let e = SurrogateEvaluator::new(SurrogateCalibration::mnist());
+        let mut rng = StdRng::seed_from_u64(0);
+        let acc = e.evaluate(&arch(&[(5, 18), (7, 36)]), &mut rng).unwrap();
+        assert_eq!(
+            acc.to_bits(),
+            0x3F7A_511D, // ≈ 0.9778002
+            "pinned surrogate accuracy drifted: {acc} ({:#010x})",
+            acc.to_bits()
+        );
     }
 
     #[test]

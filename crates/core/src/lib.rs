@@ -16,6 +16,11 @@
 //!   (`SurrogateEvaluator`) for large parameter sweeps (see DESIGN.md §2);
 //! * [`search`] — the NAS baseline loop of \[16\] and the FNAS loop with
 //!   early latency pruning;
+//! * [`resilience`] — fault-tolerant oracle decorators: budgeted retry of
+//!   transient faults, NaN quarantine, and a deterministic fault injector
+//!   for chaos testing;
+//! * [`checkpoint`] — the versioned on-disk search-state snapshot behind
+//!   [`search::Searcher::resume_batched`];
 //! * [`cost`] — the modelled search-cost accounting that reproduces the
 //!   paper's "search time" axis;
 //! * [`deploy`] — the final "implement NN → get performance" step of
@@ -45,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cost;
 pub mod deploy;
 mod error;
@@ -53,6 +59,7 @@ pub mod experiment;
 pub mod latency;
 pub mod mapping;
 pub mod report;
+pub mod resilience;
 pub mod reward;
 pub mod search;
 

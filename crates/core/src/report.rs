@@ -162,7 +162,12 @@ pub fn telemetry_table(t: &TelemetrySnapshot) -> Table {
     push("children pruned", t.children_pruned.to_string());
     push("children trained", t.children_trained.to_string());
     push("children unbuildable", t.children_unbuildable.to_string());
+    push("children failed", t.children_failed.to_string());
     push("episodes", t.episodes.to_string());
+    push("panics caught", t.panics_caught.to_string());
+    push("oracle retries", t.retries.to_string());
+    push("quarantined accuracies", t.quarantined.to_string());
+    push("checkpoints written", t.checkpoints_written.to_string());
     push("prune rate", pct(t.prune_rate() as f32));
     push("analyzer calls", t.analyzer_calls.to_string());
     push("train calls", t.train_calls.to_string());
@@ -237,16 +242,26 @@ mod tests {
         let snap = TelemetrySnapshot {
             children_sampled: 10,
             children_pruned: 4,
+            children_failed: 1,
+            panics_caught: 1,
+            retries: 3,
+            quarantined: 2,
+            checkpoints_written: 5,
             latency_cache_hits: 3,
             latency_cache_misses: 1,
             ..Default::default()
         };
         let t = telemetry_table(&snap);
-        assert_eq!(t.len(), 15);
+        assert_eq!(t.len(), 20);
         let md = t.to_markdown();
         assert!(md.contains("| children sampled | 10 |"));
         assert!(md.contains("| prune rate | 40.00% |"));
         assert!(md.contains("| latency cache hit rate | 75.00% |"));
+        assert!(md.contains("| children failed | 1 |"));
+        assert!(md.contains("| panics caught | 1 |"));
+        assert!(md.contains("| oracle retries | 3 |"));
+        assert!(md.contains("| quarantined accuracies | 2 |"));
+        assert!(md.contains("| checkpoints written | 5 |"));
         assert!(md.contains("total wall (ms)"));
     }
 }

@@ -1,0 +1,522 @@
+//! Fault-tolerant accuracy-oracle decorators.
+//!
+//! The paper's search farms child training out to a GPU cluster; at that
+//! scale, evaluations fail for reasons that have nothing to do with the
+//! architecture being scored — a node drops off, a job is preempted, a
+//! training run diverges to NaN. This module supplies the two halves of
+//! the fault model used by [`crate::search`]:
+//!
+//! * [`ResilientEvaluator`] — wraps any [`AccuracyEvaluator`] and absorbs
+//!   *transient* faults (see [`FnasError::is_transient`]) with a budgeted,
+//!   deterministic retry loop, while *quarantining* non-finite accuracies
+//!   before they can reach the reward and poison the controller.
+//! * [`FaultInjector`] — the adversary: wraps an oracle and injects
+//!   transient errors, panics and NaN accuracies at configured rates,
+//!   drawing from the caller-supplied RNG so a chaos run is exactly as
+//!   reproducible as a clean one.
+//!
+//! Backoff is *virtual*: retry spacing is accounted in abstract ticks
+//! ([`FaultStatsSnapshot::backoff_vticks`]) rather than slept on a wall
+//! clock. Nothing in the retry decision path reads time, so the engine's
+//! bit-identical-across-worker-counts invariant survives chaos testing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fnas_controller::arch::ChildArch;
+use rand::RngCore;
+
+use crate::evaluator::AccuracyEvaluator;
+use crate::{FnasError, Result};
+
+/// Retry budget and virtual-backoff schedule for transient oracle faults.
+///
+/// # Examples
+///
+/// ```
+/// use fnas::resilience::RetryPolicy;
+///
+/// let p = RetryPolicy::default();
+/// assert!(p.backoff(0) < p.backoff(3));
+/// // The schedule is capped.
+/// assert_eq!(p.backoff(60), p.backoff(61));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of *re*-tries after the first attempt.
+    pub max_retries: u32,
+    /// Virtual backoff before the first retry, in ticks.
+    pub base_ticks: u64,
+    /// Multiplier applied per further retry (exponential backoff).
+    pub multiplier: u64,
+    /// Cap on a single backoff interval, in ticks.
+    pub max_ticks: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three retries with 1, 2, 4 tick spacing, capped at 64 ticks.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_ticks: 1,
+            multiplier: 2,
+            max_ticks: 64,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The virtual backoff charged before retry number `attempt`
+    /// (0-based): `min(base · multiplier^attempt, max)`, saturating.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        let factor = self.multiplier.saturating_pow(attempt);
+        self.base_ticks.saturating_mul(factor).min(self.max_ticks)
+    }
+}
+
+/// A plain-data snapshot of a [`ResilientEvaluator`]'s fault counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStatsSnapshot {
+    /// Transient faults observed (each may or may not have been retried).
+    pub transient_faults: u64,
+    /// Retries actually performed.
+    pub retries: u64,
+    /// Evaluations whose budget ran out — the fault escaped to the caller.
+    pub exhausted: u64,
+    /// Non-finite accuracies quarantined into permanent faults.
+    pub quarantined: u64,
+    /// Total virtual backoff ticks charged across all retries.
+    pub backoff_vticks: u64,
+}
+
+#[derive(Debug, Default)]
+struct FaultStats {
+    transient_faults: AtomicU64,
+    retries: AtomicU64,
+    exhausted: AtomicU64,
+    quarantined: AtomicU64,
+    backoff_vticks: AtomicU64,
+}
+
+impl FaultStats {
+    fn snapshot(&self) -> FaultStatsSnapshot {
+        FaultStatsSnapshot {
+            transient_faults: self.transient_faults.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            backoff_vticks: self.backoff_vticks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Retry/quarantine decorator around any accuracy oracle.
+///
+/// * **Transient** faults ([`FnasError::is_transient`]) are retried up to
+///   the policy's budget, charging virtual backoff ticks per retry; when
+///   the budget runs out the last fault propagates to the caller (which
+///   records a failed trial — it never aborts the search).
+/// * **Permanent** faults propagate immediately; retrying a deterministic
+///   failure would only burn budget.
+/// * **Non-finite** accuracies (`NaN`/`±∞`) are quarantined: converted to
+///   a *permanent* [`FnasError::Oracle`] fault so they can never reach the
+///   reward computation. See [`crate::search`] for the downstream NaN
+///   guards this backstops.
+///
+/// Counters are atomic so one decorator can be shared across the batch
+/// engine's worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use fnas::evaluator::{AccuracyEvaluator, SurrogateCalibration, SurrogateEvaluator};
+/// use fnas::resilience::{ResilientEvaluator, RetryPolicy};
+///
+/// let inner = SurrogateEvaluator::new(SurrogateCalibration::mnist());
+/// let oracle = ResilientEvaluator::new(Box::new(inner), RetryPolicy::default());
+/// assert_eq!(oracle.name(), "resilient");
+/// assert!(oracle.deterministic()); // delegates to the wrapped oracle
+/// ```
+#[derive(Debug)]
+pub struct ResilientEvaluator {
+    inner: Box<dyn AccuracyEvaluator>,
+    policy: RetryPolicy,
+    stats: FaultStats,
+}
+
+impl ResilientEvaluator {
+    /// Wraps `inner` with the given retry policy.
+    pub fn new(inner: Box<dyn AccuracyEvaluator>, policy: RetryPolicy) -> Self {
+        ResilientEvaluator {
+            inner,
+            policy,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+}
+
+impl AccuracyEvaluator for ResilientEvaluator {
+    fn evaluate(&self, arch: &ChildArch, rng: &mut dyn RngCore) -> Result<f32> {
+        let mut attempt = 0u32;
+        loop {
+            match self.inner.evaluate(arch, rng) {
+                Ok(acc) if acc.is_finite() => return Ok(acc),
+                Ok(acc) => {
+                    self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                    return Err(FnasError::Oracle {
+                        what: format!("quarantined non-finite accuracy {acc}"),
+                        transient: false,
+                    });
+                }
+                Err(e) if e.is_transient() => {
+                    self.stats.transient_faults.fetch_add(1, Ordering::Relaxed);
+                    if attempt >= self.policy.max_retries {
+                        self.stats.exhausted.fetch_add(1, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .backoff_vticks
+                        .fetch_add(self.policy.backoff(attempt), Ordering::Relaxed);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "resilient"
+    }
+
+    /// Memoisation safety is the wrapped oracle's property: retrying does
+    /// not change what a successful evaluation returns.
+    fn deterministic(&self) -> bool {
+        self.inner.deterministic()
+    }
+
+    fn fault_stats(&self) -> Option<FaultStatsSnapshot> {
+        Some(self.stats.snapshot())
+    }
+}
+
+/// Injection rates of the chaos adversary, as probabilities in `[0, 1]`.
+///
+/// The three faults are drawn from *disjoint* bands of one uniform roll,
+/// so `panic_rate + transient_rate + nan_rate` must not exceed 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability an evaluation panics outright (worker-killing fault).
+    pub panic_rate: f64,
+    /// Probability of a transient [`FnasError::Oracle`] fault.
+    pub transient_rate: f64,
+    /// Probability the oracle returns `NaN` (diverged training run).
+    pub nan_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything.
+    pub fn none() -> Self {
+        FaultPlan {
+            panic_rate: 0.0,
+            transient_rate: 0.0,
+            nan_rate: 0.0,
+        }
+    }
+
+    fn validate(&self) {
+        let rates = [self.panic_rate, self.transient_rate, self.nan_rate];
+        assert!(
+            rates.iter().all(|r| (0.0..=1.0).contains(r)),
+            "fault rates must be probabilities, got {rates:?}"
+        );
+        assert!(
+            rates.iter().sum::<f64>() <= 1.0,
+            "fault rates must sum to at most 1, got {rates:?}"
+        );
+    }
+}
+
+/// Deterministic fault-injecting oracle wrapper for chaos testing.
+///
+/// Each evaluation draws one `u64` from the *caller's* RNG — in the batch
+/// engine that stream is seeded per `(run_seed, episode, child)` by
+/// `fnas_exec::derive_child_seed` — and maps it to `[0, 1)`. The unit
+/// interval is split into disjoint bands: panic, transient fault, NaN,
+/// then the wrapped oracle. Because the roll rides the per-child stream,
+/// the *same* children fault in the *same* way no matter how many workers
+/// run the batch, which is what lets chaos runs assert bit-identical
+/// results.
+///
+/// `deterministic()` is always `false`: the injected behaviour depends on
+/// the RNG, so memoising around the injector would hide faults from the
+/// very paths chaos testing exists to exercise.
+#[derive(Debug)]
+pub struct FaultInjector {
+    inner: Box<dyn AccuracyEvaluator>,
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Wraps `inner` with the given fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rates are not probabilities or sum past 1.
+    pub fn new(inner: Box<dyn AccuracyEvaluator>, plan: FaultPlan) -> Self {
+        plan.validate();
+        FaultInjector { inner, plan }
+    }
+
+    /// The injection plan in force.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Maps one RNG draw to a uniform `[0, 1)` double (53 mantissa bits).
+    fn roll(rng: &mut dyn RngCore) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl AccuracyEvaluator for FaultInjector {
+    fn evaluate(&self, arch: &ChildArch, rng: &mut dyn RngCore) -> Result<f32> {
+        let roll = FaultInjector::roll(rng);
+        let p = self.plan;
+        if roll < p.panic_rate {
+            panic!("fault injection: simulated evaluator crash");
+        }
+        if roll < p.panic_rate + p.transient_rate {
+            return Err(FnasError::Oracle {
+                what: "fault injection: simulated transient failure".to_string(),
+                transient: true,
+            });
+        }
+        if roll < p.panic_rate + p.transient_rate + p.nan_rate {
+            return Ok(f32::NAN);
+        }
+        self.inner.evaluate(arch, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "fault-injector"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{SurrogateCalibration, SurrogateEvaluator};
+    use fnas_controller::arch::LayerChoice;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::atomic::AtomicU32;
+
+    fn arch() -> ChildArch {
+        ChildArch::new(vec![LayerChoice {
+            filter_size: 5,
+            num_filters: 18,
+        }])
+        .unwrap()
+    }
+
+    /// Oracle scripted to fail `failures` times before succeeding.
+    #[derive(Debug)]
+    struct Flaky {
+        failures: u32,
+        calls: AtomicU32,
+        transient: bool,
+        then: f32,
+    }
+
+    impl Flaky {
+        fn new(failures: u32, transient: bool, then: f32) -> Self {
+            Flaky {
+                failures,
+                calls: AtomicU32::new(0),
+                transient,
+                then,
+            }
+        }
+    }
+
+    impl AccuracyEvaluator for Flaky {
+        fn evaluate(&self, _arch: &ChildArch, _rng: &mut dyn RngCore) -> Result<f32> {
+            let call = self.calls.fetch_add(1, Ordering::Relaxed);
+            if call < self.failures {
+                return Err(FnasError::Oracle {
+                    what: format!("scripted failure {call}"),
+                    transient: self.transient,
+                });
+            }
+            Ok(self.then)
+        }
+
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_ticks: 3,
+            multiplier: 2,
+            max_ticks: 20,
+        };
+        assert_eq!(p.backoff(0), 3);
+        assert_eq!(p.backoff(1), 6);
+        assert_eq!(p.backoff(2), 12);
+        assert_eq!(p.backoff(3), 20); // capped, not 24
+        assert_eq!(p.backoff(63), 20); // saturating_pow, no overflow panic
+    }
+
+    #[test]
+    fn transient_faults_are_retried_within_budget() {
+        let oracle =
+            ResilientEvaluator::new(Box::new(Flaky::new(2, true, 0.9)), RetryPolicy::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(oracle.evaluate(&arch(), &mut rng).unwrap(), 0.9);
+        let s = oracle.fault_stats().unwrap();
+        assert_eq!(s.transient_faults, 2);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.exhausted, 0);
+        // Default policy: first two backoffs are 1 and 2 ticks.
+        assert_eq!(s.backoff_vticks, 3);
+    }
+
+    #[test]
+    fn exhausted_budget_propagates_the_fault() {
+        let oracle = ResilientEvaluator::new(
+            Box::new(Flaky::new(10, true, 0.9)),
+            RetryPolicy {
+                max_retries: 2,
+                ..RetryPolicy::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = oracle.evaluate(&arch(), &mut rng).unwrap_err();
+        assert!(err.is_transient());
+        let s = oracle.fault_stats().unwrap();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.exhausted, 1);
+        assert_eq!(s.transient_faults, 3); // initial + 2 retries, all failed
+    }
+
+    #[test]
+    fn permanent_faults_are_not_retried() {
+        let oracle =
+            ResilientEvaluator::new(Box::new(Flaky::new(10, false, 0.9)), RetryPolicy::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(oracle.evaluate(&arch(), &mut rng).is_err());
+        let s = oracle.fault_stats().unwrap();
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.transient_faults, 0);
+    }
+
+    #[test]
+    fn non_finite_accuracies_are_quarantined_as_permanent() {
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let oracle =
+                ResilientEvaluator::new(Box::new(Flaky::new(0, true, bad)), RetryPolicy::default());
+            let mut rng = StdRng::seed_from_u64(0);
+            let err = oracle.evaluate(&arch(), &mut rng).unwrap_err();
+            assert!(!err.is_transient(), "quarantine must not be retried");
+            assert!(err.to_string().contains("quarantined"));
+            assert_eq!(oracle.fault_stats().unwrap().quarantined, 1);
+        }
+    }
+
+    #[test]
+    fn injector_is_deterministic_in_the_rng_stream() {
+        let plan = FaultPlan {
+            panic_rate: 0.0,
+            transient_rate: 0.3,
+            nan_rate: 0.2,
+        };
+        let surrogate = || Box::new(SurrogateEvaluator::new(SurrogateCalibration::mnist()));
+        let run = || {
+            let inj = FaultInjector::new(surrogate(), plan);
+            (0..64u64)
+                .map(|child| {
+                    let mut rng = StdRng::seed_from_u64(fnas_exec::derive_child_seed(7, 0, child));
+                    match inj.evaluate(&arch(), &mut rng) {
+                        Ok(a) => format!("ok:{:08x}", a.to_bits()),
+                        Err(e) => format!("err:{e}"),
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        // With these rates the 64-child sample must contain every outcome.
+        assert!(a.iter().any(|s| s.starts_with("ok:")));
+        assert!(a.iter().any(|s| s.contains("transient")));
+        assert!(a
+            .iter()
+            .any(|s| s.contains("7fc00000") || s == "ok:7fc00000"));
+        // The injector must not be memoised.
+        assert!(!FaultInjector::new(surrogate(), plan).deterministic());
+    }
+
+    #[test]
+    fn injector_panics_at_the_configured_band() {
+        let inj = FaultInjector::new(
+            Box::new(SurrogateEvaluator::new(SurrogateCalibration::mnist())),
+            FaultPlan {
+                panic_rate: 1.0,
+                transient_rate: 0.0,
+                nan_rate: 0.0,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = inj.evaluate(&arch(), &mut rng);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn overlapping_fault_bands_are_rejected() {
+        let _ = FaultInjector::new(
+            Box::new(SurrogateEvaluator::new(SurrogateCalibration::mnist())),
+            FaultPlan {
+                panic_rate: 0.6,
+                transient_rate: 0.6,
+                nan_rate: 0.0,
+            },
+        );
+    }
+
+    #[test]
+    fn resilient_composes_over_the_injector() {
+        // The canonical chaos stack: resilient(injector(surrogate)).
+        // Transient injections are absorbed by retries (each retry re-rolls
+        // because the rng stream advances), so most children still succeed.
+        let inj = FaultInjector::new(
+            Box::new(SurrogateEvaluator::new(SurrogateCalibration::mnist())),
+            FaultPlan {
+                panic_rate: 0.0,
+                transient_rate: 0.4,
+                nan_rate: 0.0,
+            },
+        );
+        let oracle = ResilientEvaluator::new(Box::new(inj), RetryPolicy::default());
+        let mut ok = 0;
+        for child in 0..32u64 {
+            let mut rng = StdRng::seed_from_u64(fnas_exec::derive_child_seed(3, 0, child));
+            if oracle.evaluate(&arch(), &mut rng).is_ok() {
+                ok += 1;
+            }
+        }
+        let s = oracle.fault_stats().unwrap();
+        assert!(s.retries > 0, "injector should have triggered retries");
+        assert!(ok > 24, "retries should rescue most children, got {ok}/32");
+    }
+}

@@ -12,6 +12,8 @@
 //! [`CostModel`]: full training cost for trained children, one analyzer
 //! call for pruned ones.
 
+use std::path::{Path, PathBuf};
+
 use fnas_controller::arch::ChildArch;
 use fnas_controller::reinforce::{EmaBaseline, ReinforceTrainer, DEFAULT_LR};
 use fnas_controller::rnn::PolicyRnn;
@@ -23,12 +25,14 @@ use rand::{RngCore, SeedableRng};
 
 pub use fnas_exec::TelemetrySnapshot;
 
+use crate::checkpoint::SearchCheckpoint;
 use crate::cost::{CostModel, SearchCost};
 use crate::evaluator::{AccuracyEvaluator, SurrogateEvaluator, TrainedEvaluator};
 use crate::experiment::ExperimentPreset;
 use crate::latency::LatencyEvaluator;
 use crate::mapping::arch_to_network;
 use crate::report::{pct, Table};
+use crate::resilience::FaultStatsSnapshot;
 use crate::{FnasError, Result};
 
 /// Which search the loop runs.
@@ -267,8 +271,52 @@ impl Default for BatchOptions {
     }
 }
 
+/// When and where [`Searcher::run_batched_checkpointed`] snapshots the
+/// search to disk.
+///
+/// # Examples
+///
+/// ```
+/// use fnas::search::CheckpointOptions;
+///
+/// let opts = CheckpointOptions::new("/tmp/search.ckpt").with_every_episodes(4);
+/// assert_eq!(opts.every_episodes(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointOptions {
+    path: PathBuf,
+    every_episodes: u64,
+}
+
+impl CheckpointOptions {
+    /// Checkpoints to `path` after every episode.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointOptions {
+            path: path.into(),
+            every_episodes: 1,
+        }
+    }
+
+    /// Replaces the write cadence (clamped to ≥ 1 episode).
+    #[must_use]
+    pub fn with_every_episodes(mut self, every: u64) -> Self {
+        self.every_episodes = every.max(1);
+        self
+    }
+
+    /// Where the checkpoint file lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Episodes between checkpoint writes.
+    pub fn every_episodes(&self) -> u64 {
+        self.every_episodes
+    }
+}
+
 /// Everything recorded about one explored child.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialRecord {
     /// Trial index (0-based).
     pub index: usize,
@@ -631,32 +679,120 @@ impl Searcher {
     /// outcome is **bit-identical for any worker count** (see
     /// [`BatchOptions`]).
     ///
+    /// The accuracy phase is fault-isolated: a child evaluation that
+    /// panics, exhausts its retry budget (see
+    /// [`crate::resilience::ResilientEvaluator`]) or fails with any
+    /// non-fatal oracle error settles into a *failed* [`TrialRecord`] with
+    /// a strongly negative reward; its siblings — whose RNG streams are
+    /// independent by construction — are unaffected and the run continues.
+    ///
     /// Note the trajectory legitimately differs from [`Searcher::run`]:
     /// the sequential loop updates the controller after every child, the
     /// batched loop between episodes (a standard REINFORCE minibatch).
     ///
     /// # Errors
     ///
-    /// Propagates controller and oracle errors, exactly like
-    /// [`Searcher::run`]; unbuildable architectures are rewarded
-    /// negatively, not errors.
+    /// Propagates controller errors and oracle *misconfigurations*
+    /// ([`FnasError::InvalidConfig`]); unbuildable architectures and
+    /// faulted evaluations are rewarded negatively, not errors.
     pub fn run_batched(
         &mut self,
         config: &SearchConfig,
         opts: &BatchOptions,
     ) -> Result<SearchOutcome> {
+        self.run_batched_inner(config, opts, None, None)
+    }
+
+    /// [`Searcher::run_batched`], plus a checkpoint written to
+    /// `ckpt.path()` every `ckpt.every_episodes()` episodes (atomically —
+    /// a crash mid-write keeps the previous snapshot). Checkpointing does
+    /// not change results: the snapshot captures only logical state.
+    ///
+    /// # Errors
+    ///
+    /// [`Searcher::run_batched`]'s, plus [`FnasError::Io`] when a
+    /// checkpoint cannot be written.
+    pub fn run_batched_checkpointed(
+        &mut self,
+        config: &SearchConfig,
+        opts: &BatchOptions,
+        ckpt: &CheckpointOptions,
+    ) -> Result<SearchOutcome> {
+        self.run_batched_inner(config, opts, None, Some(ckpt))
+    }
+
+    /// Resumes a search from the checkpoint at `ckpt.path()` and runs it
+    /// to completion, continuing to checkpoint on the same cadence.
+    ///
+    /// The outcome is **bit-identical** to the uninterrupted run: the
+    /// checkpoint restores the controller (weights + optimiser moments),
+    /// the EMA baseline, the run RNG state, the trial history, the
+    /// accumulated cost and the logical telemetry counters, and per-child
+    /// RNG streams were never process state to begin with. Memo caches are
+    /// deliberately *not* restored — by the engine's cache-transparency
+    /// invariant they only affect wall-clock time (cache counters and
+    /// phase times are the one legitimate difference).
+    ///
+    /// # Errors
+    ///
+    /// [`FnasError::Io`] when the checkpoint cannot be read,
+    /// [`FnasError::InvalidConfig`] when it is corrupt or was written by a
+    /// run with a different seed, plus [`Searcher::run_batched`]'s errors.
+    pub fn resume_batched(
+        &mut self,
+        config: &SearchConfig,
+        opts: &BatchOptions,
+        ckpt: &CheckpointOptions,
+    ) -> Result<SearchOutcome> {
+        let state = SearchCheckpoint::load(ckpt.path())?;
+        self.run_batched_inner(config, opts, Some(state), Some(ckpt))
+    }
+
+    fn run_batched_inner(
+        &mut self,
+        config: &SearchConfig,
+        opts: &BatchOptions,
+        resume: Option<SearchCheckpoint>,
+        ckpt: Option<&CheckpointOptions>,
+    ) -> Result<SearchOutcome> {
         let preset = config.preset();
         let mode = config.mode();
-        self.baseline = EmaBaseline::new(config.baseline_decay);
         let telemetry = SearchTelemetry::new();
         let executor = Executor::with_workers(opts.workers());
         let batch_size = opts.batch_size().max(1);
         let cache_base = self.cache_counters();
+        let fault_base = self.evaluator.fault_stats().unwrap_or_default();
 
         let total = preset.trials();
-        let mut trials = Vec::with_capacity(total);
-        let mut cost = SearchCost::default();
-        let mut episode: u64 = 0;
+        let mut trials;
+        let mut cost;
+        let mut episode: u64;
+        match resume {
+            Some(state) => {
+                if state.run_seed != config.seed() {
+                    return Err(FnasError::InvalidConfig {
+                        what: format!(
+                            "checkpoint belongs to a run with seed {:#x}, config says {:#x}",
+                            state.run_seed,
+                            config.seed()
+                        ),
+                    });
+                }
+                self.trainer.import_state(&state.trainer)?;
+                self.baseline = EmaBaseline::restore(config.baseline_decay, state.baseline);
+                self.rng = StdRng::from_state(state.rng_state);
+                telemetry.restore_counters(&state.telemetry);
+                trials = state.trials;
+                cost = state.cost;
+                episode = state.next_episode;
+            }
+            None => {
+                self.baseline = EmaBaseline::new(config.baseline_decay);
+                trials = Vec::with_capacity(total);
+                cost = SearchCost::default();
+                episode = 0;
+            }
+        }
         'search: while trials.len() < total {
             let n = batch_size.min(total - trials.len());
             let samples = {
@@ -694,9 +830,12 @@ impl Searcher {
             let accuracy_cache = &self.accuracy_cache;
             let memoise = evaluator.deterministic();
             let run_seed = config.seed();
-            let accuracies: Vec<Option<Result<f32>>> = {
+            // `map_settle`: a panicking child evaluation settles into a
+            // per-slot fault instead of unwinding through the pool and
+            // killing the whole search.
+            let accuracies = {
                 let _t = telemetry.phase_timer(Phase::Accuracy);
-                executor.map(&archs, |child, arch| {
+                executor.map_settle(&archs, |child, arch| {
                     if !needs_accuracy[child] {
                         return None;
                     }
@@ -714,10 +853,19 @@ impl Searcher {
             // Serial epilogue, in sample order: rewards see the baseline as
             // of the previous child, exactly like the sequential loop.
             let _t = telemetry.phase_timer(Phase::Update);
-            for ((sample, latency), accuracy) in samples.into_iter().zip(latencies).zip(accuracies)
-            {
+            for ((sample, latency), settled) in samples.into_iter().zip(latencies).zip(accuracies) {
                 let index = trials.len();
                 let arch = sample.arch().clone();
+                let accuracy: Option<Result<f32>> = match settled {
+                    Ok(acc) => acc,
+                    Err(fault) => {
+                        telemetry.add_panic_caught();
+                        Some(Err(FnasError::Oracle {
+                            what: fault.to_string(),
+                            transient: false,
+                        }))
+                    }
+                };
                 let record = match mode {
                     SearchMode::Fnas { required } => {
                         cost.add(self.cost_model.analyzer_cost());
@@ -746,8 +894,38 @@ impl Searcher {
                                         trained: false,
                                     }
                                 } else {
-                                    let accuracy =
-                                        accuracy.expect("ablation evaluates violators")?;
+                                    match accuracy.expect("ablation evaluates violators") {
+                                        Ok(accuracy) => {
+                                            cost.add(self.training_cost(&arch, preset)?);
+                                            telemetry.add_trained();
+                                            TrialRecord {
+                                                index,
+                                                arch,
+                                                latency: Some(l),
+                                                accuracy: Some(accuracy),
+                                                reward,
+                                                trained: true,
+                                            }
+                                        }
+                                        Err(e) => failed_or_unbuildable(
+                                            e,
+                                            index,
+                                            arch,
+                                            Some(l),
+                                            &telemetry,
+                                        )?,
+                                    }
+                                }
+                            }
+                            Ok(l) => match accuracy.expect("valid child was evaluated") {
+                                Ok(accuracy) => {
+                                    let reward = crate::reward::valid_reward(
+                                        accuracy,
+                                        self.baseline.value(),
+                                        l,
+                                        required,
+                                    );
+                                    self.baseline.observe(accuracy);
                                     cost.add(self.training_cost(&arch, preset)?);
                                     telemetry.add_trained();
                                     TrialRecord {
@@ -759,42 +937,14 @@ impl Searcher {
                                         trained: true,
                                     }
                                 }
-                            }
-                            Ok(l) => {
-                                let accuracy = accuracy.expect("valid child was evaluated")?;
-                                let reward = crate::reward::valid_reward(
-                                    accuracy,
-                                    self.baseline.value(),
-                                    l,
-                                    required,
-                                );
-                                self.baseline.observe(accuracy);
-                                cost.add(self.training_cost(&arch, preset)?);
-                                telemetry.add_trained();
-                                TrialRecord {
-                                    index,
-                                    arch,
-                                    latency: Some(l),
-                                    accuracy: Some(accuracy),
-                                    reward,
-                                    trained: true,
+                                Err(e) => {
+                                    failed_or_unbuildable(e, index, arch, Some(l), &telemetry)?
                                 }
-                            }
+                            },
                         }
                     }
                     SearchMode::Nas => match accuracy.expect("every NAS child is evaluated") {
-                        Err(FnasError::Nn(_)) | Err(FnasError::Fpga(_)) => {
-                            telemetry.add_unbuildable();
-                            TrialRecord {
-                                index,
-                                arch,
-                                latency: None,
-                                accuracy: None,
-                                reward: UNBUILDABLE_REWARD,
-                                trained: false,
-                            }
-                        }
-                        Err(e) => return Err(e),
+                        Err(e) => failed_or_unbuildable(e, index, arch, None, &telemetry)?,
                         Ok(accuracy) => {
                             let reward = accuracy - self.baseline.value();
                             self.baseline.observe(accuracy);
@@ -826,15 +976,81 @@ impl Searcher {
             drop(_t);
             telemetry.add_episode();
             episode += 1;
+            if let Some(c) = ckpt {
+                if episode.is_multiple_of(c.every_episodes()) {
+                    telemetry.add_checkpoint_written();
+                    self.write_checkpoint(config, episode, &trials, &cost, &telemetry, fault_base)?
+                        .save(c.path())?;
+                }
+            }
         }
 
         self.charge_cache_deltas(&telemetry, cache_base);
+        if let Some(stats) = self.evaluator.fault_stats() {
+            telemetry.add_retries(stats.retries - fault_base.retries);
+            telemetry.add_quarantined(stats.quarantined - fault_base.quarantined);
+        }
         Ok(SearchOutcome {
             mode,
             trials,
             cost,
             telemetry: telemetry.snapshot(),
         })
+    }
+
+    /// Assembles the checkpoint for the state at the start of episode
+    /// `next_episode`.
+    fn write_checkpoint(
+        &mut self,
+        config: &SearchConfig,
+        next_episode: u64,
+        trials: &[TrialRecord],
+        cost: &SearchCost,
+        telemetry: &SearchTelemetry,
+        fault_base: FaultStatsSnapshot,
+    ) -> Result<SearchCheckpoint> {
+        Ok(SearchCheckpoint {
+            run_seed: config.seed(),
+            next_episode,
+            rng_state: self.rng.state(),
+            baseline: self.baseline.raw_value(),
+            cost: *cost,
+            trainer: self.trainer.export_state(),
+            telemetry: self.logical_counters(telemetry, fault_base),
+            trials: trials.to_vec(),
+        })
+    }
+
+    /// The process-independent slice of the live telemetry: logical
+    /// counters (including fault deltas accrued by the oracle so far),
+    /// with cache traffic, analyzer calls and wall times zeroed — those
+    /// describe *this* process and must not be replayed into a resumed
+    /// run's accounting.
+    fn logical_counters(
+        &self,
+        telemetry: &SearchTelemetry,
+        fault_base: FaultStatsSnapshot,
+    ) -> TelemetrySnapshot {
+        let live = telemetry.snapshot();
+        let mut s = TelemetrySnapshot {
+            children_sampled: live.children_sampled,
+            children_pruned: live.children_pruned,
+            children_trained: live.children_trained,
+            children_unbuildable: live.children_unbuildable,
+            children_failed: live.children_failed,
+            episodes: live.episodes,
+            panics_caught: live.panics_caught,
+            retries: live.retries,
+            quarantined: live.quarantined,
+            checkpoints_written: live.checkpoints_written,
+            train_calls: live.train_calls,
+            ..TelemetrySnapshot::default()
+        };
+        if let Some(f) = self.evaluator.fault_stats() {
+            s.retries += f.retries - fault_base.retries;
+            s.quarantined += f.quarantined - fault_base.quarantined;
+        }
+        s
     }
 
     /// `(latency hits, latency misses, analyzer calls, accuracy hits,
@@ -898,6 +1114,54 @@ impl Searcher {
 
 /// Reward for architectures that cannot be realised at all.
 const UNBUILDABLE_REWARD: f32 = -2.0;
+
+/// Reward for children whose evaluation faulted (panic, exhausted retry
+/// budget, quarantined accuracy). As strongly negative as unbuildable: the
+/// controller should steer away, but the run must not die.
+const FAULTED_REWARD: f32 = -2.0;
+
+/// Absorbs a child-evaluation error into the trial stream, or propagates
+/// it when it is fatal.
+///
+/// * [`FnasError::InvalidConfig`] — a misconfigured oracle fails every
+///   child identically; aborting beats 60 failed trials.
+/// * [`FnasError::Nn`] / [`FnasError::Fpga`] — the architecture cannot be
+///   realised: an *unbuildable* record (pre-existing semantics).
+/// * everything else (oracle faults, I/O) — a *failed* record; siblings
+///   and later episodes are unaffected.
+fn failed_or_unbuildable(
+    e: FnasError,
+    index: usize,
+    arch: ChildArch,
+    latency: Option<Millis>,
+    telemetry: &SearchTelemetry,
+) -> Result<TrialRecord> {
+    match e {
+        FnasError::InvalidConfig { .. } => Err(e),
+        FnasError::Nn(_) | FnasError::Fpga(_) => {
+            telemetry.add_unbuildable();
+            Ok(TrialRecord {
+                index,
+                arch,
+                latency: None,
+                accuracy: None,
+                reward: UNBUILDABLE_REWARD,
+                trained: false,
+            })
+        }
+        _ => {
+            telemetry.add_failed();
+            Ok(TrialRecord {
+                index,
+                arch,
+                latency,
+                accuracy: None,
+                reward: FAULTED_REWARD,
+                trained: false,
+            })
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -1210,6 +1474,256 @@ mod tests {
         assert_eq!(opts.batch_size(), BatchOptions::DEFAULT_BATCH_SIZE);
         assert_eq!(opts.with_batch_size(0).batch_size(), 1);
         assert_eq!(opts.with_workers(4).workers(), 4);
+    }
+
+    /// Everything that must be bit-identical across worker counts,
+    /// checkpointing, and resume: trial records, accumulated cost, and the
+    /// logical telemetry counters. Cache traffic, wall times and
+    /// checkpoint-write counts are process-local and deliberately omitted.
+    fn fingerprint(out: &SearchOutcome) -> Vec<String> {
+        let mut v: Vec<String> = out
+            .trials()
+            .iter()
+            .map(|t| {
+                format!(
+                    "{} r{:08x} l{:016x} a{:08x} t{}",
+                    t.arch.describe(),
+                    t.reward.to_bits(),
+                    t.latency.map_or(0, |l| l.get().to_bits()),
+                    t.accuracy.map_or(0, |a| a.to_bits()),
+                    t.trained,
+                )
+            })
+            .collect();
+        v.push(format!(
+            "cost {:016x} {:016x}",
+            out.cost().training_seconds.to_bits(),
+            out.cost().analyzer_seconds.to_bits()
+        ));
+        let t = out.telemetry();
+        v.push(format!(
+            "tel {} {} {} {} {} {} {} {} {} {}",
+            t.children_sampled,
+            t.children_pruned,
+            t.children_trained,
+            t.children_unbuildable,
+            t.children_failed,
+            t.episodes,
+            t.train_calls,
+            t.panics_caught,
+            t.retries,
+            t.quarantined,
+        ));
+        v
+    }
+
+    #[test]
+    fn checkpoint_and_resume_are_bit_identical_for_any_worker_count() {
+        let dir = std::env::temp_dir().join("fnas-search-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = SearchConfig::fnas(quick_preset().with_trials(24), 5.0).with_seed(33);
+        for workers in [0usize, 1, 2, 8] {
+            let opts = BatchOptions::sequential()
+                .with_workers(workers)
+                .with_batch_size(6);
+            let reference = Searcher::surrogate(&full)
+                .unwrap()
+                .run_batched(&full, &opts)
+                .unwrap();
+            // Checkpointing along the way must not perturb results.
+            let path = dir.join(format!("w{workers}.ckpt"));
+            let ckpt = CheckpointOptions::new(&path);
+            let checked = Searcher::surrogate(&full)
+                .unwrap()
+                .run_batched_checkpointed(&full, &opts, &ckpt)
+                .unwrap();
+            assert_eq!(
+                fingerprint(&checked),
+                fingerprint(&reference),
+                "checkpointed run, workers {workers}"
+            );
+            assert_eq!(checked.telemetry().checkpoints_written, 4);
+            // Simulate a kill after episode 2: run only the 12-trial
+            // prefix under the same seed, leaving its checkpoint behind...
+            let prefix = SearchConfig::fnas(quick_preset().with_trials(12), 5.0).with_seed(33);
+            Searcher::surrogate(&prefix)
+                .unwrap()
+                .run_batched_checkpointed(&prefix, &opts, &ckpt)
+                .unwrap();
+            // ...then resume the full run in a FRESH searcher (cold memo
+            // caches — the cache-transparency invariant keeps results
+            // identical anyway).
+            let resumed = Searcher::surrogate(&full)
+                .unwrap()
+                .resume_batched(&full, &opts, &ckpt)
+                .unwrap();
+            assert_eq!(
+                fingerprint(&resumed),
+                fingerprint(&reference),
+                "resumed run, workers {workers}"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn resume_refuses_a_checkpoint_from_a_different_seed() {
+        let dir = std::env::temp_dir().join("fnas-search-ckpt-seed-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mismatch.ckpt");
+        let ckpt = CheckpointOptions::new(&path);
+        let opts = BatchOptions::sequential().with_batch_size(6);
+        let cfg = SearchConfig::fnas(quick_preset(), 5.0).with_seed(1);
+        Searcher::surrogate(&cfg)
+            .unwrap()
+            .run_batched_checkpointed(&cfg, &opts, &ckpt)
+            .unwrap();
+        let other = SearchConfig::fnas(quick_preset(), 5.0).with_seed(2);
+        let err = Searcher::surrogate(&other)
+            .unwrap()
+            .resume_batched(&other, &opts, &ckpt)
+            .unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Oracle that fails exactly one scripted architecture.
+    #[derive(Debug)]
+    struct FailOn {
+        inner: SurrogateEvaluator,
+        victim: ChildArch,
+        as_nn: bool,
+    }
+
+    impl AccuracyEvaluator for FailOn {
+        fn evaluate(&self, arch: &ChildArch, rng: &mut dyn RngCore) -> Result<f32> {
+            if *arch == self.victim {
+                return Err(if self.as_nn {
+                    FnasError::Nn(fnas_nn::NnError::InvalidConfig {
+                        what: "scripted build failure".to_string(),
+                    })
+                } else {
+                    FnasError::Oracle {
+                        what: "scripted oracle failure".to_string(),
+                        transient: false,
+                    }
+                });
+            }
+            self.inner.evaluate(arch, rng)
+        }
+
+        fn name(&self) -> &'static str {
+            "fail-on"
+        }
+    }
+
+    #[test]
+    fn mid_batch_oracle_error_does_not_perturb_siblings() {
+        let cfg = SearchConfig::nas(quick_preset()).with_seed(9);
+        let opts = BatchOptions::sequential()
+            .with_batch_size(6)
+            .with_workers(2);
+        let reference = Searcher::surrogate(&cfg)
+            .unwrap()
+            .run_batched(&cfg, &opts)
+            .unwrap();
+        // Victim: a first-episode child whose architecture is unique
+        // within that episode (duplicates would fail alongside it).
+        let first = &reference.trials()[..6];
+        let victim_idx = (0..6)
+            .find(|&i| {
+                first
+                    .iter()
+                    .enumerate()
+                    .all(|(j, t)| j == i || t.arch != first[i].arch)
+            })
+            .expect("some first-episode arch is unique");
+        let victim = first[victim_idx].arch.clone();
+        for as_nn in [false, true] {
+            let eval = FailOn {
+                inner: SurrogateEvaluator::new(cfg.preset().calibration()),
+                victim: victim.clone(),
+                as_nn,
+            };
+            let out = Searcher::with_evaluator(&cfg, Box::new(eval))
+                .unwrap()
+                .run_batched(&cfg, &opts)
+                .unwrap();
+            assert_eq!(out.trials().len(), reference.trials().len());
+            let t = &out.trials()[victim_idx];
+            assert_eq!(t.arch, victim);
+            assert_eq!(t.accuracy, None);
+            assert!(!t.trained);
+            assert!(t.reward <= -2.0 + f32::EPSILON);
+            if as_nn {
+                assert!(out.telemetry().children_unbuildable >= 1);
+            } else {
+                assert!(out.telemetry().children_failed >= 1);
+            }
+            // Sibling seeds and results are untouched: same architectures,
+            // latencies and accuracies bit-for-bit. Siblings *before* the
+            // victim match completely; those after may see a different
+            // reward only through the (serial) EMA baseline, which the
+            // failed victim legitimately did not feed.
+            for (i, sib) in first.iter().enumerate() {
+                if i == victim_idx {
+                    continue;
+                }
+                let got = &out.trials()[i];
+                assert_eq!(got.arch, sib.arch, "sibling {i} arch perturbed");
+                assert_eq!(got.latency, sib.latency, "sibling {i} latency perturbed");
+                assert_eq!(got.accuracy, sib.accuracy, "sibling {i} accuracy perturbed");
+                assert_eq!(got.trained, sib.trained, "sibling {i} trained perturbed");
+                if i < victim_idx {
+                    assert_eq!(got, sib, "pre-victim sibling {i} perturbed");
+                }
+            }
+            // The trajectory may diverge *after* the victim's episode (the
+            // controller saw a different reward), but the run completes.
+        }
+    }
+
+    #[test]
+    fn chaos_run_completes_with_finite_rewards_and_fault_telemetry() {
+        use crate::resilience::{FaultInjector, FaultPlan, ResilientEvaluator, RetryPolicy};
+        let cfg = SearchConfig::nas(quick_preset().with_trials(24)).with_seed(5);
+        let chaos_searcher = || {
+            let inner = SurrogateEvaluator::new(cfg.preset().calibration());
+            let injector = FaultInjector::new(
+                Box::new(inner),
+                FaultPlan {
+                    panic_rate: 0.05,
+                    transient_rate: 0.20,
+                    nan_rate: 0.05,
+                },
+            );
+            let oracle = ResilientEvaluator::new(Box::new(injector), RetryPolicy::default());
+            Searcher::with_evaluator(&cfg, Box::new(oracle)).unwrap()
+        };
+        // Injected panics are expected here; keep them off the test output.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let run = |workers: usize| {
+            let opts = BatchOptions::sequential()
+                .with_batch_size(8)
+                .with_workers(workers);
+            chaos_searcher().run_batched(&cfg, &opts)
+        };
+        let sequential = run(0);
+        let pooled = run(8);
+        std::panic::set_hook(prev);
+        let sequential = sequential.unwrap();
+        let pooled = pooled.unwrap();
+        assert_eq!(sequential.trials().len(), 24, "chaos must not lose trials");
+        assert!(sequential.trials().iter().all(|t| t.reward.is_finite()));
+        let t = sequential.telemetry();
+        assert!(
+            t.retries > 0 || t.children_failed > 0 || t.panics_caught > 0,
+            "these rates should have injected something: {t}"
+        );
+        // Chaos is deterministic in the per-child streams: the pooled run
+        // reproduces the sequential one bit-for-bit, faults included.
+        assert_eq!(fingerprint(&pooled), fingerprint(&sequential));
     }
 
     #[test]

@@ -7,10 +7,59 @@
 //! item is evaluated exactly once, so the output is independent of how
 //! items were interleaved across threads — the property the search
 //! determinism test pins down.
+//!
+//! [`Executor::map_settle`] is the fault-isolating variant: each item's
+//! closure runs under `catch_unwind`, so a panicking item becomes an
+//! `Err(`[`TaskFault`]`)` in its slot instead of killing the batch (and
+//! with it the whole search run).
 
-use std::panic;
+use std::error::Error;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+
+/// One item of a [`Executor::map_settle`] batch panicked.
+///
+/// Carries the item's input index and the panic payload rendered to a
+/// string (the common `&str`/`String` payloads verbatim, anything else as
+/// an opaque placeholder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFault {
+    index: usize,
+    message: String,
+}
+
+impl TaskFault {
+    fn from_payload(index: usize, payload: Box<dyn std::any::Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        TaskFault { index, message }
+    }
+
+    /// The input index of the item whose closure panicked.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The panic message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for TaskFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl Error for TaskFault {}
 
 /// A batch evaluator with a fixed worker count.
 ///
@@ -41,10 +90,14 @@ impl Executor {
         Executor { workers }
     }
 
-    /// An executor sized to the machine: one worker per available core,
-    /// falling back to sequential when parallelism is unavailable.
+    /// An executor sized to the machine: one worker per available core
+    /// **minus one**, reserving a core for the controller thread that
+    /// samples children and applies REINFORCE updates (on a single-core
+    /// machine the one core is shared). Falls back to sequential when
+    /// parallelism is unavailable.
     pub fn auto() -> Self {
-        let workers = thread::available_parallelism().map_or(0, |n| n.get());
+        let workers =
+            thread::available_parallelism().map_or(0, |n| n.get().saturating_sub(1).max(1));
         Executor { workers }
     }
 
@@ -108,6 +161,30 @@ impl Executor {
             .into_iter()
             .map(|r| r.expect("every item claimed exactly once"))
             .collect()
+    }
+
+    /// Like [`Executor::map`], but isolates panics: each item's closure
+    /// runs under `catch_unwind`, and a panicking item settles to
+    /// `Err(`[`TaskFault`]`)` in its input-order slot while every other
+    /// item still evaluates exactly once. Use this when one poisoned item
+    /// must not abort the batch (the fault-tolerant search loop); keep
+    /// [`Executor::map`] for fail-fast callers.
+    ///
+    /// The closure is wrapped in `AssertUnwindSafe`: callers must audit
+    /// that the captured state stays coherent across an unwind (the search
+    /// engine's closures only read shared state and never hold a lock
+    /// while calling user code, so a mid-evaluation panic cannot leave
+    /// them inconsistent).
+    pub fn map_settle<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, TaskFault>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map(items, |i, t| {
+            panic::catch_unwind(AssertUnwindSafe(|| f(i, t)))
+                .map_err(|payload| TaskFault::from_payload(i, payload))
+        })
     }
 }
 
@@ -199,5 +276,58 @@ mod tests {
         // auto() never panics and reports its configuration faithfully.
         let auto = Executor::auto();
         assert_eq!(auto.is_sequential(), auto.workers() == 0);
+        // auto() reserves one core for the controller thread (but never
+        // drops below one worker when parallelism is available).
+        if let Ok(n) = std::thread::available_parallelism() {
+            assert_eq!(auto.workers(), n.get().saturating_sub(1).max(1));
+            assert!(auto.workers() >= 1);
+        }
+    }
+
+    #[test]
+    fn map_settle_matches_map_without_panics() {
+        let items: Vec<u64> = (0..64).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+        for workers in [0usize, 1, 4] {
+            let got: Vec<u64> = Executor::with_workers(workers)
+                .map_settle(&items, |_, &x| x * 3)
+                .into_iter()
+                .map(|r| r.expect("no panics"))
+                .collect();
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_settle_isolates_panics_to_their_slot() {
+        let items: Vec<u64> = (0..16).collect();
+        for workers in [0usize, 2, 8] {
+            let got = Executor::with_workers(workers).map_settle(&items, |_, &x| {
+                assert!(x % 5 != 3, "boom on {x}");
+                x + 100
+            });
+            assert_eq!(got.len(), items.len(), "workers = {workers}");
+            for (i, r) in got.iter().enumerate() {
+                if i % 5 == 3 {
+                    let fault = r.as_ref().expect_err("item should have panicked");
+                    assert_eq!(fault.index(), i);
+                    assert!(fault.message().contains("boom"), "{fault}");
+                } else {
+                    assert_eq!(*r.as_ref().expect("item should settle"), i as u64 + 100);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_settle_renders_string_payloads() {
+        let items = vec![0u8];
+        let got = Executor::sequential().map_settle(&items, |_, _| -> u8 {
+            panic!("formatted {}", 42);
+        });
+        let fault = got[0].as_ref().unwrap_err();
+        assert_eq!(fault.message(), "formatted 42");
+        assert!(fault.to_string().contains("task 0 panicked"));
+        assert!(fault.source().is_none());
     }
 }

@@ -11,7 +11,9 @@
 //! * [`executor`] — a `std::thread::scope`-based worker pool
 //!   ([`Executor`]) that maps a batch through a closure on N workers and
 //!   returns results **in input order**, so downstream consumers are
-//!   independent of thread interleaving;
+//!   independent of thread interleaving; its fault-isolating
+//!   [`Executor::map_settle`] variant settles per-item panics into
+//!   [`TaskFault`]s instead of killing the batch;
 //! * [`cache`] — a lock-striped memo cache ([`ShardedCache`]) shared
 //!   across workers and across search episodes, with overflow-safe atomic
 //!   hit/miss counters;
@@ -35,6 +37,6 @@ pub mod seed;
 pub mod telemetry;
 
 pub use cache::ShardedCache;
-pub use executor::Executor;
+pub use executor::{Executor, TaskFault};
 pub use seed::derive_child_seed;
 pub use telemetry::{Phase, SearchTelemetry, TelemetrySnapshot};

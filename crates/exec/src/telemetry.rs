@@ -32,7 +32,12 @@ pub struct SearchTelemetry {
     children_pruned: AtomicU64,
     children_trained: AtomicU64,
     children_unbuildable: AtomicU64,
+    children_failed: AtomicU64,
     episodes: AtomicU64,
+    panics_caught: AtomicU64,
+    retries: AtomicU64,
+    quarantined: AtomicU64,
+    checkpoints_written: AtomicU64,
     analyzer_calls: AtomicU64,
     train_calls: AtomicU64,
     latency_cache_hits: AtomicU64,
@@ -71,9 +76,56 @@ impl SearchTelemetry {
         self.children_unbuildable.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one child whose evaluation faulted (panicked, exhausted its
+    /// retry budget, or was quarantined) without killing the run.
+    pub fn add_failed(&self) {
+        self.children_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one completed episode (batch).
     pub fn add_episode(&self) {
         self.episodes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one child-evaluation panic caught and settled into a failed
+    /// trial instead of propagating.
+    pub fn add_panic_caught(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` transient-fault retries issued by the resilient oracle.
+    pub fn add_retries(&self, n: u64) {
+        self.retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` children quarantined for returning non-finite
+    /// accuracies.
+    pub fn add_quarantined(&self, n: u64) {
+        self.quarantined.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one checkpoint written to disk.
+    pub fn add_checkpoint_written(&self) {
+        self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pre-loads the logical counters from a snapshot (checkpoint resume):
+    /// everything except cache traffic, analyzer calls and wall times,
+    /// which describe work actually performed by *this* process and are
+    /// not replayed.
+    pub fn restore_counters(&self, s: &TelemetrySnapshot) {
+        let store = |c: &AtomicU64, v: u64| c.store(v, Ordering::Relaxed);
+        store(&self.children_sampled, s.children_sampled);
+        store(&self.children_pruned, s.children_pruned);
+        store(&self.children_trained, s.children_trained);
+        store(&self.children_unbuildable, s.children_unbuildable);
+        store(&self.children_failed, s.children_failed);
+        store(&self.episodes, s.episodes);
+        store(&self.train_calls, s.train_calls);
+        store(&self.panics_caught, s.panics_caught);
+        store(&self.retries, s.retries);
+        store(&self.quarantined, s.quarantined);
+        store(&self.checkpoints_written, s.checkpoints_written);
     }
 
     /// Records `n` uncached analyzer invocations.
@@ -127,7 +179,12 @@ impl SearchTelemetry {
             children_pruned: load(&self.children_pruned),
             children_trained: load(&self.children_trained),
             children_unbuildable: load(&self.children_unbuildable),
+            children_failed: load(&self.children_failed),
             episodes: load(&self.episodes),
+            panics_caught: load(&self.panics_caught),
+            retries: load(&self.retries),
+            quarantined: load(&self.quarantined),
+            checkpoints_written: load(&self.checkpoints_written),
             analyzer_calls: load(&self.analyzer_calls),
             train_calls: load(&self.train_calls),
             latency_cache_hits: load(&self.latency_cache_hits),
@@ -171,8 +228,19 @@ pub struct TelemetrySnapshot {
     pub children_trained: u64,
     /// Children that could not be built at all.
     pub children_unbuildable: u64,
+    /// Children whose evaluation faulted (panic, exhausted retries,
+    /// quarantine) and were settled into failed trials.
+    pub children_failed: u64,
     /// Completed episodes (batches).
     pub episodes: u64,
+    /// Child-evaluation panics caught and isolated.
+    pub panics_caught: u64,
+    /// Transient-fault retries issued by the resilient oracle.
+    pub retries: u64,
+    /// Children quarantined for non-finite accuracies.
+    pub quarantined: u64,
+    /// Checkpoints written to disk during the run.
+    pub checkpoints_written: u64,
     /// Uncached FNAS-tool (analyzer) invocations.
     pub analyzer_calls: u64,
     /// Accuracy-oracle invocations.
@@ -267,6 +335,15 @@ impl fmt::Display for TelemetrySnapshot {
             "analyzer calls {} | train calls {}",
             self.analyzer_calls, self.train_calls
         )?;
+        writeln!(
+            f,
+            "faults: failed {} | panics caught {} | retries {} | quarantined {} | checkpoints {}",
+            self.children_failed,
+            self.panics_caught,
+            self.retries,
+            self.quarantined,
+            self.checkpoints_written,
+        )?;
         write!(
             f,
             "wall: sample {:.1?} | latency {:.1?} | accuracy {:.1?} | update {:.1?} | total {:.1?}",
@@ -296,12 +373,22 @@ mod tests {
         t.add_train_calls(3);
         t.add_latency_cache(7, 3);
         t.add_accuracy_cache(1, 1);
+        t.add_failed();
+        t.add_panic_caught();
+        t.add_retries(4);
+        t.add_quarantined(2);
+        t.add_checkpoint_written();
         let s = t.snapshot();
         assert_eq!(s.children_sampled, 10);
         assert_eq!(s.children_pruned, 2);
         assert_eq!(s.children_trained, 1);
         assert_eq!(s.children_unbuildable, 1);
+        assert_eq!(s.children_failed, 1);
         assert_eq!(s.episodes, 1);
+        assert_eq!(s.panics_caught, 1);
+        assert_eq!(s.retries, 4);
+        assert_eq!(s.quarantined, 2);
+        assert_eq!(s.checkpoints_written, 1);
         assert_eq!(s.analyzer_calls, 5);
         assert_eq!(s.train_calls, 3);
         assert_eq!(s.prune_rate(), 0.2);
@@ -358,6 +445,42 @@ mod tests {
         assert!(text.contains("sampled 4"));
         assert!(text.contains("pruned 1"));
         assert!(text.contains("latency cache"));
+        assert!(text.contains("faults:"));
         assert!(text.contains("wall:"));
+    }
+
+    #[test]
+    fn restore_counters_preloads_logical_state_only() {
+        let t = SearchTelemetry::new();
+        t.add_latency_cache(5, 5);
+        let snap = TelemetrySnapshot {
+            children_sampled: 40,
+            children_pruned: 10,
+            children_trained: 25,
+            children_unbuildable: 3,
+            children_failed: 2,
+            episodes: 5,
+            train_calls: 27,
+            panics_caught: 1,
+            retries: 6,
+            quarantined: 1,
+            checkpoints_written: 2,
+            latency_cache_hits: 99,
+            ..TelemetrySnapshot::default()
+        };
+        t.restore_counters(&snap);
+        t.add_sampled(8);
+        t.add_episode();
+        let s = t.snapshot();
+        assert_eq!(s.children_sampled, 48);
+        assert_eq!(s.episodes, 6);
+        assert_eq!(s.children_failed, 2);
+        assert_eq!(s.panics_caught, 1);
+        assert_eq!(s.retries, 6);
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.checkpoints_written, 2);
+        // Cache traffic is not replayed: it reflects this process only.
+        assert_eq!(s.latency_cache_hits, 5);
+        assert_eq!(s.latency_cache_misses, 5);
     }
 }

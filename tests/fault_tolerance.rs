@@ -1,0 +1,191 @@
+//! Fault tolerance of the search runtime, end to end through the public
+//! API.
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **Chaos survival** — with the deterministic fault injector crashing
+//!    5% of evaluations, timing out 20% and diverging 5% to `NaN`, a
+//!    search behind the resilient retry/quarantine decorator still
+//!    completes every episode with finite rewards, reports what it
+//!    absorbed in the fault telemetry, and stays bit-identical across
+//!    worker counts (the injector draws from the per-child RNG stream,
+//!    never from worker identity).
+//!
+//! 2. **Checkpoint/resume fidelity** — a run killed at episode `k` and
+//!    resumed from its checkpoint produces the same outcome, bit for bit,
+//!    as the uninterrupted run, at every worker count.
+
+use std::path::PathBuf;
+
+use fnas::evaluator::{SurrogateCalibration, SurrogateEvaluator};
+use fnas::experiment::ExperimentPreset;
+use fnas::resilience::{FaultInjector, FaultPlan, ResilientEvaluator, RetryPolicy};
+use fnas::search::{BatchOptions, CheckpointOptions, SearchConfig, SearchOutcome, Searcher};
+
+/// The observable outcome of a run: per-trial (arch, reward/latency/
+/// accuracy bits, trained flag) plus the exact cost totals. Telemetry wall
+/// times and cache counters are process-local by design and excluded.
+fn fingerprint(out: &SearchOutcome) -> Vec<String> {
+    let mut fp: Vec<String> = out
+        .trials()
+        .iter()
+        .map(|t| {
+            format!(
+                "{} r{:08x} l{:?} a{:?} t{}",
+                t.arch.describe(),
+                t.reward.to_bits(),
+                t.latency.map(|l| l.get().to_bits()),
+                t.accuracy.map(|a| a.to_bits()),
+                t.trained,
+            )
+        })
+        .collect();
+    fp.push(format!(
+        "cost {:016x} {:016x}",
+        out.cost().training_seconds.to_bits(),
+        out.cost().analyzer_seconds.to_bits()
+    ));
+    fp
+}
+
+fn chaos_searcher(config: &SearchConfig) -> Searcher {
+    let plan = FaultPlan {
+        panic_rate: 0.05,
+        transient_rate: 0.20,
+        nan_rate: 0.05,
+    };
+    let surrogate = SurrogateEvaluator::new(SurrogateCalibration::mnist());
+    let injector = FaultInjector::new(Box::new(surrogate), plan);
+    let resilient = ResilientEvaluator::new(Box::new(injector), RetryPolicy::default());
+    Searcher::with_evaluator(config, Box::new(resilient)).expect("constructible")
+}
+
+/// Runs `f` with the default panic hook silenced, restoring it after —
+/// injected panics are caught by the executor, but the hook would still
+/// print a backtrace per crash.
+fn quietly<T>(f: impl FnOnce() -> T) -> T {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(hook);
+    out
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fnas-fault-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn chaos_run_completes_every_episode_with_finite_rewards() {
+    let config = SearchConfig::nas(ExperimentPreset::mnist().with_trials(24)).with_seed(41);
+    let run = |workers: usize| {
+        let opts = BatchOptions::sequential()
+            .with_workers(workers)
+            .with_batch_size(6);
+        quietly(|| {
+            chaos_searcher(&config)
+                .run_batched(&config, &opts)
+                .expect("chaos run completes")
+        })
+    };
+
+    let sequential = run(0);
+    assert_eq!(sequential.trials().len(), 24, "every episode completed");
+    assert!(
+        sequential.trials().iter().all(|t| t.reward.is_finite()),
+        "no injected fault may leak a non-finite reward"
+    );
+
+    let t = sequential.telemetry();
+    assert_eq!(t.episodes, 4);
+    assert!(
+        t.panics_caught + t.retries + t.quarantined + t.children_failed > 0,
+        "at these rates the run must have absorbed at least one fault"
+    );
+
+    // Chaos is part of the deterministic trajectory: worker count still
+    // must not change results.
+    for workers in [2usize, 8] {
+        assert_eq!(
+            fingerprint(&run(workers)),
+            fingerprint(&sequential),
+            "workers = {workers}"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical_at_every_worker_count() {
+    let dir = unique_dir("resume");
+    let full = ExperimentPreset::mnist().with_trials(24);
+    // Killing a process mid-run is simulated by running the same seed with
+    // the trial budget truncated to 2 of 4 episodes: the trajectory prefix
+    // is identical because only the loop bound differs.
+    let prefix = ExperimentPreset::mnist().with_trials(12);
+
+    for workers in [0usize, 1, 2, 8] {
+        let config = SearchConfig::fnas(full.clone(), 5.0).with_seed(33);
+        let opts = BatchOptions::sequential()
+            .with_workers(workers)
+            .with_batch_size(6);
+
+        let reference = Searcher::surrogate(&config)
+            .expect("constructible")
+            .run_batched(&config, &opts)
+            .expect("reference run");
+
+        let path = dir.join(format!("ckpt-w{workers}.fnas"));
+        let ckpt = CheckpointOptions::new(&path);
+        let killed = SearchConfig::fnas(prefix.clone(), 5.0).with_seed(33);
+        Searcher::surrogate(&killed)
+            .expect("constructible")
+            .run_batched_checkpointed(&killed, &opts, &ckpt)
+            .expect("killed-at-k run");
+
+        let resumed = Searcher::surrogate(&config)
+            .expect("constructible")
+            .resume_batched(&config, &opts, &ckpt)
+            .expect("resume");
+
+        assert_eq!(
+            fingerprint(&resumed),
+            fingerprint(&reference),
+            "workers = {workers}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn resume_under_chaos_is_bit_identical() {
+    // The hard composition: fault injection AND checkpoint/resume. The
+    // injector draws from per-child streams, so a resumed run replays the
+    // exact same faults the uninterrupted run absorbs.
+    let dir = unique_dir("chaos-resume");
+    let full = SearchConfig::nas(ExperimentPreset::mnist().with_trials(24)).with_seed(17);
+    let prefix = SearchConfig::nas(ExperimentPreset::mnist().with_trials(12)).with_seed(17);
+    let opts = BatchOptions::sequential()
+        .with_workers(4)
+        .with_batch_size(6);
+
+    let (reference, resumed) = quietly(|| {
+        let reference = chaos_searcher(&full)
+            .run_batched(&full, &opts)
+            .expect("reference chaos run");
+
+        let path = dir.join("ckpt.fnas");
+        let ckpt = CheckpointOptions::new(&path);
+        chaos_searcher(&prefix)
+            .run_batched_checkpointed(&prefix, &opts, &ckpt)
+            .expect("killed-at-k chaos run");
+        let resumed = chaos_searcher(&full)
+            .resume_batched(&full, &opts, &ckpt)
+            .expect("chaos resume");
+        (reference, resumed)
+    });
+
+    assert_eq!(fingerprint(&resumed), fingerprint(&reference));
+    let _ = std::fs::remove_dir_all(dir);
+}

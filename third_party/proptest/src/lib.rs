@@ -5,10 +5,10 @@
 //! self-contained subset:
 //!
 //! * the [`proptest!`] macro (including `#![proptest_config(..)]`);
-//! * [`Strategy`] with `prop_map`, numeric range strategies, tuples,
-//!   [`Just`], `prop::collection::vec`, and [`prop_oneof!`];
+//! * `Strategy` with `prop_map`, numeric range strategies, tuples,
+//!   `Just`, `prop::collection::vec`, and [`prop_oneof!`];
 //! * `prop_assert!` / `prop_assert_eq!` (plain assertion wrappers);
-//! * [`ProptestConfig`] with `with_cases`.
+//! * `ProptestConfig` with `with_cases`.
 //!
 //! Differences from upstream: cases are generated from a deterministic
 //! per-test seed (derived from the test name and case index), there is
@@ -19,7 +19,7 @@
 #![forbid(unsafe_code)]
 
 pub mod test_runner {
-    //! Deterministic case runner plumbing used by the [`proptest!`] macro.
+    //! Deterministic case runner plumbing used by the `proptest!` macro.
 
     /// Configuration mirroring `proptest::test_runner::Config`.
     #[derive(Debug, Clone)]
@@ -255,7 +255,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, L> {
         element: S,

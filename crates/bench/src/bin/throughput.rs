@@ -110,7 +110,10 @@ impl AccuracyEvaluator for RemoteTrainingEvaluator {
 }
 
 fn search_engine_throughput() -> Result<(), Box<dyn std::error::Error>> {
-    let preset = ExperimentPreset::mnist().with_trials(32);
+    // Long enough for the controller to start revisiting architectures:
+    // the later episodes are where the memo caches (and the staged
+    // artifact pipeline behind them) earn their keep.
+    let preset = ExperimentPreset::mnist().with_trials(96);
     // A mid-range budget: some children are pruned client-side (no
     // round-trip at all), the rest block on the modelled cluster.
     let config = SearchConfig::fnas(preset.clone(), 10.0).with_seed(11);
@@ -172,6 +175,17 @@ fn search_engine_throughput() -> Result<(), Box<dyn std::error::Error>> {
     }
     emit("throughput_search", &table)?;
     if let Some(telemetry) = last_telemetry {
+        // The staged pipeline must actually be earning its keep: a seeded
+        // Table-1-sized sweep revisits architectures, so both memo caches
+        // see hits. CI runs this bin and relies on the assert.
+        assert!(
+            telemetry.latency_cache_hits > 0,
+            "latency cache saw no hits — artifact memoisation is broken"
+        );
+        assert!(
+            telemetry.accuracy_cache_hits > 0,
+            "accuracy cache saw no hits — child memoisation is broken"
+        );
         emit("throughput_search_telemetry", &telemetry_table(&telemetry))?;
     }
     println!(

@@ -1,0 +1,179 @@
+//! `fnas-ckpt` — inspect an `FNASCKPT` search snapshot.
+//!
+//! A checkpoint is an opaque binary blob (see [`fnas::checkpoint`] for the
+//! layout); this tool renders one for humans: the header identity, where
+//! the run was (episode, RNG stream, baseline, modelled cost), the
+//! controller/trainer shape, the persisted telemetry counters, and a
+//! summary of every trial explored so far.
+//!
+//! Usage: `fnas-ckpt <snapshot.ckpt>`
+//!
+//! Exits non-zero (with the decode error on stderr) when the file is
+//! missing, truncated, or not an FNAS checkpoint.
+
+use std::process::ExitCode;
+
+use fnas::checkpoint::{SearchCheckpoint, MAGIC, VERSION};
+use fnas::report::{pct, Table};
+
+/// Renders the full inspection report for a decoded checkpoint.
+fn render(ckpt: &SearchCheckpoint) -> String {
+    let mut out = String::new();
+    let mut line = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+
+    line(format!(
+        "header: magic={:?} version={}",
+        String::from_utf8_lossy(MAGIC),
+        VERSION
+    ));
+    line(format!("run seed: {}", ckpt.run_seed));
+    line(format!("next episode: {}", ckpt.next_episode));
+    line(format!(
+        "rng stream (xoshiro256++): [{:#018x}, {:#018x}, {:#018x}, {:#018x}]",
+        ckpt.rng_state[0], ckpt.rng_state[1], ckpt.rng_state[2], ckpt.rng_state[3]
+    ));
+    line(format!(
+        "reward baseline: {}",
+        ckpt.baseline
+            .map_or("(no observation yet)".to_string(), |b| format!("{b:+.4}"))
+    ));
+    line(format!(
+        "modelled cost: {:.1}s training + {:.1}s analyzer = {:.1}s",
+        ckpt.cost.training_seconds,
+        ckpt.cost.analyzer_seconds,
+        ckpt.cost.total_seconds()
+    ));
+    line(format!(
+        "trainer: {} params, {} updates, adam t={}",
+        ckpt.trainer.params.len(),
+        ckpt.trainer.updates,
+        ckpt.trainer.optimizer.t
+    ));
+
+    let t = &ckpt.telemetry;
+    line(String::new());
+    line("persisted telemetry counters:".to_string());
+    let mut counters = Table::new(vec!["counter", "value"]);
+    for (name, value) in [
+        ("children sampled", t.children_sampled),
+        ("children pruned", t.children_pruned),
+        ("children trained", t.children_trained),
+        ("children unbuildable", t.children_unbuildable),
+        ("children failed", t.children_failed),
+        ("episodes", t.episodes),
+        ("panics caught", t.panics_caught),
+        ("oracle retries", t.retries),
+        ("quarantined accuracies", t.quarantined),
+        ("checkpoints written", t.checkpoints_written),
+        ("analyzer calls", t.analyzer_calls),
+        ("train calls", t.train_calls),
+    ] {
+        counters.push_row(vec![name.to_string(), value.to_string()]);
+    }
+    line(counters.to_markdown());
+
+    line(format!(
+        "trials: {} total, {} trained, {} pruned",
+        ckpt.trials.len(),
+        ckpt.trials.iter().filter(|t| t.trained).count(),
+        ckpt.trials.iter().filter(|t| !t.trained).count()
+    ));
+    let mut trials = Table::new(vec![
+        "trial",
+        "architecture",
+        "latency",
+        "accuracy",
+        "reward",
+    ]);
+    for t in &ckpt.trials {
+        trials.push_row(vec![
+            t.index.to_string(),
+            t.arch.describe(),
+            t.latency.map_or("—".to_string(), |l| l.to_string()),
+            t.accuracy.map_or("pruned".to_string(), pct),
+            format!("{:+.3}", t.reward),
+        ]);
+    }
+    line(trials.to_markdown());
+    out
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: fnas-ckpt <snapshot.ckpt>");
+        return ExitCode::from(2);
+    };
+    match SearchCheckpoint::load(std::path::Path::new(&path)) {
+        Ok(ckpt) => {
+            print!("{}", render(&ckpt));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fnas-ckpt: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fnas::experiment::ExperimentPreset;
+    use fnas::search::{BatchOptions, CheckpointOptions, SearchConfig, Searcher};
+
+    use super::*;
+
+    #[test]
+    fn renders_every_section_of_a_real_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("fnas-ckpt-bin-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inspect.ckpt");
+
+        let preset = ExperimentPreset::mnist().with_trials(8);
+        let config = SearchConfig::fnas(preset, 10.0).with_seed(9);
+        let mut searcher = Searcher::surrogate(&config).unwrap();
+        let opts = BatchOptions::sequential().with_batch_size(4);
+        searcher
+            .run_batched_checkpointed(&config, &opts, &CheckpointOptions::new(&path))
+            .unwrap();
+
+        let ckpt = SearchCheckpoint::load(&path).unwrap();
+        let report = render(&ckpt);
+        assert!(report.contains("magic=\"FNASCKPT\" version=1"));
+        assert!(report.contains("run seed: 9"));
+        assert!(report.contains("next episode: 2"));
+        assert!(report.contains("rng stream (xoshiro256++): [0x"));
+        assert!(report.contains("| children sampled | 8 |"));
+        assert!(report.contains("trials: 8 total,"));
+        // One table row per trial, in exploration order.
+        for i in 0..8 {
+            assert!(report.contains(&format!("| {i} | ")), "missing trial {i}");
+        }
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn render_survives_an_empty_fresh_checkpoint() {
+        let ckpt = SearchCheckpoint {
+            run_seed: 0,
+            next_episode: 0,
+            rng_state: [0; 4],
+            baseline: None,
+            cost: Default::default(),
+            trainer: fnas_controller::reinforce::TrainerState {
+                params: vec![],
+                optimizer: Default::default(),
+                updates: 0,
+            },
+            telemetry: Default::default(),
+            trials: vec![],
+        };
+        let report = render(&ckpt);
+        assert!(report.contains("(no observation yet)"));
+        assert!(report.contains("trials: 0 total, 0 trained, 0 pruned"));
+    }
+}

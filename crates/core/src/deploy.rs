@@ -9,12 +9,11 @@
 //! committing to the bitstream.
 
 use fnas_controller::arch::ChildArch;
-use fnas_fpga::analyzer::{analyze, throughput_fps, AnalyzerReport};
+use fnas_fpga::analyzer::{throughput_fps, AnalyzerReport};
+use fnas_fpga::artifacts::HwArtifacts;
 use fnas_fpga::design::{PipelineDesign, UtilizationReport};
 use fnas_fpga::device::FpgaCluster;
-use fnas_fpga::sched::FnasScheduler;
 use fnas_fpga::sim::{simulate_traced, SimReport, TaskTrace};
-use fnas_fpga::taskgraph::TileTaskGraph;
 use fnas_fpga::{Cycles, Millis};
 
 use crate::mapping::arch_to_network;
@@ -63,19 +62,38 @@ impl DeploymentReport {
         input: (usize, usize, usize),
     ) -> Result<Self> {
         let network = arch_to_network(arch, input)?;
-        let design = PipelineDesign::generate_on_cluster(&network, platform)?;
-        let graph = TileTaskGraph::from_design(&design)?;
-        let schedule = FnasScheduler::new().schedule(&graph);
+        let artifacts = HwArtifacts::build(&network, platform)?;
+        let analyzer = artifacts.analyze()?;
+        DeploymentReport::from_artifacts(arch, &artifacts, analyzer)
+    }
+
+    /// Builds the report from already-staged pipeline artifacts, reusing
+    /// the design, task graph, schedule and analyzer report instead of
+    /// regenerating them. This is how
+    /// [`crate::latency::LatencyEvaluator::deploy`] avoids paying the
+    /// FNAS-Design cost a second time for an architecture the search
+    /// already evaluated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-generation and simulation errors.
+    pub fn from_artifacts(
+        arch: &ChildArch,
+        artifacts: &HwArtifacts,
+        analyzer: AnalyzerReport,
+    ) -> Result<Self> {
+        let design = artifacts.design();
+        let scheduled = artifacts.scheduled()?;
+        let graph = scheduled.graph();
         let transfers: Vec<Cycles> = (0..graph.num_layers().saturating_sub(1))
             .map(|i| design.boundary_transfer_cycles(i))
             .collect();
-        let (mut simulation, trace) = simulate_traced(&graph, &schedule, &transfers)?;
+        let (mut simulation, trace) = simulate_traced(graph, scheduled.schedule(), &transfers)?;
         simulation.latency = simulation.makespan.to_millis(design.clock_mhz());
-        let analyzer = analyze(&design)?;
         Ok(DeploymentReport {
             arch: arch.clone(),
             utilization: design.utilization(),
-            design,
+            design: design.clone(),
             analyzer,
             simulation,
             trace,

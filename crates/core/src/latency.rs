@@ -1,34 +1,44 @@
-//! Cached child-network latency evaluation through the FNAS tool.
+//! Staged, cached child-network latency evaluation through the FNAS tool.
 //!
 //! Every controller proposal goes FNAS-Design → FNAS-GG → FNAS-Sched →
 //! FNAS-Analyzer (components ➀–➃) to get an inference latency *without
 //! training and without HLS/RTL generation* — the property that makes the
-//! whole framework fast. Results are memoised per architecture because the
-//! controller frequently revisits promising regions of the space; the memo
-//! is a lock-striped [`ShardedCache`] so the batch engine's workers can
-//! share one evaluator without serialising on a single map lock.
+//! whole framework fast. The evaluator memoises that pipeline at **stage
+//! granularity**: a [`HwArtifacts`] record per architecture (design built
+//! once, graph + schedule materialised lazily), an [`AnalyzerReport`] per
+//! architecture, and a simulated latency per architecture — each in its
+//! own lock-striped [`ShardedCache`] with single-flight dedup, so the
+//! batch engine's workers share one evaluator without serialising on a
+//! single map lock and without ever rebuilding a stage another consumer
+//! already produced. Backends are selected per call through the
+//! [`LatencyModel`] trait ([`Analytic`] / [`Simulated`]).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use fnas_controller::arch::ChildArch;
 use fnas_exec::ShardedCache;
-use fnas_fpga::analyzer::analyze;
+use fnas_fpga::analyzer::AnalyzerReport;
+use fnas_fpga::artifacts::{HwArtifacts, LatencyModel};
 use fnas_fpga::design::PipelineDesign;
 use fnas_fpga::device::{FpgaCluster, FpgaDevice};
-use fnas_fpga::sched::FnasScheduler;
-use fnas_fpga::sim::simulate_design;
-use fnas_fpga::taskgraph::TileTaskGraph;
 use fnas_fpga::Millis;
 
+pub use fnas_fpga::artifacts::{Analytic, Simulated};
+
+use crate::deploy::DeploymentReport;
 use crate::mapping::arch_to_network;
 use crate::Result;
 
 /// Latency oracle for child architectures on a fixed platform.
 ///
-/// Thread-safe: [`LatencyEvaluator::latency`] takes `&self` and may be
-/// called from several workers at once against one shared evaluator. The
-/// analyzer-call and cache counters are monotonic `u64`s, wide enough not
-/// to overflow even on 32-bit targets.
+/// Thread-safe: every lookup takes `&self` and may be called from several
+/// workers at once against one shared evaluator. The stage counters
+/// ([`LatencyEvaluator::design_builds`],
+/// [`LatencyEvaluator::analyzer_calls`], [`LatencyEvaluator::sim_calls`])
+/// are monotonic `u64`s, wide enough not to overflow even on 32-bit
+/// targets, and count *uncached* stage executions — with single-flight
+/// memoisation each architecture contributes at most one to each.
 ///
 /// # Examples
 ///
@@ -53,8 +63,16 @@ use crate::Result;
 pub struct LatencyEvaluator {
     cluster: FpgaCluster,
     input: (usize, usize, usize),
-    cache: ShardedCache<ChildArch, Millis>,
+    /// Stage 1–3 record per architecture (design eager, graph + schedule
+    /// lazy inside the artifact).
+    artifacts: ShardedCache<ChildArch, Arc<HwArtifacts>>,
+    /// Stage 4 (analytic) result per architecture.
+    reports: ShardedCache<ChildArch, Arc<AnalyzerReport>>,
+    /// Cycle-accurate latency per architecture.
+    simulated: ShardedCache<ChildArch, Millis>,
+    design_builds: AtomicU64,
     analyzer_calls: AtomicU64,
+    sim_calls: AtomicU64,
 }
 
 impl LatencyEvaluator {
@@ -69,8 +87,12 @@ impl LatencyEvaluator {
         LatencyEvaluator {
             cluster,
             input,
-            cache: ShardedCache::new(),
+            artifacts: ShardedCache::new(),
+            reports: ShardedCache::new(),
+            simulated: ShardedCache::new(),
+            design_builds: AtomicU64::new(0),
             analyzer_calls: AtomicU64::new(0),
+            sim_calls: AtomicU64::new(0),
         }
     }
 
@@ -84,69 +106,140 @@ impl LatencyEvaluator {
         self.input
     }
 
+    /// Number of uncached FNAS-Design runs so far — with the staged cache,
+    /// at most one per architecture across the latency, simulated and
+    /// deploy paths combined.
+    pub fn design_builds(&self) -> u64 {
+        self.design_builds.load(Ordering::Relaxed)
+    }
+
     /// Number of uncached analyzer invocations so far (the FNAS tool's
     /// per-child cost in the search-cost model).
     pub fn analyzer_calls(&self) -> u64 {
         self.analyzer_calls.load(Ordering::Relaxed)
     }
 
-    /// Lookups answered from the memo cache.
-    pub fn cache_hits(&self) -> u64 {
-        self.cache.hits()
+    /// Number of uncached cycle-accurate simulations so far.
+    pub fn sim_calls(&self) -> u64 {
+        self.sim_calls.load(Ordering::Relaxed)
     }
 
-    /// Lookups that had to run the analyzer (or failed trying).
+    /// Analytic-latency lookups answered from the memo cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.reports.hits()
+    }
+
+    /// Analytic-latency lookups that had to run the analyzer (or failed
+    /// trying).
     pub fn cache_misses(&self) -> u64 {
-        self.cache.misses()
+        self.reports.misses()
+    }
+
+    /// The staged artifact record for `arch`, memoised. The design is
+    /// built on the first call from *any* path (latency, simulation,
+    /// deployment, benches) and shared by all of them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and design errors — e.g. a kernel that does not
+    /// fit the input, or a pipeline that exceeds the platform's resources.
+    /// Errors are not cached, so a transiently failing lookup can retry.
+    pub fn artifacts(&self, arch: &ChildArch) -> Result<Arc<HwArtifacts>> {
+        self.artifacts.get_or_try_insert_with(arch, || {
+            let network = arch_to_network(arch, self.input)?;
+            let artifacts = HwArtifacts::build(&network, &self.cluster)?;
+            self.design_builds.fetch_add(1, Ordering::Relaxed);
+            Ok(Arc::new(artifacts))
+        })
+    }
+
+    /// The memoised analyzer report for `arch` (Eqs. 2–5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping, design and analysis errors.
+    pub fn analyzer_report(&self, arch: &ChildArch) -> Result<Arc<AnalyzerReport>> {
+        self.reports.get_or_try_insert_with(arch, || {
+            let artifacts = self.artifacts(arch)?;
+            let report = artifacts.analyze()?;
+            self.analyzer_calls.fetch_add(1, Ordering::Relaxed);
+            Ok(Arc::new(report))
+        })
     }
 
     /// Analytic latency of `arch` (Eq. 5), memoised.
     ///
     /// The analyzer runs outside the cache's shard lock, so concurrent
-    /// callers with distinct architectures never wait on each other; two
-    /// callers racing on the *same* uncached architecture may both analyze
-    /// it (the results are identical — the analyzer is deterministic).
+    /// callers with distinct architectures never wait on each other, and
+    /// lookups are single-flight: callers racing on the *same* uncached
+    /// architecture share one analysis.
     ///
     /// # Errors
     ///
     /// Propagates mapping and design errors — e.g. a kernel that does not
     /// fit the input, or a pipeline that exceeds the platform's resources.
     pub fn latency(&self, arch: &ChildArch) -> Result<Millis> {
-        self.cache.get_or_try_insert_with(arch, || {
-            let design = self.design(arch)?;
-            let report = analyze(&design)?;
-            self.analyzer_calls.fetch_add(1, Ordering::Relaxed);
-            Ok(report.latency)
-        })
+        Ok(self.analyzer_report(arch)?.latency)
     }
 
     /// The full pipeline design for `arch` (exposed for inspection and the
-    /// scheduler benches).
+    /// scheduler benches), cloned out of the shared artifact record.
     ///
     /// # Errors
     ///
     /// Propagates mapping and design errors.
     pub fn design(&self, arch: &ChildArch) -> Result<PipelineDesign> {
-        let network = arch_to_network(arch, self.input)?;
-        Ok(PipelineDesign::generate_on_cluster(
-            &network,
-            &self.cluster,
-        )?)
+        Ok(self.artifacts(arch)?.design().clone())
     }
 
     /// Cycle-accurate simulated latency under the FNAS schedule (used to
     /// validate the analytic model; roughly 100× slower than
-    /// [`LatencyEvaluator::latency`]).
+    /// [`LatencyEvaluator::latency`]), memoised. Reuses the staged
+    /// artifact, so the design and task graph are not rebuilt when the
+    /// analytic path already produced them.
     ///
     /// # Errors
     ///
     /// Propagates design, graph and simulation errors.
     pub fn simulated_latency(&self, arch: &ChildArch) -> Result<Millis> {
-        let design = self.design(arch)?;
-        let graph = TileTaskGraph::from_design(&design)?;
-        let schedule = FnasScheduler::new().schedule(&graph);
-        let report = simulate_design(&design, &graph, &schedule)?;
-        Ok(report.latency)
+        self.simulated.get_or_try_insert_with(arch, || {
+            let artifacts = self.artifacts(arch)?;
+            let report = artifacts.simulate()?;
+            self.sim_calls.fetch_add(1, Ordering::Relaxed);
+            Ok(report.latency)
+        })
+    }
+
+    /// Latency of `arch` under a caller-chosen backend.
+    ///
+    /// The built-in backends dispatch to the memoised paths
+    /// ([`Analytic`] → [`LatencyEvaluator::latency`], [`Simulated`] →
+    /// [`LatencyEvaluator::simulated_latency`]); custom models run
+    /// uncached over the shared (still memoised) artifact record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures of the pipeline stages the backend consumes.
+    pub fn latency_with(&self, arch: &ChildArch, model: &dyn LatencyModel) -> Result<Millis> {
+        match model.name() {
+            "analytic" => self.latency(arch),
+            "simulated" => self.simulated_latency(arch),
+            _ => Ok(model.latency(self.artifacts(arch)?.as_ref())?),
+        }
+    }
+
+    /// The full deployment record for `arch`, reusing the memoised design,
+    /// task graph, schedule and analyzer report — so deploying an
+    /// architecture the search already evaluated costs only the traced
+    /// simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping, design, analysis and simulation errors.
+    pub fn deploy(&self, arch: &ChildArch) -> Result<DeploymentReport> {
+        let artifacts = self.artifacts(arch)?;
+        let report = self.analyzer_report(arch)?;
+        DeploymentReport::from_artifacts(arch, &artifacts, (*report).clone())
     }
 }
 
@@ -214,10 +307,10 @@ mod tests {
                 });
             }
         });
-        // 8 distinct architectures: one analysis each would be ideal, but
-        // racing first lookups may duplicate work — never produce different
-        // answers. The cache still bounds total calls by thread count.
-        assert!(eval.analyzer_calls() >= 8 && eval.analyzer_calls() <= 4 * 8);
+        // 8 distinct architectures: single-flight memoisation guarantees
+        // exactly one analysis each, even when first lookups race.
+        assert_eq!(eval.analyzer_calls(), 8);
+        assert_eq!(eval.design_builds(), 8);
     }
 
     #[test]
@@ -245,6 +338,57 @@ mod tests {
             simulated.get() <= analytic.get() * 2.0,
             "bound too loose: {analytic} vs {simulated}"
         );
+    }
+
+    #[test]
+    fn design_is_built_at_most_once_across_all_paths() {
+        // The acceptance pin for the staged pipeline: latency + simulated
+        // + deploy on the same architecture share one FNAS-Design run,
+        // one analyzer call and one simulation.
+        let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 14, 14));
+        let a = arch(&[(5, 18), (3, 18)]);
+        let analytic = eval.latency(&a).unwrap();
+        let simulated = eval.simulated_latency(&a).unwrap();
+        let deployed = eval.deploy(&a).unwrap();
+        let _ = eval.design(&a).unwrap();
+        let _ = eval.latency(&a).unwrap();
+        let _ = eval.simulated_latency(&a).unwrap();
+        assert_eq!(eval.design_builds(), 1, "design must be generated once");
+        assert_eq!(eval.analyzer_calls(), 1, "analyzer must run once");
+        assert_eq!(eval.sim_calls(), 1, "simulator must run once");
+        assert_eq!(deployed.analytic_latency().get(), analytic.get());
+        assert_eq!(deployed.simulated_latency().get(), simulated.get());
+    }
+
+    #[test]
+    fn latency_with_dispatches_to_the_memoised_backends() {
+        let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 14, 14));
+        let a = arch(&[(5, 18)]);
+        let analytic = eval.latency_with(&a, &Analytic).unwrap();
+        let simulated = eval.latency_with(&a, &Simulated).unwrap();
+        assert_eq!(analytic.get(), eval.latency(&a).unwrap().get());
+        assert_eq!(simulated.get(), eval.simulated_latency(&a).unwrap().get());
+        assert_eq!(eval.design_builds(), 1);
+        assert_eq!(eval.analyzer_calls(), 1);
+        assert_eq!(eval.sim_calls(), 1);
+
+        // A custom backend runs uncached but still reuses the artifact.
+        #[derive(Debug)]
+        struct Doubled;
+        impl LatencyModel for Doubled {
+            fn latency(
+                &self,
+                artifacts: &fnas_fpga::artifacts::HwArtifacts,
+            ) -> fnas_fpga::Result<Millis> {
+                Ok(Millis::new(artifacts.analyze()?.latency.get() * 2.0))
+            }
+            fn name(&self) -> &'static str {
+                "doubled"
+            }
+        }
+        let doubled = eval.latency_with(&a, &Doubled).unwrap();
+        assert_eq!(doubled.get(), analytic.get() * 2.0);
+        assert_eq!(eval.design_builds(), 1, "custom backend reuses artifact");
     }
 
     #[test]

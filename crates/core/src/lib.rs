@@ -9,13 +9,19 @@
 //!
 //! * [`reward`] — the reward function of Eq. (1);
 //! * [`mapping`] — child architecture → FPGA convolution pipeline;
-//! * [`latency`] — cached latency evaluation through the `fnas-fpga` stack
-//!   (FNAS-Design → FNAS-GG → FNAS-Sched → FNAS-Analyzer);
+//! * [`latency`] — the staged hardware oracle: per-architecture
+//!   `HwArtifacts` (FNAS-Design → FNAS-GG → FNAS-Sched) memoised at stage
+//!   granularity with single-flight dedup, serving the analytic
+//!   (FNAS-Analyzer) and cycle-accurate latency backends and the
+//!   deployment path from one shared record (see DESIGN.md §11);
 //! * [`evaluator`] — child accuracy, either by really training the network
 //!   (`TrainedEvaluator`) or through a calibrated surrogate
 //!   (`SurrogateEvaluator`) for large parameter sweeps (see DESIGN.md §2);
 //! * [`search`] — the NAS baseline loop of \[16\] and the FNAS loop with
-//!   early latency pruning;
+//!   early latency pruning, decomposed into [`search::config`] (run
+//!   specification), [`search::oracle`] (the unified child oracle),
+//!   [`search::engine`] (sequential + batched loops),
+//!   [`search::trial`]/[`search::outcome`] (results);
 //! * [`resilience`] — fault-tolerant oracle decorators: budgeted retry of
 //!   transient faults, NaN quarantine, and a deterministic fault injector
 //!   for chaos testing;

@@ -50,16 +50,31 @@ pub struct RetryPolicy {
     pub multiplier: u64,
     /// Cap on a single backoff interval, in ticks.
     pub max_ticks: u64,
+    /// Adaptive fail-fast cutover: once this many evaluations have
+    /// *exhausted* their retry budget, further transient faults are not
+    /// retried at all — a persistently flaky oracle fails fast instead of
+    /// burning backoff ticks on every child. `0` (the default) disables
+    /// adaptivity.
+    ///
+    /// **Determinism caveat:** the cutover reads shared fault counters, so
+    /// under a worker pool *which* evaluation crosses the threshold
+    /// depends on scheduling order. Runs that must be bit-identical across
+    /// worker counts (the engine's default invariant, asserted by the
+    /// chaos tests) should leave this at `0`; turn it on for long
+    /// wall-clock-bound runs where failing fast matters more than replay.
+    pub fail_fast_after: u64,
 }
 
 impl Default for RetryPolicy {
-    /// Three retries with 1, 2, 4 tick spacing, capped at 64 ticks.
+    /// Three retries with 1, 2, 4 tick spacing, capped at 64 ticks;
+    /// adaptive fail-fast disabled.
     fn default() -> Self {
         RetryPolicy {
             max_retries: 3,
             base_ticks: 1,
             multiplier: 2,
             max_ticks: 64,
+            fail_fast_after: 0,
         }
     }
 }
@@ -70,6 +85,26 @@ impl RetryPolicy {
     pub fn backoff(&self, attempt: u32) -> u64 {
         let factor = self.multiplier.saturating_pow(attempt);
         self.base_ticks.saturating_mul(factor).min(self.max_ticks)
+    }
+
+    /// Opts in to adaptive fail-fast after `exhausted_evals` budget
+    /// exhaustions (`0` disables; see
+    /// [`RetryPolicy::fail_fast_after`] for the determinism caveat).
+    #[must_use]
+    pub fn with_fail_fast_after(mut self, exhausted_evals: u64) -> Self {
+        self.fail_fast_after = exhausted_evals;
+        self
+    }
+
+    /// The retry budget in force given the oracle's fault history: the
+    /// full [`RetryPolicy::max_retries`] normally, `0` once the fail-fast
+    /// cutover has been reached.
+    pub fn effective_retries(&self, stats: &FaultStatsSnapshot) -> u32 {
+        if self.fail_fast_after > 0 && stats.exhausted >= self.fail_fast_after {
+            0
+        } else {
+            self.max_retries
+        }
     }
 }
 
@@ -86,6 +121,9 @@ pub struct FaultStatsSnapshot {
     pub quarantined: u64,
     /// Total virtual backoff ticks charged across all retries.
     pub backoff_vticks: u64,
+    /// Transient faults propagated *without* retry because the adaptive
+    /// fail-fast cutover ([`RetryPolicy::fail_fast_after`]) was in force.
+    pub failed_fast: u64,
 }
 
 #[derive(Debug, Default)]
@@ -95,6 +133,7 @@ struct FaultStats {
     exhausted: AtomicU64,
     quarantined: AtomicU64,
     backoff_vticks: AtomicU64,
+    failed_fast: AtomicU64,
 }
 
 impl FaultStats {
@@ -105,6 +144,7 @@ impl FaultStats {
             exhausted: self.exhausted.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             backoff_vticks: self.backoff_vticks.load(Ordering::Relaxed),
+            failed_fast: self.failed_fast.load(Ordering::Relaxed),
         }
     }
 }
@@ -161,6 +201,10 @@ impl ResilientEvaluator {
 
 impl AccuracyEvaluator for ResilientEvaluator {
     fn evaluate(&self, arch: &ChildArch, rng: &mut dyn RngCore) -> Result<f32> {
+        // The adaptive budget is decided once per evaluation, from the
+        // fault history as of entry: a mid-evaluation cutover elsewhere
+        // never truncates a retry loop already underway.
+        let budget = self.policy.effective_retries(&self.stats.snapshot());
         let mut attempt = 0u32;
         loop {
             match self.inner.evaluate(arch, rng) {
@@ -174,7 +218,10 @@ impl AccuracyEvaluator for ResilientEvaluator {
                 }
                 Err(e) if e.is_transient() => {
                     self.stats.transient_faults.fetch_add(1, Ordering::Relaxed);
-                    if attempt >= self.policy.max_retries {
+                    if attempt >= budget {
+                        if budget < self.policy.max_retries {
+                            self.stats.failed_fast.fetch_add(1, Ordering::Relaxed);
+                        }
                         self.stats.exhausted.fetch_add(1, Ordering::Relaxed);
                         return Err(e);
                     }
@@ -368,6 +415,7 @@ mod tests {
             base_ticks: 3,
             multiplier: 2,
             max_ticks: 20,
+            fail_fast_after: 0,
         };
         assert_eq!(p.backoff(0), 3);
         assert_eq!(p.backoff(1), 6);
@@ -406,6 +454,59 @@ mod tests {
         assert_eq!(s.retries, 2);
         assert_eq!(s.exhausted, 1);
         assert_eq!(s.transient_faults, 3); // initial + 2 retries, all failed
+    }
+
+    #[test]
+    fn fail_fast_cutover_stops_retrying_a_persistently_flaky_oracle() {
+        // Always-transient oracle; two retries per evaluation; adaptive
+        // fail-fast engages once two evaluations have exhausted their
+        // budget.
+        let policy = RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::default()
+        }
+        .with_fail_fast_after(2);
+        let oracle = ResilientEvaluator::new(Box::new(Flaky::new(u32::MAX, true, 0.9)), policy);
+        let mut rng = StdRng::seed_from_u64(0);
+
+        // Evaluations 1 and 2: full budget — 2 retries each, then exhaust.
+        assert!(oracle.evaluate(&arch(), &mut rng).is_err());
+        assert!(oracle.evaluate(&arch(), &mut rng).is_err());
+        let s = oracle.fault_stats().unwrap();
+        assert_eq!(s.retries, 4);
+        assert_eq!(s.exhausted, 2);
+        assert_eq!(s.failed_fast, 0);
+
+        // Evaluation 3: the cutover is in force — the fault propagates on
+        // the first attempt, with no retries and no backoff charged.
+        let before = s.backoff_vticks;
+        let err = oracle.evaluate(&arch(), &mut rng).unwrap_err();
+        assert!(err.is_transient());
+        let s = oracle.fault_stats().unwrap();
+        assert_eq!(s.retries, 4, "fail-fast must not retry");
+        assert_eq!(s.exhausted, 3);
+        assert_eq!(s.failed_fast, 1);
+        assert_eq!(s.backoff_vticks, before, "fail-fast must not back off");
+        assert_eq!(s.transient_faults, 3 + 3 + 1);
+    }
+
+    #[test]
+    fn fail_fast_is_disabled_by_default() {
+        let stats = FaultStatsSnapshot {
+            exhausted: u64::MAX,
+            ..FaultStatsSnapshot::default()
+        };
+        let p = RetryPolicy::default();
+        assert_eq!(p.fail_fast_after, 0);
+        assert_eq!(p.effective_retries(&stats), p.max_retries);
+        // And below the threshold the full budget stays in force.
+        let p = p.with_fail_fast_after(5);
+        let calm = FaultStatsSnapshot {
+            exhausted: 4,
+            ..FaultStatsSnapshot::default()
+        };
+        assert_eq!(p.effective_retries(&calm), p.max_retries);
+        assert_eq!(p.effective_retries(&stats), 0);
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Configuration of search runs: mode, seeds, batching and checkpoint
+//! cadence.
+
+use std::path::{Path, PathBuf};
+
+use fnas_controller::reinforce::DEFAULT_LR;
+use fnas_exec::Executor;
+use fnas_fpga::device::FpgaCluster;
+use fnas_fpga::Millis;
+
+use crate::experiment::ExperimentPreset;
+
+/// Which search the loop runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SearchMode {
+    /// Accuracy-only NAS \[16\] (the baseline).
+    Nas,
+    /// FPGA-implementation aware search with the given latency budget.
+    Fnas {
+        /// The required latency `rL`.
+        required: Millis,
+    },
+}
+
+impl SearchMode {
+    /// The latency budget, if this is an FNAS run.
+    pub fn required_latency(&self) -> Option<Millis> {
+        match self {
+            SearchMode::Nas => None,
+            SearchMode::Fnas { required } => Some(*required),
+        }
+    }
+}
+
+/// Configuration of one search run.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    preset: ExperimentPreset,
+    mode: SearchMode,
+    seed: u64,
+    pub(super) baseline_decay: f32,
+    controller_lr: f32,
+    entropy_weight: f32,
+    prune: bool,
+    cluster: Option<FpgaCluster>,
+    required_accuracy: Option<f32>,
+}
+
+impl SearchConfig {
+    /// A NAS-baseline run over `preset`.
+    pub fn nas(preset: ExperimentPreset) -> Self {
+        SearchConfig {
+            preset,
+            mode: SearchMode::Nas,
+            seed: 0xF0A5,
+            baseline_decay: 0.8,
+            controller_lr: DEFAULT_LR,
+            entropy_weight: 0.02,
+            prune: true,
+            cluster: None,
+            required_accuracy: None,
+        }
+    }
+
+    /// An FNAS run over `preset` with a latency budget in milliseconds.
+    pub fn fnas(preset: ExperimentPreset, required_ms: f64) -> Self {
+        SearchConfig {
+            preset,
+            mode: SearchMode::Fnas {
+                required: Millis::new(required_ms),
+            },
+            seed: 0xF0A5,
+            baseline_decay: 0.8,
+            controller_lr: DEFAULT_LR,
+            entropy_weight: 0.02,
+            prune: true,
+            cluster: None,
+            required_accuracy: None,
+        }
+    }
+
+    /// Replaces the RNG seed (controller init and sampling).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the controller learning rate.
+    #[must_use]
+    pub fn with_controller_lr(mut self, lr: f32) -> Self {
+        self.controller_lr = lr;
+        self
+    }
+
+    /// Replaces the controller entropy bonus (0 disables it).
+    #[must_use]
+    pub fn with_entropy_weight(mut self, weight: f32) -> Self {
+        self.entropy_weight = weight;
+        self
+    }
+
+    /// The controller learning rate.
+    pub fn controller_lr(&self) -> f32 {
+        self.controller_lr
+    }
+
+    /// The controller entropy bonus weight.
+    pub fn entropy_weight(&self) -> f32 {
+        self.entropy_weight
+    }
+
+    /// Ablation: when `false`, latency-violating children still receive the
+    /// negative Eq. (1) reward but are *trained anyway* (and billed for it),
+    /// isolating how much of FNAS's speedup comes from early pruning.
+    #[must_use]
+    pub fn with_pruning(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Whether latency-violating children are pruned without training.
+    pub fn pruning(&self) -> bool {
+        self.prune
+    }
+
+    /// Targets a multi-FPGA cluster instead of the preset's single device
+    /// (the paper's schedule paradigm explicitly covers multi-FPGA systems
+    /// \[4, 14\]).
+    #[must_use]
+    pub fn on_cluster(mut self, cluster: FpgaCluster) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// The target platform: the explicit cluster if one was set, else the
+    /// preset's device.
+    pub fn platform(&self) -> FpgaCluster {
+        self.cluster
+            .clone()
+            .unwrap_or_else(|| FpgaCluster::single(self.preset.device().clone()))
+    }
+
+    /// Stops the search early once a (spec-satisfying) child reaches this
+    /// accuracy — the paper's `rA` termination criterion (§2: "the search
+    /// process will be stopped if … the accuracy of child network satisfies
+    /// the required accuracy rA").
+    #[must_use]
+    pub fn with_required_accuracy(mut self, accuracy: f32) -> Self {
+        self.required_accuracy = Some(accuracy);
+        self
+    }
+
+    /// The early-stop accuracy, if any.
+    pub fn required_accuracy(&self) -> Option<f32> {
+        self.required_accuracy
+    }
+
+    /// The experiment preset.
+    pub fn preset(&self) -> &ExperimentPreset {
+        &self.preset
+    }
+
+    /// The search mode.
+    pub fn mode(&self) -> SearchMode {
+        self.mode
+    }
+
+    /// The RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// How [`crate::search::Searcher::run_batched`] schedules child evaluation.
+///
+/// The worker count affects **only** wall-clock time, never results: batch
+/// composition is fixed by `batch_size`, every child's RNG stream is
+/// derived from its logical position via [`fnas_exec::derive_child_seed`],
+/// and all controller updates happen serially in sample order. Two runs
+/// with the same config and `batch_size` are bit-identical whether they
+/// use 0, 1 or 8 workers. Changing `batch_size` *does* change the
+/// trajectory (controller updates land between batches, not between
+/// trials).
+///
+/// # Examples
+///
+/// ```
+/// use fnas::search::BatchOptions;
+///
+/// let opts = BatchOptions::sequential().with_batch_size(4);
+/// assert_eq!(opts.workers(), 0);
+/// assert_eq!(opts.batch_size(), 4);
+/// let auto = BatchOptions::default();
+/// assert!(auto.batch_size() >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    workers: usize,
+    batch_size: usize,
+}
+
+impl BatchOptions {
+    /// The default children-per-episode batch size.
+    pub const DEFAULT_BATCH_SIZE: usize = 8;
+
+    /// Evaluate batches in the calling thread (no pool).
+    pub fn sequential() -> Self {
+        BatchOptions {
+            workers: 0,
+            batch_size: Self::DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    /// Replaces the worker count (`0` = in-thread, no spawning).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Replaces the children-per-episode batch size (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// The worker count (`0` = sequential).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Children sampled per episode.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+}
+
+impl Default for BatchOptions {
+    /// One worker per available core, default batch size.
+    fn default() -> Self {
+        BatchOptions {
+            workers: Executor::auto().workers(),
+            batch_size: Self::DEFAULT_BATCH_SIZE,
+        }
+    }
+}
+
+/// When and where [`crate::search::Searcher::run_batched_checkpointed`]
+/// snapshots the search to disk.
+///
+/// # Examples
+///
+/// ```
+/// use fnas::search::CheckpointOptions;
+///
+/// let opts = CheckpointOptions::new("/tmp/search.ckpt").with_every_episodes(4);
+/// assert_eq!(opts.every_episodes(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointOptions {
+    path: PathBuf,
+    every_episodes: u64,
+}
+
+impl CheckpointOptions {
+    /// Checkpoints to `path` after every episode.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointOptions {
+            path: path.into(),
+            every_episodes: 1,
+        }
+    }
+
+    /// Replaces the write cadence (clamped to ≥ 1 episode).
+    #[must_use]
+    pub fn with_every_episodes(mut self, every: u64) -> Self {
+        self.every_episodes = every.max(1);
+        self
+    }
+
+    /// Where the checkpoint file lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Episodes between checkpoint writes.
+    pub fn every_episodes(&self) -> u64 {
+        self.every_episodes
+    }
+}

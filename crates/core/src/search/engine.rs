@@ -1,0 +1,647 @@
+//! The search engine: sequential and batched loops over the
+//! [`ChildOracle`], plus checkpoint/resume plumbing.
+
+use fnas_controller::arch::ChildArch;
+use fnas_controller::reinforce::{EmaBaseline, ReinforceTrainer};
+use fnas_controller::rnn::PolicyRnn;
+use fnas_exec::{derive_child_seed, Executor, Phase, SearchTelemetry, TelemetrySnapshot};
+use fnas_fpga::Millis;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::checkpoint::SearchCheckpoint;
+use crate::cost::{CostModel, SearchCost};
+use crate::evaluator::{AccuracyEvaluator, SurrogateEvaluator, TrainedEvaluator};
+use crate::experiment::ExperimentPreset;
+use crate::latency::LatencyEvaluator;
+use crate::mapping::arch_to_network;
+use crate::resilience::FaultStatsSnapshot;
+use crate::{FnasError, Result};
+
+use super::config::{BatchOptions, CheckpointOptions, SearchConfig, SearchMode};
+use super::oracle::{CacheCounterBase, ChildOracle};
+use super::outcome::SearchOutcome;
+use super::trial::{failed_or_unbuildable, TrialRecord, UNBUILDABLE_REWARD};
+
+/// The reusable search engine: controller + child oracle + cost
+/// accounting.
+#[derive(Debug)]
+pub struct Searcher {
+    trainer: ReinforceTrainer,
+    oracle: ChildOracle,
+    baseline: EmaBaseline,
+    cost_model: CostModel,
+    rng: StdRng,
+}
+
+impl Searcher {
+    /// Builds a searcher that scores accuracy with the calibrated
+    /// surrogate — the configuration used by the paper-scale sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller construction and preset validation errors.
+    pub fn surrogate(config: &SearchConfig) -> Result<Self> {
+        let evaluator = Box::new(SurrogateEvaluator::new(config.preset().calibration()));
+        Searcher::with_evaluator(config, evaluator)
+    }
+
+    /// Builds a searcher that really trains each child on the preset's
+    /// (possibly scaled) synthetic dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset generation errors in addition to
+    /// [`Searcher::surrogate`]'s.
+    pub fn trained(config: &SearchConfig, batch_size: usize) -> Result<Self> {
+        let evaluator = Box::new(TrainedEvaluator::new(
+            config.preset().dataset(),
+            config.preset().epochs(),
+            batch_size,
+        )?);
+        Searcher::with_evaluator(config, evaluator)
+    }
+
+    /// Builds a searcher around any accuracy oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller construction and preset validation errors.
+    pub fn with_evaluator(
+        config: &SearchConfig,
+        evaluator: Box<dyn AccuracyEvaluator>,
+    ) -> Result<Self> {
+        config.preset().validate()?;
+        let mut rng = StdRng::seed_from_u64(config.seed());
+        // A mild entropy bonus (default) keeps the 60-trial controller from
+        // collapsing into a latency-violating mode before it has seen a
+        // single valid child (the paper's cluster-scale runs amortise this
+        // over far more reward evaluations).
+        let policy = PolicyRnn::new(config.preset().space(), &mut rng)?
+            .with_entropy_weight(config.entropy_weight());
+        let trainer = ReinforceTrainer::with_policy(policy, config.controller_lr());
+        let latency_eval =
+            LatencyEvaluator::on_cluster(config.platform(), config.preset().dataset().shape());
+        Ok(Searcher {
+            trainer,
+            oracle: ChildOracle::new(latency_eval, evaluator),
+            baseline: EmaBaseline::new(0.8),
+            cost_model: CostModel::new(
+                config.preset().epochs(),
+                config.preset().dataset().train_size(),
+            ),
+            rng,
+        })
+    }
+
+    /// Replaces the cost model (e.g. for throughput sensitivity studies).
+    #[must_use]
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// The unified child oracle (latency, accuracy, rewards, fault
+    /// stats) — exposed so callers can deploy the winner through the same
+    /// staged artifacts the search already paid for.
+    pub fn oracle(&self) -> &ChildOracle {
+        &self.oracle
+    }
+
+    /// Runs the configured search to completion.
+    ///
+    /// `rng` drives child-weight initialisation and sampling; the
+    /// controller itself was seeded by the config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller and oracle errors. Architectures that cannot
+    /// be built at all (kernel larger than the input) are not errors: they
+    /// receive a strongly negative reward, like latency violations.
+    pub fn run(&mut self, config: &SearchConfig, rng: &mut dyn RngCore) -> Result<SearchOutcome> {
+        let preset = config.preset();
+        let mode = config.mode();
+        self.baseline = EmaBaseline::new(config.baseline_decay);
+        let cache_base = self.oracle.cache_counters();
+        let mut trials = Vec::with_capacity(preset.trials());
+        let mut cost = SearchCost::default();
+        for index in 0..preset.trials() {
+            let sample = self.trainer.sample(&mut self.rng)?;
+            let arch = sample.arch().clone();
+            let record = match mode {
+                SearchMode::Fnas { required } => {
+                    cost.add(self.cost_model.analyzer_cost());
+                    match self.oracle.child_latency(&arch) {
+                        Err(_) => TrialRecord {
+                            index,
+                            arch,
+                            latency: None,
+                            accuracy: None,
+                            reward: UNBUILDABLE_REWARD,
+                            trained: false,
+                        },
+                        Ok(latency) if latency.get() > required.get() => {
+                            let reward = self.oracle.violation_reward(latency, required);
+                            if config.pruning() {
+                                TrialRecord {
+                                    index,
+                                    arch,
+                                    latency: Some(latency),
+                                    accuracy: None,
+                                    reward,
+                                    trained: false,
+                                }
+                            } else {
+                                // Ablation: pay for training even though the
+                                // child cannot be deployed.
+                                let accuracy = self.oracle.accuracy_direct(&arch, rng)?;
+                                cost.add(self.training_cost(&arch, preset)?);
+                                TrialRecord {
+                                    index,
+                                    arch,
+                                    latency: Some(latency),
+                                    accuracy: Some(accuracy),
+                                    reward,
+                                    trained: true,
+                                }
+                            }
+                        }
+                        Ok(latency) => {
+                            let accuracy = self.oracle.accuracy_direct(&arch, rng)?;
+                            let reward = self.oracle.valid_reward(
+                                accuracy,
+                                self.baseline.value(),
+                                latency,
+                                required,
+                            );
+                            self.baseline.observe(accuracy);
+                            cost.add(self.training_cost(&arch, preset)?);
+                            TrialRecord {
+                                index,
+                                arch,
+                                latency: Some(latency),
+                                accuracy: Some(accuracy),
+                                reward,
+                                trained: true,
+                            }
+                        }
+                    }
+                }
+                SearchMode::Nas => {
+                    match self.oracle.accuracy_direct(&arch, rng) {
+                        Err(FnasError::Nn(_)) | Err(FnasError::Fpga(_)) => TrialRecord {
+                            index,
+                            arch,
+                            latency: None,
+                            accuracy: None,
+                            reward: UNBUILDABLE_REWARD,
+                            trained: false,
+                        },
+                        Err(e) => return Err(e),
+                        Ok(accuracy) => {
+                            let reward = accuracy - self.baseline.value();
+                            self.baseline.observe(accuracy);
+                            cost.add(self.training_cost(&arch, preset)?);
+                            // Latency recorded post-hoc for reporting only —
+                            // plain NAS never consults the FPGA model, so no
+                            // analyzer cost is charged.
+                            let latency = self.oracle.child_latency(&arch).ok();
+                            TrialRecord {
+                                index,
+                                arch,
+                                latency,
+                                accuracy: Some(accuracy),
+                                reward,
+                                trained: true,
+                            }
+                        }
+                    }
+                }
+            };
+            self.trainer.update(&sample, record.reward)?;
+            let satisfied = config
+                .required_accuracy()
+                .is_some_and(|ra| record.accuracy.is_some_and(|a| a >= ra));
+            trials.push(record);
+            if satisfied {
+                break;
+            }
+        }
+        let telemetry = self.outcome_telemetry(&trials, trials.len() as u64, cache_base);
+        Ok(SearchOutcome {
+            mode,
+            trials,
+            cost,
+            telemetry,
+        })
+    }
+
+    /// Runs the configured search episode-by-episode, evaluating each
+    /// episode's children on an [`Executor`] pool.
+    ///
+    /// Per episode: sample `batch_size` children from the controller
+    /// (serial — the policy RNN consumes the run RNG), analyze their FPGA
+    /// latency in parallel, evaluate the survivors' accuracy in parallel,
+    /// then compute rewards and apply REINFORCE updates serially in sample
+    /// order. Each child's evaluation RNG is seeded from
+    /// [`derive_child_seed`]`(config.seed(), episode, child)`, so the
+    /// outcome is **bit-identical for any worker count** (see
+    /// [`BatchOptions`]).
+    ///
+    /// The accuracy phase is fault-isolated: a child evaluation that
+    /// panics, exhausts its retry budget (see
+    /// [`crate::resilience::ResilientEvaluator`]) or fails with any
+    /// non-fatal oracle error settles into a *failed* [`TrialRecord`] with
+    /// a strongly negative reward; its siblings — whose RNG streams are
+    /// independent by construction — are unaffected and the run continues.
+    ///
+    /// Note the trajectory legitimately differs from [`Searcher::run`]:
+    /// the sequential loop updates the controller after every child, the
+    /// batched loop between episodes (a standard REINFORCE minibatch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors and oracle *misconfigurations*
+    /// ([`FnasError::InvalidConfig`]); unbuildable architectures and
+    /// faulted evaluations are rewarded negatively, not errors.
+    pub fn run_batched(
+        &mut self,
+        config: &SearchConfig,
+        opts: &BatchOptions,
+    ) -> Result<SearchOutcome> {
+        self.run_batched_inner(config, opts, None, None)
+    }
+
+    /// [`Searcher::run_batched`], plus a checkpoint written to
+    /// `ckpt.path()` every `ckpt.every_episodes()` episodes (atomically —
+    /// a crash mid-write keeps the previous snapshot). Checkpointing does
+    /// not change results: the snapshot captures only logical state.
+    ///
+    /// # Errors
+    ///
+    /// [`Searcher::run_batched`]'s, plus [`FnasError::Io`] when a
+    /// checkpoint cannot be written.
+    pub fn run_batched_checkpointed(
+        &mut self,
+        config: &SearchConfig,
+        opts: &BatchOptions,
+        ckpt: &CheckpointOptions,
+    ) -> Result<SearchOutcome> {
+        self.run_batched_inner(config, opts, None, Some(ckpt))
+    }
+
+    /// Resumes a search from the checkpoint at `ckpt.path()` and runs it
+    /// to completion, continuing to checkpoint on the same cadence.
+    ///
+    /// The outcome is **bit-identical** to the uninterrupted run: the
+    /// checkpoint restores the controller (weights + optimiser moments),
+    /// the EMA baseline, the run RNG state, the trial history, the
+    /// accumulated cost and the logical telemetry counters, and per-child
+    /// RNG streams were never process state to begin with. Memo caches are
+    /// deliberately *not* restored — by the engine's cache-transparency
+    /// invariant they only affect wall-clock time (cache counters and
+    /// phase times are the one legitimate difference).
+    ///
+    /// # Errors
+    ///
+    /// [`FnasError::Io`] when the checkpoint cannot be read,
+    /// [`FnasError::InvalidConfig`] when it is corrupt or was written by a
+    /// run with a different seed, plus [`Searcher::run_batched`]'s errors.
+    pub fn resume_batched(
+        &mut self,
+        config: &SearchConfig,
+        opts: &BatchOptions,
+        ckpt: &CheckpointOptions,
+    ) -> Result<SearchOutcome> {
+        let state = SearchCheckpoint::load(ckpt.path())?;
+        self.run_batched_inner(config, opts, Some(state), Some(ckpt))
+    }
+
+    fn run_batched_inner(
+        &mut self,
+        config: &SearchConfig,
+        opts: &BatchOptions,
+        resume: Option<SearchCheckpoint>,
+        ckpt: Option<&CheckpointOptions>,
+    ) -> Result<SearchOutcome> {
+        let preset = config.preset();
+        let mode = config.mode();
+        let telemetry = SearchTelemetry::new();
+        let executor = Executor::with_workers(opts.workers());
+        let batch_size = opts.batch_size().max(1);
+        let cache_base = self.oracle.cache_counters();
+        let fault_base = self.oracle.fault_stats().unwrap_or_default();
+
+        let total = preset.trials();
+        let mut trials;
+        let mut cost;
+        let mut episode: u64;
+        match resume {
+            Some(state) => {
+                if state.run_seed != config.seed() {
+                    return Err(FnasError::InvalidConfig {
+                        what: format!(
+                            "checkpoint belongs to a run with seed {:#x}, config says {:#x}",
+                            state.run_seed,
+                            config.seed()
+                        ),
+                    });
+                }
+                self.trainer.import_state(&state.trainer)?;
+                self.baseline = EmaBaseline::restore(config.baseline_decay, state.baseline);
+                self.rng = StdRng::from_state(state.rng_state);
+                telemetry.restore_counters(&state.telemetry);
+                trials = state.trials;
+                cost = state.cost;
+                episode = state.next_episode;
+            }
+            None => {
+                self.baseline = EmaBaseline::new(config.baseline_decay);
+                trials = Vec::with_capacity(total);
+                cost = SearchCost::default();
+                episode = 0;
+            }
+        }
+        'search: while trials.len() < total {
+            let n = batch_size.min(total - trials.len());
+            let samples = {
+                let _t = telemetry.phase_timer(Phase::Sample);
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    batch.push(self.trainer.sample(&mut self.rng)?);
+                }
+                batch
+            };
+            telemetry.add_sampled(n as u64);
+            let archs: Vec<ChildArch> = samples.iter().map(|s| s.arch().clone()).collect();
+
+            let oracle = &self.oracle;
+            let latencies: Vec<Result<Millis>> = {
+                let _t = telemetry.phase_timer(Phase::Latency);
+                executor.map(&archs, |_, arch| oracle.child_latency(arch))
+            };
+
+            // Which children go to the accuracy oracle. FNAS: buildable and
+            // within spec (or the no-pruning ablation). NAS: everything.
+            let needs_accuracy: Vec<bool> = match mode {
+                SearchMode::Fnas { required } => latencies
+                    .iter()
+                    .map(|r| match r {
+                        Err(_) => false,
+                        Ok(l) => l.get() <= required.get() || !config.pruning(),
+                    })
+                    .collect(),
+                SearchMode::Nas => vec![true; archs.len()],
+            };
+            telemetry.add_train_calls(needs_accuracy.iter().filter(|&&b| b).count() as u64);
+
+            let run_seed = config.seed();
+            // `map_settle`: a panicking child evaluation settles into a
+            // per-slot fault instead of unwinding through the pool and
+            // killing the whole search.
+            let accuracies = {
+                let _t = telemetry.phase_timer(Phase::Accuracy);
+                executor.map_settle(&archs, |child, arch| {
+                    if !needs_accuracy[child] {
+                        return None;
+                    }
+                    let seed = derive_child_seed(run_seed, episode, child as u64);
+                    Some(oracle.accuracy_seeded(arch, seed))
+                })
+            };
+
+            // Serial epilogue, in sample order: rewards see the baseline as
+            // of the previous child, exactly like the sequential loop.
+            let _t = telemetry.phase_timer(Phase::Update);
+            for ((sample, latency), settled) in samples.into_iter().zip(latencies).zip(accuracies) {
+                let index = trials.len();
+                let arch = sample.arch().clone();
+                let accuracy: Option<Result<f32>> = match settled {
+                    Ok(acc) => acc,
+                    Err(fault) => {
+                        telemetry.add_panic_caught();
+                        Some(Err(FnasError::Oracle {
+                            what: fault.to_string(),
+                            transient: false,
+                        }))
+                    }
+                };
+                let record = match mode {
+                    SearchMode::Fnas { required } => {
+                        cost.add(self.cost_model.analyzer_cost());
+                        match latency {
+                            Err(_) => {
+                                telemetry.add_unbuildable();
+                                TrialRecord {
+                                    index,
+                                    arch,
+                                    latency: None,
+                                    accuracy: None,
+                                    reward: UNBUILDABLE_REWARD,
+                                    trained: false,
+                                }
+                            }
+                            Ok(l) if l.get() > required.get() => {
+                                let reward = self.oracle.violation_reward(l, required);
+                                if config.pruning() {
+                                    telemetry.add_pruned();
+                                    TrialRecord {
+                                        index,
+                                        arch,
+                                        latency: Some(l),
+                                        accuracy: None,
+                                        reward,
+                                        trained: false,
+                                    }
+                                } else {
+                                    match accuracy.expect("ablation evaluates violators") {
+                                        Ok(accuracy) => {
+                                            cost.add(self.training_cost(&arch, preset)?);
+                                            telemetry.add_trained();
+                                            TrialRecord {
+                                                index,
+                                                arch,
+                                                latency: Some(l),
+                                                accuracy: Some(accuracy),
+                                                reward,
+                                                trained: true,
+                                            }
+                                        }
+                                        Err(e) => failed_or_unbuildable(
+                                            e,
+                                            index,
+                                            arch,
+                                            Some(l),
+                                            &telemetry,
+                                        )?,
+                                    }
+                                }
+                            }
+                            Ok(l) => match accuracy.expect("valid child was evaluated") {
+                                Ok(accuracy) => {
+                                    let reward = self.oracle.valid_reward(
+                                        accuracy,
+                                        self.baseline.value(),
+                                        l,
+                                        required,
+                                    );
+                                    self.baseline.observe(accuracy);
+                                    cost.add(self.training_cost(&arch, preset)?);
+                                    telemetry.add_trained();
+                                    TrialRecord {
+                                        index,
+                                        arch,
+                                        latency: Some(l),
+                                        accuracy: Some(accuracy),
+                                        reward,
+                                        trained: true,
+                                    }
+                                }
+                                Err(e) => {
+                                    failed_or_unbuildable(e, index, arch, Some(l), &telemetry)?
+                                }
+                            },
+                        }
+                    }
+                    SearchMode::Nas => match accuracy.expect("every NAS child is evaluated") {
+                        Err(e) => failed_or_unbuildable(e, index, arch, None, &telemetry)?,
+                        Ok(accuracy) => {
+                            let reward = accuracy - self.baseline.value();
+                            self.baseline.observe(accuracy);
+                            cost.add(self.training_cost(&arch, preset)?);
+                            telemetry.add_trained();
+                            TrialRecord {
+                                index,
+                                arch,
+                                // Post-hoc latency for reporting only (zero
+                                // modelled cost), like the sequential loop.
+                                latency: latency.ok(),
+                                accuracy: Some(accuracy),
+                                reward,
+                                trained: true,
+                            }
+                        }
+                    },
+                };
+                self.trainer.update(&sample, record.reward)?;
+                let satisfied = config
+                    .required_accuracy()
+                    .is_some_and(|ra| record.accuracy.is_some_and(|a| a >= ra));
+                trials.push(record);
+                if satisfied {
+                    telemetry.add_episode();
+                    break 'search;
+                }
+            }
+            drop(_t);
+            telemetry.add_episode();
+            episode += 1;
+            if let Some(c) = ckpt {
+                if episode.is_multiple_of(c.every_episodes()) {
+                    telemetry.add_checkpoint_written();
+                    self.write_checkpoint(config, episode, &trials, &cost, &telemetry, fault_base)?
+                        .save(c.path())?;
+                }
+            }
+        }
+
+        self.oracle.charge_cache_deltas(&telemetry, cache_base);
+        if let Some(stats) = self.oracle.fault_stats() {
+            telemetry.add_retries(stats.retries - fault_base.retries);
+            telemetry.add_quarantined(stats.quarantined - fault_base.quarantined);
+        }
+        Ok(SearchOutcome {
+            mode,
+            trials,
+            cost,
+            telemetry: telemetry.snapshot(),
+        })
+    }
+
+    /// Assembles the checkpoint for the state at the start of episode
+    /// `next_episode`.
+    fn write_checkpoint(
+        &mut self,
+        config: &SearchConfig,
+        next_episode: u64,
+        trials: &[TrialRecord],
+        cost: &SearchCost,
+        telemetry: &SearchTelemetry,
+        fault_base: FaultStatsSnapshot,
+    ) -> Result<SearchCheckpoint> {
+        Ok(SearchCheckpoint {
+            run_seed: config.seed(),
+            next_episode,
+            rng_state: self.rng.state(),
+            baseline: self.baseline.raw_value(),
+            cost: *cost,
+            trainer: self.trainer.export_state(),
+            telemetry: self.logical_counters(telemetry, fault_base),
+            trials: trials.to_vec(),
+        })
+    }
+
+    /// The process-independent slice of the live telemetry: logical
+    /// counters (including fault deltas accrued by the oracle so far),
+    /// with cache traffic, analyzer calls and wall times zeroed — those
+    /// describe *this* process and must not be replayed into a resumed
+    /// run's accounting.
+    fn logical_counters(
+        &self,
+        telemetry: &SearchTelemetry,
+        fault_base: FaultStatsSnapshot,
+    ) -> TelemetrySnapshot {
+        let live = telemetry.snapshot();
+        let mut s = TelemetrySnapshot {
+            children_sampled: live.children_sampled,
+            children_pruned: live.children_pruned,
+            children_trained: live.children_trained,
+            children_unbuildable: live.children_unbuildable,
+            children_failed: live.children_failed,
+            episodes: live.episodes,
+            panics_caught: live.panics_caught,
+            retries: live.retries,
+            quarantined: live.quarantined,
+            checkpoints_written: live.checkpoints_written,
+            train_calls: live.train_calls,
+            ..TelemetrySnapshot::default()
+        };
+        if let Some(f) = self.oracle.fault_stats() {
+            s.retries += f.retries - fault_base.retries;
+            s.quarantined += f.quarantined - fault_base.quarantined;
+        }
+        s
+    }
+
+    /// Builds the sequential loop's snapshot from its trial records (it
+    /// has no instrumented phases, so the timers stay zero).
+    fn outcome_telemetry(
+        &self,
+        trials: &[TrialRecord],
+        episodes: u64,
+        cache_base: CacheCounterBase,
+    ) -> TelemetrySnapshot {
+        let telemetry = SearchTelemetry::new();
+        telemetry.add_sampled(trials.len() as u64);
+        for t in trials {
+            if t.trained {
+                telemetry.add_trained();
+                telemetry.add_train_calls(1);
+            } else if t.latency.is_some() {
+                telemetry.add_pruned();
+            } else {
+                telemetry.add_unbuildable();
+            }
+        }
+        for _ in 0..episodes {
+            telemetry.add_episode();
+        }
+        self.oracle.charge_cache_deltas(&telemetry, cache_base);
+        telemetry.snapshot()
+    }
+
+    fn training_cost(&self, arch: &ChildArch, preset: &ExperimentPreset) -> Result<SearchCost> {
+        let network = arch_to_network(arch, preset.dataset().shape())?;
+        Ok(self.cost_model.training_cost(&network))
+    }
+}

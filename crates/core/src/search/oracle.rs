@@ -1,0 +1,148 @@
+//! The unified child oracle: one interface bundling everything the engine
+//! asks about a sampled architecture.
+//!
+//! Before the decomposition, [`crate::search::Searcher`] hand-wired a
+//! [`LatencyEvaluator`], a boxed [`AccuracyEvaluator`] and a separate
+//! accuracy memo cache, and each loop re-implemented the cache/counter
+//! bookkeeping. [`ChildOracle`] owns all three and exposes the four
+//! answers the engine needs — latency (staged/memoised), accuracy
+//! (memoised when the oracle is deterministic), rewards, and fault
+//! statistics — behind `&self`, so the batch engine can hand one reference
+//! to every worker.
+
+use fnas_controller::arch::ChildArch;
+use fnas_exec::{SearchTelemetry, ShardedCache};
+use fnas_fpga::Millis;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::evaluator::AccuracyEvaluator;
+use crate::latency::LatencyEvaluator;
+use crate::resilience::FaultStatsSnapshot;
+use crate::Result;
+
+/// Cache-counter baseline captured at the start of a run; per-run
+/// telemetry is the delta against it (the oracle's caches outlive
+/// individual runs).
+#[derive(Debug, Clone, Copy)]
+pub struct CacheCounterBase {
+    latency_hits: u64,
+    latency_misses: u64,
+    analyzer_calls: u64,
+    accuracy_hits: u64,
+    accuracy_misses: u64,
+}
+
+/// Latency + accuracy + reward + fault stats for one child architecture.
+#[derive(Debug)]
+pub struct ChildOracle {
+    latency: LatencyEvaluator,
+    evaluator: Box<dyn AccuracyEvaluator>,
+    // Consulted only when the oracle is deterministic (a pure function of
+    // the architecture): memoising a seed-dependent oracle would make a
+    // child's recorded accuracy depend on which earlier trial happened to
+    // fill the cache.
+    accuracy_cache: ShardedCache<ChildArch, f32>,
+}
+
+impl ChildOracle {
+    /// Bundles a latency evaluator and an accuracy oracle.
+    pub fn new(latency: LatencyEvaluator, evaluator: Box<dyn AccuracyEvaluator>) -> Self {
+        ChildOracle {
+            latency,
+            evaluator,
+            accuracy_cache: ShardedCache::new(),
+        }
+    }
+
+    /// The staged latency evaluator (exposed for deployment and benches).
+    pub fn latency_eval(&self) -> &LatencyEvaluator {
+        &self.latency
+    }
+
+    /// Analytic FPGA latency of `arch` (Eq. 5), memoised at stage
+    /// granularity with single-flight dedup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and design errors (the architecture is not
+    /// buildable on the platform).
+    pub fn child_latency(&self, arch: &ChildArch) -> Result<Millis> {
+        self.latency.latency(arch)
+    }
+
+    /// Accuracy of `arch` with an explicit RNG, bypassing the memo cache —
+    /// the sequential loop's path, where the caller threads one RNG
+    /// through every trial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle errors.
+    pub fn accuracy_direct(&self, arch: &ChildArch, rng: &mut dyn RngCore) -> Result<f32> {
+        self.evaluator.evaluate(arch, rng)
+    }
+
+    /// Accuracy of `arch` for a batched child with its derived seed:
+    /// memoised when the oracle declares itself deterministic, evaluated
+    /// fresh on a per-child RNG stream otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle errors (errors are never cached).
+    pub fn accuracy_seeded(&self, arch: &ChildArch, seed: u64) -> Result<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if self.evaluator.deterministic() {
+            self.accuracy_cache
+                .get_or_try_insert_with(arch, || self.evaluator.evaluate(arch, &mut rng))
+        } else {
+            self.evaluator.evaluate(arch, &mut rng)
+        }
+    }
+
+    /// Reward for a spec-satisfying trained child (Eq. 1's positive
+    /// branch).
+    pub fn valid_reward(
+        &self,
+        accuracy: f32,
+        baseline: f32,
+        latency: Millis,
+        required: Millis,
+    ) -> f32 {
+        crate::reward::valid_reward(accuracy, baseline, latency, required)
+    }
+
+    /// Reward for a latency-violating child (Eq. 1's negative branch).
+    pub fn violation_reward(&self, latency: Millis, required: Millis) -> f32 {
+        crate::reward::violation_reward(latency, required)
+    }
+
+    /// Fault statistics accrued by the accuracy oracle, when it tracks
+    /// them (see [`crate::resilience::ResilientEvaluator`]).
+    pub fn fault_stats(&self) -> Option<FaultStatsSnapshot> {
+        self.evaluator.fault_stats()
+    }
+
+    /// Captures the current cache counters as a per-run baseline.
+    pub(super) fn cache_counters(&self) -> CacheCounterBase {
+        CacheCounterBase {
+            latency_hits: self.latency.cache_hits(),
+            latency_misses: self.latency.cache_misses(),
+            analyzer_calls: self.latency.analyzer_calls(),
+            accuracy_hits: self.accuracy_cache.hits(),
+            accuracy_misses: self.accuracy_cache.misses(),
+        }
+    }
+
+    /// Charges the cache traffic since `base` into `telemetry`.
+    pub(super) fn charge_cache_deltas(&self, telemetry: &SearchTelemetry, base: CacheCounterBase) {
+        telemetry.add_latency_cache(
+            self.latency.cache_hits() - base.latency_hits,
+            self.latency.cache_misses() - base.latency_misses,
+        );
+        telemetry.add_analyzer_calls(self.latency.analyzer_calls() - base.analyzer_calls);
+        telemetry.add_accuracy_cache(
+            self.accuracy_cache.hits() - base.accuracy_hits,
+            self.accuracy_cache.misses() - base.accuracy_misses,
+        );
+    }
+}

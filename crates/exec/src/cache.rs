@@ -1,11 +1,20 @@
 //! The lock-striped memo cache.
 //!
 //! Child-evaluation memoisation (architecture → latency, architecture →
-//! accuracy) is read- and write-heavy from every worker at once, so a
-//! single `Mutex<HashMap>` would serialise the pool. [`ShardedCache`]
-//! stripes the map over N independently locked shards (16 by default,
-//! selected by key hash), which bounds contention to simultaneous lookups
-//! of keys in the *same* shard.
+//! accuracy, architecture → hardware artifacts) is read- and write-heavy
+//! from every worker at once, so a single `Mutex<HashMap>` would serialise
+//! the pool. [`ShardedCache`] stripes the map over N independently locked
+//! shards (16 by default, selected by key hash), which bounds contention
+//! to simultaneous lookups of keys in the *same* shard.
+//!
+//! Lookups through [`ShardedCache::get_or_try_insert_with`] are
+//! **single-flight**: the first caller of an uncached key becomes the
+//! *leader* and runs the builder (outside the shard lock), while
+//! concurrent callers of the same key park on a condition variable and
+//! receive the leader's value instead of duplicating the work. This
+//! matters for the FNAS engine because the builder is the four-stage FNAS
+//! tool — racing first lookups used to run the analyzer up to once per
+//! worker.
 //!
 //! Hit/miss counters are monotonic `AtomicU64`s — wide enough that they
 //! cannot realistically overflow (2⁶⁴ lookups), unlike the `usize`
@@ -15,12 +24,61 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
-/// A concurrent memo cache striped over independently locked shards.
+/// One cache slot: either a computed value or a computation in flight.
+#[derive(Debug)]
+enum Slot<V> {
+    /// The value is ready; lookups clone it out.
+    Ready(V),
+    /// A leader is computing the value; followers park on the flight.
+    InFlight(Arc<Flight<V>>),
+}
+
+/// Rendezvous point between the single-flight leader and its followers.
+///
+/// `result` stays `None` while the leader computes; the leader publishes
+/// `Some(Ok(value))` on success or `Some(Err(()))` on failure (errors are
+/// not cached, so followers retry — and one of them becomes the next
+/// leader).
+#[derive(Debug)]
+struct Flight<V> {
+    result: Mutex<Option<Result<V, ()>>>,
+    done: Condvar,
+}
+
+impl<V: Clone> Flight<V> {
+    fn new() -> Self {
+        Flight {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Publishes the leader's outcome and wakes every parked follower.
+    fn publish(&self, outcome: Result<V, ()>) {
+        let mut slot = self.result.lock().expect("flight poisoned");
+        *slot = Some(outcome);
+        self.done.notify_all();
+    }
+
+    /// Parks until the leader publishes, then returns its outcome.
+    fn wait(&self) -> Result<V, ()> {
+        let mut slot = self.result.lock().expect("flight poisoned");
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            slot = self.done.wait(slot).expect("flight poisoned");
+        }
+    }
+}
+
+/// A concurrent memo cache striped over independently locked shards, with
+/// single-flight deduplication of concurrent misses.
 ///
 /// Values are cloned out of the cache; keep them cheap to clone (the FNAS
-/// engine stores `Millis` / `f32`).
+/// engine stores `Millis` / `f32` / `Arc`-wrapped artifacts).
 ///
 /// # Examples
 ///
@@ -35,7 +93,7 @@ use std::sync::Mutex;
 /// ```
 #[derive(Debug)]
 pub struct ShardedCache<K, V> {
-    shards: Vec<Mutex<HashMap<K, V>>>,
+    shards: Vec<Mutex<HashMap<K, Slot<V>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -68,7 +126,7 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
         self.shards.len()
     }
 
-    fn shard_for(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+    fn shard_for(&self, key: &K) -> &Mutex<HashMap<K, Slot<V>>> {
         // DefaultHasher with the default keys is deterministic within a
         // build, which is all shard selection needs.
         let mut h = DefaultHasher::new();
@@ -76,14 +134,20 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
-    /// Looks up `key`, recording a hit or miss.
+    /// Looks up `key`, recording a hit or miss. Non-blocking: a key whose
+    /// value is still being computed by a single-flight leader counts as a
+    /// miss (callers that want to share the in-flight result should use
+    /// [`ShardedCache::get_or_try_insert_with`]).
     pub fn get(&self, key: &K) -> Option<V> {
-        let found = self
+        let found = match self
             .shard_for(key)
             .lock()
             .expect("cache shard poisoned")
             .get(key)
-            .cloned();
+        {
+            Some(Slot::Ready(v)) => Some(v.clone()),
+            Some(Slot::InFlight(_)) | None => None,
+        };
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -92,22 +156,34 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
     }
 
     /// Inserts (or overwrites) an entry. Does not touch the counters.
+    ///
+    /// Overwriting an in-flight slot does not cancel the leader: it will
+    /// finish its computation, publish to its followers, and (on success)
+    /// re-insert its — by determinism, identical — value.
     pub fn insert(&self, key: K, value: V) {
         self.shard_for(&key)
             .lock()
             .expect("cache shard poisoned")
-            .insert(key, value);
+            .insert(key, Slot::Ready(value));
     }
 
     /// Returns the cached value for `key`, or computes it with `f` and
     /// caches the result. The computation runs **outside** the shard lock,
-    /// so a slow analyzer call never blocks other keys in the same shard;
-    /// two workers racing on the same key may both compute, with one
-    /// (identical, by determinism of `f`) result winning.
+    /// so a slow analyzer call never blocks other keys in the same shard,
+    /// and is **single-flight**: concurrent callers of the same uncached
+    /// key park until the first caller (the leader) publishes its result,
+    /// so `f` runs exactly once per key however many workers race on it.
+    ///
+    /// Counter contract: every call records exactly one lookup — a miss
+    /// for the leader, a hit for followers that received the leader's
+    /// value (they did not compute) and for callers finding a ready entry.
     ///
     /// # Errors
     ///
-    /// Propagates `f`'s error; errors are not cached.
+    /// Propagates `f`'s error; errors are not cached. Followers parked on
+    /// a failing leader do not share its error — one of them becomes the
+    /// next leader and recomputes (`f` is typically deterministic, so they
+    /// fail the same way, each with its own error value).
     pub fn get_or_try_insert_with<E>(
         &self,
         key: &K,
@@ -116,33 +192,98 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
     where
         K: Clone,
     {
-        if let Some(v) = self.get(key) {
-            return Ok(v);
+        loop {
+            let flight = {
+                let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+                match shard.get(key) {
+                    Some(Slot::Ready(v)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(v.clone());
+                    }
+                    Some(Slot::InFlight(flight)) => Some(Arc::clone(flight)),
+                    None => {
+                        // Become the leader for this key.
+                        let flight = Arc::new(Flight::new());
+                        shard.insert(key.clone(), Slot::InFlight(Arc::clone(&flight)));
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        drop(shard);
+                        return self.lead(key, flight, f);
+                    }
+                }
+            };
+            if let Some(flight) = flight {
+                if let Ok(v) = flight.wait() {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(v);
+                }
+                // The leader failed; loop and contend to become the next
+                // leader (the failed leader removed the in-flight slot).
+            }
         }
-        let v = f()?;
-        self.insert(key.clone(), v.clone());
-        Ok(v)
     }
 
-    /// Total entries across all shards.
+    /// Runs the leader's computation for `key` and publishes the outcome
+    /// to any parked followers.
+    fn lead<E>(
+        &self,
+        key: &K,
+        flight: Arc<Flight<V>>,
+        f: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E>
+    where
+        K: Clone,
+    {
+        match f() {
+            Ok(v) => {
+                let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+                shard.insert(key.clone(), Slot::Ready(v.clone()));
+                drop(shard);
+                flight.publish(Ok(v.clone()));
+                Ok(v)
+            }
+            Err(e) => {
+                let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+                // Remove only our own in-flight slot: a concurrent
+                // `insert` may have published a ready value meanwhile.
+                if let Some(Slot::InFlight(current)) = shard.get(key) {
+                    if Arc::ptr_eq(current, &flight) {
+                        shard.remove(key);
+                    }
+                }
+                drop(shard);
+                flight.publish(Err(()));
+                Err(e)
+            }
+        }
+    }
+
+    /// Total *ready* entries across all shards (in-flight computations are
+    /// not counted until they complete).
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Ready(_)))
+                    .count()
+            })
             .sum()
     }
 
-    /// `true` when no shard holds an entry.
+    /// `true` when no shard holds a ready entry.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Monotonic hit count (lookups that found an entry).
+    /// Monotonic hit count (lookups that found or were handed an entry).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Monotonic miss count (lookups that found nothing).
+    /// Monotonic miss count (lookups that found nothing and either
+    /// returned `None` or computed the value as the leader).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
@@ -158,10 +299,14 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
         }
     }
 
-    /// Drops every entry (counters are preserved).
+    /// Drops every ready entry (counters are preserved). In-flight
+    /// computations are left to complete and re-insert their value.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").clear();
+            shard
+                .lock()
+                .expect("cache shard poisoned")
+                .retain(|_, slot| matches!(slot, Slot::InFlight(_)));
         }
     }
 }
@@ -176,6 +321,7 @@ impl<K: Hash + Eq, V: Clone> Default for ShardedCache<K, V> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+    use std::sync::Barrier;
 
     #[test]
     fn get_insert_roundtrip() {
@@ -250,6 +396,102 @@ mod tests {
         // Every op performs exactly one counted lookup: 8 threads × 500
         // ops + the 64 verification gets.
         assert_eq!(cache.hits() + cache.misses(), 8 * 500 + 64);
+    }
+
+    #[test]
+    fn single_flight_runs_the_builder_once_per_key() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let builds = AtomicU64::new(0);
+        let threads = 8;
+        let barrier = Barrier::new(threads);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let cache = &cache;
+                let builds = &builds;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    // All workers reach the lookup together so the race on
+                    // the uncached key actually happens.
+                    barrier.wait();
+                    let v: Result<u64, ()> = cache.get_or_try_insert_with(&42, || {
+                        builds.fetch_add(1, Ordering::Relaxed);
+                        // Hold the flight open long enough for followers
+                        // to park rather than slip past the race window.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok(4242)
+                    });
+                    assert_eq!(v, Ok(4242));
+                });
+            }
+        });
+        assert_eq!(
+            builds.load(Ordering::Relaxed),
+            1,
+            "racing first lookups must share one build"
+        );
+        // Exactly one leader missed; every follower was handed the value.
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), threads as u64 - 1);
+    }
+
+    #[test]
+    fn failed_leader_hands_over_to_a_follower() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let attempts = AtomicU64::new(0);
+        let threads = 4;
+        let barrier = Barrier::new(threads);
+        let successes = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let cache = &cache;
+                let attempts = &attempts;
+                let barrier = &barrier;
+                let successes = &successes;
+                s.spawn(move || {
+                    barrier.wait();
+                    let r: Result<u64, &str> = cache.get_or_try_insert_with(&7, || {
+                        let n = attempts.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        // The first leader fails; whoever takes over next
+                        // succeeds.
+                        if n == 0 {
+                            Err("first leader fails")
+                        } else {
+                            Ok(70)
+                        }
+                    });
+                    if r.is_ok() {
+                        successes.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        // At most one caller saw the error (the first leader); everyone
+        // else eventually received the recomputed value.
+        assert!(successes.load(Ordering::Relaxed) >= threads as u64 - 1);
+        assert_eq!(cache.get(&7), Some(70));
+    }
+
+    #[test]
+    fn get_does_not_block_on_an_in_flight_key() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let entered = Barrier::new(2);
+        std::thread::scope(|s| {
+            let cache = &cache;
+            let entered = &entered;
+            s.spawn(move || {
+                let _: Result<u64, ()> = cache.get_or_try_insert_with(&5, || {
+                    entered.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    Ok(50)
+                });
+            });
+            entered.wait();
+            // The leader is mid-build: a plain get must return immediately
+            // (miss), not park.
+            assert_eq!(cache.get(&5), None);
+        });
+        assert_eq!(cache.get(&5), Some(50));
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //!   [`TaskFault`]s instead of killing the batch;
 //! * [`cache`] — a lock-striped memo cache ([`ShardedCache`]) shared
 //!   across workers and across search episodes, with overflow-safe atomic
-//!   hit/miss counters;
+//!   hit/miss counters and **single-flight** fallible inserts: concurrent
+//!   misses on one key elect a leader to run the builder exactly once
+//!   while followers wait and share the value;
 //! * [`telemetry`] — atomic counters and monotonic phase timers
 //!   ([`SearchTelemetry`]) snapshotting into a plain
 //!   [`TelemetrySnapshot`] for reports;

@@ -1,0 +1,273 @@
+//! Staged hardware artifacts and pluggable latency backends.
+//!
+//! The four-stage FNAS tool is a pipeline — **FNAS-Design**
+//! ([`PipelineDesign`]) → **FNAS-GG** ([`TileTaskGraph`]) → **FNAS-Sched**
+//! ([`Schedule`]) → **FNAS-Analyzer** / simulator — but most consumers only
+//! need a prefix of it: the analytic latency model (Eqs. 2–5) reads the
+//! design alone, while cycle-accurate simulation and deployment reports
+//! need the graph and schedule too. [`HwArtifacts`] records the pipeline's
+//! stages for one architecture so each stage is produced *at most once*
+//! however many models, reports, or benches consume it: the design is
+//! built eagerly (it is the buildability check), and the scheduled stage
+//! (graph + schedule) is materialised lazily on first use and shared from
+//! then on.
+//!
+//! [`LatencyModel`] abstracts the backend choice — [`Analytic`] for the
+//! closed-form cost used in the inner search loop, [`Simulated`] for the
+//! cycle-accurate validator — so callers select fidelity per call instead
+//! of via parallel ad-hoc methods.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::analyzer::{analyze, AnalyzerReport};
+use crate::design::PipelineDesign;
+use crate::device::FpgaCluster;
+use crate::layer::Network;
+use crate::sched::{FnasScheduler, Schedule};
+use crate::sim::{simulate_design, SimReport};
+use crate::taskgraph::TileTaskGraph;
+use crate::units::Millis;
+use crate::Result;
+
+/// The scheduled stage of the pipeline: the tile task graph (FNAS-GG) and
+/// the flexible schedule over it (FNAS-Sched), always produced together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scheduled {
+    graph: TileTaskGraph,
+    schedule: Schedule,
+}
+
+impl Scheduled {
+    /// The tile-based task graph.
+    pub fn graph(&self) -> &TileTaskGraph {
+        &self.graph
+    }
+
+    /// The flexible schedule over [`Scheduled::graph`].
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+}
+
+/// The staged hardware-evaluation record for one architecture.
+///
+/// Holds the eagerly built [`PipelineDesign`] and lazily materialises the
+/// [`Scheduled`] stage behind a [`OnceLock`], so sharing one
+/// `Arc<HwArtifacts>` between the analytic latency path, the simulator,
+/// and deployment reporting runs each pipeline stage at most once.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_fpga::artifacts::{Analytic, HwArtifacts, LatencyModel, Simulated};
+/// use fnas_fpga::device::{FpgaCluster, FpgaDevice};
+/// use fnas_fpga::layer::{ConvShape, Network};
+///
+/// # fn main() -> Result<(), fnas_fpga::FpgaError> {
+/// let net = Network::new(vec![
+///     ConvShape::square(3, 16, 32, 3)?,
+///     ConvShape::square(16, 32, 32, 3)?,
+/// ])?;
+/// let art = HwArtifacts::build(&net, &FpgaCluster::single(FpgaDevice::pynq()))?;
+/// let fast = Analytic.latency(&art)?;
+/// let exact = Simulated.latency(&art)?;
+/// assert!(fast.get() > 0.0 && exact.get() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HwArtifacts {
+    design: PipelineDesign,
+    scheduled: OnceLock<Result<Arc<Scheduled>>>,
+}
+
+impl HwArtifacts {
+    /// Runs FNAS-Design for `network` on `cluster` and wraps the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates design-generation failures (the architecture is not
+    /// buildable on the cluster).
+    pub fn build(network: &Network, cluster: &FpgaCluster) -> Result<Self> {
+        Ok(HwArtifacts::from_design(
+            PipelineDesign::generate_on_cluster(network, cluster)?,
+        ))
+    }
+
+    /// Wraps an already-generated design (stage 1 done elsewhere).
+    pub fn from_design(design: PipelineDesign) -> Self {
+        HwArtifacts {
+            design,
+            scheduled: OnceLock::new(),
+        }
+    }
+
+    /// The FNAS-Design output (always available).
+    pub fn design(&self) -> &PipelineDesign {
+        &self.design
+    }
+
+    /// `true` when the scheduled stage has already been materialised.
+    pub fn is_scheduled(&self) -> bool {
+        self.scheduled.get().is_some()
+    }
+
+    /// The scheduled stage (graph + schedule), built on first call and
+    /// shared by every later one — including across threads: concurrent
+    /// first calls race benignly inside the [`OnceLock`], and exactly one
+    /// result is kept.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-generation failures; the failure is cached like a
+    /// success, so repeated calls do not retry a structurally broken
+    /// design.
+    pub fn scheduled(&self) -> Result<Arc<Scheduled>> {
+        self.scheduled
+            .get_or_init(|| {
+                let graph = TileTaskGraph::from_design(&self.design)?;
+                let schedule = FnasScheduler::new().schedule(&graph);
+                Ok(Arc::new(Scheduled { graph, schedule }))
+            })
+            .clone()
+    }
+
+    /// FNAS-Analyzer (Eqs. 2–5) over the design stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analyzer failures.
+    pub fn analyze(&self) -> Result<AnalyzerReport> {
+        analyze(&self.design)
+    }
+
+    /// Cycle-accurate simulation of the scheduled stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-generation or simulation failures.
+    pub fn simulate(&self) -> Result<SimReport> {
+        let scheduled = self.scheduled()?;
+        simulate_design(&self.design, &scheduled.graph, &scheduled.schedule)
+    }
+}
+
+/// A latency backend over staged [`HwArtifacts`].
+///
+/// Implementations declare which pipeline stages they consume by what they
+/// touch: [`Analytic`] reads only the design, [`Simulated`] forces the
+/// scheduled stage. The [`LatencyModel::name`] doubles as the memoisation
+/// key suffix for callers that cache per-backend results.
+pub trait LatencyModel: Send + Sync {
+    /// End-to-end latency of one inference under this backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures of the pipeline stages the backend consumes.
+    fn latency(&self, artifacts: &HwArtifacts) -> Result<Millis>;
+
+    /// A stable, unique backend identifier (e.g. `"analytic"`).
+    fn name(&self) -> &'static str;
+}
+
+/// The closed-form FNAS-Analyzer backend (Eqs. 2–5). Cheap: consumes only
+/// the design stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Analytic;
+
+impl LatencyModel for Analytic {
+    fn latency(&self, artifacts: &HwArtifacts) -> Result<Millis> {
+        Ok(artifacts.analyze()?.latency)
+    }
+
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+}
+
+/// The cycle-accurate discrete-event backend. Forces the scheduled stage
+/// (graph + schedule) and simulates it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Simulated;
+
+impl LatencyModel for Simulated {
+    fn latency(&self, artifacts: &HwArtifacts) -> Result<Millis> {
+        Ok(artifacts.simulate()?.latency)
+    }
+
+    fn name(&self) -> &'static str {
+        "simulated"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::FpgaDevice;
+    use crate::layer::ConvShape;
+
+    fn tiny_network() -> Network {
+        Network::new(vec![
+            ConvShape::square(3, 8, 16, 3).unwrap(),
+            ConvShape::square(8, 16, 16, 3).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn artifacts() -> HwArtifacts {
+        HwArtifacts::build(&tiny_network(), &FpgaCluster::single(FpgaDevice::pynq())).unwrap()
+    }
+
+    #[test]
+    fn scheduled_stage_is_lazy_and_shared() {
+        let art = artifacts();
+        assert!(!art.is_scheduled());
+        let first = art.scheduled().unwrap();
+        assert!(art.is_scheduled());
+        let second = art.scheduled().unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "stage must be built once");
+        assert_eq!(first.graph().num_layers(), 2);
+    }
+
+    #[test]
+    fn backends_match_direct_calls() {
+        let art = artifacts();
+        let analytic = Analytic.latency(&art).unwrap();
+        assert_eq!(analytic, analyze(art.design()).unwrap().latency);
+
+        let simulated = Simulated.latency(&art).unwrap();
+        let sched = art.scheduled().unwrap();
+        let direct = simulate_design(art.design(), sched.graph(), sched.schedule()).unwrap();
+        assert_eq!(simulated, direct.latency);
+    }
+
+    #[test]
+    fn backend_names_are_distinct() {
+        assert_eq!(Analytic.name(), "analytic");
+        assert_eq!(Simulated.name(), "simulated");
+        assert_ne!(Analytic.name(), Simulated.name());
+    }
+
+    #[test]
+    fn analytic_does_not_force_the_scheduled_stage() {
+        let art = artifacts();
+        Analytic.latency(&art).unwrap();
+        assert!(!art.is_scheduled(), "Eqs. 2–5 need only the design");
+        Simulated.latency(&art).unwrap();
+        assert!(art.is_scheduled());
+    }
+
+    #[test]
+    fn concurrent_scheduling_converges_to_one_stage() {
+        let art = artifacts();
+        let ptrs: Vec<_> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| Arc::as_ptr(&art.scheduled().unwrap()) as usize))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]));
+    }
+}

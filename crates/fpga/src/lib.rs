@@ -16,6 +16,9 @@
 //! * [`sched`] — **FNAS-Sched**: the three-step flexible schedule with
 //!   alternating OFM/IFM reuse, plus the *fixed scheduling* baseline;
 //! * [`analyzer`] — **FNAS-Analyzer**: closed-form latency (Eqs. 2–5);
+//! * [`artifacts`] — the staged pipeline record ([`artifacts::HwArtifacts`]:
+//!   design → graph → schedule, each built at most once) and the
+//!   [`artifacts::LatencyModel`] backends (`Analytic` / `Simulated`);
 //! * [`sim`] — a discrete-event simulator executing a schedule on the
 //!   pipeline of processing elements, optionally across multiple FPGAs,
 //!   which stands in for the paper's physical boards (see DESIGN.md §2);
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod artifacts;
 pub mod design;
 pub mod device;
 mod error;

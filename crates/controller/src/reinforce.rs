@@ -172,6 +172,27 @@ impl ReinforceTrainer {
         if batch.is_empty() {
             return Ok(());
         }
+        self.accumulate_episode(batch)?;
+        self.apply_step()
+    }
+
+    /// Gradient **accumulation** — the pure half of an update: folds one
+    /// episode's averaged REINFORCE gradient into the policy's gradient
+    /// buffers *without* touching the parameters or the optimiser. Results
+    /// computed elsewhere (another shard's episode, a replayed
+    /// [`crate::reinforce::TrainerState`]) reduce deterministically by
+    /// accumulating in a fixed order and then calling
+    /// [`ReinforceTrainer::apply_step`] once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an episode/space mismatch, or
+    /// [`ControllerError::NonFiniteAdvantage`] *before* any gradient is
+    /// accumulated if an advantage is NaN/Inf; an empty batch is a no-op.
+    pub fn accumulate_episode(&mut self, batch: &[(ArchSample, f32)]) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
         if let Some((_, bad)) = batch.iter().find(|(_, adv)| !adv.is_finite()) {
             return Err(ControllerError::NonFiniteAdvantage { value: *bad });
         }
@@ -180,6 +201,17 @@ impl ReinforceTrainer {
             self.policy
                 .accumulate_gradient(&sample.episode, advantage * scale)?;
         }
+        Ok(())
+    }
+
+    /// Gradient **application** — the impure half of an update: one Adam
+    /// step over whatever [`ReinforceTrainer::accumulate_episode`] has
+    /// gathered since the last step, then zeroed gradients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimiser slot/shape errors.
+    pub fn apply_step(&mut self) -> Result<()> {
         self.policy.apply(&mut self.optimizer)?;
         self.updates += 1;
         Ok(())
@@ -346,6 +378,46 @@ mod tests {
         // Empty batches are harmless no-ops.
         trainer.update_batch(&[]).unwrap();
         assert_eq!(trainer.updates(), 80);
+    }
+
+    #[test]
+    fn accumulate_then_apply_is_bit_identical_to_update_batch() {
+        let space = SearchSpace::mnist();
+        let score =
+            |idx: &[usize]| idx.iter().filter(|&&i| i == 0).count() as f32 / idx.len() as f32;
+        let mut rng_a = StdRng::seed_from_u64(23);
+        let mut a = ReinforceTrainer::new(&space, &mut rng_a).unwrap();
+        let mut rng_b = StdRng::seed_from_u64(23);
+        let mut b = ReinforceTrainer::new(&space, &mut rng_b).unwrap();
+        for _ in 0..10 {
+            let batch_a: Vec<(ArchSample, f32)> = (0..4)
+                .map(|_| {
+                    let s = a.sample(&mut rng_a).unwrap();
+                    let adv = score(s.episode().indices()) - 0.4;
+                    (s, adv)
+                })
+                .collect();
+            let batch_b: Vec<(ArchSample, f32)> = (0..4)
+                .map(|_| {
+                    let s = b.sample(&mut rng_b).unwrap();
+                    let adv = score(s.episode().indices()) - 0.4;
+                    (s, adv)
+                })
+                .collect();
+            a.update_batch(&batch_a).unwrap();
+            b.accumulate_episode(&batch_b).unwrap();
+            b.apply_step().unwrap();
+        }
+        assert_eq!(a.updates(), b.updates());
+        let pa = a.export_state();
+        let pb = b.export_state();
+        assert_eq!(pa.params.len(), pb.params.len());
+        for (x, y) in pa.params.iter().zip(&pb.params) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Accumulating an empty episode leaves the next step unchanged.
+        b.accumulate_episode(&[]).unwrap();
+        assert_eq!(b.export_state().params, pb.params);
     }
 
     #[test]

@@ -1,16 +1,22 @@
-//! `fnas-ckpt` — inspect an `FNASCKPT` search snapshot.
+//! `fnas-ckpt` — inspect and compare `FNASCKPT` search snapshots.
 //!
 //! A checkpoint is an opaque binary blob (see [`fnas::checkpoint`] for the
-//! layout); this tool renders one for humans: the header identity, where
-//! the run was (episode, RNG stream, baseline, modelled cost), the
-//! controller/trainer shape, the persisted telemetry counters, and a
-//! summary of every trial explored so far.
+//! layout); this tool renders one for humans: the header identity (shard
+//! stamp included), where the run was (episode, RNG stream, baseline,
+//! modelled cost), the controller/trainer shape, the persisted telemetry
+//! counters, and a summary of every trial explored so far.
 //!
-//! Usage: `fnas-ckpt <snapshot.ckpt>`
+//! Usage:
 //!
-//! Exits non-zero (with the decode error on stderr) when the file is
+//! * `fnas-ckpt <snapshot.ckpt>` — render one snapshot;
+//! * `fnas-ckpt diff <a.ckpt> <b.ckpt>` — print the field-level deltas
+//!   between two snapshots (e.g. consecutive rotated files of one run, or
+//!   two shards of a sharded run).
+//!
+//! Exits non-zero (with the decode error on stderr) when a file is
 //! missing, truncated, or not an FNAS checkpoint.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use fnas::checkpoint::{SearchCheckpoint, MAGIC, VERSION};
@@ -28,6 +34,10 @@ fn render(ckpt: &SearchCheckpoint) -> String {
         "header: magic={:?} version={}",
         String::from_utf8_lossy(MAGIC),
         VERSION
+    ));
+    line(format!(
+        "shard: {}/{} (parent seed {})",
+        ckpt.shard_index, ckpt.shard_count, ckpt.parent_seed
     ));
     line(format!("run seed: {}", ckpt.run_seed));
     line(format!("next episode: {}", ckpt.next_episode));
@@ -57,20 +67,7 @@ fn render(ckpt: &SearchCheckpoint) -> String {
     line(String::new());
     line("persisted telemetry counters:".to_string());
     let mut counters = Table::new(vec!["counter", "value"]);
-    for (name, value) in [
-        ("children sampled", t.children_sampled),
-        ("children pruned", t.children_pruned),
-        ("children trained", t.children_trained),
-        ("children unbuildable", t.children_unbuildable),
-        ("children failed", t.children_failed),
-        ("episodes", t.episodes),
-        ("panics caught", t.panics_caught),
-        ("oracle retries", t.retries),
-        ("quarantined accuracies", t.quarantined),
-        ("checkpoints written", t.checkpoints_written),
-        ("analyzer calls", t.analyzer_calls),
-        ("train calls", t.train_calls),
-    ] {
+    for (name, value) in counter_fields(t) {
         counters.push_row(vec![name.to_string(), value.to_string()]);
     }
     line(counters.to_markdown());
@@ -101,21 +98,175 @@ fn render(ckpt: &SearchCheckpoint) -> String {
     out
 }
 
-fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let (Some(path), None) = (args.next(), args.next()) else {
-        eprintln!("usage: fnas-ckpt <snapshot.ckpt>");
-        return ExitCode::from(2);
-    };
-    match SearchCheckpoint::load(std::path::Path::new(&path)) {
-        Ok(ckpt) => {
-            print!("{}", render(&ckpt));
-            ExitCode::SUCCESS
+/// The persisted counters, paired with their display names (shared by the
+/// render table and the diff).
+fn counter_fields(t: &fnas::search::TelemetrySnapshot) -> [(&'static str, u64); 12] {
+    [
+        ("children sampled", t.children_sampled),
+        ("children pruned", t.children_pruned),
+        ("children trained", t.children_trained),
+        ("children unbuildable", t.children_unbuildable),
+        ("children failed", t.children_failed),
+        ("episodes", t.episodes),
+        ("panics caught", t.panics_caught),
+        ("oracle retries", t.retries),
+        ("quarantined accuracies", t.quarantined),
+        ("checkpoints written", t.checkpoints_written),
+        ("analyzer calls", t.analyzer_calls),
+        ("train calls", t.train_calls),
+    ]
+}
+
+/// Renders the field-level deltas between two checkpoints; every line
+/// after the first names one field that differs, so two identical
+/// snapshots produce exactly `"identical"`.
+fn diff(a: &SearchCheckpoint, b: &SearchCheckpoint) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    if (a.shard_index, a.shard_count) != (b.shard_index, b.shard_count) {
+        lines.push(format!(
+            "shard: {}/{} → {}/{}",
+            a.shard_index, a.shard_count, b.shard_index, b.shard_count
+        ));
+    }
+    if a.parent_seed != b.parent_seed {
+        lines.push(format!(
+            "parent seed: {:#x} → {:#x}",
+            a.parent_seed, b.parent_seed
+        ));
+    }
+    if a.run_seed != b.run_seed {
+        lines.push(format!("run seed: {:#x} → {:#x}", a.run_seed, b.run_seed));
+    }
+    if a.next_episode != b.next_episode {
+        lines.push(format!(
+            "next episode: {} → {} ({:+})",
+            a.next_episode,
+            b.next_episode,
+            b.next_episode as i128 - a.next_episode as i128
+        ));
+    }
+    if a.rng_state != b.rng_state {
+        lines.push("rng stream: diverged".to_string());
+    }
+    if a.baseline.map(f32::to_bits) != b.baseline.map(f32::to_bits) {
+        let show = |x: Option<f32>| x.map_or("(none)".to_string(), |v| format!("{v:+.4}"));
+        lines.push(format!(
+            "reward baseline: {} → {}",
+            show(a.baseline),
+            show(b.baseline)
+        ));
+    }
+    if a.cost != b.cost {
+        lines.push(format!(
+            "modelled cost: training {:+.1}s, analyzer {:+.1}s",
+            b.cost.training_seconds - a.cost.training_seconds,
+            b.cost.analyzer_seconds - a.cost.analyzer_seconds
+        ));
+    }
+    if a.trainer.params.len() != b.trainer.params.len() {
+        lines.push(format!(
+            "trainer shape: {} → {} params",
+            a.trainer.params.len(),
+            b.trainer.params.len()
+        ));
+    } else if a.trainer.params != b.trainer.params {
+        let differing = a
+            .trainer
+            .params
+            .iter()
+            .zip(&b.trainer.params)
+            .filter(|(x, y)| x.to_bits() != y.to_bits())
+            .count();
+        let max_abs = a
+            .trainer
+            .params
+            .iter()
+            .zip(&b.trainer.params)
+            .map(|(x, y)| (y - x).abs())
+            .fold(0.0f32, f32::max);
+        lines.push(format!(
+            "trainer params: {differing} of {} differ (max |Δ| {max_abs:.3e})",
+            a.trainer.params.len()
+        ));
+    }
+    if a.trainer.updates != b.trainer.updates {
+        lines.push(format!(
+            "trainer updates: {} → {}",
+            a.trainer.updates, b.trainer.updates
+        ));
+    }
+    if a.trainer.optimizer.t != b.trainer.optimizer.t {
+        lines.push(format!(
+            "adam t: {} → {}",
+            a.trainer.optimizer.t, b.trainer.optimizer.t
+        ));
+    }
+    for ((name, va), (_, vb)) in counter_fields(&a.telemetry)
+        .into_iter()
+        .zip(counter_fields(&b.telemetry))
+    {
+        if va != vb {
+            lines.push(format!(
+                "telemetry {name}: {va} → {vb} ({:+})",
+                vb as i128 - va as i128
+            ));
         }
+    }
+    if a.trials != b.trials {
+        lines.push(format!(
+            "trials: {} → {} ({:+})",
+            a.trials.len(),
+            b.trials.len(),
+            b.trials.len() as i128 - a.trials.len() as i128
+        ));
+    }
+
+    if lines.is_empty() {
+        return "identical\n".to_string();
+    }
+    let mut out = format!("{} fields differ:\n", lines.len());
+    for l in lines {
+        out.push_str("  ");
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: fnas-ckpt <snapshot.ckpt>");
+    eprintln!("       fnas-ckpt diff <a.ckpt> <b.ckpt>");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Option<SearchCheckpoint> {
+    match SearchCheckpoint::load(Path::new(path)) {
+        Ok(ckpt) => Some(ckpt),
         Err(e) => {
             eprintln!("fnas-ckpt: {path}: {e}");
-            ExitCode::FAILURE
+            None
         }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [path] if path != "diff" => match load(path) {
+            Some(ckpt) => {
+                print!("{}", render(&ckpt));
+                ExitCode::SUCCESS
+            }
+            None => ExitCode::FAILURE,
+        },
+        [mode, a, b] if mode == "diff" => match (load(a), load(b)) {
+            (Some(a), Some(b)) => {
+                print!("{}", diff(&a, &b));
+                ExitCode::SUCCESS
+            }
+            _ => ExitCode::FAILURE,
+        },
+        _ => usage(),
     }
 }
 
@@ -142,7 +293,8 @@ mod tests {
 
         let ckpt = SearchCheckpoint::load(&path).unwrap();
         let report = render(&ckpt);
-        assert!(report.contains("magic=\"FNASCKPT\" version=1"));
+        assert!(report.contains("magic=\"FNASCKPT\" version=2"));
+        assert!(report.contains("shard: 0/1 (parent seed 9)"));
         assert!(report.contains("run seed: 9"));
         assert!(report.contains("next episode: 2"));
         assert!(report.contains("rng stream (xoshiro256++): [0x"));
@@ -159,6 +311,9 @@ mod tests {
     #[test]
     fn render_survives_an_empty_fresh_checkpoint() {
         let ckpt = SearchCheckpoint {
+            shard_index: 0,
+            shard_count: 1,
+            parent_seed: 0,
             run_seed: 0,
             next_episode: 0,
             rng_state: [0; 4],
@@ -175,5 +330,58 @@ mod tests {
         let report = render(&ckpt);
         assert!(report.contains("(no observation yet)"));
         assert!(report.contains("trials: 0 total, 0 trained, 0 pruned"));
+    }
+
+    #[test]
+    fn diff_of_identical_snapshots_is_empty_and_deltas_are_reported() {
+        let dir = std::env::temp_dir().join(format!("fnas-ckpt-diff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let early = dir.join("early.ckpt");
+        let late = dir.join("late.ckpt");
+
+        let preset = ExperimentPreset::mnist().with_trials(8);
+        let config = SearchConfig::fnas(preset, 10.0).with_seed(9);
+        let opts = BatchOptions::sequential().with_batch_size(4);
+        let mut searcher = Searcher::surrogate(&config).unwrap();
+        searcher
+            .run_batched_checkpointed(
+                &config,
+                &opts,
+                &CheckpointOptions::new(&early).with_every_episodes(2),
+            )
+            .unwrap();
+        let mut searcher = Searcher::surrogate(&config).unwrap();
+        searcher
+            .run_batched_checkpointed(&config, &opts, &CheckpointOptions::new(&late))
+            .unwrap();
+
+        let a = SearchCheckpoint::load(&early).unwrap();
+        let b = SearchCheckpoint::load(&late).unwrap();
+        assert_eq!(diff(&a, &a), "identical\n");
+        // `early` checkpointed only at episode 2; `late` every episode, so
+        // its live file is also the episode-2 state but has seen one more
+        // write. Counters, not trajectory, are the only delta.
+        let d = diff(&a, &b);
+        assert!(
+            d.contains("telemetry checkpoints written: 1 → 2 (+1)"),
+            "{d}"
+        );
+        assert!(!d.contains("trainer params"), "{d}");
+        assert!(!d.contains("rng stream"), "{d}");
+
+        // A genuinely different trajectory reports parameter deltas.
+        let other_config =
+            SearchConfig::fnas(ExperimentPreset::mnist().with_trials(8), 10.0).with_seed(10);
+        let mut searcher = Searcher::surrogate(&other_config).unwrap();
+        searcher
+            .run_batched_checkpointed(&other_config, &opts, &CheckpointOptions::new(&late))
+            .unwrap();
+        let c = SearchCheckpoint::load(&late).unwrap();
+        let d = diff(&a, &c);
+        assert!(d.contains("run seed: 0x9 → 0xa"), "{d}");
+        assert!(d.contains("trainer params"), "{d}");
+        assert!(d.contains("rng stream: diverged"), "{d}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

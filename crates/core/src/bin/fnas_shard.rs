@@ -1,0 +1,294 @@
+//! `fnas-shard` — run one shard of an episode-sharded FNAS search and
+//! merge the results.
+//!
+//! The three-step protocol (see [`fnas::search::ShardRunner`]):
+//!
+//! ```text
+//! fnas-shard init  --dir out [config flags]            # shared snapshot
+//! fnas-shard run   --dir out --shard 0/4 [flags]       # once per shard
+//! fnas-shard run   --dir out --shard 1/4 [flags]       #   (any order,
+//! ...                                                  #    any machine)
+//! fnas-shard merge --dir out --shards 4                # one checkpoint
+//! ```
+//!
+//! `init` freezes the parent controller into `<dir>/init.ckpt`; each `run`
+//! executes its trial slice against that snapshot and leaves its final
+//! state in `<dir>/shard-<i>-of-<N>.ckpt`; `merge` reduces those files
+//! into `<dir>/merged.ckpt` deterministically (byte-identical across
+//! independent sweeps). A `--shard 0/1` run is bit-identical to the
+//! unsharded engine.
+//!
+//! The config flags (`--preset`, `--trials`, `--seed`, `--budget-ms`)
+//! select the run and must be repeated identically on every invocation —
+//! the snapshot seed is validated, so a mismatch fails loudly rather than
+//! silently diverging.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fnas::experiment::ExperimentPreset;
+use fnas::search::{
+    BatchOptions, CheckpointOptions, CheckpointPolicy, SearchConfig, ShardRunner, ShardSpec,
+};
+
+/// Everything the subcommands need, parsed from the command line.
+struct Cli {
+    dir: PathBuf,
+    config: SearchConfig,
+    opts: BatchOptions,
+    every: u64,
+    policy: CheckpointPolicy,
+    shard: Option<ShardSpec>,
+    shards: Option<u32>,
+}
+
+const USAGE: &str = "usage: fnas-shard <init|run|merge> --dir <out-dir> [options]
+  common     --preset <mnist|mnist-low-end|cifar10>  experiment preset (default mnist)
+             --trials <N>      total trial budget across all shards
+             --seed <N>        parent run seed (default config default)
+             --budget-ms <X>   FNAS latency budget in ms (default 10)
+  run        --shard <i/N>     which slice this process executes (required)
+             --workers <W>     evaluation workers (default: cores; results
+                               are bit-identical for any worker count)
+             --batch <B>       children per episode (default 8)
+             --every <E>       checkpoint cadence in episodes (default 1)
+             --keep-last <K>   retain K rotated snapshots (default: live only)
+             --keep-all        retain every rotated snapshot
+  merge      --shards <N>      how many shard files to reduce (required)";
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut dir = None;
+    let mut preset_name = "mnist".to_string();
+    let mut trials = None;
+    let mut seed = None;
+    let mut budget_ms = 10.0f64;
+    let mut workers = None;
+    let mut batch = None;
+    let mut every = 1u64;
+    let mut policy = CheckpointPolicy::LiveOnly;
+    let mut shard = None;
+    let mut shards = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--dir" => dir = Some(PathBuf::from(value()?)),
+            "--preset" => preset_name = value()?.to_string(),
+            "--trials" => trials = Some(parse_num::<usize>(flag, value()?)?),
+            "--seed" => seed = Some(parse_num::<u64>(flag, value()?)?),
+            "--budget-ms" => budget_ms = parse_num::<f64>(flag, value()?)?,
+            "--workers" => workers = Some(parse_num::<usize>(flag, value()?)?),
+            "--batch" => batch = Some(parse_num::<usize>(flag, value()?)?),
+            "--every" => every = parse_num::<u64>(flag, value()?)?,
+            "--keep-last" => policy = CheckpointPolicy::keep_last(parse_num(flag, value()?)?),
+            "--keep-all" => policy = CheckpointPolicy::KeepAll,
+            "--shard" => shard = Some(ShardSpec::parse(value()?).map_err(|e| e.to_string())?),
+            "--shards" => shards = Some(parse_num::<u32>(flag, value()?)?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+
+    let mut preset = match preset_name.as_str() {
+        "mnist" => ExperimentPreset::mnist(),
+        "mnist-low-end" => ExperimentPreset::mnist_low_end(),
+        "cifar10" => ExperimentPreset::cifar10(),
+        other => return Err(format!("unknown preset {other:?}")),
+    };
+    if let Some(t) = trials {
+        preset = preset.with_trials(t);
+    }
+    let mut config = SearchConfig::fnas(preset, budget_ms);
+    if let Some(s) = seed {
+        config = config.with_seed(s);
+    }
+    let mut opts = BatchOptions::default();
+    if let Some(w) = workers {
+        opts = opts.with_workers(w);
+    }
+    if let Some(b) = batch {
+        opts = opts.with_batch_size(b);
+    }
+    Ok(Cli {
+        dir: dir.ok_or("--dir is required")?,
+        config,
+        opts,
+        every,
+        policy,
+        shard,
+        shards,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: bad value {s:?}"))
+}
+
+fn init_path(dir: &Path) -> PathBuf {
+    dir.join("init.ckpt")
+}
+
+fn shard_path(dir: &Path, index: u32, count: u32) -> PathBuf {
+    dir.join(format!("shard-{index}-of-{count}.ckpt"))
+}
+
+fn cmd_init(cli: &Cli) -> Result<String, String> {
+    std::fs::create_dir_all(&cli.dir).map_err(|e| e.to_string())?;
+    let path = init_path(&cli.dir);
+    let init = ShardRunner::write_init(&cli.config, &path).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} (seed {:#x}, {} controller params, {} total trials)",
+        path.display(),
+        init.run_seed,
+        init.trainer.params.len(),
+        cli.config.preset().trials()
+    ))
+}
+
+fn cmd_run(cli: &Cli) -> Result<String, String> {
+    let spec = cli.shard.ok_or("run needs --shard i/N")?;
+    let path = shard_path(&cli.dir, spec.index(), spec.count());
+    let ckpt = CheckpointOptions::new(&path)
+        .with_every_episodes(cli.every)
+        .with_policy(cli.policy);
+    let runner = ShardRunner::new(cli.config.clone(), spec);
+    let outcome = runner
+        .run(&cli.opts, &init_path(&cli.dir), &ckpt)
+        .map_err(|e| e.to_string())?;
+    let best = outcome.best().map_or("none".to_string(), |t| {
+        format!(
+            "{:.2}% at {}",
+            t.accuracy.unwrap_or(0.0) * 100.0,
+            t.latency.map_or("—".to_string(), |l| l.to_string())
+        )
+    });
+    Ok(format!(
+        "shard {spec}: {} trials ({} trained, {} pruned), best {best}, wrote {}",
+        outcome.trials().len(),
+        outcome.trained_count(),
+        outcome.pruned_count(),
+        path.display()
+    ))
+}
+
+fn cmd_merge(cli: &Cli) -> Result<String, String> {
+    let count = cli.shards.ok_or("merge needs --shards N")?;
+    if count == 0 {
+        return Err("--shards must be ≥ 1".to_string());
+    }
+    let paths: Vec<PathBuf> = (0..count).map(|i| shard_path(&cli.dir, i, count)).collect();
+    let merged = ShardRunner::merge_files(&paths).map_err(|e| e.to_string())?;
+    let out = cli.dir.join("merged.ckpt");
+    merged.save(&out).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "merged {count} shards: {} trials, {} episodes, cost {:.1}s, wrote {}",
+        merged.trials.len(),
+        merged.telemetry.episodes,
+        merged.cost.total_seconds(),
+        out.display()
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let cli = match parse(rest) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("fnas-shard: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "init" => cmd_init(&cli),
+        "run" => cmd_run(&cli),
+        "merge" => cmd_merge(&cli),
+        other => {
+            eprintln!("fnas-shard: unknown command {other:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fnas-shard: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(extra: &str) -> Cli {
+        let args: Vec<String> = format!("--dir /tmp/x --trials 12 --batch 4 {extra}")
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        parse(&args).unwrap()
+    }
+
+    #[test]
+    fn parses_the_documented_flags() {
+        let c = cli("--seed 7 --shard 1/3 --every 2 --keep-last 2 --workers 0");
+        assert_eq!(c.config.seed(), 7);
+        assert_eq!(c.config.preset().trials(), 12);
+        assert_eq!(c.opts.batch_size(), 4);
+        assert_eq!(c.opts.workers(), 0);
+        assert_eq!(c.every, 2);
+        assert_eq!(c.policy, CheckpointPolicy::KeepLast(2));
+        let spec = c.shard.unwrap();
+        assert_eq!((spec.index(), spec.count()), (1, 3));
+    }
+
+    #[test]
+    fn rejects_malformed_invocations() {
+        for bad in [
+            "--trials 12",              // no --dir
+            "--dir /tmp/x --shard 4/4", // out-of-range shard
+            "--dir /tmp/x --nope",      // unknown flag
+            "--dir /tmp/x --trials",    // missing value
+            "--dir /tmp/x --preset tpu",
+        ] {
+            let args: Vec<String> = bad.split_whitespace().map(String::from).collect();
+            assert!(parse(&args).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn init_run_merge_round_trip_in_a_temp_dir() {
+        let dir = std::env::temp_dir().join(format!("fnas-shard-bin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_flag = format!("--dir {} --trials 8 --batch 4 --seed 5 --workers 0", {
+            dir.display()
+        });
+        let base = |extra: &str| {
+            let args: Vec<String> = format!("{dir_flag} {extra}")
+                .split_whitespace()
+                .map(String::from)
+                .collect();
+            parse(&args).unwrap()
+        };
+        cmd_init(&base("")).unwrap();
+        let msg = cmd_run(&base("--shard 0/2")).unwrap();
+        assert!(msg.starts_with("shard 0/2: 4 trials"), "{msg}");
+        cmd_run(&base("--shard 1/2")).unwrap();
+        let msg = cmd_merge(&base("--shards 2")).unwrap();
+        assert!(msg.contains("merged 2 shards: 8 trials"), "{msg}");
+        assert!(dir.join("merged.ckpt").exists());
+        // Merge with the wrong cardinality fails loudly.
+        assert!(cmd_merge(&base("--shards 3")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

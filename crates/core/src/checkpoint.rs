@@ -43,15 +43,34 @@ use crate::{FnasError, Result};
 pub const MAGIC: &[u8; 8] = b"FNASCKPT";
 
 /// Current format version; bumped on any layout change.
-pub const VERSION: u32 = 1;
+///
+/// * **v1** — the original snapshot layout.
+/// * **v2** — inserts a shard header (`shard_index`, `shard_count`,
+///   `parent_seed`) between the version word and the run seed. v1
+///   snapshots still load, as shard 0-of-1 with `parent_seed` equal to
+///   their own run seed.
+pub const VERSION: u32 = 2;
 
 /// Everything needed to continue a batched search bit-identically.
 ///
 /// Produced by the engine at episode boundaries (see
 /// [`crate::search::CheckpointOptions`]) and consumed by
-/// [`crate::search::Searcher::resume_batched`].
+/// [`crate::search::Searcher::resume_batched`]. Since v2 a snapshot also
+/// identifies *which shard of which run* it belongs to, so episode-sharded
+/// searches (see [`crate::search::ShardRunner`]) can hand their results
+/// around as plain checkpoint files and reduce them with
+/// [`SearchCheckpoint::merge`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchCheckpoint {
+    /// This shard's index within the sharded run (`0` for unsharded).
+    pub shard_index: u32,
+    /// Total shards in the run this snapshot belongs to (`1` = unsharded).
+    pub shard_count: u32,
+    /// The *parent* run's seed — shared by every shard of one sharded run
+    /// (each shard's own `run_seed` is derived from it via
+    /// [`fnas_exec::derive_shard_seed`]). Equal to `run_seed` for
+    /// unsharded runs and v1 snapshots.
+    pub parent_seed: u64,
     /// The run's config seed; resume refuses a mismatched config.
     pub run_seed: u64,
     /// The next episode index to execute.
@@ -77,6 +96,10 @@ impl SearchCheckpoint {
         let mut w = Writer::default();
         w.bytes(MAGIC);
         w.u32(VERSION);
+        // v2 shard header.
+        w.u32(self.shard_index);
+        w.u32(self.shard_count);
+        w.u64(self.parent_seed);
         w.u64(self.run_seed);
         w.u64(self.next_episode);
         for s in self.rng_state {
@@ -155,12 +178,25 @@ impl SearchCheckpoint {
             return Err(corrupt("not an FNAS checkpoint (bad magic)"));
         }
         let version = r.u32()?;
-        if version != VERSION {
+        if version == 0 || version > VERSION {
             return Err(corrupt(&format!(
-                "unsupported checkpoint version {version} (this build reads {VERSION})"
+                "unsupported checkpoint version {version} (this build reads 1..={VERSION})"
+            )));
+        }
+        // v1 snapshots predate sharding: they load as shard 0-of-1 with
+        // parent_seed mirroring their own run seed (set below).
+        let (shard_index, shard_count, parent_seed) = if version >= 2 {
+            (r.u32()?, r.u32()?, Some(r.u64()?))
+        } else {
+            (0, 1, None)
+        };
+        if shard_count == 0 || shard_index >= shard_count {
+            return Err(corrupt(&format!(
+                "implausible shard header {shard_index}/{shard_count}"
             )));
         }
         let run_seed = r.u64()?;
+        let parent_seed = parent_seed.unwrap_or(run_seed);
         let next_episode = r.u64()?;
         let mut rng_state = [0u64; 4];
         for s in &mut rng_state {
@@ -244,9 +280,178 @@ impl SearchCheckpoint {
             return Err(corrupt("trailing bytes after checkpoint payload"));
         }
         Ok(SearchCheckpoint {
+            shard_index,
+            shard_count,
+            parent_seed,
             run_seed,
             next_episode,
             rng_state,
+            baseline,
+            cost,
+            trainer,
+            telemetry,
+            trials,
+        })
+    }
+
+    /// Reduces the shards of one sharded run into a single 0-of-1
+    /// checkpoint, **in deterministic shard order** regardless of the
+    /// order `parts` arrives in:
+    ///
+    /// * **trials** — concatenated shard 0 first, re-indexed into one
+    ///   contiguous exploration order;
+    /// * **controller / optimiser** — element-wise mean of parameters and
+    ///   Adam moments (a shard-ordered fold, so the float reduction is
+    ///   bit-reproducible); update counts and Adam timesteps sum;
+    /// * **baseline** — mean of the shards that observed anything;
+    /// * **cost** — summed in shard order;
+    /// * **telemetry** — saturating [`TelemetrySnapshot::merge`] fold;
+    /// * **episodes / RNG** — `next_episode` sums; the merged `rng_state`
+    ///   is shard 0's (the lead stream — a merged checkpoint represents a
+    ///   completed reduction, not a resumable mid-run position of any one
+    ///   stream).
+    ///
+    /// A single 0-of-1 checkpoint merges to itself unchanged (identity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FnasError::InvalidConfig`] when `parts` is empty, the
+    /// shards disagree on `parent_seed` or `shard_count`, the indices do
+    /// not tile `0..shard_count` exactly, or the controllers have
+    /// different shapes.
+    pub fn merge(parts: &[SearchCheckpoint]) -> Result<SearchCheckpoint> {
+        let first = parts
+            .first()
+            .ok_or_else(|| corrupt("merge of zero shards"))?;
+        let count = first.shard_count;
+        if parts.len() != count as usize {
+            return Err(corrupt(&format!(
+                "merge received {} shards but they declare a {count}-shard run",
+                parts.len()
+            )));
+        }
+        let mut shards: Vec<&SearchCheckpoint> = parts.iter().collect();
+        shards.sort_by_key(|c| c.shard_index);
+        for (i, c) in shards.iter().enumerate() {
+            if c.shard_index != i as u32 {
+                return Err(corrupt(&format!(
+                    "shard indices do not tile 0..{count} (found {} where {i} was expected)",
+                    c.shard_index
+                )));
+            }
+            if c.shard_count != count {
+                return Err(corrupt(&format!(
+                    "shard {} declares {} total shards, shard 0 declares {count}",
+                    c.shard_index, c.shard_count
+                )));
+            }
+            if c.parent_seed != first.parent_seed {
+                return Err(corrupt(&format!(
+                    "shard {} belongs to run {:#x}, shard 0 to {:#x}",
+                    c.shard_index, c.parent_seed, first.parent_seed
+                )));
+            }
+            if c.trainer.params.len() != first.trainer.params.len()
+                || c.trainer.optimizer.moments.len() != first.trainer.optimizer.moments.len()
+            {
+                return Err(corrupt(&format!(
+                    "shard {} holds a differently-shaped controller",
+                    c.shard_index
+                )));
+            }
+        }
+
+        let n = shards.len();
+        let inv = 1.0 / n as f64;
+        // Parameters: shard-ordered f64 fold, scaled once at the end.
+        let mut params = vec![0.0f64; first.trainer.params.len()];
+        for c in &shards {
+            for (acc, &p) in params.iter_mut().zip(&c.trainer.params) {
+                *acc += f64::from(p);
+            }
+        }
+        let params: Vec<f32> = params.into_iter().map(|p| (p * inv) as f32).collect();
+        // Adam moments: slots where any shard has state average with
+        // absent slots counting as zeros; all-absent slots stay absent.
+        let mut moments = Vec::with_capacity(first.trainer.optimizer.moments.len());
+        for slot in 0..first.trainer.optimizer.moments.len() {
+            let width = shards.iter().find_map(|c| {
+                c.trainer.optimizer.moments[slot]
+                    .as_ref()
+                    .map(|(m, _)| m.len())
+            });
+            let Some(width) = width else {
+                moments.push(None);
+                continue;
+            };
+            let mut m_acc = vec![0.0f64; width];
+            let mut v_acc = vec![0.0f64; width];
+            for c in &shards {
+                if let Some((m, v)) = &c.trainer.optimizer.moments[slot] {
+                    if m.len() != width {
+                        return Err(corrupt(&format!(
+                            "shard {} holds a differently-shaped moment slot {slot}",
+                            c.shard_index
+                        )));
+                    }
+                    for (acc, &x) in m_acc.iter_mut().zip(m) {
+                        *acc += f64::from(x);
+                    }
+                    for (acc, &x) in v_acc.iter_mut().zip(v) {
+                        *acc += f64::from(x);
+                    }
+                }
+            }
+            moments.push(Some((
+                m_acc.into_iter().map(|x| (x * inv) as f32).collect(),
+                v_acc.into_iter().map(|x| (x * inv) as f32).collect(),
+            )));
+        }
+        let trainer = TrainerState {
+            params,
+            optimizer: AdamState {
+                t: shards
+                    .iter()
+                    .fold(0u64, |acc, c| acc.saturating_add(c.trainer.optimizer.t)),
+                moments,
+            },
+            updates: shards
+                .iter()
+                .fold(0u64, |acc, c| acc.saturating_add(c.trainer.updates)),
+        };
+
+        let observed: Vec<f64> = shards
+            .iter()
+            .filter_map(|c| c.baseline.map(f64::from))
+            .collect();
+        let baseline = if observed.is_empty() {
+            None
+        } else {
+            Some((observed.iter().sum::<f64>() / observed.len() as f64) as f32)
+        };
+
+        let mut cost = SearchCost::default();
+        let mut telemetry = TelemetrySnapshot::default();
+        let mut trials = Vec::with_capacity(shards.iter().map(|c| c.trials.len()).sum());
+        let mut next_episode = 0u64;
+        for c in &shards {
+            cost.add(c.cost);
+            telemetry = telemetry.merge(&c.telemetry);
+            next_episode = next_episode.saturating_add(c.next_episode);
+            for trial in &c.trials {
+                let mut t = trial.clone();
+                t.index = trials.len();
+                trials.push(t);
+            }
+        }
+
+        Ok(SearchCheckpoint {
+            shard_index: 0,
+            shard_count: 1,
+            parent_seed: first.parent_seed,
+            run_seed: first.parent_seed,
+            next_episode,
+            rng_state: shards[0].rng_state,
             baseline,
             cost,
             trainer,
@@ -415,6 +620,9 @@ mod tests {
         ])
         .unwrap();
         SearchCheckpoint {
+            shard_index: 0,
+            shard_count: 1,
+            parent_seed: 0xF0A5,
             run_seed: 0xF0A5,
             next_episode: 3,
             rng_state: [1, 2, 3, u64::MAX],
@@ -531,11 +739,111 @@ mod tests {
         let ck = sample();
         let mut bytes = ck.to_bytes();
         // The trainer param-count length prefix sits after magic(8) +
-        // version(4) + seed(8) + episode(8) + rng(32) + baseline(5) +
-        // cost(16) = 81 bytes; overwrite it with an absurd count.
-        bytes[81..89].copy_from_slice(&u64::MAX.to_le_bytes());
+        // version(4) + shard header(16) + seed(8) + episode(8) + rng(32) +
+        // baseline(5) + cost(16) = 97 bytes; overwrite it with an absurd
+        // count.
+        bytes[97..105].copy_from_slice(&u64::MAX.to_le_bytes());
         let err = SearchCheckpoint::from_bytes(&bytes).unwrap_err();
         assert!(err.to_string().contains("implausible length"), "{err}");
+    }
+
+    /// Rewrites v2 bytes into the v1 layout: patch the version word and
+    /// splice out the 16-byte shard header that v2 inserted after it.
+    fn downgrade_to_v1(v2: &[u8]) -> Vec<u8> {
+        let mut v1 = Vec::with_capacity(v2.len() - 16);
+        v1.extend_from_slice(&v2[..MAGIC.len()]);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&v2[MAGIC.len() + 4 + 16..]);
+        v1
+    }
+
+    #[test]
+    fn v1_snapshots_load_as_shard_zero_of_one() {
+        let mut ck = sample();
+        ck.shard_index = 0;
+        ck.shard_count = 1;
+        ck.parent_seed = ck.run_seed;
+        let v1 = downgrade_to_v1(&ck.to_bytes());
+        let restored = SearchCheckpoint::from_bytes(&v1).unwrap();
+        assert_eq!(restored, ck);
+        assert_eq!(restored.shard_index, 0);
+        assert_eq!(restored.shard_count, 1);
+        assert_eq!(restored.parent_seed, restored.run_seed);
+    }
+
+    #[test]
+    fn implausible_shard_headers_are_rejected() {
+        let mut ck = sample();
+        ck.shard_index = 3;
+        ck.shard_count = 2; // index >= count
+        let err = SearchCheckpoint::from_bytes(&ck.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("shard header"), "{err}");
+    }
+
+    fn shard(i: u32, n: u32) -> SearchCheckpoint {
+        let mut ck = sample();
+        ck.shard_index = i;
+        ck.shard_count = n;
+        ck.parent_seed = 0xF0A5;
+        ck.run_seed = 0x1000 + u64::from(i);
+        ck.next_episode = u64::from(i) + 1;
+        ck.baseline = Some(0.5 + 0.1 * i as f32);
+        ck.trainer.params = vec![i as f32, -(i as f32), 1.0];
+        ck.rng_state = [u64::from(i); 4];
+        ck
+    }
+
+    #[test]
+    fn merge_reduces_in_shard_order_regardless_of_input_order() {
+        let (a, b, c) = (shard(0, 3), shard(1, 3), shard(2, 3));
+        let forward = SearchCheckpoint::merge(&[a.clone(), b.clone(), c.clone()]).unwrap();
+        let shuffled = SearchCheckpoint::merge(&[c, a, b]).unwrap();
+        assert_eq!(forward, shuffled);
+        assert_eq!(forward.shard_index, 0);
+        assert_eq!(forward.shard_count, 1);
+        assert_eq!(forward.run_seed, 0xF0A5);
+        assert_eq!(forward.next_episode, 1 + 2 + 3);
+        // Lead shard's RNG stream; mean params; re-indexed trials.
+        assert_eq!(forward.rng_state, [0; 4]);
+        assert_eq!(forward.trainer.params, vec![1.0, -1.0, 1.0]);
+        assert!((forward.baseline.unwrap() - 0.6).abs() < 1e-6);
+        assert_eq!(forward.trials.len(), 6);
+        for (i, t) in forward.trials.iter().enumerate() {
+            assert_eq!(t.index, i);
+        }
+        // Telemetry counters summed across shards.
+        assert_eq!(forward.telemetry.children_sampled, 3 * 24);
+        assert_eq!(forward.trainer.updates, 3 * 17);
+    }
+
+    #[test]
+    fn merge_of_a_single_unsharded_checkpoint_is_identity_modulo_floats() {
+        let ck = sample();
+        let merged = SearchCheckpoint::merge(std::slice::from_ref(&ck)).unwrap();
+        // The mean over one shard is the value itself; f64 round-trips
+        // every f32 exactly, so even the float state is bit-identical.
+        assert_eq!(merged, ck);
+    }
+
+    #[test]
+    fn merge_rejects_malformed_shard_sets() {
+        assert!(SearchCheckpoint::merge(&[]).is_err());
+        // Wrong cardinality.
+        let err = SearchCheckpoint::merge(&[shard(0, 3), shard(1, 3)]).unwrap_err();
+        assert!(err.to_string().contains("3-shard run"), "{err}");
+        // Duplicate index.
+        let err = SearchCheckpoint::merge(&[shard(0, 2), shard(0, 2)]).unwrap_err();
+        assert!(err.to_string().contains("tile"), "{err}");
+        // Mismatched parent seed.
+        let mut stray = shard(1, 2);
+        stray.parent_seed = 0xDEAD;
+        let err = SearchCheckpoint::merge(&[shard(0, 2), stray]).unwrap_err();
+        assert!(err.to_string().contains("belongs to run"), "{err}");
+        // Mismatched controller shape.
+        let mut odd = shard(1, 2);
+        odd.trainer.params.push(0.0);
+        let err = SearchCheckpoint::merge(&[shard(0, 2), odd]).unwrap_err();
+        assert!(err.to_string().contains("shaped controller"), "{err}");
     }
 
     #[test]

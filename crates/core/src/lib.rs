@@ -20,13 +20,16 @@
 //! * [`search`] — the NAS baseline loop of \[16\] and the FNAS loop with
 //!   early latency pruning, decomposed into [`search::config`] (run
 //!   specification), [`search::oracle`] (the unified child oracle),
-//!   [`search::engine`] (sequential + batched loops),
-//!   [`search::trial`]/[`search::outcome`] (results);
+//!   [`search::engine`] (sequential + batched loops), [`search::episode`]
+//!   (one episode as a pure function of a frozen parameter snapshot),
+//!   [`search::shard`] (episode-sharded runs over mergeable checkpoints,
+//!   see DESIGN.md §12), [`search::trial`]/[`search::outcome`] (results);
 //! * [`resilience`] — fault-tolerant oracle decorators: budgeted retry of
 //!   transient faults, NaN quarantine, and a deterministic fault injector
 //!   for chaos testing;
 //! * [`checkpoint`] — the versioned on-disk search-state snapshot behind
-//!   [`search::Searcher::resume_batched`];
+//!   [`search::Searcher::resume_batched`], since v2 also the hand-off and
+//!   merge medium for sharded runs;
 //! * [`cost`] — the modelled search-cost accounting that reproduces the
 //!   paper's "search time" axis;
 //! * [`deploy`] — the final "implement NN → get performance" step of

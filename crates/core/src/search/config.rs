@@ -170,6 +170,15 @@ impl SearchConfig {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// A per-shard copy of this config: same experiment and mode, the
+    /// shard's own RNG seed and trial share.
+    pub(super) fn shard_slice(&self, seed: u64, trials: usize) -> SearchConfig {
+        let mut c = self.clone();
+        c.seed = seed;
+        c.preset = c.preset.with_trials(trials);
+        c
+    }
 }
 
 /// How [`crate::search::Searcher::run_batched`] schedules child evaluation.
@@ -247,21 +256,55 @@ impl Default for BatchOptions {
     }
 }
 
+/// How many episode-stamped snapshot files a checkpointed run retains
+/// next to the live checkpoint.
+///
+/// The live checkpoint at [`CheckpointOptions::path`] is always written
+/// (atomically overwritten at every cadence point); the policy governs
+/// only the rotated **history** files
+/// ([`CheckpointOptions::rotated_path`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointPolicy {
+    /// No history files: only the live snapshot exists (the pre-rotation
+    /// behaviour, and the default).
+    #[default]
+    LiveOnly,
+    /// Every episode-stamped snapshot is retained (unbounded history).
+    KeepAll,
+    /// Only the `K` most recent episode-stamped snapshots are retained;
+    /// older ones are deleted after each successful atomic write.
+    KeepLast(u64),
+}
+
+impl CheckpointPolicy {
+    /// Convenience constructor: retain the last `k` snapshots (clamped to
+    /// ≥ 1 — keeping zero history is spelled [`CheckpointPolicy::LiveOnly`]).
+    pub fn keep_last(k: u64) -> Self {
+        CheckpointPolicy::KeepLast(k.max(1))
+    }
+}
+
 /// When and where [`crate::search::Searcher::run_batched_checkpointed`]
 /// snapshots the search to disk.
 ///
 /// # Examples
 ///
 /// ```
-/// use fnas::search::CheckpointOptions;
+/// use fnas::search::{CheckpointOptions, CheckpointPolicy};
 ///
-/// let opts = CheckpointOptions::new("/tmp/search.ckpt").with_every_episodes(4);
+/// let opts = CheckpointOptions::new("/tmp/search.ckpt")
+///     .with_every_episodes(4)
+///     .with_policy(CheckpointPolicy::keep_last(3));
 /// assert_eq!(opts.every_episodes(), 4);
+/// assert_eq!(opts.policy(), CheckpointPolicy::KeepLast(3));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckpointOptions {
     path: PathBuf,
     every_episodes: u64,
+    policy: CheckpointPolicy,
+    shard: (u32, u32),
+    parent_seed: Option<u64>,
 }
 
 impl CheckpointOptions {
@@ -270,6 +313,9 @@ impl CheckpointOptions {
         CheckpointOptions {
             path: path.into(),
             every_episodes: 1,
+            policy: CheckpointPolicy::default(),
+            shard: (0, 1),
+            parent_seed: None,
         }
     }
 
@@ -280,7 +326,25 @@ impl CheckpointOptions {
         self
     }
 
-    /// Where the checkpoint file lives.
+    /// Replaces the snapshot-retention policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Stamps written snapshots as shard `index` of `count` of the run
+    /// seeded with `parent_seed` — the identity
+    /// [`crate::checkpoint::SearchCheckpoint::merge`] validates. Unsharded
+    /// runs (the default) write shard 0-of-1 with the run's own seed.
+    #[must_use]
+    pub fn with_shard(mut self, index: u32, count: u32, parent_seed: u64) -> Self {
+        self.shard = (index, count.max(1));
+        self.parent_seed = Some(parent_seed);
+        self
+    }
+
+    /// Where the live checkpoint file lives.
     pub fn path(&self) -> &Path {
         &self.path
     }
@@ -288,5 +352,71 @@ impl CheckpointOptions {
     /// Episodes between checkpoint writes.
     pub fn every_episodes(&self) -> u64 {
         self.every_episodes
+    }
+
+    /// The snapshot-retention policy.
+    pub fn policy(&self) -> CheckpointPolicy {
+        self.policy
+    }
+
+    /// The `(index, count)` shard identity stamped into snapshots.
+    pub fn shard(&self) -> (u32, u32) {
+        self.shard
+    }
+
+    /// The parent run seed stamped into snapshots; `run_seed` if unset.
+    pub fn parent_seed(&self) -> Option<u64> {
+        self.parent_seed
+    }
+
+    /// The episode-stamped sibling of [`CheckpointOptions::path`] used by
+    /// the rotation policies: `search.ckpt` → `search.ep00000008.ckpt`.
+    pub fn rotated_path(&self, episode: u64) -> PathBuf {
+        let stem = self
+            .path
+            .file_stem()
+            .map_or_else(|| "checkpoint".into(), |s| s.to_string_lossy().into_owned());
+        let ext = self
+            .path
+            .extension()
+            .map_or_else(|| "ckpt".to_string(), |e| e.to_string_lossy().into_owned());
+        self.path
+            .with_file_name(format!("{stem}.ep{episode:08}.{ext}"))
+    }
+
+    /// Deletes rotated snapshots beyond what the policy retains. Called by
+    /// the engine after each successful atomic write; best-effort — a
+    /// missing directory or racing deletion is not an error.
+    pub(crate) fn prune_rotated(&self) {
+        let CheckpointPolicy::KeepLast(k) = self.policy else {
+            return;
+        };
+        let Some(dir) = self.path.parent() else {
+            return;
+        };
+        let stem = self
+            .path
+            .file_stem()
+            .map_or_else(|| "checkpoint".into(), |s| s.to_string_lossy().into_owned());
+        let prefix = format!("{stem}.ep");
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut stamped: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with(&prefix))
+            })
+            .collect();
+        // `epNNNNNNNN` stamps are zero-padded, so lexicographic order is
+        // episode order.
+        stamped.sort();
+        let keep = usize::try_from(k).unwrap_or(usize::MAX);
+        if stamped.len() > keep {
+            for old in &stamped[..stamped.len() - keep] {
+                let _ = std::fs::remove_file(old);
+            }
+        }
     }
 }

@@ -1,11 +1,17 @@
 //! The search engine: sequential and batched loops over the
 //! [`ChildOracle`], plus checkpoint/resume plumbing.
+//!
+//! The batched loop is a thin driver around [`EpisodeRunner`]: per episode
+//! it freezes the controller into a [`ParamsSnapshot`], runs the episode as
+//! a pure function, then applies the returned gradient with one optimiser
+//! step and folds the returned telemetry/cost/trial deltas into the run.
+//! [`ShardRunner`](super::ShardRunner) drives the same loop from another
+//! process.
 
 use fnas_controller::arch::ChildArch;
 use fnas_controller::reinforce::{EmaBaseline, ReinforceTrainer};
 use fnas_controller::rnn::PolicyRnn;
-use fnas_exec::{derive_child_seed, Executor, Phase, SearchTelemetry, TelemetrySnapshot};
-use fnas_fpga::Millis;
+use fnas_exec::{Executor, SearchTelemetry, TelemetrySnapshot};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -18,10 +24,11 @@ use crate::mapping::arch_to_network;
 use crate::resilience::FaultStatsSnapshot;
 use crate::{FnasError, Result};
 
-use super::config::{BatchOptions, CheckpointOptions, SearchConfig, SearchMode};
+use super::config::{BatchOptions, CheckpointOptions, CheckpointPolicy, SearchConfig, SearchMode};
+use super::episode::{EpisodeRunner, ParamsSnapshot};
 use super::oracle::{CacheCounterBase, ChildOracle};
 use super::outcome::SearchOutcome;
-use super::trial::{failed_or_unbuildable, TrialRecord, UNBUILDABLE_REWARD};
+use super::trial::{TrialRecord, UNBUILDABLE_REWARD};
 
 /// The reusable search engine: controller + child oracle + cost
 /// accounting.
@@ -239,13 +246,15 @@ impl Searcher {
     /// Runs the configured search episode-by-episode, evaluating each
     /// episode's children on an [`Executor`] pool.
     ///
-    /// Per episode: sample `batch_size` children from the controller
-    /// (serial — the policy RNN consumes the run RNG), analyze their FPGA
-    /// latency in parallel, evaluate the survivors' accuracy in parallel,
-    /// then compute rewards and apply REINFORCE updates serially in sample
-    /// order. Each child's evaluation RNG is seeded from
-    /// [`derive_child_seed`]`(config.seed(), episode, child)`, so the
-    /// outcome is **bit-identical for any worker count** (see
+    /// Each episode is delegated to an [`EpisodeRunner`]: the controller
+    /// is frozen into a [`ParamsSnapshot`], the episode runs as a pure
+    /// function of that snapshot (sample `batch_size` children, analyze
+    /// their FPGA latency in parallel, evaluate the survivors' accuracy in
+    /// parallel, compute rewards serially in sample order), and the
+    /// returned per-episode gradient is applied with **one** optimiser
+    /// step — a standard REINFORCE minibatch. Each child's evaluation RNG
+    /// is seeded from `derive_child_seed(config.seed(), episode, child)`,
+    /// so the outcome is **bit-identical for any worker count** (see
     /// [`BatchOptions`]).
     ///
     /// The accuracy phase is fault-isolated: a child evaluation that
@@ -257,7 +266,7 @@ impl Searcher {
     ///
     /// Note the trajectory legitimately differs from [`Searcher::run`]:
     /// the sequential loop updates the controller after every child, the
-    /// batched loop between episodes (a standard REINFORCE minibatch).
+    /// batched loop once per episode on the averaged gradient.
     ///
     /// # Errors
     ///
@@ -275,7 +284,10 @@ impl Searcher {
     /// [`Searcher::run_batched`], plus a checkpoint written to
     /// `ckpt.path()` every `ckpt.every_episodes()` episodes (atomically —
     /// a crash mid-write keeps the previous snapshot). Checkpointing does
-    /// not change results: the snapshot captures only logical state.
+    /// not change results: the snapshot captures only logical state. With
+    /// a retention [`CheckpointPolicy`] beyond the default, each cadence
+    /// point additionally writes an episode-stamped history file next to
+    /// the live one and prunes history past the retention window.
     ///
     /// # Errors
     ///
@@ -317,7 +329,7 @@ impl Searcher {
         self.run_batched_inner(config, opts, Some(state), Some(ckpt))
     }
 
-    fn run_batched_inner(
+    pub(super) fn run_batched_inner(
         &mut self,
         config: &SearchConfig,
         opts: &BatchOptions,
@@ -329,8 +341,19 @@ impl Searcher {
         let telemetry = SearchTelemetry::new();
         let executor = Executor::with_workers(opts.workers());
         let batch_size = opts.batch_size().max(1);
-        let cache_base = self.oracle.cache_counters();
-        let fault_base = self.oracle.fault_stats().unwrap_or_default();
+
+        // Disjoint field borrows: the episode runner holds the oracle and
+        // cost model for the whole loop while the driver keeps mutating
+        // the trainer, baseline and RNG it left behind.
+        let Searcher {
+            trainer,
+            oracle,
+            baseline,
+            cost_model,
+            rng,
+        } = self;
+        let cache_base = oracle.cache_counters();
+        let fault_base = oracle.fault_stats().unwrap_or_default();
 
         let total = preset.trials();
         let mut trials;
@@ -347,206 +370,68 @@ impl Searcher {
                         ),
                     });
                 }
-                self.trainer.import_state(&state.trainer)?;
-                self.baseline = EmaBaseline::restore(config.baseline_decay, state.baseline);
-                self.rng = StdRng::from_state(state.rng_state);
+                trainer.import_state(&state.trainer)?;
+                *baseline = EmaBaseline::restore(config.baseline_decay, state.baseline);
+                *rng = StdRng::from_state(state.rng_state);
                 telemetry.restore_counters(&state.telemetry);
                 trials = state.trials;
                 cost = state.cost;
                 episode = state.next_episode;
             }
             None => {
-                self.baseline = EmaBaseline::new(config.baseline_decay);
+                *baseline = EmaBaseline::new(config.baseline_decay);
                 trials = Vec::with_capacity(total);
                 cost = SearchCost::default();
                 episode = 0;
             }
         }
-        'search: while trials.len() < total {
+        let mut runner = EpisodeRunner::new(config, oracle, cost_model, &executor)?;
+        while trials.len() < total {
             let n = batch_size.min(total - trials.len());
-            let samples = {
-                let _t = telemetry.phase_timer(Phase::Sample);
-                let mut batch = Vec::with_capacity(n);
-                for _ in 0..n {
-                    batch.push(self.trainer.sample(&mut self.rng)?);
-                }
-                batch
+            let snapshot = ParamsSnapshot {
+                trainer: trainer.export_state(),
+                baseline: baseline.raw_value(),
+                episode,
             };
-            telemetry.add_sampled(n as u64);
-            let archs: Vec<ChildArch> = samples.iter().map(|s| s.arch().clone()).collect();
-
-            let oracle = &self.oracle;
-            let latencies: Vec<Result<Millis>> = {
-                let _t = telemetry.phase_timer(Phase::Latency);
-                executor.map(&archs, |_, arch| oracle.child_latency(arch))
-            };
-
-            // Which children go to the accuracy oracle. FNAS: buildable and
-            // within spec (or the no-pruning ablation). NAS: everything.
-            let needs_accuracy: Vec<bool> = match mode {
-                SearchMode::Fnas { required } => latencies
-                    .iter()
-                    .map(|r| match r {
-                        Err(_) => false,
-                        Ok(l) => l.get() <= required.get() || !config.pruning(),
-                    })
-                    .collect(),
-                SearchMode::Nas => vec![true; archs.len()],
-            };
-            telemetry.add_train_calls(needs_accuracy.iter().filter(|&&b| b).count() as u64);
-
-            let run_seed = config.seed();
-            // `map_settle`: a panicking child evaluation settles into a
-            // per-slot fault instead of unwinding through the pool and
-            // killing the whole search.
-            let accuracies = {
-                let _t = telemetry.phase_timer(Phase::Accuracy);
-                executor.map_settle(&archs, |child, arch| {
-                    if !needs_accuracy[child] {
-                        return None;
-                    }
-                    let seed = derive_child_seed(run_seed, episode, child as u64);
-                    Some(oracle.accuracy_seeded(arch, seed))
-                })
-            };
-
-            // Serial epilogue, in sample order: rewards see the baseline as
-            // of the previous child, exactly like the sequential loop.
-            let _t = telemetry.phase_timer(Phase::Update);
-            for ((sample, latency), settled) in samples.into_iter().zip(latencies).zip(accuracies) {
-                let index = trials.len();
-                let arch = sample.arch().clone();
-                let accuracy: Option<Result<f32>> = match settled {
-                    Ok(acc) => acc,
-                    Err(fault) => {
-                        telemetry.add_panic_caught();
-                        Some(Err(FnasError::Oracle {
-                            what: fault.to_string(),
-                            transient: false,
-                        }))
-                    }
-                };
-                let record = match mode {
-                    SearchMode::Fnas { required } => {
-                        cost.add(self.cost_model.analyzer_cost());
-                        match latency {
-                            Err(_) => {
-                                telemetry.add_unbuildable();
-                                TrialRecord {
-                                    index,
-                                    arch,
-                                    latency: None,
-                                    accuracy: None,
-                                    reward: UNBUILDABLE_REWARD,
-                                    trained: false,
-                                }
-                            }
-                            Ok(l) if l.get() > required.get() => {
-                                let reward = self.oracle.violation_reward(l, required);
-                                if config.pruning() {
-                                    telemetry.add_pruned();
-                                    TrialRecord {
-                                        index,
-                                        arch,
-                                        latency: Some(l),
-                                        accuracy: None,
-                                        reward,
-                                        trained: false,
-                                    }
-                                } else {
-                                    match accuracy.expect("ablation evaluates violators") {
-                                        Ok(accuracy) => {
-                                            cost.add(self.training_cost(&arch, preset)?);
-                                            telemetry.add_trained();
-                                            TrialRecord {
-                                                index,
-                                                arch,
-                                                latency: Some(l),
-                                                accuracy: Some(accuracy),
-                                                reward,
-                                                trained: true,
-                                            }
-                                        }
-                                        Err(e) => failed_or_unbuildable(
-                                            e,
-                                            index,
-                                            arch,
-                                            Some(l),
-                                            &telemetry,
-                                        )?,
-                                    }
-                                }
-                            }
-                            Ok(l) => match accuracy.expect("valid child was evaluated") {
-                                Ok(accuracy) => {
-                                    let reward = self.oracle.valid_reward(
-                                        accuracy,
-                                        self.baseline.value(),
-                                        l,
-                                        required,
-                                    );
-                                    self.baseline.observe(accuracy);
-                                    cost.add(self.training_cost(&arch, preset)?);
-                                    telemetry.add_trained();
-                                    TrialRecord {
-                                        index,
-                                        arch,
-                                        latency: Some(l),
-                                        accuracy: Some(accuracy),
-                                        reward,
-                                        trained: true,
-                                    }
-                                }
-                                Err(e) => {
-                                    failed_or_unbuildable(e, index, arch, Some(l), &telemetry)?
-                                }
-                            },
-                        }
-                    }
-                    SearchMode::Nas => match accuracy.expect("every NAS child is evaluated") {
-                        Err(e) => failed_or_unbuildable(e, index, arch, None, &telemetry)?,
-                        Ok(accuracy) => {
-                            let reward = accuracy - self.baseline.value();
-                            self.baseline.observe(accuracy);
-                            cost.add(self.training_cost(&arch, preset)?);
-                            telemetry.add_trained();
-                            TrialRecord {
-                                index,
-                                arch,
-                                // Post-hoc latency for reporting only (zero
-                                // modelled cost), like the sequential loop.
-                                latency: latency.ok(),
-                                accuracy: Some(accuracy),
-                                reward,
-                                trained: true,
-                            }
-                        }
-                    },
-                };
-                self.trainer.update(&sample, record.reward)?;
-                let satisfied = config
-                    .required_accuracy()
-                    .is_some_and(|ra| record.accuracy.is_some_and(|a| a >= ra));
-                trials.push(record);
-                if satisfied {
-                    telemetry.add_episode();
-                    break 'search;
-                }
+            let result = runner.run_episode(&snapshot, rng, n, trials.len())?;
+            telemetry.merge_snapshot(&result.telemetry);
+            cost.add(result.cost);
+            trials.extend(result.trials);
+            *baseline = EmaBaseline::restore(config.baseline_decay, result.baseline);
+            trainer.accumulate_episode(&result.grads)?;
+            trainer.apply_step()?;
+            if result.satisfied {
+                break;
             }
-            drop(_t);
-            telemetry.add_episode();
             episode += 1;
             if let Some(c) = ckpt {
                 if episode.is_multiple_of(c.every_episodes()) {
                     telemetry.add_checkpoint_written();
-                    self.write_checkpoint(config, episode, &trials, &cost, &telemetry, fault_base)?
-                        .save(c.path())?;
+                    let (shard_index, shard_count) = c.shard();
+                    let snap = SearchCheckpoint {
+                        shard_index,
+                        shard_count,
+                        parent_seed: c.parent_seed().unwrap_or_else(|| config.seed()),
+                        run_seed: config.seed(),
+                        next_episode: episode,
+                        rng_state: rng.state(),
+                        baseline: baseline.raw_value(),
+                        cost,
+                        trainer: trainer.export_state(),
+                        telemetry: logical_counters(oracle, &telemetry, fault_base),
+                        trials: trials.clone(),
+                    };
+                    snap.save(c.path())?;
+                    if c.policy() != CheckpointPolicy::LiveOnly {
+                        snap.save(&c.rotated_path(episode))?;
+                        c.prune_rotated();
+                    }
                 }
             }
         }
 
-        self.oracle.charge_cache_deltas(&telemetry, cache_base);
-        if let Some(stats) = self.oracle.fault_stats() {
+        oracle.charge_cache_deltas(&telemetry, cache_base);
+        if let Some(stats) = oracle.fault_stats() {
             telemetry.add_retries(stats.retries - fault_base.retries);
             telemetry.add_quarantined(stats.quarantined - fault_base.quarantined);
         }
@@ -556,61 +441,6 @@ impl Searcher {
             cost,
             telemetry: telemetry.snapshot(),
         })
-    }
-
-    /// Assembles the checkpoint for the state at the start of episode
-    /// `next_episode`.
-    fn write_checkpoint(
-        &mut self,
-        config: &SearchConfig,
-        next_episode: u64,
-        trials: &[TrialRecord],
-        cost: &SearchCost,
-        telemetry: &SearchTelemetry,
-        fault_base: FaultStatsSnapshot,
-    ) -> Result<SearchCheckpoint> {
-        Ok(SearchCheckpoint {
-            run_seed: config.seed(),
-            next_episode,
-            rng_state: self.rng.state(),
-            baseline: self.baseline.raw_value(),
-            cost: *cost,
-            trainer: self.trainer.export_state(),
-            telemetry: self.logical_counters(telemetry, fault_base),
-            trials: trials.to_vec(),
-        })
-    }
-
-    /// The process-independent slice of the live telemetry: logical
-    /// counters (including fault deltas accrued by the oracle so far),
-    /// with cache traffic, analyzer calls and wall times zeroed — those
-    /// describe *this* process and must not be replayed into a resumed
-    /// run's accounting.
-    fn logical_counters(
-        &self,
-        telemetry: &SearchTelemetry,
-        fault_base: FaultStatsSnapshot,
-    ) -> TelemetrySnapshot {
-        let live = telemetry.snapshot();
-        let mut s = TelemetrySnapshot {
-            children_sampled: live.children_sampled,
-            children_pruned: live.children_pruned,
-            children_trained: live.children_trained,
-            children_unbuildable: live.children_unbuildable,
-            children_failed: live.children_failed,
-            episodes: live.episodes,
-            panics_caught: live.panics_caught,
-            retries: live.retries,
-            quarantined: live.quarantined,
-            checkpoints_written: live.checkpoints_written,
-            train_calls: live.train_calls,
-            ..TelemetrySnapshot::default()
-        };
-        if let Some(f) = self.oracle.fault_stats() {
-            s.retries += f.retries - fault_base.retries;
-            s.quarantined += f.quarantined - fault_base.quarantined;
-        }
-        s
     }
 
     /// Builds the sequential loop's snapshot from its trial records (it
@@ -643,5 +473,90 @@ impl Searcher {
     fn training_cost(&self, arch: &ChildArch, preset: &ExperimentPreset) -> Result<SearchCost> {
         let network = arch_to_network(arch, preset.dataset().shape())?;
         Ok(self.cost_model.training_cost(&network))
+    }
+
+    /// Freezes this searcher's *initial* state — the controller as seeded
+    /// by `config`, no observations, RNG positioned after policy init —
+    /// into an episode-0 checkpoint. [`super::ShardRunner`] distributes
+    /// this snapshot so every shard warm-starts from identical parameters,
+    /// and a 1-shard run resumed from it is bit-identical to
+    /// [`Searcher::run_batched_checkpointed`].
+    pub(super) fn init_checkpoint(&mut self, config: &SearchConfig) -> SearchCheckpoint {
+        SearchCheckpoint {
+            shard_index: 0,
+            shard_count: 1,
+            parent_seed: config.seed(),
+            run_seed: config.seed(),
+            next_episode: 0,
+            rng_state: self.rng.state(),
+            baseline: self.baseline.raw_value(),
+            cost: SearchCost::default(),
+            trainer: self.trainer.export_state(),
+            telemetry: TelemetrySnapshot::default(),
+            trials: Vec::new(),
+        }
+    }
+
+    /// Freezes this searcher's state *after* a completed
+    /// [`Searcher::run_batched_inner`] into a checkpoint carrying the
+    /// outcome's trials/cost and `ckpt`'s shard stamp — the hand-off
+    /// artifact a finished shard leaves behind for
+    /// [`crate::checkpoint::SearchCheckpoint::merge`].
+    pub(super) fn freeze_state(
+        &mut self,
+        ckpt: &CheckpointOptions,
+        run_seed: u64,
+        outcome: &SearchOutcome,
+    ) -> SearchCheckpoint {
+        let (shard_index, shard_count) = ckpt.shard();
+        SearchCheckpoint {
+            shard_index,
+            shard_count,
+            parent_seed: ckpt.parent_seed().unwrap_or(run_seed),
+            run_seed,
+            next_episode: outcome.telemetry.episodes,
+            rng_state: self.rng.state(),
+            baseline: self.baseline.raw_value(),
+            cost: outcome.cost,
+            trainer: self.trainer.export_state(),
+            telemetry: logical_slice(&outcome.telemetry),
+            trials: outcome.trials.clone(),
+        }
+    }
+}
+
+/// The process-independent slice of the live telemetry: logical counters
+/// (including fault deltas accrued by the oracle so far), with cache
+/// traffic, analyzer calls and wall times zeroed — those describe *this*
+/// process and must not be replayed into a resumed run's accounting.
+fn logical_counters(
+    oracle: &ChildOracle,
+    telemetry: &SearchTelemetry,
+    fault_base: FaultStatsSnapshot,
+) -> TelemetrySnapshot {
+    let mut s = logical_slice(&telemetry.snapshot());
+    if let Some(f) = oracle.fault_stats() {
+        s.retries += f.retries - fault_base.retries;
+        s.quarantined += f.quarantined - fault_base.quarantined;
+    }
+    s
+}
+
+/// Projects a snapshot onto its logical counters, zeroing cache traffic,
+/// analyzer calls and wall times.
+fn logical_slice(live: &TelemetrySnapshot) -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        children_sampled: live.children_sampled,
+        children_pruned: live.children_pruned,
+        children_trained: live.children_trained,
+        children_unbuildable: live.children_unbuildable,
+        children_failed: live.children_failed,
+        episodes: live.episodes,
+        panics_caught: live.panics_caught,
+        retries: live.retries,
+        quarantined: live.quarantined,
+        checkpoints_written: live.checkpoints_written,
+        train_calls: live.train_calls,
+        ..TelemetrySnapshot::default()
     }
 }

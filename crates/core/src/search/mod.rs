@@ -15,12 +15,18 @@
 //! # Module layout
 //!
 //! * [`config`] — run configuration: [`SearchConfig`], [`SearchMode`],
-//!   [`BatchOptions`], [`CheckpointOptions`];
+//!   [`BatchOptions`], [`CheckpointOptions`], [`CheckpointPolicy`];
 //! * [`oracle`] — [`ChildOracle`], the unified per-child evaluation
 //!   interface (staged latency + memoised accuracy + rewards + fault
 //!   stats) the engine consumes;
-//! * [`engine`] — [`Searcher`]: the sequential and batched loops,
-//!   checkpoint/resume plumbing;
+//! * [`episode`] — [`EpisodeRunner`]: one episode as a pure function of a
+//!   frozen [`ParamsSnapshot`], returning the sampled trials, the
+//!   per-episode policy gradient and a telemetry delta as data;
+//! * [`engine`] — [`Searcher`]: the sequential loop, plus the batched
+//!   driver that applies episode results and handles checkpoint/resume;
+//! * [`shard`] — [`ShardRunner`]/[`ShardSpec`]: episode-sharded search
+//!   over a shared init snapshot, reduced via
+//!   [`crate::checkpoint::SearchCheckpoint::merge`];
 //! * [`trial`] — [`TrialRecord`] and the failed/unbuildable reward
 //!   taxonomy;
 //! * [`outcome`] — [`SearchOutcome`]: best child, Pareto front, summary
@@ -31,15 +37,19 @@
 
 pub mod config;
 pub mod engine;
+pub mod episode;
 pub mod oracle;
 pub mod outcome;
+pub mod shard;
 pub mod trial;
 
-pub use config::{BatchOptions, CheckpointOptions, SearchConfig, SearchMode};
+pub use config::{BatchOptions, CheckpointOptions, CheckpointPolicy, SearchConfig, SearchMode};
 pub use engine::Searcher;
+pub use episode::{EpisodeResult, EpisodeRunner, ParamsSnapshot};
 pub use fnas_exec::TelemetrySnapshot;
 pub use oracle::ChildOracle;
 pub use outcome::SearchOutcome;
+pub use shard::{ShardRunner, ShardSpec};
 pub use trial::TrialRecord;
 
 #[cfg(test)]

@@ -1,0 +1,319 @@
+//! Episode-sharded search: split one run's trial budget across
+//! independent shards and reduce their checkpoints afterwards.
+//!
+//! A shard is an ordinary batched search over a *slice* of the parent
+//! run's trial budget, warm-started from a shared init snapshot (the
+//! parent controller frozen at episode 0) and driven by its own RNG
+//! stream, [`fnas_exec::derive_shard_seed`]`(parent_seed, index)`. Shards
+//! share nothing at runtime — they communicate exclusively through
+//! checkpoint files, which carry a shard stamp since format v2 — so they
+//! can run as separate processes or separate machines and be reduced
+//! *deterministically* with [`SearchCheckpoint::merge`] whenever all of
+//! them have finished.
+//!
+//! Two pinned identities keep this honest (see
+//! `tests/shard_determinism.rs`):
+//!
+//! * a **1-shard** run is bit-identical to
+//!   [`Searcher::run_batched_checkpointed`] — sharding degenerates to the
+//!   ordinary loop, so `--shard 0/1` is never a behaviour change;
+//! * a **merged** N-shard checkpoint is byte-identical across independent
+//!   sweeps — the reduction is shard-ordered, never arrival-ordered.
+
+use std::path::Path;
+
+use fnas_exec::{derive_shard_seed, TelemetrySnapshot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::checkpoint::SearchCheckpoint;
+use crate::cost::SearchCost;
+use crate::{FnasError, Result};
+
+use super::config::{BatchOptions, CheckpointOptions, SearchConfig};
+use super::engine::Searcher;
+use super::outcome::SearchOutcome;
+
+/// Which slice of a sharded run this process executes: shard `index` of
+/// `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    index: u32,
+    count: u32,
+}
+
+impl ShardSpec {
+    /// Shard `index` of `count`.
+    ///
+    /// # Errors
+    ///
+    /// [`FnasError::InvalidConfig`] unless `index < count` and `count ≥ 1`.
+    pub fn new(index: u32, count: u32) -> Result<Self> {
+        if count == 0 || index >= count {
+            return Err(FnasError::InvalidConfig {
+                what: format!("shard {index}/{count} is out of range (need index < count ≥ 1)"),
+            });
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Parses the CLI spelling `"i/N"` (e.g. `"2/4"`).
+    ///
+    /// # Errors
+    ///
+    /// [`FnasError::InvalidConfig`] on malformed input or an out-of-range
+    /// index.
+    pub fn parse(s: &str) -> Result<Self> {
+        let bad = || FnasError::InvalidConfig {
+            what: format!("shard spec {s:?} is not of the form i/N (e.g. 2/4)"),
+        };
+        let (i, n) = s.split_once('/').ok_or_else(bad)?;
+        let index: u32 = i.trim().parse().map_err(|_| bad())?;
+        let count: u32 = n.trim().parse().map_err(|_| bad())?;
+        ShardSpec::new(index, count)
+    }
+
+    /// This shard's index.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Total shards in the run.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// This shard's RNG seed under the parent run's seed.
+    ///
+    /// By the identity convention of [`derive_shard_seed`], a 1-shard
+    /// deployment uses the parent seed itself, so `0/1` reproduces the
+    /// unsharded run bit-for-bit.
+    pub fn seed(&self, parent_seed: u64) -> u64 {
+        if self.count == 1 {
+            parent_seed
+        } else {
+            derive_shard_seed(parent_seed, u64::from(self.index))
+        }
+    }
+
+    /// This shard's slice of a `total`-trial budget: `total / count`, with
+    /// the remainder spread over the leading shards so the slices tile the
+    /// budget exactly.
+    pub fn trial_share(&self, total: usize) -> usize {
+        let count = self.count as usize;
+        total / count + usize::from((self.index as usize) < total % count)
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Drives one shard of a sharded search and reduces finished shards.
+///
+/// Protocol (mirrored by the `fnas-shard` binary):
+///
+/// 1. **init** — [`ShardRunner::write_init`] freezes the parent
+///    controller into a shared episode-0 snapshot;
+/// 2. **run** — each shard calls [`ShardRunner::run`] against that
+///    snapshot; its live checkpoint always ends at the shard's *final*
+///    state (the cadence files are crash-recovery, the final rewrite is
+///    the hand-off);
+/// 3. **merge** — [`ShardRunner::merge_files`] reduces the shard
+///    checkpoints into one 0-of-1 snapshot in deterministic shard order.
+#[derive(Debug)]
+pub struct ShardRunner {
+    base: SearchConfig,
+    spec: ShardSpec,
+}
+
+impl ShardRunner {
+    /// A runner for shard `spec` of the run configured by `base`.
+    pub fn new(base: SearchConfig, spec: ShardSpec) -> Self {
+        ShardRunner { base, spec }
+    }
+
+    /// The shard slice this runner executes.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The shard's derived config: the parent experiment with this shard's
+    /// seed and trial share.
+    ///
+    /// # Errors
+    ///
+    /// [`FnasError::InvalidConfig`] when the trial budget leaves this
+    /// shard empty (`total < count`).
+    pub fn config(&self) -> Result<SearchConfig> {
+        let total = self.base.preset().trials();
+        let share = self.spec.trial_share(total);
+        if share == 0 {
+            return Err(FnasError::InvalidConfig {
+                what: format!(
+                    "shard {} of a {total}-trial run has no trials; use at most {total} shards",
+                    self.spec
+                ),
+            });
+        }
+        Ok(self
+            .base
+            .shard_slice(self.spec.seed(self.base.seed()), share))
+    }
+
+    /// Freezes the parent run's initial controller state into the shared
+    /// init snapshot at `path` and returns it.
+    ///
+    /// The snapshot is what makes shards comparable: every shard imports
+    /// the same parameters, so the merged controller is a mean over
+    /// trajectories that diverged only through sampling.
+    ///
+    /// # Errors
+    ///
+    /// Searcher construction errors, plus [`FnasError::Io`] when the
+    /// snapshot cannot be written.
+    pub fn write_init(base: &SearchConfig, path: &Path) -> Result<SearchCheckpoint> {
+        let mut searcher = Searcher::surrogate(base)?;
+        let init = searcher.init_checkpoint(base);
+        init.save(path)?;
+        Ok(init)
+    }
+
+    /// Runs this shard against the init snapshot at `init_path`, scoring
+    /// accuracy with the calibrated surrogate (the configuration the
+    /// paper-scale sweeps use), checkpointing per `ckpt`.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardRunner::run_with`]'s.
+    pub fn run(
+        &self,
+        opts: &BatchOptions,
+        init_path: &Path,
+        ckpt: &CheckpointOptions,
+    ) -> Result<SearchOutcome> {
+        let init = SearchCheckpoint::load(init_path)?;
+        let mut searcher = Searcher::surrogate(&self.config()?)?;
+        self.run_with(&mut searcher, opts, &init, ckpt)
+    }
+
+    /// [`ShardRunner::run`] with a caller-supplied searcher (any accuracy
+    /// oracle) and an already-loaded init snapshot.
+    ///
+    /// `ckpt` is re-stamped with this shard's identity regardless of what
+    /// the caller set, so shard checkpoints can never masquerade as each
+    /// other. After the search completes, the shard's final state is
+    /// written over the live checkpoint path.
+    ///
+    /// # Errors
+    ///
+    /// [`FnasError::InvalidConfig`] when the init snapshot does not belong
+    /// to this run (wrong seed, or not an episode-0 snapshot) or the shard
+    /// has no trials; plus the batched loop's errors.
+    pub fn run_with(
+        &self,
+        searcher: &mut Searcher,
+        opts: &BatchOptions,
+        init: &SearchCheckpoint,
+        ckpt: &CheckpointOptions,
+    ) -> Result<SearchOutcome> {
+        if init.run_seed != self.base.seed() || init.parent_seed != self.base.seed() {
+            return Err(FnasError::InvalidConfig {
+                what: format!(
+                    "init snapshot belongs to a run with seed {:#x}, config says {:#x}",
+                    init.run_seed,
+                    self.base.seed()
+                ),
+            });
+        }
+        if init.next_episode != 0 || !init.trials.is_empty() {
+            return Err(FnasError::InvalidConfig {
+                what: "init snapshot is not an episode-0 snapshot (was it written mid-run?)"
+                    .to_string(),
+            });
+        }
+        let config = self.config()?;
+        let seed = config.seed();
+        let state = SearchCheckpoint {
+            shard_index: self.spec.index(),
+            shard_count: self.spec.count(),
+            parent_seed: self.base.seed(),
+            run_seed: seed,
+            next_episode: 0,
+            // Shard 0-of-1 takes over the parent stream mid-flight (the
+            // bit-identity contract); real shards open their own stream.
+            rng_state: if self.spec.count() == 1 {
+                init.rng_state
+            } else {
+                StdRng::seed_from_u64(seed).state()
+            },
+            baseline: init.baseline,
+            cost: SearchCost::default(),
+            trainer: init.trainer.clone(),
+            telemetry: TelemetrySnapshot::default(),
+            trials: Vec::new(),
+        };
+        let ckpt = ckpt
+            .clone()
+            .with_shard(self.spec.index(), self.spec.count(), self.base.seed());
+        let outcome = searcher.run_batched_inner(&config, opts, Some(state), Some(&ckpt))?;
+        searcher
+            .freeze_state(&ckpt, seed, &outcome)
+            .save(ckpt.path())?;
+        Ok(outcome)
+    }
+
+    /// Loads the finished shards' checkpoints and reduces them with
+    /// [`SearchCheckpoint::merge`].
+    ///
+    /// # Errors
+    ///
+    /// [`FnasError::Io`] when a file cannot be read, plus
+    /// [`SearchCheckpoint::merge`]'s validation errors.
+    pub fn merge_files<P: AsRef<Path>>(paths: &[P]) -> Result<SearchCheckpoint> {
+        let parts = paths
+            .iter()
+            .map(|p| SearchCheckpoint::load(p.as_ref()))
+            .collect::<Result<Vec<_>>>()?;
+        SearchCheckpoint::merge(&parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_the_cli_spelling_and_rejects_nonsense() {
+        let s = ShardSpec::parse("2/4").unwrap();
+        assert_eq!((s.index(), s.count()), (2, 4));
+        assert_eq!(s.to_string(), "2/4");
+        assert_eq!(ShardSpec::parse(" 0 / 1 ").unwrap().count(), 1);
+        for bad in ["", "3", "4/4", "5/4", "-1/4", "a/b", "1/0", "1//2"] {
+            assert!(ShardSpec::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn trial_shares_tile_the_budget_exactly() {
+        for (total, count) in [(60usize, 4u32), (61, 4), (7, 3), (4, 4), (100, 16)] {
+            let shares: Vec<usize> = (0..count)
+                .map(|i| ShardSpec::new(i, count).unwrap().trial_share(total))
+                .collect();
+            assert_eq!(shares.iter().sum::<usize>(), total, "{total}/{count}");
+            let (min, max) = (shares.iter().min().unwrap(), shares.iter().max().unwrap());
+            assert!(max - min <= 1, "{total}/{count}: uneven shares {shares:?}");
+        }
+    }
+
+    #[test]
+    fn one_shard_keeps_the_parent_seed_and_real_shards_do_not() {
+        let spec = ShardSpec::new(0, 1).unwrap();
+        assert_eq!(spec.seed(0xF0A5), 0xF0A5);
+        let spec = ShardSpec::new(0, 2).unwrap();
+        assert_ne!(spec.seed(0xF0A5), 0xF0A5);
+        assert_eq!(spec.seed(0xF0A5), derive_shard_seed(0xF0A5, 0));
+    }
+}

@@ -433,6 +433,73 @@ fn resume_refuses_a_checkpoint_from_a_different_seed() {
     std::fs::remove_file(&path).ok();
 }
 
+#[test]
+fn checkpoint_rotation_honours_the_retention_policy() {
+    use super::CheckpointPolicy;
+    let root = std::env::temp_dir().join(format!("fnas-ckpt-rotate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    // 24 trials in batches of 6 → 4 episodes → stamped files ep1..ep4.
+    let cfg = SearchConfig::fnas(quick_preset().with_trials(24), 5.0).with_seed(33);
+    let opts = BatchOptions::sequential().with_batch_size(6);
+    let stamped = |dir: &std::path::Path| {
+        let mut eps: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("search.ep"))
+            .collect();
+        eps.sort();
+        eps
+    };
+
+    for (policy, expected) in [
+        (CheckpointPolicy::LiveOnly, vec![]),
+        (
+            CheckpointPolicy::KeepAll,
+            vec![
+                "search.ep00000001.ckpt".to_string(),
+                "search.ep00000002.ckpt".to_string(),
+                "search.ep00000003.ckpt".to_string(),
+                "search.ep00000004.ckpt".to_string(),
+            ],
+        ),
+        (
+            CheckpointPolicy::keep_last(2),
+            vec![
+                "search.ep00000003.ckpt".to_string(),
+                "search.ep00000004.ckpt".to_string(),
+            ],
+        ),
+    ] {
+        let dir = root.join(format!("{policy:?}").to_lowercase());
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = CheckpointOptions::new(dir.join("search.ckpt")).with_policy(policy);
+        Searcher::surrogate(&cfg)
+            .unwrap()
+            .run_batched_checkpointed(&cfg, &opts, &ckpt)
+            .unwrap();
+        assert_eq!(stamped(&dir), expected, "{policy:?}");
+        // The newest stamped snapshot is the live checkpoint, byte for
+        // byte; every retained one still decodes.
+        if let Some(latest) = expected.last() {
+            assert_eq!(
+                std::fs::read(dir.join(latest)).unwrap(),
+                std::fs::read(dir.join("search.ckpt")).unwrap(),
+                "{policy:?}"
+            );
+            for name in &expected {
+                crate::checkpoint::SearchCheckpoint::load(&dir.join(name)).unwrap();
+            }
+        }
+    }
+
+    // Zero-history retention is spelled LiveOnly; keep_last clamps to 1.
+    assert_eq!(
+        CheckpointPolicy::keep_last(0),
+        CheckpointPolicy::KeepLast(1)
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
 /// Oracle that fails exactly one scripted architecture.
 #[derive(Debug)]
 struct FailOn {

@@ -40,5 +40,5 @@ pub mod telemetry;
 
 pub use cache::ShardedCache;
 pub use executor::{Executor, TaskFault};
-pub use seed::derive_child_seed;
+pub use seed::{derive_child_seed, derive_shard_seed};
 pub use telemetry::{Phase, SearchTelemetry, TelemetrySnapshot};

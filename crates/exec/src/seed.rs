@@ -43,6 +43,48 @@ pub fn derive_child_seed(run_seed: u64, episode: u64, child_index: u64) -> u64 {
     mix(mix(mix(run_seed) ^ episode) ^ child_index)
 }
 
+/// Domain-separation constant for shard streams (`b"SHARD_ST"` as a
+/// little-endian word). Episode indices are small integers, so folding
+/// this constant into the episode position of the mix guarantees shard
+/// seeds can never collide with any child seed a real run derives.
+const SHARD_STREAM_DOMAIN: u64 = u64::from_le_bytes(*b"SHARD_ST");
+
+/// Derives the root RNG seed for shard `shard` of a run seeded with
+/// `run_seed` — the second level of the hierarchical stream tree:
+///
+/// ```text
+/// run_seed
+/// ├── derive_shard_seed(run_seed, 0) ── derive_child_seed(shard0, e, c)
+/// ├── derive_shard_seed(run_seed, 1) ── derive_child_seed(shard1, e, c)
+/// └── ...
+/// ```
+///
+/// Each shard feeds its own seed back through [`derive_child_seed`] for
+/// per-child streams, so two shards of the same run never share a stream
+/// at any level. Like [`derive_child_seed`] this is a fixed published
+/// SplitMix64 construction: deterministic, avalanche-mixed and stable
+/// across builds.
+///
+/// Note the **identity convention** used by the shard driver: a 1-shard
+/// deployment uses `run_seed` itself (not `derive_shard_seed(run_seed,
+/// 0)`), so a single shard reproduces the unsharded run bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_exec::{derive_child_seed, derive_shard_seed};
+///
+/// let a = derive_shard_seed(42, 0);
+/// assert_eq!(a, derive_shard_seed(42, 0));
+/// assert_ne!(a, derive_shard_seed(42, 1));
+/// assert_ne!(a, 42);
+/// // Shard streams live in their own domain, apart from child streams.
+/// assert_ne!(a, derive_child_seed(42, 0, 0));
+/// ```
+pub fn derive_shard_seed(run_seed: u64, shard: u64) -> u64 {
+    mix(mix(mix(run_seed) ^ SHARD_STREAM_DOMAIN) ^ shard)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +122,40 @@ mod tests {
         let pinned = derive_child_seed(0xF0A5, 3, 17);
         assert_eq!(pinned, derive_child_seed(0xF0A5, 3, 17));
         assert_ne!(pinned, 0);
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_from_each_other_and_from_child_seeds() {
+        let mut seen = HashSet::new();
+        for seed in 0..4u64 {
+            for shard in 0..64u64 {
+                assert!(
+                    seen.insert(derive_shard_seed(seed, shard)),
+                    "shard-seed collision at ({seed}, {shard})"
+                );
+            }
+            // The shard domain never intersects realistic child streams.
+            for episode in 0..64u64 {
+                for child in 0..16u64 {
+                    assert!(
+                        !seen.contains(&derive_child_seed(seed, episode, child)),
+                        "child seed ({seed}, {episode}, {child}) landed in the shard domain"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_seed_pinned_reference_values() {
+        // Stability contract: recorded sharded runs must replay forever.
+        assert_eq!(
+            derive_shard_seed(0, 0),
+            derive_child_seed(0, u64::from_le_bytes(*b"SHARD_ST"), 0)
+        );
+        let pinned = derive_shard_seed(0xF0A5, 3);
+        assert_eq!(pinned, derive_shard_seed(0xF0A5, 3));
+        assert_ne!(pinned, 0xF0A5);
     }
 
     #[test]

@@ -152,6 +152,45 @@ impl SearchTelemetry {
             .fetch_add(misses, Ordering::Relaxed);
     }
 
+    /// Folds a frozen snapshot into the live counters — the engine's path
+    /// for absorbing an episode's telemetry delta, and the reduction the
+    /// checkpoint merge reuses. Every addition **saturates** instead of
+    /// wrapping: merging counters from many shards must never overflow a
+    /// `u64` back to a small number and mis-report a run as short.
+    pub fn merge_snapshot(&self, s: &TelemetrySnapshot) {
+        let add = |cell: &AtomicU64, n: u64| {
+            // `fetch_add` wraps; saturate through a CAS loop instead.
+            let mut cur = cell.load(Ordering::Relaxed);
+            loop {
+                let next = cur.saturating_add(n);
+                match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        };
+        add(&self.children_sampled, s.children_sampled);
+        add(&self.children_pruned, s.children_pruned);
+        add(&self.children_trained, s.children_trained);
+        add(&self.children_unbuildable, s.children_unbuildable);
+        add(&self.children_failed, s.children_failed);
+        add(&self.episodes, s.episodes);
+        add(&self.panics_caught, s.panics_caught);
+        add(&self.retries, s.retries);
+        add(&self.quarantined, s.quarantined);
+        add(&self.checkpoints_written, s.checkpoints_written);
+        add(&self.analyzer_calls, s.analyzer_calls);
+        add(&self.train_calls, s.train_calls);
+        add(&self.latency_cache_hits, s.latency_cache_hits);
+        add(&self.latency_cache_misses, s.latency_cache_misses);
+        add(&self.accuracy_cache_hits, s.accuracy_cache_hits);
+        add(&self.accuracy_cache_misses, s.accuracy_cache_misses);
+        add(&self.sample_nanos, duration_nanos(s.sample_time));
+        add(&self.latency_nanos, duration_nanos(s.latency_time));
+        add(&self.accuracy_nanos, duration_nanos(s.accuracy_time));
+        add(&self.update_nanos, duration_nanos(s.update_time));
+    }
+
     /// Starts a monotonic timer attributing its lifetime to `phase`.
     #[must_use = "the timer records on drop"]
     pub fn phase_timer(&self, phase: Phase) -> PhaseTimer<'_> {
@@ -264,6 +303,51 @@ pub struct TelemetrySnapshot {
 }
 
 impl TelemetrySnapshot {
+    /// The pure reduction behind every telemetry merge: element-wise
+    /// **saturating** addition of all counters and wall times. Saturating
+    /// adds are commutative and associative, so folding any number of
+    /// shard snapshots produces the same result in any association order
+    /// (the checkpoint merge still fixes shard order for the float state
+    /// it reduces alongside this).
+    #[must_use]
+    pub fn merge(&self, other: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let dur = |a: Duration, b: Duration| a.checked_add(b).unwrap_or(Duration::MAX);
+        TelemetrySnapshot {
+            children_sampled: self.children_sampled.saturating_add(other.children_sampled),
+            children_pruned: self.children_pruned.saturating_add(other.children_pruned),
+            children_trained: self.children_trained.saturating_add(other.children_trained),
+            children_unbuildable: self
+                .children_unbuildable
+                .saturating_add(other.children_unbuildable),
+            children_failed: self.children_failed.saturating_add(other.children_failed),
+            episodes: self.episodes.saturating_add(other.episodes),
+            panics_caught: self.panics_caught.saturating_add(other.panics_caught),
+            retries: self.retries.saturating_add(other.retries),
+            quarantined: self.quarantined.saturating_add(other.quarantined),
+            checkpoints_written: self
+                .checkpoints_written
+                .saturating_add(other.checkpoints_written),
+            analyzer_calls: self.analyzer_calls.saturating_add(other.analyzer_calls),
+            train_calls: self.train_calls.saturating_add(other.train_calls),
+            latency_cache_hits: self
+                .latency_cache_hits
+                .saturating_add(other.latency_cache_hits),
+            latency_cache_misses: self
+                .latency_cache_misses
+                .saturating_add(other.latency_cache_misses),
+            accuracy_cache_hits: self
+                .accuracy_cache_hits
+                .saturating_add(other.accuracy_cache_hits),
+            accuracy_cache_misses: self
+                .accuracy_cache_misses
+                .saturating_add(other.accuracy_cache_misses),
+            sample_time: dur(self.sample_time, other.sample_time),
+            latency_time: dur(self.latency_time, other.latency_time),
+            accuracy_time: dur(self.accuracy_time, other.accuracy_time),
+            update_time: dur(self.update_time, other.update_time),
+        }
+    }
+
     /// Latency-cache hit rate over all lookups (`0.0` with no traffic).
     pub fn latency_cache_hit_rate(&self) -> f64 {
         ratio(self.latency_cache_hits, self.latency_cache_misses)
@@ -297,6 +381,10 @@ impl TelemetrySnapshot {
             ("update", self.update_time),
         ]
     }
+}
+
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn ratio(hits: u64, misses: u64) -> f64 {
@@ -447,6 +535,67 @@ mod tests {
         assert!(text.contains("latency cache"));
         assert!(text.contains("faults:"));
         assert!(text.contains("wall:"));
+    }
+
+    #[test]
+    fn snapshot_merge_saturates_instead_of_wrapping() {
+        // Counters right at the u64 edge: a wrapping add would fold these
+        // back to tiny values and mis-report a huge run as short.
+        let a = TelemetrySnapshot {
+            children_sampled: u64::MAX - 1,
+            retries: u64::MAX,
+            episodes: 3,
+            sample_time: Duration::MAX,
+            ..TelemetrySnapshot::default()
+        };
+        let b = TelemetrySnapshot {
+            children_sampled: 7,
+            retries: 1,
+            episodes: 2,
+            sample_time: Duration::from_secs(1),
+            ..TelemetrySnapshot::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.children_sampled, u64::MAX);
+        assert_eq!(m.retries, u64::MAX);
+        assert_eq!(m.episodes, 5);
+        assert_eq!(m.sample_time, Duration::MAX);
+    }
+
+    #[test]
+    fn snapshot_merge_is_commutative_and_associative() {
+        let mk = |base: u64| TelemetrySnapshot {
+            children_sampled: base.saturating_mul(u64::MAX / 2),
+            children_pruned: base,
+            children_trained: base * 2,
+            episodes: base,
+            train_calls: u64::MAX - base,
+            latency_cache_hits: base * 31,
+            accuracy_time: Duration::from_nanos(base),
+            ..TelemetrySnapshot::default()
+        };
+        let (a, b, c) = (mk(1), mk(2), mk(3));
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        // Zero is the identity.
+        assert_eq!(a.merge(&TelemetrySnapshot::default()), a);
+    }
+
+    #[test]
+    fn live_merge_snapshot_matches_the_pure_reduction() {
+        let t = SearchTelemetry::new();
+        t.add_sampled(u64::MAX - 2);
+        let delta = TelemetrySnapshot {
+            children_sampled: 5,
+            children_failed: 1,
+            episodes: 1,
+            latency_time: Duration::from_millis(7),
+            ..TelemetrySnapshot::default()
+        };
+        let expected = t.snapshot().merge(&delta);
+        t.merge_snapshot(&delta);
+        assert_eq!(t.snapshot(), expected);
+        assert_eq!(t.snapshot().children_sampled, u64::MAX);
     }
 
     #[test]

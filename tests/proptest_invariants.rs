@@ -249,3 +249,174 @@ proptest! {
         }
     }
 }
+
+/// Raw generated state for one shard checkpoint: controller params,
+/// (baseline present?, baseline value), per-trial specs
+/// (filter size, filter count, reward, trained?), RNG words, and
+/// (episode, training cost, analyzer cost, children sampled).
+type RawShard = (
+    Vec<f32>,
+    (u32, f32),
+    Vec<(usize, usize, f32, u32)>,
+    Vec<u64>,
+    (u64, u64, u64, u64),
+);
+
+fn raw_shard() -> impl Strategy<Value = RawShard> {
+    (
+        prop::collection::vec(-2.0f32..2.0, 4),
+        (0u32..2, 0.0f32..1.0),
+        prop::collection::vec((1usize..=7, 1usize..=64, -3.0f32..3.0, 0u32..2), 0..5),
+        prop::collection::vec(0u64..=u64::MAX, 4),
+        (0u64..100, 0u64..500, 0u64..500, 0u64..1000),
+    )
+}
+
+/// One plausible shard checkpoint of an `n`-shard run. The controller
+/// shape is fixed (4 params, one moment slot) so generated shards are
+/// mergeable; everything else — float state, counters, trials — varies.
+fn shard_from(index: u32, count: u32, raw: RawShard) -> fnas::checkpoint::SearchCheckpoint {
+    use fnas::checkpoint::SearchCheckpoint;
+    use fnas::cost::SearchCost;
+    use fnas::search::TrialRecord;
+    use fnas_controller::arch::{ChildArch, LayerChoice};
+    use fnas_controller::reinforce::TrainerState;
+    use fnas_exec::TelemetrySnapshot;
+    use fnas_nn::optim::AdamState;
+
+    let (
+        params,
+        (has_baseline, baseline),
+        trial_specs,
+        rng,
+        (episode, train_s, analyzer_s, sampled),
+    ) = raw;
+    let trials = trial_specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (filter, filters, reward, trained))| TrialRecord {
+            index: i,
+            arch: ChildArch::new(vec![LayerChoice {
+                filter_size: filter,
+                num_filters: filters,
+            }])
+            .expect("non-empty layer list"),
+            latency: None,
+            accuracy: (trained == 1).then_some(0.5),
+            reward,
+            trained: trained == 1,
+        })
+        .collect();
+    SearchCheckpoint {
+        shard_index: index,
+        shard_count: count,
+        parent_seed: 0xABCD,
+        run_seed: 0x1000 + u64::from(index),
+        next_episode: episode,
+        rng_state: [rng[0], rng[1], rng[2], rng[3]],
+        baseline: (has_baseline == 1).then_some(baseline),
+        cost: SearchCost {
+            training_seconds: train_s as f64,
+            analyzer_seconds: analyzer_s as f64,
+        },
+        trainer: TrainerState {
+            params: params.clone(),
+            // Moment presence varies with the baseline flag so the merge's
+            // absent-slot path gets exercised alongside the averaging path.
+            optimizer: AdamState {
+                t: episode,
+                moments: vec![(has_baseline == 1).then(|| (params.clone(), params.clone()))],
+            },
+            updates: episode,
+        },
+        telemetry: TelemetrySnapshot {
+            children_sampled: sampled,
+            episodes: episode,
+            ..TelemetrySnapshot::default()
+        },
+        trials,
+    }
+}
+
+proptest! {
+    // These cases are heavier (10k RNG draws per shard stream, full codec
+    // round trips), so run fewer of them.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Hierarchical shard seeding: across 16 shards of any parent run, the
+    /// first 10 000 draws of every shard stream are pairwise disjoint —
+    /// no shard replays a window of another shard's randomness, and none
+    /// replays the parent stream either.
+    #[test]
+    fn shard_rng_streams_do_not_overlap(run_seed in 0u64..=u64::MAX) {
+        use fnas_exec::derive_shard_seed;
+        use rand::rngs::StdRng;
+        use rand::{RngCore, SeedableRng};
+        use std::collections::HashMap;
+
+        const SHARDS: u64 = 16;
+        const DRAWS: usize = 10_000;
+        let seeds: Vec<u64> = (0..SHARDS).map(|i| derive_shard_seed(run_seed, i)).collect();
+        // The seeds themselves are pairwise distinct and never the parent.
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), SHARDS as usize);
+        prop_assert!(!seeds.contains(&run_seed));
+
+        let mut seen: HashMap<u64, usize> = HashMap::new();
+        let mut streams: Vec<StdRng> = std::iter::once(run_seed)
+            .chain(seeds)
+            .map(StdRng::seed_from_u64)
+            .collect();
+        for (stream, rng) in streams.iter_mut().enumerate() {
+            for _ in 0..DRAWS {
+                let draw = rng.next_u64();
+                if let Some(&other) = seen.get(&draw) {
+                    prop_assert!(
+                        other == stream,
+                        "streams {} and {} both produced {:#x}", other, stream, draw
+                    );
+                }
+                seen.insert(draw, stream);
+            }
+        }
+    }
+
+    /// `SearchCheckpoint::merge` commutes with the codec: merging shards
+    /// that went through a serialize/deserialize round trip produces the
+    /// same checkpoint as merging the originals, and the merged result
+    /// itself round-trips exactly.
+    #[test]
+    fn checkpoint_merge_round_trips_through_the_codec(
+        count in 1u32..=4,
+        raws in prop::collection::vec(raw_shard(), 4),
+    ) {
+        use fnas::checkpoint::SearchCheckpoint;
+
+        let shards: Vec<SearchCheckpoint> = raws
+            .into_iter()
+            .take(count as usize)
+            .enumerate()
+            .map(|(i, raw)| shard_from(i as u32, count, raw))
+            .collect();
+
+        let reloaded: Vec<SearchCheckpoint> = shards
+            .iter()
+            .map(|s| SearchCheckpoint::from_bytes(&s.to_bytes()).expect("shard round trip"))
+            .collect();
+        for (orig, back) in shards.iter().zip(&reloaded) {
+            prop_assert_eq!(orig, back);
+        }
+
+        let merged = SearchCheckpoint::merge(&shards).expect("well-formed shard set");
+        let merged_from_reloaded =
+            SearchCheckpoint::merge(&reloaded).expect("well-formed shard set");
+        prop_assert_eq!(&merged, &merged_from_reloaded);
+
+        let bytes = merged.to_bytes();
+        let back = SearchCheckpoint::from_bytes(&bytes).expect("merged round trip");
+        prop_assert_eq!(&back, &merged);
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+}

@@ -1,0 +1,191 @@
+//! Determinism of episode-sharded search and checkpoint merge.
+//!
+//! Two contracts pinned here:
+//!
+//! * **Degeneration** — a 1-shard [`ShardRunner`] run against the shared
+//!   init snapshot is **bit-identical** to the unsharded
+//!   [`Searcher::run_batched_checkpointed`], at every worker count (0, 1,
+//!   2, 8): same outcome fingerprint, byte-identical final checkpoint
+//!   file. `--shard 0/1` is never a behaviour change.
+//! * **Deterministic reduction** — two independent 4-shard sweeps produce
+//!   byte-identical merged checkpoints, regardless of the order the shard
+//!   files are handed to the merge.
+
+use std::path::{Path, PathBuf};
+
+use fnas::checkpoint::SearchCheckpoint;
+use fnas::experiment::ExperimentPreset;
+use fnas::search::{
+    BatchOptions, CheckpointOptions, SearchConfig, SearchOutcome, Searcher, ShardRunner, ShardSpec,
+};
+use fnas_exec::derive_shard_seed;
+
+fn config(trials: usize, seed: u64) -> SearchConfig {
+    SearchConfig::fnas(ExperimentPreset::mnist().with_trials(trials), 5.0).with_seed(seed)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fnas-shard-det-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// The observable outcome: deployed arch, full per-trial trace with exact
+/// float bits, and exact cost totals.
+type Fingerprint = (
+    Option<String>,
+    Vec<(String, u32, Option<u64>, bool)>,
+    u64,
+    u64,
+);
+
+fn fingerprint(out: &SearchOutcome) -> Fingerprint {
+    (
+        out.best().map(|b| b.arch.describe()),
+        out.trials()
+            .iter()
+            .map(|t| {
+                (
+                    t.arch.describe(),
+                    t.reward.to_bits(),
+                    t.latency.map(|l| l.get().to_bits()),
+                    t.trained,
+                )
+            })
+            .collect(),
+        out.cost().training_seconds.to_bits(),
+        out.cost().analyzer_seconds.to_bits(),
+    )
+}
+
+#[test]
+fn one_shard_run_is_bit_identical_to_the_unsharded_engine() {
+    let dir = temp_dir("degenerate");
+    let config = config(24, 41);
+    let init_path = dir.join("init.ckpt");
+    ShardRunner::write_init(&config, &init_path).expect("init");
+
+    for workers in [0usize, 1, 2, 8] {
+        let opts = BatchOptions::sequential()
+            .with_workers(workers)
+            .with_batch_size(6);
+
+        let base_path = dir.join(format!("base-{workers}.ckpt"));
+        let baseline = Searcher::surrogate(&config)
+            .expect("constructible")
+            .run_batched_checkpointed(&config, &opts, &CheckpointOptions::new(&base_path))
+            .expect("runs");
+
+        let shard_path = dir.join(format!("shard-{workers}.ckpt"));
+        let runner = ShardRunner::new(config.clone(), ShardSpec::new(0, 1).expect("0/1"));
+        let sharded = runner
+            .run(&opts, &init_path, &CheckpointOptions::new(&shard_path))
+            .expect("runs");
+
+        assert_eq!(
+            fingerprint(&sharded),
+            fingerprint(&baseline),
+            "workers = {workers}"
+        );
+        // The hand-off artifact is byte-identical too: a 0/1 shard file is
+        // indistinguishable from the unsharded engine's checkpoint.
+        assert_eq!(
+            std::fs::read(&shard_path).expect("shard file"),
+            std::fs::read(&base_path).expect("baseline file"),
+            "workers = {workers}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+fn run_sweep(dir: &Path, base: &SearchConfig, count: u32, workers: usize) -> Vec<PathBuf> {
+    let init_path = dir.join("init.ckpt");
+    ShardRunner::write_init(base, &init_path).expect("init");
+    (0..count)
+        .map(|i| {
+            let path = dir.join(format!("shard-{i}-of-{count}.ckpt"));
+            let spec = ShardSpec::new(i, count).expect("in range");
+            let opts = BatchOptions::sequential()
+                .with_workers(workers)
+                .with_batch_size(3);
+            ShardRunner::new(base.clone(), spec)
+                .run(&opts, &init_path, &CheckpointOptions::new(&path))
+                .expect("shard runs");
+            path
+        })
+        .collect()
+}
+
+#[test]
+fn four_shard_merge_is_byte_identical_across_independent_sweeps() {
+    let base = config(24, 77);
+
+    // Sweep A: shards run in order, merged in order, on a thread pool.
+    let dir_a = temp_dir("sweep-a");
+    let paths_a = run_sweep(&dir_a, &base, 4, 2);
+    let merged_a = ShardRunner::merge_files(&paths_a).expect("merges");
+
+    // Sweep B: an independent process's worth of state, different worker
+    // count, shard files handed to the merge in scrambled order.
+    let dir_b = temp_dir("sweep-b");
+    let mut paths_b = run_sweep(&dir_b, &base, 4, 0);
+    paths_b.rotate_left(2);
+    paths_b.swap(0, 1);
+    let merged_b = ShardRunner::merge_files(&paths_b).expect("merges");
+
+    assert_eq!(merged_a.to_bytes(), merged_b.to_bytes());
+
+    // The reduction really covered the whole budget, re-indexed.
+    assert_eq!(merged_a.shard_index, 0);
+    assert_eq!(merged_a.shard_count, 1);
+    assert_eq!(merged_a.run_seed, base.seed());
+    assert_eq!(merged_a.trials.len(), 24);
+    for (i, t) in merged_a.trials.iter().enumerate() {
+        assert_eq!(t.index, i);
+    }
+
+    std::fs::remove_dir_all(&dir_a).expect("cleanup");
+    std::fs::remove_dir_all(&dir_b).expect("cleanup");
+}
+
+#[test]
+fn shard_files_carry_their_stamp_and_foreign_inputs_are_rejected() {
+    let dir = temp_dir("stamps");
+    let base = config(10, 9);
+    let paths = run_sweep(&dir, &base, 2, 0);
+
+    // 10 trials over 2 shards: 5 + 5, each stamped with its identity and
+    // its derived stream.
+    for (i, path) in paths.iter().enumerate() {
+        let ck = SearchCheckpoint::load(path).expect("loads");
+        assert_eq!(ck.shard_index, i as u32);
+        assert_eq!(ck.shard_count, 2);
+        assert_eq!(ck.parent_seed, base.seed());
+        assert_eq!(ck.run_seed, derive_shard_seed(base.seed(), i as u64));
+        assert_eq!(ck.trials.len(), 5);
+    }
+
+    // Merging a partial shard set fails loudly.
+    assert!(ShardRunner::merge_files(&paths[..1]).is_err());
+
+    // A runner for a *different* run refuses the init snapshot.
+    let stray = ShardRunner::new(config(10, 10), ShardSpec::new(0, 2).expect("0/2"));
+    let init = SearchCheckpoint::load(&dir.join("init.ckpt")).expect("loads");
+    let mut searcher = Searcher::surrogate(&config(10, 10)).expect("constructible");
+    let err = stray
+        .run_with(
+            &mut searcher,
+            &BatchOptions::sequential(),
+            &init,
+            &CheckpointOptions::new(dir.join("stray.ckpt")),
+        )
+        .expect_err("wrong seed must be rejected");
+    assert!(err.to_string().contains("init snapshot"), "{err}");
+
+    // More shards than trials is a config error, not a silent empty run.
+    let crowded = ShardRunner::new(config(3, 9), ShardSpec::new(5, 6).expect("5/6"));
+    assert!(crowded.config().is_err());
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

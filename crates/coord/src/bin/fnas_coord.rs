@@ -1,0 +1,280 @@
+//! `fnas-coord` — coordinate an iterated, sharded FNAS search.
+//!
+//! ```text
+//! fnas-coord serve --listen 127.0.0.1:7463 --dir out \
+//!     --shards 4 --rounds 2 [config flags]     # then start fnas-worker(s)
+//! fnas-coord local --dir out --shards 4 --rounds 2 [config flags]
+//! ```
+//!
+//! `serve` listens for `fnas-worker` processes, leases shards with a
+//! wall-clock TTL, re-dispatches stragglers, merges each round at the
+//! barrier and writes the final checkpoint to `<dir>/merged.ckpt`.
+//! `local` runs the identical rounds sequentially in-process — the
+//! reference a coordinated run must match byte for byte (compare the two
+//! files, or their SHA-256s, to audit a deployment).
+//!
+//! The config flags (`--preset`, `--trials`, `--seed`, `--budget-ms`,
+//! `--batch`) plus `--shards`/`--rounds` form the run fingerprint; every
+//! worker must be started with the same values.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use fnas::experiment::ExperimentPreset;
+use fnas::search::{BatchOptions, SearchConfig};
+use fnas_coord::{
+    run_rounds_local, Clock, Coordinator, CoordinatorOptions, LeasePolicy, WallClock,
+};
+
+struct Cli {
+    listen: Option<String>,
+    dir: PathBuf,
+    config: SearchConfig,
+    opts: BatchOptions,
+    shards: u32,
+    rounds: u64,
+    lease_ttl_ms: u64,
+    straggle_after_ms: Option<u64>,
+    linger_ms: u64,
+}
+
+const USAGE: &str = "usage: fnas-coord <serve|local> --dir <out-dir> [options]
+  common     --shards <N>            shards per round (default 4)
+             --rounds <R>            synchronous rounds (default 1)
+             --preset <mnist|mnist-low-end|cifar10>  (default mnist)
+             --trials <N>            trial budget per round
+             --seed <N>              base run seed
+             --budget-ms <X>         FNAS latency budget in ms (default 10)
+             --batch <B>             children per episode (default 8)
+  serve      --listen <addr:port>    listen address (required)
+             --lease-ttl-ms <X>      lease TTL (default 5000)
+             --straggle-after-ms <X> speculate after (default ttl/2)
+             --linger-ms <X>         keep answering after finish (default 500)
+  local      --workers <W>           evaluation workers (default: cores)";
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut listen = None;
+    let mut dir = None;
+    let mut preset_name = "mnist".to_string();
+    let mut trials = None;
+    let mut seed = None;
+    let mut budget_ms = 10.0f64;
+    let mut batch = None;
+    let mut workers = None;
+    let mut shards = 4u32;
+    let mut rounds = 1u64;
+    let mut lease_ttl_ms = 5_000u64;
+    let mut straggle_after_ms = None;
+    let mut linger_ms = 500u64;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--listen" => listen = Some(value()?.to_string()),
+            "--dir" => dir = Some(PathBuf::from(value()?)),
+            "--preset" => preset_name = value()?.to_string(),
+            "--trials" => trials = Some(parse_num::<usize>(flag, value()?)?),
+            "--seed" => seed = Some(parse_num::<u64>(flag, value()?)?),
+            "--budget-ms" => budget_ms = parse_num::<f64>(flag, value()?)?,
+            "--batch" => batch = Some(parse_num::<usize>(flag, value()?)?),
+            "--workers" => workers = Some(parse_num::<usize>(flag, value()?)?),
+            "--shards" => shards = parse_num::<u32>(flag, value()?)?,
+            "--rounds" => rounds = parse_num::<u64>(flag, value()?)?,
+            "--lease-ttl-ms" => lease_ttl_ms = parse_num::<u64>(flag, value()?)?,
+            "--straggle-after-ms" => straggle_after_ms = Some(parse_num::<u64>(flag, value()?)?),
+            "--linger-ms" => linger_ms = parse_num::<u64>(flag, value()?)?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+
+    let mut preset = match preset_name.as_str() {
+        "mnist" => ExperimentPreset::mnist(),
+        "mnist-low-end" => ExperimentPreset::mnist_low_end(),
+        "cifar10" => ExperimentPreset::cifar10(),
+        other => return Err(format!("unknown preset {other:?}")),
+    };
+    if let Some(t) = trials {
+        preset = preset.with_trials(t);
+    }
+    let mut config = SearchConfig::fnas(preset, budget_ms);
+    if let Some(s) = seed {
+        config = config.with_seed(s);
+    }
+    let mut opts = BatchOptions::default();
+    if let Some(w) = workers {
+        opts = opts.with_workers(w);
+    }
+    if let Some(b) = batch {
+        opts = opts.with_batch_size(b);
+    }
+    Ok(Cli {
+        listen,
+        dir: dir.ok_or("--dir is required")?,
+        config,
+        opts,
+        shards,
+        rounds,
+        lease_ttl_ms,
+        straggle_after_ms,
+        linger_ms,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: bad value {s:?}"))
+}
+
+fn cmd_serve(cli: &Cli) -> Result<String, String> {
+    let listen = cli.listen.as_deref().ok_or("serve needs --listen")?;
+    std::fs::create_dir_all(&cli.dir).map_err(|e| e.to_string())?;
+    let mut lease = LeasePolicy::with_ttl_ms(cli.lease_ttl_ms);
+    if let Some(s) = cli.straggle_after_ms {
+        lease.straggle_after_ms = s;
+    }
+    let opts = CoordinatorOptions {
+        shards: cli.shards,
+        rounds: cli.rounds,
+        lease,
+        backoff_ms: 50,
+        linger_ms: cli.linger_ms,
+    };
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    let coordinator = Arc::new(
+        Coordinator::new(cli.config.clone(), cli.opts.batch_size(), opts, clock)
+            .map_err(|e| e.to_string())?,
+    );
+    let listener = TcpListener::bind(listen).map_err(|e| e.to_string())?;
+    eprintln!(
+        "fnas-coord: serving {} shards x {} rounds on {listen} (fingerprint {:#018x})",
+        cli.shards,
+        cli.rounds,
+        coordinator.fingerprint()
+    );
+    let merged = coordinator.serve(listener).map_err(|e| e.to_string())?;
+    let out = cli.dir.join("merged.ckpt");
+    merged.save(&out).map_err(|e| e.to_string())?;
+    let t = coordinator.telemetry().snapshot();
+    Ok(format!(
+        "coordinated {} shards x {} rounds: {} trials, wrote {}\n\
+         coord: leases expired {} | shards re-dispatched {} | duplicate results {}",
+        cli.shards,
+        cli.rounds,
+        merged.trials.len(),
+        out.display(),
+        t.leases_expired,
+        t.shards_redispatched,
+        t.duplicate_results,
+    ))
+}
+
+fn cmd_local(cli: &Cli) -> Result<String, String> {
+    let merged = run_rounds_local(&cli.config, &cli.opts, cli.shards, cli.rounds, &cli.dir)
+        .map_err(|e| e.to_string())?;
+    let out = cli.dir.join("merged.ckpt");
+    merged.save(&out).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "ran {} shards x {} rounds in-process: {} trials, wrote {}",
+        cli.shards,
+        cli.rounds,
+        merged.trials.len(),
+        out.display()
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let cli = match parse(rest) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("fnas-coord: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "serve" => cmd_serve(&cli),
+        "local" => cmd_local(&cli),
+        other => {
+            eprintln!("fnas-coord: unknown command {other:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fnas-coord: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(extra: &str) -> Result<Cli, String> {
+        let args: Vec<String> = extra.split_whitespace().map(String::from).collect();
+        parse(&args)
+    }
+
+    #[test]
+    fn parses_the_documented_flags() {
+        let c = cli(
+            "--dir /tmp/x --listen 127.0.0.1:7463 --shards 4 --rounds 2 --trials 24 \
+             --seed 77 --batch 3 --lease-ttl-ms 2000 --straggle-after-ms 600 --linger-ms 100",
+        )
+        .unwrap();
+        assert_eq!(c.listen.as_deref(), Some("127.0.0.1:7463"));
+        assert_eq!((c.shards, c.rounds), (4, 2));
+        assert_eq!(c.config.seed(), 77);
+        assert_eq!(c.config.preset().trials(), 24);
+        assert_eq!(c.opts.batch_size(), 3);
+        assert_eq!(c.lease_ttl_ms, 2000);
+        assert_eq!(c.straggle_after_ms, Some(600));
+        assert_eq!(c.linger_ms, 100);
+    }
+
+    #[test]
+    fn rejects_malformed_invocations() {
+        for bad in [
+            "--shards 2",            // no --dir
+            "--dir /tmp/x --nope",   // unknown flag
+            "--dir /tmp/x --rounds", // missing value
+            "--dir /tmp/x --preset tpu",
+        ] {
+            assert!(cli(bad).is_err(), "{bad:?} should be rejected");
+        }
+        // serve without --listen fails at dispatch, not parse.
+        let c = cli("--dir /tmp/x").unwrap();
+        assert!(cmd_serve(&c).unwrap_err().contains("--listen"));
+    }
+
+    #[test]
+    fn local_runs_a_tiny_coordinated_sweep() {
+        let dir = std::env::temp_dir().join(format!("fnas-coord-bin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = cli(&format!(
+            "--dir {} --shards 2 --rounds 2 --trials 8 --seed 5 --batch 4 --workers 0",
+            dir.display()
+        ))
+        .unwrap();
+        let msg = cmd_local(&c).unwrap();
+        assert!(msg.contains("2 shards x 2 rounds"), "{msg}");
+        assert!(msg.contains("16 trials"), "{msg}");
+        assert!(dir.join("merged.ckpt").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

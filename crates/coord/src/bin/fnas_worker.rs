@@ -1,0 +1,178 @@
+//! `fnas-worker` — serve shards to an `fnas-coord` coordinator.
+//!
+//! ```text
+//! fnas-worker --connect 127.0.0.1:7463 --dir scratch --name w1 \
+//!     --shards 4 --rounds 2 [config flags]
+//! ```
+//!
+//! The config flags (`--preset`, `--trials`, `--seed`, `--budget-ms`,
+//! `--batch`) and `--shards`/`--rounds` must match the coordinator's —
+//! the fingerprint handshake rejects a mismatch on the first poll.
+//! `--workers` (evaluation threads) is the one knob that may differ per
+//! machine: shard results are bit-identical for any worker count.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fnas::experiment::ExperimentPreset;
+use fnas::search::{BatchOptions, SearchConfig};
+use fnas_coord::{run_worker, WorkerOptions};
+
+struct Cli {
+    worker: WorkerOptions,
+    config: SearchConfig,
+    opts: BatchOptions,
+    shards: u32,
+    rounds: u64,
+}
+
+const USAGE: &str = "usage: fnas-worker --connect <addr:port> --dir <scratch-dir> [options]
+  --name <s>              worker name (default: pid-derived)
+  --shards <N>            shards per round (must match the coordinator)
+  --rounds <R>            synchronous rounds (must match the coordinator)
+  --preset <mnist|mnist-low-end|cifar10>  (default mnist)
+  --trials <N>            trial budget per round (must match)
+  --seed <N>              base run seed (must match)
+  --budget-ms <X>         FNAS latency budget in ms (default 10, must match)
+  --batch <B>             children per episode (default 8, must match)
+  --workers <W>           evaluation threads (free to differ per machine)
+  --heartbeat-ms <X>      lease heartbeat cadence (default 1000)";
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut connect = None;
+    let mut dir = None;
+    let mut name = None;
+    let mut preset_name = "mnist".to_string();
+    let mut trials = None;
+    let mut seed = None;
+    let mut budget_ms = 10.0f64;
+    let mut batch = None;
+    let mut workers = None;
+    let mut shards = 4u32;
+    let mut rounds = 1u64;
+    let mut heartbeat_ms = 1_000u64;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--connect" => connect = Some(value()?.to_string()),
+            "--dir" => dir = Some(PathBuf::from(value()?)),
+            "--name" => name = Some(value()?.to_string()),
+            "--preset" => preset_name = value()?.to_string(),
+            "--trials" => trials = Some(parse_num::<usize>(flag, value()?)?),
+            "--seed" => seed = Some(parse_num::<u64>(flag, value()?)?),
+            "--budget-ms" => budget_ms = parse_num::<f64>(flag, value()?)?,
+            "--batch" => batch = Some(parse_num::<usize>(flag, value()?)?),
+            "--workers" => workers = Some(parse_num::<usize>(flag, value()?)?),
+            "--shards" => shards = parse_num::<u32>(flag, value()?)?,
+            "--rounds" => rounds = parse_num::<u64>(flag, value()?)?,
+            "--heartbeat-ms" => heartbeat_ms = parse_num::<u64>(flag, value()?)?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+
+    let mut preset = match preset_name.as_str() {
+        "mnist" => ExperimentPreset::mnist(),
+        "mnist-low-end" => ExperimentPreset::mnist_low_end(),
+        "cifar10" => ExperimentPreset::cifar10(),
+        other => return Err(format!("unknown preset {other:?}")),
+    };
+    if let Some(t) = trials {
+        preset = preset.with_trials(t);
+    }
+    let mut config = SearchConfig::fnas(preset, budget_ms);
+    if let Some(s) = seed {
+        config = config.with_seed(s);
+    }
+    let mut opts = BatchOptions::default();
+    if let Some(w) = workers {
+        opts = opts.with_workers(w);
+    }
+    if let Some(b) = batch {
+        opts = opts.with_batch_size(b);
+    }
+    let connect = connect.ok_or("--connect is required")?;
+    let dir = dir.ok_or("--dir is required")?;
+    let name = name.unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    let mut worker = WorkerOptions::new(connect, name, dir);
+    worker.heartbeat_ms = heartbeat_ms;
+    Ok(Cli {
+        worker,
+        config,
+        opts,
+        shards,
+        rounds,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: bad value {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("fnas-worker: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run_worker(&cli.config, &cli.opts, &cli.worker, cli.shards, cli.rounds) {
+        Ok(report) => {
+            println!(
+                "{}: ran {} shards ({} fresh, {} duplicate){}",
+                cli.worker.name,
+                report.shards_run,
+                report.fresh_results,
+                report.duplicate_results,
+                if report.coordinator_lost {
+                    ", coordinator gone (run over)"
+                } else {
+                    ""
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fnas-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_flags() {
+        let args: Vec<String> =
+            "--connect 127.0.0.1:7463 --dir /tmp/w --name w1 --shards 4 --rounds 2 \
+             --trials 24 --seed 77 --batch 3 --workers 2 --heartbeat-ms 200"
+                .split_whitespace()
+                .map(String::from)
+                .collect();
+        let c = parse(&args).unwrap();
+        assert_eq!(c.worker.addr, "127.0.0.1:7463");
+        assert_eq!(c.worker.name, "w1");
+        assert_eq!(c.worker.heartbeat_ms, 200);
+        assert_eq!((c.shards, c.rounds), (4, 2));
+        assert_eq!(c.config.seed(), 77);
+        assert_eq!(c.opts.batch_size(), 3);
+        assert_eq!(c.opts.workers(), 2);
+    }
+
+    #[test]
+    fn rejects_missing_connect_or_dir() {
+        for bad in ["--dir /tmp/w", "--connect 1.2.3.4:5"] {
+            let args: Vec<String> = bad.split_whitespace().map(String::from).collect();
+            assert!(parse(&args).is_err(), "{bad:?} should be rejected");
+        }
+    }
+}

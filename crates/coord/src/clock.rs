@@ -1,0 +1,105 @@
+//! The coordinator's only source of time.
+//!
+//! Everything *inside* a shard is deterministic in logical ticks (see
+//! `fnas_exec::watchdog`); wall-clock time exists solely in the
+//! coordinator's lease layer, where it decides *scheduling* — when a
+//! lease expires, when a straggler earns a speculative replica — and
+//! never *results*. Funnelling every time read through [`Clock`] keeps
+//! that boundary auditable and lets the lease tests drive expiry with a
+//! [`ManualClock`] instead of sleeping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Milliseconds since an arbitrary epoch, monotone per clock instance.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// The current time in milliseconds.
+    fn now_ms(&self) -> u64;
+}
+
+/// The real monotonic clock, measured from construction.
+#[derive(Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// A clock reading zero at construction.
+    pub fn new() -> Self {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-cranked clock for tests: time moves only when told to.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_coord::clock::{Clock, ManualClock};
+///
+/// let clock = ManualClock::new();
+/// assert_eq!(clock.now_ms(), 0);
+/// clock.advance(250);
+/// assert_eq!(clock.now_ms(), 250);
+/// ```
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Moves time forward by `ms` (saturating).
+    pub fn advance(&self, ms: u64) {
+        let now = self.now.load(Ordering::Relaxed);
+        self.now.store(now.saturating_add(ms), Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_when_advanced() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance(10);
+        c.advance(5);
+        assert_eq!(c.now_ms(), 15);
+        c.advance(u64::MAX);
+        assert_eq!(c.now_ms(), u64::MAX, "advance saturates");
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,557 @@
+//! The coordinator: lease shards out, enforce the round barrier, merge.
+//!
+//! One [`Coordinator`] owns the authoritative run state — current round,
+//! that round's init snapshot, the [`LeaseTable`] — behind a single
+//! mutex, and answers the stateless requests of [`crate::proto`]. The
+//! request handler ([`Coordinator::handle`]) is plain synchronous code
+//! with no networking in it, so the whole state machine (barrier,
+//! re-dispatch, duplicate settlement, round advance) is unit-testable by
+//! calling it directly; [`Coordinator::serve`] is a thin TCP shell —
+//! non-blocking accept loop, one short-lived thread per connection.
+//!
+//! **Determinism boundary.** The coordinator takes wall-clock decisions
+//! (who runs what, when to speculate) but produces results purely by
+//! [`SearchCheckpoint::merge`] over byte-settled shards in shard order —
+//! so the final checkpoint is independent of worker count, timing, kill
+//! order, and which replica of a re-dispatched shard reported first.
+//! Coordination incidents are visible only in the coordinator's own
+//! [`SearchTelemetry`] (`leases expired`, `shards re-dispatched`,
+//! `duplicate results`), which is process-local and never persisted into
+//! checkpoints.
+
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use fnas::checkpoint::SearchCheckpoint;
+use fnas::search::SearchConfig;
+use fnas::{FnasError, Result};
+use fnas_exec::SearchTelemetry;
+
+use crate::clock::Clock;
+use crate::framing::{read_frame, write_frame};
+use crate::lease::{LeasePolicy, LeaseTable};
+use crate::proto::{config_fingerprint, Request, Response};
+use crate::rounds::{accumulate, init_for_round};
+
+/// Scheduling knobs of a coordinated run.
+#[derive(Debug, Clone)]
+pub struct CoordinatorOptions {
+    /// Shards per round.
+    pub shards: u32,
+    /// Synchronous rounds to iterate.
+    pub rounds: u64,
+    /// Lease TTL / straggler / replica policy.
+    pub lease: LeasePolicy,
+    /// Backoff suggested to workers when nothing is assignable.
+    pub backoff_ms: u64,
+    /// How long [`Coordinator::serve`] keeps answering `Finished` after
+    /// the last merge, so late pollers learn the run is over instead of
+    /// hitting a dead port.
+    pub linger_ms: u64,
+}
+
+impl CoordinatorOptions {
+    /// `shards` × `rounds` with a 5-second lease TTL and gentle backoff.
+    pub fn new(shards: u32, rounds: u64) -> Self {
+        CoordinatorOptions {
+            shards,
+            rounds,
+            lease: LeasePolicy::with_ttl_ms(5_000),
+            backoff_ms: 50,
+            linger_ms: 500,
+        }
+    }
+}
+
+/// Mutable run state, all behind one mutex.
+#[derive(Debug)]
+struct RoundState {
+    /// Current round (< `opts.rounds` until finished).
+    round: u64,
+    /// The current round's init snapshot, pre-encoded for `Assign`.
+    init_bytes: Vec<u8>,
+    /// Lease state of the current round's shards.
+    table: LeaseTable,
+    /// Byte-settled shards of *completed* rounds, for byte-comparing
+    /// replicas that report after their round's barrier already fell.
+    settled: Vec<Vec<Vec<u8>>>,
+    /// Merged checkpoint of each completed round.
+    merges: Vec<SearchCheckpoint>,
+    /// The accumulated final checkpoint, once every round is merged.
+    finished: Option<SearchCheckpoint>,
+}
+
+/// The coordinator of one run. See the module docs.
+#[derive(Debug)]
+pub struct Coordinator {
+    base: SearchConfig,
+    fingerprint: u64,
+    opts: CoordinatorOptions,
+    clock: Arc<dyn Clock>,
+    telemetry: Arc<SearchTelemetry>,
+    state: Mutex<RoundState>,
+}
+
+impl Coordinator {
+    /// Builds the coordinator and freezes round 0's init snapshot.
+    ///
+    /// `batch` is the per-episode batch size every worker must use (it
+    /// determines results, so it is folded into the fingerprint).
+    ///
+    /// # Errors
+    ///
+    /// [`FnasError::InvalidConfig`] for zero shards/rounds or a trial
+    /// budget that leaves shards empty; searcher construction errors
+    /// from the init freeze.
+    pub fn new(
+        base: SearchConfig,
+        batch: usize,
+        opts: CoordinatorOptions,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self> {
+        if opts.shards == 0 || opts.rounds == 0 {
+            return Err(FnasError::InvalidConfig {
+                what: format!(
+                    "a coordinated run needs ≥ 1 shard and ≥ 1 round (got {} × {})",
+                    opts.shards, opts.rounds
+                ),
+            });
+        }
+        let fingerprint = config_fingerprint(&base, batch, opts.shards, opts.rounds);
+        let init = init_for_round(&base, 0, None)?;
+        let table = LeaseTable::new(opts.shards, opts.lease);
+        Ok(Coordinator {
+            base,
+            fingerprint,
+            clock,
+            telemetry: Arc::new(SearchTelemetry::new()),
+            state: Mutex::new(RoundState {
+                round: 0,
+                init_bytes: init.to_bytes(),
+                table,
+                settled: Vec::new(),
+                merges: Vec::new(),
+                finished: None,
+            }),
+            opts,
+        })
+    }
+
+    /// The run fingerprint workers must present.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The coordinator's scheduling telemetry (process-local; the
+    /// `coord:` counters live here and are never persisted).
+    pub fn telemetry(&self) -> &SearchTelemetry {
+        &self.telemetry
+    }
+
+    /// The final accumulated checkpoint, once every round has merged.
+    pub fn finished_checkpoint(&self) -> Option<SearchCheckpoint> {
+        self.state
+            .lock()
+            .expect("coordinator lock")
+            .finished
+            .clone()
+    }
+
+    /// Answers one request. This is the entire protocol semantics; the
+    /// TCP layer only moves frames.
+    pub fn handle(&self, request: &Request) -> Response {
+        let fp = match request {
+            Request::Poll { fingerprint, .. }
+            | Request::Heartbeat { fingerprint, .. }
+            | Request::Submit { fingerprint, .. } => *fingerprint,
+        };
+        if fp != self.fingerprint {
+            return Response::Error {
+                what: format!(
+                    "config fingerprint {fp:#018x} does not match this run's \
+                     {:#018x}; check seed/trials/budget/preset/batch/shards/rounds",
+                    self.fingerprint
+                ),
+            };
+        }
+        let mut state = self.state.lock().expect("coordinator lock");
+        match request {
+            Request::Poll { worker, .. } => self.poll(&mut state, worker),
+            Request::Heartbeat {
+                worker,
+                round,
+                shard,
+                ..
+            } => self.heartbeat(&mut state, worker, *round, *shard),
+            Request::Submit {
+                round,
+                shard,
+                bytes,
+                ..
+            } => self.submit(&mut state, *round, *shard, bytes),
+        }
+    }
+
+    fn poll(&self, state: &mut RoundState, worker: &str) -> Response {
+        if state.finished.is_some() {
+            return Response::Finished;
+        }
+        let now = self.clock.now_ms();
+        match state.table.assign(worker, now, &self.telemetry) {
+            Some(shard) => Response::Assign {
+                round: state.round,
+                shard,
+                shard_count: self.opts.shards,
+                lease_ms: self.opts.lease.ttl_ms,
+                init: state.init_bytes.clone(),
+            },
+            None => Response::Wait {
+                backoff_ms: self.opts.backoff_ms,
+            },
+        }
+    }
+
+    fn heartbeat(&self, state: &mut RoundState, worker: &str, round: u64, shard: u32) -> Response {
+        if round != state.round || state.finished.is_some() {
+            // The barrier already fell; whatever lease this was is gone.
+            return Response::Ack { still_yours: false };
+        }
+        let now = self.clock.now_ms();
+        let still_yours = state.table.heartbeat(shard, worker, now, &self.telemetry);
+        Response::Ack { still_yours }
+    }
+
+    fn submit(&self, state: &mut RoundState, round: u64, shard: u32, bytes: &[u8]) -> Response {
+        // A replica reporting after its round's barrier fell: settle it
+        // against the recorded bytes — the byte-compare assertion holds
+        // across the barrier, not just within a round.
+        if round < state.round || state.finished.is_some() {
+            let recorded = state
+                .settled
+                .get(round as usize)
+                .and_then(|r| r.get(shard as usize));
+            return match recorded {
+                Some(first) if first.as_slice() == bytes => {
+                    self.telemetry.add_duplicate_result();
+                    Response::Accepted { fresh: false }
+                }
+                Some(_) => Response::Error {
+                    what: format!(
+                        "late duplicate for round {round} shard {shard} differs from the \
+                         settled result — replicas must be byte-identical"
+                    ),
+                },
+                None => Response::Error {
+                    what: format!("submit for unknown round {round} shard {shard}"),
+                },
+            };
+        }
+        if round > state.round {
+            return Response::Error {
+                what: format!(
+                    "submit for future round {round} (coordinator is at round {})",
+                    state.round
+                ),
+            };
+        }
+        match state.table.submit(shard, bytes.to_vec(), &self.telemetry) {
+            Err(e) => Response::Error {
+                what: e.to_string(),
+            },
+            Ok(fresh) => {
+                if fresh && state.table.all_done() {
+                    if let Err(e) = self.advance(state) {
+                        return Response::Error {
+                            what: format!("round {} merge failed: {e}", state.round),
+                        };
+                    }
+                }
+                Response::Accepted { fresh }
+            }
+        }
+    }
+
+    /// Barrier: every shard of the current round has settled. Merge, and
+    /// either re-init the next round or accumulate the final artifact.
+    fn advance(&self, state: &mut RoundState) -> Result<()> {
+        let done: Vec<Vec<u8>> = state
+            .table
+            .done_bytes()?
+            .into_iter()
+            .map(<[u8]>::to_vec)
+            .collect();
+        let parts = done
+            .iter()
+            .map(|b| SearchCheckpoint::from_bytes(b))
+            .collect::<Result<Vec<_>>>()?;
+        let merged = SearchCheckpoint::merge(&parts)?;
+        state.settled.push(done);
+        state.merges.push(merged);
+        if state.round + 1 < self.opts.rounds {
+            state.round += 1;
+            let init = init_for_round(&self.base, state.round, state.merges.last())?;
+            state.init_bytes = init.to_bytes();
+            state.table = LeaseTable::new(self.opts.shards, self.opts.lease);
+        } else {
+            state.finished = Some(accumulate(&self.base, &state.merges)?);
+        }
+        Ok(())
+    }
+
+    /// Serves the protocol on `listener` until every round has merged,
+    /// then lingers `linger_ms` (so late pollers hear `Finished`) and
+    /// returns the final checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Listener I/O errors. Per-connection errors (a peer that hangs up
+    /// mid-frame, a malformed request) are contained to that connection.
+    pub fn serve(self: &Arc<Self>, listener: TcpListener) -> Result<SearchCheckpoint> {
+        listener.set_nonblocking(true)?;
+        let mut finished_at: Option<Instant> = None;
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let me = Arc::clone(self);
+                    std::thread::spawn(move || me.handle_connection(stream));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e.into()),
+            }
+            if let Some(ckpt) = self.finished_checkpoint() {
+                let at = *finished_at.get_or_insert_with(Instant::now);
+                if at.elapsed() >= Duration::from_millis(self.opts.linger_ms) {
+                    return Ok(ckpt);
+                }
+            }
+        }
+    }
+
+    fn handle_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+        let response = match read_frame(&mut stream).and_then(|b| Request::from_bytes(&b)) {
+            Ok(request) => self.handle(&request),
+            Err(e) => Response::Error {
+                what: e.to_string(),
+            },
+        };
+        let _ = write_frame(&mut stream, &response.to_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::rounds::{run_round_shard, shard_file};
+    use fnas::experiment::ExperimentPreset;
+    use fnas::search::{BatchOptions, ShardSpec};
+
+    fn base() -> SearchConfig {
+        SearchConfig::fnas(ExperimentPreset::mnist().with_trials(8), 10.0).with_seed(5)
+    }
+
+    fn coordinator(shards: u32, rounds: u64) -> (Arc<Coordinator>, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let coord = Coordinator::new(
+            base(),
+            4,
+            CoordinatorOptions::new(shards, rounds),
+            Arc::<ManualClock>::clone(&clock) as Arc<dyn Clock>,
+        )
+        .unwrap();
+        (Arc::new(coord), clock)
+    }
+
+    /// Runs the assigned shard for real and returns its bytes.
+    fn run_assignment(dir: &std::path::Path, response: &Response) -> (u64, u32, Vec<u8>) {
+        let Response::Assign {
+            round,
+            shard,
+            shard_count,
+            init,
+            ..
+        } = response
+        else {
+            panic!("expected an assignment, got {response:?}");
+        };
+        let init = SearchCheckpoint::from_bytes(init).unwrap();
+        let spec = ShardSpec::new(*shard, *shard_count).unwrap();
+        let path = dir.join(shard_file(*round, *shard, *shard_count));
+        let opts = BatchOptions::default().with_batch_size(4).with_workers(0);
+        let bytes = run_round_shard(&base(), *round, spec, &init, &opts, &path).unwrap();
+        (*round, *shard, bytes)
+    }
+
+    fn poll(coord: &Coordinator, worker: &str) -> Response {
+        coord.handle(&Request::Poll {
+            worker: worker.to_string(),
+            fingerprint: coord.fingerprint(),
+        })
+    }
+
+    fn submit(coord: &Coordinator, round: u64, shard: u32, bytes: Vec<u8>) -> Response {
+        coord.handle(&Request::Submit {
+            worker: "w".to_string(),
+            round,
+            shard,
+            fingerprint: coord.fingerprint(),
+            bytes,
+        })
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fnas-coord-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn wrong_fingerprints_are_rejected_up_front() {
+        let (coord, _) = coordinator(2, 1);
+        let r = coord.handle(&Request::Poll {
+            worker: "w".to_string(),
+            fingerprint: coord.fingerprint() ^ 1,
+        });
+        assert!(matches!(r, Response::Error { .. }), "{r:?}");
+    }
+
+    #[test]
+    fn rounds_advance_through_the_barrier_and_finish() {
+        let dir = tmp("barrier");
+        let (coord, _) = coordinator(2, 2);
+
+        // Round 0: two assignments, then the barrier.
+        let a = run_assignment(&dir, &poll(&coord, "a"));
+        let b = run_assignment(&dir, &poll(&coord, "b"));
+        assert_eq!((a.0, a.1), (0, 0));
+        assert_eq!((b.0, b.1), (0, 1));
+        assert!(matches!(poll(&coord, "c"), Response::Wait { .. }));
+        assert!(matches!(
+            submit(&coord, a.0, a.1, a.2.clone()),
+            Response::Accepted { fresh: true }
+        ));
+        assert!(coord.finished_checkpoint().is_none());
+        assert!(matches!(
+            submit(&coord, b.0, b.1, b.2),
+            Response::Accepted { fresh: true }
+        ));
+
+        // Barrier fell: round 1 is being dispatched.
+        let c = run_assignment(&dir, &poll(&coord, "c"));
+        assert_eq!((c.0, c.1), (1, 0));
+        let d = run_assignment(&dir, &poll(&coord, "d"));
+        submit(&coord, c.0, c.1, c.2);
+        assert!(matches!(
+            submit(&coord, d.0, d.1, d.2),
+            Response::Accepted { fresh: true }
+        ));
+
+        // All rounds merged: pollers hear Finished, the artifact exists.
+        assert!(matches!(poll(&coord, "a"), Response::Finished));
+        let out = coord.finished_checkpoint().unwrap();
+        assert_eq!(out.round, 1);
+        assert_eq!(out.trials.len(), 16);
+
+        // A replica of round 0 reporting after the barrier is settled by
+        // byte-compare against the recorded result.
+        assert!(matches!(
+            submit(&coord, 0, 0, a.2.clone()),
+            Response::Accepted { fresh: false }
+        ));
+        assert_eq!(coord.telemetry().snapshot().duplicate_results, 1);
+        let mut diverged = a.2;
+        diverged[0] ^= 0xFF;
+        assert!(matches!(
+            submit(&coord, 0, 0, diverged),
+            Response::Error { .. }
+        ));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn expired_leases_are_redispatched_and_first_result_wins() {
+        let dir = tmp("expiry");
+        let (coord, clock) = coordinator(1, 1);
+
+        let a = run_assignment(&dir, &poll(&coord, "a"));
+        // a goes silent past the TTL; the shard goes back to the pool and
+        // b picks it up.
+        clock.advance(6_000);
+        let b = run_assignment(&dir, &poll(&coord, "b"));
+        assert_eq!((b.0, b.1), (0, 0));
+        assert_eq!(coord.telemetry().snapshot().leases_expired, 1);
+
+        // The dead worker's result arrives first anyway — first wins,
+        // and b's identical replica is absorbed.
+        assert!(matches!(
+            submit(&coord, a.0, a.1, a.2),
+            Response::Accepted { fresh: true }
+        ));
+        assert!(matches!(
+            submit(&coord, b.0, b.1, b.2),
+            Response::Accepted { fresh: false }
+        ));
+        assert_eq!(coord.telemetry().snapshot().duplicate_results, 1);
+        assert!(coord.finished_checkpoint().is_some());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn heartbeats_keep_a_lease_alive_across_the_ttl() {
+        let dir = tmp("heartbeat");
+        // Speculation off: this test isolates heartbeat-driven expiry;
+        // with the default policy b would earn a replica of the aged (but
+        // live) lease instead of being told to wait.
+        let clock = Arc::new(ManualClock::new());
+        let mut opts = CoordinatorOptions::new(1, 1);
+        opts.lease.straggle_after_ms = u64::MAX;
+        let coord = Arc::new(
+            Coordinator::new(
+                base(),
+                4,
+                opts,
+                Arc::<ManualClock>::clone(&clock) as Arc<dyn Clock>,
+            )
+            .unwrap(),
+        );
+        let _a = run_assignment(&dir, &poll(&coord, "a"));
+        let heartbeat = |worker: &str| {
+            coord.handle(&Request::Heartbeat {
+                worker: worker.to_string(),
+                round: 0,
+                shard: 0,
+                fingerprint: coord.fingerprint(),
+            })
+        };
+        clock.advance(4_000);
+        assert!(matches!(
+            heartbeat("a"),
+            Response::Ack { still_yours: true }
+        ));
+        clock.advance(4_000); // 8s total — dead without the heartbeat
+        assert!(matches!(poll(&coord, "b"), Response::Wait { .. }));
+        assert_eq!(coord.telemetry().snapshot().leases_expired, 0);
+        // A worker that never held the lease is told so.
+        assert!(matches!(
+            heartbeat("z"),
+            Response::Ack { still_yours: false }
+        ));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn zero_shards_or_rounds_are_rejected() {
+        let clock: Arc<dyn Clock> = Arc::new(ManualClock::new());
+        for (s, r) in [(0u32, 1u64), (1, 0)] {
+            let opts = CoordinatorOptions::new(s, r);
+            assert!(Coordinator::new(base(), 4, opts, Arc::clone(&clock)).is_err());
+        }
+    }
+}

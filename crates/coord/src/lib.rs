@@ -1,0 +1,46 @@
+//! `fnas-coord` — a distributed shard coordinator for the FNAS search.
+//!
+//! The `fnas-shard` protocol (init → run × N → merge) already lets one
+//! run span machines, but leaves the *scheduling* to whoever invokes the
+//! shards: a lost machine stalls the merge forever, and the controller
+//! never re-synchronises mid-run. This crate adds the missing runtime:
+//!
+//! * [`coordinator`] — the authoritative state machine: leases shards to
+//!   polling workers with wall-clock TTLs, re-dispatches stragglers and
+//!   lost shards speculatively, settles duplicate results first-wins
+//!   (byte-compared — a mismatch is a hard determinism error), merges
+//!   each round at a synchronous barrier and re-inits the next from the
+//!   merged controller.
+//! * [`worker`] — the loop a machine runs: poll, run the leased shard
+//!   via the shared [`rounds`] code path, heartbeat meanwhile, submit.
+//! * [`rounds`] — the round math itself, shared by the coordinator, the
+//!   workers *and* the in-process reference driver
+//!   ([`rounds::run_rounds_local`]), making "coordinated equals
+//!   sequential" a byte identity.
+//! * [`proto`] / [`framing`] — a stateless request–response protocol in
+//!   length-prefixed frames over `TcpStream`; std only, no async.
+//! * [`lease`] — the TTL / straggler / first-wins bookkeeping.
+//! * [`clock`] — the trait fencing wall-clock time into the lease layer
+//!   (shard results never read time; see `fnas_exec::watchdog` for the
+//!   logical-tick side of that boundary).
+//!
+//! The determinism contract, pinned by `tests/coord_rounds.rs` and the
+//! CI `coord` job: an R-round × N-shard coordinated run produces a final
+//! checkpoint **byte-identical** to the same rounds driven sequentially
+//! in one process, independent of how many workers serve it, which of
+//! them die, and which replica of a re-dispatched shard reports first.
+
+pub mod clock;
+pub mod coordinator;
+pub mod framing;
+pub mod lease;
+pub mod proto;
+pub mod rounds;
+pub mod worker;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use coordinator::{Coordinator, CoordinatorOptions};
+pub use lease::{LeasePolicy, LeaseTable};
+pub use proto::{config_fingerprint, Request, Response};
+pub use rounds::{accumulate, init_for_round, run_round_shard, run_rounds_local};
+pub use worker::{run_worker, WorkerOptions, WorkerReport};

@@ -1,0 +1,459 @@
+//! Wire messages of the coordinator protocol.
+//!
+//! The protocol is request–response: a worker opens a connection, sends
+//! exactly one [`Request`] frame, reads exactly one [`Response`] frame
+//! and closes. Stateless connections keep the coordinator's concurrency
+//! story trivial (one short-lived handler thread per request, all state
+//! behind one mutex) and make worker crash recovery a non-event — there
+//! is no session to tear down, only a lease to let expire.
+//!
+//! Every request carries the run's **config fingerprint**
+//! ([`config_fingerprint`]): a digest of exactly the knobs that determine
+//! results (seed, budget, preset, batch size, shard/round counts). A
+//! worker built with different flags is rejected on its first request
+//! instead of contributing a divergent checkpoint that would only be
+//! caught — as a hard byte-compare error — at submit time. Worker thread
+//! count is deliberately *excluded*: results are bit-identical for any
+//! worker count, so heterogeneous machines may cooperate on one run.
+//!
+//! Payload encoding is the same hand-rolled little-endian style as the
+//! checkpoint codec: `u32`/`u64` LE, strings as `u32` length + UTF-8,
+//! byte blobs as `u32` length + bytes, one leading tag byte per message
+//! variant.
+
+use fnas::search::{SearchConfig, SearchMode};
+use fnas::FnasError;
+
+fn corrupt(what: &str) -> FnasError {
+    FnasError::InvalidConfig {
+        what: format!("coord proto: {what}"),
+    }
+}
+
+/// What a worker asks the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// "Give me work." Answered with [`Response::Assign`],
+    /// [`Response::Wait`] or [`Response::Finished`].
+    Poll {
+        /// Self-chosen worker name (diagnostics and lease bookkeeping).
+        worker: String,
+        /// [`config_fingerprint`] of the worker's flags.
+        fingerprint: u64,
+    },
+    /// "I am still working on shard `shard` of round `round`." Extends
+    /// the lease; answered with [`Response::Ack`].
+    Heartbeat {
+        /// The heartbeating worker.
+        worker: String,
+        /// Round of the leased shard.
+        round: u64,
+        /// Index of the leased shard.
+        shard: u32,
+        /// [`config_fingerprint`] of the worker's flags.
+        fingerprint: u64,
+    },
+    /// "Here is shard `shard` of round `round`, finished." Answered with
+    /// [`Response::Accepted`].
+    Submit {
+        /// The submitting worker.
+        worker: String,
+        /// Round the checkpoint belongs to.
+        round: u64,
+        /// Shard index the checkpoint belongs to.
+        shard: u32,
+        /// [`config_fingerprint`] of the worker's flags.
+        fingerprint: u64,
+        /// The shard's final checkpoint, as saved by `ShardRunner`.
+        bytes: Vec<u8>,
+    },
+}
+
+/// What the coordinator answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A lease on one shard of the current round.
+    Assign {
+        /// The round being dispatched.
+        round: u64,
+        /// The leased shard's index.
+        shard: u32,
+        /// Total shards per round.
+        shard_count: u32,
+        /// Lease TTL; heartbeat faster than this or lose the lease.
+        lease_ms: u64,
+        /// The round's init snapshot (FNASCKPT bytes).
+        init: Vec<u8>,
+    },
+    /// No shard free right now (all leased, round barrier pending);
+    /// poll again after `backoff_ms`.
+    Wait {
+        /// Suggested delay before the next poll.
+        backoff_ms: u64,
+    },
+    /// Every round is merged; the worker should exit.
+    Finished,
+    /// Heartbeat answer: `still_yours` is false once the lease expired
+    /// (the shard may already be re-dispatched — keep running anyway;
+    /// first result wins).
+    Ack {
+        /// Whether the heartbeating worker still holds a live lease.
+        still_yours: bool,
+    },
+    /// Submit answer: `fresh` is false when another replica got there
+    /// first (the duplicate was byte-compared and discarded).
+    Accepted {
+        /// Whether this submission settled the shard.
+        fresh: bool,
+    },
+    /// The request was rejected (bad fingerprint, unknown shard, or a
+    /// duplicate that did *not* byte-compare equal).
+    Error {
+        /// Human-readable rejection reason.
+        what: String,
+    },
+}
+
+/// Digest of the config knobs that determine results, folded with the
+/// same SplitMix64-style avalanche the seed tree uses. Two processes
+/// agree on the fingerprint iff they would produce byte-identical
+/// checkpoints for the same shard — which is why evaluation worker count
+/// is excluded and batch size is included.
+pub fn config_fingerprint(config: &SearchConfig, batch: usize, shards: u32, rounds: u64) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut h = mix(u64::from_le_bytes(*b"FNASCORD"));
+    let mut fold = |v: u64| h = mix(h ^ v);
+    fold(config.seed());
+    fold(config.preset().trials() as u64);
+    fold(batch as u64);
+    fold(u64::from(shards));
+    fold(rounds);
+    match config.mode() {
+        SearchMode::Nas => fold(0),
+        SearchMode::Fnas { required } => {
+            fold(1);
+            fold(required.get().to_bits());
+        }
+    }
+    fold(u64::from(config.pruning()));
+    for b in config.preset().name().bytes() {
+        fold(u64::from(b));
+    }
+    h
+}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.0.extend_from_slice(b);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> fnas::Result<&'a [u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| corrupt("message truncated"))?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> fnas::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> fnas::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> fnas::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn bytes(&mut self) -> fnas::Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+    fn str(&mut self) -> fnas::Result<String> {
+        String::from_utf8(self.bytes()?).map_err(|_| corrupt("string is not UTF-8"))
+    }
+    fn done(&self) -> fnas::Result<()> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(corrupt("trailing bytes after message"))
+        }
+    }
+}
+
+const TAG_POLL: u8 = 1;
+const TAG_HEARTBEAT: u8 = 2;
+const TAG_SUBMIT: u8 = 3;
+const TAG_ASSIGN: u8 = 10;
+const TAG_WAIT: u8 = 11;
+const TAG_FINISHED: u8 = 12;
+const TAG_ACK: u8 = 13;
+const TAG_ACCEPTED: u8 = 14;
+const TAG_ERROR: u8 = 15;
+
+impl Request {
+    /// Serialises the request to one frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::new());
+        match self {
+            Request::Poll {
+                worker,
+                fingerprint,
+            } => {
+                w.u8(TAG_POLL);
+                w.str(worker);
+                w.u64(*fingerprint);
+            }
+            Request::Heartbeat {
+                worker,
+                round,
+                shard,
+                fingerprint,
+            } => {
+                w.u8(TAG_HEARTBEAT);
+                w.str(worker);
+                w.u64(*round);
+                w.u32(*shard);
+                w.u64(*fingerprint);
+            }
+            Request::Submit {
+                worker,
+                round,
+                shard,
+                fingerprint,
+                bytes,
+            } => {
+                w.u8(TAG_SUBMIT);
+                w.str(worker);
+                w.u64(*round);
+                w.u32(*shard);
+                w.u64(*fingerprint);
+                w.bytes(bytes);
+            }
+        }
+        w.0
+    }
+
+    /// Parses one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`FnasError::InvalidConfig`] on unknown tags, truncation or
+    /// trailing bytes.
+    pub fn from_bytes(buf: &[u8]) -> fnas::Result<Self> {
+        let mut r = Reader { buf, at: 0 };
+        let msg = match r.u8()? {
+            TAG_POLL => Request::Poll {
+                worker: r.str()?,
+                fingerprint: r.u64()?,
+            },
+            TAG_HEARTBEAT => Request::Heartbeat {
+                worker: r.str()?,
+                round: r.u64()?,
+                shard: r.u32()?,
+                fingerprint: r.u64()?,
+            },
+            TAG_SUBMIT => Request::Submit {
+                worker: r.str()?,
+                round: r.u64()?,
+                shard: r.u32()?,
+                fingerprint: r.u64()?,
+                bytes: r.bytes()?,
+            },
+            tag => return Err(corrupt(&format!("unknown request tag {tag}"))),
+        };
+        r.done()?;
+        Ok(msg)
+    }
+}
+
+impl Response {
+    /// Serialises the response to one frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::new());
+        match self {
+            Response::Assign {
+                round,
+                shard,
+                shard_count,
+                lease_ms,
+                init,
+            } => {
+                w.u8(TAG_ASSIGN);
+                w.u64(*round);
+                w.u32(*shard);
+                w.u32(*shard_count);
+                w.u64(*lease_ms);
+                w.bytes(init);
+            }
+            Response::Wait { backoff_ms } => {
+                w.u8(TAG_WAIT);
+                w.u64(*backoff_ms);
+            }
+            Response::Finished => w.u8(TAG_FINISHED),
+            Response::Ack { still_yours } => {
+                w.u8(TAG_ACK);
+                w.u8(u8::from(*still_yours));
+            }
+            Response::Accepted { fresh } => {
+                w.u8(TAG_ACCEPTED);
+                w.u8(u8::from(*fresh));
+            }
+            Response::Error { what } => {
+                w.u8(TAG_ERROR);
+                w.str(what);
+            }
+        }
+        w.0
+    }
+
+    /// Parses one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`FnasError::InvalidConfig`] on unknown tags, truncation or
+    /// trailing bytes.
+    pub fn from_bytes(buf: &[u8]) -> fnas::Result<Self> {
+        let mut r = Reader { buf, at: 0 };
+        let msg = match r.u8()? {
+            TAG_ASSIGN => Response::Assign {
+                round: r.u64()?,
+                shard: r.u32()?,
+                shard_count: r.u32()?,
+                lease_ms: r.u64()?,
+                init: r.bytes()?,
+            },
+            TAG_WAIT => Response::Wait {
+                backoff_ms: r.u64()?,
+            },
+            TAG_FINISHED => Response::Finished,
+            TAG_ACK => Response::Ack {
+                still_yours: r.u8()? != 0,
+            },
+            TAG_ACCEPTED => Response::Accepted {
+                fresh: r.u8()? != 0,
+            },
+            TAG_ERROR => Response::Error { what: r.str()? },
+            tag => return Err(corrupt(&format!("unknown response tag {tag}"))),
+        };
+        r.done()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnas::experiment::ExperimentPreset;
+
+    #[test]
+    fn requests_round_trip() {
+        let msgs = [
+            Request::Poll {
+                worker: "w-α".to_string(),
+                fingerprint: 0xDEAD_BEEF,
+            },
+            Request::Heartbeat {
+                worker: "w".to_string(),
+                round: 3,
+                shard: 2,
+                fingerprint: 7,
+            },
+            Request::Submit {
+                worker: "w".to_string(),
+                round: 1,
+                shard: 0,
+                fingerprint: 7,
+                bytes: vec![1, 2, 3],
+            },
+        ];
+        for m in msgs {
+            assert_eq!(Request::from_bytes(&m.to_bytes()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let msgs = [
+            Response::Assign {
+                round: 2,
+                shard: 1,
+                shard_count: 4,
+                lease_ms: 5000,
+                init: vec![9; 64],
+            },
+            Response::Wait { backoff_ms: 100 },
+            Response::Finished,
+            Response::Ack { still_yours: false },
+            Response::Accepted { fresh: true },
+            Response::Error {
+                what: "nope".to_string(),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(Response::from_bytes(&m.to_bytes()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected() {
+        assert!(Request::from_bytes(&[]).is_err());
+        assert!(Request::from_bytes(&[99]).is_err());
+        let mut ok = Request::Poll {
+            worker: "w".to_string(),
+            fingerprint: 1,
+        }
+        .to_bytes();
+        ok.push(0); // trailing byte
+        assert!(Request::from_bytes(&ok).is_err());
+        assert!(Response::from_bytes(&[99]).is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_determining_knobs_only() {
+        let base = SearchConfig::fnas(ExperimentPreset::mnist().with_trials(24), 10.0).with_seed(7);
+        let fp =
+            |c: &SearchConfig, batch, shards, rounds| config_fingerprint(c, batch, shards, rounds);
+        let reference = fp(&base, 8, 4, 2);
+        // Stable for an identical config.
+        assert_eq!(reference, fp(&base.clone(), 8, 4, 2));
+        // Every result-determining knob moves it.
+        assert_ne!(reference, fp(&base.clone().with_seed(8), 8, 4, 2));
+        assert_ne!(reference, fp(&base, 6, 4, 2), "batch size");
+        assert_ne!(reference, fp(&base, 8, 3, 2), "shard count");
+        assert_ne!(reference, fp(&base, 8, 4, 3), "round count");
+        let other_budget =
+            SearchConfig::fnas(ExperimentPreset::mnist().with_trials(24), 11.0).with_seed(7);
+        assert_ne!(reference, fp(&other_budget, 8, 4, 2), "latency budget");
+        let nas = SearchConfig::nas(ExperimentPreset::mnist().with_trials(24)).with_seed(7);
+        assert_ne!(reference, fp(&nas, 8, 4, 2), "mode");
+    }
+}

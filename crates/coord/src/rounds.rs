@@ -1,0 +1,307 @@
+//! Iterated synchronous rounds over the shard protocol.
+//!
+//! One **round** is exactly one init→run→merge cycle of
+//! [`fnas::search::ShardRunner`]: freeze an init snapshot, run every
+//! shard against it, reduce the shard checkpoints with
+//! [`SearchCheckpoint::merge`]. Rounds iterate that cycle: round `r+1`
+//! warm-starts from round `r`'s *merged* controller (the mean over shard
+//! trajectories), so shards periodically re-synchronise instead of
+//! diverging for the whole run — the distributed analogue of the
+//! parameter re-sync a parameter server would do.
+//!
+//! Everything here is a pure function of the base config; the network
+//! layer ([`crate::coordinator`], [`crate::worker`]) and the in-process
+//! reference driver ([`run_rounds_local`]) call the *same* functions, so
+//! a coordinated run and a sequential one produce byte-identical
+//! checkpoints. That identity — plus "independent of worker count, kill
+//! order, and which replica finishes first" — is pinned by
+//! `tests/coord_rounds.rs`.
+//!
+//! Seeds: round `r` runs the base experiment under
+//! [`derive_round_seed`]`(base_seed, r)`, and shards derive from the
+//! round seed exactly as in a one-shot sharded run. Round 0's seed *is*
+//! the base seed (identity convention), so a 1-round coordinated run
+//! degenerates to the plain `fnas-shard` protocol bit for bit.
+
+use std::path::Path;
+
+use fnas::checkpoint::SearchCheckpoint;
+use fnas::cost::SearchCost;
+use fnas::search::{
+    BatchOptions, CheckpointOptions, SearchConfig, Searcher, ShardRunner, ShardSpec,
+};
+use fnas::{FnasError, Result};
+use fnas_exec::{derive_round_seed, TelemetrySnapshot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The base experiment re-seeded for round `round`.
+///
+/// Round 0 is the base config itself ([`derive_round_seed`]'s identity
+/// convention).
+pub fn round_config(base: &SearchConfig, round: u64) -> SearchConfig {
+    base.clone()
+        .with_seed(derive_round_seed(base.seed(), round))
+}
+
+/// The init snapshot round `round` runs against.
+///
+/// Round 0 freezes a fresh controller, exactly like `fnas-shard init`.
+/// Later rounds carry the previous round's merged controller and
+/// baseline forward under the new round's seed: episodes restart at 0,
+/// trials/cost/telemetry are cleared (they were already banked by the
+/// merge), and the round's RNG stream opens fresh from the round seed.
+///
+/// # Errors
+///
+/// Round 0 propagates searcher construction errors; later rounds require
+/// `carried` (the previous merge) or fail with
+/// [`FnasError::InvalidConfig`].
+pub fn init_for_round(
+    base: &SearchConfig,
+    round: u64,
+    carried: Option<&SearchCheckpoint>,
+) -> Result<SearchCheckpoint> {
+    let config = round_config(base, round);
+    match (round, carried) {
+        (0, _) => ShardRunner::init_snapshot(&config),
+        (_, None) => Err(FnasError::InvalidConfig {
+            what: format!("round {round} needs the previous round's merged checkpoint"),
+        }),
+        (_, Some(merged)) => {
+            let seed = config.seed();
+            Ok(SearchCheckpoint {
+                shard_index: 0,
+                shard_count: 1,
+                parent_seed: seed,
+                round,
+                run_seed: seed,
+                next_episode: 0,
+                rng_state: StdRng::seed_from_u64(seed).state(),
+                baseline: merged.baseline,
+                cost: SearchCost::default(),
+                trainer: merged.trainer.clone(),
+                telemetry: TelemetrySnapshot::default(),
+                trials: Vec::new(),
+            })
+        }
+    }
+}
+
+/// Runs one shard of one round and returns its checkpoint **bytes** (the
+/// settlement currency: the coordinator byte-compares replicas, so
+/// workers ship the exact file the shard runner wrote).
+///
+/// This is the single code path both the network worker and the local
+/// reference driver use — same [`CheckpointOptions`], same searcher
+/// construction — which is what makes "coordinated equals sequential" a
+/// byte identity rather than an approximation.
+///
+/// # Errors
+///
+/// Shard validation and search errors from
+/// [`ShardRunner::run_with`]; I/O errors reading the written checkpoint
+/// back.
+pub fn run_round_shard(
+    base: &SearchConfig,
+    round: u64,
+    spec: ShardSpec,
+    init: &SearchCheckpoint,
+    opts: &BatchOptions,
+    shard_path: &Path,
+) -> Result<Vec<u8>> {
+    let runner = ShardRunner::new(round_config(base, round), spec);
+    let mut searcher = Searcher::surrogate(&runner.config()?)?;
+    let ckpt = CheckpointOptions::new(shard_path);
+    runner.run_with(&mut searcher, opts, init, &ckpt)?;
+    Ok(std::fs::read(shard_path)?)
+}
+
+/// Folds the per-round merged checkpoints into the run's final artifact.
+///
+/// Trials concatenate in round order (re-indexed), cost and episode
+/// counts sum, telemetry counters merge; the controller, baseline and
+/// RNG state are the *last* round's (they already fold every earlier
+/// round through the warm-starts). The artifact is stamped as shard
+/// 0-of-1 of the *base* run — by the round-0 seed identity this is the
+/// exact merged checkpoint of a one-shot sharded run when `rounds` has
+/// length 1.
+///
+/// # Errors
+///
+/// [`FnasError::InvalidConfig`] on an empty round list.
+pub fn accumulate(base: &SearchConfig, rounds: &[SearchCheckpoint]) -> Result<SearchCheckpoint> {
+    let last = rounds.last().ok_or_else(|| FnasError::InvalidConfig {
+        what: "accumulate of zero rounds".to_string(),
+    })?;
+    let mut cost = SearchCost::default();
+    let mut telemetry = TelemetrySnapshot::default();
+    let mut next_episode = 0u64;
+    let mut trials = Vec::with_capacity(rounds.iter().map(|r| r.trials.len()).sum());
+    for r in rounds {
+        cost.add(r.cost);
+        telemetry = telemetry.merge(&r.telemetry);
+        next_episode = next_episode.saturating_add(r.next_episode);
+        for trial in &r.trials {
+            let mut t = trial.clone();
+            t.index = trials.len();
+            trials.push(t);
+        }
+    }
+    Ok(SearchCheckpoint {
+        shard_index: 0,
+        shard_count: 1,
+        parent_seed: base.seed(),
+        round: last.round,
+        run_seed: base.seed(),
+        next_episode,
+        rng_state: last.rng_state,
+        baseline: last.baseline,
+        cost,
+        trainer: last.trainer.clone(),
+        telemetry,
+        trials,
+    })
+}
+
+/// The in-process reference driver: runs `rounds` × `shards` rounds
+/// sequentially in this process and returns the final accumulated
+/// checkpoint. `fnas-coord local` and the byte-identity tests use this
+/// as the ground truth a coordinated run must reproduce exactly.
+///
+/// Scratch files go under `dir` as
+/// `round-<r>-shard-<i>-of-<N>.ckpt`.
+///
+/// # Errors
+///
+/// Config validation (zero shards/rounds, empty shard slices), search
+/// errors, I/O errors under `dir`.
+pub fn run_rounds_local(
+    base: &SearchConfig,
+    opts: &BatchOptions,
+    shards: u32,
+    rounds: u64,
+    dir: &Path,
+) -> Result<SearchCheckpoint> {
+    if rounds == 0 {
+        return Err(FnasError::InvalidConfig {
+            what: "a coordinated run needs at least one round".to_string(),
+        });
+    }
+    std::fs::create_dir_all(dir)?;
+    let mut carried: Option<SearchCheckpoint> = None;
+    let mut merges = Vec::with_capacity(rounds as usize);
+    for round in 0..rounds {
+        let init = init_for_round(base, round, carried.as_ref())?;
+        let mut parts = Vec::with_capacity(shards as usize);
+        for index in 0..shards {
+            let spec = ShardSpec::new(index, shards)?;
+            let path = dir.join(shard_file(round, index, shards));
+            let bytes = run_round_shard(base, round, spec, &init, opts, &path)?;
+            parts.push(SearchCheckpoint::from_bytes(&bytes)?);
+        }
+        let merged = SearchCheckpoint::merge(&parts)?;
+        carried = Some(merged.clone());
+        merges.push(merged);
+    }
+    accumulate(base, &merges)
+}
+
+/// Canonical scratch-file name for one shard of one round.
+pub fn shard_file(round: u64, index: u32, count: u32) -> String {
+    format!("round-{round}-shard-{index}-of-{count}.ckpt")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnas::experiment::ExperimentPreset;
+
+    fn base(trials: usize) -> SearchConfig {
+        SearchConfig::fnas(ExperimentPreset::mnist().with_trials(trials), 10.0).with_seed(77)
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fnas-rounds-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_zero_is_the_base_config() {
+        let b = base(8);
+        assert_eq!(round_config(&b, 0).seed(), b.seed());
+        assert_ne!(round_config(&b, 1).seed(), b.seed());
+        assert_ne!(round_config(&b, 1).seed(), round_config(&b, 2).seed());
+    }
+
+    #[test]
+    fn later_rounds_need_the_carried_merge() {
+        let b = base(8);
+        assert!(init_for_round(&b, 1, None).is_err());
+        let init0 = init_for_round(&b, 0, None).unwrap();
+        assert_eq!(init0.round, 0);
+        assert_eq!(init0.run_seed, b.seed());
+    }
+
+    #[test]
+    fn reinit_carries_the_controller_and_resets_the_stream() {
+        let b = base(8);
+        let merged = {
+            let mut m = init_for_round(&b, 0, None).unwrap();
+            m.baseline = Some(0.5);
+            m
+        };
+        let init1 = init_for_round(&b, 1, Some(&merged)).unwrap();
+        assert_eq!(init1.round, 1);
+        assert_eq!(init1.run_seed, round_config(&b, 1).seed());
+        assert_eq!(init1.trainer, merged.trainer, "controller carried");
+        assert_eq!(init1.baseline, Some(0.5), "baseline carried");
+        assert!(init1.trials.is_empty());
+        assert_eq!(init1.next_episode, 0);
+        assert_eq!(
+            init1.rng_state,
+            StdRng::seed_from_u64(init1.run_seed).state(),
+            "fresh stream from the round seed"
+        );
+    }
+
+    #[test]
+    fn a_single_round_accumulates_to_the_merge_itself() {
+        // One-round identity: accumulate([merge]) == merge, byte for byte
+        // — the degenerate coordinated run IS the one-shot sharded run.
+        let b = base(8);
+        let dir = tmp("single");
+        let opts = BatchOptions::default().with_batch_size(4).with_workers(0);
+        let init = init_for_round(&b, 0, None).unwrap();
+        let mut parts = Vec::new();
+        for i in 0..2u32 {
+            let spec = ShardSpec::new(i, 2).unwrap();
+            let path = dir.join(shard_file(0, i, 2));
+            let bytes = run_round_shard(&b, 0, spec, &init, &opts, &path).unwrap();
+            parts.push(SearchCheckpoint::from_bytes(&bytes).unwrap());
+        }
+        let merged = SearchCheckpoint::merge(&parts).unwrap();
+        let accumulated = accumulate(&b, std::slice::from_ref(&merged)).unwrap();
+        assert_eq!(accumulated.to_bytes(), merged.to_bytes());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn two_rounds_bank_both_rounds_trials() {
+        let b = base(8);
+        let dir = tmp("two");
+        let opts = BatchOptions::default().with_batch_size(4).with_workers(0);
+        let out = run_rounds_local(&b, &opts, 2, 2, &dir).unwrap();
+        // Each round runs the full 8-trial budget under its own seed.
+        assert_eq!(out.trials.len(), 16);
+        assert_eq!(out.round, 1, "stamped with the last round");
+        assert_eq!(out.run_seed, b.seed());
+        assert_eq!(out.parent_seed, b.seed());
+        let indices: Vec<usize> = out.trials.iter().map(|t| t.index).collect();
+        assert_eq!(indices, (0..16).collect::<Vec<_>>(), "re-indexed");
+        assert!(run_rounds_local(&b, &opts, 2, 0, &dir).is_err());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,231 @@
+//! The worker loop: poll, run, heartbeat, submit, repeat.
+//!
+//! A worker is a thin shell around [`crate::rounds::run_round_shard`] —
+//! the same function the in-process reference driver uses, which is what
+//! guarantees its submissions are byte-identical to any other replica's.
+//! All its networking is the stateless request–response of
+//! [`crate::proto`]: one connection per request, so a worker crash
+//! leaves nothing behind but a lease that will quietly expire.
+//!
+//! While a shard runs, a background thread heartbeats the lease at a
+//! configurable cadence. A heartbeat answered with `still_yours: false`
+//! (lease expired, shard possibly re-dispatched) does **not** stop the
+//! worker: its result is exactly as valid as any replica's, and the
+//! coordinator settles whichever arrives first.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fnas::checkpoint::SearchCheckpoint;
+use fnas::search::{BatchOptions, SearchConfig, ShardSpec};
+use fnas::{FnasError, Result};
+
+use crate::framing::{read_frame, write_frame};
+use crate::proto::{config_fingerprint, Request, Response};
+use crate::rounds::{run_round_shard, shard_file};
+
+/// How a worker finds and talks to its coordinator.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Coordinator address, e.g. `127.0.0.1:7463`.
+    pub addr: String,
+    /// Self-chosen name (diagnostics and lease bookkeeping).
+    pub name: String,
+    /// Scratch directory for shard checkpoint files.
+    pub dir: PathBuf,
+    /// Heartbeat cadence while a shard runs.
+    pub heartbeat_ms: u64,
+    /// Connection attempts per request before giving up.
+    pub connect_retries: u32,
+    /// Delay between connection attempts.
+    pub connect_backoff_ms: u64,
+}
+
+impl WorkerOptions {
+    /// Conventional defaults: 1-second heartbeats, ~2 seconds of
+    /// connection patience.
+    pub fn new(addr: impl Into<String>, name: impl Into<String>, dir: impl Into<PathBuf>) -> Self {
+        WorkerOptions {
+            addr: addr.into(),
+            name: name.into(),
+            dir: dir.into(),
+            heartbeat_ms: 1_000,
+            connect_retries: 20,
+            connect_backoff_ms: 100,
+        }
+    }
+}
+
+/// What one worker did over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Shards run to completion (including ones that settled as
+    /// duplicates).
+    pub shards_run: u64,
+    /// Submissions that settled their shard.
+    pub fresh_results: u64,
+    /// Submissions absorbed as byte-identical duplicates.
+    pub duplicate_results: u64,
+    /// `true` when the run ended because the coordinator went away
+    /// after this worker had already contributed (treated as a normal
+    /// exit: the run is over).
+    pub coordinator_lost: bool,
+}
+
+/// One request–response exchange on a fresh connection.
+fn request(opts: &WorkerOptions, req: &Request) -> Result<Response> {
+    let mut last: Option<std::io::Error> = None;
+    for _ in 0..opts.connect_retries.max(1) {
+        match TcpStream::connect(&opts.addr) {
+            Ok(mut stream) => {
+                stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+                stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+                write_frame(&mut stream, &req.to_bytes())?;
+                return Response::from_bytes(&read_frame(&mut stream)?);
+            }
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(opts.connect_backoff_ms));
+            }
+        }
+    }
+    Err(FnasError::Io(last.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::NotConnected, "no connection attempts")
+    })))
+}
+
+/// Runs the worker loop against a coordinator until the run finishes.
+///
+/// `base`, `opts`, `shards` and `rounds` must match the coordinator's
+/// flags — the fingerprint handshake enforces this on the first poll.
+/// The evaluation worker-thread count inside `opts` is free to differ
+/// per machine; it cannot change results.
+///
+/// # Errors
+///
+/// Fingerprint rejections and protocol errors; connection failures
+/// *before* this worker contributed anything. A coordinator that
+/// disappears after the worker has submitted results is a normal exit
+/// (`coordinator_lost` in the report).
+pub fn run_worker(
+    base: &SearchConfig,
+    opts: &BatchOptions,
+    worker: &WorkerOptions,
+    shards: u32,
+    rounds: u64,
+) -> Result<WorkerReport> {
+    std::fs::create_dir_all(&worker.dir)?;
+    let fingerprint = config_fingerprint(base, opts.batch_size(), shards, rounds);
+    let mut report = WorkerReport::default();
+    loop {
+        let poll = Request::Poll {
+            worker: worker.name.clone(),
+            fingerprint,
+        };
+        let response = match request(worker, &poll) {
+            Ok(r) => r,
+            Err(e) if report.shards_run > 0 => {
+                // The coordinator merged its last round and left while we
+                // were backing off; the run is over.
+                let _ = e;
+                report.coordinator_lost = true;
+                return Ok(report);
+            }
+            Err(e) => return Err(e),
+        };
+        match response {
+            Response::Finished => return Ok(report),
+            Response::Wait { backoff_ms } => {
+                std::thread::sleep(Duration::from_millis(backoff_ms.clamp(10, 1_000)));
+            }
+            Response::Assign {
+                round,
+                shard,
+                shard_count,
+                init,
+                ..
+            } => {
+                if shard_count != shards {
+                    return Err(FnasError::InvalidConfig {
+                        what: format!(
+                            "coordinator dispatches {shard_count} shards, worker was started \
+                             with --shards {shards}"
+                        ),
+                    });
+                }
+                let init = SearchCheckpoint::from_bytes(&init)?;
+                let spec = ShardSpec::new(shard, shard_count)?;
+                let path = worker.dir.join(shard_file(round, shard, shard_count));
+
+                // Heartbeat in the background for the duration of the run.
+                let stop = Arc::new(AtomicBool::new(false));
+                let beat = {
+                    let stop = Arc::clone(&stop);
+                    let worker = worker.clone();
+                    let heartbeat = Request::Heartbeat {
+                        worker: worker.name.clone(),
+                        round,
+                        shard,
+                        fingerprint,
+                    };
+                    std::thread::spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            std::thread::sleep(Duration::from_millis(worker.heartbeat_ms.max(10)));
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            // Failures are ignored: a missed heartbeat at
+                            // worst costs the lease, never the result.
+                            let _ = request(&worker, &heartbeat);
+                        }
+                    })
+                };
+                let ran = run_round_shard(base, round, spec, &init, opts, &path);
+                stop.store(true, Ordering::Relaxed);
+                let _ = beat.join();
+                let bytes = ran?;
+
+                let submit = Request::Submit {
+                    worker: worker.name.clone(),
+                    round,
+                    shard,
+                    fingerprint,
+                    bytes,
+                };
+                match request(worker, &submit)? {
+                    Response::Accepted { fresh } => {
+                        report.shards_run += 1;
+                        if fresh {
+                            report.fresh_results += 1;
+                        } else {
+                            report.duplicate_results += 1;
+                        }
+                    }
+                    Response::Error { what } => {
+                        return Err(FnasError::InvalidConfig {
+                            what: format!("coordinator rejected shard {shard}: {what}"),
+                        })
+                    }
+                    other => {
+                        return Err(FnasError::InvalidConfig {
+                            what: format!("unexpected submit response {other:?}"),
+                        })
+                    }
+                }
+            }
+            Response::Error { what } => {
+                return Err(FnasError::InvalidConfig {
+                    what: format!("coordinator rejected poll: {what}"),
+                })
+            }
+            other => {
+                return Err(FnasError::InvalidConfig {
+                    what: format!("unexpected poll response {other:?}"),
+                })
+            }
+        }
+    }
+}

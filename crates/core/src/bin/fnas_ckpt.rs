@@ -39,6 +39,7 @@ fn render(ckpt: &SearchCheckpoint) -> String {
         "shard: {}/{} (parent seed {})",
         ckpt.shard_index, ckpt.shard_count, ckpt.parent_seed
     ));
+    line(format!("round: {}", ckpt.round));
     line(format!("run seed: {}", ckpt.run_seed));
     line(format!("next episode: {}", ckpt.next_episode));
     line(format!(
@@ -132,6 +133,12 @@ fn diff(a: &SearchCheckpoint, b: &SearchCheckpoint) -> String {
         lines.push(format!(
             "parent seed: {:#x} → {:#x}",
             a.parent_seed, b.parent_seed
+        ));
+    }
+    if a.round != b.round {
+        lines.push(format!(
+            "round: {} → {} (snapshots belong to different synchronous rounds)",
+            a.round, b.round
         ));
     }
     if a.run_seed != b.run_seed {
@@ -293,8 +300,9 @@ mod tests {
 
         let ckpt = SearchCheckpoint::load(&path).unwrap();
         let report = render(&ckpt);
-        assert!(report.contains("magic=\"FNASCKPT\" version=2"));
+        assert!(report.contains("magic=\"FNASCKPT\" version=3"));
         assert!(report.contains("shard: 0/1 (parent seed 9)"));
+        assert!(report.contains("round: 0"));
         assert!(report.contains("run seed: 9"));
         assert!(report.contains("next episode: 2"));
         assert!(report.contains("rng stream (xoshiro256++): [0x"));
@@ -314,6 +322,7 @@ mod tests {
             shard_index: 0,
             shard_count: 1,
             parent_seed: 0,
+            round: 0,
             run_seed: 0,
             next_episode: 0,
             rng_state: [0; 4],
@@ -381,6 +390,15 @@ mod tests {
         assert!(d.contains("run seed: 0x9 → 0xa"), "{d}");
         assert!(d.contains("trainer params"), "{d}");
         assert!(d.contains("rng stream: diverged"), "{d}");
+
+        // Round mismatches get an explicit, round-aware line.
+        let mut rounded = a.clone();
+        rounded.round = 3;
+        let d = diff(&a, &rounded);
+        assert!(
+            d.contains("round: 0 → 3 (snapshots belong to different synchronous rounds)"),
+            "{d}"
+        );
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -49,7 +49,10 @@ pub const MAGIC: &[u8; 8] = b"FNASCKPT";
 ///   `parent_seed`) between the version word and the run seed. v1
 ///   snapshots still load, as shard 0-of-1 with `parent_seed` equal to
 ///   their own run seed.
-pub const VERSION: u32 = 2;
+/// * **v3** — extends the shard header with a `round` counter for
+///   iterated synchronous (merge → re-init → continue) searches. v1/v2
+///   snapshots still load, as round 0.
+pub const VERSION: u32 = 3;
 
 /// Everything needed to continue a batched search bit-identically.
 ///
@@ -71,6 +74,11 @@ pub struct SearchCheckpoint {
     /// [`fnas_exec::derive_shard_seed`]). Equal to `run_seed` for
     /// unsharded runs and v1 snapshots.
     pub parent_seed: u64,
+    /// Which synchronous round of an iterated (merge → re-init → continue)
+    /// search this snapshot belongs to. `0` for one-shot runs and for
+    /// every v1/v2 snapshot; within a round, each shard's seed tree hangs
+    /// off [`fnas_exec::derive_round_seed`]`(parent, round)`.
+    pub round: u64,
     /// The run's config seed; resume refuses a mismatched config.
     pub run_seed: u64,
     /// The next episode index to execute.
@@ -96,10 +104,11 @@ impl SearchCheckpoint {
         let mut w = Writer::default();
         w.bytes(MAGIC);
         w.u32(VERSION);
-        // v2 shard header.
+        // v2 shard header, extended with the v3 round counter.
         w.u32(self.shard_index);
         w.u32(self.shard_count);
         w.u64(self.parent_seed);
+        w.u64(self.round);
         w.u64(self.run_seed);
         w.u64(self.next_episode);
         for s in self.rng_state {
@@ -184,12 +193,14 @@ impl SearchCheckpoint {
             )));
         }
         // v1 snapshots predate sharding: they load as shard 0-of-1 with
-        // parent_seed mirroring their own run seed (set below).
+        // parent_seed mirroring their own run seed (set below). v1/v2
+        // snapshots predate rounds: they load as round 0.
         let (shard_index, shard_count, parent_seed) = if version >= 2 {
             (r.u32()?, r.u32()?, Some(r.u64()?))
         } else {
             (0, 1, None)
         };
+        let round = if version >= 3 { r.u64()? } else { 0 };
         if shard_count == 0 || shard_index >= shard_count {
             return Err(corrupt(&format!(
                 "implausible shard header {shard_index}/{shard_count}"
@@ -283,6 +294,7 @@ impl SearchCheckpoint {
             shard_index,
             shard_count,
             parent_seed,
+            round,
             run_seed,
             next_episode,
             rng_state,
@@ -305,6 +317,9 @@ impl SearchCheckpoint {
     ///   bit-reproducible); update counts and Adam timesteps sum;
     /// * **baseline** — mean of the shards that observed anything;
     /// * **cost** — summed in shard order;
+    /// * **round** — every shard must belong to the same round; the
+    ///   merged snapshot stays in that round (the coordinator's re-init
+    ///   advances it);
     /// * **telemetry** — saturating [`TelemetrySnapshot::merge`] fold;
     /// * **episodes / RNG** — `next_episode` sums; the merged `rng_state`
     ///   is shard 0's (the lead stream — a merged checkpoint represents a
@@ -316,9 +331,9 @@ impl SearchCheckpoint {
     /// # Errors
     ///
     /// Returns [`FnasError::InvalidConfig`] when `parts` is empty, the
-    /// shards disagree on `parent_seed` or `shard_count`, the indices do
-    /// not tile `0..shard_count` exactly, or the controllers have
-    /// different shapes.
+    /// shards disagree on `parent_seed`, `shard_count` or `round`, the
+    /// indices do not tile `0..shard_count` exactly, or the controllers
+    /// have different shapes.
     pub fn merge(parts: &[SearchCheckpoint]) -> Result<SearchCheckpoint> {
         let first = parts
             .first()
@@ -349,6 +364,12 @@ impl SearchCheckpoint {
                 return Err(corrupt(&format!(
                     "shard {} belongs to run {:#x}, shard 0 to {:#x}",
                     c.shard_index, c.parent_seed, first.parent_seed
+                )));
+            }
+            if c.round != first.round {
+                return Err(corrupt(&format!(
+                    "shard {} belongs to round {}, shard 0 to round {}",
+                    c.shard_index, c.round, first.round
                 )));
             }
             if c.trainer.params.len() != first.trainer.params.len()
@@ -449,6 +470,7 @@ impl SearchCheckpoint {
             shard_index: 0,
             shard_count: 1,
             parent_seed: first.parent_seed,
+            round: first.round,
             run_seed: first.parent_seed,
             next_episode,
             rng_state: shards[0].rng_state,
@@ -623,6 +645,7 @@ mod tests {
             shard_index: 0,
             shard_count: 1,
             parent_seed: 0xF0A5,
+            round: 2,
             run_seed: 0xF0A5,
             next_episode: 3,
             rng_state: [1, 2, 3, u64::MAX],
@@ -739,36 +762,65 @@ mod tests {
         let ck = sample();
         let mut bytes = ck.to_bytes();
         // The trainer param-count length prefix sits after magic(8) +
-        // version(4) + shard header(16) + seed(8) + episode(8) + rng(32) +
-        // baseline(5) + cost(16) = 97 bytes; overwrite it with an absurd
+        // version(4) + shard header(24) + seed(8) + episode(8) + rng(32) +
+        // baseline(5) + cost(16) = 105 bytes; overwrite it with an absurd
         // count.
-        bytes[97..105].copy_from_slice(&u64::MAX.to_le_bytes());
+        bytes[105..113].copy_from_slice(&u64::MAX.to_le_bytes());
         let err = SearchCheckpoint::from_bytes(&bytes).unwrap_err();
         assert!(err.to_string().contains("implausible length"), "{err}");
     }
 
-    /// Rewrites v2 bytes into the v1 layout: patch the version word and
-    /// splice out the 16-byte shard header that v2 inserted after it.
-    fn downgrade_to_v1(v2: &[u8]) -> Vec<u8> {
-        let mut v1 = Vec::with_capacity(v2.len() - 16);
-        v1.extend_from_slice(&v2[..MAGIC.len()]);
+    /// Rewrites v3 bytes into the v1 layout: patch the version word and
+    /// splice out the 24-byte shard header (v2's 16 bytes plus v3's round
+    /// counter) that sits after it.
+    fn downgrade_to_v1(v3: &[u8]) -> Vec<u8> {
+        let mut v1 = Vec::with_capacity(v3.len() - 24);
+        v1.extend_from_slice(&v3[..MAGIC.len()]);
         v1.extend_from_slice(&1u32.to_le_bytes());
-        v1.extend_from_slice(&v2[MAGIC.len() + 4 + 16..]);
+        v1.extend_from_slice(&v3[MAGIC.len() + 4 + 24..]);
         v1
     }
 
+    /// Rewrites v3 bytes into the v2 layout: patch the version word, keep
+    /// the 16-byte v2 shard header, splice out the 8-byte round counter.
+    fn downgrade_to_v2(v3: &[u8]) -> Vec<u8> {
+        let header_end = MAGIC.len() + 4 + 16;
+        let mut v2 = Vec::with_capacity(v3.len() - 8);
+        v2.extend_from_slice(&v3[..MAGIC.len()]);
+        v2.extend_from_slice(&2u32.to_le_bytes());
+        v2.extend_from_slice(&v3[MAGIC.len() + 4..header_end]);
+        v2.extend_from_slice(&v3[header_end + 8..]);
+        v2
+    }
+
     #[test]
-    fn v1_snapshots_load_as_shard_zero_of_one() {
+    fn v1_snapshots_load_as_shard_zero_of_one_round_zero() {
         let mut ck = sample();
         ck.shard_index = 0;
         ck.shard_count = 1;
         ck.parent_seed = ck.run_seed;
+        ck.round = 0;
         let v1 = downgrade_to_v1(&ck.to_bytes());
         let restored = SearchCheckpoint::from_bytes(&v1).unwrap();
         assert_eq!(restored, ck);
         assert_eq!(restored.shard_index, 0);
         assert_eq!(restored.shard_count, 1);
         assert_eq!(restored.parent_seed, restored.run_seed);
+        assert_eq!(restored.round, 0);
+    }
+
+    #[test]
+    fn v2_snapshots_keep_their_shard_stamp_and_load_as_round_zero() {
+        let mut ck = sample();
+        ck.shard_index = 1;
+        ck.shard_count = 4;
+        ck.round = 0;
+        let v2 = downgrade_to_v2(&ck.to_bytes());
+        let restored = SearchCheckpoint::from_bytes(&v2).unwrap();
+        assert_eq!(restored, ck);
+        assert_eq!(restored.shard_index, 1);
+        assert_eq!(restored.shard_count, 4);
+        assert_eq!(restored.round, 0);
     }
 
     #[test]
@@ -802,6 +854,7 @@ mod tests {
         assert_eq!(forward.shard_index, 0);
         assert_eq!(forward.shard_count, 1);
         assert_eq!(forward.run_seed, 0xF0A5);
+        assert_eq!(forward.round, 2); // the round the shards belong to
         assert_eq!(forward.next_episode, 1 + 2 + 3);
         // Lead shard's RNG stream; mean params; re-indexed trials.
         assert_eq!(forward.rng_state, [0; 4]);
@@ -839,6 +892,11 @@ mod tests {
         stray.parent_seed = 0xDEAD;
         let err = SearchCheckpoint::merge(&[shard(0, 2), stray]).unwrap_err();
         assert!(err.to_string().contains("belongs to run"), "{err}");
+        // Mismatched round: an explicit, round-aware message.
+        let mut late = shard(1, 2);
+        late.round += 1;
+        let err = SearchCheckpoint::merge(&[shard(0, 2), late]).unwrap_err();
+        assert!(err.to_string().contains("round"), "{err}");
         // Mismatched controller shape.
         let mut odd = shard(1, 2);
         odd.trainer.params.push(0.0);

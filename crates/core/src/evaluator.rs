@@ -15,6 +15,7 @@
 
 use fnas_controller::arch::ChildArch;
 use fnas_data::{SynthConfig, SynthDataset};
+use fnas_exec::Deadline;
 use fnas_nn::model::Sequential;
 use fnas_nn::optim::Sgd;
 use fnas_nn::train::{train, Batch};
@@ -39,6 +40,31 @@ pub trait AccuracyEvaluator: std::fmt::Debug + Send + Sync {
     /// Returns an error when the architecture cannot be evaluated at all
     /// (e.g. a kernel larger than the padded input).
     fn evaluate(&self, arch: &ChildArch, rng: &mut dyn RngCore) -> Result<f32>;
+
+    /// Evaluates `arch` under an optional work deadline, charging the
+    /// evaluation's logical cost (ticks) against `deadline` before doing
+    /// the work. An exceeded deadline surfaces as a *transient*
+    /// [`FnasError::Oracle`] fault — the trial fails, the search
+    /// continues. Deadlines count abstract work units, never wall-clock
+    /// time, so an armed watchdog cannot break the engine's
+    /// bit-identical-across-worker-counts invariant.
+    ///
+    /// The default implementation charges nothing and delegates to
+    /// [`AccuracyEvaluator::evaluate`]: instant oracles (the surrogate)
+    /// cannot meaningfully exceed a work budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transient fault when the deadline is exceeded, otherwise
+    /// whatever [`AccuracyEvaluator::evaluate`] returns.
+    fn evaluate_with_deadline(
+        &self,
+        arch: &ChildArch,
+        rng: &mut dyn RngCore,
+        _deadline: Option<&Deadline>,
+    ) -> Result<f32> {
+        self.evaluate(arch, rng)
+    }
 
     /// Short name for reports, e.g. `"trained"`.
     fn name(&self) -> &'static str;
@@ -117,6 +143,30 @@ impl AccuracyEvaluator for TrainedEvaluator {
             self.epochs,
         )?;
         Ok(report.reward_accuracy(self.reward_window))
+    }
+
+    /// Charges one tick per training epoch *before* training starts: the
+    /// training trajectory itself is never interrupted mid-run (stopping a
+    /// child early would make its accuracy depend on when the deadline
+    /// fired), so the watchdog's unit of preemption is the whole
+    /// evaluation. Exceeding the budget is a transient fault — under a
+    /// retry decorator the re-attempt charges the same deadline again,
+    /// which bounds the *total* work a flaky child can consume.
+    fn evaluate_with_deadline(
+        &self,
+        arch: &ChildArch,
+        rng: &mut dyn RngCore,
+        deadline: Option<&Deadline>,
+    ) -> Result<f32> {
+        if let Some(deadline) = deadline {
+            deadline
+                .tick_n(self.epochs as u64)
+                .map_err(|e| FnasError::Oracle {
+                    what: format!("training watchdog: {e}"),
+                    transient: true,
+                })?;
+        }
+        self.evaluate(arch, rng)
     }
 
     fn name(&self) -> &'static str {
@@ -377,6 +427,56 @@ mod tests {
         let acc = eval.evaluate(&arch(&[(3, 8)]), &mut rng).unwrap();
         assert!(acc > 0.5, "trained accuracy {acc}");
         assert_eq!(eval.name(), "trained");
+    }
+
+    #[test]
+    fn trained_evaluator_charges_epochs_against_the_deadline() {
+        let config = SynthConfig::mnist_like()
+            .with_shape((1, 8, 8))
+            .with_classes(3)
+            .with_noise(0.1)
+            .with_sizes(60, 30);
+        let eval = TrainedEvaluator::new(&config, 10, 10).unwrap().with_lr(0.3);
+        let a = arch(&[(3, 8)]);
+
+        // A budget below the epoch count faults transiently *before* any
+        // training happens.
+        let tight = Deadline::new(9);
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = eval
+            .evaluate_with_deadline(&a, &mut rng, Some(&tight))
+            .unwrap_err();
+        assert!(err.is_transient(), "timeouts must be retryable");
+        assert!(err.to_string().contains("deadline of 9 ticks"));
+
+        // A budget of exactly `epochs` ticks trains normally, spends the
+        // whole budget, and matches the undeadlined path bit for bit.
+        let roomy = Deadline::new(10);
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(1);
+        let plain = eval.evaluate(&a, &mut rng_a).unwrap();
+        let timed = eval
+            .evaluate_with_deadline(&a, &mut rng_b, Some(&roomy))
+            .unwrap();
+        assert_eq!(plain.to_bits(), timed.to_bits());
+        assert_eq!(roomy.spent(), 10);
+
+        // No deadline at all is the default path.
+        let mut rng_c = StdRng::seed_from_u64(1);
+        let free = eval.evaluate_with_deadline(&a, &mut rng_c, None).unwrap();
+        assert_eq!(plain.to_bits(), free.to_bits());
+    }
+
+    #[test]
+    fn surrogate_ignores_deadlines_by_default() {
+        let e = SurrogateEvaluator::new(SurrogateCalibration::mnist());
+        let d = Deadline::new(0); // already exhausted
+        let mut rng = StdRng::seed_from_u64(0);
+        let acc = e
+            .evaluate_with_deadline(&arch(&[(5, 18)]), &mut rng, Some(&d))
+            .unwrap();
+        assert!(acc.is_finite());
+        assert_eq!(d.spent(), 0, "an instant oracle charges nothing");
     }
 
     #[test]

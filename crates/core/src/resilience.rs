@@ -23,6 +23,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use fnas_controller::arch::ChildArch;
+use fnas_exec::Deadline;
 use rand::RngCore;
 
 use crate::evaluator::AccuracyEvaluator;
@@ -199,15 +200,20 @@ impl ResilientEvaluator {
     }
 }
 
-impl AccuracyEvaluator for ResilientEvaluator {
-    fn evaluate(&self, arch: &ChildArch, rng: &mut dyn RngCore) -> Result<f32> {
+impl ResilientEvaluator {
+    fn retry_loop(
+        &self,
+        arch: &ChildArch,
+        rng: &mut dyn RngCore,
+        deadline: Option<&Deadline>,
+    ) -> Result<f32> {
         // The adaptive budget is decided once per evaluation, from the
         // fault history as of entry: a mid-evaluation cutover elsewhere
         // never truncates a retry loop already underway.
         let budget = self.policy.effective_retries(&self.stats.snapshot());
         let mut attempt = 0u32;
         loop {
-            match self.inner.evaluate(arch, rng) {
+            match self.inner.evaluate_with_deadline(arch, rng, deadline) {
                 Ok(acc) if acc.is_finite() => return Ok(acc),
                 Ok(acc) => {
                     self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
@@ -234,6 +240,24 @@ impl AccuracyEvaluator for ResilientEvaluator {
                 Err(e) => return Err(e),
             }
         }
+    }
+}
+
+impl AccuracyEvaluator for ResilientEvaluator {
+    fn evaluate(&self, arch: &ChildArch, rng: &mut dyn RngCore) -> Result<f32> {
+        self.retry_loop(arch, rng, None)
+    }
+
+    /// The deadline spans the *whole* retry loop: each attempt re-charges
+    /// the same budget, so retried timeouts drain it quickly and a stuck
+    /// oracle cannot hide behind its own retries.
+    fn evaluate_with_deadline(
+        &self,
+        arch: &ChildArch,
+        rng: &mut dyn RngCore,
+        deadline: Option<&Deadline>,
+    ) -> Result<f32> {
+        self.retry_loop(arch, rng, deadline)
     }
 
     fn name(&self) -> &'static str {
@@ -330,8 +354,13 @@ impl FaultInjector {
     }
 }
 
-impl AccuracyEvaluator for FaultInjector {
-    fn evaluate(&self, arch: &ChildArch, rng: &mut dyn RngCore) -> Result<f32> {
+impl FaultInjector {
+    fn inject_then(
+        &self,
+        arch: &ChildArch,
+        rng: &mut dyn RngCore,
+        deadline: Option<&Deadline>,
+    ) -> Result<f32> {
         let roll = FaultInjector::roll(rng);
         let p = self.plan;
         if roll < p.panic_rate {
@@ -346,7 +375,22 @@ impl AccuracyEvaluator for FaultInjector {
         if roll < p.panic_rate + p.transient_rate + p.nan_rate {
             return Ok(f32::NAN);
         }
-        self.inner.evaluate(arch, rng)
+        self.inner.evaluate_with_deadline(arch, rng, deadline)
+    }
+}
+
+impl AccuracyEvaluator for FaultInjector {
+    fn evaluate(&self, arch: &ChildArch, rng: &mut dyn RngCore) -> Result<f32> {
+        self.inject_then(arch, rng, None)
+    }
+
+    fn evaluate_with_deadline(
+        &self,
+        arch: &ChildArch,
+        rng: &mut dyn RngCore,
+        deadline: Option<&Deadline>,
+    ) -> Result<f32> {
+        self.inject_then(arch, rng, deadline)
     }
 
     fn name(&self) -> &'static str {

@@ -44,6 +44,7 @@ pub struct SearchConfig {
     prune: bool,
     cluster: Option<FpgaCluster>,
     required_accuracy: Option<f32>,
+    child_deadline_ticks: Option<u64>,
 }
 
 impl SearchConfig {
@@ -59,6 +60,7 @@ impl SearchConfig {
             prune: true,
             cluster: None,
             required_accuracy: None,
+            child_deadline_ticks: None,
         }
     }
 
@@ -76,6 +78,7 @@ impl SearchConfig {
             prune: true,
             cluster: None,
             required_accuracy: None,
+            child_deadline_ticks: None,
         }
     }
 
@@ -154,6 +157,23 @@ impl SearchConfig {
     /// The early-stop accuracy, if any.
     pub fn required_accuracy(&self) -> Option<f32> {
         self.required_accuracy
+    }
+
+    /// Arms the stuck-child watchdog: each child evaluation gets a
+    /// [`fnas_exec::Deadline`] of this many *logical* ticks (one tick per
+    /// training epoch); exceeding it settles the child as a transient
+    /// fault instead of stalling the batch. `None` (the default) disables
+    /// the watchdog. Because ticks count work, not seconds, arming it
+    /// never breaks the 0/1/2/8-worker determinism contract.
+    #[must_use]
+    pub fn with_child_deadline_ticks(mut self, ticks: Option<u64>) -> Self {
+        self.child_deadline_ticks = ticks;
+        self
+    }
+
+    /// The per-child watchdog tick budget, if armed.
+    pub fn child_deadline_ticks(&self) -> Option<u64> {
+        self.child_deadline_ticks
     }
 
     /// The experiment preset.
@@ -305,6 +325,7 @@ pub struct CheckpointOptions {
     policy: CheckpointPolicy,
     shard: (u32, u32),
     parent_seed: Option<u64>,
+    round: u64,
 }
 
 impl CheckpointOptions {
@@ -316,6 +337,7 @@ impl CheckpointOptions {
             policy: CheckpointPolicy::default(),
             shard: (0, 1),
             parent_seed: None,
+            round: 0,
         }
     }
 
@@ -359,6 +381,15 @@ impl CheckpointOptions {
         self.policy
     }
 
+    /// Stamps written snapshots with a synchronous-round counter (the
+    /// coordinator's merge → re-init → continue loop). One-shot runs (the
+    /// default) write round 0.
+    #[must_use]
+    pub fn with_round(mut self, round: u64) -> Self {
+        self.round = round;
+        self
+    }
+
     /// The `(index, count)` shard identity stamped into snapshots.
     pub fn shard(&self) -> (u32, u32) {
         self.shard
@@ -367,6 +398,11 @@ impl CheckpointOptions {
     /// The parent run seed stamped into snapshots; `run_seed` if unset.
     pub fn parent_seed(&self) -> Option<u64> {
         self.parent_seed
+    }
+
+    /// The synchronous-round counter stamped into snapshots.
+    pub fn round(&self) -> u64 {
+        self.round
     }
 
     /// The episode-stamped sibling of [`CheckpointOptions::path`] used by

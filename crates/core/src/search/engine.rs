@@ -412,6 +412,7 @@ impl Searcher {
                         shard_index,
                         shard_count,
                         parent_seed: c.parent_seed().unwrap_or_else(|| config.seed()),
+                        round: c.round(),
                         run_seed: config.seed(),
                         next_episode: episode,
                         rng_state: rng.state(),
@@ -486,6 +487,7 @@ impl Searcher {
             shard_index: 0,
             shard_count: 1,
             parent_seed: config.seed(),
+            round: 0,
             run_seed: config.seed(),
             next_episode: 0,
             rng_state: self.rng.state(),
@@ -513,6 +515,7 @@ impl Searcher {
             shard_index,
             shard_count,
             parent_seed: ckpt.parent_seed().unwrap_or(run_seed),
+            round: ckpt.round(),
             run_seed,
             next_episode: outcome.telemetry.episodes,
             rng_state: self.rng.state(),

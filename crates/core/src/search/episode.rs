@@ -27,7 +27,7 @@
 use fnas_controller::arch::ChildArch;
 use fnas_controller::reinforce::{ArchSample, EmaBaseline, ReinforceTrainer, TrainerState};
 use fnas_controller::rnn::PolicyRnn;
-use fnas_exec::{derive_child_seed, Executor, Phase, SearchTelemetry, TelemetrySnapshot};
+use fnas_exec::{derive_child_seed, Deadline, Executor, Phase, SearchTelemetry, TelemetrySnapshot};
 use fnas_fpga::Millis;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -194,6 +194,11 @@ impl<'a> EpisodeRunner<'a> {
         // `map_settle`: a panicking child evaluation settles into a
         // per-slot fault instead of unwinding through the pool and
         // killing the whole search.
+        // Optional watchdog: each child gets its *own* fresh deadline of
+        // purely logical ticks, created inside the closure — per-child
+        // budgets are independent of scheduling order, preserving the
+        // bit-identical-across-worker-counts invariant.
+        let deadline_ticks = self.config.child_deadline_ticks();
         let accuracies = {
             let _t = telemetry.phase_timer(Phase::Accuracy);
             self.executor.map_settle(&archs, |child, arch| {
@@ -201,7 +206,8 @@ impl<'a> EpisodeRunner<'a> {
                     return None;
                 }
                 let seed = derive_child_seed(run_seed, episode, child as u64);
-                Some(oracle.accuracy_seeded(arch, seed))
+                let deadline = deadline_ticks.map(Deadline::new);
+                Some(oracle.accuracy_seeded_deadline(arch, seed, deadline.as_ref()))
             })
         };
 
@@ -223,7 +229,7 @@ impl<'a> EpisodeRunner<'a> {
                     telemetry.add_panic_caught();
                     Some(Err(FnasError::Oracle {
                         what: fault.to_string(),
-                        transient: false,
+                        transient: fault.is_timeout(),
                     }))
                 }
             };

@@ -11,7 +11,7 @@
 //! to every worker.
 
 use fnas_controller::arch::ChildArch;
-use fnas_exec::{SearchTelemetry, ShardedCache};
+use fnas_exec::{Deadline, SearchTelemetry, ShardedCache};
 use fnas_fpga::Millis;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -90,12 +90,33 @@ impl ChildOracle {
     ///
     /// Propagates oracle errors (errors are never cached).
     pub fn accuracy_seeded(&self, arch: &ChildArch, seed: u64) -> Result<f32> {
+        self.accuracy_seeded_deadline(arch, seed, None)
+    }
+
+    /// [`ChildOracle::accuracy_seeded`] with an optional work deadline
+    /// (see [`AccuracyEvaluator::evaluate_with_deadline`]). A timed-out
+    /// evaluation surfaces as a transient fault; because errors are never
+    /// cached, a later retry under a roomier budget starts clean.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle errors, including deadline-exceeded transient
+    /// faults (errors are never cached).
+    pub fn accuracy_seeded_deadline(
+        &self,
+        arch: &ChildArch,
+        seed: u64,
+        deadline: Option<&Deadline>,
+    ) -> Result<f32> {
         let mut rng = StdRng::seed_from_u64(seed);
         if self.evaluator.deterministic() {
-            self.accuracy_cache
-                .get_or_try_insert_with(arch, || self.evaluator.evaluate(arch, &mut rng))
+            self.accuracy_cache.get_or_try_insert_with(arch, || {
+                self.evaluator
+                    .evaluate_with_deadline(arch, &mut rng, deadline)
+            })
         } else {
-            self.evaluator.evaluate(arch, &mut rng)
+            self.evaluator
+                .evaluate_with_deadline(arch, &mut rng, deadline)
         }
     }
 

@@ -175,10 +175,21 @@ impl ShardRunner {
     /// Searcher construction errors, plus [`FnasError::Io`] when the
     /// snapshot cannot be written.
     pub fn write_init(base: &SearchConfig, path: &Path) -> Result<SearchCheckpoint> {
-        let mut searcher = Searcher::surrogate(base)?;
-        let init = searcher.init_checkpoint(base);
+        let init = Self::init_snapshot(base)?;
         init.save(path)?;
         Ok(init)
+    }
+
+    /// [`ShardRunner::write_init`] without the file: the frozen episode-0
+    /// snapshot as an in-memory value. The coordinator uses this to build
+    /// round 0's init without touching its scratch directory.
+    ///
+    /// # Errors
+    ///
+    /// Searcher construction errors.
+    pub fn init_snapshot(base: &SearchConfig) -> Result<SearchCheckpoint> {
+        let mut searcher = Searcher::surrogate(base)?;
+        Ok(searcher.init_checkpoint(base))
     }
 
     /// Runs this shard against the init snapshot at `init_path`, scoring
@@ -240,6 +251,7 @@ impl ShardRunner {
             shard_index: self.spec.index(),
             shard_count: self.spec.count(),
             parent_seed: self.base.seed(),
+            round: init.round,
             run_seed: seed,
             next_episode: 0,
             // Shard 0-of-1 takes over the parent stream mid-flight (the
@@ -257,7 +269,8 @@ impl ShardRunner {
         };
         let ckpt = ckpt
             .clone()
-            .with_shard(self.spec.index(), self.spec.count(), self.base.seed());
+            .with_shard(self.spec.index(), self.spec.count(), self.base.seed())
+            .with_round(init.round);
         let outcome = searcher.run_batched_inner(&config, opts, Some(state), Some(&ckpt))?;
         searcher
             .freeze_state(&ckpt, seed, &outcome)

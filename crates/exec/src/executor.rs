@@ -19,7 +19,9 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
-/// One item of a [`Executor::map_settle`] batch panicked.
+/// One item of a [`Executor::map_settle`] batch panicked — or, for
+/// batches driven through [`crate::watchdog::Watchdog`], exceeded its
+/// deterministic deadline.
 ///
 /// Carries the item's input index and the panic payload rendered to a
 /// string (the common `&str`/`String` payloads verbatim, anything else as
@@ -28,6 +30,7 @@ use std::thread;
 pub struct TaskFault {
     index: usize,
     message: String,
+    timeout: bool,
 }
 
 impl TaskFault {
@@ -39,23 +42,51 @@ impl TaskFault {
         } else {
             "non-string panic payload".to_string()
         };
-        TaskFault { index, message }
+        TaskFault {
+            index,
+            message,
+            timeout: false,
+        }
     }
 
-    /// The input index of the item whose closure panicked.
+    /// A fault recording that the item exceeded its watchdog deadline of
+    /// `budget_ticks` deterministic ticks (see
+    /// [`crate::watchdog::Watchdog`]). Deadline faults are *transient* by
+    /// nature — the task was cut off, not proven wrong — and callers may
+    /// branch on [`TaskFault::is_timeout`] to retry or reschedule.
+    pub fn timed_out(index: usize, budget_ticks: u64) -> Self {
+        TaskFault {
+            index,
+            message: format!("exceeded its deadline of {budget_ticks} ticks"),
+            timeout: true,
+        }
+    }
+
+    /// The input index of the item whose closure panicked or timed out.
     pub fn index(&self) -> usize {
         self.index
     }
 
-    /// The panic message.
+    /// The panic or deadline message.
     pub fn message(&self) -> &str {
         &self.message
+    }
+
+    /// `true` when this fault is a watchdog deadline expiry rather than a
+    /// panic.
+    pub fn is_timeout(&self) -> bool {
+        self.timeout
     }
 }
 
 impl fmt::Display for TaskFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "task {} panicked: {}", self.index, self.message)
+        let verb = if self.timeout {
+            "timed out"
+        } else {
+            "panicked"
+        };
+        write!(f, "task {} {verb}: {}", self.index, self.message)
     }
 }
 

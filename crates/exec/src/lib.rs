@@ -24,7 +24,10 @@
 //!   [`TelemetrySnapshot`] for reports;
 //! * [`seed`] — the deterministic per-child seed derivation
 //!   ([`derive_child_seed`]) that makes results bit-identical regardless
-//!   of worker count.
+//!   of worker count;
+//! * [`watchdog`] — logical-tick deadlines ([`Watchdog`]) that settle a
+//!   stuck evaluation as a transient timeout [`TaskFault`] without
+//!   tying the search's behaviour to the wall clock.
 //!
 //! The crate is deliberately **std-only**: the build environment has no
 //! registry access, so `thread::scope` + `Arc`/`Mutex`/atomics stand in
@@ -37,8 +40,10 @@ pub mod cache;
 pub mod executor;
 pub mod seed;
 pub mod telemetry;
+pub mod watchdog;
 
 pub use cache::ShardedCache;
 pub use executor::{Executor, TaskFault};
-pub use seed::{derive_child_seed, derive_shard_seed};
+pub use seed::{derive_child_seed, derive_round_seed, derive_shard_seed};
 pub use telemetry::{Phase, SearchTelemetry, TelemetrySnapshot};
+pub use watchdog::{Deadline, DeadlineExceeded, Watchdog};

@@ -85,6 +85,47 @@ pub fn derive_shard_seed(run_seed: u64, shard: u64) -> u64 {
     mix(mix(mix(run_seed) ^ SHARD_STREAM_DOMAIN) ^ shard)
 }
 
+/// Domain-separation constant for round streams (`b"ROUND_SD"` as a
+/// little-endian word), keeping per-round seeds disjoint from both the
+/// shard domain and every realistic child stream.
+const ROUND_STREAM_DOMAIN: u64 = u64::from_le_bytes(*b"ROUND_SD");
+
+/// Derives the parent seed for round `round` of an iterated synchronous
+/// search seeded with `parent_seed` — the level *above*
+/// [`derive_shard_seed`] in the stream tree:
+///
+/// ```text
+/// parent_seed
+/// ├── derive_round_seed(parent, 0) ─ derive_shard_seed(round0, s) ─ ...
+/// ├── derive_round_seed(parent, 1) ─ derive_shard_seed(round1, s) ─ ...
+/// └── ...
+/// ```
+///
+/// **Identity convention**, mirroring the shard driver's: round 0 uses
+/// `parent_seed` itself, so a single-round coordinated run reproduces the
+/// one-shot `fnas-shard` protocol bit-for-bit. Later rounds open fresh
+/// streams — without this, every round would replay round 0's sampling
+/// noise against slightly different parameters.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_exec::{derive_round_seed, derive_shard_seed};
+///
+/// assert_eq!(derive_round_seed(42, 0), 42);
+/// assert_ne!(derive_round_seed(42, 1), 42);
+/// assert_ne!(derive_round_seed(42, 1), derive_round_seed(42, 2));
+/// // Round streams live apart from shard streams of the same parent.
+/// assert_ne!(derive_round_seed(42, 1), derive_shard_seed(42, 1));
+/// ```
+pub fn derive_round_seed(parent_seed: u64, round: u64) -> u64 {
+    if round == 0 {
+        parent_seed
+    } else {
+        mix(mix(mix(parent_seed) ^ ROUND_STREAM_DOMAIN) ^ round)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +197,28 @@ mod tests {
         let pinned = derive_shard_seed(0xF0A5, 3);
         assert_eq!(pinned, derive_shard_seed(0xF0A5, 3));
         assert_ne!(pinned, 0xF0A5);
+    }
+
+    #[test]
+    fn round_seeds_are_distinct_and_round_zero_is_the_identity() {
+        for seed in [0u64, 1, 0xF0A5, u64::MAX] {
+            assert_eq!(derive_round_seed(seed, 0), seed);
+            let mut seen = HashSet::new();
+            for round in 1..64u64 {
+                let r = derive_round_seed(seed, round);
+                assert!(seen.insert(r), "round-seed collision at ({seed}, {round})");
+                assert_ne!(r, seed);
+                // Rounds, shards and children occupy separate domains.
+                assert_ne!(r, derive_shard_seed(seed, round));
+                assert_ne!(r, derive_child_seed(seed, round, 0));
+            }
+        }
+        // Pinned reference value: recorded coordinated runs replay forever.
+        assert_eq!(derive_round_seed(0xF0A5, 3), derive_round_seed(0xF0A5, 3));
+        assert_eq!(
+            derive_round_seed(0, 1),
+            derive_child_seed(0, u64::from_le_bytes(*b"ROUND_SD"), 1)
+        );
     }
 
     #[test]

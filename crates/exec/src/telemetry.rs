@@ -38,6 +38,9 @@ pub struct SearchTelemetry {
     retries: AtomicU64,
     quarantined: AtomicU64,
     checkpoints_written: AtomicU64,
+    leases_expired: AtomicU64,
+    shards_redispatched: AtomicU64,
+    duplicate_results: AtomicU64,
     analyzer_calls: AtomicU64,
     train_calls: AtomicU64,
     latency_cache_hits: AtomicU64,
@@ -107,6 +110,24 @@ impl SearchTelemetry {
     /// Records one checkpoint written to disk.
     pub fn add_checkpoint_written(&self) {
         self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one shard lease that expired without a heartbeat (the
+    /// coordinator reclaimed the shard for re-dispatch).
+    pub fn add_lease_expired(&self) {
+        self.leases_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one shard handed out again — speculatively (straggler) or
+    /// after its lease expired.
+    pub fn add_shard_redispatched(&self) {
+        self.shards_redispatched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one duplicate shard completion discarded by the
+    /// coordinator's first-wins rule (after the byte-compare assertion).
+    pub fn add_duplicate_result(&self) {
+        self.duplicate_results.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Pre-loads the logical counters from a snapshot (checkpoint resume):
@@ -179,6 +200,9 @@ impl SearchTelemetry {
         add(&self.retries, s.retries);
         add(&self.quarantined, s.quarantined);
         add(&self.checkpoints_written, s.checkpoints_written);
+        add(&self.leases_expired, s.leases_expired);
+        add(&self.shards_redispatched, s.shards_redispatched);
+        add(&self.duplicate_results, s.duplicate_results);
         add(&self.analyzer_calls, s.analyzer_calls);
         add(&self.train_calls, s.train_calls);
         add(&self.latency_cache_hits, s.latency_cache_hits);
@@ -224,6 +248,9 @@ impl SearchTelemetry {
             retries: load(&self.retries),
             quarantined: load(&self.quarantined),
             checkpoints_written: load(&self.checkpoints_written),
+            leases_expired: load(&self.leases_expired),
+            shards_redispatched: load(&self.shards_redispatched),
+            duplicate_results: load(&self.duplicate_results),
             analyzer_calls: load(&self.analyzer_calls),
             train_calls: load(&self.train_calls),
             latency_cache_hits: load(&self.latency_cache_hits),
@@ -280,6 +307,15 @@ pub struct TelemetrySnapshot {
     pub quarantined: u64,
     /// Checkpoints written to disk during the run.
     pub checkpoints_written: u64,
+    /// Shard leases that expired without a heartbeat (coordinator-side;
+    /// never persisted into checkpoints).
+    pub leases_expired: u64,
+    /// Shards handed out more than once — speculative straggler copies
+    /// plus expired-lease re-dispatches (coordinator-side).
+    pub shards_redispatched: u64,
+    /// Duplicate shard completions discarded first-wins after the
+    /// byte-compare assertion (coordinator-side).
+    pub duplicate_results: u64,
     /// Uncached FNAS-tool (analyzer) invocations.
     pub analyzer_calls: u64,
     /// Accuracy-oracle invocations.
@@ -327,6 +363,13 @@ impl TelemetrySnapshot {
             checkpoints_written: self
                 .checkpoints_written
                 .saturating_add(other.checkpoints_written),
+            leases_expired: self.leases_expired.saturating_add(other.leases_expired),
+            shards_redispatched: self
+                .shards_redispatched
+                .saturating_add(other.shards_redispatched),
+            duplicate_results: self
+                .duplicate_results
+                .saturating_add(other.duplicate_results),
             analyzer_calls: self.analyzer_calls.saturating_add(other.analyzer_calls),
             train_calls: self.train_calls.saturating_add(other.train_calls),
             latency_cache_hits: self
@@ -432,6 +475,11 @@ impl fmt::Display for TelemetrySnapshot {
             self.quarantined,
             self.checkpoints_written,
         )?;
+        writeln!(
+            f,
+            "coord: leases expired {} | shards re-dispatched {} | duplicate results {}",
+            self.leases_expired, self.shards_redispatched, self.duplicate_results,
+        )?;
         write!(
             f,
             "wall: sample {:.1?} | latency {:.1?} | accuracy {:.1?} | update {:.1?} | total {:.1?}",
@@ -466,6 +514,10 @@ mod tests {
         t.add_retries(4);
         t.add_quarantined(2);
         t.add_checkpoint_written();
+        t.add_lease_expired();
+        t.add_shard_redispatched();
+        t.add_shard_redispatched();
+        t.add_duplicate_result();
         let s = t.snapshot();
         assert_eq!(s.children_sampled, 10);
         assert_eq!(s.children_pruned, 2);
@@ -477,6 +529,9 @@ mod tests {
         assert_eq!(s.retries, 4);
         assert_eq!(s.quarantined, 2);
         assert_eq!(s.checkpoints_written, 1);
+        assert_eq!(s.leases_expired, 1);
+        assert_eq!(s.shards_redispatched, 2);
+        assert_eq!(s.duplicate_results, 1);
         assert_eq!(s.analyzer_calls, 5);
         assert_eq!(s.train_calls, 3);
         assert_eq!(s.prune_rate(), 0.2);
@@ -534,6 +589,7 @@ mod tests {
         assert!(text.contains("pruned 1"));
         assert!(text.contains("latency cache"));
         assert!(text.contains("faults:"));
+        assert!(text.contains("coord:"));
         assert!(text.contains("wall:"));
     }
 
@@ -545,6 +601,7 @@ mod tests {
             children_sampled: u64::MAX - 1,
             retries: u64::MAX,
             episodes: 3,
+            leases_expired: u64::MAX,
             sample_time: Duration::MAX,
             ..TelemetrySnapshot::default()
         };
@@ -552,6 +609,7 @@ mod tests {
             children_sampled: 7,
             retries: 1,
             episodes: 2,
+            leases_expired: 9,
             sample_time: Duration::from_secs(1),
             ..TelemetrySnapshot::default()
         };
@@ -559,6 +617,7 @@ mod tests {
         assert_eq!(m.children_sampled, u64::MAX);
         assert_eq!(m.retries, u64::MAX);
         assert_eq!(m.episodes, 5);
+        assert_eq!(m.leases_expired, u64::MAX);
         assert_eq!(m.sample_time, Duration::MAX);
     }
 
@@ -571,6 +630,9 @@ mod tests {
             episodes: base,
             train_calls: u64::MAX - base,
             latency_cache_hits: base * 31,
+            leases_expired: base * 5,
+            shards_redispatched: u64::MAX - base * 7,
+            duplicate_results: base,
             accuracy_time: Duration::from_nanos(base),
             ..TelemetrySnapshot::default()
         };

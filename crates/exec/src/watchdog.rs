@@ -1,0 +1,325 @@
+//! Deterministic deadlines for stuck child evaluations.
+//!
+//! A child that loops forever (a pathological architecture, a bug in an
+//! external trainer shim) would stall the whole batch — but cutting it
+//! off with a *wall-clock* timer would break the engine's determinism
+//! contract: whether a child survives would depend on machine load and
+//! worker count. The watchdog squares this by counting **logical ticks**
+//! instead of seconds. Evaluators call [`Deadline::tick`] at their natural
+//! yield points (one tick per training epoch, per simulated batch, ...);
+//! when the tick budget is exhausted the evaluation settles as a
+//! *timeout* [`TaskFault`] — transient by construction, since the child
+//! was cut off rather than proven wrong — in its input-order slot, and
+//! the rest of the batch is untouched.
+//!
+//! Because ticks are a pure function of the work performed, the same run
+//! times out the same children at the same tick on 0, 1, 2 or 8 workers
+//! (pinned by the tests below). Real wall-clock enforcement lives one
+//! layer up, in the coordinator's lease table (`fnas_coord::lease`),
+//! where re-dispatching a slow shard never changes *what* is computed —
+//! only *where*.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::executor::{Executor, TaskFault};
+
+/// An evaluation exceeded its deterministic tick budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded {
+    budget: u64,
+}
+
+impl DeadlineExceeded {
+    /// The tick budget that was exhausted.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+}
+
+impl fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exceeded its deadline of {} ticks", self.budget)
+    }
+}
+
+impl Error for DeadlineExceeded {}
+
+/// A logical-tick budget for one evaluation.
+///
+/// The counter is atomic so an evaluator can tick through a shared
+/// reference; a deadline is still meant to guard a *single* evaluation —
+/// the watchdog creates a fresh one per item.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_exec::watchdog::Deadline;
+///
+/// let d = Deadline::new(2);
+/// assert!(d.tick().is_ok());
+/// assert!(d.tick().is_ok());
+/// assert!(d.tick().is_err()); // third tick exceeds a budget of 2
+/// assert_eq!(d.spent(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Deadline {
+    budget: u64,
+    spent: AtomicU64,
+}
+
+impl Deadline {
+    /// A fresh deadline allowing up to `budget_ticks` ticks.
+    pub fn new(budget_ticks: u64) -> Self {
+        Deadline {
+            budget: budget_ticks,
+            spent: AtomicU64::new(0),
+        }
+    }
+
+    /// The tick budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Ticks spent so far (may exceed the budget by the final, rejected
+    /// spend).
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+
+    /// Spends one tick.
+    ///
+    /// # Errors
+    ///
+    /// [`DeadlineExceeded`] once cumulative spend exceeds the budget.
+    pub fn tick(&self) -> Result<(), DeadlineExceeded> {
+        self.tick_n(1)
+    }
+
+    /// Spends `n` ticks at once (an evaluator amortising its check over a
+    /// coarse unit of work).
+    ///
+    /// # Errors
+    ///
+    /// [`DeadlineExceeded`] once cumulative spend exceeds the budget.
+    pub fn tick_n(&self, n: u64) -> Result<(), DeadlineExceeded> {
+        let before = self.spent.fetch_add(n, Ordering::Relaxed);
+        if before.saturating_add(n) > self.budget {
+            Err(DeadlineExceeded {
+                budget: self.budget,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Re-checks without spending: `Err` iff the budget is already
+    /// exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`DeadlineExceeded`] when cumulative spend already exceeds the
+    /// budget.
+    pub fn check(&self) -> Result<(), DeadlineExceeded> {
+        if self.spent() > self.budget {
+            Err(DeadlineExceeded {
+                budget: self.budget,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Runs batches in which every item carries a fresh tick [`Deadline`],
+/// settling deadline expiries as timeout [`TaskFault`]s.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_exec::watchdog::Watchdog;
+/// use fnas_exec::Executor;
+///
+/// let items: Vec<u64> = (0..8).collect();
+/// let out = Watchdog::new(4).map_settle(&Executor::sequential(), &items, |_, &x, d| {
+///     for _ in 0..x {
+///         d.tick()?; // item x needs x ticks; budget is 4
+///     }
+///     Ok(x * 10)
+/// });
+/// assert_eq!(out[4], Ok(40));
+/// assert!(out[5].as_ref().unwrap_err().is_timeout());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdog {
+    budget_ticks: u64,
+}
+
+impl Watchdog {
+    /// A watchdog granting each item `budget_ticks` logical ticks.
+    pub fn new(budget_ticks: u64) -> Self {
+        Watchdog { budget_ticks }
+    }
+
+    /// The per-item tick budget.
+    pub fn budget_ticks(&self) -> u64 {
+        self.budget_ticks
+    }
+
+    /// A fresh [`Deadline`] with this watchdog's budget, for callers that
+    /// drive a single evaluation by hand.
+    pub fn deadline(&self) -> Deadline {
+        Deadline::new(self.budget_ticks)
+    }
+
+    /// [`Executor::map_settle`] with a per-item deadline: `f` receives
+    /// `(index, &item, &deadline)` and may bail out with
+    /// [`DeadlineExceeded`] (usually by `?`-propagating
+    /// [`Deadline::tick`]). An expired item settles to a timeout
+    /// [`TaskFault`] in its slot; a panicking item settles to an ordinary
+    /// panic fault; every other item evaluates exactly once, in input
+    /// order, independent of the executor's worker count.
+    pub fn map_settle<T, R, F>(
+        &self,
+        executor: &Executor,
+        items: &[T],
+        f: F,
+    ) -> Vec<Result<R, TaskFault>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T, &Deadline) -> Result<R, DeadlineExceeded> + Sync,
+    {
+        executor
+            .map_settle(items, |i, t| {
+                let deadline = Deadline::new(self.budget_ticks);
+                f(i, t, &deadline)
+            })
+            .into_iter()
+            .enumerate()
+            .map(|(i, settled)| match settled {
+                Ok(Ok(value)) => Ok(value),
+                Ok(Err(_expired)) => Err(TaskFault::timed_out(i, self.budget_ticks)),
+                Err(fault) => Err(fault),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_spends_to_the_budget_and_no_further() {
+        let d = Deadline::new(3);
+        assert_eq!(d.budget(), 3);
+        for _ in 0..3 {
+            assert!(d.tick().is_ok());
+            assert!(d.check().is_ok());
+        }
+        let err = d.tick().unwrap_err();
+        assert_eq!(err.budget(), 3);
+        assert!(d.check().is_err());
+        assert_eq!(d.spent(), 4);
+        assert!(err.to_string().contains("deadline of 3 ticks"));
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn bulk_ticks_and_saturation_behave() {
+        let d = Deadline::new(10);
+        assert!(d.tick_n(10).is_ok());
+        assert!(d.tick_n(0).is_ok()); // zero spend never tips the budget
+        assert!(d.tick_n(1).is_err());
+        // Saturating spend: an absurd tick count cannot wrap back to Ok.
+        let d = Deadline::new(5);
+        assert!(d.tick_n(u64::MAX).is_err());
+        assert!(d.tick_n(u64::MAX).is_err());
+        // A zero budget rejects the very first tick.
+        let d = Deadline::new(0);
+        assert!(d.check().is_ok());
+        assert!(d.tick().is_err());
+    }
+
+    #[test]
+    fn timeouts_settle_identically_across_worker_counts() {
+        // Item x needs x ticks; budget 6 cuts off items 7..16 at the same
+        // logical point regardless of how the pool interleaves them.
+        let items: Vec<u64> = (0..16).collect();
+        let run = |workers: usize| {
+            Watchdog::new(6).map_settle(&Executor::with_workers(workers), &items, |_, &x, d| {
+                for _ in 0..x {
+                    d.tick()?;
+                }
+                Ok(x + 100)
+            })
+        };
+        let reference = run(0);
+        for (i, r) in reference.iter().enumerate() {
+            if i as u64 <= 6 {
+                assert_eq!(*r.as_ref().unwrap(), i as u64 + 100);
+            } else {
+                let fault = r.as_ref().unwrap_err();
+                assert!(fault.is_timeout(), "item {i} should time out");
+                assert_eq!(fault.index(), i);
+            }
+        }
+        for workers in [1, 2, 8] {
+            assert_eq!(run(workers), reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn panics_still_settle_as_panic_faults_not_timeouts() {
+        let items: Vec<u64> = (0..4).collect();
+        let out = Watchdog::new(100).map_settle(&Executor::with_workers(2), &items, |_, &x, d| {
+            d.tick()?;
+            assert!(x != 2, "boom on {x}");
+            Ok(x)
+        });
+        assert_eq!(out[1], Ok(1));
+        let fault = out[2].as_ref().unwrap_err();
+        assert!(!fault.is_timeout());
+        assert!(fault.message().contains("boom"));
+        assert!(fault.to_string().contains("panicked"));
+    }
+
+    #[test]
+    fn timeout_faults_render_the_budget() {
+        let items = vec![0u8];
+        let out = Watchdog::new(2).map_settle(&Executor::sequential(), &items, |_, _, d| {
+            d.tick_n(3)?;
+            Ok(())
+        });
+        let fault = out[0].as_ref().unwrap_err();
+        assert!(fault.is_timeout());
+        assert_eq!(
+            fault.to_string(),
+            "task 0 timed out: exceeded its deadline of 2 ticks"
+        );
+    }
+
+    #[test]
+    fn each_item_gets_its_own_deadline() {
+        // 8 items, each spending the full budget: if the deadline leaked
+        // across items, later items would time out.
+        let items: Vec<u64> = (0..8).collect();
+        let out = Watchdog::new(4).map_settle(&Executor::with_workers(2), &items, |_, &x, d| {
+            d.tick_n(4)?;
+            Ok(x)
+        });
+        assert!(out.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn standalone_deadline_matches_the_watchdog_budget() {
+        let w = Watchdog::new(7);
+        assert_eq!(w.budget_ticks(), 7);
+        let d = w.deadline();
+        assert_eq!(d.budget(), 7);
+        assert_eq!(d.spent(), 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The coordinator's determinism contract, end to end over real TCP.
+//!
+//! The claim under test: an R-round × N-shard run driven by `fnas-coord`
+//! over the wire — with workers dying, leases expiring and shards being
+//! speculatively re-dispatched — produces a final checkpoint
+//! **byte-identical** to the same rounds driven sequentially in one
+//! process by [`fnas_coord::run_rounds_local`]. Scheduling decides who
+//! computes; it can never change what the result is.
+
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use fnas::experiment::ExperimentPreset;
+use fnas::search::{BatchOptions, SearchConfig, ShardSpec};
+use fnas_coord::framing::{read_frame, write_frame};
+use fnas_coord::{
+    init_for_round, run_rounds_local, run_worker, Clock, Coordinator, CoordinatorOptions,
+    LeasePolicy, Request, Response, WallClock, WorkerOptions,
+};
+use proptest::prelude::*;
+
+const SHARDS: u32 = 3;
+const ROUNDS: u64 = 2;
+
+fn base() -> SearchConfig {
+    SearchConfig::fnas(ExperimentPreset::mnist().with_trials(12), 10.0).with_seed(77)
+}
+
+fn opts() -> BatchOptions {
+    BatchOptions::default().with_batch_size(3).with_workers(0)
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fnas-coord-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Polls once with the right fingerprint, takes the assignment, and
+/// vanishes without ever heartbeating or submitting — the wire-level
+/// shape of a worker killed mid-round. Returns what it was assigned.
+fn desert_one_assignment(addr: &str, fingerprint: u64) -> Option<(u64, u32)> {
+    let poll = Request::Poll {
+        worker: "deserter".to_string(),
+        fingerprint,
+    };
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write_frame(&mut stream, &poll.to_bytes()).unwrap();
+    let response = Response::from_bytes(&read_frame(&mut stream).unwrap()).unwrap();
+    match response {
+        Response::Assign { round, shard, .. } => Some((round, shard)),
+        other => panic!("deserter expected an assignment, got {other:?}"),
+    }
+}
+
+/// A coordinated localhost run with one worker killed mid-round is
+/// byte-identical to the sequential in-process reference, and the lease
+/// machinery visibly did its job (the deserted lease expired and the
+/// shard was re-run by someone else).
+#[test]
+fn killed_worker_coordinated_run_matches_sequential_bytes() {
+    let dir = tmp("killed");
+    let reference = run_rounds_local(&base(), &opts(), SHARDS, ROUNDS, &dir.join("local"))
+        .unwrap()
+        .to_bytes();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let mut lease = LeasePolicy::with_ttl_ms(300);
+    lease.straggle_after_ms = 150;
+    let coord_opts = CoordinatorOptions {
+        shards: SHARDS,
+        rounds: ROUNDS,
+        lease,
+        backoff_ms: 20,
+        linger_ms: 1_500,
+    };
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    let coord = Arc::new(Coordinator::new(base(), 3, coord_opts, clock).unwrap());
+    let fingerprint = coord.fingerprint();
+
+    let serve = {
+        let coord = Arc::clone(&coord);
+        std::thread::spawn(move || coord.serve(listener))
+    };
+
+    // The first assignment (round 0, shard 0) is taken and abandoned.
+    let deserted = desert_one_assignment(&addr, fingerprint).unwrap();
+    assert_eq!(deserted, (0, 0));
+
+    // Two real workers serve the rest of the run between them.
+    let workers: Vec<_> = ["w1", "w2"]
+        .into_iter()
+        .map(|name| {
+            let mut w = WorkerOptions::new(addr.clone(), name, dir.join(name));
+            w.heartbeat_ms = 50;
+            std::thread::spawn(move || run_worker(&base(), &opts(), &w, SHARDS, ROUNDS))
+        })
+        .collect();
+
+    let merged = serve.join().unwrap().unwrap();
+    let mut fresh = 0;
+    for handle in workers {
+        let report = handle.join().unwrap().unwrap();
+        assert!(report.shards_run > 0, "both workers should contribute");
+        fresh += report.fresh_results;
+    }
+
+    // Byte identity with the sequential reference, despite the kill.
+    assert_eq!(merged.to_bytes(), reference);
+    assert_eq!(merged.trials.len(), 12 * ROUNDS as usize);
+
+    // The deserted shard was recovered — speculatively replicated while
+    // its lease aged, or returned to the pool when it expired (whichever
+    // the timing produced) — and every shard settled exactly once from a
+    // live worker (the deserter never submitted).
+    let t = coord.telemetry().snapshot();
+    assert!(
+        t.shards_redispatched >= 1 || t.leases_expired >= 1,
+        "deserted shard was never recovered: {t:?}"
+    );
+    assert_eq!(fresh, u64::from(SHARDS) * ROUNDS);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+/// Straggler speculation duplicates work without changing the answer: a
+/// slow-heartbeating worker keeps its lease alive past the straggle
+/// threshold, an idle worker earns a byte-identical replica, and
+/// first-wins settlement absorbs the loser.
+#[test]
+fn straggler_replicas_settle_first_wins_and_match_sequential_bytes() {
+    let dir = tmp("straggler");
+    let reference = run_rounds_local(&base(), &opts(), SHARDS, 1, &dir.join("local"))
+        .unwrap()
+        .to_bytes();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    // Aggressive speculation: any shard older than 20ms is a straggler,
+    // so the three workers end up racing replicas of each other's shards.
+    let mut lease = LeasePolicy::with_ttl_ms(5_000);
+    lease.straggle_after_ms = 20;
+    let coord_opts = CoordinatorOptions {
+        shards: SHARDS,
+        rounds: 1,
+        lease,
+        backoff_ms: 20,
+        linger_ms: 1_500,
+    };
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    let coord = Arc::new(Coordinator::new(base(), 3, coord_opts, clock).unwrap());
+
+    let serve = {
+        let coord = Arc::clone(&coord);
+        std::thread::spawn(move || coord.serve(listener))
+    };
+    let workers: Vec<_> = ["w1", "w2", "w3"]
+        .into_iter()
+        .map(|name| {
+            let mut w = WorkerOptions::new(addr.clone(), name, dir.join(name));
+            w.heartbeat_ms = 25;
+            std::thread::spawn(move || run_worker(&base(), &opts(), &w, SHARDS, 1))
+        })
+        .collect();
+
+    let merged = serve.join().unwrap().unwrap();
+    let mut duplicates = 0;
+    for handle in workers {
+        let report = handle.join().unwrap().unwrap();
+        duplicates += report.duplicate_results;
+    }
+
+    assert_eq!(merged.to_bytes(), reference);
+    let t = coord.telemetry().snapshot();
+    assert_eq!(
+        t.duplicate_results, duplicates,
+        "worker/coordinator books agree"
+    );
+    assert_eq!(t.leases_expired, 0, "nothing expired under a 5s TTL: {t:?}");
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Replicas of one shard are byte-identical however they are run:
+    /// different scratch paths, different evaluation worker counts. This
+    /// is the invariant the coordinator's first-wins byte-compare
+    /// settlement *assumes*; here it is checked directly.
+    #[test]
+    fn duplicate_shard_runs_byte_compare_equal(
+        seed in 0u64..500,
+        shard in 0u32..2,
+        workers in 0usize..3,
+    ) {
+        let config = SearchConfig::fnas(ExperimentPreset::mnist().with_trials(6), 10.0)
+            .with_seed(seed);
+        let init = init_for_round(&config, 0, None).unwrap();
+        let spec = ShardSpec::new(shard, 2).unwrap();
+        let dir = tmp(&format!("dup-{seed}-{shard}-{workers}"));
+        let first = fnas_coord::run_round_shard(
+            &config, 0, spec,&init,
+            &BatchOptions::default().with_batch_size(3).with_workers(0),
+            &dir.join("first.ckpt"),
+        ).unwrap();
+        let second = fnas_coord::run_round_shard(
+            &config, 0, spec, &init,
+            &BatchOptions::default().with_batch_size(3).with_workers(workers),
+            &dir.join("second.ckpt"),
+        ).unwrap();
+        prop_assert_eq!(first, second);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

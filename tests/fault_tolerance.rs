@@ -17,10 +17,14 @@
 
 use std::path::PathBuf;
 
-use fnas::evaluator::{SurrogateCalibration, SurrogateEvaluator};
+use fnas::evaluator::{AccuracyEvaluator, SurrogateCalibration, SurrogateEvaluator};
 use fnas::experiment::ExperimentPreset;
 use fnas::resilience::{FaultInjector, FaultPlan, ResilientEvaluator, RetryPolicy};
 use fnas::search::{BatchOptions, CheckpointOptions, SearchConfig, SearchOutcome, Searcher};
+use fnas::Result as FnasResult;
+use fnas_controller::arch::ChildArch;
+use fnas_exec::Deadline;
+use rand::RngCore;
 
 /// The observable outcome of a run: per-trial (arch, reward/latency/
 /// accuracy bits, trained flag) plus the exact cost totals. Telemetry wall
@@ -75,6 +79,99 @@ fn unique_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("fnas-fault-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
     dir
+}
+
+/// Surrogate wrapper that charges a work cost proportional to network
+/// capacity against the deadline — big children "train longer". The cost
+/// is a pure function of the architecture, so which children time out is
+/// part of the deterministic trajectory.
+#[derive(Debug)]
+struct WeightedWork {
+    inner: SurrogateEvaluator,
+}
+
+impl WeightedWork {
+    fn cost(arch: &ChildArch) -> u64 {
+        arch.layers()
+            .iter()
+            .map(|l| (l.num_filters * l.filter_size) as u64)
+            .sum()
+    }
+}
+
+impl AccuracyEvaluator for WeightedWork {
+    fn evaluate(&self, arch: &ChildArch, rng: &mut dyn RngCore) -> FnasResult<f32> {
+        self.inner.evaluate(arch, rng)
+    }
+
+    fn evaluate_with_deadline(
+        &self,
+        arch: &ChildArch,
+        rng: &mut dyn RngCore,
+        deadline: Option<&Deadline>,
+    ) -> FnasResult<f32> {
+        if let Some(deadline) = deadline {
+            deadline
+                .tick_n(WeightedWork::cost(arch))
+                .map_err(|e| fnas::FnasError::Oracle {
+                    what: format!("test watchdog: {e}"),
+                    transient: true,
+                })?;
+        }
+        self.evaluate(arch, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted-work"
+    }
+}
+
+#[test]
+fn armed_watchdog_times_out_the_same_children_at_every_worker_count() {
+    // MNIST space: 4 layers, per-layer cost (filters · size) spans
+    // 45..=504, so 4-layer totals span 180..=2016. A 800-tick budget
+    // splits a sampled batch into survivors and timeouts.
+    let budget = 800;
+    let config = SearchConfig::nas(ExperimentPreset::mnist().with_trials(24))
+        .with_seed(91)
+        .with_child_deadline_ticks(Some(budget));
+    let run = |workers: usize| {
+        let opts = BatchOptions::sequential()
+            .with_workers(workers)
+            .with_batch_size(6);
+        let oracle = WeightedWork {
+            inner: SurrogateEvaluator::new(SurrogateCalibration::mnist()),
+        };
+        Searcher::with_evaluator(&config, Box::new(oracle))
+            .expect("constructible")
+            .run_batched(&config, &opts)
+            .expect("watchdogged run completes")
+    };
+
+    let sequential = run(0);
+    assert_eq!(sequential.trials().len(), 24, "timeouts never abort a run");
+    let timed_out = sequential.trials().iter().filter(|t| !t.trained).count();
+    assert!(timed_out > 0, "the budget must catch some children");
+    assert!(
+        timed_out < 24,
+        "the budget must not catch every child ({timed_out}/24)"
+    );
+    // A timed-out child is a failed trial: no accuracy, negative reward.
+    for t in sequential.trials().iter().filter(|t| !t.trained) {
+        assert!(t.accuracy.is_none());
+        assert!(t.reward < 0.0);
+    }
+    assert_eq!(sequential.telemetry().children_failed, timed_out as u64);
+
+    // The deadline counts logical ticks, not wall time: worker count must
+    // not change which children time out, nor any downstream bit.
+    for workers in [1usize, 2, 8] {
+        assert_eq!(
+            fingerprint(&run(workers)),
+            fingerprint(&sequential),
+            "workers = {workers}"
+        );
+    }
 }
 
 #[test]

@@ -27,8 +27,18 @@
 //! between. The run must still complete every episode with finite rewards,
 //! and the fault telemetry table shows what the runtime absorbed.
 //!
+//! Part 4: the on-disk hardware store (DESIGN.md §14). The same
+//! Table-1-sized sweep runs twice against one `fnas_store::DiskStore`
+//! directory: the cold pass computes and writes every latency record, the
+//! warm pass (a fresh process-equivalent — new searcher, new store handle)
+//! reads them back and skips the design/analyzer pipeline entirely. Both
+//! passes must produce the identical reward trace — the store is
+//! cache-transparent by construction — and the warm pass must show store
+//! hits and strictly fewer design builds.
+//!
 //! Run with: `cargo run --release -p fnas-bench --bin throughput`
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fnas::evaluator::{AccuracyEvaluator, SurrogateCalibration, SurrogateEvaluator};
@@ -240,9 +250,91 @@ fn chaos_search() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn store_sweep() -> Result<(), Box<dyn std::error::Error>> {
+    let preset = ExperimentPreset::mnist().with_trials(96);
+    let config = SearchConfig::fnas(preset, 10.0).with_seed(11);
+    let opts = BatchOptions::sequential()
+        .with_workers(8)
+        .with_batch_size(8);
+
+    let store_dir =
+        std::env::temp_dir().join(format!("fnas-throughput-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let mut table = Table::new(vec![
+        "pass",
+        "wall (s)",
+        "store hits",
+        "store misses",
+        "store writes",
+        "design builds",
+        "speedup",
+    ]);
+    let mut reference: Option<Vec<u32>> = None;
+    let mut cold = None;
+    for pass in ["cold", "warm"] {
+        // Fresh searcher AND fresh store handle per pass: the warm pass
+        // models a second process arriving at an already-populated store
+        // directory, so nothing in-memory may carry over.
+        let store: Arc<dyn fnas_store::Store> = Arc::new(fnas_store::DiskStore::open(&store_dir)?);
+        let mut searcher = Searcher::surrogate(&config)?;
+        searcher.attach_store(Arc::clone(&store));
+        let start = Instant::now();
+        let out = searcher.run_batched(&config, &opts)?;
+        let wall = start.elapsed().as_secs_f64();
+
+        let trace: Vec<u32> = out.trials().iter().map(|t| t.reward.to_bits()).collect();
+        match &reference {
+            None => reference = Some(trace),
+            Some(reference) => assert_eq!(
+                reference, &trace,
+                "the store changed the search trajectory — it must be cache-transparent"
+            ),
+        }
+
+        let t = *out.telemetry();
+        let builds = searcher.oracle().latency_eval().design_builds();
+        let speedup = match cold {
+            None => 1.0,
+            Some((cold_wall, _, _)) => cold_wall / wall,
+        };
+        table.push_row(vec![
+            pass.to_string(),
+            format!("{wall:.2}"),
+            t.store_hits.to_string(),
+            t.store_misses.to_string(),
+            t.store_writes.to_string(),
+            builds.to_string(),
+            factor(speedup),
+        ]);
+        match cold {
+            None => cold = Some((wall, t, builds)),
+            Some((_, _, cold_builds)) => {
+                // CI runs this bin and relies on these asserts: the warm
+                // pass must actually reuse the cold pass's records.
+                assert!(t.store_hits > 0, "warm pass saw no store hits");
+                assert!(
+                    builds < cold_builds,
+                    "warm pass rebuilt as many designs as the cold pass \
+                     ({builds} vs {cold_builds}) — the L2 store is not \
+                     short-circuiting"
+                );
+            }
+        }
+    }
+    emit("throughput_store", &table)?;
+    let _ = std::fs::remove_dir_all(&store_dir);
+    println!(
+        "both passes produced the identical reward trace — the on-disk store\n\
+         only changes wall time, never results."
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     streaming_throughput()?;
     search_engine_throughput()?;
     chaos_search()?;
+    store_sweep()?;
     Ok(())
 }

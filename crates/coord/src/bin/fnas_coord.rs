@@ -38,6 +38,7 @@ struct Cli {
     lease_ttl_ms: u64,
     straggle_after_ms: Option<u64>,
     linger_ms: u64,
+    max_buffered_rounds: usize,
 }
 
 const USAGE: &str = "usage: fnas-coord <serve|local> --dir <out-dir> [options]
@@ -52,6 +53,8 @@ const USAGE: &str = "usage: fnas-coord <serve|local> --dir <out-dir> [options]
              --lease-ttl-ms <X>      lease TTL (default 5000)
              --straggle-after-ms <X> speculate after (default ttl/2)
              --linger-ms <X>         keep answering after finish (default 500)
+             --max-buffered-rounds <N>  cap on concurrently buffered submit
+                                     payloads, in rounds (default 2)
   local      --workers <W>           evaluation workers (default: cores)";
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -68,6 +71,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let mut lease_ttl_ms = 5_000u64;
     let mut straggle_after_ms = None;
     let mut linger_ms = 500u64;
+    let mut max_buffered_rounds = 2usize;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -90,6 +94,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--lease-ttl-ms" => lease_ttl_ms = parse_num::<u64>(flag, value()?)?,
             "--straggle-after-ms" => straggle_after_ms = Some(parse_num::<u64>(flag, value()?)?),
             "--linger-ms" => linger_ms = parse_num::<u64>(flag, value()?)?,
+            "--max-buffered-rounds" => {
+                max_buffered_rounds = parse_num::<usize>(flag, value()?)?;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -124,6 +131,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         lease_ttl_ms,
         straggle_after_ms,
         linger_ms,
+        max_buffered_rounds,
     })
 }
 
@@ -144,6 +152,7 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
         lease,
         backoff_ms: 50,
         linger_ms: cli.linger_ms,
+        max_buffered_rounds: cli.max_buffered_rounds,
     };
     let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
     let coordinator = Arc::new(
@@ -234,7 +243,8 @@ mod tests {
     fn parses_the_documented_flags() {
         let c = cli(
             "--dir /tmp/x --listen 127.0.0.1:7463 --shards 4 --rounds 2 --trials 24 \
-             --seed 77 --batch 3 --lease-ttl-ms 2000 --straggle-after-ms 600 --linger-ms 100",
+             --seed 77 --batch 3 --lease-ttl-ms 2000 --straggle-after-ms 600 --linger-ms 100 \
+             --max-buffered-rounds 3",
         )
         .unwrap();
         assert_eq!(c.listen.as_deref(), Some("127.0.0.1:7463"));
@@ -245,6 +255,7 @@ mod tests {
         assert_eq!(c.lease_ttl_ms, 2000);
         assert_eq!(c.straggle_after_ms, Some(600));
         assert_eq!(c.linger_ms, 100);
+        assert_eq!(c.max_buffered_rounds, 3);
     }
 
     #[test]

@@ -36,7 +36,9 @@ const USAGE: &str = "usage: fnas-worker --connect <addr:port> --dir <scratch-dir
   --budget-ms <X>         FNAS latency budget in ms (default 10, must match)
   --batch <B>             children per episode (default 8, must match)
   --workers <W>           evaluation threads (free to differ per machine)
-  --heartbeat-ms <X>      lease heartbeat cadence (default 1000)";
+  --heartbeat-ms <X>      lease heartbeat cadence (default 1000)
+  --store-dir <dir>       on-disk latency store shared across rounds
+                          (free to differ per machine; never changes results)";
 
 fn parse(args: &[String]) -> Result<Cli, String> {
     let mut connect = None;
@@ -51,6 +53,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let mut shards = 4u32;
     let mut rounds = 1u64;
     let mut heartbeat_ms = 1_000u64;
+    let mut store_dir = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -72,6 +75,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--shards" => shards = parse_num::<u32>(flag, value()?)?,
             "--rounds" => rounds = parse_num::<u64>(flag, value()?)?,
             "--heartbeat-ms" => heartbeat_ms = parse_num::<u64>(flag, value()?)?,
+            "--store-dir" => store_dir = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -101,6 +105,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let name = name.unwrap_or_else(|| format!("worker-{}", std::process::id()));
     let mut worker = WorkerOptions::new(connect, name, dir);
     worker.heartbeat_ms = heartbeat_ms;
+    worker.store_dir = store_dir;
     Ok(Cli {
         worker,
         config,
@@ -154,7 +159,8 @@ mod tests {
     fn parses_the_documented_flags() {
         let args: Vec<String> =
             "--connect 127.0.0.1:7463 --dir /tmp/w --name w1 --shards 4 --rounds 2 \
-             --trials 24 --seed 77 --batch 3 --workers 2 --heartbeat-ms 200"
+             --trials 24 --seed 77 --batch 3 --workers 2 --heartbeat-ms 200 \
+             --store-dir /tmp/store"
                 .split_whitespace()
                 .map(String::from)
                 .collect();
@@ -162,6 +168,10 @@ mod tests {
         assert_eq!(c.worker.addr, "127.0.0.1:7463");
         assert_eq!(c.worker.name, "w1");
         assert_eq!(c.worker.heartbeat_ms, 200);
+        assert_eq!(
+            c.worker.store_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/store"))
+        );
         assert_eq!((c.shards, c.rounds), (4, 2));
         assert_eq!(c.config.seed(), 77);
         assert_eq!(c.opts.batch_size(), 3);

@@ -21,6 +21,7 @@
 
 use std::io::ErrorKind;
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -50,6 +51,12 @@ pub struct CoordinatorOptions {
     /// the last merge, so late pollers learn the run is over instead of
     /// hitting a dead port.
     pub linger_ms: u64,
+    /// Memory cap on concurrently held `Submit` payloads, expressed in
+    /// rounds: at most `max_buffered_rounds × shards` submissions are
+    /// processed at once; excess submitters get [`Response::Retry`] and
+    /// their payload is dropped instead of queueing on the state mutex.
+    /// Clamped to ≥ 1 round.
+    pub max_buffered_rounds: usize,
 }
 
 impl CoordinatorOptions {
@@ -61,6 +68,7 @@ impl CoordinatorOptions {
             lease: LeasePolicy::with_ttl_ms(5_000),
             backoff_ms: 50,
             linger_ms: 500,
+            max_buffered_rounds: 2,
         }
     }
 }
@@ -92,6 +100,9 @@ pub struct Coordinator {
     clock: Arc<dyn Clock>,
     telemetry: Arc<SearchTelemetry>,
     state: Mutex<RoundState>,
+    /// `Submit` payloads currently admitted (parsed and waiting on, or
+    /// holding, the state mutex). Bounded by the admission cap.
+    in_flight_submits: AtomicUsize,
 }
 
 impl Coordinator {
@@ -136,6 +147,7 @@ impl Coordinator {
                 finished: None,
             }),
             opts,
+            in_flight_submits: AtomicUsize::new(0),
         })
     }
 
@@ -331,16 +343,50 @@ impl Coordinator {
         }
     }
 
+    /// The admission cap on concurrently held submit payloads.
+    fn submit_cap(&self) -> usize {
+        self.opts.max_buffered_rounds.max(1) * self.opts.shards as usize
+    }
+
+    /// Claims one slot of the submit-payload budget, or `None` when the
+    /// cap is reached — the caller should answer [`Response::Retry`] and
+    /// drop the payload. The slot is released when the guard drops.
+    fn admit_submit(&self) -> Option<SubmitSlot<'_>> {
+        let prev = self.in_flight_submits.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.submit_cap() {
+            self.in_flight_submits.fetch_sub(1, Ordering::SeqCst);
+            None
+        } else {
+            Some(SubmitSlot(&self.in_flight_submits))
+        }
+    }
+
     fn handle_connection(&self, mut stream: TcpStream) {
         let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
         let response = match read_frame(&mut stream).and_then(|b| Request::from_bytes(&b)) {
+            Ok(request @ Request::Submit { .. }) => match self.admit_submit() {
+                Some(_slot) => self.handle(&request),
+                None => Response::Retry {
+                    backoff_ms: self.opts.backoff_ms,
+                },
+            },
             Ok(request) => self.handle(&request),
             Err(e) => Response::Error {
                 what: e.to_string(),
             },
         };
         let _ = write_frame(&mut stream, &response.to_bytes());
+    }
+}
+
+/// RAII slot on the submit-payload budget; releases on drop, so an
+/// admitted submission frees its slot however its handler exits.
+struct SubmitSlot<'a>(&'a AtomicUsize);
+
+impl Drop for SubmitSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -544,6 +590,31 @@ mod tests {
             Response::Ack { still_yours: false }
         ));
         std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn submit_admission_caps_concurrently_buffered_payloads() {
+        let clock: Arc<dyn Clock> = Arc::new(ManualClock::new());
+        let mut opts = CoordinatorOptions::new(1, 1);
+        opts.max_buffered_rounds = 1; // cap = 1 round × 1 shard = 1 payload
+        let coord = Coordinator::new(base(), 4, opts, clock).unwrap();
+        let first = coord.admit_submit().expect("first submit is admitted");
+        assert!(
+            coord.admit_submit().is_none(),
+            "a second concurrent submit must be deferred at the cap"
+        );
+        drop(first);
+        let reclaimed = coord.admit_submit();
+        assert!(reclaimed.is_some(), "the slot frees when its guard drops");
+    }
+
+    #[test]
+    fn buffered_rounds_cap_clamps_to_one_round() {
+        let clock: Arc<dyn Clock> = Arc::new(ManualClock::new());
+        let mut opts = CoordinatorOptions::new(3, 1);
+        opts.max_buffered_rounds = 0; // misconfigured: still one round's worth
+        let coord = Coordinator::new(base(), 4, opts, clock).unwrap();
+        assert_eq!(coord.submit_cap(), 3);
     }
 
     #[test]

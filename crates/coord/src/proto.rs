@@ -112,6 +112,14 @@ pub enum Response {
         /// Human-readable rejection reason.
         what: String,
     },
+    /// The coordinator is momentarily over its submit-buffer cap and
+    /// refused to read the payload into memory; resubmit after
+    /// `backoff_ms`. Unlike [`Response::Error`] this is retryable — the
+    /// worker keeps its result and tries again.
+    Retry {
+        /// Suggested delay before resubmitting.
+        backoff_ms: u64,
+    },
 }
 
 /// Digest of the config knobs that determine results, folded with the
@@ -218,6 +226,7 @@ const TAG_FINISHED: u8 = 12;
 const TAG_ACK: u8 = 13;
 const TAG_ACCEPTED: u8 = 14;
 const TAG_ERROR: u8 = 15;
+const TAG_RETRY: u8 = 16;
 
 impl Request {
     /// Serialises the request to one frame payload.
@@ -331,6 +340,10 @@ impl Response {
                 w.u8(TAG_ERROR);
                 w.str(what);
             }
+            Response::Retry { backoff_ms } => {
+                w.u8(TAG_RETRY);
+                w.u64(*backoff_ms);
+            }
         }
         w.0
     }
@@ -362,6 +375,9 @@ impl Response {
                 fresh: r.u8()? != 0,
             },
             TAG_ERROR => Response::Error { what: r.str()? },
+            TAG_RETRY => Response::Retry {
+                backoff_ms: r.u64()?,
+            },
             tag => return Err(corrupt(&format!("unknown response tag {tag}"))),
         };
         r.done()?;
@@ -417,6 +433,7 @@ mod tests {
             Response::Error {
                 what: "nope".to_string(),
             },
+            Response::Retry { backoff_ms: 250 },
         ];
         for m in msgs {
             assert_eq!(Response::from_bytes(&m.to_bytes()).unwrap(), m);

@@ -110,8 +110,32 @@ pub fn run_round_shard(
     opts: &BatchOptions,
     shard_path: &Path,
 ) -> Result<Vec<u8>> {
+    run_round_shard_stored(base, round, spec, init, opts, shard_path, None)
+}
+
+/// [`run_round_shard`] with an optional persistent oracle store attached
+/// to the shard's searcher (DESIGN.md §14). The store is an L2 cache under
+/// the in-memory single-flight caches: checkpoint bytes are identical with
+/// `None`, which is what lets a warm worker fleet keep the settlement
+/// byte-compare exact while skipping recomputation.
+///
+/// # Errors
+///
+/// [`run_round_shard`]'s.
+pub fn run_round_shard_stored(
+    base: &SearchConfig,
+    round: u64,
+    spec: ShardSpec,
+    init: &SearchCheckpoint,
+    opts: &BatchOptions,
+    shard_path: &Path,
+    store: Option<std::sync::Arc<dyn fnas_store::Store>>,
+) -> Result<Vec<u8>> {
     let runner = ShardRunner::new(round_config(base, round), spec);
     let mut searcher = Searcher::surrogate(&runner.config()?)?;
+    if let Some(store) = store {
+        searcher.attach_store(store);
+    }
     let ckpt = CheckpointOptions::new(shard_path);
     runner.run_with(&mut searcher, opts, init, &ckpt)?;
     Ok(std::fs::read(shard_path)?)
@@ -285,6 +309,44 @@ mod tests {
         let merged = SearchCheckpoint::merge(&parts).unwrap();
         let accumulated = accumulate(&b, std::slice::from_ref(&merged)).unwrap();
         assert_eq!(accumulated.to_bytes(), merged.to_bytes());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn stored_round_shard_settles_byte_identical() {
+        // The settlement currency is checkpoint bytes, so the store must
+        // not perturb them — cold or warm.
+        let b = base(8);
+        let dir = tmp("stored");
+        let opts = BatchOptions::default().with_batch_size(4).with_workers(0);
+        let init = init_for_round(&b, 0, None).unwrap();
+        let spec = ShardSpec::new(0, 2).unwrap();
+        let plain = run_round_shard(&b, 0, spec, &init, &opts, &dir.join("plain.ckpt")).unwrap();
+        let store: std::sync::Arc<dyn fnas_store::Store> =
+            std::sync::Arc::new(fnas_store::DiskStore::open(dir.join("store")).unwrap());
+        let cold = run_round_shard_stored(
+            &b,
+            0,
+            spec,
+            &init,
+            &opts,
+            &dir.join("cold.ckpt"),
+            Some(std::sync::Arc::clone(&store)),
+        )
+        .unwrap();
+        let warm = run_round_shard_stored(
+            &b,
+            0,
+            spec,
+            &init,
+            &opts,
+            &dir.join("warm.ckpt"),
+            Some(std::sync::Arc::clone(&store)),
+        )
+        .unwrap();
+        assert_eq!(plain, cold);
+        assert_eq!(plain, warm);
+        assert!(store.counters().hits > 0, "warm pass must hit the store");
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -25,7 +25,7 @@ use fnas::{FnasError, Result};
 
 use crate::framing::{read_frame, write_frame};
 use crate::proto::{config_fingerprint, Request, Response};
-use crate::rounds::{run_round_shard, shard_file};
+use crate::rounds::{run_round_shard_stored, shard_file};
 
 /// How a worker finds and talks to its coordinator.
 #[derive(Debug, Clone)]
@@ -42,6 +42,11 @@ pub struct WorkerOptions {
     pub connect_retries: u32,
     /// Delay between connection attempts.
     pub connect_backoff_ms: u64,
+    /// On-disk latency store shared across this worker's shards and
+    /// rounds (and, being content-addressed, across whole fleets).
+    /// `None` runs without an L2 store. Cache-transparent either way:
+    /// the store can change wall time only, never submitted bytes.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl WorkerOptions {
@@ -55,7 +60,15 @@ impl WorkerOptions {
             heartbeat_ms: 1_000,
             connect_retries: 20,
             connect_backoff_ms: 100,
+            store_dir: None,
         }
+    }
+
+    /// Sets the on-disk latency store directory.
+    #[must_use]
+    pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
     }
 }
 
@@ -119,6 +132,12 @@ pub fn run_worker(
 ) -> Result<WorkerReport> {
     std::fs::create_dir_all(&worker.dir)?;
     let fingerprint = config_fingerprint(base, opts.batch_size(), shards, rounds);
+    // One store handle per worker process, shared across every shard and
+    // round this worker runs.
+    let store: Option<Arc<dyn fnas_store::Store>> = match &worker.store_dir {
+        Some(dir) => Some(Arc::new(fnas_store::DiskStore::open(dir)?)),
+        None => None,
+    };
     let mut report = WorkerReport::default();
     loop {
         let poll = Request::Poll {
@@ -183,7 +202,8 @@ pub fn run_worker(
                         }
                     })
                 };
-                let ran = run_round_shard(base, round, spec, &init, opts, &path);
+                let ran =
+                    run_round_shard_stored(base, round, spec, &init, opts, &path, store.clone());
                 stop.store(true, Ordering::Relaxed);
                 let _ = beat.join();
                 let bytes = ran?;
@@ -195,24 +215,32 @@ pub fn run_worker(
                     fingerprint,
                     bytes,
                 };
-                match request(worker, &submit)? {
-                    Response::Accepted { fresh } => {
-                        report.shards_run += 1;
-                        if fresh {
-                            report.fresh_results += 1;
-                        } else {
-                            report.duplicate_results += 1;
+                loop {
+                    match request(worker, &submit)? {
+                        Response::Accepted { fresh } => {
+                            report.shards_run += 1;
+                            if fresh {
+                                report.fresh_results += 1;
+                            } else {
+                                report.duplicate_results += 1;
+                            }
+                            break;
                         }
-                    }
-                    Response::Error { what } => {
-                        return Err(FnasError::InvalidConfig {
-                            what: format!("coordinator rejected shard {shard}: {what}"),
-                        })
-                    }
-                    other => {
-                        return Err(FnasError::InvalidConfig {
-                            what: format!("unexpected submit response {other:?}"),
-                        })
+                        // The coordinator is over its submit-buffer cap;
+                        // the result stays ours — back off and resubmit.
+                        Response::Retry { backoff_ms } => {
+                            std::thread::sleep(Duration::from_millis(backoff_ms.clamp(10, 1_000)));
+                        }
+                        Response::Error { what } => {
+                            return Err(FnasError::InvalidConfig {
+                                what: format!("coordinator rejected shard {shard}: {what}"),
+                            })
+                        }
+                        other => {
+                            return Err(FnasError::InvalidConfig {
+                                what: format!("unexpected submit response {other:?}"),
+                            })
+                        }
                     }
                 }
             }

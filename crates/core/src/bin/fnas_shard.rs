@@ -40,6 +40,7 @@ struct Cli {
     policy: CheckpointPolicy,
     shard: Option<ShardSpec>,
     shards: Option<u32>,
+    store_dir: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: fnas-shard <init|run|merge> --dir <out-dir> [options]
@@ -54,6 +55,8 @@ const USAGE: &str = "usage: fnas-shard <init|run|merge> --dir <out-dir> [options
              --every <E>       checkpoint cadence in episodes (default 1)
              --keep-last <K>   retain K rotated snapshots (default: live only)
              --keep-all        retain every rotated snapshot
+             --store-dir <D>   persistent oracle store shared across runs
+                               (results are bit-identical with or without)
   merge      --shards <N>      how many shard files to reduce (required)";
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -68,6 +71,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let mut policy = CheckpointPolicy::LiveOnly;
     let mut shard = None;
     let mut shards = None;
+    let mut store_dir = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -89,6 +93,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--keep-all" => policy = CheckpointPolicy::KeepAll,
             "--shard" => shard = Some(ShardSpec::parse(value()?).map_err(|e| e.to_string())?),
             "--shards" => shards = Some(parse_num::<u32>(flag, value()?)?),
+            "--store-dir" => store_dir = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -121,6 +126,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         policy,
         shard,
         shards,
+        store_dir,
     })
 }
 
@@ -156,8 +162,15 @@ fn cmd_run(cli: &Cli) -> Result<String, String> {
         .with_every_episodes(cli.every)
         .with_policy(cli.policy);
     let runner = ShardRunner::new(cli.config.clone(), spec);
+    let store = match &cli.store_dir {
+        Some(dir) => Some(std::sync::Arc::new(
+            fnas_store::DiskStore::open(dir)
+                .map_err(|e| format!("open store {}: {e}", dir.display()))?,
+        ) as std::sync::Arc<dyn fnas_store::Store>),
+        None => None,
+    };
     let outcome = runner
-        .run(&cli.opts, &init_path(&cli.dir), &ckpt)
+        .run_stored(&cli.opts, &init_path(&cli.dir), &ckpt, store.clone())
         .map_err(|e| e.to_string())?;
     let best = outcome.best().map_or("none".to_string(), |t| {
         format!(
@@ -166,8 +179,15 @@ fn cmd_run(cli: &Cli) -> Result<String, String> {
             t.latency.map_or("—".to_string(), |l| l.to_string())
         )
     });
+    let store_line = store.map_or(String::new(), |s| {
+        let c = s.counters();
+        format!(
+            "\nstore: {} hits / {} misses / {} writes, {} bytes on disk",
+            c.hits, c.misses, c.writes, c.bytes_on_disk
+        )
+    });
     Ok(format!(
-        "shard {spec}: {} trials ({} trained, {} pruned), best {best}, wrote {}",
+        "shard {spec}: {} trials ({} trained, {} pruned), best {best}, wrote {}{store_line}",
         outcome.trials().len(),
         outcome.trained_count(),
         outcome.pruned_count(),
@@ -250,6 +270,9 @@ mod tests {
         assert_eq!(c.policy, CheckpointPolicy::KeepLast(2));
         let spec = c.shard.unwrap();
         assert_eq!((spec.index(), spec.count()), (1, 3));
+        assert_eq!(c.store_dir, None);
+        let c = cli("--shard 0/1 --store-dir /tmp/store");
+        assert_eq!(c.store_dir, Some(PathBuf::from("/tmp/store")));
     }
 
     #[test]
@@ -289,6 +312,20 @@ mod tests {
         assert!(dir.join("merged.ckpt").exists());
         // Merge with the wrong cardinality fails loudly.
         assert!(cmd_merge(&base("--shards 3")).is_err());
+
+        // A re-run against a warm store dir reports non-zero hits and the
+        // same trial summary (the store never changes results).
+        let store_flag = format!("--store-dir {}", dir.join("store").display());
+        let cold = cmd_run(&base(&format!("--shard 0/2 {store_flag}"))).unwrap();
+        assert!(cold.contains("store: 0 hits"), "{cold}");
+        let warm = cmd_run(&base(&format!("--shard 0/2 {store_flag}"))).unwrap();
+        assert!(warm.contains(" hits / 0 misses"), "{warm}");
+        assert!(!warm.contains("store: 0 hits"), "{warm}");
+        assert_eq!(
+            cold.lines().next().unwrap(),
+            warm.lines().next().unwrap(),
+            "store must not change the shard outcome"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -23,11 +23,13 @@ use fnas_fpga::artifacts::{HwArtifacts, LatencyModel};
 use fnas_fpga::design::PipelineDesign;
 use fnas_fpga::device::{FpgaCluster, FpgaDevice};
 use fnas_fpga::Millis;
+use fnas_store::{digest128, Backend, CacheKey, NullStore, Store, StoreCounters};
 
 pub use fnas_fpga::artifacts::{Analytic, Simulated};
 
 use crate::deploy::DeploymentReport;
 use crate::mapping::arch_to_network;
+use crate::persist;
 use crate::Result;
 
 /// Latency oracle for child architectures on a fixed platform.
@@ -70,6 +72,11 @@ pub struct LatencyEvaluator {
     reports: ShardedCache<ChildArch, Arc<AnalyzerReport>>,
     /// Cycle-accurate latency per architecture.
     simulated: ShardedCache<ChildArch, Millis>,
+    /// Persistent L2 consulted on L1 misses (DESIGN.md §14). Defaults to
+    /// the inert [`NullStore`], so persistence is strictly opt-in.
+    store: Arc<dyn Store>,
+    /// Digest of the cluster's canonical encoding, fixed at construction.
+    device_digest: u128,
     design_builds: AtomicU64,
     analyzer_calls: AtomicU64,
     sim_calls: AtomicU64,
@@ -84,16 +91,59 @@ impl LatencyEvaluator {
 
     /// Creates an evaluator for a multi-FPGA cluster.
     pub fn on_cluster(cluster: FpgaCluster, input: (usize, usize, usize)) -> Self {
+        let device_digest = digest128(&persist::cluster_bytes(&cluster));
         LatencyEvaluator {
             cluster,
             input,
             artifacts: ShardedCache::new(),
             reports: ShardedCache::new(),
             simulated: ShardedCache::new(),
+            store: Arc::new(NullStore),
+            device_digest,
             design_builds: AtomicU64::new(0),
             analyzer_calls: AtomicU64::new(0),
             sim_calls: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a persistent store as the L2 under the in-memory caches.
+    ///
+    /// Lookup order becomes L1 (sharded in-memory) → L2 (`store`) →
+    /// compute, with write-through to the store on compute. The store is
+    /// purely a cache: it never changes results (records are
+    /// checksum-verified and key-matched, and a bad record is recomputed),
+    /// only how often the design/analyzer/simulator stages actually run.
+    pub fn set_store(&mut self, store: Arc<dyn Store>) {
+        self.store = store;
+    }
+
+    /// Builder-style variant of [`LatencyEvaluator::set_store`].
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<dyn Store>) -> Self {
+        self.set_store(store);
+        self
+    }
+
+    /// The attached persistent store (the inert default unless
+    /// [`LatencyEvaluator::set_store`] was called).
+    pub fn store(&self) -> &Arc<dyn Store> {
+        &self.store
+    }
+
+    /// Traffic counters of the attached store handle (all zero for the
+    /// default [`NullStore`]).
+    pub fn store_counters(&self) -> StoreCounters {
+        self.store.counters()
+    }
+
+    /// The store key for `arch` under `backend` on this evaluator's
+    /// platform and input shape.
+    fn store_key(&self, arch: &ChildArch, backend: Backend) -> CacheKey {
+        CacheKey::new(
+            digest128(&persist::arch_bytes(arch, self.input)),
+            self.device_digest,
+            backend,
+        )
     }
 
     /// The target platform.
@@ -155,14 +205,31 @@ impl LatencyEvaluator {
 
     /// The memoised analyzer report for `arch` (Eqs. 2–5).
     ///
+    /// On an L1 miss the persistent store is consulted before any pipeline
+    /// stage runs — a valid record skips the design build *and* the
+    /// analyzer. On a store miss the report is computed and written
+    /// through. The single-flight guarantee covers the disk path too:
+    /// racing callers share one store read or one computation.
+    ///
     /// # Errors
     ///
     /// Propagates mapping, design and analysis errors.
     pub fn analyzer_report(&self, arch: &ChildArch) -> Result<Arc<AnalyzerReport>> {
         self.reports.get_or_try_insert_with(arch, || {
+            let key = self.store_key(arch, Backend::Analytic);
+            if let Some(report) = self
+                .store
+                .get(&key)
+                .and_then(|b| persist::decode_report(&b))
+            {
+                return Ok(Arc::new(report));
+            }
             let artifacts = self.artifacts(arch)?;
             let report = artifacts.analyze()?;
             self.analyzer_calls.fetch_add(1, Ordering::Relaxed);
+            if self.store.enabled() {
+                self.store.put(&key, &persist::encode_report(&report));
+            }
             Ok(Arc::new(report))
         })
     }
@@ -203,9 +270,21 @@ impl LatencyEvaluator {
     /// Propagates design, graph and simulation errors.
     pub fn simulated_latency(&self, arch: &ChildArch) -> Result<Millis> {
         self.simulated.get_or_try_insert_with(arch, || {
+            let key = self.store_key(arch, Backend::Simulated);
+            if let Some(ms) = self
+                .store
+                .get(&key)
+                .and_then(|b| persist::decode_millis(&b))
+            {
+                return Ok(ms);
+            }
             let artifacts = self.artifacts(arch)?;
             let report = artifacts.simulate()?;
             self.sim_calls.fetch_add(1, Ordering::Relaxed);
+            if self.store.enabled() {
+                self.store
+                    .put(&key, &persist::encode_millis(report.latency));
+            }
             Ok(report.latency)
         })
     }
@@ -397,5 +476,100 @@ mod tests {
         // half padding (1 + 2·6 = 13 < 14).
         let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 1, 1));
         assert!(eval.latency(&arch(&[(14, 9)])).is_err());
+    }
+
+    fn scratch_store(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fnas-latency-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn warm_store_skips_design_analyzer_and_simulator() {
+        use fnas_store::DiskStore;
+        let dir = scratch_store("warm");
+        let a = arch(&[(5, 18), (3, 18)]);
+
+        let cold = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 14, 14))
+            .with_store(Arc::new(DiskStore::open(&dir).unwrap()));
+        let analytic = cold.latency(&a).unwrap();
+        let simulated = cold.simulated_latency(&a).unwrap();
+        assert_eq!(cold.design_builds(), 1);
+        let cold_counters = cold.store_counters();
+        assert_eq!(cold_counters.hits, 0);
+        assert_eq!(cold_counters.writes, 2); // one analytic + one simulated record
+
+        // A fresh evaluator + fresh store handle on the same directory
+        // models a second worker process: cold L1, warm L2.
+        let warm = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 14, 14))
+            .with_store(Arc::new(DiskStore::open(&dir).unwrap()));
+        assert_eq!(
+            warm.latency(&a).unwrap().get().to_bits(),
+            analytic.get().to_bits()
+        );
+        assert_eq!(
+            warm.simulated_latency(&a).unwrap().get().to_bits(),
+            simulated.get().to_bits()
+        );
+        assert_eq!(warm.design_builds(), 0, "design served from the store");
+        assert_eq!(warm.analyzer_calls(), 0);
+        assert_eq!(warm.sim_calls(), 0);
+        let warm_counters = warm.store_counters();
+        assert_eq!((warm_counters.hits, warm_counters.misses), (2, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_record_falls_back_to_compute() {
+        use fnas_store::{Backend, DiskStore};
+        let dir = scratch_store("corrupt");
+        let a = arch(&[(5, 9)]);
+        let store: Arc<dyn fnas_store::Store> = Arc::new(DiskStore::open(&dir).unwrap());
+        let cold =
+            LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28)).with_store(Arc::clone(&store));
+        let expected = cold.latency(&a).unwrap();
+
+        // Truncate the analytic record on disk.
+        let key = cold.store_key(&a, Backend::Analytic);
+        let path = dir.join(key.relative_path());
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let warm = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28))
+            .with_store(Arc::new(DiskStore::open(&dir).unwrap()));
+        assert_eq!(warm.latency(&a).unwrap().get(), expected.get());
+        assert_eq!(warm.design_builds(), 1, "bad record forces a recompute");
+        let counters = warm.store_counters();
+        assert_eq!(counters.misses, 1);
+        assert_eq!(counters.writes, 0, "existing path is not overwritten");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_results_are_bit_identical_to_direct_compute() {
+        use fnas_store::DiskStore;
+        let dir = scratch_store("ident");
+        let archs: Vec<ChildArch> = (0..6)
+            .map(|i| arch(&[(3 + 2 * (i % 3), 9 + 9 * (i % 4)), (3, 18)]))
+            .collect();
+        let plain = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28));
+        let stored = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28))
+            .with_store(Arc::new(DiskStore::open(&dir).unwrap()));
+        let warm = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 28, 28))
+            .with_store(Arc::new(DiskStore::open(&dir).unwrap()));
+        for a in &archs {
+            let want = plain.latency(a).unwrap().get().to_bits();
+            assert_eq!(stored.latency(a).unwrap().get().to_bits(), want);
+        }
+        for a in &archs {
+            let want = plain.latency(a).unwrap().get().to_bits();
+            assert_eq!(warm.latency(a).unwrap().get().to_bits(), want);
+        }
+        assert_eq!(warm.design_builds(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

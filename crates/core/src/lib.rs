@@ -27,6 +27,9 @@
 //! * [`resilience`] — fault-tolerant oracle decorators: budgeted retry of
 //!   transient faults, NaN quarantine, and a deterministic fault injector
 //!   for chaos testing;
+//! * [`persist`] — canonical keys and payload codecs layering the
+//!   `fnas_store` persistent cache under the oracle as an L2 (DESIGN.md
+//!   §14), so warm fleets answer latency/sim queries from disk;
 //! * [`checkpoint`] — the versioned on-disk search-state snapshot behind
 //!   [`search::Searcher::resume_batched`], since v2 also the hand-off and
 //!   merge medium for sharded runs;
@@ -67,6 +70,7 @@ pub mod evaluator;
 pub mod experiment;
 pub mod latency;
 pub mod mapping;
+pub mod persist;
 pub mod report;
 pub mod resilience;
 pub mod reward;

@@ -179,6 +179,12 @@ pub fn telemetry_table(t: &TelemetrySnapshot) -> Table {
         "accuracy cache hit rate",
         pct(t.accuracy_cache_hit_rate() as f32),
     );
+    push("store hits", t.store_hits.to_string());
+    push("store misses", t.store_misses.to_string());
+    push("store hit rate", pct(t.store_hit_rate() as f32));
+    push("store writes", t.store_writes.to_string());
+    push("store evictions", t.store_evictions.to_string());
+    push("store bytes on disk", t.store_bytes.to_string());
     push("sample wall (ms)", ms(t.sample_time));
     push("latency wall (ms)", ms(t.latency_time));
     push("accuracy wall (ms)", ms(t.accuracy_time));
@@ -249,10 +255,15 @@ mod tests {
             checkpoints_written: 5,
             latency_cache_hits: 3,
             latency_cache_misses: 1,
+            store_hits: 9,
+            store_misses: 1,
+            store_writes: 2,
+            store_evictions: 1,
+            store_bytes: 4096,
             ..Default::default()
         };
         let t = telemetry_table(&snap);
-        assert_eq!(t.len(), 20);
+        assert_eq!(t.len(), 26);
         let md = t.to_markdown();
         assert!(md.contains("| children sampled | 10 |"));
         assert!(md.contains("| prune rate | 40.00% |"));
@@ -262,6 +273,10 @@ mod tests {
         assert!(md.contains("| oracle retries | 3 |"));
         assert!(md.contains("| quarantined accuracies | 2 |"));
         assert!(md.contains("| checkpoints written | 5 |"));
+        assert!(md.contains("| store hit rate | 90.00% |"));
+        assert!(md.contains("| store writes | 2 |"));
+        assert!(md.contains("| store evictions | 1 |"));
+        assert!(md.contains("| store bytes on disk | 4096 |"));
         assert!(md.contains("total wall (ms)"));
     }
 }

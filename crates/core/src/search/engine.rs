@@ -115,6 +115,16 @@ impl Searcher {
         &self.oracle
     }
 
+    /// Attaches a persistent oracle store (DESIGN.md §14) as the L2 under
+    /// the latency evaluator's in-memory caches. Purely an efficiency
+    /// lever: results are bit-identical with or without a store, only the
+    /// design/analyzer/simulator call counts change. Typically one
+    /// [`fnas_store::DiskStore`] handle is shared by every searcher in a
+    /// worker process.
+    pub fn attach_store(&mut self, store: std::sync::Arc<dyn fnas_store::Store>) {
+        self.oracle.attach_store(store);
+    }
+
     /// Runs the configured search to completion.
     ///
     /// `rng` drives child-weight initialisation and sampling; the

@@ -31,6 +31,10 @@ pub struct CacheCounterBase {
     analyzer_calls: u64,
     accuracy_hits: u64,
     accuracy_misses: u64,
+    store_hits: u64,
+    store_misses: u64,
+    store_writes: u64,
+    store_evictions: u64,
 }
 
 /// Latency + accuracy + reward + fault stats for one child architecture.
@@ -58,6 +62,14 @@ impl ChildOracle {
     /// The staged latency evaluator (exposed for deployment and benches).
     pub fn latency_eval(&self) -> &LatencyEvaluator {
         &self.latency
+    }
+
+    /// Attaches a persistent store as the L2 under the latency evaluator's
+    /// in-memory caches (see [`LatencyEvaluator::set_store`]). The store
+    /// never changes oracle answers, only how often the design, analyzer
+    /// and simulator stages actually run.
+    pub fn attach_store(&mut self, store: std::sync::Arc<dyn fnas_store::Store>) {
+        self.latency.set_store(store);
     }
 
     /// Analytic FPGA latency of `arch` (Eq. 5), memoised at stage
@@ -145,12 +157,17 @@ impl ChildOracle {
 
     /// Captures the current cache counters as a per-run baseline.
     pub(super) fn cache_counters(&self) -> CacheCounterBase {
+        let store = self.latency.store_counters();
         CacheCounterBase {
             latency_hits: self.latency.cache_hits(),
             latency_misses: self.latency.cache_misses(),
             analyzer_calls: self.latency.analyzer_calls(),
             accuracy_hits: self.accuracy_cache.hits(),
             accuracy_misses: self.accuracy_cache.misses(),
+            store_hits: store.hits,
+            store_misses: store.misses,
+            store_writes: store.writes,
+            store_evictions: store.evictions,
         }
     }
 
@@ -164,6 +181,18 @@ impl ChildOracle {
         telemetry.add_accuracy_cache(
             self.accuracy_cache.hits() - base.accuracy_hits,
             self.accuracy_cache.misses() - base.accuracy_misses,
+        );
+        // The store handle may be shared beyond this run (one DiskStore per
+        // worker process); saturate so an out-of-run decrease can't wrap.
+        let store = self.latency.store_counters();
+        telemetry.add_store_cache(
+            store.hits.saturating_sub(base.store_hits),
+            store.misses.saturating_sub(base.store_misses),
+            store.writes.saturating_sub(base.store_writes),
+        );
+        telemetry.add_store_state(
+            store.evictions.saturating_sub(base.store_evictions),
+            store.bytes_on_disk,
         );
     }
 }

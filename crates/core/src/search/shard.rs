@@ -205,8 +205,31 @@ impl ShardRunner {
         init_path: &Path,
         ckpt: &CheckpointOptions,
     ) -> Result<SearchOutcome> {
+        self.run_stored(opts, init_path, ckpt, None)
+    }
+
+    /// [`ShardRunner::run`] with an optional persistent oracle store
+    /// attached before the shard executes (DESIGN.md §14). The store is an
+    /// L2 cache only — results are bit-identical with `None` — so worker
+    /// processes can share one handle across shards and rounds to skip
+    /// recomputing designs and simulations another process already paid
+    /// for.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardRunner::run_with`]'s.
+    pub fn run_stored(
+        &self,
+        opts: &BatchOptions,
+        init_path: &Path,
+        ckpt: &CheckpointOptions,
+        store: Option<std::sync::Arc<dyn fnas_store::Store>>,
+    ) -> Result<SearchOutcome> {
         let init = SearchCheckpoint::load(init_path)?;
         let mut searcher = Searcher::surrogate(&self.config()?)?;
+        if let Some(store) = store {
+            searcher.attach_store(store);
+        }
         self.run_with(&mut searcher, opts, &init, ckpt)
     }
 

@@ -47,6 +47,11 @@ pub struct SearchTelemetry {
     latency_cache_misses: AtomicU64,
     accuracy_cache_hits: AtomicU64,
     accuracy_cache_misses: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_writes: AtomicU64,
+    store_evictions: AtomicU64,
+    store_bytes: AtomicU64,
     sample_nanos: AtomicU64,
     latency_nanos: AtomicU64,
     accuracy_nanos: AtomicU64,
@@ -173,6 +178,23 @@ impl SearchTelemetry {
             .fetch_add(misses, Ordering::Relaxed);
     }
 
+    /// Adds persistent-store traffic (hit/miss/write deltas). Like the
+    /// in-memory cache counters, store traffic describes work done by
+    /// *this* process and is never replayed from checkpoints.
+    pub fn add_store_cache(&self, hits: u64, misses: u64, writes: u64) {
+        self.store_hits.fetch_add(hits, Ordering::Relaxed);
+        self.store_misses.fetch_add(misses, Ordering::Relaxed);
+        self.store_writes.fetch_add(writes, Ordering::Relaxed);
+    }
+
+    /// Records persistent-store state: an eviction delta, and the latest
+    /// known record bytes on disk (a gauge — kept as a running maximum so
+    /// merges stay commutative).
+    pub fn add_store_state(&self, evictions: u64, bytes_on_disk: u64) {
+        self.store_evictions.fetch_add(evictions, Ordering::Relaxed);
+        self.store_bytes.fetch_max(bytes_on_disk, Ordering::Relaxed);
+    }
+
     /// Folds a frozen snapshot into the live counters — the engine's path
     /// for absorbing an episode's telemetry delta, and the reduction the
     /// checkpoint merge reuses. Every addition **saturates** instead of
@@ -209,6 +231,12 @@ impl SearchTelemetry {
         add(&self.latency_cache_misses, s.latency_cache_misses);
         add(&self.accuracy_cache_hits, s.accuracy_cache_hits);
         add(&self.accuracy_cache_misses, s.accuracy_cache_misses);
+        add(&self.store_hits, s.store_hits);
+        add(&self.store_misses, s.store_misses);
+        add(&self.store_writes, s.store_writes);
+        add(&self.store_evictions, s.store_evictions);
+        // Bytes on disk is a gauge, not a flow: keep the largest view.
+        self.store_bytes.fetch_max(s.store_bytes, Ordering::Relaxed);
         add(&self.sample_nanos, duration_nanos(s.sample_time));
         add(&self.latency_nanos, duration_nanos(s.latency_time));
         add(&self.accuracy_nanos, duration_nanos(s.accuracy_time));
@@ -257,6 +285,11 @@ impl SearchTelemetry {
             latency_cache_misses: load(&self.latency_cache_misses),
             accuracy_cache_hits: load(&self.accuracy_cache_hits),
             accuracy_cache_misses: load(&self.accuracy_cache_misses),
+            store_hits: load(&self.store_hits),
+            store_misses: load(&self.store_misses),
+            store_writes: load(&self.store_writes),
+            store_evictions: load(&self.store_evictions),
+            store_bytes: load(&self.store_bytes),
             sample_time: Duration::from_nanos(load(&self.sample_nanos)),
             latency_time: Duration::from_nanos(load(&self.latency_nanos)),
             accuracy_time: Duration::from_nanos(load(&self.accuracy_nanos)),
@@ -328,6 +361,17 @@ pub struct TelemetrySnapshot {
     pub accuracy_cache_hits: u64,
     /// Accuracy-cache misses.
     pub accuracy_cache_misses: u64,
+    /// Persistent-store (L2) hits: oracle answers served from disk.
+    pub store_hits: u64,
+    /// Persistent-store lookups that found no usable record.
+    pub store_misses: u64,
+    /// Records written through to the persistent store.
+    pub store_writes: u64,
+    /// Records evicted from the persistent store by garbage collection.
+    pub store_evictions: u64,
+    /// Latest known persistent-store size in record bytes (a gauge;
+    /// merged as a maximum, not a sum).
+    pub store_bytes: u64,
     /// Wall time in the (serial) sampling phase.
     pub sample_time: Duration,
     /// Wall time in the (parallel) latency phase.
@@ -384,6 +428,11 @@ impl TelemetrySnapshot {
             accuracy_cache_misses: self
                 .accuracy_cache_misses
                 .saturating_add(other.accuracy_cache_misses),
+            store_hits: self.store_hits.saturating_add(other.store_hits),
+            store_misses: self.store_misses.saturating_add(other.store_misses),
+            store_writes: self.store_writes.saturating_add(other.store_writes),
+            store_evictions: self.store_evictions.saturating_add(other.store_evictions),
+            store_bytes: self.store_bytes.max(other.store_bytes),
             sample_time: dur(self.sample_time, other.sample_time),
             latency_time: dur(self.latency_time, other.latency_time),
             accuracy_time: dur(self.accuracy_time, other.accuracy_time),
@@ -399,6 +448,12 @@ impl TelemetrySnapshot {
     /// Accuracy-cache hit rate over all lookups (`0.0` with no traffic).
     pub fn accuracy_cache_hit_rate(&self) -> f64 {
         ratio(self.accuracy_cache_hits, self.accuracy_cache_misses)
+    }
+
+    /// Persistent-store hit rate over all L2 lookups (`0.0` with no
+    /// traffic, including when the store is disabled).
+    pub fn store_hit_rate(&self) -> f64 {
+        ratio(self.store_hits, self.store_misses)
     }
 
     /// Fraction of sampled children pruned without training.
@@ -480,6 +535,16 @@ impl fmt::Display for TelemetrySnapshot {
             "coord: leases expired {} | shards re-dispatched {} | duplicate results {}",
             self.leases_expired, self.shards_redispatched, self.duplicate_results,
         )?;
+        writeln!(
+            f,
+            "store: {}/{} hits ({:.0}%) | writes {} | evictions {} | {} bytes on disk",
+            self.store_hits,
+            self.store_hits + self.store_misses,
+            self.store_hit_rate() * 100.0,
+            self.store_writes,
+            self.store_evictions,
+            self.store_bytes,
+        )?;
         write!(
             f,
             "wall: sample {:.1?} | latency {:.1?} | accuracy {:.1?} | update {:.1?} | total {:.1?}",
@@ -509,6 +574,9 @@ mod tests {
         t.add_train_calls(3);
         t.add_latency_cache(7, 3);
         t.add_accuracy_cache(1, 1);
+        t.add_store_cache(9, 1, 4);
+        t.add_store_state(2, 4096);
+        t.add_store_state(0, 1024); // gauge: a smaller view never shrinks it
         t.add_failed();
         t.add_panic_caught();
         t.add_retries(4);
@@ -537,6 +605,12 @@ mod tests {
         assert_eq!(s.prune_rate(), 0.2);
         assert_eq!(s.latency_cache_hit_rate(), 0.7);
         assert_eq!(s.accuracy_cache_hit_rate(), 0.5);
+        assert_eq!(s.store_hits, 9);
+        assert_eq!(s.store_misses, 1);
+        assert_eq!(s.store_writes, 4);
+        assert_eq!(s.store_evictions, 2);
+        assert_eq!(s.store_bytes, 4096);
+        assert_eq!(s.store_hit_rate(), 0.9);
     }
 
     #[test]
@@ -590,6 +664,8 @@ mod tests {
         assert!(text.contains("latency cache"));
         assert!(text.contains("faults:"));
         assert!(text.contains("coord:"));
+        assert!(text.contains("store:"));
+        assert!(text.contains("bytes on disk"));
         assert!(text.contains("wall:"));
     }
 
@@ -633,6 +709,9 @@ mod tests {
             leases_expired: base * 5,
             shards_redispatched: u64::MAX - base * 7,
             duplicate_results: base,
+            store_hits: base * 11,
+            store_writes: u64::MAX - base * 3,
+            store_bytes: base * 1000, // merged as max, still commutative
             accuracy_time: Duration::from_nanos(base),
             ..TelemetrySnapshot::default()
         };
@@ -664,6 +743,7 @@ mod tests {
     fn restore_counters_preloads_logical_state_only() {
         let t = SearchTelemetry::new();
         t.add_latency_cache(5, 5);
+        t.add_store_cache(3, 1, 2);
         let snap = TelemetrySnapshot {
             children_sampled: 40,
             children_pruned: 10,
@@ -677,6 +757,7 @@ mod tests {
             quarantined: 1,
             checkpoints_written: 2,
             latency_cache_hits: 99,
+            store_hits: 77,
             ..TelemetrySnapshot::default()
         };
         t.restore_counters(&snap);
@@ -693,5 +774,7 @@ mod tests {
         // Cache traffic is not replayed: it reflects this process only.
         assert_eq!(s.latency_cache_hits, 5);
         assert_eq!(s.latency_cache_misses, 5);
+        // Store traffic is process-local too.
+        assert_eq!((s.store_hits, s.store_misses, s.store_writes), (3, 1, 2));
     }
 }

@@ -1,0 +1,158 @@
+//! Maintenance CLI for an `fnas-store` directory.
+//!
+//! ```text
+//! fnas-store stat   --dir DIR
+//! fnas-store verify --dir DIR
+//! fnas-store gc     --dir DIR --max-bytes BYTES
+//! ```
+//!
+//! `verify` exits non-zero if any record fails integrity checks; leftover
+//! `.tmp-*` files from interrupted writes are reported but are not a
+//! failure (readers never see them). `gc` first deletes tmp litter, then
+//! evicts the oldest records until the store fits the byte budget.
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::process::ExitCode;
+
+use fnas_store::DiskStore;
+
+const USAGE: &str = "usage:
+  fnas-store stat   --dir DIR
+  fnas-store verify --dir DIR
+  fnas-store gc     --dir DIR --max-bytes BYTES";
+
+struct Cli {
+    command: String,
+    dir: String,
+    max_bytes: Option<u64>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut command = None;
+    let mut dir = None;
+    let mut max_bytes = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--dir" => {
+                let value = iter.next().ok_or("--dir needs a value")?;
+                dir = Some(value.clone());
+            }
+            "--max-bytes" => {
+                let value = iter.next().ok_or("--max-bytes needs a value")?;
+                let parsed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid --max-bytes: {value}"))?;
+                max_bytes = Some(parsed);
+            }
+            "stat" | "verify" | "gc" if command.is_none() => {
+                command = Some(arg.clone());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let command = command.ok_or("missing command")?;
+    let dir = dir.ok_or("missing --dir")?;
+    if command == "gc" && max_bytes.is_none() {
+        return Err("gc needs --max-bytes".to_string());
+    }
+    Ok(Cli {
+        command,
+        dir,
+        max_bytes,
+    })
+}
+
+fn run(cli: &Cli) -> Result<ExitCode, String> {
+    let store = DiskStore::open(&cli.dir).map_err(|err| format!("open {}: {err}", cli.dir))?;
+    match cli.command.as_str() {
+        "stat" => {
+            let stat = store.stat().map_err(|err| format!("stat: {err}"))?;
+            println!(
+                "{}: {} records, {} bytes, {} tmp files",
+                cli.dir, stat.records, stat.bytes, stat.tmp_files
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => {
+            let report = store.verify().map_err(|err| format!("verify: {err}"))?;
+            for path in &report.corrupt {
+                println!("corrupt: {}", path.display());
+            }
+            println!(
+                "{}: {} valid, {} corrupt, {} tmp files — {}",
+                cli.dir,
+                report.valid,
+                report.corrupt.len(),
+                report.tmp_files,
+                if report.is_ok() { "OK" } else { "FAILED" }
+            );
+            Ok(if report.is_ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        "gc" => {
+            let budget = cli.max_bytes.expect("validated in parse_args");
+            let report = store.gc(budget).map_err(|err| format!("gc: {err}"))?;
+            println!(
+                "{}: evicted {} records ({} bytes), removed {} tmp files, {} bytes remain",
+                cli.dir,
+                report.evicted,
+                report.reclaimed_bytes,
+                report.tmp_removed,
+                report.remaining_bytes
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command: {other}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(cli) => match run(&cli) {
+            Ok(code) => code,
+            Err(err) => {
+                eprintln!("fnas-store: {err}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(err) => {
+            eprintln!("fnas-store: {err}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_each_command() {
+        let cli = parse_args(&strings(&["stat", "--dir", "/tmp/s"])).unwrap();
+        assert_eq!((cli.command.as_str(), cli.dir.as_str()), ("stat", "/tmp/s"));
+        let cli = parse_args(&strings(&["verify", "--dir", "d"])).unwrap();
+        assert_eq!(cli.command, "verify");
+        let cli = parse_args(&strings(&["gc", "--dir", "d", "--max-bytes", "4096"])).unwrap();
+        assert_eq!(cli.max_bytes, Some(4096));
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse_args(&strings(&[])).is_err());
+        assert!(parse_args(&strings(&["stat"])).is_err());
+        assert!(parse_args(&strings(&["gc", "--dir", "d"])).is_err());
+        assert!(parse_args(&strings(&["prune", "--dir", "d"])).is_err());
+        assert!(parse_args(&strings(&["gc", "--dir", "d", "--max-bytes", "x"])).is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! Crash-safe on-disk store implementation and maintenance operations.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::process;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::SystemTime;
+
+use crate::key::CacheKey;
+use crate::record::{decode_any_record, decode_record, encode_record};
+use crate::{Store, StoreCounters};
+
+/// Prefix of in-flight temporary files; anything starting with this is an
+/// abandoned partial write and may be deleted at any time.
+pub const TMP_PREFIX: &str = ".tmp-";
+
+/// Content-addressed store rooted at a directory.
+///
+/// Records live under `<root>/objects/<2 hex>/<32 hex>.rec`. Writes go to a
+/// uniquely named temporary file in the destination shard directory and are
+/// published with an atomic `rename`, the same discipline as checkpoint
+/// saves: readers only ever observe absent or complete records, and a crash
+/// mid-write leaves only a `.tmp-*` file that every reader ignores.
+///
+/// All failures are soft: an unreadable or corrupt record is a miss, and a
+/// failed write is dropped (the store is a cache, never the source of
+/// truth). Counters are process-local and monotonic.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    evictions: AtomicU64,
+    bytes: AtomicU64,
+    tmp_counter: AtomicU64,
+}
+
+/// Snapshot of on-disk contents, as reported by `fnas-store stat`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStat {
+    /// Number of complete record files.
+    pub records: u64,
+    /// Total size of record files in bytes.
+    pub bytes: u64,
+    /// Abandoned `.tmp-*` files from interrupted writes.
+    pub tmp_files: u64,
+}
+
+/// Outcome of a full-store integrity scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Records that decoded cleanly.
+    pub valid: u64,
+    /// Paths whose contents failed framing, checksum, or key/path checks.
+    pub corrupt: Vec<PathBuf>,
+    /// Abandoned `.tmp-*` files (ignored by readers; not a failure).
+    pub tmp_files: u64,
+}
+
+impl VerifyReport {
+    /// `true` when every record decoded cleanly. Leftover tmp files do not
+    /// fail verification — they are invisible to readers by construction.
+    pub fn is_ok(&self) -> bool {
+        self.corrupt.is_empty()
+    }
+}
+
+/// Outcome of a garbage-collection pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Record files evicted (oldest first).
+    pub evicted: u64,
+    /// Bytes reclaimed from evicted records.
+    pub reclaimed_bytes: u64,
+    /// Abandoned tmp files removed.
+    pub tmp_removed: u64,
+    /// Record bytes remaining after the pass.
+    pub remaining_bytes: u64,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `root` and scans the
+    /// object tree so byte accounting starts from the on-disk truth.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory tree or the
+    /// initial scan.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(root.join("objects"))?;
+        let store = DiskStore {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+        };
+        store.bytes.store(store.stat()?.bytes, Ordering::Relaxed);
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Absolute path a record for `key` would live at.
+    fn object_path(&self, key: &CacheKey) -> PathBuf {
+        self.root.join(key.relative_path())
+    }
+
+    /// Walks the object tree. Calls `on_record(path, len, mtime)` for every
+    /// record file and counts tmp files.
+    fn walk(&self, mut on_record: impl FnMut(PathBuf, u64, SystemTime)) -> io::Result<u64> {
+        let mut tmp_files = 0;
+        let objects = self.root.join("objects");
+        for shard in sorted_entries(&objects)? {
+            if !shard.is_dir() {
+                continue;
+            }
+            for path in sorted_entries(&shard)? {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if name.starts_with(TMP_PREFIX) {
+                    tmp_files += 1;
+                    continue;
+                }
+                if !name.ends_with(".rec") {
+                    continue;
+                }
+                let meta = match fs::metadata(&path) {
+                    Ok(meta) => meta,
+                    Err(_) => continue,
+                };
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                on_record(path, meta.len(), mtime);
+            }
+        }
+        Ok(tmp_files)
+    }
+
+    /// Counts records, bytes, and abandoned tmp files.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from walking the object tree.
+    pub fn stat(&self) -> io::Result<StoreStat> {
+        let mut stat = StoreStat::default();
+        stat.tmp_files = self.walk(|_, len, _| {
+            stat.records += 1;
+            stat.bytes += len;
+        })?;
+        Ok(stat)
+    }
+
+    /// Decodes every record, reporting any that fail framing, checksum, or
+    /// key/path consistency checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from walking the object tree.
+    pub fn verify(&self) -> io::Result<VerifyReport> {
+        let mut report = VerifyReport::default();
+        report.tmp_files = self.walk(|path, _, _| {
+            let ok = fs::read(&path)
+                .ok()
+                .and_then(|bytes| decode_any_record(&bytes))
+                .is_some_and(|(key, _)| {
+                    path.file_name().and_then(|n| n.to_str())
+                        == Some(format!("{}.rec", key.hex()).as_str())
+                });
+            if ok {
+                report.valid += 1;
+            } else {
+                report.corrupt.push(path);
+            }
+        })?;
+        Ok(report)
+    }
+
+    /// Deletes abandoned tmp files, then evicts the oldest records (by
+    /// modification time, path as the deterministic tiebreak) until record
+    /// bytes fit within `max_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from walking the object tree.
+    pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
+        let mut records: Vec<(SystemTime, PathBuf, u64)> = Vec::new();
+        let mut tmp_paths: Vec<PathBuf> = Vec::new();
+        let objects = self.root.join("objects");
+        for shard in sorted_entries(&objects)? {
+            if !shard.is_dir() {
+                continue;
+            }
+            for path in sorted_entries(&shard)? {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if name.starts_with(TMP_PREFIX) {
+                    tmp_paths.push(path);
+                } else if name.ends_with(".rec") {
+                    if let Ok(meta) = fs::metadata(&path) {
+                        let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                        records.push((mtime, path, meta.len()));
+                    }
+                }
+            }
+        }
+        let mut report = GcReport::default();
+        for path in tmp_paths {
+            if fs::remove_file(&path).is_ok() {
+                report.tmp_removed += 1;
+            }
+        }
+        records.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        let mut total: u64 = records.iter().map(|(_, _, len)| len).sum();
+        for (_, path, len) in &records {
+            if total <= max_bytes {
+                break;
+            }
+            if fs::remove_file(path).is_ok() {
+                total -= len;
+                report.evicted += 1;
+                report.reclaimed_bytes += len;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        report.remaining_bytes = total;
+        self.bytes.store(total, Ordering::Relaxed);
+        Ok(report)
+    }
+}
+
+impl Store for DiskStore {
+    fn get(&self, key: &CacheKey) -> Option<Vec<u8>> {
+        let payload = fs::read(self.object_path(key))
+            .ok()
+            .and_then(|bytes| decode_record(&bytes, key));
+        match payload {
+            Some(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: &CacheKey, payload: &[u8]) {
+        let path = self.object_path(key);
+        if path.exists() {
+            return;
+        }
+        let bytes = encode_record(key, payload);
+        if write_atomic(&path, &bytes, &self.tmp_counter).is_ok() {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            self.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes_on_disk: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Writes `bytes` to `path` via a uniquely named tmp file in the same
+/// directory followed by an atomic rename.
+fn write_atomic(path: &Path, bytes: &[u8], counter: &AtomicU64) -> io::Result<()> {
+    let dir = path
+        .parent()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "record path has no parent"))?;
+    fs::create_dir_all(dir)?;
+    let unique = counter.fetch_add(1, Ordering::Relaxed);
+    let tmp = dir.join(format!("{TMP_PREFIX}{}-{unique}", process::id()));
+    let mut file = fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    let published = fs::rename(&tmp, path);
+    if published.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    published
+}
+
+/// Directory entries sorted by path for deterministic traversal order.
+fn sorted_entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(iter) => iter.filter_map(|e| e.ok()).map(|e| e.path()).collect(),
+        Err(err) if err.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(err) => return Err(err),
+    };
+    entries.sort();
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Backend;
+    use std::env;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = env::temp_dir().join(format!(
+            "fnas-store-{tag}-{}-{:?}",
+            process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(n: u128) -> CacheKey {
+        CacheKey::new(n, 7, Backend::Analytic)
+    }
+
+    #[test]
+    fn put_then_get_roundtrips_bytes() {
+        let dir = scratch("roundtrip");
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.get(&key(1)), None);
+        store.put(&key(1), b"payload");
+        assert_eq!(store.get(&key(1)), Some(b"payload".to_vec()));
+        let c = store.counters();
+        assert_eq!((c.hits, c.misses, c.writes), (1, 1, 1));
+        assert!(c.bytes_on_disk > 0);
+
+        // A second handle on the same directory sees the record (the
+        // cross-process path) and re-derives byte accounting from disk.
+        let warm = DiskStore::open(&dir).unwrap();
+        assert_eq!(warm.get(&key(1)), Some(b"payload".to_vec()));
+        assert_eq!(warm.counters().bytes_on_disk, c.bytes_on_disk);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_record_is_a_miss_not_a_panic() {
+        let dir = scratch("corrupt");
+        let store = DiskStore::open(&dir).unwrap();
+        store.put(&key(2), b"good bytes");
+        let path = store.object_path(&key(2));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.get(&key(2)), None);
+        let verify = store.verify().unwrap();
+        assert!(!verify.is_ok());
+        assert_eq!(verify.corrupt, vec![path]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leftover_tmp_files_are_invisible_and_pass_verify() {
+        let dir = scratch("tmp");
+        let store = DiskStore::open(&dir).unwrap();
+        store.put(&key(3), b"real");
+        let shard = store.object_path(&key(3)).parent().unwrap().to_path_buf();
+        fs::write(shard.join(format!("{TMP_PREFIX}dead-0")), b"partial wr").unwrap();
+        assert_eq!(store.get(&key(3)), Some(b"real".to_vec()));
+        let verify = store.verify().unwrap();
+        assert!(verify.is_ok());
+        assert_eq!(verify.tmp_files, 1);
+        let stat = store.stat().unwrap();
+        assert_eq!((stat.records, stat.tmp_files), (1, 1));
+        let gc = store.gc(u64::MAX).unwrap();
+        assert_eq!((gc.evicted, gc.tmp_removed), (0, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_evicts_oldest_first_until_under_budget() {
+        let dir = scratch("gc");
+        let store = DiskStore::open(&dir).unwrap();
+        for n in 0..4u128 {
+            store.put(&key(10 + n), b"xxxxxxxxxxxxxxxx");
+            // Distinct mtimes so eviction order is age, not path order.
+            let path = store.object_path(&key(10 + n));
+            let when = SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1000 + n as u64);
+            let file = fs::File::open(&path).unwrap();
+            file.set_modified(when).unwrap();
+        }
+        let record_len = fs::metadata(store.object_path(&key(10))).unwrap().len();
+        let gc = store.gc(2 * record_len).unwrap();
+        assert_eq!(gc.evicted, 2);
+        assert_eq!(gc.remaining_bytes, 2 * record_len);
+        // The two oldest are gone; the two newest survive.
+        assert_eq!(store.get(&key(10)), None);
+        assert_eq!(store.get(&key(11)), None);
+        assert!(store.get(&key(12)).is_some());
+        assert!(store.get(&key(13)).is_some());
+        assert_eq!(store.counters().evictions, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_is_idempotent_per_key() {
+        let dir = scratch("idem");
+        let store = DiskStore::open(&dir).unwrap();
+        store.put(&key(5), b"first");
+        store.put(&key(5), b"second");
+        assert_eq!(store.get(&key(5)), Some(b"first".to_vec()));
+        assert_eq!(store.counters().writes, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

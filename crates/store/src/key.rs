@@ -1,0 +1,216 @@
+//! Canonical cache keys and the content digest they are addressed by.
+//!
+//! A [`CacheKey`] names one oracle answer: a specific architecture digest,
+//! evaluated against a specific device digest, by a specific backend, under
+//! a specific payload schema. The key has a fixed-width canonical byte
+//! encoding ([`CacheKey::encode`]) so the on-disk format cannot drift with
+//! struct layout, and a derived [`CacheKey::path_digest`] that places the
+//! record in a hex-sharded object tree.
+
+use std::path::PathBuf;
+
+/// Version of the record payload schemas understood by this build.
+///
+/// Bump this whenever the byte encoding of any stored payload changes;
+/// records written under a different version are treated as misses.
+pub const SCHEMA_VERSION: u16 = 1;
+
+/// Width in bytes of [`CacheKey::encode`].
+pub const ENCODED_KEY_LEN: usize = 35;
+
+/// Which oracle backend produced (or is asked for) the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The closed-form analytic latency model (the payload is a full
+    /// `AnalyzerReport`, which lives in the FPGA crate).
+    Analytic,
+    /// The cycle-accurate simulator (a single `f64` milliseconds payload).
+    Simulated,
+}
+
+impl Backend {
+    /// Stable one-byte wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            Backend::Analytic => 1,
+            Backend::Simulated => 2,
+        }
+    }
+
+    /// Inverse of [`Backend::tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(Backend::Analytic),
+            2 => Some(Backend::Simulated),
+            _ => None,
+        }
+    }
+}
+
+/// Canonical identity of one stored oracle answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Digest of the canonical architecture encoding (layers + input shape).
+    pub arch_digest: u128,
+    /// Digest of the canonical device/cluster encoding.
+    pub device_digest: u128,
+    /// Backend that owns the payload format.
+    pub backend: Backend,
+    /// Payload schema version the record was written under.
+    pub schema_version: u16,
+}
+
+impl CacheKey {
+    /// Builds a key under the current [`SCHEMA_VERSION`].
+    pub fn new(arch_digest: u128, device_digest: u128, backend: Backend) -> Self {
+        CacheKey {
+            arch_digest,
+            device_digest,
+            backend,
+            schema_version: SCHEMA_VERSION,
+        }
+    }
+
+    /// Fixed-width canonical encoding: `arch_digest` (16 LE bytes),
+    /// `device_digest` (16 LE bytes), backend tag (1 byte), schema version
+    /// (2 LE bytes).
+    pub fn encode(&self) -> [u8; ENCODED_KEY_LEN] {
+        let mut out = [0u8; ENCODED_KEY_LEN];
+        out[..16].copy_from_slice(&self.arch_digest.to_le_bytes());
+        out[16..32].copy_from_slice(&self.device_digest.to_le_bytes());
+        out[32] = self.backend.tag();
+        out[33..35].copy_from_slice(&self.schema_version.to_le_bytes());
+        out
+    }
+
+    /// Decodes a canonical key encoding; `None` on wrong length or tag.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != ENCODED_KEY_LEN {
+            return None;
+        }
+        let mut arch = [0u8; 16];
+        arch.copy_from_slice(&bytes[..16]);
+        let mut device = [0u8; 16];
+        device.copy_from_slice(&bytes[16..32]);
+        let backend = Backend::from_tag(bytes[32])?;
+        let mut version = [0u8; 2];
+        version.copy_from_slice(&bytes[33..35]);
+        Some(CacheKey {
+            arch_digest: u128::from_le_bytes(arch),
+            device_digest: u128::from_le_bytes(device),
+            backend,
+            schema_version: u16::from_le_bytes(version),
+        })
+    }
+
+    /// Digest of the canonical encoding; determines the on-disk path.
+    pub fn path_digest(&self) -> u128 {
+        digest128(&self.encode())
+    }
+
+    /// Lower-case hex rendering of [`CacheKey::path_digest`] (32 chars).
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.path_digest())
+    }
+
+    /// Path of the record relative to the store root:
+    /// `objects/<first 2 hex chars>/<32 hex chars>.rec`.
+    pub fn relative_path(&self) -> PathBuf {
+        let hex = self.hex();
+        PathBuf::from("objects")
+            .join(&hex[..2])
+            .join(format!("{hex}.rec"))
+    }
+}
+
+/// 128-bit non-cryptographic content digest.
+///
+/// Two independent 64-bit FNV-1a-style lanes with distinct offset bases,
+/// each finalised with a SplitMix64 avalanche. Stable across platforms
+/// (pure integer arithmetic) and intended only for content addressing —
+/// collision probability at fleet scale is negligible for 128 bits, and a
+/// collision degrades to a checksum-verified wrong-key miss, never a wrong
+/// answer (records embed the full key).
+pub fn digest128(bytes: &[u8]) -> u128 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut b: u64 = 0x6c62_272e_07bb_0142;
+    for &byte in bytes {
+        a = (a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        b = (b ^ u64::from(byte)).wrapping_mul(GOLDEN | 1);
+    }
+    let len = bytes.len() as u64;
+    a = mix64(a ^ len);
+    b = mix64(b ^ len.wrapping_mul(GOLDEN));
+    (u128::from(a) << 64) | u128::from(b)
+}
+
+/// SplitMix64 finaliser.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let key = CacheKey::new(
+            0x0123_4567_89ab_cdef_u128,
+            u128::MAX - 7,
+            Backend::Simulated,
+        );
+        let bytes = key.encode();
+        assert_eq!(CacheKey::decode(&bytes), Some(key));
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        let key = CacheKey::new(1, 2, Backend::Analytic);
+        let mut bytes = key.encode().to_vec();
+        assert!(CacheKey::decode(&bytes[..34]).is_none());
+        bytes[32] = 99; // unknown backend tag
+        assert!(CacheKey::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn path_is_hex_sharded() {
+        let key = CacheKey::new(42, 43, Backend::Analytic);
+        let path = key.relative_path();
+        let rendered = path.to_string_lossy().into_owned();
+        assert!(rendered.starts_with("objects/"));
+        assert!(rendered.ends_with(".rec"));
+        assert_eq!(key.hex().len(), 32);
+        assert!(rendered.contains(&key.hex()[..2]));
+    }
+
+    #[test]
+    fn digest_depends_on_every_field() {
+        let base = CacheKey::new(1, 2, Backend::Analytic);
+        let arch = CacheKey::new(9, 2, Backend::Analytic);
+        let dev = CacheKey::new(1, 9, Backend::Analytic);
+        let backend = CacheKey::new(1, 2, Backend::Simulated);
+        let version = CacheKey {
+            schema_version: SCHEMA_VERSION + 1,
+            ..base
+        };
+        let digests = [base, arch, dev, backend, version].map(|k| k.path_digest());
+        for i in 0..digests.len() {
+            for j in (i + 1)..digests.len() {
+                assert_ne!(digests[i], digests[j], "keys {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn digest128_is_length_sensitive() {
+        assert_ne!(digest128(b""), digest128(b"\0"));
+        assert_ne!(digest128(b"\0"), digest128(b"\0\0"));
+        assert_ne!(digest128(b"ab"), digest128(b"ba"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Versioned record framing with checksums.
+//!
+//! A record file is fully self-describing:
+//!
+//! ```text
+//! magic "FNASTOR1"  (8 bytes, framing version baked in)
+//! canonical key     (35 bytes, see [`CacheKey::encode`])
+//! payload length    (u32 LE)
+//! payload           (opaque backend bytes)
+//! checksum          (u64 LE, FNV-1a over everything above)
+//! ```
+//!
+//! Decoding is total: any defect — wrong magic, truncated frame, trailing
+//! garbage, key mismatch, schema-version skew, checksum failure — yields
+//! `None` (a cache miss), never a panic. The embedded key is compared
+//! against the key the reader asked for, so even a path-digest collision or
+//! a misplaced file degrades to a miss.
+
+use crate::key::{CacheKey, ENCODED_KEY_LEN};
+
+/// Magic prefix of every record file; the trailing digit is the framing
+/// version.
+pub const RECORD_MAGIC: [u8; 8] = *b"FNASTOR1";
+
+/// Fixed overhead of a record frame beyond the payload bytes.
+pub const RECORD_OVERHEAD: usize = RECORD_MAGIC.len() + ENCODED_KEY_LEN + 4 + 8;
+
+/// Frames `payload` under `key` into record bytes.
+pub fn encode_record(key: &CacheKey, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_OVERHEAD + payload.len());
+    out.extend_from_slice(&RECORD_MAGIC);
+    out.extend_from_slice(&key.encode());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&checksum(&out).to_le_bytes());
+    out
+}
+
+/// Unframes record bytes written for `key`, returning the payload.
+///
+/// Returns `None` on any framing defect or if the embedded key differs
+/// from `key`.
+pub fn decode_record(bytes: &[u8], key: &CacheKey) -> Option<Vec<u8>> {
+    let embedded = decode_any_record(bytes)?;
+    if embedded.0 != *key {
+        return None;
+    }
+    Some(embedded.1)
+}
+
+/// Unframes record bytes without an expected key, returning the embedded
+/// key and payload. Used by `fnas-store verify`.
+pub fn decode_any_record(bytes: &[u8]) -> Option<(CacheKey, Vec<u8>)> {
+    if bytes.len() < RECORD_OVERHEAD {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let mut stored = [0u8; 8];
+    stored.copy_from_slice(tail);
+    if checksum(body) != u64::from_le_bytes(stored) {
+        return None;
+    }
+    if body[..RECORD_MAGIC.len()] != RECORD_MAGIC {
+        return None;
+    }
+    let key_end = RECORD_MAGIC.len() + ENCODED_KEY_LEN;
+    let key = CacheKey::decode(&body[RECORD_MAGIC.len()..key_end])?;
+    let mut len = [0u8; 4];
+    len.copy_from_slice(&body[key_end..key_end + 4]);
+    let payload = &body[key_end + 4..];
+    if payload.len() != u32::from_le_bytes(len) as usize {
+        return None;
+    }
+    Some((key, payload.to_vec()))
+}
+
+/// FNV-1a 64-bit checksum.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Backend;
+
+    fn key() -> CacheKey {
+        CacheKey::new(0xdead_beef, 0xfeed_f00d, Backend::Analytic)
+    }
+
+    #[test]
+    fn roundtrip_preserves_payload() {
+        let payload = b"schedule bytes".to_vec();
+        let bytes = encode_record(&key(), &payload);
+        assert_eq!(decode_record(&bytes, &key()), Some(payload));
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let bytes = encode_record(&key(), &[]);
+        assert_eq!(decode_record(&bytes, &key()), Some(Vec::new()));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = encode_record(&key(), b"payload");
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                decode_record(&bad, &key()).is_none(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_extension_are_misses() {
+        let bytes = encode_record(&key(), b"payload");
+        for cut in 0..bytes.len() {
+            assert!(decode_record(&bytes[..cut], &key()).is_none());
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_record(&long, &key()).is_none());
+    }
+
+    #[test]
+    fn key_mismatch_is_a_miss() {
+        let bytes = encode_record(&key(), b"payload");
+        let other = CacheKey::new(1, 2, Backend::Simulated);
+        assert!(decode_record(&bytes, &other).is_none());
+        assert!(decode_any_record(&bytes).is_some());
+    }
+}

@@ -76,6 +76,7 @@ fn killed_worker_coordinated_run_matches_sequential_bytes() {
         lease,
         backoff_ms: 20,
         linger_ms: 1_500,
+        max_buffered_rounds: 2,
     };
     let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
     let coord = Arc::new(Coordinator::new(base(), 3, coord_opts, clock).unwrap());
@@ -148,6 +149,7 @@ fn straggler_replicas_settle_first_wins_and_match_sequential_bytes() {
         lease,
         backoff_ms: 20,
         linger_ms: 1_500,
+        max_buffered_rounds: 2,
     };
     let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
     let coord = Arc::new(Coordinator::new(base(), 3, coord_opts, clock).unwrap());

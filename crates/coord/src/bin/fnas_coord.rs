@@ -2,16 +2,21 @@
 //!
 //! ```text
 //! fnas-coord serve --listen 127.0.0.1:7463 --dir out \
-//!     --shards 4 --rounds 2 [config flags]     # then start fnas-worker(s)
+//!     --shards 4 --rounds 2 [--journal-dir wal] [config flags]
 //! fnas-coord local --dir out --shards 4 --rounds 2 [config flags]
+//! fnas-coord journal <stat|verify> --journal-dir wal
 //! ```
 //!
 //! `serve` listens for `fnas-worker` processes, leases shards with a
 //! wall-clock TTL, re-dispatches stragglers, merges each round at the
 //! barrier and writes the final checkpoint to `<dir>/merged.ckpt`.
+//! With `--journal-dir` it is crash-safe: every transition is journaled,
+//! and re-running the same command after a kill resumes mid-round
+//! (settled shards stay settled, pre-crash leases are epoch-fenced).
 //! `local` runs the identical rounds sequentially in-process — the
 //! reference a coordinated run must match byte for byte (compare the two
-//! files, or their SHA-256s, to audit a deployment).
+//! files, or their SHA-256s, to audit a deployment). `journal` inspects
+//! a journal directory offline, mirroring `fnas-store stat|verify`.
 //!
 //! The config flags (`--preset`, `--trials`, `--seed`, `--budget-ms`,
 //! `--batch`) plus `--shards`/`--rounds` form the run fingerprint; every
@@ -25,7 +30,7 @@ use std::sync::Arc;
 use fnas::experiment::ExperimentPreset;
 use fnas::search::{BatchOptions, SearchConfig};
 use fnas_coord::{
-    run_rounds_local, Clock, Coordinator, CoordinatorOptions, LeasePolicy, WallClock,
+    run_rounds_local, Clock, Coordinator, CoordinatorOptions, Journal, LeasePolicy, WallClock,
 };
 
 struct Cli {
@@ -39,6 +44,7 @@ struct Cli {
     straggle_after_ms: Option<u64>,
     linger_ms: u64,
     max_buffered_rounds: usize,
+    journal_dir: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: fnas-coord <serve|local> --dir <out-dir> [options]
@@ -55,7 +61,10 @@ const USAGE: &str = "usage: fnas-coord <serve|local> --dir <out-dir> [options]
              --linger-ms <X>         keep answering after finish (default 500)
              --max-buffered-rounds <N>  cap on concurrently buffered submit
                                      payloads, in rounds (default 2)
-  local      --workers <W>           evaluation workers (default: cores)";
+             --journal-dir <d>       crash-safe write-ahead journal; re-run
+                                     the same command after a kill to resume
+  local      --workers <W>           evaluation workers (default: cores)
+  journal    <stat|verify> --journal-dir <d>  inspect a journal offline";
 
 fn parse(args: &[String]) -> Result<Cli, String> {
     let mut listen = None;
@@ -72,6 +81,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let mut straggle_after_ms = None;
     let mut linger_ms = 500u64;
     let mut max_buffered_rounds = 2usize;
+    let mut journal_dir = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -97,6 +107,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--max-buffered-rounds" => {
                 max_buffered_rounds = parse_num::<usize>(flag, value()?)?;
             }
+            "--journal-dir" => journal_dir = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -132,6 +143,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         straggle_after_ms,
         linger_ms,
         max_buffered_rounds,
+        journal_dir,
     })
 }
 
@@ -155,10 +167,18 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
         max_buffered_rounds: cli.max_buffered_rounds,
     };
     let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
-    let coordinator = Arc::new(
-        Coordinator::new(cli.config.clone(), cli.opts.batch_size(), opts, clock)
-            .map_err(|e| e.to_string())?,
-    );
+    let coordinator = match &cli.journal_dir {
+        Some(journal_dir) => Coordinator::with_journal(
+            cli.config.clone(),
+            cli.opts.batch_size(),
+            opts,
+            clock,
+            journal_dir,
+        ),
+        None => Coordinator::new(cli.config.clone(), cli.opts.batch_size(), opts, clock),
+    }
+    .map_err(|e| e.to_string())?;
+    let coordinator = Arc::new(coordinator);
     let listener = TcpListener::bind(listen).map_err(|e| e.to_string())?;
     eprintln!(
         "fnas-coord: serving {} shards x {} rounds on {listen} (fingerprint {:#018x})",
@@ -166,13 +186,21 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
         cli.rounds,
         coordinator.fingerprint()
     );
+    if cli.journal_dir.is_some() {
+        eprintln!(
+            "fnas-coord: journaled, epoch {} ({} completed rounds recovered)",
+            coordinator.epoch(),
+            coordinator.rounds_recovered()
+        );
+    }
     let merged = coordinator.serve(listener).map_err(|e| e.to_string())?;
     let out = cli.dir.join("merged.ckpt");
     merged.save(&out).map_err(|e| e.to_string())?;
     let t = coordinator.telemetry().snapshot();
     Ok(format!(
         "coordinated {} shards x {} rounds: {} trials, wrote {}\n\
-         coord: leases expired {} | shards re-dispatched {} | duplicate results {}",
+         coord: leases expired {} | shards re-dispatched {} | duplicate results {}\n\
+         journal: {} records | {} rounds recovered | {} stale submissions rejected",
         cli.shards,
         cli.rounds,
         merged.trials.len(),
@@ -180,7 +208,90 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
         t.leases_expired,
         t.shards_redispatched,
         t.duplicate_results,
+        t.journal_records,
+        t.rounds_recovered,
+        t.stale_submissions_rejected,
     ))
+}
+
+fn cmd_journal(rest: &[String]) -> Result<String, String> {
+    let Some((sub, flags)) = rest.split_first() else {
+        return Err("journal needs a subcommand: stat or verify".to_string());
+    };
+    let mut dir = None;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--journal-dir" => {
+                dir = Some(PathBuf::from(
+                    it.next().ok_or("--journal-dir needs a value")?,
+                ));
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let dir = dir.ok_or("--journal-dir is required")?;
+    match sub.as_str() {
+        "stat" => {
+            let s = Journal::stat(&dir).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "journal {}: {} records ({} epochs, {} round starts, {} settlements, \
+                 {} merges, {} finishes)\n\
+                 wal: {} bytes ({} clean)\n\
+                 spills: {} files, {} bytes | {} tmp",
+                dir.display(),
+                s.records,
+                s.epochs,
+                s.round_starts,
+                s.shard_settlements,
+                s.round_merges,
+                s.finishes,
+                s.wal_bytes,
+                s.clean_wal_bytes,
+                s.spill_files,
+                s.spill_bytes,
+                s.tmp_files,
+            ))
+        }
+        "verify" => {
+            let v = Journal::verify(&dir).map_err(|e| e.to_string())?;
+            let tail = match v.truncated_at {
+                // A dirty tail is an expected crash artifact, not a
+                // verification failure: the next open drops it.
+                Some(at) => format!(
+                    "tail: cut at byte {at} ({} dirty bytes will be dropped on restart)",
+                    v.truncated_tail_bytes
+                ),
+                None => "tail: clean".to_string(),
+            };
+            let spills = format!(
+                "spills: {}/{} referenced valid | {} orphan | {} tmp",
+                v.spills_valid,
+                v.spills_valid + v.spills_bad.len() as u64,
+                v.orphan_spills,
+                v.tmp_files,
+            );
+            let msg = format!(
+                "journal {}: {} records decoded\n{tail}\n{spills}",
+                dir.display(),
+                v.records
+            );
+            if v.is_ok() {
+                Ok(msg)
+            } else {
+                let bad: Vec<String> = v
+                    .spills_bad
+                    .iter()
+                    .map(|p| p.display().to_string())
+                    .collect();
+                Err(format!(
+                    "{msg}\nbad spills (those shards re-run on recovery):\n  {}",
+                    bad.join("\n  ")
+                ))
+            }
+        }
+        other => Err(format!("unknown journal subcommand {other:?}")),
+    }
 }
 
 fn cmd_local(cli: &Cli) -> Result<String, String> {
@@ -203,6 +314,19 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    // `journal` takes only --journal-dir, not the run flags.
+    if cmd == "journal" {
+        return match cmd_journal(rest) {
+            Ok(msg) => {
+                println!("{msg}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fnas-coord: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let cli = match parse(rest) {
         Ok(cli) => cli,
         Err(e) => {
@@ -244,7 +368,7 @@ mod tests {
         let c = cli(
             "--dir /tmp/x --listen 127.0.0.1:7463 --shards 4 --rounds 2 --trials 24 \
              --seed 77 --batch 3 --lease-ttl-ms 2000 --straggle-after-ms 600 --linger-ms 100 \
-             --max-buffered-rounds 3",
+             --max-buffered-rounds 3 --journal-dir /tmp/wal",
         )
         .unwrap();
         assert_eq!(c.listen.as_deref(), Some("127.0.0.1:7463"));
@@ -256,6 +380,60 @@ mod tests {
         assert_eq!(c.straggle_after_ms, Some(600));
         assert_eq!(c.linger_ms, 100);
         assert_eq!(c.max_buffered_rounds, 3);
+        assert_eq!(
+            c.journal_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/wal"))
+        );
+    }
+
+    #[test]
+    fn journal_subcommand_stats_and_verifies_a_directory() {
+        let dir = std::env::temp_dir().join(format!("fnas-coord-bin-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut journal, _) = Journal::open(&dir).unwrap();
+            journal
+                .append(&fnas_coord::WalRecord::EpochStarted {
+                    epoch: 0,
+                    fingerprint: 42,
+                })
+                .unwrap();
+            let sum = journal.spill_shard(0, 0, b"shard").unwrap();
+            journal
+                .append(&fnas_coord::WalRecord::ShardSettled {
+                    epoch: 0,
+                    round: 0,
+                    shard: 0,
+                    len: 5,
+                    checksum: sum,
+                })
+                .unwrap();
+        }
+        let args = |s: String| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+        let stat = cmd_journal(&args(format!("stat --journal-dir {}", dir.display()))).unwrap();
+        assert!(stat.contains("2 records"), "{stat}");
+        assert!(stat.contains("1 settlements"), "{stat}");
+        let verify = cmd_journal(&args(format!("verify --journal-dir {}", dir.display()))).unwrap();
+        assert!(verify.contains("tail: clean"), "{verify}");
+        assert!(verify.contains("1/1 referenced valid"), "{verify}");
+        // A torn tail is reported but does not fail verification…
+        let wal = fnas_coord::journal::wal_path(&dir);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes.extend_from_slice(b"torn");
+        std::fs::write(&wal, &bytes).unwrap();
+        let verify = cmd_journal(&args(format!("verify --journal-dir {}", dir.display()))).unwrap();
+        assert!(verify.contains("4 dirty bytes"), "{verify}");
+        // …but a corrupt referenced spill does.
+        let spill = dir
+            .join("shards")
+            .join(fnas_coord::journal::spill_file(0, 0));
+        std::fs::write(&spill, b"garbage").unwrap();
+        let err =
+            cmd_journal(&args(format!("verify --journal-dir {}", dir.display()))).unwrap_err();
+        assert!(err.contains("bad spills"), "{err}");
+        assert!(cmd_journal(&args("stat".to_string())).is_err());
+        assert!(cmd_journal(&[]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

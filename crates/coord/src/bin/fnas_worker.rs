@@ -37,6 +37,10 @@ const USAGE: &str = "usage: fnas-worker --connect <addr:port> --dir <scratch-dir
   --batch <B>             children per episode (default 8, must match)
   --workers <W>           evaluation threads (free to differ per machine)
   --heartbeat-ms <X>      lease heartbeat cadence (default 1000)
+  --connect-retries <N>   request attempts before giving up (default 20)
+  --connect-backoff-ms <X> base retry backoff, doubled per attempt up to
+                          2 s (default 100) — the budget that rides out a
+                          coordinator restart
   --store-dir <dir>       on-disk latency store shared across rounds
                           (free to differ per machine; never changes results)";
 
@@ -53,6 +57,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let mut shards = 4u32;
     let mut rounds = 1u64;
     let mut heartbeat_ms = 1_000u64;
+    let mut connect_retries = None;
+    let mut connect_backoff_ms = None;
     let mut store_dir = None;
 
     let mut it = args.iter();
@@ -75,6 +81,10 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--shards" => shards = parse_num::<u32>(flag, value()?)?,
             "--rounds" => rounds = parse_num::<u64>(flag, value()?)?,
             "--heartbeat-ms" => heartbeat_ms = parse_num::<u64>(flag, value()?)?,
+            "--connect-retries" => connect_retries = Some(parse_num::<u32>(flag, value()?)?),
+            "--connect-backoff-ms" => {
+                connect_backoff_ms = Some(parse_num::<u64>(flag, value()?)?);
+            }
             "--store-dir" => store_dir = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -105,6 +115,12 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let name = name.unwrap_or_else(|| format!("worker-{}", std::process::id()));
     let mut worker = WorkerOptions::new(connect, name, dir);
     worker.heartbeat_ms = heartbeat_ms;
+    if let Some(r) = connect_retries {
+        worker.connect_retries = r;
+    }
+    if let Some(b) = connect_backoff_ms {
+        worker.connect_backoff_ms = b;
+    }
     worker.store_dir = store_dir;
     Ok(Cli {
         worker,
@@ -131,11 +147,12 @@ fn main() -> ExitCode {
     match run_worker(&cli.config, &cli.opts, &cli.worker, cli.shards, cli.rounds) {
         Ok(report) => {
             println!(
-                "{}: ran {} shards ({} fresh, {} duplicate){}",
+                "{}: ran {} shards ({} fresh, {} duplicate, {} stale){}",
                 cli.worker.name,
                 report.shards_run,
                 report.fresh_results,
                 report.duplicate_results,
+                report.stale_results,
                 if report.coordinator_lost {
                     ", coordinator gone (run over)"
                 } else {
@@ -160,7 +177,7 @@ mod tests {
         let args: Vec<String> =
             "--connect 127.0.0.1:7463 --dir /tmp/w --name w1 --shards 4 --rounds 2 \
              --trials 24 --seed 77 --batch 3 --workers 2 --heartbeat-ms 200 \
-             --store-dir /tmp/store"
+             --connect-retries 40 --connect-backoff-ms 50 --store-dir /tmp/store"
                 .split_whitespace()
                 .map(String::from)
                 .collect();
@@ -168,6 +185,8 @@ mod tests {
         assert_eq!(c.worker.addr, "127.0.0.1:7463");
         assert_eq!(c.worker.name, "w1");
         assert_eq!(c.worker.heartbeat_ms, 200);
+        assert_eq!(c.worker.connect_retries, 40);
+        assert_eq!(c.worker.connect_backoff_ms, 50);
         assert_eq!(
             c.worker.store_dir.as_deref(),
             Some(std::path::Path::new("/tmp/store"))

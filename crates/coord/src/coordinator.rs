@@ -18,9 +18,19 @@
 //! [`SearchTelemetry`] (`leases expired`, `shards re-dispatched`,
 //! `duplicate results`), which is process-local and never persisted into
 //! checkpoints.
+//!
+//! **Crash safety.** With a journal attached
+//! ([`Coordinator::with_journal`]) every committed transition is
+//! WAL-logged and settled shard bytes are spilled to disk before they
+//! are acknowledged, so a killed coordinator restarts into the same
+//! round with the same settlements (DESIGN.md §15). Each incarnation
+//! takes a fresh **epoch**; leases stamp it into every assignment, and
+//! submissions carrying a dead incarnation's epoch are fenced off with
+//! [`Response::Stale`] instead of racing the recovered round.
 
-use std::io::ErrorKind;
+use std::io::{ErrorKind, Read};
 use std::net::{TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -32,9 +42,10 @@ use fnas_exec::SearchTelemetry;
 
 use crate::clock::Clock;
 use crate::framing::{read_frame, write_frame};
+use crate::journal::{self, Journal, WalRecord};
 use crate::lease::{LeasePolicy, LeaseTable};
 use crate::proto::{config_fingerprint, Request, Response};
-use crate::rounds::{accumulate, init_for_round};
+use crate::rounds::{accumulate, init_for_round, merge_settled};
 
 /// Scheduling knobs of a coordinated run.
 #[derive(Debug, Clone)]
@@ -84,11 +95,15 @@ struct RoundState {
     table: LeaseTable,
     /// Byte-settled shards of *completed* rounds, for byte-comparing
     /// replicas that report after their round's barrier already fell.
+    /// Empty when a journal is attached: the spill files hold those
+    /// bytes, so completed rounds cost the coordinator no memory.
     settled: Vec<Vec<Vec<u8>>>,
     /// Merged checkpoint of each completed round.
     merges: Vec<SearchCheckpoint>,
     /// The accumulated final checkpoint, once every round is merged.
     finished: Option<SearchCheckpoint>,
+    /// The write-ahead round journal, when crash safety is on.
+    journal: Option<Journal>,
 }
 
 /// The coordinator of one run. See the module docs.
@@ -96,6 +111,9 @@ struct RoundState {
 pub struct Coordinator {
     base: SearchConfig,
     fingerprint: u64,
+    /// This incarnation's epoch: how many coordinator incarnations the
+    /// journal saw before this one (always 0 without a journal).
+    epoch: u64,
     opts: CoordinatorOptions,
     clock: Arc<dyn Clock>,
     telemetry: Arc<SearchTelemetry>,
@@ -122,20 +140,14 @@ impl Coordinator {
         opts: CoordinatorOptions,
         clock: Arc<dyn Clock>,
     ) -> Result<Self> {
-        if opts.shards == 0 || opts.rounds == 0 {
-            return Err(FnasError::InvalidConfig {
-                what: format!(
-                    "a coordinated run needs ≥ 1 shard and ≥ 1 round (got {} × {})",
-                    opts.shards, opts.rounds
-                ),
-            });
-        }
+        Self::validate(&opts)?;
         let fingerprint = config_fingerprint(&base, batch, opts.shards, opts.rounds);
         let init = init_for_round(&base, 0, None)?;
         let table = LeaseTable::new(opts.shards, opts.lease);
         Ok(Coordinator {
             base,
             fingerprint,
+            epoch: 0,
             clock,
             telemetry: Arc::new(SearchTelemetry::new()),
             state: Mutex::new(RoundState {
@@ -145,15 +157,162 @@ impl Coordinator {
                 settled: Vec::new(),
                 merges: Vec::new(),
                 finished: None,
+                journal: None,
             }),
             opts,
             in_flight_submits: AtomicUsize::new(0),
         })
     }
 
+    /// [`Coordinator::new`] with a crash-safe round journal under `dir`.
+    ///
+    /// On a fresh directory this is a journaled cold start (epoch 0).
+    /// On a directory left by a previous incarnation it **recovers**:
+    /// the WAL's clean prefix is replayed, every completed round whose
+    /// spill files all pass their checksums is re-merged (bit-exactly —
+    /// [`merge_settled`] is the same code the live barrier runs), the
+    /// first incomplete round becomes the current round with its valid
+    /// spills pre-settled and the rest back in the lease pool, and this
+    /// incarnation takes the next epoch so pre-crash leases are fenced.
+    /// A corrupt spill or torn WAL tail silently degrades to "that shard
+    /// re-runs"; only I/O failures and a config mismatch are errors.
+    ///
+    /// # Errors
+    ///
+    /// [`Coordinator::new`]'s, I/O errors opening or appending the
+    /// journal, and [`FnasError::InvalidConfig`] when the journal was
+    /// written by a run with a different config fingerprint.
+    pub fn with_journal(
+        base: SearchConfig,
+        batch: usize,
+        opts: CoordinatorOptions,
+        clock: Arc<dyn Clock>,
+        dir: &Path,
+    ) -> Result<Self> {
+        Self::validate(&opts)?;
+        let fingerprint = config_fingerprint(&base, batch, opts.shards, opts.rounds);
+        let (mut journal, records) = Journal::open(dir)?;
+        let plan = journal::replay(&records);
+        if let Some(fp) = plan.fingerprint {
+            if fp != fingerprint {
+                return Err(FnasError::InvalidConfig {
+                    what: format!(
+                        "journal at {} belongs to run {fp:#018x}, not this run \
+                         {fingerprint:#018x}; use a fresh --journal-dir or the original flags",
+                        dir.display()
+                    ),
+                });
+            }
+        }
+        let epoch = plan.next_epoch;
+        let telemetry = Arc::new(SearchTelemetry::new());
+        // Startup appends are strict: a journal that cannot even record
+        // the new epoch gives no crash safety at all.
+        journal.append(&WalRecord::EpochStarted { epoch, fingerprint })?;
+        telemetry.add_journal_record();
+
+        // Re-validate the WAL's claims against the spill files: a round
+        // counts as complete iff every shard's spill decodes and matches
+        // its recorded length and checksum.
+        let mut merges = Vec::new();
+        let mut current = 0u64;
+        let mut restored: Vec<(u32, Vec<u8>)> = Vec::new();
+        for r in 0..opts.rounds {
+            let mut by_shard: Vec<Option<Vec<u8>>> = vec![None; opts.shards as usize];
+            for &(round, shard, len, sum) in &plan.settled {
+                if round != r || shard >= opts.shards {
+                    continue;
+                }
+                if let Some(bytes) = journal.load_spill(round, shard) {
+                    if bytes.len() as u64 == len && journal::checksum(&bytes) == sum {
+                        by_shard[shard as usize] = Some(bytes);
+                    }
+                }
+            }
+            if by_shard.iter().all(Option::is_some) {
+                let done: Vec<Vec<u8>> = by_shard.into_iter().flatten().collect();
+                merges.push(merge_settled(&done)?);
+                continue;
+            }
+            current = r;
+            restored = by_shard
+                .into_iter()
+                .enumerate()
+                .filter_map(|(s, b)| b.map(|b| (s as u32, b)))
+                .collect();
+            break;
+        }
+        let recovered = merges.len() as u64;
+        telemetry.add_rounds_recovered(recovered);
+
+        let (finished, init_bytes) = if recovered == opts.rounds {
+            current = opts.rounds - 1;
+            // Nothing left to dispatch: pollers hear Finished before the
+            // init snapshot could ever be served.
+            (Some(accumulate(&base, &merges)?), Vec::new())
+        } else {
+            let init = init_for_round(&base, current, merges.last())?;
+            (None, init.to_bytes())
+        };
+        let mut table = LeaseTable::new(opts.shards, opts.lease);
+        for (shard, bytes) in restored {
+            table.restore_done(shard, bytes);
+        }
+        if finished.is_none()
+            && journal
+                .append(&WalRecord::RoundStarted {
+                    epoch,
+                    round: current,
+                })
+                .is_ok()
+        {
+            telemetry.add_journal_record();
+        }
+        Ok(Coordinator {
+            base,
+            fingerprint,
+            epoch,
+            clock,
+            telemetry,
+            state: Mutex::new(RoundState {
+                round: current,
+                init_bytes,
+                table,
+                settled: Vec::new(),
+                merges,
+                finished,
+                journal: Some(journal),
+            }),
+            opts,
+            in_flight_submits: AtomicUsize::new(0),
+        })
+    }
+
+    fn validate(opts: &CoordinatorOptions) -> Result<()> {
+        if opts.shards == 0 || opts.rounds == 0 {
+            return Err(FnasError::InvalidConfig {
+                what: format!(
+                    "a coordinated run needs ≥ 1 shard and ≥ 1 round (got {} × {})",
+                    opts.shards, opts.rounds
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// The run fingerprint workers must present.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// This incarnation's epoch (0 for a fresh run or no journal).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Completed rounds restored from the journal at construction.
+    pub fn rounds_recovered(&self) -> u64 {
+        self.telemetry.snapshot().rounds_recovered
     }
 
     /// The coordinator's scheduling telemetry (process-local; the
@@ -188,6 +347,21 @@ impl Coordinator {
                 ),
             };
         }
+        // Epoch fence: a lease stamped by another incarnation is void.
+        // Its submission is discarded (the recovered round may have
+        // re-dispatched the shard under this epoch) and its heartbeat
+        // learns the lease is gone — both deterministically, before any
+        // state is touched.
+        match request {
+            Request::Submit { epoch, .. } if *epoch != self.epoch => {
+                self.telemetry.add_stale_submission_rejected();
+                return Response::Stale { epoch: self.epoch };
+            }
+            Request::Heartbeat { epoch, .. } if *epoch != self.epoch => {
+                return Response::Ack { still_yours: false };
+            }
+            _ => {}
+        }
         let mut state = self.state.lock().expect("coordinator lock");
         match request {
             Request::Poll { worker, .. } => self.poll(&mut state, worker),
@@ -217,6 +391,7 @@ impl Coordinator {
                 shard,
                 shard_count: self.opts.shards,
                 lease_ms: self.opts.lease.ttl_ms,
+                epoch: self.epoch,
                 init: state.init_bytes.clone(),
             },
             None => Response::Wait {
@@ -240,12 +415,19 @@ impl Coordinator {
         // against the recorded bytes — the byte-compare assertion holds
         // across the barrier, not just within a round.
         if round < state.round || state.finished.is_some() {
-            let recorded = state
-                .settled
-                .get(round as usize)
-                .and_then(|r| r.get(shard as usize));
+            // The recorded bytes live in the journal's spill files when
+            // one is attached (completed rounds are not kept in memory),
+            // in `state.settled` otherwise.
+            let recorded = match &state.journal {
+                Some(journal) => journal.load_spill(round, shard),
+                None => state
+                    .settled
+                    .get(round as usize)
+                    .and_then(|r| r.get(shard as usize))
+                    .cloned(),
+            };
             return match recorded {
-                Some(first) if first.as_slice() == bytes => {
+                Some(first) if first == bytes => {
                     self.telemetry.add_duplicate_result();
                     Response::Accepted { fresh: false }
                 }
@@ -273,14 +455,50 @@ impl Coordinator {
                 what: e.to_string(),
             },
             Ok(fresh) => {
-                if fresh && state.table.all_done() {
-                    if let Err(e) = self.advance(state) {
-                        return Response::Error {
-                            what: format!("round {} merge failed: {e}", state.round),
-                        };
+                if fresh {
+                    self.journal_settle(state, round, shard, bytes);
+                    if state.table.all_done() {
+                        if let Err(e) = self.advance(state) {
+                            return Response::Error {
+                                what: format!("round {} merge failed: {e}", state.round),
+                            };
+                        }
                     }
                 }
                 Response::Accepted { fresh }
+            }
+        }
+    }
+
+    /// Journals one fresh settlement: spill first, then the WAL record,
+    /// so a record in the clean prefix always has its spill. Soft-fails:
+    /// a failed write only means the settlement is re-earned after a
+    /// crash (bit-exactly, by determinism) — the live round proceeds.
+    fn journal_settle(&self, state: &mut RoundState, round: u64, shard: u32, bytes: &[u8]) {
+        let Some(journal) = state.journal.as_mut() else {
+            return;
+        };
+        let Ok(checksum) = journal.spill_shard(round, shard, bytes) else {
+            return;
+        };
+        let record = WalRecord::ShardSettled {
+            epoch: self.epoch,
+            round,
+            shard,
+            len: bytes.len() as u64,
+            checksum,
+        };
+        if journal.append(&record).is_ok() {
+            self.telemetry.add_journal_record();
+        }
+    }
+
+    /// Appends one record to the journal, if any, soft-failing like
+    /// [`Coordinator::journal_settle`].
+    fn journal_append(&self, state: &mut RoundState, record: WalRecord) {
+        if let Some(journal) = state.journal.as_mut() {
+            if journal.append(&record).is_ok() {
+                self.telemetry.add_journal_record();
             }
         }
     }
@@ -294,20 +512,41 @@ impl Coordinator {
             .into_iter()
             .map(<[u8]>::to_vec)
             .collect();
-        let parts = done
-            .iter()
-            .map(|b| SearchCheckpoint::from_bytes(b))
-            .collect::<Result<Vec<_>>>()?;
-        let merged = SearchCheckpoint::merge(&parts)?;
-        state.settled.push(done);
+        let merged = merge_settled(&done)?;
+        let merged_round = state.round;
+        if state.journal.is_some() {
+            let checksum = journal::checksum(&merged.to_bytes());
+            self.journal_append(
+                state,
+                WalRecord::RoundMerged {
+                    epoch: self.epoch,
+                    round: merged_round,
+                    checksum,
+                },
+            );
+        } else {
+            // No journal: the settled bytes must stay in memory for the
+            // cross-barrier byte-compare (journaled runs read the spill
+            // files instead).
+            state.settled.push(done);
+        }
         state.merges.push(merged);
         if state.round + 1 < self.opts.rounds {
             state.round += 1;
             let init = init_for_round(&self.base, state.round, state.merges.last())?;
             state.init_bytes = init.to_bytes();
             state.table = LeaseTable::new(self.opts.shards, self.opts.lease);
+            let round = state.round;
+            self.journal_append(
+                state,
+                WalRecord::RoundStarted {
+                    epoch: self.epoch,
+                    round,
+                },
+            );
         } else {
             state.finished = Some(accumulate(&self.base, &state.merges)?);
+            self.journal_append(state, WalRecord::Finished { epoch: self.epoch });
         }
         Ok(())
     }
@@ -377,6 +616,14 @@ impl Coordinator {
             },
         };
         let _ = write_frame(&mut stream, &response.to_bytes());
+        // Wait for the peer's close before ours so the TIME_WAIT state
+        // lands on the client's ephemeral port, not on our listen port.
+        // Otherwise every answered request parks a server-side TIME_WAIT
+        // entry that blocks a restarted coordinator from rebinding the
+        // same address for up to a minute — exactly the window a
+        // journaled restart (DESIGN.md §15) needs to reopen. Bounded by
+        // the read timeout above if the peer lingers.
+        let _ = stream.read(&mut [0u8; 1]);
     }
 }
 
@@ -446,6 +693,7 @@ mod tests {
             worker: "w".to_string(),
             round,
             shard,
+            epoch: coord.epoch(),
             fingerprint: coord.fingerprint(),
             bytes,
         })
@@ -573,6 +821,7 @@ mod tests {
                 worker: worker.to_string(),
                 round: 0,
                 shard: 0,
+                epoch: coord.epoch(),
                 fingerprint: coord.fingerprint(),
             })
         };
@@ -615,6 +864,130 @@ mod tests {
         opts.max_buffered_rounds = 0; // misconfigured: still one round's worth
         let coord = Coordinator::new(base(), 4, opts, clock).unwrap();
         assert_eq!(coord.submit_cap(), 3);
+    }
+
+    fn journaled(
+        shards: u32,
+        rounds: u64,
+        dir: &std::path::Path,
+    ) -> (Arc<Coordinator>, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let coord = Coordinator::with_journal(
+            base(),
+            4,
+            CoordinatorOptions::new(shards, rounds),
+            Arc::<ManualClock>::clone(&clock) as Arc<dyn Clock>,
+            dir,
+        )
+        .unwrap();
+        (Arc::new(coord), clock)
+    }
+
+    #[test]
+    fn journaled_coordinator_recovers_mid_round_and_fences_stale_epochs() {
+        let dir = tmp("journal-recovery");
+        let journal_dir = dir.join("journal");
+
+        // The uninterrupted reference: a plain in-memory coordinator.
+        let reference = {
+            let (coord, _) = coordinator(2, 2);
+            loop {
+                match poll(&coord, "ref") {
+                    r @ Response::Assign { .. } => {
+                        let (round, shard, bytes) = run_assignment(&dir, &r);
+                        submit(&coord, round, shard, bytes);
+                    }
+                    Response::Finished => break,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            coord.finished_checkpoint().unwrap().to_bytes()
+        };
+
+        // Incarnation 0: settle all of round 0 and shard 0 of round 1,
+        // then "crash" (drop without finishing). Keep one round-1 result
+        // aside to replay later under the dead epoch.
+        let stale_payload;
+        {
+            let (coord, _) = journaled(2, 2, &journal_dir);
+            assert_eq!(coord.epoch(), 0);
+            let a = run_assignment(&dir, &poll(&coord, "a"));
+            let b = run_assignment(&dir, &poll(&coord, "b"));
+            submit(&coord, a.0, a.1, a.2);
+            submit(&coord, b.0, b.1, b.2);
+            let c = run_assignment(&dir, &poll(&coord, "c"));
+            assert_eq!(c.0, 1, "round 0 merged, round 1 dispatched");
+            let d = run_assignment(&dir, &poll(&coord, "d"));
+            submit(&coord, c.0, c.1, c.2);
+            stale_payload = d;
+        }
+
+        // Incarnation 1 recovers: round 0 stays merged, round 1 resumes
+        // with shard 0 settled and shard 1 back in the pool.
+        let (coord, _) = journaled(2, 2, &journal_dir);
+        assert_eq!(coord.epoch(), 1);
+        assert_eq!(coord.rounds_recovered(), 1);
+
+        // The pre-crash in-flight submission carries epoch 0: fenced,
+        // counted, and the shard stays unsettled.
+        let (round, shard, bytes) = stale_payload;
+        let stale = coord.handle(&Request::Submit {
+            worker: "d".to_string(),
+            round,
+            shard,
+            epoch: 0,
+            fingerprint: coord.fingerprint(),
+            bytes: bytes.clone(),
+        });
+        assert_eq!(stale, Response::Stale { epoch: 1 });
+        let t = coord.telemetry().snapshot();
+        assert_eq!(t.stale_submissions_rejected, 1);
+        assert!(coord.finished_checkpoint().is_none(), "nothing settled");
+        // A stale heartbeat likewise learns its lease is void.
+        assert!(matches!(
+            coord.handle(&Request::Heartbeat {
+                worker: "d".to_string(),
+                round,
+                shard,
+                epoch: 0,
+                fingerprint: coord.fingerprint(),
+            }),
+            Response::Ack { still_yours: false }
+        ));
+
+        // A current-epoch worker picks up exactly the unsettled shard
+        // and the run completes byte-identical to the reference.
+        let e = run_assignment(&dir, &poll(&coord, "e"));
+        assert_eq!((e.0, e.1), (1, 1), "only shard 1 of round 1 is open");
+        submit(&coord, e.0, e.1, e.2);
+        assert_eq!(coord.finished_checkpoint().unwrap().to_bytes(), reference);
+
+        // A third incarnation over the finished journal recovers the
+        // artifact outright, again byte-identical.
+        let (coord, _) = journaled(2, 2, &journal_dir);
+        assert_eq!(coord.epoch(), 2);
+        assert_eq!(coord.rounds_recovered(), 2);
+        assert_eq!(coord.finished_checkpoint().unwrap().to_bytes(), reference);
+        assert!(matches!(poll(&coord, "late"), Response::Finished));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn journal_from_a_different_run_is_rejected() {
+        let dir = tmp("journal-mismatch");
+        let journal_dir = dir.join("journal");
+        let _ = journaled(2, 2, &journal_dir);
+        let clock: Arc<dyn Clock> = Arc::new(ManualClock::new());
+        let err = Coordinator::with_journal(
+            base().with_seed(6),
+            4,
+            CoordinatorOptions::new(2, 2),
+            clock,
+            &journal_dir,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("belongs to run"), "{err}");
+        std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]

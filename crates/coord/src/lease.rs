@@ -229,6 +229,17 @@ impl LeaseTable {
         }
     }
 
+    /// Pre-settles `shard` with bytes recovered from the journal during
+    /// replay. Unlike [`LeaseTable::submit`] this charges nothing to
+    /// telemetry (the settlement was already counted by the incarnation
+    /// that earned it) and silently overwrites — replay is the sole
+    /// writer at recovery time and journal order is authoritative.
+    pub fn restore_done(&mut self, shard: u32, bytes: Vec<u8>) {
+        if let Some(slot) = self.slots.get_mut(shard as usize) {
+            *slot = Slot::Done(bytes);
+        }
+    }
+
     /// Whether every shard has settled.
     pub fn all_done(&self) -> bool {
         self.slots.iter().all(|s| matches!(s, Slot::Done(_)))
@@ -363,6 +374,20 @@ mod tests {
         assert!(!t.all_done());
         assert!(t.submit(1, vec![2], &tel).unwrap());
         assert_eq!(t.done_bytes().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn restored_shards_are_settled_and_absorb_late_replicas() {
+        let (mut t, tel) = table(2);
+        t.restore_done(0, vec![4, 5]);
+        assert!(!t.all_done());
+        // The restored shard never re-assigns; the other one still does.
+        assert_eq!(t.assign("a", 0, &tel), Some(1));
+        // A late replica of the restored shard is absorbed as usual.
+        assert!(!t.submit(0, vec![4, 5], &tel).unwrap());
+        assert_eq!(tel.snapshot().duplicate_results, 1);
+        // Restore itself ignores out-of-range shards.
+        t.restore_done(9, vec![1]);
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`proto`] / [`framing`] — a stateless request–response protocol in
 //!   length-prefixed frames over `TcpStream`; std only, no async.
 //! * [`lease`] — the TTL / straggler / first-wins bookkeeping.
+//! * [`journal`] — the crash-safe write-ahead round journal: every
+//!   committed transition WAL-logged, settled shard bytes spilled to
+//!   checksummed files, so `fnas-coord --journal-dir` restarts into the
+//!   same round with the same settlements (DESIGN.md §15).
 //! * [`clock`] — the trait fencing wall-clock time into the lease layer
 //!   (shard results never read time; see `fnas_exec::watchdog` for the
 //!   logical-tick side of that boundary).
@@ -33,6 +37,7 @@
 pub mod clock;
 pub mod coordinator;
 pub mod framing;
+pub mod journal;
 pub mod lease;
 pub mod proto;
 pub mod rounds;
@@ -40,7 +45,8 @@ pub mod worker;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use coordinator::{Coordinator, CoordinatorOptions};
+pub use journal::{Journal, JournalStat, JournalVerifyReport, WalRecord};
 pub use lease::{LeasePolicy, LeaseTable};
 pub use proto::{config_fingerprint, Request, Response};
-pub use rounds::{accumulate, init_for_round, run_round_shard, run_rounds_local};
+pub use rounds::{accumulate, init_for_round, merge_settled, run_round_shard, run_rounds_local};
 pub use worker::{run_worker, WorkerOptions, WorkerReport};

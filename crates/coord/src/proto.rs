@@ -50,6 +50,9 @@ pub enum Request {
         round: u64,
         /// Index of the leased shard.
         shard: u32,
+        /// Coordinator epoch echoed from the [`Response::Assign`] that
+        /// issued the lease (epoch fencing, DESIGN.md §15).
+        epoch: u64,
         /// [`config_fingerprint`] of the worker's flags.
         fingerprint: u64,
     },
@@ -62,6 +65,10 @@ pub enum Request {
         round: u64,
         /// Shard index the checkpoint belongs to.
         shard: u32,
+        /// Coordinator epoch echoed from the [`Response::Assign`] that
+        /// issued the lease; a restarted coordinator rejects stale
+        /// epochs with [`Response::Stale`].
+        epoch: u64,
         /// [`config_fingerprint`] of the worker's flags.
         fingerprint: u64,
         /// The shard's final checkpoint, as saved by `ShardRunner`.
@@ -82,6 +89,11 @@ pub enum Response {
         shard_count: u32,
         /// Lease TTL; heartbeat faster than this or lose the lease.
         lease_ms: u64,
+        /// Coordinator epoch issuing this lease. Workers echo it in
+        /// every [`Request::Heartbeat`] and [`Request::Submit`] for the
+        /// lease, so a restarted coordinator (higher epoch) can fence
+        /// off in-flight work dispatched before its crash.
+        epoch: u64,
         /// The round's init snapshot (FNASCKPT bytes).
         init: Vec<u8>,
     },
@@ -119,6 +131,15 @@ pub enum Response {
     Retry {
         /// Suggested delay before resubmitting.
         backoff_ms: u64,
+    },
+    /// The request's epoch predates this coordinator incarnation: the
+    /// lease it refers to was issued before a crash and restart, and the
+    /// recovered round may have re-dispatched the shard. The submission
+    /// is discarded without settling anything; the worker should drop
+    /// its result and poll for a fresh (current-epoch) assignment.
+    Stale {
+        /// The coordinator's current epoch.
+        epoch: u64,
     },
 }
 
@@ -227,6 +248,7 @@ const TAG_ACK: u8 = 13;
 const TAG_ACCEPTED: u8 = 14;
 const TAG_ERROR: u8 = 15;
 const TAG_RETRY: u8 = 16;
+const TAG_STALE: u8 = 17;
 
 impl Request {
     /// Serialises the request to one frame payload.
@@ -245,18 +267,21 @@ impl Request {
                 worker,
                 round,
                 shard,
+                epoch,
                 fingerprint,
             } => {
                 w.u8(TAG_HEARTBEAT);
                 w.str(worker);
                 w.u64(*round);
                 w.u32(*shard);
+                w.u64(*epoch);
                 w.u64(*fingerprint);
             }
             Request::Submit {
                 worker,
                 round,
                 shard,
+                epoch,
                 fingerprint,
                 bytes,
             } => {
@@ -264,6 +289,7 @@ impl Request {
                 w.str(worker);
                 w.u64(*round);
                 w.u32(*shard);
+                w.u64(*epoch);
                 w.u64(*fingerprint);
                 w.bytes(bytes);
             }
@@ -288,12 +314,14 @@ impl Request {
                 worker: r.str()?,
                 round: r.u64()?,
                 shard: r.u32()?,
+                epoch: r.u64()?,
                 fingerprint: r.u64()?,
             },
             TAG_SUBMIT => Request::Submit {
                 worker: r.str()?,
                 round: r.u64()?,
                 shard: r.u32()?,
+                epoch: r.u64()?,
                 fingerprint: r.u64()?,
                 bytes: r.bytes()?,
             },
@@ -314,6 +342,7 @@ impl Response {
                 shard,
                 shard_count,
                 lease_ms,
+                epoch,
                 init,
             } => {
                 w.u8(TAG_ASSIGN);
@@ -321,6 +350,7 @@ impl Response {
                 w.u32(*shard);
                 w.u32(*shard_count);
                 w.u64(*lease_ms);
+                w.u64(*epoch);
                 w.bytes(init);
             }
             Response::Wait { backoff_ms } => {
@@ -344,6 +374,10 @@ impl Response {
                 w.u8(TAG_RETRY);
                 w.u64(*backoff_ms);
             }
+            Response::Stale { epoch } => {
+                w.u8(TAG_STALE);
+                w.u64(*epoch);
+            }
         }
         w.0
     }
@@ -362,6 +396,7 @@ impl Response {
                 shard: r.u32()?,
                 shard_count: r.u32()?,
                 lease_ms: r.u64()?,
+                epoch: r.u64()?,
                 init: r.bytes()?,
             },
             TAG_WAIT => Response::Wait {
@@ -378,6 +413,7 @@ impl Response {
             TAG_RETRY => Response::Retry {
                 backoff_ms: r.u64()?,
             },
+            TAG_STALE => Response::Stale { epoch: r.u64()? },
             tag => return Err(corrupt(&format!("unknown response tag {tag}"))),
         };
         r.done()?;
@@ -401,12 +437,14 @@ mod tests {
                 worker: "w".to_string(),
                 round: 3,
                 shard: 2,
+                epoch: 1,
                 fingerprint: 7,
             },
             Request::Submit {
                 worker: "w".to_string(),
                 round: 1,
                 shard: 0,
+                epoch: 2,
                 fingerprint: 7,
                 bytes: vec![1, 2, 3],
             },
@@ -424,6 +462,7 @@ mod tests {
                 shard: 1,
                 shard_count: 4,
                 lease_ms: 5000,
+                epoch: 3,
                 init: vec![9; 64],
             },
             Response::Wait { backoff_ms: 100 },
@@ -434,6 +473,7 @@ mod tests {
                 what: "nope".to_string(),
             },
             Response::Retry { backoff_ms: 250 },
+            Response::Stale { epoch: 4 },
         ];
         for m in msgs {
             assert_eq!(Response::from_bytes(&m.to_bytes()).unwrap(), m);

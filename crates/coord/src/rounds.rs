@@ -141,6 +141,24 @@ pub fn run_round_shard_stored(
     Ok(std::fs::read(shard_path)?)
 }
 
+/// Decodes one round's byte-settled shards (in shard order) and merges
+/// them. The one code path behind every round barrier — live settlement
+/// in the coordinator and journal replay after a restart call exactly
+/// this, which is what makes a recovered merge byte-identical to the
+/// one the crashed incarnation would have computed.
+///
+/// # Errors
+///
+/// Checkpoint decode errors and [`SearchCheckpoint::merge`] validation
+/// errors (mismatched parents, wrong shard count).
+pub fn merge_settled(done: &[Vec<u8>]) -> Result<SearchCheckpoint> {
+    let parts = done
+        .iter()
+        .map(|b| SearchCheckpoint::from_bytes(b))
+        .collect::<Result<Vec<_>>>()?;
+    SearchCheckpoint::merge(&parts)
+}
+
 /// Folds the per-round merged checkpoints into the run's final artifact.
 ///
 /// Trials concatenate in round order (re-indexed), cost and episode

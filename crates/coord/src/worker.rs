@@ -82,32 +82,58 @@ pub struct WorkerReport {
     pub fresh_results: u64,
     /// Submissions absorbed as byte-identical duplicates.
     pub duplicate_results: u64,
+    /// Results discarded because their lease predated a coordinator
+    /// restart ([`Response::Stale`] — the recovered round re-earns the
+    /// shard under the new epoch).
+    pub stale_results: u64,
     /// `true` when the run ended because the coordinator went away
     /// after this worker had already contributed (treated as a normal
     /// exit: the run is over).
     pub coordinator_lost: bool,
 }
 
-/// One request–response exchange on a fresh connection.
+/// Cap on the exponential backoff between request attempts.
+const MAX_RETRY_BACKOFF_MS: u64 = 2_000;
+
+/// One request–response exchange on a fresh connection, attempted once.
+fn exchange(opts: &WorkerOptions, req: &Request) -> Result<Response> {
+    let mut stream = TcpStream::connect(&opts.addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    write_frame(&mut stream, &req.to_bytes())?;
+    Response::from_bytes(&read_frame(&mut stream)?)
+}
+
+/// One request–response exchange, retried under the worker's budget.
+///
+/// The *whole* exchange retries, not just the connect: a coordinator
+/// dying between accept and reply — or down for a restart with its
+/// journal — surfaces as a mid-exchange I/O error, and that is exactly
+/// as transient as a refused connection. Protocol errors (malformed
+/// frames, rejections) never improve and propagate immediately. Backoff
+/// is exponential from `connect_backoff_ms`, capped at 2 s per sleep,
+/// so the default budget (20 attempts × 100 ms base) rides out roughly
+/// half a minute of coordinator downtime.
 fn request(opts: &WorkerOptions, req: &Request) -> Result<Response> {
-    let mut last: Option<std::io::Error> = None;
-    for _ in 0..opts.connect_retries.max(1) {
-        match TcpStream::connect(&opts.addr) {
-            Ok(mut stream) => {
-                stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-                stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-                write_frame(&mut stream, &req.to_bytes())?;
-                return Response::from_bytes(&read_frame(&mut stream)?);
-            }
-            Err(e) => {
-                last = Some(e);
-                std::thread::sleep(Duration::from_millis(opts.connect_backoff_ms));
-            }
+    let mut backoff = opts.connect_backoff_ms.max(1);
+    let mut last: Option<FnasError> = None;
+    for attempt in 0..opts.connect_retries.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(backoff));
+            backoff = backoff.saturating_mul(2).min(MAX_RETRY_BACKOFF_MS);
+        }
+        match exchange(opts, req) {
+            Ok(response) => return Ok(response),
+            Err(e @ FnasError::Io(_)) => last = Some(e),
+            Err(e) => return Err(e),
         }
     }
-    Err(FnasError::Io(last.unwrap_or_else(|| {
-        std::io::Error::new(std::io::ErrorKind::NotConnected, "no connection attempts")
-    })))
+    Err(last.unwrap_or_else(|| {
+        FnasError::Io(std::io::Error::new(
+            std::io::ErrorKind::NotConnected,
+            "no connection attempts",
+        ))
+    }))
 }
 
 /// Runs the worker loop against a coordinator until the run finishes.
@@ -164,6 +190,7 @@ pub fn run_worker(
                 round,
                 shard,
                 shard_count,
+                epoch,
                 init,
                 ..
             } => {
@@ -188,6 +215,7 @@ pub fn run_worker(
                         worker: worker.name.clone(),
                         round,
                         shard,
+                        epoch,
                         fingerprint,
                     };
                     std::thread::spawn(move || {
@@ -212,6 +240,7 @@ pub fn run_worker(
                     worker: worker.name.clone(),
                     round,
                     shard,
+                    epoch,
                     fingerprint,
                     bytes,
                 };
@@ -230,6 +259,13 @@ pub fn run_worker(
                         // the result stays ours — back off and resubmit.
                         Response::Retry { backoff_ms } => {
                             std::thread::sleep(Duration::from_millis(backoff_ms.clamp(10, 1_000)));
+                        }
+                        // The coordinator restarted since this lease was
+                        // issued; the recovered round settles the shard
+                        // under the new epoch. Drop the result, re-poll.
+                        Response::Stale { .. } => {
+                            report.stale_results += 1;
+                            break;
                         }
                         Response::Error { what } => {
                             return Err(FnasError::InvalidConfig {

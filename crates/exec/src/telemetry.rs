@@ -41,6 +41,9 @@ pub struct SearchTelemetry {
     leases_expired: AtomicU64,
     shards_redispatched: AtomicU64,
     duplicate_results: AtomicU64,
+    journal_records: AtomicU64,
+    rounds_recovered: AtomicU64,
+    stale_submissions_rejected: AtomicU64,
     analyzer_calls: AtomicU64,
     train_calls: AtomicU64,
     latency_cache_hits: AtomicU64,
@@ -135,6 +138,24 @@ impl SearchTelemetry {
         self.duplicate_results.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one record appended to the coordinator's round journal.
+    pub fn add_journal_record(&self) {
+        self.journal_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` completed rounds resumed from the round journal on
+    /// coordinator restart instead of being re-run.
+    pub fn add_rounds_recovered(&self, n: u64) {
+        self.rounds_recovered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one submission rejected by epoch fencing: it was produced
+    /// under a lease issued by a previous coordinator incarnation.
+    pub fn add_stale_submission_rejected(&self) {
+        self.stale_submissions_rejected
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Pre-loads the logical counters from a snapshot (checkpoint resume):
     /// everything except cache traffic, analyzer calls and wall times,
     /// which describe work actually performed by *this* process and are
@@ -225,6 +246,12 @@ impl SearchTelemetry {
         add(&self.leases_expired, s.leases_expired);
         add(&self.shards_redispatched, s.shards_redispatched);
         add(&self.duplicate_results, s.duplicate_results);
+        add(&self.journal_records, s.journal_records);
+        add(&self.rounds_recovered, s.rounds_recovered);
+        add(
+            &self.stale_submissions_rejected,
+            s.stale_submissions_rejected,
+        );
         add(&self.analyzer_calls, s.analyzer_calls);
         add(&self.train_calls, s.train_calls);
         add(&self.latency_cache_hits, s.latency_cache_hits);
@@ -279,6 +306,9 @@ impl SearchTelemetry {
             leases_expired: load(&self.leases_expired),
             shards_redispatched: load(&self.shards_redispatched),
             duplicate_results: load(&self.duplicate_results),
+            journal_records: load(&self.journal_records),
+            rounds_recovered: load(&self.rounds_recovered),
+            stale_submissions_rejected: load(&self.stale_submissions_rejected),
             analyzer_calls: load(&self.analyzer_calls),
             train_calls: load(&self.train_calls),
             latency_cache_hits: load(&self.latency_cache_hits),
@@ -349,6 +379,15 @@ pub struct TelemetrySnapshot {
     /// Duplicate shard completions discarded first-wins after the
     /// byte-compare assertion (coordinator-side).
     pub duplicate_results: u64,
+    /// Records appended to the coordinator's crash-safe round journal
+    /// (coordinator-side; never persisted into checkpoints).
+    pub journal_records: u64,
+    /// Completed rounds resumed from the round journal on coordinator
+    /// restart instead of being re-run (coordinator-side).
+    pub rounds_recovered: u64,
+    /// Submissions rejected by epoch fencing because they were produced
+    /// under a previous coordinator incarnation (coordinator-side).
+    pub stale_submissions_rejected: u64,
     /// Uncached FNAS-tool (analyzer) invocations.
     pub analyzer_calls: u64,
     /// Accuracy-oracle invocations.
@@ -414,6 +453,11 @@ impl TelemetrySnapshot {
             duplicate_results: self
                 .duplicate_results
                 .saturating_add(other.duplicate_results),
+            journal_records: self.journal_records.saturating_add(other.journal_records),
+            rounds_recovered: self.rounds_recovered.saturating_add(other.rounds_recovered),
+            stale_submissions_rejected: self
+                .stale_submissions_rejected
+                .saturating_add(other.stale_submissions_rejected),
             analyzer_calls: self.analyzer_calls.saturating_add(other.analyzer_calls),
             train_calls: self.train_calls.saturating_add(other.train_calls),
             latency_cache_hits: self
@@ -537,6 +581,11 @@ impl fmt::Display for TelemetrySnapshot {
         )?;
         writeln!(
             f,
+            "journal: {} records | {} rounds recovered | {} stale submissions rejected",
+            self.journal_records, self.rounds_recovered, self.stale_submissions_rejected,
+        )?;
+        writeln!(
+            f,
             "store: {}/{} hits ({:.0}%) | writes {} | evictions {} | {} bytes on disk",
             self.store_hits,
             self.store_hits + self.store_misses,
@@ -586,6 +635,11 @@ mod tests {
         t.add_shard_redispatched();
         t.add_shard_redispatched();
         t.add_duplicate_result();
+        t.add_journal_record();
+        t.add_journal_record();
+        t.add_journal_record();
+        t.add_rounds_recovered(2);
+        t.add_stale_submission_rejected();
         let s = t.snapshot();
         assert_eq!(s.children_sampled, 10);
         assert_eq!(s.children_pruned, 2);
@@ -600,6 +654,9 @@ mod tests {
         assert_eq!(s.leases_expired, 1);
         assert_eq!(s.shards_redispatched, 2);
         assert_eq!(s.duplicate_results, 1);
+        assert_eq!(s.journal_records, 3);
+        assert_eq!(s.rounds_recovered, 2);
+        assert_eq!(s.stale_submissions_rejected, 1);
         assert_eq!(s.analyzer_calls, 5);
         assert_eq!(s.train_calls, 3);
         assert_eq!(s.prune_rate(), 0.2);
@@ -664,6 +721,7 @@ mod tests {
         assert!(text.contains("latency cache"));
         assert!(text.contains("faults:"));
         assert!(text.contains("coord:"));
+        assert!(text.contains("journal:"));
         assert!(text.contains("store:"));
         assert!(text.contains("bytes on disk"));
         assert!(text.contains("wall:"));
@@ -709,6 +767,9 @@ mod tests {
             leases_expired: base * 5,
             shards_redispatched: u64::MAX - base * 7,
             duplicate_results: base,
+            journal_records: base * 13,
+            rounds_recovered: base,
+            stale_submissions_rejected: u64::MAX - base * 2,
             store_hits: base * 11,
             store_writes: u64::MAX - base * 3,
             store_bytes: base * 1000, // merged as max, still commutative

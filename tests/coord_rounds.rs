@@ -8,15 +8,16 @@
 //! computes; it can never change what the result is.
 
 use std::net::{TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use fnas::experiment::ExperimentPreset;
 use fnas::search::{BatchOptions, SearchConfig, ShardSpec};
 use fnas_coord::framing::{read_frame, write_frame};
 use fnas_coord::{
-    init_for_round, run_rounds_local, run_worker, Clock, Coordinator, CoordinatorOptions,
-    LeasePolicy, Request, Response, WallClock, WorkerOptions,
+    init_for_round, journal, merge_settled, run_round_shard, run_rounds_local, run_worker, Clock,
+    Coordinator, CoordinatorOptions, Journal, LeasePolicy, Request, Response, WallClock,
+    WorkerOptions,
 };
 use proptest::prelude::*;
 
@@ -181,6 +182,279 @@ fn straggler_replicas_settle_first_wins_and_match_sequential_bytes() {
         "worker/coordinator books agree"
     );
     assert_eq!(t.leases_expired, 0, "nothing expired under a 5s TTL: {t:?}");
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+/// One request–response exchange over a fresh connection, the way a
+/// real worker (or a pre-crash straggler) talks to the coordinator.
+fn rpc(addr: &str, request: &Request) -> Response {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write_frame(&mut stream, &request.to_bytes()).unwrap();
+    Response::from_bytes(&read_frame(&mut stream).unwrap()).unwrap()
+}
+
+/// Precomputes every shard result of a `shards × 2` run plus the
+/// round-1 init, so tests can play submissions in any incarnation
+/// without re-deriving them (determinism makes these *the* bytes any
+/// worker would produce).
+fn precompute_shards(dir: &Path, shards: u32) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let shard = |round: u64, s: u32, init: &fnas::checkpoint::SearchCheckpoint| {
+        run_round_shard(
+            &base(),
+            round,
+            ShardSpec::new(s, shards).unwrap(),
+            init,
+            &opts(),
+            &dir.join(format!("pre-{round}-{s}.ckpt")),
+        )
+        .unwrap()
+    };
+    let init0 = init_for_round(&base(), 0, None).unwrap();
+    let r0: Vec<Vec<u8>> = (0..shards).map(|s| shard(0, s, &init0)).collect();
+    let init1 = init_for_round(&base(), 1, Some(&merge_settled(&r0).unwrap())).unwrap();
+    let r1: Vec<Vec<u8>> = (0..shards).map(|s| shard(1, s, &init1)).collect();
+    (r0, r1)
+}
+
+/// The HA contract end to end: incarnation A journals round 0 and one
+/// shard of round 1 over real TCP, "crashes" (abandoned mid-round),
+/// and incarnation B on the same journal dir — but a fresh port —
+/// resumes exactly where A stopped, fences A's in-flight results by
+/// epoch, and finishes **byte-identical** to the sequential reference
+/// with `workers` live workers.
+fn kill_restart_recovery(worker_names: &[&str], tag: &str) {
+    let dir = tmp(tag);
+    let wal_dir = dir.join("wal");
+    let reference = run_rounds_local(&base(), &opts(), SHARDS, ROUNDS, &dir.join("local"))
+        .unwrap()
+        .to_bytes();
+    let (r0, r1) = precompute_shards(&dir, SHARDS);
+
+    let coord_opts = CoordinatorOptions {
+        shards: SHARDS,
+        rounds: ROUNDS,
+        lease: LeasePolicy::with_ttl_ms(5_000),
+        backoff_ms: 20,
+        linger_ms: 1_500,
+        max_buffered_rounds: 2,
+    };
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+
+    // Incarnation A: epoch 0, cold start. Settles all of round 0 and
+    // shard 0 of round 1 over the wire, then is abandoned mid-round —
+    // its serve thread is never joined, the wire-level shape of a
+    // SIGKILL. Only the journal directory survives it.
+    let listener_a = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr_a = listener_a.local_addr().unwrap().to_string();
+    let coord_a = Arc::new(
+        Coordinator::with_journal(base(), 3, coord_opts.clone(), Arc::clone(&clock), &wal_dir)
+            .unwrap(),
+    );
+    assert_eq!((coord_a.epoch(), coord_a.rounds_recovered()), (0, 0));
+    let fingerprint = coord_a.fingerprint();
+    {
+        let coord = Arc::clone(&coord_a);
+        std::thread::spawn(move || coord.serve(listener_a));
+    }
+    for (s, bytes) in r0.iter().enumerate() {
+        let response = rpc(
+            &addr_a,
+            &Request::Submit {
+                worker: "pilot".to_string(),
+                round: 0,
+                shard: s as u32,
+                epoch: 0,
+                fingerprint,
+                bytes: bytes.clone(),
+            },
+        );
+        assert_eq!(
+            response,
+            Response::Accepted { fresh: true },
+            "round 0 shard {s}"
+        );
+    }
+    let response = rpc(
+        &addr_a,
+        &Request::Submit {
+            worker: "pilot".to_string(),
+            round: 1,
+            shard: 0,
+            epoch: 0,
+            fingerprint,
+            bytes: r1[0].clone(),
+        },
+    );
+    assert_eq!(response, Response::Accepted { fresh: true });
+
+    // Incarnation B: same journal dir, fresh port. It must come up in
+    // round 1 with shard 0 already settled, at the next epoch.
+    let listener_b = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr_b = listener_b.local_addr().unwrap().to_string();
+    let coord_b = Arc::new(
+        Coordinator::with_journal(base(), 3, coord_opts, Arc::clone(&clock), &wal_dir).unwrap(),
+    );
+    assert_eq!(coord_b.epoch(), 1, "restart takes the next epoch");
+    assert_eq!(coord_b.rounds_recovered(), 1, "round 0 replays from spills");
+    let serve_b = {
+        let coord = Arc::clone(&coord_b);
+        std::thread::spawn(move || coord.serve(listener_b))
+    };
+
+    // A result dispatched by incarnation A arrives late, carrying A's
+    // epoch. Even though its bytes are exactly right, it is fenced —
+    // rejected deterministically, counted, and the shard stays open for
+    // a live worker to re-earn.
+    let stale = rpc(
+        &addr_b,
+        &Request::Submit {
+            worker: "ghost-of-epoch-0".to_string(),
+            round: 1,
+            shard: 1,
+            epoch: 0,
+            fingerprint,
+            bytes: r1[1].clone(),
+        },
+    );
+    assert_eq!(stale, Response::Stale { epoch: 1 });
+
+    let workers: Vec<_> = worker_names
+        .iter()
+        .map(|name| {
+            let mut w = WorkerOptions::new(addr_b.clone(), *name, dir.join(name));
+            w.heartbeat_ms = 50;
+            std::thread::spawn(move || run_worker(&base(), &opts(), &w, SHARDS, ROUNDS))
+        })
+        .collect();
+    let merged = serve_b.join().unwrap().unwrap();
+    let mut fresh = 0;
+    for handle in workers {
+        fresh += handle.join().unwrap().unwrap().fresh_results;
+    }
+
+    assert_eq!(
+        merged.to_bytes(),
+        reference,
+        "recovered run must be byte-identical to the uninterrupted one"
+    );
+    // Exactly round 1's shards 1 and 2 were re-earned live: the fenced
+    // submission never settled anything, and the recovered settlements
+    // were not recomputed.
+    assert_eq!(fresh, u64::from(SHARDS) - 1);
+    let t = coord_b.telemetry().snapshot();
+    assert_eq!(t.stale_submissions_rejected, 1);
+    assert_eq!(t.rounds_recovered, 1);
+    let report = Journal::verify(&wal_dir).unwrap();
+    assert!(report.is_ok(), "journal ends clean: {report:?}");
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn coordinator_killed_mid_round_recovers_byte_identical_one_worker() {
+    kill_restart_recovery(&["w1"], "ha-1w");
+}
+
+#[test]
+fn coordinator_killed_mid_round_recovers_byte_identical_three_workers() {
+    kill_restart_recovery(&["w1", "w2", "w3"], "ha-3w");
+}
+
+/// Crash-anywhere coverage: a full journaled run is recorded, then the
+/// WAL is cut at **every byte offset** and recovered. Every prefix must
+/// come up cleanly (a torn tail is data loss, never an error), answer
+/// each settlement the prefix already holds as a duplicate (never a
+/// fresh double settle), and — at each record boundary — drive to a
+/// final checkpoint byte-identical to the reference.
+#[test]
+fn every_journal_prefix_recovers_cleanly_without_double_settles() {
+    const P_SHARDS: u32 = 2;
+    let dir = tmp("prefix");
+    let wal_dir = dir.join("wal");
+    let reference = run_rounds_local(&base(), &opts(), P_SHARDS, ROUNDS, &dir.join("local"))
+        .unwrap()
+        .to_bytes();
+    let (r0, r1) = precompute_shards(&dir, P_SHARDS);
+    let bytes_for =
+        |round: u64, shard: u32| (if round == 0 { &r0 } else { &r1 })[shard as usize].clone();
+
+    let coord_opts = CoordinatorOptions {
+        shards: P_SHARDS,
+        rounds: ROUNDS,
+        lease: LeasePolicy::with_ttl_ms(5_000),
+        backoff_ms: 20,
+        linger_ms: 0,
+        max_buffered_rounds: 2,
+    };
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+
+    // Record one complete journaled run (spills for every shard, WAL
+    // through `Finished`), driven through the protocol handler.
+    let coord =
+        Coordinator::with_journal(base(), 3, coord_opts.clone(), Arc::clone(&clock), &wal_dir)
+            .unwrap();
+    let fingerprint = coord.fingerprint();
+    let submit = |coord: &Coordinator, round: u64, shard: u32| {
+        coord.handle(&Request::Submit {
+            worker: "driver".to_string(),
+            round,
+            shard,
+            epoch: coord.epoch(),
+            fingerprint,
+            bytes: bytes_for(round, shard),
+        })
+    };
+    for round in 0..ROUNDS {
+        for shard in 0..P_SHARDS {
+            assert_eq!(
+                submit(&coord, round, shard),
+                Response::Accepted { fresh: true }
+            );
+        }
+    }
+    assert_eq!(coord.finished_checkpoint().unwrap().to_bytes(), reference);
+    drop(coord);
+
+    let full_wal = std::fs::read(journal::wal_path(&wal_dir)).unwrap();
+    for cut in 0..=full_wal.len() {
+        // Simulate a crash that left only `cut` bytes of WAL (spill
+        // files all survive — they are published atomically).
+        std::fs::write(journal::wal_path(&wal_dir), &full_wal[..cut]).unwrap();
+        let (records, clean) = journal::decode_journal(&full_wal[..cut]);
+        let plan = journal::replay(&records);
+        let coord =
+            Coordinator::with_journal(base(), 3, coord_opts.clone(), Arc::clone(&clock), &wal_dir)
+                .unwrap_or_else(|e| panic!("prefix of {cut} bytes must recover, got: {e}"));
+        assert_eq!(coord.epoch(), plan.next_epoch, "prefix of {cut} bytes");
+
+        // Nothing the prefix already settled may settle again.
+        for &(round, shard, _, _) in &plan.settled {
+            assert_eq!(
+                submit(&coord, round, shard),
+                Response::Accepted { fresh: false },
+                "prefix of {cut} bytes: round {round} shard {shard} double-settled"
+            );
+        }
+
+        // At record boundaries (the only prefixes a real crash of our
+        // own fsync'd appends can leave beyond torn tails), finish the
+        // run and pin byte identity.
+        if clean == cut {
+            for round in 0..ROUNDS {
+                for shard in 0..P_SHARDS {
+                    let response = submit(&coord, round, shard);
+                    assert!(
+                        matches!(response, Response::Accepted { .. }),
+                        "prefix of {cut} bytes: round {round} shard {shard}: {response:?}"
+                    );
+                }
+            }
+            assert_eq!(
+                coord.finished_checkpoint().unwrap().to_bytes(),
+                reference,
+                "prefix of {cut} bytes: drive-to-completion diverged"
+            );
+        }
+    }
     std::fs::remove_dir_all(dir).unwrap();
 }
 

@@ -11,21 +11,50 @@
 //! batch engine's workers share one evaluator without serialising on a
 //! single map lock and without ever rebuilding a stage another consumer
 //! already produced. Backends are selected per call through the
-//! [`LatencyModel`] trait ([`Analytic`] / [`Simulated`]).
+//! [`LatencyModel`] trait ([`Analytic`] / [`Simulated`] /
+//! [`PartitionedSim`]).
+//!
+//! The evaluator also meters the pass pipeline: per-pass wall time
+//! (design / taskgraph / partition / schedule / sim) and the partitioned
+//! simulator's region statistics are accumulated into [`PassCounters`]
+//! for the search telemetry.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use fnas_controller::arch::ChildArch;
-use fnas_exec::ShardedCache;
+use fnas_exec::{Executor, ShardedCache};
 use fnas_fpga::analyzer::AnalyzerReport;
 use fnas_fpga::artifacts::{HwArtifacts, LatencyModel};
 use fnas_fpga::design::PipelineDesign;
 use fnas_fpga::device::{FpgaCluster, FpgaDevice};
+use fnas_fpga::passes::{canonical_pipeline_fingerprint, DEFAULT_PARTITIONS};
 use fnas_fpga::Millis;
 use fnas_store::{digest128, Backend, CacheKey, NullStore, Store, StoreCounters};
 
-pub use fnas_fpga::artifacts::{Analytic, Simulated};
+pub use fnas_fpga::artifacts::{Analytic, PartitionedSim, Simulated};
+
+/// Accumulated pass-pipeline work performed by one evaluator: wall time
+/// per pass plus the partitioned simulator's region statistics. Counts
+/// only *uncached* executions (memo and store hits charge nothing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassCounters {
+    /// Nanoseconds spent in the `design` pass.
+    pub design_ns: u64,
+    /// Nanoseconds spent in the `taskgraph` pass.
+    pub graph_ns: u64,
+    /// Nanoseconds spent in the `partition` pass.
+    pub partition_ns: u64,
+    /// Nanoseconds spent in the `schedule` pass.
+    pub schedule_ns: u64,
+    /// Nanoseconds spent in the `sim` pass (either backend).
+    pub sim_ns: u64,
+    /// Regions built by partitioned simulation runs.
+    pub partitions_built: u64,
+    /// Tile messages settled through cross-partition queues.
+    pub cross_partition_events: u64,
+}
 
 use crate::deploy::DeploymentReport;
 use crate::mapping::arch_to_network;
@@ -77,9 +106,18 @@ pub struct LatencyEvaluator {
     store: Arc<dyn Store>,
     /// Digest of the cluster's canonical encoding, fixed at construction.
     device_digest: u128,
+    /// Canonical pass-pipeline fingerprint, fixed at construction.
+    pipeline_digest: u64,
     design_builds: AtomicU64,
     analyzer_calls: AtomicU64,
     sim_calls: AtomicU64,
+    pass_design_ns: AtomicU64,
+    pass_graph_ns: AtomicU64,
+    pass_partition_ns: AtomicU64,
+    pass_schedule_ns: AtomicU64,
+    pass_sim_ns: AtomicU64,
+    partitions_built: AtomicU64,
+    cross_partition_events: AtomicU64,
 }
 
 impl LatencyEvaluator {
@@ -100,9 +138,17 @@ impl LatencyEvaluator {
             simulated: ShardedCache::new(),
             store: Arc::new(NullStore),
             device_digest,
+            pipeline_digest: canonical_pipeline_fingerprint(),
             design_builds: AtomicU64::new(0),
             analyzer_calls: AtomicU64::new(0),
             sim_calls: AtomicU64::new(0),
+            pass_design_ns: AtomicU64::new(0),
+            pass_graph_ns: AtomicU64::new(0),
+            pass_partition_ns: AtomicU64::new(0),
+            pass_schedule_ns: AtomicU64::new(0),
+            pass_sim_ns: AtomicU64::new(0),
+            partitions_built: AtomicU64::new(0),
+            cross_partition_events: AtomicU64::new(0),
         }
     }
 
@@ -142,8 +188,22 @@ impl LatencyEvaluator {
         CacheKey::new(
             digest128(&persist::arch_bytes(arch, self.input)),
             self.device_digest,
+            self.pipeline_digest,
             backend,
         )
+    }
+
+    /// Claims the artifact's one-shot lowering timings (taskgraph /
+    /// partition / schedule) into the pass counters; a no-op when another
+    /// path already claimed them.
+    fn charge_lowering(&self, artifacts: &HwArtifacts) {
+        if let Some(t) = artifacts.claim_lowering_timings() {
+            self.pass_graph_ns.fetch_add(t.graph_ns, Ordering::Relaxed);
+            self.pass_partition_ns
+                .fetch_add(t.partition_ns, Ordering::Relaxed);
+            self.pass_schedule_ns
+                .fetch_add(t.schedule_ns, Ordering::Relaxed);
+        }
     }
 
     /// The target platform.
@@ -174,6 +234,20 @@ impl LatencyEvaluator {
         self.sim_calls.load(Ordering::Relaxed)
     }
 
+    /// Accumulated pass-pipeline work (per-pass wall time and partitioned
+    /// simulation statistics) performed by this evaluator so far.
+    pub fn pass_counters(&self) -> PassCounters {
+        PassCounters {
+            design_ns: self.pass_design_ns.load(Ordering::Relaxed),
+            graph_ns: self.pass_graph_ns.load(Ordering::Relaxed),
+            partition_ns: self.pass_partition_ns.load(Ordering::Relaxed),
+            schedule_ns: self.pass_schedule_ns.load(Ordering::Relaxed),
+            sim_ns: self.pass_sim_ns.load(Ordering::Relaxed),
+            partitions_built: self.partitions_built.load(Ordering::Relaxed),
+            cross_partition_events: self.cross_partition_events.load(Ordering::Relaxed),
+        }
+    }
+
     /// Analytic-latency lookups answered from the memo cache.
     pub fn cache_hits(&self) -> u64 {
         self.reports.hits()
@@ -197,7 +271,10 @@ impl LatencyEvaluator {
     pub fn artifacts(&self, arch: &ChildArch) -> Result<Arc<HwArtifacts>> {
         self.artifacts.get_or_try_insert_with(arch, || {
             let network = arch_to_network(arch, self.input)?;
+            let t0 = Instant::now();
             let artifacts = HwArtifacts::build(&network, &self.cluster)?;
+            self.pass_design_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             self.design_builds.fetch_add(1, Ordering::Relaxed);
             Ok(Arc::new(artifacts))
         })
@@ -279,7 +356,51 @@ impl LatencyEvaluator {
                 return Ok(ms);
             }
             let artifacts = self.artifacts(arch)?;
+            let t0 = Instant::now();
             let report = artifacts.simulate()?;
+            self.pass_sim_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.charge_lowering(&artifacts);
+            self.sim_calls.fetch_add(1, Ordering::Relaxed);
+            if self.store.enabled() {
+                self.store
+                    .put(&key, &persist::encode_millis(report.latency));
+            }
+            Ok(report.latency)
+        })
+    }
+
+    /// Cycle-accurate simulated latency on the partitioned parallel
+    /// backend, memoised. Byte-identical to
+    /// [`LatencyEvaluator::simulated_latency`] (the parallel simulator is
+    /// pinned equal to the single-threaded one), so it soundly shares the
+    /// same memo cache and [`Backend::Simulated`] store records — a result
+    /// computed by either path serves both.
+    ///
+    /// # Errors
+    ///
+    /// Propagates design, graph and simulation errors.
+    pub fn partitioned_latency(&self, arch: &ChildArch) -> Result<Millis> {
+        self.simulated.get_or_try_insert_with(arch, || {
+            let key = self.store_key(arch, Backend::Simulated);
+            if let Some(ms) = self
+                .store
+                .get(&key)
+                .and_then(|b| persist::decode_millis(&b))
+            {
+                return Ok(ms);
+            }
+            let artifacts = self.artifacts(arch)?;
+            let executor = Executor::with_workers(DEFAULT_PARTITIONS);
+            let t0 = Instant::now();
+            let (report, stats) = artifacts.simulate_partitioned(&executor)?;
+            self.pass_sim_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.charge_lowering(&artifacts);
+            self.partitions_built
+                .fetch_add(stats.partitions_built, Ordering::Relaxed);
+            self.cross_partition_events
+                .fetch_add(stats.cross_partition_events, Ordering::Relaxed);
             self.sim_calls.fetch_add(1, Ordering::Relaxed);
             if self.store.enabled() {
                 self.store
@@ -293,7 +414,8 @@ impl LatencyEvaluator {
     ///
     /// The built-in backends dispatch to the memoised paths
     /// ([`Analytic`] → [`LatencyEvaluator::latency`], [`Simulated`] →
-    /// [`LatencyEvaluator::simulated_latency`]); custom models run
+    /// [`LatencyEvaluator::simulated_latency`], [`PartitionedSim`] →
+    /// [`LatencyEvaluator::partitioned_latency`]); custom models run
     /// uncached over the shared (still memoised) artifact record.
     ///
     /// # Errors
@@ -303,6 +425,7 @@ impl LatencyEvaluator {
         match model.name() {
             "analytic" => self.latency(arch),
             "simulated" => self.simulated_latency(arch),
+            "partitioned-sim" => self.partitioned_latency(arch),
             _ => Ok(model.latency(self.artifacts(arch)?.as_ref())?),
         }
     }
@@ -571,5 +694,58 @@ mod tests {
         }
         assert_eq!(warm.design_builds(), 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partitioned_latency_is_bit_identical_to_simulated() {
+        let a = arch(&[(5, 18), (3, 18), (3, 36)]);
+        let single = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 14, 14));
+        let parallel = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 14, 14));
+        let want = single.simulated_latency(&a).unwrap();
+        let got = parallel.partitioned_latency(&a).unwrap();
+        assert_eq!(got.get().to_bits(), want.get().to_bits());
+
+        let counters = parallel.pass_counters();
+        assert!(counters.partitions_built >= 1, "{counters:?}");
+        assert!(counters.sim_ns > 0, "{counters:?}");
+        assert!(counters.graph_ns > 0, "{counters:?}");
+        assert_eq!(single.pass_counters().partitions_built, 0);
+
+        // Both backends share the memo cache: the partitioned result now
+        // serves the plain simulated path without a second simulation.
+        assert_eq!(
+            parallel.simulated_latency(&a).unwrap().get().to_bits(),
+            want.get().to_bits()
+        );
+        assert_eq!(parallel.sim_calls(), 1);
+    }
+
+    #[test]
+    fn latency_with_dispatches_the_partitioned_backend() {
+        let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 14, 14));
+        let a = arch(&[(5, 18), (3, 18)]);
+        let via_model = eval.latency_with(&a, &PartitionedSim::default()).unwrap();
+        assert_eq!(
+            via_model.get().to_bits(),
+            eval.partitioned_latency(&a).unwrap().get().to_bits()
+        );
+        assert_eq!(eval.sim_calls(), 1, "dispatch must hit the memoised path");
+        assert!(eval.pass_counters().partitions_built >= 1);
+    }
+
+    #[test]
+    fn lowering_timings_are_charged_once_per_architecture() {
+        let eval = LatencyEvaluator::new(FpgaDevice::pynq(), (1, 14, 14));
+        let a = arch(&[(5, 18), (3, 18)]);
+        let _ = eval.simulated_latency(&a).unwrap();
+        let first = eval.pass_counters();
+        assert!(first.graph_ns > 0 && first.schedule_ns > 0, "{first:?}");
+        // Forcing the scheduled stage again must not double-charge the
+        // lowering passes (they are claimed once per artifact).
+        let _ = eval.deploy(&a).unwrap();
+        let second = eval.pass_counters();
+        assert_eq!(second.graph_ns, first.graph_ns);
+        assert_eq!(second.partition_ns, first.partition_ns);
+        assert_eq!(second.schedule_ns, first.schedule_ns);
     }
 }

@@ -63,7 +63,9 @@ pub fn cluster_bytes(cluster: &FpgaCluster) -> Vec<u8> {
     out
 }
 
-/// The store key for `arch` evaluated on `cluster` by `backend`.
+/// The store key for `arch` evaluated on `cluster` by `backend`, under
+/// the canonical pass pipeline of this build: the pipeline fingerprint is
+/// folded in, so changing any lowering pass rotates the stored answers.
 pub fn cache_key(
     arch: &ChildArch,
     input: (usize, usize, usize),
@@ -73,6 +75,7 @@ pub fn cache_key(
     CacheKey::new(
         digest128(&arch_bytes(arch, input)),
         digest128(&cluster_bytes(cluster)),
+        fnas_fpga::passes::canonical_pipeline_fingerprint(),
         backend,
     )
 }
@@ -273,6 +276,10 @@ mod tests {
         );
         let other_backend = cache_key(&a, input, &pynq, Backend::Simulated);
         let keys = [base, other_arch, other_input, other_device, other_backend];
+        assert_eq!(
+            base.pipeline_digest,
+            fnas_fpga::passes::canonical_pipeline_fingerprint()
+        );
         for i in 0..keys.len() {
             for j in (i + 1)..keys.len() {
                 assert_ne!(keys[i], keys[j], "keys {i} and {j} collide");

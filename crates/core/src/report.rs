@@ -185,6 +185,14 @@ pub fn telemetry_table(t: &TelemetrySnapshot) -> Table {
     push("store writes", t.store_writes.to_string());
     push("store evictions", t.store_evictions.to_string());
     push("store bytes on disk", t.store_bytes.to_string());
+    for (name, ns) in t.pass_ns() {
+        push(&format!("pass {name} (ms)"), ms(Duration::from_nanos(ns)));
+    }
+    push("partitions built", t.partitions_built.to_string());
+    push(
+        "cross-partition events",
+        t.cross_partition_events.to_string(),
+    );
     push("sample wall (ms)", ms(t.sample_time));
     push("latency wall (ms)", ms(t.latency_time));
     push("accuracy wall (ms)", ms(t.accuracy_time));
@@ -260,10 +268,13 @@ mod tests {
             store_writes: 2,
             store_evictions: 1,
             store_bytes: 4096,
+            pass_partition_ns: 2_500_000,
+            partitions_built: 4,
+            cross_partition_events: 96,
             ..Default::default()
         };
         let t = telemetry_table(&snap);
-        assert_eq!(t.len(), 26);
+        assert_eq!(t.len(), 33);
         let md = t.to_markdown();
         assert!(md.contains("| children sampled | 10 |"));
         assert!(md.contains("| prune rate | 40.00% |"));
@@ -277,6 +288,10 @@ mod tests {
         assert!(md.contains("| store writes | 2 |"));
         assert!(md.contains("| store evictions | 1 |"));
         assert!(md.contains("| store bytes on disk | 4096 |"));
+        assert!(md.contains("| pass partition (ms) | 2.5 |"));
+        assert!(md.contains("| pass sim (ms) | 0.0 |"));
+        assert!(md.contains("| partitions built | 4 |"));
+        assert!(md.contains("| cross-partition events | 96 |"));
         assert!(md.contains("total wall (ms)"));
     }
 }

@@ -35,6 +35,7 @@ pub struct CacheCounterBase {
     store_misses: u64,
     store_writes: u64,
     store_evictions: u64,
+    passes: crate::latency::PassCounters,
 }
 
 /// Latency + accuracy + reward + fault stats for one child architecture.
@@ -168,6 +169,7 @@ impl ChildOracle {
             store_misses: store.misses,
             store_writes: store.writes,
             store_evictions: store.evictions,
+            passes: self.latency.pass_counters(),
         }
     }
 
@@ -193,6 +195,18 @@ impl ChildOracle {
         telemetry.add_store_state(
             store.evictions.saturating_sub(base.store_evictions),
             store.bytes_on_disk,
+        );
+        let passes = self.latency.pass_counters();
+        telemetry.add_pass_nanos(
+            passes.design_ns - base.passes.design_ns,
+            passes.graph_ns - base.passes.graph_ns,
+            passes.partition_ns - base.passes.partition_ns,
+            passes.schedule_ns - base.passes.schedule_ns,
+            passes.sim_ns - base.passes.sim_ns,
+        );
+        telemetry.add_partition_stats(
+            passes.partitions_built - base.passes.partitions_built,
+            passes.cross_partition_events - base.passes.cross_partition_events,
         );
     }
 }

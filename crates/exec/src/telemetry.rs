@@ -55,6 +55,13 @@ pub struct SearchTelemetry {
     store_writes: AtomicU64,
     store_evictions: AtomicU64,
     store_bytes: AtomicU64,
+    pass_design_ns: AtomicU64,
+    pass_graph_ns: AtomicU64,
+    pass_partition_ns: AtomicU64,
+    pass_schedule_ns: AtomicU64,
+    pass_sim_ns: AtomicU64,
+    partitions_built: AtomicU64,
+    cross_partition_events: AtomicU64,
     sample_nanos: AtomicU64,
     latency_nanos: AtomicU64,
     accuracy_nanos: AtomicU64,
@@ -208,6 +215,29 @@ impl SearchTelemetry {
         self.store_writes.fetch_add(writes, Ordering::Relaxed);
     }
 
+    /// Adds per-pass lowering wall-time deltas, in pipeline order
+    /// (`design → taskgraph → partition → schedule → sim`), in
+    /// nanoseconds. Like cache traffic, pass timings describe work done
+    /// by *this* process and are never replayed from checkpoints.
+    pub fn add_pass_nanos(&self, design: u64, graph: u64, partition: u64, schedule: u64, sim: u64) {
+        self.pass_design_ns.fetch_add(design, Ordering::Relaxed);
+        self.pass_graph_ns.fetch_add(graph, Ordering::Relaxed);
+        self.pass_partition_ns
+            .fetch_add(partition, Ordering::Relaxed);
+        self.pass_schedule_ns.fetch_add(schedule, Ordering::Relaxed);
+        self.pass_sim_ns.fetch_add(sim, Ordering::Relaxed);
+    }
+
+    /// Records partitioned-simulation traffic: regions built by the
+    /// `partition` pass and cross-partition events settled by the
+    /// parallel simulator (process-local, like the pass timings).
+    pub fn add_partition_stats(&self, partitions: u64, cross_events: u64) {
+        self.partitions_built
+            .fetch_add(partitions, Ordering::Relaxed);
+        self.cross_partition_events
+            .fetch_add(cross_events, Ordering::Relaxed);
+    }
+
     /// Records persistent-store state: an eviction delta, and the latest
     /// known record bytes on disk (a gauge — kept as a running maximum so
     /// merges stay commutative).
@@ -264,6 +294,13 @@ impl SearchTelemetry {
         add(&self.store_evictions, s.store_evictions);
         // Bytes on disk is a gauge, not a flow: keep the largest view.
         self.store_bytes.fetch_max(s.store_bytes, Ordering::Relaxed);
+        add(&self.pass_design_ns, s.pass_design_ns);
+        add(&self.pass_graph_ns, s.pass_graph_ns);
+        add(&self.pass_partition_ns, s.pass_partition_ns);
+        add(&self.pass_schedule_ns, s.pass_schedule_ns);
+        add(&self.pass_sim_ns, s.pass_sim_ns);
+        add(&self.partitions_built, s.partitions_built);
+        add(&self.cross_partition_events, s.cross_partition_events);
         add(&self.sample_nanos, duration_nanos(s.sample_time));
         add(&self.latency_nanos, duration_nanos(s.latency_time));
         add(&self.accuracy_nanos, duration_nanos(s.accuracy_time));
@@ -320,6 +357,13 @@ impl SearchTelemetry {
             store_writes: load(&self.store_writes),
             store_evictions: load(&self.store_evictions),
             store_bytes: load(&self.store_bytes),
+            pass_design_ns: load(&self.pass_design_ns),
+            pass_graph_ns: load(&self.pass_graph_ns),
+            pass_partition_ns: load(&self.pass_partition_ns),
+            pass_schedule_ns: load(&self.pass_schedule_ns),
+            pass_sim_ns: load(&self.pass_sim_ns),
+            partitions_built: load(&self.partitions_built),
+            cross_partition_events: load(&self.cross_partition_events),
             sample_time: Duration::from_nanos(load(&self.sample_nanos)),
             latency_time: Duration::from_nanos(load(&self.latency_nanos)),
             accuracy_time: Duration::from_nanos(load(&self.accuracy_nanos)),
@@ -411,6 +455,24 @@ pub struct TelemetrySnapshot {
     /// Latest known persistent-store size in record bytes (a gauge;
     /// merged as a maximum, not a sum).
     pub store_bytes: u64,
+    /// Wall time (ns) in the `design` lowering pass (process-local;
+    /// never persisted into checkpoints).
+    pub pass_design_ns: u64,
+    /// Wall time (ns) in the `taskgraph` lowering pass (process-local).
+    pub pass_graph_ns: u64,
+    /// Wall time (ns) in the `partition` lowering pass (process-local).
+    pub pass_partition_ns: u64,
+    /// Wall time (ns) in the `schedule` lowering pass (process-local).
+    pub pass_schedule_ns: u64,
+    /// Wall time (ns) in the `sim` pass — cycle simulation, either
+    /// backend (process-local).
+    pub pass_sim_ns: u64,
+    /// Regions built by the `partition` pass for the parallel simulator
+    /// (process-local).
+    pub partitions_built: u64,
+    /// Cross-partition availability events settled by the partitioned
+    /// simulator (process-local).
+    pub cross_partition_events: u64,
     /// Wall time in the (serial) sampling phase.
     pub sample_time: Duration,
     /// Wall time in the (parallel) latency phase.
@@ -477,6 +539,17 @@ impl TelemetrySnapshot {
             store_writes: self.store_writes.saturating_add(other.store_writes),
             store_evictions: self.store_evictions.saturating_add(other.store_evictions),
             store_bytes: self.store_bytes.max(other.store_bytes),
+            pass_design_ns: self.pass_design_ns.saturating_add(other.pass_design_ns),
+            pass_graph_ns: self.pass_graph_ns.saturating_add(other.pass_graph_ns),
+            pass_partition_ns: self
+                .pass_partition_ns
+                .saturating_add(other.pass_partition_ns),
+            pass_schedule_ns: self.pass_schedule_ns.saturating_add(other.pass_schedule_ns),
+            pass_sim_ns: self.pass_sim_ns.saturating_add(other.pass_sim_ns),
+            partitions_built: self.partitions_built.saturating_add(other.partitions_built),
+            cross_partition_events: self
+                .cross_partition_events
+                .saturating_add(other.cross_partition_events),
             sample_time: dur(self.sample_time, other.sample_time),
             latency_time: dur(self.latency_time, other.latency_time),
             accuracy_time: dur(self.accuracy_time, other.accuracy_time),
@@ -521,6 +594,17 @@ impl TelemetrySnapshot {
             ("latency", self.latency_time),
             ("accuracy", self.accuracy_time),
             ("update", self.update_time),
+        ]
+    }
+
+    /// Per-pass `(name, nanoseconds)` pairs, in lowering-pipeline order.
+    pub fn pass_ns(&self) -> [(&'static str, u64); 5] {
+        [
+            ("design", self.pass_design_ns),
+            ("taskgraph", self.pass_graph_ns),
+            ("partition", self.pass_partition_ns),
+            ("schedule", self.pass_schedule_ns),
+            ("sim", self.pass_sim_ns),
         ]
     }
 }
@@ -594,6 +678,20 @@ impl fmt::Display for TelemetrySnapshot {
             self.store_evictions,
             self.store_bytes,
         )?;
+        writeln!(
+            f,
+            "passes: design {:.1?} | taskgraph {:.1?} | partition {:.1?} | schedule {:.1?} | sim {:.1?}",
+            Duration::from_nanos(self.pass_design_ns),
+            Duration::from_nanos(self.pass_graph_ns),
+            Duration::from_nanos(self.pass_partition_ns),
+            Duration::from_nanos(self.pass_schedule_ns),
+            Duration::from_nanos(self.pass_sim_ns),
+        )?;
+        writeln!(
+            f,
+            "partitioned sim: {} partitions built | {} cross-partition events",
+            self.partitions_built, self.cross_partition_events,
+        )?;
         write!(
             f,
             "wall: sample {:.1?} | latency {:.1?} | accuracy {:.1?} | update {:.1?} | total {:.1?}",
@@ -640,6 +738,9 @@ mod tests {
         t.add_journal_record();
         t.add_rounds_recovered(2);
         t.add_stale_submission_rejected();
+        t.add_pass_nanos(10, 20, 30, 40, 50);
+        t.add_pass_nanos(1, 2, 3, 4, 5);
+        t.add_partition_stats(4, 128);
         let s = t.snapshot();
         assert_eq!(s.children_sampled, 10);
         assert_eq!(s.children_pruned, 2);
@@ -668,6 +769,18 @@ mod tests {
         assert_eq!(s.store_evictions, 2);
         assert_eq!(s.store_bytes, 4096);
         assert_eq!(s.store_hit_rate(), 0.9);
+        assert_eq!(
+            s.pass_ns(),
+            [
+                ("design", 11),
+                ("taskgraph", 22),
+                ("partition", 33),
+                ("schedule", 44),
+                ("sim", 55),
+            ]
+        );
+        assert_eq!(s.partitions_built, 4);
+        assert_eq!(s.cross_partition_events, 128);
     }
 
     #[test]
@@ -724,6 +837,8 @@ mod tests {
         assert!(text.contains("journal:"));
         assert!(text.contains("store:"));
         assert!(text.contains("bytes on disk"));
+        assert!(text.contains("passes:"));
+        assert!(text.contains("partitioned sim:"));
         assert!(text.contains("wall:"));
     }
 
@@ -773,6 +888,10 @@ mod tests {
             store_hits: base * 11,
             store_writes: u64::MAX - base * 3,
             store_bytes: base * 1000, // merged as max, still commutative
+            pass_partition_ns: u64::MAX - base * 17,
+            pass_sim_ns: base * 19,
+            partitions_built: base * 4,
+            cross_partition_events: u64::MAX - base * 23,
             accuracy_time: Duration::from_nanos(base),
             ..TelemetrySnapshot::default()
         };
@@ -819,6 +938,9 @@ mod tests {
             checkpoints_written: 2,
             latency_cache_hits: 99,
             store_hits: 77,
+            pass_sim_ns: 55,
+            partitions_built: 9,
+            cross_partition_events: 31,
             ..TelemetrySnapshot::default()
         };
         t.restore_counters(&snap);
@@ -837,5 +959,10 @@ mod tests {
         assert_eq!(s.latency_cache_misses, 5);
         // Store traffic is process-local too.
         assert_eq!((s.store_hits, s.store_misses, s.store_writes), (3, 1, 2));
+        // Pass timings and partition stats are process-local too: they
+        // describe lowering work actually performed here, not replayed.
+        assert_eq!(s.pass_sim_ns, 0);
+        assert_eq!(s.partitions_built, 0);
+        assert_eq!(s.cross_partition_events, 0);
     }
 }

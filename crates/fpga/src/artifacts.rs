@@ -14,33 +14,65 @@
 //!
 //! [`LatencyModel`] abstracts the backend choice — [`Analytic`] for the
 //! closed-form cost used in the inner search loop, [`Simulated`] for the
-//! cycle-accurate validator — so callers select fidelity per call instead
-//! of via parallel ad-hoc methods.
+//! cycle-accurate validator, [`PartitionedSim`] for the same validator on
+//! the partitioned parallel backend — so callers select fidelity per call
+//! instead of via parallel ad-hoc methods.
+//!
+//! Since the pass-pipeline refactor the lazy lowering here is expressed as
+//! a [`PassManager`] run (`taskgraph → partition → schedule`), so the
+//! staged record and the explicit pipeline cannot drift apart, and the
+//! per-pass wall times are recorded for telemetry
+//! ([`HwArtifacts::claim_lowering_timings`]).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
+
+use fnas_exec::Executor;
 
 use crate::analyzer::{analyze, AnalyzerReport};
 use crate::design::PipelineDesign;
 use crate::device::FpgaCluster;
 use crate::layer::Network;
-use crate::sched::{FnasScheduler, Schedule};
+use crate::passes::partition::PartitionedGraph;
+use crate::passes::{PassManager, PipelineIr, DEFAULT_PARTITIONS};
+use crate::sched::Schedule;
+use crate::sim::parallel::{simulate_design_partitioned, PartitionStats};
 use crate::sim::{simulate_design, SimReport};
 use crate::taskgraph::TileTaskGraph;
 use crate::units::Millis;
 use crate::Result;
 
+/// Wall time of the lazy lowering passes, claimed once per artifact for
+/// telemetry (see [`HwArtifacts::claim_lowering_timings`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoweringTimings {
+    /// Nanoseconds the `taskgraph` pass took.
+    pub graph_ns: u64,
+    /// Nanoseconds the `partition` pass took.
+    pub partition_ns: u64,
+    /// Nanoseconds the `schedule` pass took.
+    pub schedule_ns: u64,
+}
+
 /// The scheduled stage of the pipeline: the tile task graph (FNAS-GG) and
 /// the flexible schedule over it (FNAS-Sched), always produced together.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scheduled {
-    graph: TileTaskGraph,
-    schedule: Schedule,
+    graph: Arc<TileTaskGraph>,
+    partitions: Arc<PartitionedGraph>,
+    schedule: Arc<Schedule>,
 }
 
 impl Scheduled {
     /// The tile-based task graph.
     pub fn graph(&self) -> &TileTaskGraph {
         &self.graph
+    }
+
+    /// The canonical region split of [`Scheduled::graph`] used by the
+    /// partitioned parallel simulator.
+    pub fn partitions(&self) -> &PartitionedGraph {
+        &self.partitions
     }
 
     /// The flexible schedule over [`Scheduled::graph`].
@@ -77,8 +109,10 @@ impl Scheduled {
 /// ```
 #[derive(Debug)]
 pub struct HwArtifacts {
-    design: PipelineDesign,
+    design: Arc<PipelineDesign>,
     scheduled: OnceLock<Result<Arc<Scheduled>>>,
+    lowering: OnceLock<LoweringTimings>,
+    lowering_claimed: AtomicBool,
 }
 
 impl HwArtifacts {
@@ -97,8 +131,10 @@ impl HwArtifacts {
     /// Wraps an already-generated design (stage 1 done elsewhere).
     pub fn from_design(design: PipelineDesign) -> Self {
         HwArtifacts {
-            design,
+            design: Arc::new(design),
             scheduled: OnceLock::new(),
+            lowering: OnceLock::new(),
+            lowering_claimed: AtomicBool::new(false),
         }
     }
 
@@ -125,11 +161,42 @@ impl HwArtifacts {
     pub fn scheduled(&self) -> Result<Arc<Scheduled>> {
         self.scheduled
             .get_or_init(|| {
-                let graph = TileTaskGraph::from_design(&self.design)?;
-                let schedule = FnasScheduler::new().schedule(&graph);
-                Ok(Arc::new(Scheduled { graph, schedule }))
+                let mut ir = PipelineIr::from_design(self.design.clone());
+                PassManager::lowering(DEFAULT_PARTITIONS).run(&mut ir)?;
+                let of = |name: &str| {
+                    ir.timings()
+                        .iter()
+                        .find(|t| t.name == name)
+                        .map(|t| t.nanos)
+                        .unwrap_or(0)
+                };
+                let _ = self.lowering.set(LoweringTimings {
+                    graph_ns: of("taskgraph"),
+                    partition_ns: of("partition"),
+                    schedule_ns: of("schedule"),
+                });
+                Ok(Arc::new(Scheduled {
+                    graph: ir.graph().expect("lowering fills the graph").clone(),
+                    partitions: ir
+                        .partitions()
+                        .expect("lowering fills the partitions")
+                        .clone(),
+                    schedule: ir.schedule().expect("lowering fills the schedule").clone(),
+                }))
             })
             .clone()
+    }
+
+    /// The lazy lowering's per-pass wall times, surrendered exactly once
+    /// per artifact (so shared artifacts do not double-charge telemetry).
+    /// `None` before the scheduled stage exists or after the first claim.
+    pub fn claim_lowering_timings(&self) -> Option<LoweringTimings> {
+        let timings = self.lowering.get().copied()?;
+        if self.lowering_claimed.swap(true, Ordering::Relaxed) {
+            None
+        } else {
+            Some(timings)
+        }
     }
 
     /// FNAS-Analyzer (Eqs. 2–5) over the design stage.
@@ -149,6 +216,24 @@ impl HwArtifacts {
     pub fn simulate(&self) -> Result<SimReport> {
         let scheduled = self.scheduled()?;
         simulate_design(&self.design, &scheduled.graph, &scheduled.schedule)
+    }
+
+    /// Cycle-accurate simulation on the partitioned parallel backend —
+    /// byte-identical to [`HwArtifacts::simulate`], with the scheduled
+    /// stage's canonical region split run on `executor` threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-generation or simulation failures.
+    pub fn simulate_partitioned(&self, executor: &Executor) -> Result<(SimReport, PartitionStats)> {
+        let scheduled = self.scheduled()?;
+        simulate_design_partitioned(
+            &self.design,
+            &scheduled.graph,
+            &scheduled.schedule,
+            &scheduled.partitions,
+            executor,
+        )
     }
 }
 
@@ -200,6 +285,44 @@ impl LatencyModel for Simulated {
     }
 }
 
+/// The cycle-accurate backend on the partitioned parallel simulator:
+/// byte-identical to [`Simulated`] but runs the scheduled stage's region
+/// split concurrently. Shares `"simulated"`-backend caches soundly for
+/// exactly that reason, while keeping its own [`LatencyModel::name`] for
+/// dispatch.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionedSim {
+    executor: Executor,
+}
+
+impl PartitionedSim {
+    /// A backend simulating on `executor` threads.
+    pub fn new(executor: Executor) -> Self {
+        PartitionedSim { executor }
+    }
+
+    /// A backend with a dedicated `workers`-thread pool.
+    pub fn with_workers(workers: usize) -> Self {
+        PartitionedSim::new(Executor::with_workers(workers))
+    }
+}
+
+impl Default for PartitionedSim {
+    fn default() -> Self {
+        PartitionedSim::with_workers(DEFAULT_PARTITIONS)
+    }
+}
+
+impl LatencyModel for PartitionedSim {
+    fn latency(&self, artifacts: &HwArtifacts) -> Result<Millis> {
+        Ok(artifacts.simulate_partitioned(&self.executor)?.0.latency)
+    }
+
+    fn name(&self) -> &'static str {
+        "partitioned-sim"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,7 +368,37 @@ mod tests {
     fn backend_names_are_distinct() {
         assert_eq!(Analytic.name(), "analytic");
         assert_eq!(Simulated.name(), "simulated");
+        assert_eq!(PartitionedSim::default().name(), "partitioned-sim");
         assert_ne!(Analytic.name(), Simulated.name());
+    }
+
+    #[test]
+    fn partitioned_backend_is_byte_identical_to_simulated() {
+        let art = artifacts();
+        let single = art.simulate().unwrap();
+        for workers in [0usize, 1, 2, 8] {
+            let executor = Executor::with_workers(workers);
+            let (report, stats) = art.simulate_partitioned(&executor).unwrap();
+            assert_eq!(report, single, "workers={workers}");
+            assert_eq!(
+                stats.partitions_built,
+                art.scheduled().unwrap().partitions().num_regions() as u64
+            );
+        }
+        assert_eq!(
+            PartitionedSim::default().latency(&art).unwrap(),
+            Simulated.latency(&art).unwrap()
+        );
+    }
+
+    #[test]
+    fn lowering_timings_are_claimed_exactly_once() {
+        let art = artifacts();
+        assert_eq!(art.claim_lowering_timings(), None, "nothing lowered yet");
+        art.scheduled().unwrap();
+        let first = art.claim_lowering_timings();
+        assert!(first.is_some());
+        assert_eq!(art.claim_lowering_timings(), None, "already claimed");
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! `fnas-fpga` — debug CLI for the hardware-oracle pass pipeline.
+//!
+//! The `pipeline` verb lowers one architecture through the standard pass
+//! pipeline (`design → taskgraph → partition → schedule → sim`) and dumps,
+//! per pass: its position, name, semantics fingerprint, wall time, and the
+//! IR slots filled so far. It also prints the combined pipeline
+//! fingerprint next to the canonical one folded into `fnas-store` cache
+//! keys, so a mismatch between a local pipeline variant and the store
+//! schema is visible at a glance. `--gantt` additionally renders the
+//! executed schedule as an SVG chart via `fnas_fpga::viz`.
+//!
+//! ```text
+//! fnas-fpga pipeline 16,32,64 --image 32 --partitions 4 --parallel
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fnas_exec::Executor;
+use fnas_fpga::device::{FpgaCluster, FpgaDevice};
+use fnas_fpga::layer::{ConvShape, Network};
+use fnas_fpga::passes::{
+    canonical_pipeline_fingerprint, DesignPass, GraphPass, PartitionPass, PassManager, PipelineIr,
+    SchedulePass, SimPass, DEFAULT_PARTITIONS,
+};
+use fnas_fpga::sim::simulate_traced;
+use fnas_fpga::viz::{render_gantt, GanttOptions};
+use fnas_fpga::Cycles;
+
+const USAGE: &str = "\
+fnas-fpga — debug tools for the FPGA pass pipeline
+
+USAGE:
+    fnas-fpga pipeline <filters> [OPTIONS]
+
+ARGS:
+    <filters>         comma-separated output channels per layer, e.g. 16,32,64
+
+OPTIONS:
+    --input <N>       input channels of the first layer [default: 3]
+    --image <N>       square feature-map size [default: 32]
+    --kernel <N>      square kernel size [default: 3]
+    --device <NAME>   pynq | 7a50t | 7z020 | zu9eg [default: pynq]
+    --partitions <N>  region count for the partition pass [default: 4]
+    --parallel        simulate on the partitioned parallel backend
+    --workers <N>     worker threads for --parallel [default: partitions]
+    --gantt <PATH>    write an SVG Gantt chart of the executed schedule
+    -h, --help        print this help
+";
+
+struct Options {
+    filters: Vec<usize>,
+    input: usize,
+    image: usize,
+    kernel: usize,
+    device: FpgaDevice,
+    partitions: usize,
+    parallel: bool,
+    workers: Option<usize>,
+    gantt: Option<String>,
+}
+
+fn parse_device(name: &str) -> Result<FpgaDevice, String> {
+    match name {
+        "pynq" => Ok(FpgaDevice::pynq()),
+        "7a50t" => Ok(FpgaDevice::xc7a50t()),
+        "7z020" => Ok(FpgaDevice::xc7z020()),
+        "zu9eg" => Ok(FpgaDevice::zu9eg()),
+        other => Err(format!(
+            "unknown device `{other}` (expected pynq, 7a50t, 7z020 or zu9eg)"
+        )),
+    }
+}
+
+fn parse_usize(flag: &str, value: Option<String>) -> Result<usize, String> {
+    let raw = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse::<usize>()
+        .map_err(|_| format!("{flag} expects an integer, got `{raw}`"))
+}
+
+fn parse_args(args: Vec<String>) -> Result<Options, String> {
+    let mut iter = args.into_iter();
+    let filters_raw = iter.next().ok_or("missing <filters> argument")?;
+    let filters: Vec<usize> = filters_raw
+        .split(',')
+        .map(|f| {
+            f.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad filter count `{f}` in `{filters_raw}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    if filters.is_empty() {
+        return Err("at least one layer is required".to_string());
+    }
+    let mut opts = Options {
+        filters,
+        input: 3,
+        image: 32,
+        kernel: 3,
+        device: FpgaDevice::pynq(),
+        partitions: DEFAULT_PARTITIONS,
+        parallel: false,
+        workers: None,
+        gantt: None,
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--input" => opts.input = parse_usize("--input", iter.next())?,
+            "--image" => opts.image = parse_usize("--image", iter.next())?,
+            "--kernel" => opts.kernel = parse_usize("--kernel", iter.next())?,
+            "--device" => {
+                let name = iter.next().ok_or("--device needs a value")?;
+                opts.device = parse_device(&name)?;
+            }
+            "--partitions" => opts.partitions = parse_usize("--partitions", iter.next())?,
+            "--parallel" => opts.parallel = true,
+            "--workers" => opts.workers = Some(parse_usize("--workers", iter.next())?),
+            "--gantt" => opts.gantt = Some(iter.next().ok_or("--gantt needs a path")?),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn build_network(opts: &Options) -> Result<Network, String> {
+    let mut layers = Vec::new();
+    let mut prev = opts.input;
+    for &f in &opts.filters {
+        layers
+            .push(ConvShape::square(prev, f, opts.image, opts.kernel).map_err(|e| e.to_string())?);
+        prev = f;
+    }
+    Network::new(layers).map_err(|e| e.to_string())
+}
+
+fn dump_pipeline(opts: &Options) -> Result<(), String> {
+    let network = build_network(opts)?;
+    let cluster = FpgaCluster::single(opts.device.clone());
+    let workers = opts.workers.unwrap_or(opts.partitions);
+    let sim_pass = if opts.parallel {
+        SimPass::partitioned(Executor::with_workers(workers))
+    } else {
+        SimPass::single_threaded()
+    };
+    let manager = PassManager::new(vec![
+        Box::new(DesignPass),
+        Box::new(GraphPass),
+        Box::new(PartitionPass {
+            partitions: opts.partitions,
+        }),
+        Box::new(SchedulePass),
+        Box::new(sim_pass),
+    ]);
+
+    println!(
+        "pipeline for {} layers on {} ({} mode, {} partitions)",
+        opts.filters.len(),
+        opts.device.name(),
+        if opts.parallel {
+            "partitioned parallel"
+        } else {
+            "single-threaded"
+        },
+        opts.partitions,
+    );
+    println!(
+        "pipeline fingerprint {:016x} (canonical store key uses {:016x})",
+        manager.fingerprint(),
+        canonical_pipeline_fingerprint(),
+    );
+    println!();
+
+    let mut ir = PipelineIr::for_network(network, cluster);
+    for (i, pass) in manager.passes().iter().enumerate() {
+        let t0 = Instant::now();
+        pass.run(&mut ir).map_err(|e| e.to_string())?;
+        let nanos = t0.elapsed().as_nanos() as u64;
+        println!(
+            "{:>2}. {:<10} fingerprint {:016x}  {:>10} ns",
+            i + 1,
+            pass.name(),
+            pass.fingerprint(),
+            nanos,
+        );
+        println!("    ir: {}", ir.summary());
+    }
+    if let Some(stats) = ir.partition_stats() {
+        println!();
+        println!(
+            "partitioned sim: {} partitions built, {} cross-partition events",
+            stats.partitions_built, stats.cross_partition_events,
+        );
+    }
+
+    if let Some(path) = &opts.gantt {
+        let design = ir.design().ok_or("design slot empty after pipeline")?;
+        let graph = ir.graph().ok_or("graph slot empty after pipeline")?;
+        let schedule = ir.schedule().ok_or("schedule slot empty after pipeline")?;
+        let transfers: Vec<Cycles> = (0..graph.num_layers().saturating_sub(1))
+            .map(|i| design.boundary_transfer_cycles(i))
+            .collect();
+        let (_, trace) = simulate_traced(graph, schedule, &transfers).map_err(|e| e.to_string())?;
+        let svg = render_gantt(&trace, &GanttOptions::default());
+        std::fs::write(path, svg).map_err(|e| format!("writing {path}: {e}"))?;
+        println!();
+        println!("gantt chart written to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") || args.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let verb = args.remove(0);
+    if verb != "pipeline" {
+        eprintln!("unknown verb `{verb}`\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let opts = match parse_args(args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match dump_pipeline(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,10 +17,24 @@
 //! layer has the same number of row/col tiles — the paper's task graph maps
 //! spatial tile `m` of one layer to spatial tile `m` of the next, which is
 //! well-defined only on a common grid.
+//!
+//! The module is split by concern: `tiling` holds the per-layer roofline
+//! search (buffer sizing, candidate enumeration), `placement` holds the
+//! cross-layer decisions (device packing, DSP budgeting, grid
+//! harmonisation). Both are driven by [`PipelineDesign::generate_on_cluster`],
+//! which the pass pipeline wraps as its `design` pass.
+
+mod placement;
+mod tiling;
+
+pub use tiling::explore_tilings;
 
 use crate::device::{FpgaCluster, FpgaDevice};
 use crate::layer::{ConvShape, Network};
-use crate::{Cycles, FpgaError, Result};
+use crate::{Cycles, Result};
+
+use placement::{assign_devices, dsp_budgets, harmonize_spatial_grid, make_layer_design};
+use tiling::{bram_usage, choose_tiling};
 
 /// Bytes per activation/weight word (16-bit fixed point, as in \[13\]).
 pub const WORD_BYTES: usize = 2;
@@ -145,38 +159,6 @@ impl LayerDesign {
     }
 }
 
-/// Tile-buffer footprint in bytes: double-buffered IFM, OFM and weight
-/// buffers (ping-pong, hence the factor 2).
-fn bram_usage(shape: &ConvShape, t: &Tiling) -> usize {
-    let in_r = t.tr + shape.kernel_h() - 1;
-    let in_c = t.tc + shape.kernel_w() - 1;
-    let ifm = t.tn * in_r * in_c;
-    let ofm = t.tm * t.tr * t.tc;
-    let wei = t.tm * t.tn * shape.kernel_h() * shape.kernel_w();
-    2 * (ifm + ofm + wei) * WORD_BYTES
-}
-
-fn transfer_bytes_per_task(shape: &ConvShape, t: &Tiling) -> usize {
-    let in_r = t.tr + shape.kernel_h() - 1;
-    let in_c = t.tc + shape.kernel_w() - 1;
-    let ifm = t.tn * in_r * in_c;
-    let ofm = t.tm * t.tr * t.tc;
-    let wei = t.tm * t.tn * shape.kernel_h() * shape.kernel_w();
-    (ifm + ofm + wei) * WORD_BYTES
-}
-
-/// Standalone cycle count of a layer under tiling `t` (the \[13\] roofline
-/// compute term): tasks × per-task effective latency.
-fn standalone_cycles(shape: &ConvShape, t: &Tiling, bw: f64) -> u64 {
-    let tasks = (shape.out_channels().div_ceil(t.tm)
-        * shape.in_channels().div_ceil(t.tn)
-        * shape.out_rows().div_ceil(t.tr)
-        * shape.out_cols().div_ceil(t.tc)) as u64;
-    let compute = (shape.kernel_h() * shape.kernel_w() * t.tr * t.tc) as u64;
-    let transfer = (transfer_bytes_per_task(shape, t) as f64 / bw).ceil() as u64;
-    tasks * compute.max(transfer)
-}
-
 /// A full pipeline design: one PE per layer, mapped onto a cluster.
 ///
 /// # Examples
@@ -216,9 +198,9 @@ impl PipelineDesign {
     ///
     /// # Errors
     ///
-    /// Returns [`FpgaError::InsufficientResources`] when there are fewer DSP
-    /// slices than layers on some device, or when even a 1×1×1×1 tile does
-    /// not fit the per-layer BRAM budget.
+    /// Returns [`FpgaError::InsufficientResources`](crate::FpgaError::InsufficientResources)
+    /// when there are fewer DSP slices than layers on some device, or when
+    /// even a 1×1×1×1 tile does not fit the per-layer BRAM budget.
     pub fn generate_on_cluster(network: &Network, cluster: &FpgaCluster) -> Result<Self> {
         let assignment = assign_devices(network, cluster);
         let mut layers = Vec::with_capacity(network.len());
@@ -279,206 +261,6 @@ impl PipelineDesign {
         let bytes = self.layers[producer].ofm_tile_bytes() as f64;
         Cycles::new((bytes / self.cluster.link_bytes_per_cycle()).ceil() as u64)
     }
-}
-
-fn make_layer_design(
-    shape: ConvShape,
-    tiling: Tiling,
-    device: usize,
-    dev: &FpgaDevice,
-    bw_each: f64,
-) -> LayerDesign {
-    let _ = dev;
-    let compute = (shape.kernel_h() * shape.kernel_w() * tiling.tr * tiling.tc) as u64;
-    let transfer = (transfer_bytes_per_task(&shape, &tiling) as f64 / bw_each).ceil() as u64;
-    LayerDesign {
-        shape,
-        tiling,
-        device,
-        compute_cycles_per_task: compute,
-        transfer_cycles_per_task: transfer,
-    }
-}
-
-/// Packs consecutive layers onto devices balancing MAC load.
-fn assign_devices(network: &Network, cluster: &FpgaCluster) -> Vec<usize> {
-    let n_dev = cluster.len();
-    if n_dev == 1 {
-        return vec![0; network.len()];
-    }
-    let total: u64 = network.total_macs().get();
-    let target = total as f64 / n_dev as f64;
-    let mut assignment = vec![0usize; network.len()];
-    let mut dev = 0usize;
-    let mut acc = 0u64;
-    for (i, layer) in network.layers().iter().enumerate() {
-        let w = layer.macs().get();
-        // Move to the next device when this one is "full", but never strand
-        // trailing layers: keep at least one layer per remaining device only
-        // if layers remain to fill them.
-        if dev + 1 < n_dev && acc > 0 && (acc as f64 + w as f64 / 2.0) > target {
-            dev += 1;
-            acc = 0;
-        }
-        assignment[i] = dev;
-        acc += w;
-    }
-    assignment
-}
-
-/// Splits `total_dsp` over the given layers proportionally to MACs.
-fn dsp_budgets(network: &Network, members: &[usize], total_dsp: usize) -> Result<Vec<usize>> {
-    if total_dsp < members.len() {
-        return Err(FpgaError::InsufficientResources {
-            resource: "DSP slices",
-            needed: members.len() as u64,
-            available: total_dsp as u64,
-        });
-    }
-    let weights: Vec<u64> = members
-        .iter()
-        .map(|&i| network.layers()[i].macs().get())
-        .collect();
-    let total_w: u64 = weights.iter().sum();
-    let mut budgets: Vec<usize> = weights
-        .iter()
-        .map(|&w| (((total_dsp as u128 * w as u128) / total_w.max(1) as u128) as usize).max(1))
-        .collect();
-    // Trim overshoot caused by the max(1) floor, largest budgets first.
-    let mut sum: usize = budgets.iter().sum();
-    while sum > total_dsp {
-        let imax = (0..budgets.len())
-            .max_by_key(|&i| budgets[i])
-            .expect("members is non-empty");
-        if budgets[imax] <= 1 {
-            break;
-        }
-        budgets[imax] -= 1;
-        sum -= 1;
-    }
-    Ok(budgets)
-}
-
-/// Enumerates the feasible tilings of one layer under explicit budgets and
-/// returns the best `top_n`, sorted by standalone cycle count (ties broken
-/// towards smaller per-task latency, then more DSPs).
-///
-/// This exposes FNAS-Design's inner search for design-space exploration:
-/// the first entry is exactly what [`PipelineDesign::generate`] would pick
-/// for the same budgets.
-///
-/// # Examples
-///
-/// ```
-/// use fnas_fpga::design::explore_tilings;
-/// use fnas_fpga::layer::ConvShape;
-///
-/// # fn main() -> Result<(), fnas_fpga::FpgaError> {
-/// let shape = ConvShape::square(8, 16, 16, 3)?;
-/// let candidates = explore_tilings(&shape, 64, 64 * 1024, 8.0, 5);
-/// assert!(!candidates.is_empty());
-/// assert!(candidates[0].1 <= candidates.last().expect("non-empty").1);
-/// # Ok(())
-/// # }
-/// ```
-pub fn explore_tilings(
-    shape: &ConvShape,
-    dsp_budget: usize,
-    bram_budget: usize,
-    bandwidth_bytes_per_cycle: f64,
-    top_n: usize,
-) -> Vec<(Tiling, Cycles)> {
-    let mut candidates: Vec<(Tiling, u64)> = Vec::new();
-    let m = shape.out_channels();
-    let n = shape.in_channels();
-    for tm in 1..=m.min(dsp_budget) {
-        let tn_cap = n.min(dsp_budget / tm);
-        for tn in 1..=tn_cap {
-            let Some((tr0, tc0)) = fit_spatial(shape, tm, tn, bram_budget) else {
-                continue;
-            };
-            for (tr, tc) in spatial_candidates(tr0, tc0) {
-                let t = Tiling::new(tm, tn, tr, tc);
-                if bram_usage(shape, &t) > bram_budget {
-                    continue;
-                }
-                candidates.push((t, standalone_cycles(shape, &t, bandwidth_bytes_per_cycle)));
-            }
-        }
-    }
-    candidates.sort_by_key(|&(t, cycles)| {
-        let et = (shape.kernel_h() * shape.kernel_w() * t.tr * t.tc) as u64;
-        (
-            cycles,
-            et,
-            std::cmp::Reverse(t.dsp_slices()),
-            std::cmp::Reverse(t.tm),
-        )
-    });
-    candidates.dedup_by_key(|&mut (t, _)| t);
-    candidates
-        .into_iter()
-        .take(top_n)
-        .map(|(t, c)| (t, Cycles::new(c)))
-        .collect()
-}
-
-/// Chooses `⟨Tm, Tn, Tr, Tc⟩` minimising the standalone cycle count.
-fn choose_tiling(
-    shape: &ConvShape,
-    dsp_budget: usize,
-    bram_budget: usize,
-    bw: f64,
-) -> Result<Tiling> {
-    let m = shape.out_channels();
-    let n = shape.in_channels();
-    let mut best: Option<(u64, Tiling)> = None;
-    for tm in 1..=m.min(dsp_budget) {
-        let tn_cap = n.min(dsp_budget / tm);
-        if tn_cap == 0 {
-            continue;
-        }
-        for tn in 1..=tn_cap {
-            let Some((tr0, tc0)) = fit_spatial(shape, tm, tn, bram_budget) else {
-                continue;
-            };
-            // Refinement: whole-plane tiles minimise ceil-rounding but
-            // serialise the pipeline (a consumer waits for full-plane OFM
-            // tiles). Among spatial tilings with the same standalone cycle
-            // count, smaller tiles give smaller per-task latency and hence
-            // smaller inter-layer start deltas (Eqs. 3/4), so prefer them.
-            for (tr, tc) in spatial_candidates(tr0, tc0) {
-                let t = Tiling::new(tm, tn, tr, tc);
-                if bram_usage(shape, &t) > bram_budget {
-                    continue;
-                }
-                let cycles = standalone_cycles(shape, &t, bw);
-                let et = (shape.kernel_h() * shape.kernel_w() * t.tr * t.tc) as u64;
-                let better = match &best {
-                    None => true,
-                    Some((c, bt)) => {
-                        let bet = (shape.kernel_h() * shape.kernel_w() * bt.tr * bt.tc) as u64;
-                        cycles < *c
-                            || (cycles == *c && et < bet)
-                            || (cycles == *c && et == bet && t.dsp_slices() > bt.dsp_slices())
-                            || (cycles == *c
-                                && et == bet
-                                && t.dsp_slices() == bt.dsp_slices()
-                                && t.tm > bt.tm)
-                    }
-                };
-                if better {
-                    best = Some((cycles, t));
-                }
-            }
-        }
-    }
-    best.map(|(_, t)| t)
-        .ok_or(FpgaError::InsufficientResources {
-            resource: "BRAM bytes",
-            needed: bram_usage(shape, &Tiling::new(1, 1, 1, 1)) as u64,
-            available: bram_budget as u64,
-        })
 }
 
 /// Per-layer entry of a [`UtilizationReport`].
@@ -567,155 +349,12 @@ impl PipelineDesign {
     }
 }
 
-/// Spatial-tiling refinement candidates derived from the BRAM-maximal
-/// `(tr0, tc0)`: the same extents at 1×, ½× and ¼× on each axis.
-fn spatial_candidates(tr0: usize, tc0: usize) -> Vec<(usize, usize)> {
-    let steps = |x: usize| {
-        let mut v = vec![x];
-        if x >= 2 {
-            v.push(x.div_ceil(2));
-        }
-        if x >= 4 {
-            v.push(x.div_ceil(4));
-        }
-        v
-    };
-    let mut out = Vec::new();
-    for &tr in &steps(tr0) {
-        for &tc in &steps(tc0) {
-            out.push((tr, tc));
-        }
-    }
-    out
-}
-
-/// Largest `(Tr, Tc)` whose buffers fit `bram_budget`, shrinking the larger
-/// extent first; `None` if not even `(1, 1)` fits.
-fn fit_spatial(
-    shape: &ConvShape,
-    tm: usize,
-    tn: usize,
-    bram_budget: usize,
-) -> Option<(usize, usize)> {
-    let (mut tr, mut tc) = (shape.out_rows(), shape.out_cols());
-    loop {
-        let t = Tiling::new(tm, tn, tr, tc);
-        if bram_usage(shape, &t) <= bram_budget {
-            return Some((tr, tc));
-        }
-        if tr == 1 && tc == 1 {
-            return None;
-        }
-        if tr >= tc {
-            tr = (tr / 2).max(1);
-        } else {
-            tc = (tc / 2).max(1);
-        }
-    }
-}
-
-/// Forces a common spatial grid across the pipeline so that spatial tile `m`
-/// of layer `i+1` corresponds to spatial tile `m` of layer `i` (Fig. 3).
-///
-/// Layers may have slightly different spatial extents (even kernels shrink
-/// the plane by one), and not every tile count is achievable by a uniform
-/// tile extent (`⌈25/tr⌉ = 6` has no solution), so the harmoniser picks the
-/// **largest tile count every layer can realise exactly**, backing off
-/// further if a layer's buffers would no longer fit its BRAM budget.
-fn harmonize_spatial_grid(layers: &mut [LayerDesign], cluster: &FpgaCluster) {
-    let mut per_device = vec![0usize; cluster.len()];
-    for layer in layers.iter() {
-        per_device[layer.device] += 1;
-    }
-    let bram_budget = |layer: &LayerDesign| {
-        cluster.devices()[layer.device].bram_bytes() / per_device[layer.device].max(1)
-    };
-
-    // A grid count `g` is realisable for extent `e` iff ⌈e/⌈e/g⌉⌉ = g.
-    let feasible = |e: usize, g: usize| e.div_ceil(e.div_ceil(g)) == g;
-    let max_grid = |extents: &[usize], target: usize| {
-        (1..=target)
-            .rev()
-            .find(|&g| extents.iter().all(|&e| g <= e && feasible(e, g)))
-            .unwrap_or(1)
-    };
-
-    let rows: Vec<usize> = layers.iter().map(|l| l.shape.out_rows()).collect();
-    let cols: Vec<usize> = layers.iter().map(|l| l.shape.out_cols()).collect();
-    let target_r = layers
-        .iter()
-        .map(|l| l.shape.out_rows().div_ceil(l.tiling.tr))
-        .max()
-        .unwrap_or(1);
-    let target_c = layers
-        .iter()
-        .map(|l| l.shape.out_cols().div_ceil(l.tiling.tc))
-        .max()
-        .unwrap_or(1);
-
-    let mut grid_r = max_grid(&rows, target_r);
-    let mut grid_c = max_grid(&cols, target_c);
-    loop {
-        // Larger tiles (smaller grids) can overflow a layer's BRAM budget;
-        // back off the finer axis until everything fits.
-        let overflow = layers.iter().any(|layer| {
-            let tr = layer.shape.out_rows().div_ceil(grid_r);
-            let tc = layer.shape.out_cols().div_ceil(grid_c);
-            let t = Tiling::new(layer.tiling.tm, layer.tiling.tn, tr, tc);
-            bram_usage(&layer.shape, &t) > bram_budget(layer)
-        });
-        if !overflow || (grid_r == 1 && grid_c == 1) {
-            break;
-        }
-        // Shrinking tiles means *increasing* the grid count; move towards
-        // the per-layer extents, which always fit (they were chosen under
-        // the same budgets).
-        if grid_r <= grid_c {
-            let next = max_grid(
-                &rows,
-                grid_r
-                    .saturating_mul(2)
-                    .min(rows.iter().copied().min().unwrap_or(1)),
-            );
-            if next == grid_r {
-                break;
-            }
-            grid_r = next;
-        } else {
-            let next = max_grid(
-                &cols,
-                grid_c
-                    .saturating_mul(2)
-                    .min(cols.iter().copied().min().unwrap_or(1)),
-            );
-            if next == grid_c {
-                break;
-            }
-            grid_c = next;
-        }
-    }
-
-    for layer in layers.iter_mut() {
-        let tr = layer.shape.out_rows().div_ceil(grid_r);
-        let tc = layer.shape.out_cols().div_ceil(grid_c);
-        let tiling = Tiling::new(layer.tiling.tm, layer.tiling.tn, tr, tc);
-        let dev = &cluster.devices()[layer.device];
-        let bw_each = dev.bandwidth_bytes_per_cycle() / per_device[layer.device].max(1) as f64;
-        *layer = make_layer_design(layer.shape, tiling, layer.device, dev, bw_each);
-    }
-    debug_assert!(
-        layers
-            .windows(2)
-            .all(|w| w[0].rc_tiles() == w[1].rc_tiles()),
-        "harmonisation must equalise spatial grids"
-    );
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FpgaError;
 
-    fn net4(filters: [usize; 4]) -> Network {
+    pub(super) fn net4(filters: [usize; 4]) -> Network {
         let mut layers = Vec::new();
         let mut prev = 3usize;
         for f in filters {
@@ -832,49 +471,6 @@ mod tests {
         if boundary > 0 {
             assert_eq!(d.boundary_transfer_cycles(boundary - 1).get(), 0);
         }
-    }
-
-    #[test]
-    fn dsp_budgets_are_proportional_to_macs() {
-        // Layer 1 has 4× the MACs of layer 0 (channels 16→64 vs 4→16... use
-        // clean ratio): two layers with MAC ratio 1:3 should get budgets
-        // roughly 1:3.
-        let l0 = ConvShape::square(4, 4, 16, 3).unwrap();
-        let l1 = ConvShape::new(4, 12, 16, 16, 3, 3).unwrap();
-        let net = Network::new(vec![l0, l1]).unwrap();
-        let budgets = dsp_budgets(&net, &[0, 1], 100).unwrap();
-        assert!(budgets[1] > budgets[0] * 2, "budgets {budgets:?}");
-        assert!(budgets.iter().sum::<usize>() <= 100);
-    }
-
-    #[test]
-    fn explore_tilings_is_sorted_and_budgeted() {
-        let shape = ConvShape::square(16, 32, 16, 3).unwrap();
-        let candidates = explore_tilings(&shape, 100, 32 * 1024, 8.0, 10);
-        assert!(!candidates.is_empty());
-        assert!(candidates.len() <= 10);
-        for pair in candidates.windows(2) {
-            assert!(pair[0].1 <= pair[1].1);
-        }
-        for (t, _) in &candidates {
-            assert!(t.dsp_slices() <= 100);
-            assert!(bram_usage(&shape, t) <= 32 * 1024);
-            assert!(t.tm <= 32 && t.tn <= 16);
-        }
-    }
-
-    #[test]
-    fn explore_tilings_best_matches_choose_tiling() {
-        let shape = ConvShape::square(9, 18, 28, 5).unwrap();
-        let best = choose_tiling(&shape, 55, 64 * 1024, 10.0).unwrap();
-        let explored = explore_tilings(&shape, 55, 64 * 1024, 10.0, 1);
-        assert_eq!(explored[0].0, best);
-    }
-
-    #[test]
-    fn explore_tilings_empty_when_nothing_fits() {
-        let shape = ConvShape::square(3, 8, 16, 3).unwrap();
-        assert!(explore_tilings(&shape, 8, 4, 8.0, 5).is_empty());
     }
 
     #[test]

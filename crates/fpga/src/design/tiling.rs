@@ -1,0 +1,244 @@
+//! Per-layer roofline tiling search: buffer sizing, candidate enumeration
+//! and the `⟨Tm, Tn, Tr, Tc⟩` selection of Zhang et al. (FPGA'15) \[13\].
+
+use crate::layer::ConvShape;
+use crate::{Cycles, FpgaError, Result};
+
+use super::{Tiling, WORD_BYTES};
+
+/// Tile-buffer footprint in bytes: double-buffered IFM, OFM and weight
+/// buffers (ping-pong, hence the factor 2).
+pub(super) fn bram_usage(shape: &ConvShape, t: &Tiling) -> usize {
+    let in_r = t.tr + shape.kernel_h() - 1;
+    let in_c = t.tc + shape.kernel_w() - 1;
+    let ifm = t.tn * in_r * in_c;
+    let ofm = t.tm * t.tr * t.tc;
+    let wei = t.tm * t.tn * shape.kernel_h() * shape.kernel_w();
+    2 * (ifm + ofm + wei) * WORD_BYTES
+}
+
+pub(super) fn transfer_bytes_per_task(shape: &ConvShape, t: &Tiling) -> usize {
+    let in_r = t.tr + shape.kernel_h() - 1;
+    let in_c = t.tc + shape.kernel_w() - 1;
+    let ifm = t.tn * in_r * in_c;
+    let ofm = t.tm * t.tr * t.tc;
+    let wei = t.tm * t.tn * shape.kernel_h() * shape.kernel_w();
+    (ifm + ofm + wei) * WORD_BYTES
+}
+
+/// Standalone cycle count of a layer under tiling `t` (the \[13\] roofline
+/// compute term): tasks × per-task effective latency.
+fn standalone_cycles(shape: &ConvShape, t: &Tiling, bw: f64) -> u64 {
+    let tasks = (shape.out_channels().div_ceil(t.tm)
+        * shape.in_channels().div_ceil(t.tn)
+        * shape.out_rows().div_ceil(t.tr)
+        * shape.out_cols().div_ceil(t.tc)) as u64;
+    let compute = (shape.kernel_h() * shape.kernel_w() * t.tr * t.tc) as u64;
+    let transfer = (transfer_bytes_per_task(shape, t) as f64 / bw).ceil() as u64;
+    tasks * compute.max(transfer)
+}
+
+/// Enumerates the feasible tilings of one layer under explicit budgets and
+/// returns the best `top_n`, sorted by standalone cycle count (ties broken
+/// towards smaller per-task latency, then more DSPs).
+///
+/// This exposes FNAS-Design's inner search for design-space exploration:
+/// the first entry is exactly what
+/// [`PipelineDesign::generate`](super::PipelineDesign::generate) would pick
+/// for the same budgets.
+///
+/// # Examples
+///
+/// ```
+/// use fnas_fpga::design::explore_tilings;
+/// use fnas_fpga::layer::ConvShape;
+///
+/// # fn main() -> Result<(), fnas_fpga::FpgaError> {
+/// let shape = ConvShape::square(8, 16, 16, 3)?;
+/// let candidates = explore_tilings(&shape, 64, 64 * 1024, 8.0, 5);
+/// assert!(!candidates.is_empty());
+/// assert!(candidates[0].1 <= candidates.last().expect("non-empty").1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn explore_tilings(
+    shape: &ConvShape,
+    dsp_budget: usize,
+    bram_budget: usize,
+    bandwidth_bytes_per_cycle: f64,
+    top_n: usize,
+) -> Vec<(Tiling, Cycles)> {
+    let mut candidates: Vec<(Tiling, u64)> = Vec::new();
+    let m = shape.out_channels();
+    let n = shape.in_channels();
+    for tm in 1..=m.min(dsp_budget) {
+        let tn_cap = n.min(dsp_budget / tm);
+        for tn in 1..=tn_cap {
+            let Some((tr0, tc0)) = fit_spatial(shape, tm, tn, bram_budget) else {
+                continue;
+            };
+            for (tr, tc) in spatial_candidates(tr0, tc0) {
+                let t = Tiling::new(tm, tn, tr, tc);
+                if bram_usage(shape, &t) > bram_budget {
+                    continue;
+                }
+                candidates.push((t, standalone_cycles(shape, &t, bandwidth_bytes_per_cycle)));
+            }
+        }
+    }
+    candidates.sort_by_key(|&(t, cycles)| {
+        let et = (shape.kernel_h() * shape.kernel_w() * t.tr * t.tc) as u64;
+        (
+            cycles,
+            et,
+            std::cmp::Reverse(t.dsp_slices()),
+            std::cmp::Reverse(t.tm),
+        )
+    });
+    candidates.dedup_by_key(|&mut (t, _)| t);
+    candidates
+        .into_iter()
+        .take(top_n)
+        .map(|(t, c)| (t, Cycles::new(c)))
+        .collect()
+}
+
+/// Chooses `⟨Tm, Tn, Tr, Tc⟩` minimising the standalone cycle count.
+pub(super) fn choose_tiling(
+    shape: &ConvShape,
+    dsp_budget: usize,
+    bram_budget: usize,
+    bw: f64,
+) -> Result<Tiling> {
+    let m = shape.out_channels();
+    let n = shape.in_channels();
+    let mut best: Option<(u64, Tiling)> = None;
+    for tm in 1..=m.min(dsp_budget) {
+        let tn_cap = n.min(dsp_budget / tm);
+        if tn_cap == 0 {
+            continue;
+        }
+        for tn in 1..=tn_cap {
+            let Some((tr0, tc0)) = fit_spatial(shape, tm, tn, bram_budget) else {
+                continue;
+            };
+            // Refinement: whole-plane tiles minimise ceil-rounding but
+            // serialise the pipeline (a consumer waits for full-plane OFM
+            // tiles). Among spatial tilings with the same standalone cycle
+            // count, smaller tiles give smaller per-task latency and hence
+            // smaller inter-layer start deltas (Eqs. 3/4), so prefer them.
+            for (tr, tc) in spatial_candidates(tr0, tc0) {
+                let t = Tiling::new(tm, tn, tr, tc);
+                if bram_usage(shape, &t) > bram_budget {
+                    continue;
+                }
+                let cycles = standalone_cycles(shape, &t, bw);
+                let et = (shape.kernel_h() * shape.kernel_w() * t.tr * t.tc) as u64;
+                let better = match &best {
+                    None => true,
+                    Some((c, bt)) => {
+                        let bet = (shape.kernel_h() * shape.kernel_w() * bt.tr * bt.tc) as u64;
+                        cycles < *c
+                            || (cycles == *c && et < bet)
+                            || (cycles == *c && et == bet && t.dsp_slices() > bt.dsp_slices())
+                            || (cycles == *c
+                                && et == bet
+                                && t.dsp_slices() == bt.dsp_slices()
+                                && t.tm > bt.tm)
+                    }
+                };
+                if better {
+                    best = Some((cycles, t));
+                }
+            }
+        }
+    }
+    best.map(|(_, t)| t)
+        .ok_or(FpgaError::InsufficientResources {
+            resource: "BRAM bytes",
+            needed: bram_usage(shape, &Tiling::new(1, 1, 1, 1)) as u64,
+            available: bram_budget as u64,
+        })
+}
+
+/// Spatial-tiling refinement candidates derived from the BRAM-maximal
+/// `(tr0, tc0)`: the same extents at 1×, ½× and ¼× on each axis.
+fn spatial_candidates(tr0: usize, tc0: usize) -> Vec<(usize, usize)> {
+    let steps = |x: usize| {
+        let mut v = vec![x];
+        if x >= 2 {
+            v.push(x.div_ceil(2));
+        }
+        if x >= 4 {
+            v.push(x.div_ceil(4));
+        }
+        v
+    };
+    let mut out = Vec::new();
+    for &tr in &steps(tr0) {
+        for &tc in &steps(tc0) {
+            out.push((tr, tc));
+        }
+    }
+    out
+}
+
+/// Largest `(Tr, Tc)` whose buffers fit `bram_budget`, shrinking the larger
+/// extent first; `None` if not even `(1, 1)` fits.
+fn fit_spatial(
+    shape: &ConvShape,
+    tm: usize,
+    tn: usize,
+    bram_budget: usize,
+) -> Option<(usize, usize)> {
+    let (mut tr, mut tc) = (shape.out_rows(), shape.out_cols());
+    loop {
+        let t = Tiling::new(tm, tn, tr, tc);
+        if bram_usage(shape, &t) <= bram_budget {
+            return Some((tr, tc));
+        }
+        if tr == 1 && tc == 1 {
+            return None;
+        }
+        if tr >= tc {
+            tr = (tr / 2).max(1);
+        } else {
+            tc = (tc / 2).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explore_tilings_is_sorted_and_budgeted() {
+        let shape = ConvShape::square(16, 32, 16, 3).unwrap();
+        let candidates = explore_tilings(&shape, 100, 32 * 1024, 8.0, 10);
+        assert!(!candidates.is_empty());
+        assert!(candidates.len() <= 10);
+        for pair in candidates.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        for (t, _) in &candidates {
+            assert!(t.dsp_slices() <= 100);
+            assert!(bram_usage(&shape, t) <= 32 * 1024);
+            assert!(t.tm <= 32 && t.tn <= 16);
+        }
+    }
+
+    #[test]
+    fn explore_tilings_best_matches_choose_tiling() {
+        let shape = ConvShape::square(9, 18, 28, 5).unwrap();
+        let best = choose_tiling(&shape, 55, 64 * 1024, 10.0).unwrap();
+        let explored = explore_tilings(&shape, 55, 64 * 1024, 10.0, 1);
+        assert_eq!(explored[0].0, best);
+    }
+
+    #[test]
+    fn explore_tilings_empty_when_nothing_fits() {
+        let shape = ConvShape::square(3, 8, 16, 3).unwrap();
+        assert!(explore_tilings(&shape, 8, 4, 8.0, 5).is_empty());
+    }
+}

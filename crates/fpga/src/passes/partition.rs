@@ -1,0 +1,235 @@
+//! The `partition` pass: splits the tile task graph into contiguous per-PE
+//! regions for the partitioned parallel simulator.
+//!
+//! A region is a contiguous range of pipeline layers (= PEs). Contiguity
+//! matters because the task graph is strictly feed-forward — layer `i`
+//! depends only on layer `i − 1` — so a contiguous split means every
+//! region exchanges tiles with at most two neighbours, and all
+//! cross-region traffic flows in one direction. Regions are balanced by
+//! modelled PE work (`task_count × ET` cycles), and the dependency windows
+//! of the boundary ([`TileTaskGraph::ifm_prereqs`] /
+//! [`TileTaskGraph::ofm_contributors`]) are recorded per cut: they bound
+//! the cross-partition message traffic the simulator will settle through
+//! that cut.
+
+use std::ops::Range;
+
+use crate::taskgraph::TileTaskGraph;
+
+/// The tile task graph split into contiguous per-PE regions.
+///
+/// Built deterministically from the graph and a requested region count;
+/// the same inputs always produce the same split, so the partitioned
+/// simulator's thread decomposition (and its telemetry) is reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionedGraph {
+    regions: Vec<Range<usize>>,
+    num_layers: usize,
+    cut_traffic: Vec<u64>,
+    cut_window: Vec<usize>,
+}
+
+impl PartitionedGraph {
+    /// Splits `graph` into at most `partitions` contiguous regions, balanced
+    /// by modelled PE cycles (`task_count × ET`).
+    ///
+    /// `partitions` is clamped to `[1, num_layers]` (an empty graph yields a
+    /// single empty region). Region `r` is closed once it holds its
+    /// proportional share of the total modelled work, or when exactly enough
+    /// layers remain to give every later region one layer.
+    pub fn build(graph: &TileTaskGraph, partitions: usize) -> Self {
+        let n = graph.num_layers();
+        let parts = partitions.clamp(1, n.max(1));
+        let weights: Vec<u128> = (0..n)
+            .map(|i| {
+                let l = graph.layer(i);
+                l.task_count() as u128 * u128::from(l.et.get())
+            })
+            .collect();
+        let total: u128 = weights.iter().sum();
+
+        let mut regions: Vec<Range<usize>> = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        let mut prefix = 0u128;
+        for (i, &w) in weights.iter().enumerate() {
+            prefix += w;
+            let r = regions.len();
+            if r + 1 < parts {
+                // Remaining layers exactly fill the remaining regions: cut now.
+                let must_close = n - (i + 1) == parts - (r + 1);
+                // This region holds its cumulative fair share of the work.
+                let quota_met = prefix * parts as u128 >= total * (r as u128 + 1);
+                if quota_met || must_close {
+                    regions.push(start..i + 1);
+                    start = i + 1;
+                }
+            }
+        }
+        regions.push(start..n);
+
+        // Per-cut dependency-window stats: how many producer OFM tiles will
+        // cross the cut (one message each), and how wide the consumer's
+        // per-tile prerequisite window is.
+        let mut cut_traffic = Vec::with_capacity(regions.len().saturating_sub(1));
+        let mut cut_window = Vec::with_capacity(regions.len().saturating_sub(1));
+        for region in regions.iter().take(regions.len().saturating_sub(1)) {
+            let producer = region.end - 1;
+            let p = graph.layer(producer);
+            cut_traffic.push(p.ch_ofm as u64 * p.rc as u64);
+            let consumer = region.end;
+            let window = (0..graph.layer(consumer).ch_ifm)
+                .filter_map(|j| graph.ifm_prereqs(consumer, j))
+                .map(|range| range.count())
+                .max()
+                .unwrap_or(0);
+            cut_window.push(window);
+        }
+
+        PartitionedGraph {
+            regions,
+            num_layers: n,
+            cut_traffic,
+            cut_window,
+        }
+    }
+
+    /// The contiguous layer ranges, in pipeline order; they tile
+    /// `0..num_layers` exactly.
+    pub fn regions(&self) -> &[Range<usize>] {
+        &self.regions
+    }
+
+    /// Number of regions (≥ 1).
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Number of pipeline layers the split was built for.
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// Index of the region containing `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= num_layers`.
+    pub fn region_of(&self, layer: usize) -> usize {
+        self.regions
+            .iter()
+            .position(|r| r.contains(&layer))
+            .expect("layer within the partitioned range")
+    }
+
+    /// OFM tiles that will cross cut `c` (between regions `c` and `c + 1`),
+    /// one cross-partition message each.
+    pub fn cut_traffic(&self) -> &[u64] {
+        &self.cut_traffic
+    }
+
+    /// Widest consumer prerequisite window (producer OFM tiles per IFM
+    /// tile) at each cut.
+    pub fn cut_window(&self) -> &[usize] {
+        &self.cut_window
+    }
+
+    /// Total cross-partition messages a single-image simulation will settle.
+    pub fn total_cross_traffic(&self) -> u64 {
+        self.cut_traffic.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::PipelineDesign;
+    use crate::device::FpgaDevice;
+    use crate::layer::{ConvShape, Network};
+
+    fn graph(filters: &[usize]) -> TileTaskGraph {
+        let mut layers = Vec::new();
+        let mut prev = 3usize;
+        for &f in filters {
+            layers.push(ConvShape::square(prev, f, 16, 3).unwrap());
+            prev = f;
+        }
+        let net = Network::new(layers).unwrap();
+        let d = PipelineDesign::generate(&net, &FpgaDevice::pynq()).unwrap();
+        TileTaskGraph::from_design(&d).unwrap()
+    }
+
+    #[test]
+    fn regions_tile_the_layer_range_exactly() {
+        let g = graph(&[16, 32, 64, 32, 16]);
+        for parts in 1..=8 {
+            let p = PartitionedGraph::build(&g, parts);
+            assert_eq!(p.num_layers(), g.num_layers());
+            assert!(p.num_regions() >= 1);
+            assert!(p.num_regions() <= parts.min(g.num_layers()));
+            let mut covered = 0;
+            for (idx, r) in p.regions().iter().enumerate() {
+                assert_eq!(r.start, covered, "regions must be contiguous");
+                assert!(r.end > r.start, "region {idx} is empty");
+                covered = r.end;
+            }
+            assert_eq!(covered, g.num_layers());
+        }
+    }
+
+    #[test]
+    fn partition_count_is_clamped() {
+        let g = graph(&[16, 16]);
+        assert_eq!(PartitionedGraph::build(&g, 0).num_regions(), 1);
+        assert_eq!(PartitionedGraph::build(&g, 100).num_regions(), 2);
+    }
+
+    #[test]
+    fn split_balances_modelled_work() {
+        let g = graph(&[64, 64, 64, 64]);
+        let p = PartitionedGraph::build(&g, 2);
+        let work = |r: &Range<usize>| -> u128 {
+            r.clone()
+                .map(|i| g.layer(i).task_count() as u128 * u128::from(g.layer(i).et.get()))
+                .sum()
+        };
+        let loads: Vec<u128> = p.regions().iter().map(work).collect();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        // The greedy quota split lands within the heaviest layer's work of
+        // an even split (layer granularity bounds the achievable balance).
+        let heaviest = (0..g.num_layers())
+            .map(|i| g.layer(i).task_count() as u128 * u128::from(g.layer(i).et.get()))
+            .max()
+            .unwrap();
+        assert!(max - min <= 2 * heaviest, "loads {loads:?}");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let g = graph(&[16, 32, 16]);
+        assert_eq!(
+            PartitionedGraph::build(&g, 3),
+            PartitionedGraph::build(&g, 3)
+        );
+    }
+
+    #[test]
+    fn cut_stats_follow_the_dependency_windows() {
+        let g = graph(&[16, 32, 16]);
+        let p = PartitionedGraph::build(&g, 3);
+        assert_eq!(p.num_regions(), 3);
+        assert_eq!(p.cut_traffic().len(), 2);
+        assert_eq!(p.cut_window().len(), 2);
+        for (c, region) in p.regions().iter().take(2).enumerate() {
+            let producer = g.layer(region.end - 1);
+            assert_eq!(
+                p.cut_traffic()[c],
+                producer.ch_ofm as u64 * producer.rc as u64
+            );
+            assert!(p.cut_window()[c] >= 1);
+        }
+        assert_eq!(p.total_cross_traffic(), p.cut_traffic().iter().sum());
+        assert_eq!(p.region_of(0), 0);
+        assert_eq!(p.region_of(g.num_layers() - 1), p.num_regions() - 1);
+    }
+}

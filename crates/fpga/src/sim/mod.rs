@@ -20,6 +20,8 @@
 //! per-image latency from the steady-state initiation interval — the
 //! throughput picture the paper's "low-batch real-time" motivation implies.
 
+pub mod parallel;
+
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 

@@ -1,0 +1,651 @@
+//! Partitioned parallel simulation backend.
+//!
+//! The single-threaded simulator in [`super`] processes a global event heap
+//! ordered by `(time, push-sequence)`. This module decomposes that loop by
+//! PE: the task graph is strictly feed-forward (layer `i` depends only on
+//! layer `i − 1`), so each PE's state is touched only by its own
+//! completions and by tile-availability messages from its predecessor, and
+//! a per-PE event loop that merges those two streams reproduces the global
+//! heap order exactly — see the determinism argument below. Contiguous PE
+//! regions (a [`PartitionedGraph`]) then run concurrently on
+//! [`fnas_exec::Executor`] threads, with cross-region availability streams
+//! settled through blocking FIFO queues in producer push order.
+//!
+//! # Determinism
+//!
+//! The global heap breaks time ties by push sequence. A `PeDone` at time
+//! `t` was pushed when its task dispatched, at `t − ET`; a `TileAvail` at
+//! time `t` was pushed when the producer tile completed, at `t − transfer`.
+//! Per PE, completions are strictly increasing in time (each dispatch
+//! advances `busy_until` by `ET ≥ 1`) and so are incoming availability
+//! times (producer completions strictly increase and the boundary transfer
+//! is constant), so at any instant a PE faces at most one completion and
+//! one availability. The tie is resolved by comparing push times: the
+//! completion wins exactly when `t − ET < t − transfer`. The one ambiguous
+//! case — equal push times, which would need the predecessor's own
+//! intra-instant ordering — can only arise on a boundary where
+//! `transfer == consumer ET` with `transfer > 0`; that condition is
+//! detected statically and the simulation falls back to the global heap,
+//! so the parallel backend is byte-identical to [`super::simulate`]
+//! everywhere it runs (and equal even there, via the fallback).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use fnas_exec::Executor;
+
+use crate::design::PipelineDesign;
+use crate::passes::partition::PartitionedGraph;
+use crate::sched::Schedule;
+use crate::taskgraph::{TaskCoord, TileTaskGraph};
+use crate::{Cycles, FpgaError, Millis, Result};
+
+use super::{PeStats, SimReport};
+
+/// Work accounting of one partitioned simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Regions the run actually used (1 when a fallback path ran the
+    /// global heap simulator).
+    pub partitions_built: u64,
+    /// Tile-availability messages settled through cross-region queues.
+    pub cross_partition_events: u64,
+}
+
+/// A tile-availability message crossing a PE boundary.
+#[derive(Debug, Clone, Copy)]
+struct AvailMsg {
+    /// Cycle the tile becomes visible to the consumer.
+    time: u64,
+    k: usize,
+    m: usize,
+}
+
+struct QueueState {
+    msgs: VecDeque<AvailMsg>,
+    closed: bool,
+}
+
+/// Single-producer single-consumer FIFO for one cross-region boundary.
+/// Messages arrive in strictly increasing `time` order (producer
+/// completions strictly increase, the transfer is constant), so the
+/// consumer can merge the stream against its own completions by peeking
+/// at the head.
+struct BoundaryQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl BoundaryQueue {
+    fn new() -> Self {
+        BoundaryQueue {
+            state: Mutex::new(QueueState {
+                msgs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, msg: AvailMsg) {
+        let mut state = self.state.lock().expect("boundary queue poisoned");
+        state.msgs.push_back(msg);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().expect("boundary queue poisoned");
+        state.closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks until a message is available or the producer closed the
+    /// queue; `None` means the stream is exhausted.
+    fn peek_time(&self) -> Option<u64> {
+        let mut state = self.state.lock().expect("boundary queue poisoned");
+        while state.msgs.is_empty() && !state.closed {
+            state = self.ready.wait(state).expect("boundary queue poisoned");
+        }
+        state.msgs.front().map(|m| m.time)
+    }
+
+    fn pop(&self) -> Option<AvailMsg> {
+        let mut state = self.state.lock().expect("boundary queue poisoned");
+        state.msgs.pop_front()
+    }
+}
+
+/// Closes the region's outgoing queue even if the region panics, so a
+/// blocked downstream consumer can terminate and the executor can join.
+struct CloseOnDrop<'a>(Option<&'a BoundaryQueue>);
+
+impl Drop for CloseOnDrop<'_> {
+    fn drop(&mut self) {
+        if let Some(queue) = self.0 {
+            queue.close();
+        }
+    }
+}
+
+/// Where a PE's incoming availability stream comes from.
+enum AvailSource<'a> {
+    /// Pipeline input: layer 0 has no producer.
+    Input,
+    /// Producer ran earlier in the same region; its stream is materialised.
+    Local { msgs: Vec<AvailMsg>, pos: usize },
+    /// Producer runs concurrently in the previous region.
+    Shared(&'a BoundaryQueue),
+}
+
+impl AvailSource<'_> {
+    fn peek_time(&mut self) -> Option<u64> {
+        match self {
+            AvailSource::Input => None,
+            AvailSource::Local { msgs, pos } => msgs.get(*pos).map(|m| m.time),
+            AvailSource::Shared(queue) => queue.peek_time(),
+        }
+    }
+
+    fn pop(&mut self) -> AvailMsg {
+        match self {
+            AvailSource::Input => unreachable!("pipeline input has no availability stream"),
+            AvailSource::Local { msgs, pos } => {
+                let msg = msgs[*pos];
+                *pos += 1;
+                msg
+            }
+            AvailSource::Shared(queue) => queue.pop().expect("peek_time saw a message"),
+        }
+    }
+}
+
+/// Where a PE's outgoing availability stream goes.
+enum AvailSink<'a> {
+    /// Pipeline output: the last layer has no consumer.
+    Terminal,
+    /// Consumer runs later in the same region; materialise the stream.
+    Local(Vec<AvailMsg>),
+    /// Consumer runs concurrently in the next region.
+    Shared {
+        queue: &'a BoundaryQueue,
+        pushed: u64,
+    },
+}
+
+impl AvailSink<'_> {
+    fn push(&mut self, msg: AvailMsg) {
+        match self {
+            AvailSink::Terminal => {}
+            AvailSink::Local(msgs) => msgs.push(msg),
+            AvailSink::Shared { queue, pushed } => {
+                queue.push(msg);
+                *pushed += 1;
+            }
+        }
+    }
+}
+
+/// Raw outcome of one PE's local event loop.
+struct PeRaw {
+    started: Option<u64>,
+    finish: u64,
+    busy: u64,
+    stall: u64,
+    stall_events: usize,
+    /// Tasks the loop could not dispatch (non-zero only on deadlock).
+    leftover: usize,
+}
+
+/// One PE's slice of the global simulator state, advanced by a local event
+/// loop that mirrors the global `try_dispatch` accounting exactly.
+struct LocalPe<'a> {
+    order: &'a [TaskCoord],
+    rc: usize,
+    et: u64,
+    reorder: bool,
+    remaining: Vec<usize>,
+    ifm_wait: Vec<usize>,
+    /// Producer OFM channel `k` → consumer IFM channels `j` (empty for
+    /// layer 0).
+    dependents: Vec<Vec<usize>>,
+    ofm_left: Vec<usize>,
+    /// Own completions not yet processed, in increasing time order (at
+    /// most two deep: a completion at `now` and one at `now + ET`).
+    pending: VecDeque<(u64, usize)>,
+    busy_until: u64,
+    busy: u64,
+    started: Option<u64>,
+    finish: u64,
+    idle: bool,
+    idle_since: u64,
+    stall: u64,
+    stall_events: usize,
+}
+
+impl LocalPe<'_> {
+    /// Mirrors the global simulator's dispatch helper byte for byte.
+    fn try_dispatch(&mut self, now: u64) -> bool {
+        if self.busy_until > now || self.remaining.is_empty() {
+            return false;
+        }
+        let scan = if self.reorder {
+            self.remaining.len()
+        } else {
+            1
+        };
+        let mut pick = None;
+        for (pos, &global) in self.remaining.iter().take(scan).enumerate() {
+            let t = self.order[global];
+            if self.ifm_wait[t.j * self.rc + t.m] == 0 {
+                pick = Some((pos, global));
+                break;
+            }
+        }
+        let Some((pos, global)) = pick else {
+            if !self.idle {
+                self.idle = true;
+                self.idle_since = now;
+            }
+            return false;
+        };
+        self.remaining.remove(pos);
+        if self.started.is_none() {
+            self.started = Some(now);
+        } else if self.idle && now > self.idle_since {
+            self.stall += now - self.idle_since;
+            self.stall_events += 1;
+        }
+        self.idle = false;
+        self.busy_until = now + self.et;
+        self.busy += self.et;
+        self.pending.push_back((now + self.et, global));
+        true
+    }
+}
+
+/// Runs PE `pe_idx`'s local event loop to completion.
+#[allow(clippy::too_many_arguments)] // internal helper mirroring sim state
+fn run_pe(
+    graph: &TileTaskGraph,
+    schedule: &Schedule,
+    pe_idx: usize,
+    transfer_in: u64,
+    transfer_out: u64,
+    mut source: AvailSource<'_>,
+    sink: &mut AvailSink<'_>,
+) -> PeRaw {
+    let l = graph.layer(pe_idx);
+    let rc = l.rc;
+    let order = schedule.order(pe_idx);
+
+    let mut ifm_wait = vec![0usize; l.ch_ifm * rc];
+    let mut dependents: Vec<Vec<usize>> = Vec::new();
+    if pe_idx > 0 {
+        dependents = vec![Vec::new(); graph.layer(pe_idx - 1).ch_ofm];
+        for j in 0..l.ch_ifm {
+            let range = graph
+                .ifm_prereqs(pe_idx, j)
+                .expect("layer > 0 always has prereqs");
+            for cell in ifm_wait[j * rc..(j + 1) * rc].iter_mut() {
+                *cell = range.clone().count();
+            }
+            for k in range {
+                dependents[k].push(j);
+            }
+        }
+    }
+
+    let mut pe = LocalPe {
+        order,
+        rc,
+        et: l.et.get(),
+        reorder: schedule.reorder_on_stall(),
+        remaining: (0..order.len()).collect(),
+        ifm_wait,
+        dependents,
+        ofm_left: vec![graph.ofm_contributors(pe_idx); l.ch_ofm * rc],
+        pending: VecDeque::new(),
+        busy_until: 0,
+        busy: 0,
+        started: None,
+        finish: 0,
+        idle: true,
+        idle_since: 0,
+        stall: 0,
+        stall_events: 0,
+    };
+
+    let last_layer = pe_idx + 1 == graph.num_layers();
+    if pe_idx == 0 {
+        // The image arrival at cycle 0 unlocks every layer-0 input.
+        pe.try_dispatch(0);
+    }
+
+    loop {
+        let done_t = pe.pending.front().map(|&(t, _)| t);
+        let avail_t = source.peek_time();
+        let take_done = match (done_t, avail_t) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            // Same instant: earlier push wins, and push times are
+            // `t − ET` (completion) vs `t − transfer` (availability).
+            // Equality is excluded by the static ambiguity check.
+            (Some(d), Some(a)) => d < a || (d == a && d - pe.et <= a - transfer_in),
+        };
+        if take_done {
+            let (now, global) = pe.pending.pop_front().expect("done_t peeked an entry");
+            pe.finish = now;
+            let coord = pe.order[global];
+            let cell = coord.k * rc + coord.m;
+            pe.ofm_left[cell] -= 1;
+            if pe.ofm_left[cell] == 0 && !last_layer {
+                sink.push(AvailMsg {
+                    time: now + transfer_out,
+                    k: coord.k,
+                    m: coord.m,
+                });
+            }
+            pe.try_dispatch(now);
+        } else {
+            let msg = source.pop();
+            let mut unblocked = false;
+            for &j in &pe.dependents[msg.k] {
+                let cell = j * rc + msg.m;
+                pe.ifm_wait[cell] -= 1;
+                if pe.ifm_wait[cell] == 0 {
+                    unblocked = true;
+                }
+            }
+            if unblocked {
+                pe.try_dispatch(msg.time);
+            }
+        }
+    }
+
+    PeRaw {
+        started: pe.started,
+        finish: pe.finish,
+        busy: pe.busy,
+        stall: pe.stall,
+        stall_events: pe.stall_events,
+        leftover: pe.remaining.len(),
+    }
+}
+
+/// [`super::simulate`] on the partitioned parallel backend: regions of
+/// `partitions` run concurrently on `executor` threads, settling
+/// cross-region tile availability in a fixed deterministic order.
+///
+/// Byte-identical to [`super::simulate`] for every input (pinned by test);
+/// falls back to the global heap simulator when the tie-break would be
+/// ambiguous (a boundary with `transfer == consumer ET > 0`) or the graph
+/// is empty.
+///
+/// # Errors
+///
+/// Exactly the errors of [`super::simulate`], including the same
+/// [`FpgaError::Deadlock`] payload when the schedule cannot complete.
+pub fn simulate_partitioned(
+    graph: &TileTaskGraph,
+    schedule: &Schedule,
+    transfers: &[Cycles],
+    partitions: &PartitionedGraph,
+    executor: &Executor,
+) -> Result<(SimReport, PartitionStats)> {
+    super::validate(graph, schedule, transfers)?;
+    let layers = graph.num_layers();
+    if partitions.num_layers() != layers {
+        return Err(FpgaError::InvalidConfig {
+            what: format!(
+                "partitioning covers {} layers but the graph has {layers}",
+                partitions.num_layers()
+            ),
+        });
+    }
+    let fallback = |stats: PartitionStats| -> Result<(SimReport, PartitionStats)> {
+        Ok((super::simulate(graph, schedule, transfers)?, stats))
+    };
+    let single = PartitionStats {
+        partitions_built: 1,
+        cross_partition_events: 0,
+    };
+    if layers == 0 {
+        return fallback(single);
+    }
+    let ambiguous = (0..layers - 1).any(|i| {
+        let t = transfers[i].get();
+        t != 0 && t == graph.layer(i + 1).et.get()
+    });
+    if ambiguous {
+        return fallback(single);
+    }
+
+    let regions = partitions.regions();
+    let nregions = regions.len();
+    let queues: Vec<BoundaryQueue> = (0..nregions.saturating_sub(1))
+        .map(|_| BoundaryQueue::new())
+        .collect();
+    let cross = AtomicU64::new(0);
+    let region_indices: Vec<usize> = (0..nregions).collect();
+
+    let raws: Vec<Vec<PeRaw>> = executor.map(&region_indices, |_, &r| {
+        let range = regions[r].clone();
+        let out_queue = queues.get(r).filter(|_| r + 1 < nregions);
+        let _close_guard = CloseOnDrop(out_queue);
+        let mut results = Vec::with_capacity(range.len());
+        let mut carry: Vec<AvailMsg> = Vec::new();
+        for pe in range.clone() {
+            let source = if pe == 0 {
+                AvailSource::Input
+            } else if pe == range.start {
+                AvailSource::Shared(&queues[r - 1])
+            } else {
+                AvailSource::Local {
+                    msgs: std::mem::take(&mut carry),
+                    pos: 0,
+                }
+            };
+            let last_layer = pe + 1 == layers;
+            let mut sink = if last_layer {
+                AvailSink::Terminal
+            } else if pe + 1 == range.end {
+                AvailSink::Shared {
+                    queue: &queues[r],
+                    pushed: 0,
+                }
+            } else {
+                AvailSink::Local(Vec::new())
+            };
+            let transfer_in = if pe == 0 { 0 } else { transfers[pe - 1].get() };
+            let transfer_out = if last_layer { 0 } else { transfers[pe].get() };
+            let raw = run_pe(
+                graph,
+                schedule,
+                pe,
+                transfer_in,
+                transfer_out,
+                source,
+                &mut sink,
+            );
+            match sink {
+                AvailSink::Local(msgs) => carry = msgs,
+                AvailSink::Shared { queue, pushed } => {
+                    queue.close();
+                    cross.fetch_add(pushed, Ordering::Relaxed);
+                }
+                AvailSink::Terminal => {}
+            }
+            results.push(raw);
+        }
+        results
+    });
+
+    let raw_pes: Vec<PeRaw> = raws.into_iter().flatten().collect();
+    if raw_pes.iter().any(|p| p.leftover > 0) {
+        // The schedule deadlocked; rerun the global simulator so the error
+        // payload (at_cycle, remaining) is byte-identical.
+        return fallback(single);
+    }
+
+    let makespan = raw_pes.iter().map(|p| p.finish).max().unwrap_or(0);
+    let pes = raw_pes
+        .iter()
+        .map(|p| PeStats {
+            start: Cycles::new(p.started.unwrap_or(0)),
+            finish: Cycles::new(p.finish),
+            busy: Cycles::new(p.busy),
+            stall: Cycles::new(p.stall),
+            stall_events: p.stall_events,
+        })
+        .collect();
+    Ok((
+        SimReport {
+            makespan: Cycles::new(makespan),
+            latency: Millis::new(0.0),
+            pes,
+        },
+        PartitionStats {
+            partitions_built: nregions as u64,
+            cross_partition_events: cross.load(Ordering::Relaxed),
+        },
+    ))
+}
+
+/// [`simulate_partitioned`] with transfer delays and clock taken from
+/// `design` — the partitioned counterpart of [`super::simulate_design`].
+///
+/// # Errors
+///
+/// See [`simulate_partitioned`].
+pub fn simulate_design_partitioned(
+    design: &PipelineDesign,
+    graph: &TileTaskGraph,
+    schedule: &Schedule,
+    partitions: &PartitionedGraph,
+    executor: &Executor,
+) -> Result<(SimReport, PartitionStats)> {
+    let transfers: Vec<Cycles> = (0..graph.num_layers().saturating_sub(1))
+        .map(|i| design.boundary_transfer_cycles(i))
+        .collect();
+    let (mut report, stats) =
+        simulate_partitioned(graph, schedule, transfers.as_slice(), partitions, executor)?;
+    report.latency = report.makespan.to_millis(design.clock_mhz());
+    Ok((report, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{FpgaCluster, FpgaDevice};
+    use crate::layer::{ConvShape, Network};
+    use crate::sched::{FixedScheduler, FnasScheduler};
+    use crate::sim::simulate;
+
+    fn pipeline(filters: &[usize]) -> (PipelineDesign, TileTaskGraph) {
+        let mut layers = Vec::new();
+        let mut prev = 3usize;
+        for &f in filters {
+            layers.push(ConvShape::square(prev, f, 16, 3).unwrap());
+            prev = f;
+        }
+        let net = Network::new(layers).unwrap();
+        let d = PipelineDesign::generate(&net, &FpgaDevice::pynq()).unwrap();
+        let g = TileTaskGraph::from_design(&d).unwrap();
+        (d, g)
+    }
+
+    #[test]
+    fn partitioned_sim_is_byte_identical_to_single_threaded() {
+        for filters in [
+            vec![8usize],
+            vec![16, 16],
+            vec![16, 32, 16],
+            vec![64, 128, 64, 128],
+        ] {
+            let (d, g) = pipeline(&filters);
+            for schedule in [
+                FnasScheduler::new().schedule(&g),
+                FixedScheduler::new().schedule(&g),
+            ] {
+                let reference = crate::sim::simulate_design(&d, &g, &schedule).unwrap();
+                for parts in [1usize, 2, 4, 8] {
+                    let p = PartitionedGraph::build(&g, parts);
+                    for workers in [0usize, 1, 2, 8] {
+                        let executor = Executor::with_workers(workers);
+                        let (report, stats) =
+                            simulate_design_partitioned(&d, &g, &schedule, &p, &executor).unwrap();
+                        assert_eq!(
+                            report, reference,
+                            "{filters:?} parts={parts} workers={workers}"
+                        );
+                        assert_eq!(stats.partitions_built, p.num_regions() as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_device_transfers_stay_byte_identical() {
+        let mut layers = Vec::new();
+        let mut prev = 3usize;
+        for &f in &[16usize, 16, 32, 16] {
+            layers.push(ConvShape::square(prev, f, 16, 3).unwrap());
+            prev = f;
+        }
+        let net = Network::new(layers).unwrap();
+        let cluster = FpgaCluster::homogeneous(FpgaDevice::pynq(), 2, 0.5).unwrap();
+        let d = PipelineDesign::generate_on_cluster(&net, &cluster).unwrap();
+        let g = TileTaskGraph::from_design(&d).unwrap();
+        assert!((0..g.num_layers() - 1).any(|i| d.boundary_transfer_cycles(i).get() > 0));
+        let s = FnasScheduler::new().schedule(&g);
+        let reference = crate::sim::simulate_design(&d, &g, &s).unwrap();
+        for parts in [2usize, 3, 8] {
+            let p = PartitionedGraph::build(&g, parts);
+            let executor = Executor::with_workers(4);
+            let (report, _) = simulate_design_partitioned(&d, &g, &s, &p, &executor).unwrap();
+            assert_eq!(report, reference, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn cross_partition_events_match_the_cut_traffic() {
+        let (_, g) = pipeline(&[16, 32, 16]);
+        let s = FnasScheduler::new().schedule(&g);
+        let transfers = vec![Cycles::new(0); g.num_layers() - 1];
+        let p = PartitionedGraph::build(&g, 3);
+        assert_eq!(p.num_regions(), 3);
+        let executor = Executor::with_workers(3);
+        let (_, stats) = simulate_partitioned(&g, &s, &transfers, &p, &executor).unwrap();
+        assert_eq!(stats.partitions_built, 3);
+        assert_eq!(stats.cross_partition_events, p.total_cross_traffic());
+    }
+
+    #[test]
+    fn ambiguous_boundary_falls_back_to_the_global_simulator() {
+        let (_, g) = pipeline(&[8, 8]);
+        let s = FnasScheduler::new().schedule(&g);
+        // transfer == consumer ET makes the push-time tie-break ambiguous.
+        let transfers = vec![Cycles::new(g.layer(1).et.get())];
+        let p = PartitionedGraph::build(&g, 2);
+        let executor = Executor::with_workers(2);
+        let (report, stats) = simulate_partitioned(&g, &s, &transfers, &p, &executor).unwrap();
+        assert_eq!(stats.partitions_built, 1);
+        assert_eq!(stats.cross_partition_events, 0);
+        assert_eq!(report, simulate(&g, &s, &transfers).unwrap());
+    }
+
+    #[test]
+    fn mismatched_partitioning_is_rejected() {
+        let (_, g2) = pipeline(&[8, 8]);
+        let (_, g3) = pipeline(&[8, 8, 8]);
+        let s = FnasScheduler::new().schedule(&g2);
+        let p3 = PartitionedGraph::build(&g3, 2);
+        let transfers = vec![Cycles::new(0)];
+        let executor = Executor::sequential();
+        let err = simulate_partitioned(&g2, &s, &transfers, &p3, &executor).unwrap_err();
+        assert!(matches!(err, FpgaError::InvalidConfig { .. }));
+    }
+}

@@ -322,7 +322,7 @@ mod tests {
     }
 
     fn key(n: u128) -> CacheKey {
-        CacheKey::new(n, 7, Backend::Analytic)
+        CacheKey::new(n, 7, 11, Backend::Analytic)
     }
 
     #[test]

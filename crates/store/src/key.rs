@@ -1,8 +1,8 @@
 //! Canonical cache keys and the content digest they are addressed by.
 //!
 //! A [`CacheKey`] names one oracle answer: a specific architecture digest,
-//! evaluated against a specific device digest, by a specific backend, under
-//! a specific payload schema. The key has a fixed-width canonical byte
+//! evaluated against a specific device digest, lowered by a specific pass
+//! pipeline, by a specific backend, under a specific payload schema. The key has a fixed-width canonical byte
 //! encoding ([`CacheKey::encode`]) so the on-disk format cannot drift with
 //! struct layout, and a derived [`CacheKey::path_digest`] that places the
 //! record in a hex-sharded object tree.
@@ -11,12 +11,17 @@ use std::path::PathBuf;
 
 /// Version of the record payload schemas understood by this build.
 ///
-/// Bump this whenever the byte encoding of any stored payload changes;
-/// records written under a different version are treated as misses.
-pub const SCHEMA_VERSION: u16 = 1;
+/// Bump this whenever the byte encoding of any stored payload or of the
+/// key itself changes; records written under a different version are
+/// treated as misses.
+///
+/// * v1 — initial 35-byte key (arch, device, backend, schema).
+/// * v2 — 43-byte key: adds the 8-byte pipeline digest (the canonical
+///   pass-pipeline fingerprint), so lowering changes rotate the store.
+pub const SCHEMA_VERSION: u16 = 2;
 
 /// Width in bytes of [`CacheKey::encode`].
-pub const ENCODED_KEY_LEN: usize = 35;
+pub const ENCODED_KEY_LEN: usize = 43;
 
 /// Which oracle backend produced (or is asked for) the payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,6 +59,9 @@ pub struct CacheKey {
     pub arch_digest: u128,
     /// Digest of the canonical device/cluster encoding.
     pub device_digest: u128,
+    /// Fingerprint of the pass pipeline that lowers the architecture to
+    /// the stored answer (the canonical pipeline fingerprint).
+    pub pipeline_digest: u64,
     /// Backend that owns the payload format.
     pub backend: Backend,
     /// Payload schema version the record was written under.
@@ -62,24 +70,31 @@ pub struct CacheKey {
 
 impl CacheKey {
     /// Builds a key under the current [`SCHEMA_VERSION`].
-    pub fn new(arch_digest: u128, device_digest: u128, backend: Backend) -> Self {
+    pub fn new(
+        arch_digest: u128,
+        device_digest: u128,
+        pipeline_digest: u64,
+        backend: Backend,
+    ) -> Self {
         CacheKey {
             arch_digest,
             device_digest,
+            pipeline_digest,
             backend,
             schema_version: SCHEMA_VERSION,
         }
     }
 
     /// Fixed-width canonical encoding: `arch_digest` (16 LE bytes),
-    /// `device_digest` (16 LE bytes), backend tag (1 byte), schema version
-    /// (2 LE bytes).
+    /// `device_digest` (16 LE bytes), `pipeline_digest` (8 LE bytes),
+    /// backend tag (1 byte), schema version (2 LE bytes).
     pub fn encode(&self) -> [u8; ENCODED_KEY_LEN] {
         let mut out = [0u8; ENCODED_KEY_LEN];
         out[..16].copy_from_slice(&self.arch_digest.to_le_bytes());
         out[16..32].copy_from_slice(&self.device_digest.to_le_bytes());
-        out[32] = self.backend.tag();
-        out[33..35].copy_from_slice(&self.schema_version.to_le_bytes());
+        out[32..40].copy_from_slice(&self.pipeline_digest.to_le_bytes());
+        out[40] = self.backend.tag();
+        out[41..43].copy_from_slice(&self.schema_version.to_le_bytes());
         out
     }
 
@@ -92,12 +107,15 @@ impl CacheKey {
         arch.copy_from_slice(&bytes[..16]);
         let mut device = [0u8; 16];
         device.copy_from_slice(&bytes[16..32]);
-        let backend = Backend::from_tag(bytes[32])?;
+        let mut pipeline = [0u8; 8];
+        pipeline.copy_from_slice(&bytes[32..40]);
+        let backend = Backend::from_tag(bytes[40])?;
         let mut version = [0u8; 2];
-        version.copy_from_slice(&bytes[33..35]);
+        version.copy_from_slice(&bytes[41..43]);
         Some(CacheKey {
             arch_digest: u128::from_le_bytes(arch),
             device_digest: u128::from_le_bytes(device),
+            pipeline_digest: u64::from_le_bytes(pipeline),
             backend,
             schema_version: u16::from_le_bytes(version),
         })
@@ -163,6 +181,7 @@ mod tests {
         let key = CacheKey::new(
             0x0123_4567_89ab_cdef_u128,
             u128::MAX - 7,
+            0xdead_beef_0bad_cafe,
             Backend::Simulated,
         );
         let bytes = key.encode();
@@ -171,16 +190,16 @@ mod tests {
 
     #[test]
     fn decode_rejects_bad_input() {
-        let key = CacheKey::new(1, 2, Backend::Analytic);
+        let key = CacheKey::new(1, 2, 3, Backend::Analytic);
         let mut bytes = key.encode().to_vec();
-        assert!(CacheKey::decode(&bytes[..34]).is_none());
-        bytes[32] = 99; // unknown backend tag
+        assert!(CacheKey::decode(&bytes[..ENCODED_KEY_LEN - 1]).is_none());
+        bytes[40] = 99; // unknown backend tag
         assert!(CacheKey::decode(&bytes).is_none());
     }
 
     #[test]
     fn path_is_hex_sharded() {
-        let key = CacheKey::new(42, 43, Backend::Analytic);
+        let key = CacheKey::new(42, 43, 44, Backend::Analytic);
         let path = key.relative_path();
         let rendered = path.to_string_lossy().into_owned();
         assert!(rendered.starts_with("objects/"));
@@ -191,15 +210,16 @@ mod tests {
 
     #[test]
     fn digest_depends_on_every_field() {
-        let base = CacheKey::new(1, 2, Backend::Analytic);
-        let arch = CacheKey::new(9, 2, Backend::Analytic);
-        let dev = CacheKey::new(1, 9, Backend::Analytic);
-        let backend = CacheKey::new(1, 2, Backend::Simulated);
+        let base = CacheKey::new(1, 2, 3, Backend::Analytic);
+        let arch = CacheKey::new(9, 2, 3, Backend::Analytic);
+        let dev = CacheKey::new(1, 9, 3, Backend::Analytic);
+        let pipeline = CacheKey::new(1, 2, 9, Backend::Analytic);
+        let backend = CacheKey::new(1, 2, 3, Backend::Simulated);
         let version = CacheKey {
             schema_version: SCHEMA_VERSION + 1,
             ..base
         };
-        let digests = [base, arch, dev, backend, version].map(|k| k.path_digest());
+        let digests = [base, arch, dev, pipeline, backend, version].map(|k| k.path_digest());
         for i in 0..digests.len() {
             for j in (i + 1)..digests.len() {
                 assert_ne!(digests[i], digests[j], "keys {i} and {j} collide");

@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn null_store_is_inert() {
         let store = NullStore;
-        let key = CacheKey::new(1, 2, Backend::Analytic);
+        let key = CacheKey::new(1, 2, 3, Backend::Analytic);
         store.put(&key, b"ignored");
         assert_eq!(store.get(&key), None);
         assert_eq!(store.counters(), StoreCounters::default());

@@ -89,7 +89,7 @@ mod tests {
     use crate::key::Backend;
 
     fn key() -> CacheKey {
-        CacheKey::new(0xdead_beef, 0xfeed_f00d, Backend::Analytic)
+        CacheKey::new(0xdead_beef, 0xfeed_f00d, 0x00c0_ffee, Backend::Analytic)
     }
 
     #[test]
@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn key_mismatch_is_a_miss() {
         let bytes = encode_record(&key(), b"payload");
-        let other = CacheKey::new(1, 2, Backend::Simulated);
+        let other = CacheKey::new(1, 2, 3, Backend::Simulated);
         assert!(decode_record(&bytes, &other).is_none());
         assert!(decode_any_record(&bytes).is_some());
     }

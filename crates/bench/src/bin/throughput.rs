@@ -36,6 +36,11 @@
 //! cache-transparent by construction — and the warm pass must show store
 //! hits and strictly fewer design builds.
 //!
+//! Part 5: the partitioned parallel simulator (DESIGN.md §16); Part 6:
+//! job identity under a shared store (DESIGN.md §17) — two differently-
+//! specced jobs against one store directory, proving disjoint artifact
+//! namespaces and a shared (job-agnostic) oracle cache.
+//!
 //! Run with: `cargo run --release -p fnas-bench --bin throughput`
 
 use std::sync::Arc;
@@ -43,6 +48,7 @@ use std::time::{Duration, Instant};
 
 use fnas::evaluator::{AccuracyEvaluator, SurrogateCalibration, SurrogateEvaluator};
 use fnas::experiment::ExperimentPreset;
+use fnas::job::JobSpec;
 use fnas::report::{factor, telemetry_table, Table};
 use fnas::resilience::{FaultInjector, FaultPlan, ResilientEvaluator, RetryPolicy};
 use fnas::search::{BatchOptions, SearchConfig, Searcher};
@@ -437,17 +443,114 @@ fn partition_sweep() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Part 6: job identity under a shared store (DESIGN.md §17). Two jobs
+/// that differ only in their latency spec `rL` resolve through
+/// [`JobSpec::resolve`] and run against ONE store directory. The store
+/// keys them apart where it must — each job's artifacts live under its
+/// own `jobs/<digest>/` namespace — and shares what it may: oracle
+/// records are keyed by `CacheKey` (arch × device × backend, deliberately
+/// job-agnostic), so the second job warm-starts from latencies the first
+/// job computed.
+fn jobs_shared_store() -> Result<(), Box<dyn std::error::Error>> {
+    let job_a = JobSpec::new("mnist")
+        .with_required_ms(Some(10.0))
+        .with_trials(Some(48))
+        .with_seed(Some(11));
+    let job_b = job_a.clone().with_required_ms(Some(6.0));
+    assert_ne!(
+        job_a.job_digest(),
+        job_b.job_digest(),
+        "differently-specced jobs must have distinct digests"
+    );
+
+    let store_dir =
+        std::env::temp_dir().join(format!("fnas-throughput-jobs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let opts = BatchOptions::sequential()
+        .with_workers(8)
+        .with_batch_size(8);
+
+    let mut table = Table::new(vec![
+        "job",
+        "digest",
+        "wall (s)",
+        "store hits",
+        "store writes",
+        "best accuracy",
+    ]);
+    let mut second_job_hits = None;
+    for (tag, job) in [("A", &job_a), ("B", &job_b)] {
+        let config = job.resolve()?;
+        let store: Arc<dyn fnas_store::Store> = Arc::new(fnas_store::DiskStore::open(&store_dir)?);
+        let mut searcher = Searcher::surrogate(&config)?;
+        searcher.attach_store(Arc::clone(&store));
+        let start = Instant::now();
+        let out = searcher.run_batched(&config, &opts)?;
+        let wall = start.elapsed().as_secs_f64();
+
+        // Each job publishes its outcome into its own namespace; the name
+        // collides on purpose — the digest keeps the jobs apart.
+        let summary = format!(
+            "job {:#018x} ({job}): {} trials, best reward bits {:?}",
+            job.job_digest(),
+            out.trials().len(),
+            out.best().map(|b| b.reward.to_bits())
+        );
+        store.put_artifact(job.job_digest(), "summary.txt", summary.as_bytes());
+
+        let t = *out.telemetry();
+        if tag == "B" {
+            second_job_hits = Some(t.store_hits);
+        }
+        table.push_row(vec![
+            format!("{tag} ({job})"),
+            format!("{:#018x}", job.job_digest()),
+            format!("{wall:.2}"),
+            t.store_hits.to_string(),
+            t.store_writes.to_string(),
+            out.best()
+                .and_then(|b| b.accuracy)
+                .map_or("—".to_string(), |a| format!("{:.2}%", a * 100.0)),
+        ]);
+    }
+    emit("throughput_jobs", &table)?;
+
+    // CI runs this bin and relies on these asserts: the namespaces must be
+    // disjoint (same artifact name, different digests, both survive) and
+    // the oracle cache must be shared (job B re-asks questions job A
+    // already answered — the controllers start from the same seed, so the
+    // early architectures coincide).
+    let disk = fnas_store::DiskStore::open(&store_dir)?;
+    for job in [&job_a, &job_b] {
+        assert_eq!(
+            disk.list_artifacts(job.job_digest())?,
+            vec!["summary.txt".to_string()],
+            "job {:#018x} lost or leaked artifacts",
+            job.job_digest()
+        );
+    }
+    assert!(
+        second_job_hits.unwrap_or(0) > 0,
+        "job B saw no store hits — the oracle cache is not shared across jobs"
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
+    println!(
+        "two jobs, one store: artifacts stayed namespaced per digest while\n\
+         the second job warm-started from the first job's oracle records."
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // With section names as arguments, run only those sections (the CI
     // pipeline job runs `partition` alone); with none, run everything.
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wants = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
-    if let Some(unknown) = args
-        .iter()
-        .find(|a| !["streaming", "search", "chaos", "store", "partition"].contains(&a.as_str()))
-    {
+    if let Some(unknown) = args.iter().find(|a| {
+        !["streaming", "search", "chaos", "store", "partition", "jobs"].contains(&a.as_str())
+    }) {
         return Err(format!(
-            "unknown section `{unknown}` (expected streaming, search, chaos, store, partition)"
+            "unknown section `{unknown}` (expected streaming, search, chaos, store, partition, jobs)"
         )
         .into());
     }
@@ -465,6 +568,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if wants("partition") {
         partition_sweep()?;
+    }
+    if wants("jobs") {
+        jobs_shared_store()?;
     }
     Ok(())
 }

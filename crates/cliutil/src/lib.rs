@@ -1,0 +1,127 @@
+//! Shared argv plumbing for the `fnas-*` operator CLIs.
+//!
+//! Every bin in the workspace (`fnas-shard`, `fnas-coord`, `fnas-worker`,
+//! `fnas-store`, `fnas-ckpt`) takes the same shape of command line — a
+//! subcommand followed by `--flag value` pairs — and until this crate
+//! existed each one hand-rolled the same `value()` closure and
+//! `parse_num` helper. They now share one implementation, so a flag
+//! behaves identically no matter which bin parses it: a missing value is
+//! always `"--flag needs a value"`, a malformed one is always
+//! `"--flag: bad value \"...\""`.
+//!
+//! This crate is deliberately dependency-free (it sits below both `fnas`
+//! and `fnas-store` in the workspace graph). The job-aware layer — which
+//! flags make up a search job, and how they resolve to a config — lives
+//! above it in `fnas::job::cli`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Parses a flag's value with the canonical error message shared by
+/// every bin: `"--flag: bad value \"...\""`.
+///
+/// # Errors
+///
+/// A human-readable message naming the flag and the rejected value.
+pub fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: bad value {s:?}"))
+}
+
+/// A cursor over `--flag value` argument pairs.
+///
+/// Wraps the `while let Some(flag) = it.next()` loop every bin used to
+/// write by hand: [`Args::next_flag`] yields the next flag, and
+/// [`Args::value`] consumes its value with the canonical
+/// `"--flag needs a value"` error.
+#[derive(Debug)]
+pub struct Args<'a> {
+    items: &'a [String],
+    at: usize,
+    /// The flag most recently returned by [`Args::next_flag`], used to
+    /// name the flag in `value()` errors.
+    current: &'a str,
+}
+
+impl<'a> Args<'a> {
+    /// A cursor at the start of `items`.
+    pub fn new(items: &'a [String]) -> Self {
+        Args {
+            items,
+            at: 0,
+            current: "",
+        }
+    }
+
+    /// The next flag, or `None` when the arguments are exhausted.
+    pub fn next_flag(&mut self) -> Option<&'a str> {
+        let flag = self.items.get(self.at)?;
+        self.at += 1;
+        self.current = flag;
+        Some(flag)
+    }
+
+    /// The current flag's value.
+    ///
+    /// # Errors
+    ///
+    /// `"--flag needs a value"` when the arguments end before one.
+    pub fn value(&mut self) -> Result<&'a str, String> {
+        let value = self
+            .items
+            .get(self.at)
+            .ok_or_else(|| format!("{} needs a value", self.current))?;
+        self.at += 1;
+        Ok(value)
+    }
+
+    /// The current flag's value parsed via [`parse_num`].
+    ///
+    /// # Errors
+    ///
+    /// Either helper's canonical message.
+    pub fn num<T: std::str::FromStr>(&mut self) -> Result<T, String> {
+        let flag = self.current;
+        parse_num(flag, self.value()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn walks_flag_value_pairs() {
+        let items = strings(&["--trials", "12", "--seed", "7", "--keep-all"]);
+        let mut args = Args::new(&items);
+        assert_eq!(args.next_flag(), Some("--trials"));
+        assert_eq!(args.num::<usize>(), Ok(12));
+        assert_eq!(args.next_flag(), Some("--seed"));
+        assert_eq!(args.value(), Ok("7"));
+        assert_eq!(args.next_flag(), Some("--keep-all"));
+        assert_eq!(args.next_flag(), None);
+    }
+
+    #[test]
+    fn missing_and_malformed_values_use_the_canonical_messages() {
+        let items = strings(&["--trials"]);
+        let mut args = Args::new(&items);
+        args.next_flag();
+        assert_eq!(args.value(), Err("--trials needs a value".to_string()));
+
+        let items = strings(&["--trials", "many"]);
+        let mut args = Args::new(&items);
+        args.next_flag();
+        assert_eq!(
+            args.num::<usize>(),
+            Err("--trials: bad value \"many\"".to_string())
+        );
+        assert_eq!(
+            parse_num::<u64>("--seed", "0x7"),
+            Err("--seed: bad value \"0x7\"".to_string())
+        );
+    }
+}

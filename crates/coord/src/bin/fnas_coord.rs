@@ -18,16 +18,19 @@
 //! files, or their SHA-256s, to audit a deployment). `journal` inspects
 //! a journal directory offline, mirroring `fnas-store stat|verify`.
 //!
-//! The config flags (`--preset`, `--trials`, `--seed`, `--budget-ms`,
-//! `--batch`) plus `--shards`/`--rounds` form the run fingerprint; every
-//! worker must be started with the same values.
+//! The job flags (`--preset`, `--device`, `--trials`, `--seed`,
+//! `--budget-ms`) identify the search (the job digest); they plus
+//! `--batch`/`--shards`/`--rounds` form the run fingerprint. Every
+//! worker must be started with the same values — a worker submitted to
+//! the wrong job is turned away deterministically (`WrongJob`).
 
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use fnas::experiment::ExperimentPreset;
+use fnas::job::cli::{Args, JOB_USAGE};
+use fnas::job::JobSpec;
 use fnas::search::{BatchOptions, SearchConfig};
 use fnas_coord::{
     run_rounds_local, Clock, Coordinator, CoordinatorOptions, Journal, LeasePolicy, WallClock,
@@ -50,10 +53,6 @@ struct Cli {
 const USAGE: &str = "usage: fnas-coord <serve|local> --dir <out-dir> [options]
   common     --shards <N>            shards per round (default 4)
              --rounds <R>            synchronous rounds (default 1)
-             --preset <mnist|mnist-low-end|cifar10>  (default mnist)
-             --trials <N>            trial budget per round
-             --seed <N>              base run seed
-             --budget-ms <X>         FNAS latency budget in ms (default 10)
              --batch <B>             children per episode (default 8)
   serve      --listen <addr:port>    listen address (required)
              --lease-ttl-ms <X>      lease TTL (default 5000)
@@ -66,13 +65,17 @@ const USAGE: &str = "usage: fnas-coord <serve|local> --dir <out-dir> [options]
   local      --workers <W>           evaluation workers (default: cores)
   journal    <stat|verify> --journal-dir <d>  inspect a journal offline";
 
+/// The full usage block: bin-specific flags plus the shared job flags.
+fn usage() -> String {
+    format!("{USAGE}\n{JOB_USAGE}")
+}
+
 fn parse(args: &[String]) -> Result<Cli, String> {
+    let (job, rest) = JobSpec::from_args(args)?;
+    let config = job.resolve().map_err(|e| e.to_string())?;
+
     let mut listen = None;
     let mut dir = None;
-    let mut preset_name = "mnist".to_string();
-    let mut trials = None;
-    let mut seed = None;
-    let mut budget_ms = 10.0f64;
     let mut batch = None;
     let mut workers = None;
     let mut shards = 4u32;
@@ -83,48 +86,24 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let mut max_buffered_rounds = 2usize;
     let mut journal_dir = None;
 
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .map(String::as_str)
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
-        match flag.as_str() {
-            "--listen" => listen = Some(value()?.to_string()),
-            "--dir" => dir = Some(PathBuf::from(value()?)),
-            "--preset" => preset_name = value()?.to_string(),
-            "--trials" => trials = Some(parse_num::<usize>(flag, value()?)?),
-            "--seed" => seed = Some(parse_num::<u64>(flag, value()?)?),
-            "--budget-ms" => budget_ms = parse_num::<f64>(flag, value()?)?,
-            "--batch" => batch = Some(parse_num::<usize>(flag, value()?)?),
-            "--workers" => workers = Some(parse_num::<usize>(flag, value()?)?),
-            "--shards" => shards = parse_num::<u32>(flag, value()?)?,
-            "--rounds" => rounds = parse_num::<u64>(flag, value()?)?,
-            "--lease-ttl-ms" => lease_ttl_ms = parse_num::<u64>(flag, value()?)?,
-            "--straggle-after-ms" => straggle_after_ms = Some(parse_num::<u64>(flag, value()?)?),
-            "--linger-ms" => linger_ms = parse_num::<u64>(flag, value()?)?,
-            "--max-buffered-rounds" => {
-                max_buffered_rounds = parse_num::<usize>(flag, value()?)?;
-            }
-            "--journal-dir" => journal_dir = Some(PathBuf::from(value()?)),
+    let mut a = Args::new(&rest);
+    while let Some(flag) = a.next_flag() {
+        match flag {
+            "--listen" => listen = Some(a.value()?.to_string()),
+            "--dir" => dir = Some(PathBuf::from(a.value()?)),
+            "--batch" => batch = Some(a.num::<usize>()?),
+            "--workers" => workers = Some(a.num::<usize>()?),
+            "--shards" => shards = a.num::<u32>()?,
+            "--rounds" => rounds = a.num::<u64>()?,
+            "--lease-ttl-ms" => lease_ttl_ms = a.num::<u64>()?,
+            "--straggle-after-ms" => straggle_after_ms = Some(a.num::<u64>()?),
+            "--linger-ms" => linger_ms = a.num::<u64>()?,
+            "--max-buffered-rounds" => max_buffered_rounds = a.num::<usize>()?,
+            "--journal-dir" => journal_dir = Some(PathBuf::from(a.value()?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
 
-    let mut preset = match preset_name.as_str() {
-        "mnist" => ExperimentPreset::mnist(),
-        "mnist-low-end" => ExperimentPreset::mnist_low_end(),
-        "cifar10" => ExperimentPreset::cifar10(),
-        other => return Err(format!("unknown preset {other:?}")),
-    };
-    if let Some(t) = trials {
-        preset = preset.with_trials(t);
-    }
-    let mut config = SearchConfig::fnas(preset, budget_ms);
-    if let Some(s) = seed {
-        config = config.with_seed(s);
-    }
     let mut opts = BatchOptions::default();
     if let Some(w) = workers {
         opts = opts.with_workers(w);
@@ -145,10 +124,6 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         max_buffered_rounds,
         journal_dir,
     })
-}
-
-fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
-    s.parse().map_err(|_| format!("{flag}: bad value {s:?}"))
 }
 
 fn cmd_serve(cli: &Cli) -> Result<String, String> {
@@ -181,9 +156,12 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
     let coordinator = Arc::new(coordinator);
     let listener = TcpListener::bind(listen).map_err(|e| e.to_string())?;
     eprintln!(
-        "fnas-coord: serving {} shards x {} rounds on {listen} (fingerprint {:#018x})",
+        "fnas-coord: serving {} shards x {} rounds on {listen} \
+         (job {:#018x} \"{}\", fingerprint {:#018x})",
         cli.shards,
         cli.rounds,
+        coordinator.job(),
+        cli.config.job(),
         coordinator.fingerprint()
     );
     if cli.journal_dir.is_some() {
@@ -311,7 +289,7 @@ fn cmd_local(cli: &Cli) -> Result<String, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("{USAGE}");
+        eprintln!("{}", usage());
         return ExitCode::from(2);
     };
     // `journal` takes only --journal-dir, not the run flags.
@@ -330,7 +308,7 @@ fn main() -> ExitCode {
     let cli = match parse(rest) {
         Ok(cli) => cli,
         Err(e) => {
-            eprintln!("fnas-coord: {e}\n{USAGE}");
+            eprintln!("fnas-coord: {e}\n{}", usage());
             return ExitCode::from(2);
         }
     };
@@ -338,7 +316,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&cli),
         "local" => cmd_local(&cli),
         other => {
-            eprintln!("fnas-coord: unknown command {other:?}\n{USAGE}");
+            eprintln!("fnas-coord: unknown command {other:?}\n{}", usage());
             return ExitCode::from(2);
         }
     };
@@ -396,6 +374,7 @@ mod tests {
                 .append(&fnas_coord::WalRecord::EpochStarted {
                     epoch: 0,
                     fingerprint: 42,
+                    job: 7,
                 })
                 .unwrap();
             let sum = journal.spill_shard(0, 0, b"shard").unwrap();

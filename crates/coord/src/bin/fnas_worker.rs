@@ -5,16 +5,19 @@
 //!     --shards 4 --rounds 2 [config flags]
 //! ```
 //!
-//! The config flags (`--preset`, `--trials`, `--seed`, `--budget-ms`,
-//! `--batch`) and `--shards`/`--rounds` must match the coordinator's —
-//! the fingerprint handshake rejects a mismatch on the first poll.
+//! The job flags (`--preset`, `--device`, `--trials`, `--seed`,
+//! `--budget-ms`) and `--batch`/`--shards`/`--rounds` must match the
+//! coordinator's — the job-digest and fingerprint handshakes reject a
+//! mismatch on the first poll (`WrongJob` when the *search* differs,
+//! a fingerprint error when only the execution flags do).
 //! `--workers` (evaluation threads) is the one knob that may differ per
 //! machine: shard results are bit-identical for any worker count.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fnas::experiment::ExperimentPreset;
+use fnas::job::cli::{Args, JOB_USAGE};
+use fnas::job::JobSpec;
 use fnas::search::{BatchOptions, SearchConfig};
 use fnas_coord::{run_worker, WorkerOptions};
 
@@ -30,10 +33,6 @@ const USAGE: &str = "usage: fnas-worker --connect <addr:port> --dir <scratch-dir
   --name <s>              worker name (default: pid-derived)
   --shards <N>            shards per round (must match the coordinator)
   --rounds <R>            synchronous rounds (must match the coordinator)
-  --preset <mnist|mnist-low-end|cifar10>  (default mnist)
-  --trials <N>            trial budget per round (must match)
-  --seed <N>              base run seed (must match)
-  --budget-ms <X>         FNAS latency budget in ms (default 10, must match)
   --batch <B>             children per episode (default 8, must match)
   --workers <W>           evaluation threads (free to differ per machine)
   --heartbeat-ms <X>      lease heartbeat cadence (default 1000)
@@ -44,14 +43,19 @@ const USAGE: &str = "usage: fnas-worker --connect <addr:port> --dir <scratch-dir
   --store-dir <dir>       on-disk latency store shared across rounds
                           (free to differ per machine; never changes results)";
 
+/// The full usage block: bin-specific flags plus the shared job flags
+/// (which must all match the coordinator's).
+fn usage() -> String {
+    format!("{USAGE}\n{JOB_USAGE}")
+}
+
 fn parse(args: &[String]) -> Result<Cli, String> {
+    let (job, rest) = JobSpec::from_args(args)?;
+    let config = job.resolve().map_err(|e| e.to_string())?;
+
     let mut connect = None;
     let mut dir = None;
     let mut name = None;
-    let mut preset_name = "mnist".to_string();
-    let mut trials = None;
-    let mut seed = None;
-    let mut budget_ms = 10.0f64;
     let mut batch = None;
     let mut workers = None;
     let mut shards = 4u32;
@@ -61,48 +65,24 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let mut connect_backoff_ms = None;
     let mut store_dir = None;
 
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .map(String::as_str)
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
-        match flag.as_str() {
-            "--connect" => connect = Some(value()?.to_string()),
-            "--dir" => dir = Some(PathBuf::from(value()?)),
-            "--name" => name = Some(value()?.to_string()),
-            "--preset" => preset_name = value()?.to_string(),
-            "--trials" => trials = Some(parse_num::<usize>(flag, value()?)?),
-            "--seed" => seed = Some(parse_num::<u64>(flag, value()?)?),
-            "--budget-ms" => budget_ms = parse_num::<f64>(flag, value()?)?,
-            "--batch" => batch = Some(parse_num::<usize>(flag, value()?)?),
-            "--workers" => workers = Some(parse_num::<usize>(flag, value()?)?),
-            "--shards" => shards = parse_num::<u32>(flag, value()?)?,
-            "--rounds" => rounds = parse_num::<u64>(flag, value()?)?,
-            "--heartbeat-ms" => heartbeat_ms = parse_num::<u64>(flag, value()?)?,
-            "--connect-retries" => connect_retries = Some(parse_num::<u32>(flag, value()?)?),
-            "--connect-backoff-ms" => {
-                connect_backoff_ms = Some(parse_num::<u64>(flag, value()?)?);
-            }
-            "--store-dir" => store_dir = Some(PathBuf::from(value()?)),
+    let mut a = Args::new(&rest);
+    while let Some(flag) = a.next_flag() {
+        match flag {
+            "--connect" => connect = Some(a.value()?.to_string()),
+            "--dir" => dir = Some(PathBuf::from(a.value()?)),
+            "--name" => name = Some(a.value()?.to_string()),
+            "--batch" => batch = Some(a.num::<usize>()?),
+            "--workers" => workers = Some(a.num::<usize>()?),
+            "--shards" => shards = a.num::<u32>()?,
+            "--rounds" => rounds = a.num::<u64>()?,
+            "--heartbeat-ms" => heartbeat_ms = a.num::<u64>()?,
+            "--connect-retries" => connect_retries = Some(a.num::<u32>()?),
+            "--connect-backoff-ms" => connect_backoff_ms = Some(a.num::<u64>()?),
+            "--store-dir" => store_dir = Some(PathBuf::from(a.value()?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
 
-    let mut preset = match preset_name.as_str() {
-        "mnist" => ExperimentPreset::mnist(),
-        "mnist-low-end" => ExperimentPreset::mnist_low_end(),
-        "cifar10" => ExperimentPreset::cifar10(),
-        other => return Err(format!("unknown preset {other:?}")),
-    };
-    if let Some(t) = trials {
-        preset = preset.with_trials(t);
-    }
-    let mut config = SearchConfig::fnas(preset, budget_ms);
-    if let Some(s) = seed {
-        config = config.with_seed(s);
-    }
     let mut opts = BatchOptions::default();
     if let Some(w) = workers {
         opts = opts.with_workers(w);
@@ -131,16 +111,12 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     })
 }
 
-fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
-    s.parse().map_err(|_| format!("{flag}: bad value {s:?}"))
-}
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse(&args) {
         Ok(cli) => cli,
         Err(e) => {
-            eprintln!("fnas-worker: {e}\n{USAGE}");
+            eprintln!("fnas-worker: {e}\n{}", usage());
             return ExitCode::from(2);
         }
     };

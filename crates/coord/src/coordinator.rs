@@ -110,6 +110,10 @@ struct RoundState {
 #[derive(Debug)]
 pub struct Coordinator {
     base: SearchConfig,
+    /// `job_digest` of `base`'s [`fnas::job::JobSpec`] — the job identity
+    /// every request must name before the fingerprint is even looked at
+    /// (DESIGN.md §17).
+    job: u64,
     fingerprint: u64,
     /// This incarnation's epoch: how many coordinator incarnations the
     /// journal saw before this one (always 0 without a journal).
@@ -141,11 +145,13 @@ impl Coordinator {
         clock: Arc<dyn Clock>,
     ) -> Result<Self> {
         Self::validate(&opts)?;
+        let job = base.job().job_digest();
         let fingerprint = config_fingerprint(&base, batch, opts.shards, opts.rounds);
         let init = init_for_round(&base, 0, None)?;
         let table = LeaseTable::new(opts.shards, opts.lease);
         Ok(Coordinator {
             base,
+            job,
             fingerprint,
             epoch: 0,
             clock,
@@ -181,7 +187,8 @@ impl Coordinator {
     ///
     /// [`Coordinator::new`]'s, I/O errors opening or appending the
     /// journal, and [`FnasError::InvalidConfig`] when the journal was
-    /// written by a run with a different config fingerprint.
+    /// written by a different job or by a run with a different config
+    /// fingerprint.
     pub fn with_journal(
         base: SearchConfig,
         batch: usize,
@@ -190,9 +197,24 @@ impl Coordinator {
         dir: &Path,
     ) -> Result<Self> {
         Self::validate(&opts)?;
+        let job = base.job().job_digest();
         let fingerprint = config_fingerprint(&base, batch, opts.shards, opts.rounds);
         let (mut journal, records) = Journal::open(dir)?;
         let plan = journal::replay(&records);
+        // Job identity is checked before the fingerprint: a journal dir
+        // holding a *different job's* run is a different search entirely,
+        // not a flag disagreement within one job.
+        if let Some(j) = plan.job {
+            if j != job {
+                return Err(FnasError::InvalidConfig {
+                    what: format!(
+                        "journal at {} belongs to job {j:#018x}, not this job {job:#018x}; \
+                         use a fresh --journal-dir or the original job flags",
+                        dir.display()
+                    ),
+                });
+            }
+        }
         if let Some(fp) = plan.fingerprint {
             if fp != fingerprint {
                 return Err(FnasError::InvalidConfig {
@@ -208,7 +230,11 @@ impl Coordinator {
         let telemetry = Arc::new(SearchTelemetry::new());
         // Startup appends are strict: a journal that cannot even record
         // the new epoch gives no crash safety at all.
-        journal.append(&WalRecord::EpochStarted { epoch, fingerprint })?;
+        journal.append(&WalRecord::EpochStarted {
+            epoch,
+            fingerprint,
+            job,
+        })?;
         telemetry.add_journal_record();
 
         // Re-validate the WAL's claims against the spill files: a round
@@ -270,6 +296,7 @@ impl Coordinator {
         }
         Ok(Coordinator {
             base,
+            job,
             fingerprint,
             epoch,
             clock,
@@ -305,6 +332,12 @@ impl Coordinator {
         self.fingerprint
     }
 
+    /// The `job_digest` workers must present (checked before the
+    /// fingerprint; a mismatch answers [`Response::WrongJob`]).
+    pub fn job(&self) -> u64 {
+        self.job
+    }
+
     /// This incarnation's epoch (0 for a fresh run or no journal).
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -333,6 +366,18 @@ impl Coordinator {
     /// Answers one request. This is the entire protocol semantics; the
     /// TCP layer only moves frames.
     pub fn handle(&self, request: &Request) -> Response {
+        // Job identity first: a worker pointed at a different job (say, a
+        // different --budget-ms, which moves the fingerprint too) learns
+        // *which* mismatch it has — the job — deterministically, before
+        // the fingerprint or any state is consulted.
+        let job = match request {
+            Request::Poll { job, .. }
+            | Request::Heartbeat { job, .. }
+            | Request::Submit { job, .. } => *job,
+        };
+        if job != self.job {
+            return Response::WrongJob { job: self.job };
+        }
         let fp = match request {
             Request::Poll { fingerprint, .. }
             | Request::Heartbeat { fingerprint, .. }
@@ -392,6 +437,7 @@ impl Coordinator {
                 shard_count: self.opts.shards,
                 lease_ms: self.opts.lease.ttl_ms,
                 epoch: self.epoch,
+                job: self.job,
                 init: state.init_bytes.clone(),
             },
             None => Response::Wait {
@@ -684,6 +730,7 @@ mod tests {
     fn poll(coord: &Coordinator, worker: &str) -> Response {
         coord.handle(&Request::Poll {
             worker: worker.to_string(),
+            job: coord.job(),
             fingerprint: coord.fingerprint(),
         })
     }
@@ -694,6 +741,7 @@ mod tests {
             round,
             shard,
             epoch: coord.epoch(),
+            job: coord.job(),
             fingerprint: coord.fingerprint(),
             bytes,
         })
@@ -711,9 +759,37 @@ mod tests {
         let (coord, _) = coordinator(2, 1);
         let r = coord.handle(&Request::Poll {
             worker: "w".to_string(),
+            job: coord.job(),
             fingerprint: coord.fingerprint() ^ 1,
         });
         assert!(matches!(r, Response::Error { .. }), "{r:?}");
+    }
+
+    #[test]
+    fn wrong_jobs_are_rejected_before_the_fingerprint() {
+        let (coord, _) = coordinator(2, 1);
+        // Both identities wrong (the realistic shape: a different
+        // --budget-ms moves the job digest AND the fingerprint): the
+        // answer names the job mismatch, not the fingerprint.
+        let r = coord.handle(&Request::Poll {
+            worker: "w".to_string(),
+            job: coord.job() ^ 1,
+            fingerprint: coord.fingerprint() ^ 1,
+        });
+        assert_eq!(r, Response::WrongJob { job: coord.job() });
+        // Submit and Heartbeat are fenced the same way, with no state
+        // touched — the round is still fully assignable afterwards.
+        let r = coord.handle(&Request::Submit {
+            worker: "w".to_string(),
+            round: 0,
+            shard: 0,
+            epoch: coord.epoch(),
+            job: coord.job() ^ 1,
+            fingerprint: coord.fingerprint(),
+            bytes: vec![1, 2, 3],
+        });
+        assert_eq!(r, Response::WrongJob { job: coord.job() });
+        assert!(matches!(poll(&coord, "ok"), Response::Assign { .. }));
     }
 
     #[test]
@@ -822,6 +898,7 @@ mod tests {
                 round: 0,
                 shard: 0,
                 epoch: coord.epoch(),
+                job: coord.job(),
                 fingerprint: coord.fingerprint(),
             })
         };
@@ -936,6 +1013,7 @@ mod tests {
             round,
             shard,
             epoch: 0,
+            job: coord.job(),
             fingerprint: coord.fingerprint(),
             bytes: bytes.clone(),
         });
@@ -950,6 +1028,7 @@ mod tests {
                 round,
                 shard,
                 epoch: 0,
+                job: coord.job(),
                 fingerprint: coord.fingerprint(),
             }),
             Response::Ack { still_yours: false }
@@ -977,7 +1056,20 @@ mod tests {
         let dir = tmp("journal-mismatch");
         let journal_dir = dir.join("journal");
         let _ = journaled(2, 2, &journal_dir);
+        // Same job, different execution flags (batch size): the journal
+        // refuses with the fingerprint message.
         let clock: Arc<dyn Clock> = Arc::new(ManualClock::new());
+        let err = Coordinator::with_journal(
+            base(),
+            5,
+            CoordinatorOptions::new(2, 2),
+            Arc::clone(&clock),
+            &journal_dir,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("belongs to run"), "{err}");
+        // A different *job* (the seed is identity-bearing) is refused
+        // with the job message — before the fingerprint is consulted.
         let err = Coordinator::with_journal(
             base().with_seed(6),
             4,
@@ -986,7 +1078,7 @@ mod tests {
             &journal_dir,
         )
         .unwrap_err();
-        assert!(err.to_string().contains("belongs to run"), "{err}");
+        assert!(err.to_string().contains("belongs to job"), "{err}");
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -61,12 +61,15 @@ pub const RECORD_OVERHEAD: usize = WAL_MAGIC.len() + 1 + 8 + 8 + 4 + 4 + 8;
 pub enum WalRecord {
     /// A coordinator incarnation started. `epoch` counts prior
     /// incarnations of this journal; `fingerprint` pins the run config
-    /// so a journal is never replayed against different flags.
+    /// and `job` pins the job identity (DESIGN.md §17), so a journal is
+    /// never replayed against different flags or a different job.
     EpochStarted {
         /// This incarnation's epoch (0 for the first).
         epoch: u64,
         /// [`crate::proto::config_fingerprint`] of the run.
         fingerprint: u64,
+        /// `job_digest` of the run's [`fnas::job::JobSpec`].
+        job: u64,
     },
     /// A round's init snapshot was frozen and dispatch began.
     RoundStarted {
@@ -131,7 +134,14 @@ impl WalRecord {
 /// Frames one record into its on-disk bytes.
 pub fn encode_record(record: &WalRecord) -> Vec<u8> {
     let (round, shard, payload): (u64, u32, Vec<u8>) = match *record {
-        WalRecord::EpochStarted { fingerprint, .. } => (0, 0, fingerprint.to_le_bytes().to_vec()),
+        WalRecord::EpochStarted {
+            fingerprint, job, ..
+        } => {
+            let mut p = Vec::with_capacity(16);
+            p.extend_from_slice(&fingerprint.to_le_bytes());
+            p.extend_from_slice(&job.to_le_bytes());
+            (0, 0, p)
+        }
         WalRecord::RoundStarted { round, .. } => (round, 0, Vec::new()),
         WalRecord::ShardSettled {
             round,
@@ -191,9 +201,10 @@ pub fn decode_record(bytes: &[u8]) -> Option<(WalRecord, usize)> {
     }
     let le_u64 = |b: &[u8]| u64::from_le_bytes(b.try_into().unwrap());
     let record = match (kind, payload_len) {
-        (KIND_EPOCH_STARTED, 8) => WalRecord::EpochStarted {
+        (KIND_EPOCH_STARTED, 16) => WalRecord::EpochStarted {
             epoch,
-            fingerprint: le_u64(payload),
+            fingerprint: le_u64(&payload[..8]),
+            job: le_u64(&payload[8..]),
         },
         (KIND_ROUND_STARTED, 0) => WalRecord::RoundStarted { epoch, round },
         (KIND_SHARD_SETTLED, 16) => WalRecord::ShardSettled {
@@ -289,6 +300,8 @@ pub struct ReplayPlan {
     pub next_epoch: u64,
     /// Run fingerprint pinned by the first `EpochStarted`, if any.
     pub fingerprint: Option<u64>,
+    /// Job digest pinned by the first `EpochStarted`, if any.
+    pub job: Option<u64>,
     /// Rounds recorded as merged, counting up from 0 (out-of-order
     /// merge records — impossible in a well-formed journal — are
     /// ignored rather than trusted).
@@ -305,9 +318,12 @@ pub fn replay(records: &[WalRecord]) -> ReplayPlan {
     let mut plan = ReplayPlan::default();
     for record in records {
         match *record {
-            WalRecord::EpochStarted { fingerprint, .. } => {
+            WalRecord::EpochStarted {
+                fingerprint, job, ..
+            } => {
                 plan.next_epoch += 1;
                 plan.fingerprint.get_or_insert(fingerprint);
+                plan.job.get_or_insert(job);
             }
             WalRecord::RoundStarted { .. } => {}
             WalRecord::ShardSettled {
@@ -639,6 +655,7 @@ mod tests {
             WalRecord::EpochStarted {
                 epoch: 0,
                 fingerprint: 0xDEAD_BEEF,
+                job: 0xC0FF_EE00,
             },
             WalRecord::RoundStarted { epoch: 0, round: 0 },
             WalRecord::ShardSettled {
@@ -789,6 +806,7 @@ mod tests {
             WalRecord::EpochStarted {
                 epoch: 0,
                 fingerprint: 11,
+                job: 21,
             },
             WalRecord::RoundStarted { epoch: 0, round: 0 },
             WalRecord::ShardSettled {
@@ -801,6 +819,7 @@ mod tests {
             WalRecord::EpochStarted {
                 epoch: 1,
                 fingerprint: 11,
+                job: 21,
             },
             // A re-settlement after restart: first record wins.
             WalRecord::ShardSettled {
@@ -831,6 +850,7 @@ mod tests {
         ]);
         assert_eq!(plan.next_epoch, 2);
         assert_eq!(plan.fingerprint, Some(11));
+        assert_eq!(plan.job, Some(21));
         assert_eq!(plan.rounds_merged, 1);
         assert_eq!(plan.settled, vec![(0, 0, 10, 1), (0, 1, 12, 2)]);
         assert!(!plan.finished);
@@ -844,6 +864,7 @@ mod tests {
             .append(&WalRecord::EpochStarted {
                 epoch: 0,
                 fingerprint: 1,
+                job: 2,
             })
             .unwrap();
         journal
@@ -919,6 +940,7 @@ mod tests {
                 0 => WalRecord::EpochStarted {
                     epoch,
                     fingerprint: a,
+                    job: b,
                 },
                 1 => WalRecord::RoundStarted { epoch, round },
                 2 => WalRecord::ShardSettled {

@@ -7,14 +7,21 @@
 //! behind one mutex) and make worker crash recovery a non-event — there
 //! is no session to tear down, only a lease to let expire.
 //!
-//! Every request carries the run's **config fingerprint**
-//! ([`config_fingerprint`]): a digest of exactly the knobs that determine
-//! results (seed, budget, preset, batch size, shard/round counts). A
-//! worker built with different flags is rejected on its first request
-//! instead of contributing a divergent checkpoint that would only be
-//! caught — as a hard byte-compare error — at submit time. Worker thread
-//! count is deliberately *excluded*: results are bit-identical for any
-//! worker count, so heterogeneous machines may cooperate on one run.
+//! Every request carries two identities (checked in this order):
+//!
+//! * the **job digest** ([`fnas::job::JobSpec::job_digest`]): *which job*
+//!   the worker was asked to run (preset, device, `rL`, budgets, parent
+//!   seed — DESIGN.md §17). A worker submitted against a different job
+//!   (say, a different `--budget-ms`) gets [`Response::WrongJob`] naming
+//!   the coordinator's job, deterministically, on its first request;
+//! * the run's **config fingerprint** ([`config_fingerprint`]): a digest
+//!   of exactly the knobs that determine results (seed, budget, preset,
+//!   batch size, shard/round counts). A worker built with different
+//!   *execution* flags of the same job is rejected here instead of
+//!   contributing a divergent checkpoint that would only be caught — as
+//!   a hard byte-compare error — at submit time. Worker thread count is
+//!   deliberately *excluded*: results are bit-identical for any worker
+//!   count, so heterogeneous machines may cooperate on one run.
 //!
 //! Payload encoding is the same hand-rolled little-endian style as the
 //! checkpoint codec: `u32`/`u64` LE, strings as `u32` length + UTF-8,
@@ -38,6 +45,8 @@ pub enum Request {
     Poll {
         /// Self-chosen worker name (diagnostics and lease bookkeeping).
         worker: String,
+        /// `job_digest` of the worker's [`fnas::job::JobSpec`].
+        job: u64,
         /// [`config_fingerprint`] of the worker's flags.
         fingerprint: u64,
     },
@@ -53,6 +62,8 @@ pub enum Request {
         /// Coordinator epoch echoed from the [`Response::Assign`] that
         /// issued the lease (epoch fencing, DESIGN.md §15).
         epoch: u64,
+        /// `job_digest` of the worker's [`fnas::job::JobSpec`].
+        job: u64,
         /// [`config_fingerprint`] of the worker's flags.
         fingerprint: u64,
     },
@@ -69,6 +80,8 @@ pub enum Request {
         /// issued the lease; a restarted coordinator rejects stale
         /// epochs with [`Response::Stale`].
         epoch: u64,
+        /// `job_digest` of the worker's [`fnas::job::JobSpec`].
+        job: u64,
         /// [`config_fingerprint`] of the worker's flags.
         fingerprint: u64,
         /// The shard's final checkpoint, as saved by `ShardRunner`.
@@ -94,6 +107,10 @@ pub enum Response {
         /// lease, so a restarted coordinator (higher epoch) can fence
         /// off in-flight work dispatched before its crash.
         epoch: u64,
+        /// `job_digest` of the job this lease belongs to, stamped so the
+        /// assignment itself names the job (diagnostics; the worker
+        /// already proved agreement in its [`Request::Poll`]).
+        job: u64,
         /// The round's init snapshot (FNASCKPT bytes).
         init: Vec<u8>,
     },
@@ -140,6 +157,16 @@ pub enum Response {
     Stale {
         /// The coordinator's current epoch.
         epoch: u64,
+    },
+    /// The request's job digest names a different job than the one this
+    /// coordinator is running (DESIGN.md §17). Unlike a fingerprint
+    /// [`Response::Error`] this is a *job identity* mismatch — the worker
+    /// was pointed at the wrong search entirely (different preset,
+    /// device, `rL`, budget or parent seed) and should exit rather than
+    /// retry: no amount of re-polling makes its job agree.
+    WrongJob {
+        /// The coordinator's `job_digest`.
+        job: u64,
     },
 }
 
@@ -249,6 +276,7 @@ const TAG_ACCEPTED: u8 = 14;
 const TAG_ERROR: u8 = 15;
 const TAG_RETRY: u8 = 16;
 const TAG_STALE: u8 = 17;
+const TAG_WRONG_JOB: u8 = 18;
 
 impl Request {
     /// Serialises the request to one frame payload.
@@ -257,10 +285,12 @@ impl Request {
         match self {
             Request::Poll {
                 worker,
+                job,
                 fingerprint,
             } => {
                 w.u8(TAG_POLL);
                 w.str(worker);
+                w.u64(*job);
                 w.u64(*fingerprint);
             }
             Request::Heartbeat {
@@ -268,6 +298,7 @@ impl Request {
                 round,
                 shard,
                 epoch,
+                job,
                 fingerprint,
             } => {
                 w.u8(TAG_HEARTBEAT);
@@ -275,6 +306,7 @@ impl Request {
                 w.u64(*round);
                 w.u32(*shard);
                 w.u64(*epoch);
+                w.u64(*job);
                 w.u64(*fingerprint);
             }
             Request::Submit {
@@ -282,6 +314,7 @@ impl Request {
                 round,
                 shard,
                 epoch,
+                job,
                 fingerprint,
                 bytes,
             } => {
@@ -290,6 +323,7 @@ impl Request {
                 w.u64(*round);
                 w.u32(*shard);
                 w.u64(*epoch);
+                w.u64(*job);
                 w.u64(*fingerprint);
                 w.bytes(bytes);
             }
@@ -308,6 +342,7 @@ impl Request {
         let msg = match r.u8()? {
             TAG_POLL => Request::Poll {
                 worker: r.str()?,
+                job: r.u64()?,
                 fingerprint: r.u64()?,
             },
             TAG_HEARTBEAT => Request::Heartbeat {
@@ -315,6 +350,7 @@ impl Request {
                 round: r.u64()?,
                 shard: r.u32()?,
                 epoch: r.u64()?,
+                job: r.u64()?,
                 fingerprint: r.u64()?,
             },
             TAG_SUBMIT => Request::Submit {
@@ -322,6 +358,7 @@ impl Request {
                 round: r.u64()?,
                 shard: r.u32()?,
                 epoch: r.u64()?,
+                job: r.u64()?,
                 fingerprint: r.u64()?,
                 bytes: r.bytes()?,
             },
@@ -343,6 +380,7 @@ impl Response {
                 shard_count,
                 lease_ms,
                 epoch,
+                job,
                 init,
             } => {
                 w.u8(TAG_ASSIGN);
@@ -351,6 +389,7 @@ impl Response {
                 w.u32(*shard_count);
                 w.u64(*lease_ms);
                 w.u64(*epoch);
+                w.u64(*job);
                 w.bytes(init);
             }
             Response::Wait { backoff_ms } => {
@@ -378,6 +417,10 @@ impl Response {
                 w.u8(TAG_STALE);
                 w.u64(*epoch);
             }
+            Response::WrongJob { job } => {
+                w.u8(TAG_WRONG_JOB);
+                w.u64(*job);
+            }
         }
         w.0
     }
@@ -397,6 +440,7 @@ impl Response {
                 shard_count: r.u32()?,
                 lease_ms: r.u64()?,
                 epoch: r.u64()?,
+                job: r.u64()?,
                 init: r.bytes()?,
             },
             TAG_WAIT => Response::Wait {
@@ -414,6 +458,7 @@ impl Response {
                 backoff_ms: r.u64()?,
             },
             TAG_STALE => Response::Stale { epoch: r.u64()? },
+            TAG_WRONG_JOB => Response::WrongJob { job: r.u64()? },
             tag => return Err(corrupt(&format!("unknown response tag {tag}"))),
         };
         r.done()?;
@@ -431,6 +476,7 @@ mod tests {
         let msgs = [
             Request::Poll {
                 worker: "w-α".to_string(),
+                job: 0xC0FF_EE00,
                 fingerprint: 0xDEAD_BEEF,
             },
             Request::Heartbeat {
@@ -438,6 +484,7 @@ mod tests {
                 round: 3,
                 shard: 2,
                 epoch: 1,
+                job: 11,
                 fingerprint: 7,
             },
             Request::Submit {
@@ -445,6 +492,7 @@ mod tests {
                 round: 1,
                 shard: 0,
                 epoch: 2,
+                job: 11,
                 fingerprint: 7,
                 bytes: vec![1, 2, 3],
             },
@@ -463,6 +511,7 @@ mod tests {
                 shard_count: 4,
                 lease_ms: 5000,
                 epoch: 3,
+                job: 0xC0FF_EE00,
                 init: vec![9; 64],
             },
             Response::Wait { backoff_ms: 100 },
@@ -474,6 +523,7 @@ mod tests {
             },
             Response::Retry { backoff_ms: 250 },
             Response::Stale { epoch: 4 },
+            Response::WrongJob { job: 0xBAD_30B },
         ];
         for m in msgs {
             assert_eq!(Response::from_bytes(&m.to_bytes()).unwrap(), m);
@@ -486,6 +536,7 @@ mod tests {
         assert!(Request::from_bytes(&[99]).is_err());
         let mut ok = Request::Poll {
             worker: "w".to_string(),
+            job: 2,
             fingerprint: 1,
         }
         .to_bytes();

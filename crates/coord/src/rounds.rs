@@ -40,8 +40,10 @@ use rand::SeedableRng;
 /// Round 0 is the base config itself ([`derive_round_seed`]'s identity
 /// convention).
 pub fn round_config(base: &SearchConfig, round: u64) -> SearchConfig {
+    // The round seed is *derived*, not submitted: the re-seeded config
+    // keeps the base job's identity (DESIGN.md §17).
     base.clone()
-        .with_seed(derive_round_seed(base.seed(), round))
+        .with_derived_seed(derive_round_seed(base.seed(), round))
 }
 
 /// The init snapshot round `round` runs against.
@@ -75,6 +77,7 @@ pub fn init_for_round(
                 shard_count: 1,
                 parent_seed: seed,
                 round,
+                job: config.job().clone(),
                 run_seed: seed,
                 next_episode: 0,
                 rng_state: StdRng::seed_from_u64(seed).state(),
@@ -195,6 +198,7 @@ pub fn accumulate(base: &SearchConfig, rounds: &[SearchCheckpoint]) -> Result<Se
         shard_count: 1,
         parent_seed: base.seed(),
         round: last.round,
+        job: base.job().clone(),
         run_seed: base.seed(),
         next_episode,
         rng_state: last.rng_state,

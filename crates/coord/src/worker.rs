@@ -157,6 +157,7 @@ pub fn run_worker(
     rounds: u64,
 ) -> Result<WorkerReport> {
     std::fs::create_dir_all(&worker.dir)?;
+    let job = base.job().job_digest();
     let fingerprint = config_fingerprint(base, opts.batch_size(), shards, rounds);
     // One store handle per worker process, shared across every shard and
     // round this worker runs.
@@ -168,6 +169,7 @@ pub fn run_worker(
     loop {
         let poll = Request::Poll {
             worker: worker.name.clone(),
+            job,
             fingerprint,
         };
         let response = match request(worker, &poll) {
@@ -216,6 +218,7 @@ pub fn run_worker(
                         round,
                         shard,
                         epoch,
+                        job,
                         fingerprint,
                     };
                     std::thread::spawn(move || {
@@ -235,12 +238,19 @@ pub fn run_worker(
                 stop.store(true, Ordering::Relaxed);
                 let _ = beat.join();
                 let bytes = ran?;
+                // Durable copy under the owning job's namespace: a shared
+                // store directory keeps each job's shard checkpoints apart
+                // (best-effort, like every store write).
+                if let Some(store) = &store {
+                    store.put_artifact(job, &shard_file(round, shard, shard_count), &bytes);
+                }
 
                 let submit = Request::Submit {
                     worker: worker.name.clone(),
                     round,
                     shard,
                     epoch,
+                    job,
                     fingerprint,
                     bytes,
                 };
@@ -272,6 +282,18 @@ pub fn run_worker(
                                 what: format!("coordinator rejected shard {shard}: {what}"),
                             })
                         }
+                        // Not our search: the coordinator serves a
+                        // different job. Exit rather than retry — no
+                        // amount of backoff makes the jobs agree.
+                        Response::WrongJob { job: theirs } => {
+                            return Err(FnasError::InvalidConfig {
+                                what: format!(
+                                    "coordinator serves job {theirs:#018x}, this worker was \
+                                     started for job {job:#018x}; check the job flags \
+                                     (--preset/--device/--budget-ms/--trials/--seed)"
+                                ),
+                            })
+                        }
                         other => {
                             return Err(FnasError::InvalidConfig {
                                 what: format!("unexpected submit response {other:?}"),
@@ -283,6 +305,15 @@ pub fn run_worker(
             Response::Error { what } => {
                 return Err(FnasError::InvalidConfig {
                     what: format!("coordinator rejected poll: {what}"),
+                })
+            }
+            Response::WrongJob { job: theirs } => {
+                return Err(FnasError::InvalidConfig {
+                    what: format!(
+                        "coordinator serves job {theirs:#018x}, this worker was started \
+                         for job {job:#018x}; check the job flags \
+                         (--preset/--device/--budget-ms/--trials/--seed)"
+                    ),
                 })
             }
             other => {

@@ -36,6 +36,11 @@ fn render(ckpt: &SearchCheckpoint) -> String {
         VERSION
     ));
     line(format!(
+        "job: {:#018x} ({})",
+        ckpt.job.job_digest(),
+        ckpt.job
+    ));
+    line(format!(
         "shard: {}/{} (parent seed {})",
         ckpt.shard_index, ckpt.shard_count, ckpt.parent_seed
     ));
@@ -123,6 +128,18 @@ fn counter_fields(t: &fnas::search::TelemetrySnapshot) -> [(&'static str, u64); 
 /// snapshots produce exactly `"identical"`.
 fn diff(a: &SearchCheckpoint, b: &SearchCheckpoint) -> String {
     let mut lines: Vec<String> = Vec::new();
+    // Cross-job comparisons lead loudly: every delta below a job
+    // mismatch is expected, so the first line reframes the whole diff.
+    if a.job != b.job {
+        lines.push(format!(
+            "JOB MISMATCH: {:#018x} ({}) → {:#018x} ({}) — \
+             these snapshots belong to different search jobs",
+            a.job.job_digest(),
+            a.job,
+            b.job.job_digest(),
+            b.job
+        ));
+    }
     if (a.shard_index, a.shard_count) != (b.shard_index, b.shard_count) {
         lines.push(format!(
             "shard: {}/{} → {}/{}",
@@ -300,7 +317,14 @@ mod tests {
 
         let ckpt = SearchCheckpoint::load(&path).unwrap();
         let report = render(&ckpt);
-        assert!(report.contains("magic=\"FNASCKPT\" version=3"));
+        assert!(report.contains("magic=\"FNASCKPT\" version=4"));
+        assert!(
+            report.contains(&format!(
+                "job: {:#018x} (mnist, rL 10 ms, 8 trials, seed 9)",
+                config.job().job_digest()
+            )),
+            "{report}"
+        );
         assert!(report.contains("shard: 0/1 (parent seed 9)"));
         assert!(report.contains("round: 0"));
         assert!(report.contains("run seed: 9"));
@@ -323,6 +347,7 @@ mod tests {
             shard_count: 1,
             parent_seed: 0,
             round: 0,
+            job: Default::default(),
             run_seed: 0,
             next_episode: 0,
             rng_state: [0; 4],
@@ -387,6 +412,10 @@ mod tests {
             .unwrap();
         let c = SearchCheckpoint::load(&late).unwrap();
         let d = diff(&a, &c);
+        // The seed is identity-bearing, so this is a cross-job diff —
+        // flagged loudly on the very first delta line.
+        assert!(d.lines().nth(1).unwrap().contains("JOB MISMATCH"), "{d}");
+        assert!(d.contains("seed 9) → "), "{d}");
         assert!(d.contains("run seed: 0x9 → 0xa"), "{d}");
         assert!(d.contains("trainer params"), "{d}");
         assert!(d.contains("rng stream: diverged"), "{d}");

@@ -18,15 +18,17 @@
 //! independent sweeps). A `--shard 0/1` run is bit-identical to the
 //! unsharded engine.
 //!
-//! The config flags (`--preset`, `--trials`, `--seed`, `--budget-ms`)
-//! select the run and must be repeated identically on every invocation —
-//! the snapshot seed is validated, so a mismatch fails loudly rather than
-//! silently diverging.
+//! The job flags (`--preset`, `--device`, `--trials`, `--seed`,
+//! `--budget-ms`) are parsed by the shared [`fnas::job::cli`] layer and
+//! must be repeated identically on every invocation — the snapshot seed
+//! is validated, so a mismatch fails loudly rather than silently
+//! diverging.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use fnas::experiment::ExperimentPreset;
+use fnas::job::cli::{Args, JOB_USAGE};
+use fnas::job::JobSpec;
 use fnas::search::{
     BatchOptions, CheckpointOptions, CheckpointPolicy, SearchConfig, ShardRunner, ShardSpec,
 };
@@ -44,10 +46,6 @@ struct Cli {
 }
 
 const USAGE: &str = "usage: fnas-shard <init|run|merge> --dir <out-dir> [options]
-  common     --preset <mnist|mnist-low-end|cifar10>  experiment preset (default mnist)
-             --trials <N>      total trial budget across all shards
-             --seed <N>        parent run seed (default config default)
-             --budget-ms <X>   FNAS latency budget in ms (default 10)
   run        --shard <i/N>     which slice this process executes (required)
              --workers <W>     evaluation workers (default: cores; results
                                are bit-identical for any worker count)
@@ -59,12 +57,16 @@ const USAGE: &str = "usage: fnas-shard <init|run|merge> --dir <out-dir> [options
                                (results are bit-identical with or without)
   merge      --shards <N>      how many shard files to reduce (required)";
 
+/// The full usage block: bin-specific flags plus the shared job flags.
+fn usage() -> String {
+    format!("{USAGE}\n{JOB_USAGE}")
+}
+
 fn parse(args: &[String]) -> Result<Cli, String> {
+    let (job, rest) = JobSpec::from_args(args)?;
+    let config = job.resolve().map_err(|e| e.to_string())?;
+
     let mut dir = None;
-    let mut preset_name = "mnist".to_string();
-    let mut trials = None;
-    let mut seed = None;
-    let mut budget_ms = 10.0f64;
     let mut workers = None;
     let mut batch = None;
     let mut every = 1u64;
@@ -73,44 +75,22 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let mut shards = None;
     let mut store_dir = None;
 
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .map(String::as_str)
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
-        match flag.as_str() {
-            "--dir" => dir = Some(PathBuf::from(value()?)),
-            "--preset" => preset_name = value()?.to_string(),
-            "--trials" => trials = Some(parse_num::<usize>(flag, value()?)?),
-            "--seed" => seed = Some(parse_num::<u64>(flag, value()?)?),
-            "--budget-ms" => budget_ms = parse_num::<f64>(flag, value()?)?,
-            "--workers" => workers = Some(parse_num::<usize>(flag, value()?)?),
-            "--batch" => batch = Some(parse_num::<usize>(flag, value()?)?),
-            "--every" => every = parse_num::<u64>(flag, value()?)?,
-            "--keep-last" => policy = CheckpointPolicy::keep_last(parse_num(flag, value()?)?),
+    let mut a = Args::new(&rest);
+    while let Some(flag) = a.next_flag() {
+        match flag {
+            "--dir" => dir = Some(PathBuf::from(a.value()?)),
+            "--workers" => workers = Some(a.num::<usize>()?),
+            "--batch" => batch = Some(a.num::<usize>()?),
+            "--every" => every = a.num::<u64>()?,
+            "--keep-last" => policy = CheckpointPolicy::keep_last(a.num()?),
             "--keep-all" => policy = CheckpointPolicy::KeepAll,
-            "--shard" => shard = Some(ShardSpec::parse(value()?).map_err(|e| e.to_string())?),
-            "--shards" => shards = Some(parse_num::<u32>(flag, value()?)?),
-            "--store-dir" => store_dir = Some(PathBuf::from(value()?)),
+            "--shard" => shard = Some(ShardSpec::parse(a.value()?).map_err(|e| e.to_string())?),
+            "--shards" => shards = Some(a.num::<u32>()?),
+            "--store-dir" => store_dir = Some(PathBuf::from(a.value()?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
 
-    let mut preset = match preset_name.as_str() {
-        "mnist" => ExperimentPreset::mnist(),
-        "mnist-low-end" => ExperimentPreset::mnist_low_end(),
-        "cifar10" => ExperimentPreset::cifar10(),
-        other => return Err(format!("unknown preset {other:?}")),
-    };
-    if let Some(t) = trials {
-        preset = preset.with_trials(t);
-    }
-    let mut config = SearchConfig::fnas(preset, budget_ms);
-    if let Some(s) = seed {
-        config = config.with_seed(s);
-    }
     let mut opts = BatchOptions::default();
     if let Some(w) = workers {
         opts = opts.with_workers(w);
@@ -128,10 +108,6 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         shards,
         store_dir,
     })
-}
-
-fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
-    s.parse().map_err(|_| format!("{flag}: bad value {s:?}"))
 }
 
 fn init_path(dir: &Path) -> PathBuf {
@@ -172,6 +148,17 @@ fn cmd_run(cli: &Cli) -> Result<String, String> {
     let outcome = runner
         .run_stored(&cli.opts, &init_path(&cli.dir), &ckpt, store.clone())
         .map_err(|e| e.to_string())?;
+    // Publish the finished shard under this job's store namespace, so a
+    // shared --store-dir keeps differently-specced runs apart.
+    if let Some(store) = &store {
+        if let Ok(bytes) = std::fs::read(&path) {
+            store.put_artifact(
+                cli.config.job().job_digest(),
+                &format!("shard-{}-of-{}.ckpt", spec.index(), spec.count()),
+                &bytes,
+            );
+        }
+    }
     let best = outcome.best().map_or("none".to_string(), |t| {
         format!(
             "{:.2}% at {}",
@@ -216,13 +203,13 @@ fn cmd_merge(cli: &Cli) -> Result<String, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("{USAGE}");
+        eprintln!("{}", usage());
         return ExitCode::from(2);
     };
     let cli = match parse(rest) {
         Ok(cli) => cli,
         Err(e) => {
-            eprintln!("fnas-shard: {e}\n{USAGE}");
+            eprintln!("fnas-shard: {e}\n{}", usage());
             return ExitCode::from(2);
         }
     };
@@ -231,7 +218,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&cli),
         "merge" => cmd_merge(&cli),
         other => {
-            eprintln!("fnas-shard: unknown command {other:?}\n{USAGE}");
+            eprintln!("fnas-shard: unknown command {other:?}\n{}", usage());
             return ExitCode::from(2);
         }
     };
@@ -273,6 +260,10 @@ mod tests {
         assert_eq!(c.store_dir, None);
         let c = cli("--shard 0/1 --store-dir /tmp/store");
         assert_eq!(c.store_dir, Some(PathBuf::from("/tmp/store")));
+        // The shared job layer gives every bin --device for free.
+        let c = cli("--shard 0/1 --device zu9eg");
+        assert_eq!(c.config.preset().device().name(), "zu9eg");
+        assert_eq!(c.config.job().device(), Some("zu9eg"));
     }
 
     #[test]
@@ -325,6 +316,14 @@ mod tests {
             cold.lines().next().unwrap(),
             warm.lines().next().unwrap(),
             "store must not change the shard outcome"
+        );
+        // The finished shard was also published under the job's store
+        // namespace, keyed by the job digest.
+        let store = fnas_store::DiskStore::open(dir.join("store")).unwrap();
+        let job = base("").config.job().job_digest();
+        assert_eq!(
+            store.list_artifacts(job).unwrap(),
+            vec!["shard-0-of-2.ckpt"]
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -36,6 +36,7 @@ use fnas_fpga::Millis;
 use fnas_nn::optim::AdamState;
 
 use crate::cost::SearchCost;
+use crate::job::JobSpec;
 use crate::search::TrialRecord;
 use crate::{FnasError, Result};
 
@@ -52,7 +53,11 @@ pub const MAGIC: &[u8; 8] = b"FNASCKPT";
 /// * **v3** — extends the shard header with a `round` counter for
 ///   iterated synchronous (merge → re-init → continue) searches. v1/v2
 ///   snapshots still load, as round 0.
-pub const VERSION: u32 = 3;
+/// * **v4** — appends a length-prefixed canonical [`JobSpec`] after the
+///   round counter, so every snapshot names the job it belongs to
+///   (DESIGN.md §17). v1–v3 snapshots still load, as the pinned default
+///   job ([`JobSpec::default`]).
+pub const VERSION: u32 = 4;
 
 /// Everything needed to continue a batched search bit-identically.
 ///
@@ -79,6 +84,11 @@ pub struct SearchCheckpoint {
     /// every v1/v2 snapshot; within a round, each shard's seed tree hangs
     /// off [`fnas_exec::derive_round_seed`]`(parent, round)`.
     pub round: u64,
+    /// The job this snapshot belongs to (v4; DESIGN.md §17). Snapshots
+    /// written before jobs existed (v1–v3) load as [`JobSpec::default`],
+    /// the pinned historical spec. Merging validates job agreement, and
+    /// `fnas-ckpt diff` flags cross-job comparisons loudly.
+    pub job: JobSpec,
     /// The run's config seed; resume refuses a mismatched config.
     pub run_seed: u64,
     /// The next episode index to execute.
@@ -109,6 +119,10 @@ impl SearchCheckpoint {
         w.u32(self.shard_count);
         w.u64(self.parent_seed);
         w.u64(self.round);
+        // v4 job header: length-prefixed canonical JobSpec encoding.
+        let job = self.job.encode();
+        w.u64(job.len() as u64);
+        w.bytes(&job);
         w.u64(self.run_seed);
         w.u64(self.next_episode);
         for s in self.rng_state {
@@ -201,6 +215,14 @@ impl SearchCheckpoint {
             (0, 1, None)
         };
         let round = if version >= 3 { r.u64()? } else { 0 };
+        // v4 job header; pre-job snapshots load as the pinned default.
+        let job = if version >= 4 {
+            let n = r.len()?;
+            JobSpec::decode(r.bytes(n)?)
+                .ok_or_else(|| corrupt("job header does not decode as a canonical JobSpec"))?
+        } else {
+            JobSpec::default()
+        };
         if shard_count == 0 || shard_index >= shard_count {
             return Err(corrupt(&format!(
                 "implausible shard header {shard_index}/{shard_count}"
@@ -295,6 +317,7 @@ impl SearchCheckpoint {
             shard_count,
             parent_seed,
             round,
+            job,
             run_seed,
             next_episode,
             rng_state,
@@ -331,9 +354,9 @@ impl SearchCheckpoint {
     /// # Errors
     ///
     /// Returns [`FnasError::InvalidConfig`] when `parts` is empty, the
-    /// shards disagree on `parent_seed`, `shard_count` or `round`, the
-    /// indices do not tile `0..shard_count` exactly, or the controllers
-    /// have different shapes.
+    /// shards disagree on `parent_seed`, `shard_count`, `round` or job,
+    /// the indices do not tile `0..shard_count` exactly, or the
+    /// controllers have different shapes.
     pub fn merge(parts: &[SearchCheckpoint]) -> Result<SearchCheckpoint> {
         let first = parts
             .first()
@@ -370,6 +393,16 @@ impl SearchCheckpoint {
                 return Err(corrupt(&format!(
                     "shard {} belongs to round {}, shard 0 to round {}",
                     c.shard_index, c.round, first.round
+                )));
+            }
+            if c.job != first.job {
+                return Err(corrupt(&format!(
+                    "shard {} belongs to job {:#018x} ({}), shard 0 to job {:#018x} ({})",
+                    c.shard_index,
+                    c.job.job_digest(),
+                    c.job,
+                    first.job.job_digest(),
+                    first.job
                 )));
             }
             if c.trainer.params.len() != first.trainer.params.len()
@@ -471,6 +504,7 @@ impl SearchCheckpoint {
             shard_count: 1,
             parent_seed: first.parent_seed,
             round: first.round,
+            job: first.job.clone(),
             run_seed: first.parent_seed,
             next_episode,
             rng_state: shards[0].rng_state,
@@ -646,6 +680,10 @@ mod tests {
             shard_count: 1,
             parent_seed: 0xF0A5,
             round: 2,
+            job: JobSpec::new("mnist")
+                .with_required_ms(Some(10.0))
+                .with_trials(Some(8))
+                .with_seed(Some(0xF0A5)),
             run_seed: 0xF0A5,
             next_episode: 3,
             rng_state: [1, 2, 3, u64::MAX],
@@ -762,12 +800,26 @@ mod tests {
         let ck = sample();
         let mut bytes = ck.to_bytes();
         // The trainer param-count length prefix sits after magic(8) +
-        // version(4) + shard header(24) + seed(8) + episode(8) + rng(32) +
-        // baseline(5) + cost(16) = 105 bytes; overwrite it with an absurd
-        // count.
-        bytes[105..113].copy_from_slice(&u64::MAX.to_le_bytes());
+        // version(4) + shard header(24) + job block(8 + N) + seed(8) +
+        // episode(8) + rng(32) + baseline(5) + cost(16); overwrite it with
+        // an absurd count.
+        let at = 8 + 4 + 24 + 8 + ck.job.encode().len() + 8 + 8 + 32 + 5 + 16;
+        bytes[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         let err = SearchCheckpoint::from_bytes(&bytes).unwrap_err();
         assert!(err.to_string().contains("implausible length"), "{err}");
+    }
+
+    /// Rewrites v4 bytes into the v3 layout: patch the version word and
+    /// splice out the length-prefixed job block after the shard header.
+    fn downgrade_to_v3(v4: &[u8]) -> Vec<u8> {
+        let header_end = MAGIC.len() + 4 + 24;
+        let n = u64::from_le_bytes(v4[header_end..header_end + 8].try_into().unwrap()) as usize;
+        let mut v3 = Vec::with_capacity(v4.len() - 8 - n);
+        v3.extend_from_slice(&v4[..MAGIC.len()]);
+        v3.extend_from_slice(&3u32.to_le_bytes());
+        v3.extend_from_slice(&v4[MAGIC.len() + 4..header_end]);
+        v3.extend_from_slice(&v4[header_end + 8 + n..]);
+        v3
     }
 
     /// Rewrites v3 bytes into the v1 layout: patch the version word and
@@ -794,13 +846,38 @@ mod tests {
     }
 
     #[test]
+    fn v3_snapshots_load_as_the_pinned_default_job() {
+        let mut ck = sample();
+        let v3 = downgrade_to_v3(&ck.to_bytes());
+        let restored = SearchCheckpoint::from_bytes(&v3).unwrap();
+        ck.job = JobSpec::default();
+        assert_eq!(restored, ck);
+        // Everything that predates the job header is untouched.
+        assert_eq!(restored.round, 2);
+        assert_eq!(restored.parent_seed, 0xF0A5);
+    }
+
+    #[test]
+    fn corrupt_job_headers_are_rejected() {
+        let ck = sample();
+        let mut bytes = ck.to_bytes();
+        // The job codec's version word is the first field of the job
+        // block's payload; an unknown version must fail the whole load.
+        let payload = MAGIC.len() + 4 + 24 + 8;
+        bytes[payload..payload + 4].copy_from_slice(&0xFFu32.to_le_bytes());
+        let err = SearchCheckpoint::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("job header"), "{err}");
+    }
+
+    #[test]
     fn v1_snapshots_load_as_shard_zero_of_one_round_zero() {
         let mut ck = sample();
         ck.shard_index = 0;
         ck.shard_count = 1;
         ck.parent_seed = ck.run_seed;
         ck.round = 0;
-        let v1 = downgrade_to_v1(&ck.to_bytes());
+        ck.job = JobSpec::default(); // pre-job snapshots load as default
+        let v1 = downgrade_to_v1(&downgrade_to_v3(&ck.to_bytes()));
         let restored = SearchCheckpoint::from_bytes(&v1).unwrap();
         assert_eq!(restored, ck);
         assert_eq!(restored.shard_index, 0);
@@ -815,7 +892,8 @@ mod tests {
         ck.shard_index = 1;
         ck.shard_count = 4;
         ck.round = 0;
-        let v2 = downgrade_to_v2(&ck.to_bytes());
+        ck.job = JobSpec::default(); // pre-job snapshots load as default
+        let v2 = downgrade_to_v2(&downgrade_to_v3(&ck.to_bytes()));
         let restored = SearchCheckpoint::from_bytes(&v2).unwrap();
         assert_eq!(restored, ck);
         assert_eq!(restored.shard_index, 1);
@@ -897,6 +975,11 @@ mod tests {
         late.round += 1;
         let err = SearchCheckpoint::merge(&[shard(0, 2), late]).unwrap_err();
         assert!(err.to_string().contains("round"), "{err}");
+        // Mismatched job: names both digests and both specs.
+        let mut wrong_job = shard(1, 2);
+        wrong_job.job = wrong_job.job.with_required_ms(Some(2.5));
+        let err = SearchCheckpoint::merge(&[shard(0, 2), wrong_job]).unwrap_err();
+        assert!(err.to_string().contains("belongs to job"), "{err}");
         // Mismatched controller shape.
         let mut odd = shard(1, 2);
         odd.trainer.params.push(0.0);

@@ -1,0 +1,548 @@
+//! First-class job identity: the canonical [`JobSpec`] and its digest.
+//!
+//! A *job* is the tuple a user actually submits to the search system —
+//! experiment preset, device model override, latency spec `rL`, trial
+//! budget, parent seed, oracle backend. Before this module existed that
+//! tuple lived as duplicated flag-parsing in three bins and implicit
+//! defaults in [`SearchConfig`]; nothing below the argv layer could tell
+//! one job from another. Now it is a value with:
+//!
+//! * a **canonical little-endian codec** ([`JobSpec::encode`] /
+//!   [`JobSpec::decode`]) — the byte string that *is* the job's identity;
+//!   two specs are equal iff their encodings are equal;
+//! * a pinned **FNV-1a/SplitMix64 digest** ([`JobSpec::job_digest`]) over
+//!   that encoding, mirroring `fnas_store::digest128` — the `u64` key the
+//!   `FNC1` protocol, the coordinator's WAL and the store's job namespace
+//!   all carry (`tests/job_identity.rs` pins one canonical digest so
+//!   silent schema drift fails CI);
+//! * a **resolver** ([`JobSpec::resolve`]) that turns the spec into the
+//!   [`SearchConfig`] the engine runs, stamping the spec into the config
+//!   so every checkpoint written downstream carries its job
+//!   (`FNASCKPT` v4, DESIGN.md §17).
+//!
+//! What is keyed by what (DESIGN.md §17): `job_digest` identifies a
+//! *submission* (cross-job isolation of checkpoints, journals, protocol
+//! sessions); `fnas_store::CacheKey` identifies an *oracle question*
+//! (arch × device × backend — deliberately job-agnostic so jobs share
+//! warm latency answers); the coordinator's *epoch* identifies an
+//! incarnation within one job.
+//!
+//! The [`cli`] submodule is the shared argv layer: every operator bin
+//! parses the same job flags through [`JobSpec::from_args`], so a job
+//! parsed by `fnas-shard`, `fnas-coord` or `fnas-worker` resolves
+//! byte-identically.
+
+pub mod cli;
+
+use fnas_fpga::device::FpgaDevice;
+
+use crate::experiment::ExperimentPreset;
+use crate::search::SearchConfig;
+use crate::{FnasError, Result};
+
+/// Which latency oracle answers the job's hardware questions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OracleBackend {
+    /// The closed-form FNAS-Analyzer (Eq. 5) — the default.
+    #[default]
+    Analytic,
+    /// The cycle-accurate simulator.
+    Simulated,
+}
+
+/// The canonical description of one search job.
+///
+/// Option fields are *overrides*: `None` means "the preset's default",
+/// and is encoded distinctly from an explicit value — the spec records
+/// what was submitted, not what it resolves to.
+///
+/// Equality is defined over the canonical encoding, so two specs compare
+/// equal exactly when they share a [`JobSpec::job_digest`] preimage.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Canonical preset name ([`ExperimentPreset::name`]).
+    preset: String,
+    /// Device model override; `None` targets the preset's device.
+    device: Option<String>,
+    /// The required latency `rL` in ms; `None` is an accuracy-only NAS run.
+    required_ms: Option<f64>,
+    /// Trial-budget override.
+    trials: Option<usize>,
+    /// Parent run seed override.
+    seed: Option<u64>,
+    /// The latency oracle backend.
+    backend: OracleBackend,
+}
+
+/// Codec version word leading every encoded spec.
+const CODEC_VERSION: u32 = 1;
+
+/// FNV-1a prime (shared with `fnas_store::digest128`).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Golden-ratio constant for length finalization.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The digest's offset basis — a domain tag, so a job digest can never
+/// collide-by-construction with the store's or the protocol's hashes.
+const DIGEST_SEED: u64 = u64::from_le_bytes(*b"FNASJOB1");
+
+/// SplitMix64 finalizer (identical to the store's `mix64`).
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+impl JobSpec {
+    /// A job over the named preset with every override unset and the
+    /// analytic backend — an accuracy-only NAS job until
+    /// [`JobSpec::with_required_ms`] arms the latency spec.
+    pub fn new(preset: impl Into<String>) -> Self {
+        JobSpec {
+            preset: preset.into(),
+            device: None,
+            required_ms: None,
+            trials: None,
+            seed: None,
+            backend: OracleBackend::Analytic,
+        }
+    }
+
+    /// Sets (or clears) the required latency `rL` in milliseconds.
+    #[must_use]
+    pub fn with_required_ms(mut self, ms: Option<f64>) -> Self {
+        self.required_ms = ms;
+        self
+    }
+
+    /// Sets (or clears) the trial-budget override.
+    #[must_use]
+    pub fn with_trials(mut self, trials: Option<usize>) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets (or clears) the parent-seed override.
+    #[must_use]
+    pub fn with_seed(mut self, seed: Option<u64>) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets (or clears) the device model override.
+    #[must_use]
+    pub fn with_device(mut self, device: Option<String>) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sets the oracle backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: OracleBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The canonical preset name.
+    pub fn preset(&self) -> &str {
+        &self.preset
+    }
+
+    /// The device model override, if any.
+    pub fn device(&self) -> Option<&str> {
+        self.device.as_deref()
+    }
+
+    /// The required latency `rL` in ms, if this is an FNAS job.
+    pub fn required_ms(&self) -> Option<f64> {
+        self.required_ms
+    }
+
+    /// The trial-budget override, if any.
+    pub fn trials(&self) -> Option<usize> {
+        self.trials
+    }
+
+    /// The parent-seed override, if any.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// The oracle backend.
+    pub fn backend(&self) -> OracleBackend {
+        self.backend
+    }
+
+    /// The canonical little-endian encoding — the job's identity bytes.
+    ///
+    /// Layout: codec version `u32`; preset as `u32` length + UTF-8
+    /// bytes; then tagged options (`u8` 0 = unset, 1 = set followed by
+    /// the value): device string, `rL` as IEEE-754 bits, trials `u64`,
+    /// seed `u64`; finally the backend tag `u8`. Every field is
+    /// length-prefixed or fixed-width, so the encoding is injective:
+    /// distinct specs never share bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.preset.len());
+        out.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.preset.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.preset.as_bytes());
+        match &self.device {
+            None => out.push(0),
+            Some(d) => {
+                out.push(1);
+                out.extend_from_slice(&(d.len() as u32).to_le_bytes());
+                out.extend_from_slice(d.as_bytes());
+            }
+        }
+        match self.required_ms {
+            None => out.push(0),
+            Some(ms) => {
+                out.push(1);
+                out.extend_from_slice(&ms.to_bits().to_le_bytes());
+            }
+        }
+        match self.trials {
+            None => out.push(0),
+            Some(t) => {
+                out.push(1);
+                out.extend_from_slice(&(t as u64).to_le_bytes());
+            }
+        }
+        match self.seed {
+            None => out.push(0),
+            Some(s) => {
+                out.push(1);
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+        out.push(match self.backend {
+            OracleBackend::Analytic => 0,
+            OracleBackend::Simulated => 1,
+        });
+        out
+    }
+
+    /// Decodes a canonical encoding; `None` on any defect (wrong
+    /// version, bad tag, non-UTF-8 string, truncation, trailing bytes).
+    pub fn decode(bytes: &[u8]) -> Option<JobSpec> {
+        let mut r = Reader { bytes, at: 0 };
+        if r.u32()? != CODEC_VERSION {
+            return None;
+        }
+        let preset = r.string()?;
+        let device = match r.u8()? {
+            0 => None,
+            1 => Some(r.string()?),
+            _ => return None,
+        };
+        let required_ms = match r.u8()? {
+            0 => None,
+            1 => Some(f64::from_bits(r.u64()?)),
+            _ => return None,
+        };
+        let trials = match r.u8()? {
+            0 => None,
+            1 => Some(usize::try_from(r.u64()?).ok()?),
+            _ => return None,
+        };
+        let seed = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            _ => return None,
+        };
+        let backend = match r.u8()? {
+            0 => OracleBackend::Analytic,
+            1 => OracleBackend::Simulated,
+            _ => return None,
+        };
+        if r.at != bytes.len() {
+            return None;
+        }
+        Some(JobSpec {
+            preset,
+            device,
+            required_ms,
+            trials,
+            seed,
+            backend,
+        })
+    }
+
+    /// The pinned job digest: FNV-1a over [`JobSpec::encode`] from the
+    /// `FNASJOB1` offset basis, length-finalized and mixed through
+    /// SplitMix64 — the same construction as `fnas_store::digest128`,
+    /// under a distinct domain tag. This is the `u64` stamped into
+    /// `FNC1` requests, WAL `EpochStarted` records and the store's job
+    /// namespace; `tests/job_identity.rs` pins one canonical value.
+    pub fn job_digest(&self) -> u64 {
+        let bytes = self.encode();
+        let mut h = DIGEST_SEED;
+        for &b in &bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h = h.wrapping_add((bytes.len() as u64).wrapping_mul(GOLDEN));
+        mix64(h)
+    }
+
+    /// Resolves the spec into the [`SearchConfig`] the engine runs.
+    ///
+    /// Preset names accept both the canonical [`ExperimentPreset::name`]
+    /// and the CLI aliases (`mnist-low-end`, `cifar10`); overrides are
+    /// applied on top, and the spec itself is stamped into the config so
+    /// everything written downstream carries this job's identity. Two
+    /// equal specs resolve to configs that run byte-identically, no
+    /// matter which bin parsed them.
+    ///
+    /// # Errors
+    ///
+    /// [`FnasError::InvalidConfig`] for an unknown preset or device name.
+    pub fn resolve(&self) -> Result<SearchConfig> {
+        let mut preset = preset_by_name(&self.preset)?;
+        if let Some(t) = self.trials {
+            preset = preset.with_trials(t);
+        }
+        if let Some(d) = &self.device {
+            preset = preset.with_device(device_by_name(d)?);
+        }
+        let mut config = match self.required_ms {
+            Some(ms) => SearchConfig::fnas(preset, ms),
+            None => SearchConfig::nas(preset),
+        };
+        if let Some(s) = self.seed {
+            config = config.with_seed(s);
+        }
+        Ok(config.with_job(self.clone()))
+    }
+}
+
+impl PartialEq for JobSpec {
+    /// Identity is the canonical encoding (so e.g. two NaN latency specs
+    /// with the same bit pattern are one job, matching the digest).
+    fn eq(&self, other: &Self) -> bool {
+        self.encode() == other.encode()
+    }
+}
+
+impl Eq for JobSpec {}
+
+impl Default for JobSpec {
+    /// The pinned default job — what a `FNASCKPT` v3 checkpoint (written
+    /// before jobs existed) loads as: the `mnist` preset under the
+    /// historical 10 ms budget, no overrides, analytic backend. Pinned by
+    /// `tests/job_identity.rs`; changing it silently re-keys every
+    /// pre-v4 artifact.
+    fn default() -> Self {
+        JobSpec::new("mnist").with_required_ms(Some(10.0))
+    }
+}
+
+impl std::fmt::Display for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.preset)?;
+        if let Some(d) = &self.device {
+            write!(f, " on {d}")?;
+        }
+        match self.required_ms {
+            Some(ms) => write!(f, ", rL {ms} ms")?,
+            None => write!(f, ", accuracy-only")?,
+        }
+        if let Some(t) = self.trials {
+            write!(f, ", {t} trials")?;
+        }
+        if let Some(s) = self.seed {
+            write!(f, ", seed {s}")?;
+        }
+        if self.backend == OracleBackend::Simulated {
+            write!(f, ", simulated oracle")?;
+        }
+        Ok(())
+    }
+}
+
+/// Resolves a preset name — canonical or CLI alias.
+fn preset_by_name(name: &str) -> Result<ExperimentPreset> {
+    match name {
+        "mnist" => Ok(ExperimentPreset::mnist()),
+        "mnist-low-end" | "mnist-7a50t" => Ok(ExperimentPreset::mnist_low_end()),
+        "cifar10" | "cifar-10" => Ok(ExperimentPreset::cifar10()),
+        "imagenet" => Ok(ExperimentPreset::imagenet()),
+        other => Err(FnasError::InvalidConfig {
+            what: format!("unknown preset {other:?}"),
+        }),
+    }
+}
+
+/// Resolves a device model name.
+fn device_by_name(name: &str) -> Result<FpgaDevice> {
+    match name {
+        "xc7z020" => Ok(FpgaDevice::xc7z020()),
+        "xc7a50t" => Ok(FpgaDevice::xc7a50t()),
+        "zu9eg" => Ok(FpgaDevice::zu9eg()),
+        "pynq" => Ok(FpgaDevice::pynq()),
+        other => Err(FnasError::InvalidConfig {
+            what: format!("unknown device {other:?}"),
+        }),
+    }
+}
+
+/// Bounds-checked little-endian reader (the `persist::Cursor` idiom).
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.at)?;
+        self.at += 1;
+        Some(b)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let end = self.at.checked_add(4)?;
+        let s = self.bytes.get(self.at..end)?;
+        self.at = end;
+        Some(u32::from_le_bytes(s.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let end = self.at.checked_add(8)?;
+        let s = self.bytes.get(self.at..end)?;
+        self.at = end;
+        Some(u64::from_le_bytes(s.try_into().ok()?))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = usize::try_from(self.u32()?).ok()?;
+        if len > self.bytes.len().saturating_sub(self.at) {
+            return None;
+        }
+        let end = self.at + len;
+        let s = std::str::from_utf8(self.bytes.get(self.at..end)?).ok()?;
+        self.at = end;
+        Some(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full() -> JobSpec {
+        JobSpec::new("cifar-10")
+            .with_device(Some("zu9eg".to_string()))
+            .with_required_ms(Some(2.5))
+            .with_trials(Some(24))
+            .with_seed(Some(77))
+            .with_backend(OracleBackend::Simulated)
+    }
+
+    #[test]
+    fn codec_round_trips_every_field_shape() {
+        for spec in [
+            JobSpec::default(),
+            JobSpec::new("mnist"),
+            JobSpec::new("").with_required_ms(Some(f64::NAN)),
+            full(),
+        ] {
+            let bytes = spec.encode();
+            let back = JobSpec::decode(&bytes).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(back.encode(), bytes, "re-encode must be canonical");
+        }
+    }
+
+    #[test]
+    fn decode_is_total_over_defects() {
+        let bytes = full().encode();
+        assert!(JobSpec::decode(&bytes[..bytes.len() - 1]).is_none());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(JobSpec::decode(&long).is_none());
+        let mut bad_version = bytes.clone();
+        bad_version[0] = 9;
+        assert!(JobSpec::decode(&bad_version).is_none());
+        let mut bad_backend = bytes.clone();
+        *bad_backend.last_mut().unwrap() = 7;
+        assert!(JobSpec::decode(&bad_backend).is_none());
+        // A corrupt string length must not allocate or panic.
+        let mut bad_len = bytes;
+        bad_len[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(JobSpec::decode(&bad_len).is_none());
+        assert!(JobSpec::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn digest_separates_each_field() {
+        let base = JobSpec::default();
+        let variants = [
+            base.clone(),
+            base.clone().with_trials(Some(60)),
+            base.clone().with_seed(Some(0)),
+            base.clone().with_required_ms(Some(10.000001)),
+            base.clone().with_required_ms(None),
+            base.clone().with_device(Some("xc7z020".to_string())),
+            base.clone().with_backend(OracleBackend::Simulated),
+            JobSpec::new("cifar-10").with_required_ms(Some(10.0)),
+        ];
+        for i in 0..variants.len() {
+            for j in (i + 1)..variants.len() {
+                assert_ne!(
+                    variants[i].job_digest(),
+                    variants[j].job_digest(),
+                    "specs {i} and {j} collide"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_applies_overrides_and_stamps_the_job() {
+        let spec = JobSpec::new("mnist")
+            .with_required_ms(Some(10.0))
+            .with_trials(Some(12))
+            .with_seed(Some(77));
+        let config = spec.resolve().unwrap();
+        assert_eq!(config.seed(), 77);
+        assert_eq!(config.preset().trials(), 12);
+        assert_eq!(
+            config.mode().required_latency().map(|m| m.get()),
+            Some(10.0)
+        );
+        assert_eq!(config.job(), &spec);
+
+        // Aliases resolve to the same preset as the canonical name; the
+        // digests still differ because the *submitted* names differ.
+        let alias = JobSpec::new("mnist-low-end").resolve().unwrap();
+        assert_eq!(alias.preset().name(), "mnist-7a50t");
+        let nas = JobSpec::new("mnist").resolve().unwrap();
+        assert!(nas.mode().required_latency().is_none());
+
+        let device = JobSpec::new("mnist")
+            .with_device(Some("zu9eg".to_string()))
+            .resolve()
+            .unwrap();
+        assert_eq!(device.preset().device().name(), "zu9eg");
+
+        assert!(JobSpec::new("tpu").resolve().is_err());
+        assert!(JobSpec::new("mnist")
+            .with_device(Some("asic".to_string()))
+            .resolve()
+            .is_err());
+    }
+
+    #[test]
+    fn display_names_the_whole_spec() {
+        assert_eq!(JobSpec::default().to_string(), "mnist, rL 10 ms");
+        assert_eq!(
+            full().to_string(),
+            "cifar-10 on zu9eg, rL 2.5 ms, 24 trials, seed 77, simulated oracle"
+        );
+        assert_eq!(JobSpec::new("mnist").to_string(), "mnist, accuracy-only");
+    }
+}

@@ -38,6 +38,10 @@
 //! * [`deploy`] — the final "implement NN → get performance" step of
 //!   Fig. 1(b): a full implementation record for a chosen architecture;
 //! * [`experiment`] — the per-dataset presets of Table 2;
+//! * [`job`] — first-class job identity: the canonical [`job::JobSpec`]
+//!   a user submits (preset, device, `rL`, budgets, seed), its pinned
+//!   `job_digest`, and the shared CLI layer every operator bin parses
+//!   jobs through (DESIGN.md §17);
 //! * [`report`] — markdown/CSV emitters for the benchmark harness.
 //!
 //! # Examples
@@ -68,6 +72,7 @@ pub mod deploy;
 mod error;
 pub mod evaluator;
 pub mod experiment;
+pub mod job;
 pub mod latency;
 pub mod mapping;
 pub mod persist;

@@ -9,6 +9,7 @@ use fnas_fpga::device::FpgaCluster;
 use fnas_fpga::Millis;
 
 use crate::experiment::ExperimentPreset;
+use crate::job::JobSpec;
 
 /// Which search the loop runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,11 +46,19 @@ pub struct SearchConfig {
     cluster: Option<FpgaCluster>,
     required_accuracy: Option<f32>,
     child_deadline_ticks: Option<u64>,
+    /// The job identity this config runs under (DESIGN.md §17). Derived
+    /// from the constructor arguments, or stamped verbatim by
+    /// [`crate::job::JobSpec::resolve`]; shard/round seed derivation
+    /// never mutates it.
+    job: JobSpec,
 }
 
 impl SearchConfig {
     /// A NAS-baseline run over `preset`.
     pub fn nas(preset: ExperimentPreset) -> Self {
+        let job = JobSpec::new(preset.name())
+            .with_required_ms(None)
+            .with_trials(Some(preset.trials()));
         SearchConfig {
             preset,
             mode: SearchMode::Nas,
@@ -61,11 +70,15 @@ impl SearchConfig {
             cluster: None,
             required_accuracy: None,
             child_deadline_ticks: None,
+            job,
         }
     }
 
     /// An FNAS run over `preset` with a latency budget in milliseconds.
     pub fn fnas(preset: ExperimentPreset, required_ms: f64) -> Self {
+        let job = JobSpec::new(preset.name())
+            .with_required_ms(Some(required_ms))
+            .with_trials(Some(preset.trials()));
         SearchConfig {
             preset,
             mode: SearchMode::Fnas {
@@ -79,14 +92,43 @@ impl SearchConfig {
             cluster: None,
             required_accuracy: None,
             child_deadline_ticks: None,
+            job,
         }
     }
 
-    /// Replaces the RNG seed (controller init and sampling).
+    /// Replaces the RNG seed (controller init and sampling). This is the
+    /// *identity-bearing* seed setter: the job spec records the new seed
+    /// too, so two configs seeded differently are different jobs. Derived
+    /// (round/shard) seeds use [`SearchConfig::with_derived_seed`].
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self.job = self.job.with_seed(Some(seed));
         self
+    }
+
+    /// Replaces the RNG seed **without** touching the job identity: for
+    /// seeds *derived* from the parent seed (per-round, per-shard
+    /// streams), which re-key the RNG but still belong to the same job.
+    #[must_use]
+    pub fn with_derived_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Stamps `job` as this config's identity verbatim (the
+    /// [`crate::job::JobSpec::resolve`] path — argv-parsed specs resolve
+    /// byte-identically in every bin because the spec, not the resolved
+    /// config, is the identity).
+    #[must_use]
+    pub fn with_job(mut self, job: JobSpec) -> Self {
+        self.job = job;
+        self
+    }
+
+    /// The job identity this config runs under.
+    pub fn job(&self) -> &JobSpec {
+        &self.job
     }
 
     /// Replaces the controller learning rate.

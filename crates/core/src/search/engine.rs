@@ -423,6 +423,7 @@ impl Searcher {
                         shard_count,
                         parent_seed: c.parent_seed().unwrap_or_else(|| config.seed()),
                         round: c.round(),
+                        job: config.job().clone(),
                         run_seed: config.seed(),
                         next_episode: episode,
                         rng_state: rng.state(),
@@ -498,6 +499,7 @@ impl Searcher {
             shard_count: 1,
             parent_seed: config.seed(),
             round: 0,
+            job: config.job().clone(),
             run_seed: config.seed(),
             next_episode: 0,
             rng_state: self.rng.state(),
@@ -517,15 +519,17 @@ impl Searcher {
     pub(super) fn freeze_state(
         &mut self,
         ckpt: &CheckpointOptions,
-        run_seed: u64,
+        config: &SearchConfig,
         outcome: &SearchOutcome,
     ) -> SearchCheckpoint {
+        let run_seed = config.seed();
         let (shard_index, shard_count) = ckpt.shard();
         SearchCheckpoint {
             shard_index,
             shard_count,
             parent_seed: ckpt.parent_seed().unwrap_or(run_seed),
             round: ckpt.round(),
+            job: config.job().clone(),
             run_seed,
             next_episode: outcome.telemetry.episodes,
             rng_state: self.rng.state(),

@@ -275,6 +275,7 @@ impl ShardRunner {
             shard_count: self.spec.count(),
             parent_seed: self.base.seed(),
             round: init.round,
+            job: config.job().clone(),
             run_seed: seed,
             next_episode: 0,
             // Shard 0-of-1 takes over the parent stream mid-flight (the
@@ -296,7 +297,7 @@ impl ShardRunner {
             .with_round(init.round);
         let outcome = searcher.run_batched_inner(&config, opts, Some(state), Some(&ckpt))?;
         searcher
-            .freeze_state(&ckpt, seed, &outcome)
+            .freeze_state(&ckpt, &config, &outcome)
             .save(ckpt.path())?;
         Ok(outcome)
     }

@@ -10,12 +10,17 @@
 //! `.tmp-*` files from interrupted writes are reported but are not a
 //! failure (readers never see them). `gc` first deletes tmp litter, then
 //! evicts the oldest records until the store fits the byte budget.
+//!
+//! All three commands cover the content-addressed `objects/` tree only:
+//! the job-scoped `jobs/<digest>/` artifact namespace is owned by the
+//! search jobs that wrote it, never by cache maintenance.
 
 #![forbid(unsafe_code)]
 
 use std::env;
 use std::process::ExitCode;
 
+use fnas_cliutil::Args;
 use fnas_store::DiskStore;
 
 const USAGE: &str = "usage:
@@ -33,22 +38,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut command = None;
     let mut dir = None;
     let mut max_bytes = None;
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--dir" => {
-                let value = iter.next().ok_or("--dir needs a value")?;
-                dir = Some(value.clone());
-            }
-            "--max-bytes" => {
-                let value = iter.next().ok_or("--max-bytes needs a value")?;
-                let parsed = value
-                    .parse::<u64>()
-                    .map_err(|_| format!("invalid --max-bytes: {value}"))?;
-                max_bytes = Some(parsed);
-            }
+    let mut a = Args::new(args);
+    while let Some(arg) = a.next_flag() {
+        match arg {
+            "--dir" => dir = Some(a.value()?.to_string()),
+            "--max-bytes" => max_bytes = Some(a.num::<u64>()?),
             "stat" | "verify" | "gc" if command.is_none() => {
-                command = Some(arg.clone());
+                command = Some(arg.to_string());
             }
             other => return Err(format!("unknown argument: {other}")),
         }

@@ -23,6 +23,14 @@ pub const TMP_PREFIX: &str = ".tmp-";
 /// saves: readers only ever observe absent or complete records, and a crash
 /// mid-write leaves only a `.tmp-*` file that every reader ignores.
 ///
+/// Beside the object tree lives a job-scoped artifact namespace,
+/// `<root>/jobs/<016x job digest>/<name>`: named blobs (shard checkpoints,
+/// trial logs) owned by one search job. Artifacts use the same atomic
+/// tmp-and-rename publication, but they are *not* cache records —
+/// [`DiskStore::stat`], [`DiskStore::verify`], and [`DiskStore::gc`]
+/// deliberately cover `objects/` only, so cache maintenance can never
+/// evict or flag a job's checkpoints.
+///
 /// All failures are soft: an unreadable or corrupt record is a miss, and a
 /// failed write is dropped (the store is a cache, never the source of
 /// truth). Counters are process-local and monotonic.
@@ -112,6 +120,34 @@ impl DiskStore {
     /// Absolute path a record for `key` would live at.
     fn object_path(&self, key: &CacheKey) -> PathBuf {
         self.root.join(key.relative_path())
+    }
+
+    /// Directory holding `job`'s artifacts: `<root>/jobs/<016x>/`.
+    pub fn job_dir(&self, job: u64) -> PathBuf {
+        self.root.join("jobs").join(format!("{job:016x}"))
+    }
+
+    /// `true` when `name` is a plain file name an artifact may use: no
+    /// path separators, no leading dot (which would collide with the
+    /// `.tmp-*` write discipline), not empty.
+    fn artifact_name_ok(name: &str) -> bool {
+        !name.is_empty() && !name.starts_with('.') && !name.contains(['/', '\\']) && name != ".."
+    }
+
+    /// Names of `job`'s published artifacts, sorted. Missing job
+    /// directories read as empty; in-flight `.tmp-*` files are invisible.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error other than the directory not existing.
+    pub fn list_artifacts(&self, job: u64) -> io::Result<Vec<String>> {
+        let mut names: Vec<String> = sorted_entries(&self.job_dir(job))?
+            .into_iter()
+            .filter_map(|p| p.file_name().and_then(|n| n.to_str()).map(String::from))
+            .filter(|n| Self::artifact_name_ok(n))
+            .collect();
+        names.sort();
+        Ok(names)
     }
 
     /// Walks the object tree. Calls `on_record(path, len, mtime)` for every
@@ -272,6 +308,23 @@ impl Store for DiskStore {
             bytes_on_disk: self.bytes.load(Ordering::Relaxed),
         }
     }
+
+    fn put_artifact(&self, job: u64, name: &str, bytes: &[u8]) {
+        if !Self::artifact_name_ok(name) {
+            return;
+        }
+        // Last-writer-wins by design: a re-run round republishes its
+        // (byte-identical) shard checkpoint. Artifact traffic is not
+        // counted in `bytes` — gc never weighs it against the cap.
+        let _ = write_atomic(&self.job_dir(job).join(name), bytes, &self.tmp_counter);
+    }
+
+    fn get_artifact(&self, job: u64, name: &str) -> Option<Vec<u8>> {
+        if !Self::artifact_name_ok(name) {
+            return None;
+        }
+        fs::read(self.job_dir(job).join(name)).ok()
+    }
 }
 
 /// Writes `bytes` to `path` via a uniquely named tmp file in the same
@@ -401,6 +454,60 @@ mod tests {
         assert!(store.get(&key(12)).is_some());
         assert!(store.get(&key(13)).is_some());
         assert_eq!(store.counters().evictions, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn job_artifacts_roundtrip_and_stay_per_job() {
+        let dir = scratch("jobs");
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.get_artifact(0xA, "round-0.ckpt"), None);
+        store.put_artifact(0xA, "round-0.ckpt", b"job A bytes");
+        store.put_artifact(0xB, "round-0.ckpt", b"job B bytes");
+        assert_eq!(
+            store.get_artifact(0xA, "round-0.ckpt"),
+            Some(b"job A bytes".to_vec())
+        );
+        assert_eq!(
+            store.get_artifact(0xB, "round-0.ckpt"),
+            Some(b"job B bytes".to_vec())
+        );
+        assert_eq!(store.list_artifacts(0xA).unwrap(), vec!["round-0.ckpt"]);
+        assert_eq!(store.list_artifacts(0xC).unwrap(), Vec::<String>::new());
+        // Republishing overwrites (last writer wins, atomically).
+        store.put_artifact(0xA, "round-0.ckpt", b"job A again");
+        assert_eq!(
+            store.get_artifact(0xA, "round-0.ckpt"),
+            Some(b"job A again".to_vec())
+        );
+        // Names that would escape the job directory are dropped.
+        store.put_artifact(0xA, "../escape", b"nope");
+        store.put_artifact(0xA, ".tmp-sneaky", b"nope");
+        store.put_artifact(0xA, "", b"nope");
+        assert_eq!(store.list_artifacts(0xA).unwrap(), vec!["round-0.ckpt"]);
+        assert!(!dir.join("escape").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_maintenance_never_touches_job_artifacts() {
+        let dir = scratch("jobs-gc");
+        let store = DiskStore::open(&dir).unwrap();
+        store.put(&key(9), b"cache record");
+        store.put_artifact(0xD, "shard.ckpt", b"precious checkpoint");
+        // stat/verify see the object tree only.
+        let stat = store.stat().unwrap();
+        assert_eq!(stat.records, 1);
+        assert!(store.verify().unwrap().is_ok());
+        assert_eq!(store.verify().unwrap().valid, 1);
+        // gc to zero evicts every cache record but leaves artifacts.
+        let gc = store.gc(0).unwrap();
+        assert_eq!(gc.evicted, 1);
+        assert_eq!(store.get(&key(9)), None);
+        assert_eq!(
+            store.get_artifact(0xD, "shard.ckpt"),
+            Some(b"precious checkpoint".to_vec())
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -69,6 +69,20 @@ pub trait Store: std::fmt::Debug + Send + Sync {
     fn enabled(&self) -> bool {
         true
     }
+
+    /// Publishes a job-scoped artifact (best-effort, like [`Store::put`]).
+    ///
+    /// Artifacts are *not* content-addressed records: they are named blobs
+    /// (shard checkpoints, trial logs) filed under the owning job's digest
+    /// so two differently-specced searches can share one store directory
+    /// without their checkpoints colliding (DESIGN.md §17). The default is
+    /// a no-op so plain caches stay plain caches.
+    fn put_artifact(&self, _job: u64, _name: &str, _bytes: &[u8]) {}
+
+    /// Fetches a job-scoped artifact published by [`Store::put_artifact`].
+    fn get_artifact(&self, _job: u64, _name: &str) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// A disabled store: every lookup misses silently, writes are dropped, and

@@ -45,6 +45,7 @@ fn tmp(tag: &str) -> PathBuf {
 fn desert_one_assignment(addr: &str, fingerprint: u64) -> Option<(u64, u32)> {
     let poll = Request::Poll {
         worker: "deserter".to_string(),
+        job: base().job().job_digest(),
         fingerprint,
     };
     let mut stream = TcpStream::connect(addr).unwrap();
@@ -252,6 +253,7 @@ fn kill_restart_recovery(worker_names: &[&str], tag: &str) {
     );
     assert_eq!((coord_a.epoch(), coord_a.rounds_recovered()), (0, 0));
     let fingerprint = coord_a.fingerprint();
+    let job = coord_a.job();
     {
         let coord = Arc::clone(&coord_a);
         std::thread::spawn(move || coord.serve(listener_a));
@@ -264,6 +266,7 @@ fn kill_restart_recovery(worker_names: &[&str], tag: &str) {
                 round: 0,
                 shard: s as u32,
                 epoch: 0,
+                job,
                 fingerprint,
                 bytes: bytes.clone(),
             },
@@ -281,6 +284,7 @@ fn kill_restart_recovery(worker_names: &[&str], tag: &str) {
             round: 1,
             shard: 0,
             epoch: 0,
+            job,
             fingerprint,
             bytes: r1[0].clone(),
         },
@@ -312,6 +316,7 @@ fn kill_restart_recovery(worker_names: &[&str], tag: &str) {
             round: 1,
             shard: 1,
             epoch: 0,
+            job,
             fingerprint,
             bytes: r1[1].clone(),
         },
@@ -399,6 +404,7 @@ fn every_journal_prefix_recovers_cleanly_without_double_settles() {
             round,
             shard,
             epoch: coord.epoch(),
+            job: coord.job(),
             fingerprint,
             bytes: bytes_for(round, shard),
         })
@@ -455,6 +461,61 @@ fn every_journal_prefix_recovers_cleanly_without_double_settles() {
             );
         }
     }
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+/// A worker pointed at the wrong *job* — same execution flags, different
+/// latency spec `rL` — is turned away deterministically on its first
+/// poll over real TCP: a clean `WrongJob`-driven error naming both
+/// digests, not a hang, not a fingerprint complaint, and never a
+/// settlement. The right-job workers then finish the run untouched.
+#[test]
+fn mismatched_job_worker_is_rejected_deterministically() {
+    let dir = tmp("wrongjob");
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let coord_opts = CoordinatorOptions {
+        shards: SHARDS,
+        rounds: 1,
+        lease: LeasePolicy::with_ttl_ms(5_000),
+        backoff_ms: 20,
+        linger_ms: 1_500,
+        max_buffered_rounds: 2,
+    };
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    let coord = Arc::new(Coordinator::new(base(), 3, coord_opts, clock).unwrap());
+    let serve = {
+        let coord = Arc::clone(&coord);
+        std::thread::spawn(move || coord.serve(listener))
+    };
+
+    // Identical flags except `rL`: 9 ms instead of 10 ms. That moves the
+    // fingerprint too, but the job check answers first — the worker
+    // learns it brought the wrong *search*, not merely the wrong flags.
+    let wrong = SearchConfig::fnas(ExperimentPreset::mnist().with_trials(12), 9.0).with_seed(77);
+    assert_ne!(wrong.job().job_digest(), base().job().job_digest());
+    let mut w = WorkerOptions::new(addr.clone(), "impostor", dir.join("impostor"));
+    w.heartbeat_ms = 50;
+    let err = run_worker(&wrong, &opts(), &w, SHARDS, 1).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("coordinator serves job"), "{msg}");
+    assert!(
+        msg.contains(&format!("{:#018x}", base().job().job_digest())),
+        "{msg}"
+    );
+    assert!(
+        msg.contains(&format!("{:#018x}", wrong.job().job_digest())),
+        "{msg}"
+    );
+
+    // The impostor held no lease and settled nothing: a right-job worker
+    // earns every shard fresh and the round completes normally.
+    let mut w = WorkerOptions::new(addr, "honest", dir.join("honest"));
+    w.heartbeat_ms = 50;
+    let report = run_worker(&base(), &opts(), &w, SHARDS, 1).unwrap();
+    assert_eq!(report.fresh_results, u64::from(SHARDS));
+    let merged = serve.join().unwrap().unwrap();
+    assert_eq!(merged.trials.len(), 12);
     std::fs::remove_dir_all(dir).unwrap();
 }
 

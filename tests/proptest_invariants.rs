@@ -312,6 +312,7 @@ fn shard_from(index: u32, count: u32, raw: RawShard) -> fnas::checkpoint::Search
         shard_count: count,
         parent_seed: 0xABCD,
         round: 1,
+        job: Default::default(),
         run_seed: 0x1000 + u64::from(index),
         next_episode: episode,
         rng_state: [rng[0], rng[1], rng[2], rng[3]],

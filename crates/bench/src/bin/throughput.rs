@@ -41,8 +41,18 @@
 //! specced jobs against one store directory, proving disjoint artifact
 //! namespaces and a shared (job-agnostic) oracle cache.
 //!
+//! Part 7: multi-tenant serving (DESIGN.md §18). The same two jobs run
+//! twice over real TCP: solo (one dedicated `fnas-coord` fleet each,
+//! back to back) and multiplexed (one `fnas-serve` daemon, one shared
+//! job-agnostic fleet). Both jobs must finish byte-identical to their
+//! solo merges, and the shared fleet's utilization — settled shards per
+//! worker-second — must beat the back-to-back baseline, because the
+//! scheduler keeps workers busy on job B whenever job A has no
+//! assignable shard.
+//!
 //! Run with: `cargo run --release -p fnas-bench --bin throughput`
 
+use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -54,6 +64,10 @@ use fnas::resilience::{FaultInjector, FaultPlan, ResilientEvaluator, RetryPolicy
 use fnas::search::{BatchOptions, SearchConfig, Searcher};
 use fnas_bench::{emit, fig8_architectures};
 use fnas_controller::arch::ChildArch;
+use fnas_coord::{
+    run_fleet_worker, run_worker, Clock, Coordinator, CoordinatorOptions, LeasePolicy, Response,
+    WallClock, WorkerOptions,
+};
 use fnas_exec::Executor;
 use fnas_fpga::analyzer::pipeline_interval;
 use fnas_fpga::design::PipelineDesign;
@@ -65,6 +79,8 @@ use fnas_fpga::sim::parallel::simulate_design_partitioned;
 use fnas_fpga::sim::{simulate_design, simulate_design_stream};
 use fnas_fpga::taskgraph::TileTaskGraph;
 use fnas_fpga::Cycles;
+use fnas_serve::{client, ServeOptions, Server};
+use fnas_store::Store;
 
 fn streaming_throughput() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new(vec![
@@ -541,16 +557,197 @@ fn jobs_shared_store() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Part 7: multi-tenant serving (DESIGN.md §18). Runs two
+/// differently-specced jobs solo (a dedicated coordinator + fleet each,
+/// back to back) and then multiplexed over one `fnas-serve` daemon with
+/// one shared fleet, all over real TCP. Byte identity per job is
+/// asserted; the table reports wall time and fleet utilization
+/// (settled shards per worker-second) for each arm.
+fn serve_sweep() -> Result<(), Box<dyn std::error::Error>> {
+    const WORKERS: usize = 3;
+    const SHARDS: u32 = 2;
+    const ROUNDS: u64 = 2;
+    const BATCH: usize = 3;
+    const LINGER_MS: u64 = 300;
+
+    let cfg_a = SearchConfig::fnas(ExperimentPreset::mnist().with_trials(12), 10.0).with_seed(77);
+    let cfg_b = SearchConfig::fnas(ExperimentPreset::mnist().with_trials(12), 9.0).with_seed(41);
+    let dir = std::env::temp_dir().join(format!("fnas-throughput-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let run_opts = || {
+        BatchOptions::default()
+            .with_batch_size(BATCH)
+            .with_workers(0)
+    };
+
+    // Solo arm: the job gets WORKERS dedicated pinned-mode workers and a
+    // coordinator of its own. With more workers than shards, someone is
+    // always idle — the slack the serve arm will fill with the other job.
+    let solo = |cfg: &SearchConfig,
+                tag: &str|
+     -> Result<(f64, u64, Vec<u8>), Box<dyn std::error::Error>> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+        let coord_opts = CoordinatorOptions {
+            shards: SHARDS,
+            rounds: ROUNDS,
+            lease: LeasePolicy::with_ttl_ms(5_000),
+            backoff_ms: 20,
+            linger_ms: LINGER_MS,
+            max_buffered_rounds: 2,
+        };
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let coord = Arc::new(Coordinator::new(cfg.clone(), BATCH, coord_opts, clock)?);
+        let start = Instant::now();
+        let serve = {
+            let coord = Arc::clone(&coord);
+            std::thread::spawn(move || coord.serve(listener))
+        };
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|i| {
+                let mut w = WorkerOptions::new(
+                    addr.clone(),
+                    format!("{tag}-{i}"),
+                    dir.join(format!("{tag}-{i}")),
+                );
+                w.heartbeat_ms = 50;
+                let cfg = cfg.clone();
+                std::thread::spawn(move || run_worker(&cfg, &run_opts(), &w, SHARDS, ROUNDS))
+            })
+            .collect();
+        let merged = serve.join().expect("serve thread")?;
+        let wall = start.elapsed().as_secs_f64();
+        let mut shards_run = 0;
+        for handle in workers {
+            shards_run += handle.join().expect("worker thread")?.shards_run;
+        }
+        Ok((wall, shards_run, merged.to_bytes()))
+    };
+    let (wall_a, shards_a, ref_a) = solo(&cfg_a, "solo-a")?;
+    let (wall_b, shards_b, ref_b) = solo(&cfg_b, "solo-b")?;
+
+    // Serve arm: one daemon, both jobs, one shared job-agnostic fleet.
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    let serve_opts = ServeOptions {
+        max_jobs: 4,
+        expect_jobs: 2,
+        quantum: 1,
+        backoff_ms: 20,
+        linger_ms: LINGER_MS,
+        lease: LeasePolicy::with_ttl_ms(5_000),
+        max_buffered_rounds: 2,
+    };
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    let server = Arc::new(Server::new(&dir.join("serve"), serve_opts, clock)?);
+    let start = Instant::now();
+    let serve = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run(listener))
+    };
+    let mut jobs = Vec::new();
+    for cfg in [&cfg_a, &cfg_b] {
+        match client::submit_job(&addr, cfg.job(), BATCH as u32, SHARDS, ROUNDS)? {
+            Response::JobAccepted { job } => jobs.push(job),
+            other => return Err(format!("job not accepted: {other:?}").into()),
+        }
+    }
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|i| {
+            let mut w = WorkerOptions::new(
+                addr.clone(),
+                format!("fleet-{i}"),
+                dir.join(format!("fleet-{i}")),
+            );
+            w.heartbeat_ms = 50;
+            std::thread::spawn(move || run_fleet_worker(&run_opts(), &w))
+        })
+        .collect();
+    serve.join().expect("serve thread")?;
+    let serve_wall = start.elapsed().as_secs_f64();
+    let mut serve_shards = 0;
+    for handle in workers {
+        serve_shards += handle.join().expect("worker thread")?.shards_run;
+    }
+
+    // CI runs this bin and relies on these asserts: multi-tenancy may
+    // never change either job's bytes, and multiplexing must beat the
+    // back-to-back baseline on fleet utilization.
+    for (job, reference) in jobs.iter().zip([&ref_a, &ref_b]) {
+        let merged = server
+            .store()
+            .get_artifact(*job, "merged.ckpt")
+            .ok_or_else(|| format!("job {job:#018x} published no merged checkpoint"))?;
+        assert_eq!(
+            &merged, reference,
+            "job {job:#018x} diverged from its solo run under multi-tenancy"
+        );
+    }
+    let util = |shards: u64, wall: f64| shards as f64 / (WORKERS as f64 * wall);
+    let solo_util = util(shards_a + shards_b, wall_a + wall_b);
+    let serve_util = util(serve_shards, serve_wall);
+    assert!(
+        serve_util > solo_util,
+        "shared fleet was not better utilised: serve {serve_util:.3} vs solo {solo_util:.3} \
+         shards/worker-s"
+    );
+
+    let mut table = Table::new(vec![
+        "arm",
+        "jobs",
+        "wall (s)",
+        "shards run",
+        "util (shards/worker-s)",
+    ]);
+    let mut row = |arm: &str, jobs: &str, wall: f64, shards: u64| {
+        table.push_row(vec![
+            arm.to_string(),
+            jobs.to_string(),
+            format!("{wall:.2}"),
+            shards.to_string(),
+            format!("{:.3}", util(shards, wall)),
+        ]);
+    };
+    row("solo A", "1", wall_a, shards_a);
+    row("solo B", "1", wall_b, shards_b);
+    row(
+        "solo back-to-back",
+        "2",
+        wall_a + wall_b,
+        shards_a + shards_b,
+    );
+    row("serve, one fleet", "2", serve_wall, serve_shards);
+    emit("throughput_serve", &table)?;
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "both jobs finished byte-identical to their solo runs; the shared\n\
+         fleet was {:.2}x better utilised than running them back to back.",
+        serve_util / solo_util
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // With section names as arguments, run only those sections (the CI
     // pipeline job runs `partition` alone); with none, run everything.
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wants = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
     if let Some(unknown) = args.iter().find(|a| {
-        !["streaming", "search", "chaos", "store", "partition", "jobs"].contains(&a.as_str())
+        ![
+            "streaming",
+            "search",
+            "chaos",
+            "store",
+            "partition",
+            "jobs",
+            "serve",
+        ]
+        .contains(&a.as_str())
     }) {
         return Err(format!(
-            "unknown section `{unknown}` (expected streaming, search, chaos, store, partition, jobs)"
+            "unknown section `{unknown}` (expected streaming, search, chaos, store, \
+             partition, jobs, serve)"
         )
         .into());
     }
@@ -571,6 +768,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if wants("jobs") {
         jobs_shared_store()?;
+    }
+    if wants("serve") {
+        serve_sweep()?;
     }
     Ok(())
 }

@@ -3,15 +3,23 @@
 //! ```text
 //! fnas-worker --connect 127.0.0.1:7463 --dir scratch --name w1 \
 //!     --shards 4 --rounds 2 [config flags]
+//! fnas-worker --fleet --connect 127.0.0.1:7464 --dir scratch --name w1
 //! ```
 //!
-//! The job flags (`--preset`, `--device`, `--trials`, `--seed`,
-//! `--budget-ms`) and `--batch`/`--shards`/`--rounds` must match the
-//! coordinator's — the job-digest and fingerprint handshakes reject a
-//! mismatch on the first poll (`WrongJob` when the *search* differs,
-//! a fingerprint error when only the execution flags do).
+//! In the default (pinned) mode the job flags (`--preset`, `--device`,
+//! `--trials`, `--seed`, `--budget-ms`) and
+//! `--batch`/`--shards`/`--rounds` must match the coordinator's — the
+//! job-digest and fingerprint handshakes reject a mismatch on the first
+//! poll (`WrongJob` when the *search* differs, a fingerprint error when
+//! only the execution flags do).
+//!
+//! With `--fleet` the worker is **job-agnostic**: it polls an
+//! `fnas-serve` endpoint with `PollAny` and resolves each job from the
+//! spec bytes its assignment carries, so one fleet serves every
+//! submitted job and the job flags are ignored.
 //! `--workers` (evaluation threads) is the one knob that may differ per
-//! machine: shard results are bit-identical for any worker count.
+//! machine in either mode: shard results are bit-identical for any
+//! worker count.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,7 +27,7 @@ use std::process::ExitCode;
 use fnas::job::cli::{Args, JOB_USAGE};
 use fnas::job::JobSpec;
 use fnas::search::{BatchOptions, SearchConfig};
-use fnas_coord::{run_worker, WorkerOptions};
+use fnas_coord::{run_fleet_worker, run_worker, WorkerOptions};
 
 struct Cli {
     worker: WorkerOptions,
@@ -27,9 +35,13 @@ struct Cli {
     opts: BatchOptions,
     shards: u32,
     rounds: u64,
+    fleet: bool,
 }
 
 const USAGE: &str = "usage: fnas-worker --connect <addr:port> --dir <scratch-dir> [options]
+  --fleet                 job-agnostic mode against an fnas-serve endpoint:
+                          jobs are resolved from each assignment's spec
+                          bytes, so the job flags below are ignored
   --name <s>              worker name (default: pid-derived)
   --shards <N>            shards per round (must match the coordinator)
   --rounds <R>            synchronous rounds (must match the coordinator)
@@ -64,10 +76,12 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let mut connect_retries = None;
     let mut connect_backoff_ms = None;
     let mut store_dir = None;
+    let mut fleet = false;
 
     let mut a = Args::new(&rest);
     while let Some(flag) = a.next_flag() {
         match flag {
+            "--fleet" => fleet = true,
             "--connect" => connect = Some(a.value()?.to_string()),
             "--dir" => dir = Some(PathBuf::from(a.value()?)),
             "--name" => name = Some(a.value()?.to_string()),
@@ -108,6 +122,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         opts,
         shards,
         rounds,
+        fleet,
     })
 }
 
@@ -120,15 +135,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run_worker(&cli.config, &cli.opts, &cli.worker, cli.shards, cli.rounds) {
+    let result = if cli.fleet {
+        run_fleet_worker(&cli.opts, &cli.worker)
+    } else {
+        run_worker(&cli.config, &cli.opts, &cli.worker, cli.shards, cli.rounds)
+    };
+    match result {
         Ok(report) => {
             println!(
-                "{}: ran {} shards ({} fresh, {} duplicate, {} stale){}",
+                "{}: ran {} shards ({} fresh, {} duplicate, {} stale), \
+                 {} retries served over {} ms backoff{}",
                 cli.worker.name,
                 report.shards_run,
                 report.fresh_results,
                 report.duplicate_results,
                 report.stale_results,
+                report.retries_served,
+                report.retry_sleep_ms,
                 if report.coordinator_lost {
                     ", coordinator gone (run over)"
                 } else {
@@ -171,6 +194,18 @@ mod tests {
         assert_eq!(c.config.seed(), 77);
         assert_eq!(c.opts.batch_size(), 3);
         assert_eq!(c.opts.workers(), 2);
+        assert!(!c.fleet);
+    }
+
+    #[test]
+    fn fleet_mode_needs_no_job_flags() {
+        let args: Vec<String> = "--fleet --connect 127.0.0.1:7464 --dir /tmp/w --name f1"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let c = parse(&args).unwrap();
+        assert!(c.fleet);
+        assert_eq!(c.worker.addr, "127.0.0.1:7464");
     }
 
     #[test]

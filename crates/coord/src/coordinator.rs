@@ -114,6 +114,13 @@ pub struct Coordinator {
     /// every request must name before the fingerprint is even looked at
     /// (DESIGN.md §17).
     job: u64,
+    /// Canonical `JobSpec::encode` bytes of `base`'s job, pre-encoded so
+    /// every `Assign` can carry them (fleet workers resolve the job from
+    /// these bytes alone).
+    spec_bytes: Vec<u8>,
+    /// Batch size every worker must train with (fingerprint input, and
+    /// stamped into `Assign` for fleet workers).
+    batch: usize,
     fingerprint: u64,
     /// This incarnation's epoch: how many coordinator incarnations the
     /// journal saw before this one (always 0 without a journal).
@@ -149,9 +156,12 @@ impl Coordinator {
         let fingerprint = config_fingerprint(&base, batch, opts.shards, opts.rounds);
         let init = init_for_round(&base, 0, None)?;
         let table = LeaseTable::new(opts.shards, opts.lease);
+        let spec_bytes = base.job().encode();
         Ok(Coordinator {
             base,
             job,
+            spec_bytes,
+            batch,
             fingerprint,
             epoch: 0,
             clock,
@@ -294,9 +304,12 @@ impl Coordinator {
         {
             telemetry.add_journal_record();
         }
+        let spec_bytes = base.job().encode();
         Ok(Coordinator {
             base,
             job,
+            spec_bytes,
+            batch,
             fingerprint,
             epoch,
             clock,
@@ -363,6 +376,33 @@ impl Coordinator {
             .clone()
     }
 
+    /// A point-in-time view of how far the run has come, computed from
+    /// merged rounds only (settled-but-unmerged shards are invisible —
+    /// progress moves at round granularity, like the results themselves).
+    /// `fnas-serve` publishes this as the job's progress artifact.
+    pub fn progress(&self) -> CoordinatorProgress {
+        let state = self.state.lock().expect("coordinator lock");
+        let trials: Vec<_> = match &state.finished {
+            // The accumulated artifact already folds every round.
+            Some(f) => f.trials.iter().collect(),
+            None => state.merges.iter().flat_map(|m| m.trials.iter()).collect(),
+        };
+        let best = trials
+            .iter()
+            .max_by(|a, b| a.reward.total_cmp(&b.reward))
+            .copied();
+        CoordinatorProgress {
+            round: state.round,
+            rounds: self.opts.rounds,
+            shards: self.opts.shards,
+            rounds_merged: state.merges.len() as u64,
+            finished: state.finished.is_some(),
+            trials_done: trials.len() as u64,
+            best_reward_bits: best.map_or(0, |t| t.reward.to_bits()),
+            best_arch: best.map_or_else(String::new, |t| t.arch.describe()),
+        }
+    }
+
     /// Answers one request. This is the entire protocol semantics; the
     /// TCP layer only moves frames.
     pub fn handle(&self, request: &Request) -> Response {
@@ -370,19 +410,43 @@ impl Coordinator {
         // different --budget-ms, which moves the fingerprint too) learns
         // *which* mismatch it has — the job — deterministically, before
         // the fingerprint or any state is consulted.
-        let job = match request {
-            Request::Poll { job, .. }
-            | Request::Heartbeat { job, .. }
-            | Request::Submit { job, .. } => *job,
+        let (job, fp) = match request {
+            Request::Poll {
+                job, fingerprint, ..
+            }
+            | Request::Heartbeat {
+                job, fingerprint, ..
+            }
+            | Request::Submit {
+                job, fingerprint, ..
+            } => (*job, *fingerprint),
+            // The fleet verb names no identities up front: the worker
+            // learns the job from the `Assign` it is handed (spec bytes +
+            // batch + rounds) and proves agreement on every later
+            // Heartbeat/Submit, where the usual fences apply.
+            Request::PollAny { worker } => {
+                let mut state = self.state.lock().expect("coordinator lock");
+                return self.poll(&mut state, worker);
+            }
+            // Client verbs are a multi-job surface (`fnas-serve`,
+            // DESIGN.md §18); a single pinned-job coordinator rejects
+            // them deterministically rather than half-answering.
+            Request::SubmitJob { .. }
+            | Request::JobStatus { .. }
+            | Request::ListJobs
+            | Request::CancelJob { .. }
+            | Request::WatchProgress { .. } => {
+                return Response::Error {
+                    what: "this endpoint coordinates one pinned job; client verbs \
+                           (SubmitJob/JobStatus/ListJobs/CancelJob/WatchProgress) \
+                           need a fnas-serve endpoint"
+                        .to_string(),
+                };
+            }
         };
         if job != self.job {
             return Response::WrongJob { job: self.job };
         }
-        let fp = match request {
-            Request::Poll { fingerprint, .. }
-            | Request::Heartbeat { fingerprint, .. }
-            | Request::Submit { fingerprint, .. } => *fingerprint,
-        };
         if fp != self.fingerprint {
             return Response::Error {
                 what: format!(
@@ -422,6 +486,8 @@ impl Coordinator {
                 bytes,
                 ..
             } => self.submit(&mut state, *round, *shard, bytes),
+            // PollAny and the client verbs returned above.
+            _ => unreachable!("identity-less verbs are dispatched early"),
         }
     }
 
@@ -438,6 +504,9 @@ impl Coordinator {
                 lease_ms: self.opts.lease.ttl_ms,
                 epoch: self.epoch,
                 job: self.job,
+                spec: self.spec_bytes.clone(),
+                batch: self.batch as u32,
+                rounds: self.opts.rounds,
                 init: state.init_bytes.clone(),
             },
             None => Response::Wait {
@@ -636,7 +705,9 @@ impl Coordinator {
     /// Claims one slot of the submit-payload budget, or `None` when the
     /// cap is reached — the caller should answer [`Response::Retry`] and
     /// drop the payload. The slot is released when the guard drops.
-    fn admit_submit(&self) -> Option<SubmitSlot<'_>> {
+    /// Public so network shells (and the admission-saturation tests) can
+    /// drive the cap directly.
+    pub fn try_admit_submit(&self) -> Option<SubmitSlot<'_>> {
         let prev = self.in_flight_submits.fetch_add(1, Ordering::SeqCst);
         if prev >= self.submit_cap() {
             self.in_flight_submits.fetch_sub(1, Ordering::SeqCst);
@@ -646,17 +717,30 @@ impl Coordinator {
         }
     }
 
+    /// [`Coordinator::handle`] with the submit-admission cap applied —
+    /// the entry point every network shell (this crate's serve loop and
+    /// `fnas-serve`) uses. A deferred submission is answered with
+    /// [`Response::Retry`] and counted in telemetry (`retries served`).
+    pub fn handle_with_admission(&self, request: &Request) -> Response {
+        if matches!(request, Request::Submit { .. }) {
+            match self.try_admit_submit() {
+                Some(_slot) => self.handle(request),
+                None => {
+                    let backoff_ms = self.opts.backoff_ms;
+                    self.telemetry.add_retry_served(backoff_ms);
+                    Response::Retry { backoff_ms }
+                }
+            }
+        } else {
+            self.handle(request)
+        }
+    }
+
     fn handle_connection(&self, mut stream: TcpStream) {
         let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
         let response = match read_frame(&mut stream).and_then(|b| Request::from_bytes(&b)) {
-            Ok(request @ Request::Submit { .. }) => match self.admit_submit() {
-                Some(_slot) => self.handle(&request),
-                None => Response::Retry {
-                    backoff_ms: self.opts.backoff_ms,
-                },
-            },
-            Ok(request) => self.handle(&request),
+            Ok(request) => self.handle_with_admission(&request),
             Err(e) => Response::Error {
                 what: e.to_string(),
             },
@@ -675,12 +759,36 @@ impl Coordinator {
 
 /// RAII slot on the submit-payload budget; releases on drop, so an
 /// admitted submission frees its slot however its handler exits.
-struct SubmitSlot<'a>(&'a AtomicUsize);
+pub struct SubmitSlot<'a>(&'a AtomicUsize);
 
 impl Drop for SubmitSlot<'_> {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::SeqCst);
     }
+}
+
+/// What [`Coordinator::progress`] reports. All counts reflect *merged*
+/// state, so two observers always agree regardless of in-flight work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordinatorProgress {
+    /// Current round index (the last round once finished).
+    pub round: u64,
+    /// Total rounds of the run.
+    pub rounds: u64,
+    /// Shards per round.
+    pub shards: u32,
+    /// Rounds whose barrier has fallen and whose merge exists.
+    pub rounds_merged: u64,
+    /// Whether the final accumulated checkpoint exists.
+    pub finished: bool,
+    /// Trials folded into merged rounds so far.
+    pub trials_done: u64,
+    /// `f32::to_bits` of the best merged reward (0 until any trial
+    /// merges — bit-exact over the wire, unlike a float).
+    pub best_reward_bits: u32,
+    /// `ChildArch::describe()` of the best merged trial, empty until any
+    /// trial merges.
+    pub best_arch: String,
 }
 
 #[cfg(test)]
@@ -924,13 +1032,13 @@ mod tests {
         let mut opts = CoordinatorOptions::new(1, 1);
         opts.max_buffered_rounds = 1; // cap = 1 round × 1 shard = 1 payload
         let coord = Coordinator::new(base(), 4, opts, clock).unwrap();
-        let first = coord.admit_submit().expect("first submit is admitted");
+        let first = coord.try_admit_submit().expect("first submit is admitted");
         assert!(
-            coord.admit_submit().is_none(),
+            coord.try_admit_submit().is_none(),
             "a second concurrent submit must be deferred at the cap"
         );
         drop(first);
-        let reclaimed = coord.admit_submit();
+        let reclaimed = coord.try_admit_submit();
         assert!(reclaimed.is_some(), "the slot frees when its guard drops");
     }
 

@@ -44,9 +44,15 @@ pub mod rounds;
 pub mod worker;
 
 pub use clock::{Clock, ManualClock, WallClock};
-pub use coordinator::{Coordinator, CoordinatorOptions};
+pub use coordinator::{Coordinator, CoordinatorOptions, CoordinatorProgress, SubmitSlot};
 pub use journal::{Journal, JournalStat, JournalVerifyReport, WalRecord};
 pub use lease::{LeasePolicy, LeaseTable};
-pub use proto::{config_fingerprint, Request, Response};
-pub use rounds::{accumulate, init_for_round, merge_settled, run_round_shard, run_rounds_local};
-pub use worker::{run_worker, WorkerOptions, WorkerReport};
+pub use proto::{
+    config_fingerprint, Request, Response, JOB_STATE_CANCELLED, JOB_STATE_FINISHED,
+    JOB_STATE_RUNNING,
+};
+pub use rounds::{
+    accumulate, init_for_round, merge_settled, run_round_shard, run_round_shard_stored,
+    run_rounds_local,
+};
+pub use worker::{run_fleet_worker, run_worker, WorkerOptions, WorkerReport};

@@ -27,6 +27,19 @@
 //! checkpoint codec: `u32`/`u64` LE, strings as `u32` length + UTF-8,
 //! byte blobs as `u32` length + bytes, one leading tag byte per message
 //! variant.
+//!
+//! Beyond the worker verbs, the protocol carries two more surfaces
+//! (DESIGN.md §18):
+//!
+//! * **fleet verbs** — [`Request::PollAny`] lets a job-agnostic worker
+//!   ask for work on *any* job; the answering [`Response::Assign`]
+//!   carries the job's canonical [`fnas::job::JobSpec`] bytes plus the
+//!   execution knobs (`batch`, `rounds`) the worker needs to resolve the
+//!   job and derive the [`config_fingerprint`] itself;
+//! * **client verbs** — [`Request::SubmitJob`], [`Request::JobStatus`],
+//!   [`Request::ListJobs`], [`Request::CancelJob`] and
+//!   [`Request::WatchProgress`], spoken by `fnas-serve` clients to
+//!   submit and observe jobs multiplexed over one shared fleet.
 
 use fnas::search::{SearchConfig, SearchMode};
 use fnas::FnasError;
@@ -87,6 +100,57 @@ pub enum Request {
         /// The shard's final checkpoint, as saved by `ShardRunner`.
         bytes: Vec<u8>,
     },
+    /// "Give me work on *any* job." The job-agnostic fleet verb: the
+    /// worker names no job and no fingerprint — it learns both from the
+    /// [`Response::Assign`] it is handed (spec bytes + execution knobs)
+    /// and derives the fingerprint itself, so the existing
+    /// [`Response::WrongJob`]/[`Response::Stale`] fencing still applies
+    /// to every later [`Request::Heartbeat`] and [`Request::Submit`].
+    PollAny {
+        /// Self-chosen worker name (diagnostics and lease bookkeeping).
+        worker: String,
+    },
+    /// Client verb: "run this search". Answered with
+    /// [`Response::JobAccepted`] (idempotently, if the job is already
+    /// admitted), [`Response::Retry`] when the server's job queue is
+    /// saturated, or [`Response::Error`] on an undecodable spec.
+    SubmitJob {
+        /// Canonical [`fnas::job::JobSpec::encode`] bytes.
+        spec: Vec<u8>,
+        /// Training batch size (result-determining; part of the
+        /// fingerprint).
+        batch: u32,
+        /// Shards per round.
+        shards: u32,
+        /// Round count.
+        rounds: u64,
+    },
+    /// Client verb: "how far along is this job?". Answered with
+    /// [`Response::JobInfo`] whose progress bytes come from the job's
+    /// published store artifact, or [`Response::Error`] for an unknown
+    /// job.
+    JobStatus {
+        /// `job_digest` of the job being asked about.
+        job: u64,
+    },
+    /// Client verb: enumerate admitted jobs. Answered with
+    /// [`Response::Jobs`].
+    ListJobs,
+    /// Client verb: stop scheduling a job. Answered with
+    /// [`Response::Cancelled`] (idempotently) or [`Response::Error`]
+    /// for an unknown job.
+    CancelJob {
+        /// `job_digest` of the job to cancel.
+        job: u64,
+    },
+    /// Client verb: like [`Request::JobStatus`] but intended for
+    /// polling loops — the same [`Response::JobInfo`] answer, kept as a
+    /// distinct verb so servers may later push incremental snapshots
+    /// without changing the status path.
+    WatchProgress {
+        /// `job_digest` of the job being watched.
+        job: u64,
+    },
 }
 
 /// What the coordinator answers.
@@ -108,9 +172,20 @@ pub enum Response {
         /// off in-flight work dispatched before its crash.
         epoch: u64,
         /// `job_digest` of the job this lease belongs to, stamped so the
-        /// assignment itself names the job (diagnostics; the worker
-        /// already proved agreement in its [`Request::Poll`]).
+        /// assignment itself names the job (diagnostics for pinned
+        /// workers; the authoritative identity for [`Request::PollAny`]
+        /// fleet workers, who verify it against `spec`).
         job: u64,
+        /// Canonical [`fnas::job::JobSpec::encode`] bytes of the job. A
+        /// fleet worker decodes and resolves these on the fly; a pinned
+        /// worker may ignore them (it already proved agreement in its
+        /// [`Request::Poll`]).
+        spec: Vec<u8>,
+        /// Training batch size the job runs with (fleet workers fold
+        /// this into the [`config_fingerprint`] they echo back).
+        batch: u32,
+        /// Total rounds of the job (fingerprint input, like `batch`).
+        rounds: u64,
         /// The round's init snapshot (FNASCKPT bytes).
         init: Vec<u8>,
     },
@@ -168,7 +243,47 @@ pub enum Response {
         /// The coordinator's `job_digest`.
         job: u64,
     },
+    /// A [`Request::SubmitJob`] was admitted (or the job was already
+    /// admitted — submission is idempotent by digest).
+    JobAccepted {
+        /// `job_digest` of the admitted job.
+        job: u64,
+    },
+    /// Answer to [`Request::JobStatus`]/[`Request::WatchProgress`].
+    JobInfo {
+        /// `job_digest` of the job.
+        job: u64,
+        /// One of [`JOB_STATE_RUNNING`], [`JOB_STATE_FINISHED`],
+        /// [`JOB_STATE_CANCELLED`].
+        state: u8,
+        /// The job's latest published progress artifact (FNPR1 bytes;
+        /// empty until the first snapshot lands). Served from the
+        /// store's bytes, not live coordinator state.
+        progress: Vec<u8>,
+    },
+    /// Answer to [`Request::ListJobs`]: every admitted job with its
+    /// state, in admission order.
+    Jobs {
+        /// `(job_digest, state)` pairs; states as in
+        /// [`Response::JobInfo`].
+        jobs: Vec<(u64, u8)>,
+    },
+    /// A [`Request::CancelJob`] took effect (or the job was already
+    /// cancelled — cancellation is idempotent).
+    Cancelled {
+        /// `job_digest` of the cancelled job.
+        job: u64,
+    },
 }
+
+/// [`Response::JobInfo`] state: the job is admitted and schedulable.
+pub const JOB_STATE_RUNNING: u8 = 0;
+/// [`Response::JobInfo`] state: every round merged; the final checkpoint
+/// is on disk.
+pub const JOB_STATE_FINISHED: u8 = 1;
+/// [`Response::JobInfo`] state: cancelled by a client; never scheduled
+/// again.
+pub const JOB_STATE_CANCELLED: u8 = 2;
 
 /// Digest of the config knobs that determine results, folded with the
 /// same SplitMix64-style avalanche the seed tree uses. Two processes
@@ -268,6 +383,12 @@ impl<'a> Reader<'a> {
 const TAG_POLL: u8 = 1;
 const TAG_HEARTBEAT: u8 = 2;
 const TAG_SUBMIT: u8 = 3;
+const TAG_POLL_ANY: u8 = 4;
+const TAG_SUBMIT_JOB: u8 = 5;
+const TAG_JOB_STATUS: u8 = 6;
+const TAG_LIST_JOBS: u8 = 7;
+const TAG_CANCEL_JOB: u8 = 8;
+const TAG_WATCH_PROGRESS: u8 = 9;
 const TAG_ASSIGN: u8 = 10;
 const TAG_WAIT: u8 = 11;
 const TAG_FINISHED: u8 = 12;
@@ -277,6 +398,10 @@ const TAG_ERROR: u8 = 15;
 const TAG_RETRY: u8 = 16;
 const TAG_STALE: u8 = 17;
 const TAG_WRONG_JOB: u8 = 18;
+const TAG_JOB_ACCEPTED: u8 = 19;
+const TAG_JOB_INFO: u8 = 20;
+const TAG_JOBS: u8 = 21;
+const TAG_CANCELLED: u8 = 22;
 
 impl Request {
     /// Serialises the request to one frame payload.
@@ -327,6 +452,35 @@ impl Request {
                 w.u64(*fingerprint);
                 w.bytes(bytes);
             }
+            Request::PollAny { worker } => {
+                w.u8(TAG_POLL_ANY);
+                w.str(worker);
+            }
+            Request::SubmitJob {
+                spec,
+                batch,
+                shards,
+                rounds,
+            } => {
+                w.u8(TAG_SUBMIT_JOB);
+                w.bytes(spec);
+                w.u32(*batch);
+                w.u32(*shards);
+                w.u64(*rounds);
+            }
+            Request::JobStatus { job } => {
+                w.u8(TAG_JOB_STATUS);
+                w.u64(*job);
+            }
+            Request::ListJobs => w.u8(TAG_LIST_JOBS),
+            Request::CancelJob { job } => {
+                w.u8(TAG_CANCEL_JOB);
+                w.u64(*job);
+            }
+            Request::WatchProgress { job } => {
+                w.u8(TAG_WATCH_PROGRESS);
+                w.u64(*job);
+            }
         }
         w.0
     }
@@ -362,6 +516,17 @@ impl Request {
                 fingerprint: r.u64()?,
                 bytes: r.bytes()?,
             },
+            TAG_POLL_ANY => Request::PollAny { worker: r.str()? },
+            TAG_SUBMIT_JOB => Request::SubmitJob {
+                spec: r.bytes()?,
+                batch: r.u32()?,
+                shards: r.u32()?,
+                rounds: r.u64()?,
+            },
+            TAG_JOB_STATUS => Request::JobStatus { job: r.u64()? },
+            TAG_LIST_JOBS => Request::ListJobs,
+            TAG_CANCEL_JOB => Request::CancelJob { job: r.u64()? },
+            TAG_WATCH_PROGRESS => Request::WatchProgress { job: r.u64()? },
             tag => return Err(corrupt(&format!("unknown request tag {tag}"))),
         };
         r.done()?;
@@ -381,6 +546,9 @@ impl Response {
                 lease_ms,
                 epoch,
                 job,
+                spec,
+                batch,
+                rounds,
                 init,
             } => {
                 w.u8(TAG_ASSIGN);
@@ -390,6 +558,9 @@ impl Response {
                 w.u64(*lease_ms);
                 w.u64(*epoch);
                 w.u64(*job);
+                w.bytes(spec);
+                w.u32(*batch);
+                w.u64(*rounds);
                 w.bytes(init);
             }
             Response::Wait { backoff_ms } => {
@@ -421,6 +592,32 @@ impl Response {
                 w.u8(TAG_WRONG_JOB);
                 w.u64(*job);
             }
+            Response::JobAccepted { job } => {
+                w.u8(TAG_JOB_ACCEPTED);
+                w.u64(*job);
+            }
+            Response::JobInfo {
+                job,
+                state,
+                progress,
+            } => {
+                w.u8(TAG_JOB_INFO);
+                w.u64(*job);
+                w.u8(*state);
+                w.bytes(progress);
+            }
+            Response::Jobs { jobs } => {
+                w.u8(TAG_JOBS);
+                w.u32(jobs.len() as u32);
+                for (job, state) in jobs {
+                    w.u64(*job);
+                    w.u8(*state);
+                }
+            }
+            Response::Cancelled { job } => {
+                w.u8(TAG_CANCELLED);
+                w.u64(*job);
+            }
         }
         w.0
     }
@@ -441,6 +638,9 @@ impl Response {
                 lease_ms: r.u64()?,
                 epoch: r.u64()?,
                 job: r.u64()?,
+                spec: r.bytes()?,
+                batch: r.u32()?,
+                rounds: r.u64()?,
                 init: r.bytes()?,
             },
             TAG_WAIT => Response::Wait {
@@ -459,6 +659,21 @@ impl Response {
             },
             TAG_STALE => Response::Stale { epoch: r.u64()? },
             TAG_WRONG_JOB => Response::WrongJob { job: r.u64()? },
+            TAG_JOB_ACCEPTED => Response::JobAccepted { job: r.u64()? },
+            TAG_JOB_INFO => Response::JobInfo {
+                job: r.u64()?,
+                state: r.u8()?,
+                progress: r.bytes()?,
+            },
+            TAG_JOBS => {
+                let count = r.u32()? as usize;
+                let mut jobs = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    jobs.push((r.u64()?, r.u8()?));
+                }
+                Response::Jobs { jobs }
+            }
+            TAG_CANCELLED => Response::Cancelled { job: r.u64()? },
             tag => return Err(corrupt(&format!("unknown response tag {tag}"))),
         };
         r.done()?;
@@ -496,6 +711,19 @@ mod tests {
                 fingerprint: 7,
                 bytes: vec![1, 2, 3],
             },
+            Request::PollAny {
+                worker: "fleet-0".to_string(),
+            },
+            Request::SubmitJob {
+                spec: vec![4, 5, 6],
+                batch: 3,
+                shards: 4,
+                rounds: 2,
+            },
+            Request::JobStatus { job: 0xC0FF_EE00 },
+            Request::ListJobs,
+            Request::CancelJob { job: 0xBAD_30B },
+            Request::WatchProgress { job: 12 },
         ];
         for m in msgs {
             assert_eq!(Request::from_bytes(&m.to_bytes()).unwrap(), m);
@@ -512,6 +740,9 @@ mod tests {
                 lease_ms: 5000,
                 epoch: 3,
                 job: 0xC0FF_EE00,
+                spec: vec![7, 8],
+                batch: 3,
+                rounds: 2,
                 init: vec![9; 64],
             },
             Response::Wait { backoff_ms: 100 },
@@ -524,6 +755,16 @@ mod tests {
             Response::Retry { backoff_ms: 250 },
             Response::Stale { epoch: 4 },
             Response::WrongJob { job: 0xBAD_30B },
+            Response::JobAccepted { job: 5 },
+            Response::JobInfo {
+                job: 5,
+                state: JOB_STATE_RUNNING,
+                progress: vec![1, 2],
+            },
+            Response::Jobs {
+                jobs: vec![(5, JOB_STATE_RUNNING), (6, JOB_STATE_FINISHED)],
+            },
+            Response::Cancelled { job: 6 },
         ];
         for m in msgs {
             assert_eq!(Response::from_bytes(&m.to_bytes()).unwrap(), m);
@@ -563,5 +804,177 @@ mod tests {
         assert_ne!(reference, fp(&other_budget, 8, 4, 2), "latency budget");
         let nas = SearchConfig::nas(ExperimentPreset::mnist().with_trials(24)).with_seed(7);
         assert_ne!(reference, fp(&nas, 8, 4, 2), "mode");
+    }
+}
+
+/// Property tests over the full protocol surface — every request and
+/// response tag, worker verbs and serve verbs alike — extending the
+/// journal codec proptests (DESIGN.md §16) to the wire protocol. Two
+/// properties per direction:
+///
+/// 1. **Framed round-trip.** Any message survives
+///    encode → [`crate::framing::write_frame`] →
+///    [`crate::framing::read_frame`] → decode bit-exactly. This is the
+///    exact path a `TcpStream` sees; a `Vec<u8>` cursor stands in.
+/// 2. **Injectivity.** Two messages encode to the same bytes iff they
+///    are equal — no two distinct requests (or responses) can ever be
+///    confused on the wire, which is what makes the job-digest and
+///    fingerprint fences trustworthy.
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::framing::{read_frame, write_frame};
+    use proptest::prelude::*;
+    use proptest::{prop_assert_eq, proptest};
+    use std::io::Cursor;
+
+    fn arb_text() -> impl Strategy<Value = String> {
+        (0u64..=u64::MAX).prop_map(|n| format!("w-{n:x}"))
+    }
+
+    fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(0u8..=u8::MAX, 0usize..24)
+    }
+
+    /// One strategy covering all nine request tags: the `kind` arm picks
+    /// the variant, the shared draws fill whichever fields it has.
+    fn arb_request() -> impl Strategy<Value = Request> {
+        (
+            (0u8..9, arb_text()),
+            (0u64..=u64::MAX, 0u32..=u32::MAX, 0u64..=u64::MAX),
+            (0u64..=u64::MAX, 0u64..=u64::MAX, 0u32..=u32::MAX),
+            arb_bytes(),
+        )
+            .prop_map(
+                |((kind, worker), (round, shard, epoch), (job, fingerprint, shards), bytes)| {
+                    match kind {
+                        0 => Request::Poll {
+                            worker,
+                            job,
+                            fingerprint,
+                        },
+                        1 => Request::Heartbeat {
+                            worker,
+                            round,
+                            shard,
+                            epoch,
+                            job,
+                            fingerprint,
+                        },
+                        2 => Request::Submit {
+                            worker,
+                            round,
+                            shard,
+                            epoch,
+                            job,
+                            fingerprint,
+                            bytes,
+                        },
+                        3 => Request::PollAny { worker },
+                        4 => Request::SubmitJob {
+                            spec: bytes,
+                            batch: shard,
+                            shards,
+                            rounds: round,
+                        },
+                        5 => Request::JobStatus { job },
+                        6 => Request::ListJobs,
+                        7 => Request::CancelJob { job },
+                        _ => Request::WatchProgress { job },
+                    }
+                },
+            )
+    }
+
+    /// One strategy covering all thirteen response tags.
+    fn arb_response() -> impl Strategy<Value = Response> {
+        (
+            (0u8..13, 0u64..=u64::MAX, 0u32..=u32::MAX, 0u32..=u32::MAX),
+            (
+                0u64..=u64::MAX,
+                0u64..=u64::MAX,
+                0u64..=u64::MAX,
+                0u64..=u64::MAX,
+            ),
+            (arb_bytes(), arb_bytes(), 0u32..=u32::MAX),
+            (0u8..2, 0u8..=u8::MAX, arb_text()),
+            proptest::collection::vec((0u64..=u64::MAX, 0u8..=u8::MAX), 0usize..5),
+        )
+            .prop_map(
+                |(
+                    (kind, round, shard, shard_count),
+                    (lease_ms, epoch, job, rounds),
+                    (spec, init, batch),
+                    (flag, state, what),
+                    jobs,
+                )| match kind {
+                    0 => Response::Assign {
+                        round,
+                        shard,
+                        shard_count,
+                        lease_ms,
+                        epoch,
+                        job,
+                        spec,
+                        batch,
+                        rounds,
+                        init,
+                    },
+                    1 => Response::Wait {
+                        backoff_ms: lease_ms,
+                    },
+                    2 => Response::Finished,
+                    3 => Response::Ack {
+                        still_yours: flag == 1,
+                    },
+                    4 => Response::Accepted { fresh: flag == 1 },
+                    5 => Response::Error { what },
+                    6 => Response::Retry {
+                        backoff_ms: lease_ms,
+                    },
+                    7 => Response::Stale { epoch },
+                    8 => Response::WrongJob { job },
+                    9 => Response::JobAccepted { job },
+                    10 => Response::JobInfo {
+                        job,
+                        state,
+                        progress: spec,
+                    },
+                    11 => Response::Jobs { jobs },
+                    _ => Response::Cancelled { job },
+                },
+            )
+    }
+
+    fn frame_trip(payload: &[u8]) -> Vec<u8> {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, payload).expect("frame writes to a Vec cannot fail");
+        read_frame(&mut Cursor::new(wire)).expect("just-written frame must read back")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_requests_frame_round_trip(m in arb_request()) {
+            let payload = frame_trip(&m.to_bytes());
+            prop_assert_eq!(Request::from_bytes(&payload).unwrap(), m);
+        }
+
+        #[test]
+        fn prop_responses_frame_round_trip(m in arb_response()) {
+            let payload = frame_trip(&m.to_bytes());
+            prop_assert_eq!(Response::from_bytes(&payload).unwrap(), m);
+        }
+
+        #[test]
+        fn prop_request_encoding_is_injective(a in arb_request(), b in arb_request()) {
+            prop_assert_eq!(a.to_bytes() == b.to_bytes(), a == b);
+        }
+
+        #[test]
+        fn prop_response_encoding_is_injective(a in arb_response(), b in arb_response()) {
+            prop_assert_eq!(a.to_bytes() == b.to_bytes(), a == b);
+        }
     }
 }

@@ -12,14 +12,26 @@
 //! (lease expired, shard possibly re-dispatched) does **not** stop the
 //! worker: its result is exactly as valid as any replica's, and the
 //! coordinator settles whichever arrives first.
+//!
+//! Workers come in two shapes sharing one execution path:
+//!
+//! * [`run_worker`] is **pinned**: launched with job flags, it proves
+//!   job/fingerprint agreement on its first `Poll` and serves that one
+//!   run until `Finished`;
+//! * [`run_fleet_worker`] is **job-agnostic**: it sends
+//!   [`Request::PollAny`] and resolves whatever job each `Assign` hands
+//!   it from the spec bytes on the wire (DESIGN.md §18), deriving the
+//!   fingerprint itself — so one fleet serves many jobs, and the
+//!   `WrongJob`/`Stale` fences still police every submission.
 
 use std::net::TcpStream;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use fnas::checkpoint::SearchCheckpoint;
+use fnas::job::JobSpec;
 use fnas::search::{BatchOptions, SearchConfig, ShardSpec};
 use fnas::{FnasError, Result};
 
@@ -86,6 +98,13 @@ pub struct WorkerReport {
     /// restart ([`Response::Stale`] — the recovered round re-earns the
     /// shard under the new epoch).
     pub stale_results: u64,
+    /// [`Response::Retry`] answers received and honoured (the
+    /// coordinator was over its submit-buffer cap; the result was kept
+    /// and resubmitted).
+    pub retries_served: u64,
+    /// Milliseconds slept on backoff: connect-retry waits plus the
+    /// sleeps those `Retry` answers advised.
+    pub retry_sleep_ms: u64,
     /// `true` when the run ended because the coordinator went away
     /// after this worker had already contributed (treated as a normal
     /// exit: the run is over).
@@ -94,6 +113,29 @@ pub struct WorkerReport {
 
 /// Cap on the exponential backoff between request attempts.
 const MAX_RETRY_BACKOFF_MS: u64 = 2_000;
+
+/// Shared backoff bookkeeping: every sleep the worker (or its heartbeat
+/// thread) takes on behalf of a momentarily unavailable coordinator is
+/// recorded here and folded into the [`WorkerReport`] at exit.
+#[derive(Debug, Default)]
+struct RetryMeter {
+    retries_served: AtomicU64,
+    sleep_ms: AtomicU64,
+}
+
+impl RetryMeter {
+    fn note_sleep(&self, ms: u64) {
+        self.sleep_ms.fetch_add(ms, Ordering::Relaxed);
+    }
+    fn note_retry_served(&self, ms: u64) {
+        self.retries_served.fetch_add(1, Ordering::Relaxed);
+        self.sleep_ms.fetch_add(ms, Ordering::Relaxed);
+    }
+    fn fold_into(&self, report: &mut WorkerReport) {
+        report.retries_served = self.retries_served.load(Ordering::Relaxed);
+        report.retry_sleep_ms = self.sleep_ms.load(Ordering::Relaxed);
+    }
+}
 
 /// One request–response exchange on a fresh connection, attempted once.
 fn exchange(opts: &WorkerOptions, req: &Request) -> Result<Response> {
@@ -113,13 +155,14 @@ fn exchange(opts: &WorkerOptions, req: &Request) -> Result<Response> {
 /// frames, rejections) never improve and propagate immediately. Backoff
 /// is exponential from `connect_backoff_ms`, capped at 2 s per sleep,
 /// so the default budget (20 attempts × 100 ms base) rides out roughly
-/// half a minute of coordinator downtime.
-fn request(opts: &WorkerOptions, req: &Request) -> Result<Response> {
+/// half a minute of coordinator downtime. Every sleep is metered.
+fn request(opts: &WorkerOptions, meter: &RetryMeter, req: &Request) -> Result<Response> {
     let mut backoff = opts.connect_backoff_ms.max(1);
     let mut last: Option<FnasError> = None;
     for attempt in 0..opts.connect_retries.max(1) {
         if attempt > 0 {
             std::thread::sleep(Duration::from_millis(backoff));
+            meter.note_sleep(backoff);
             backoff = backoff.saturating_mul(2).min(MAX_RETRY_BACKOFF_MS);
         }
         match exchange(opts, req) {
@@ -134,6 +177,134 @@ fn request(opts: &WorkerOptions, req: &Request) -> Result<Response> {
             "no connection attempts",
         ))
     }))
+}
+
+/// One accepted lease, fully identified: everything the execution path
+/// needs to run the shard and settle it, whichever poll verb earned it.
+struct Assignment {
+    round: u64,
+    shard: u32,
+    shard_count: u32,
+    epoch: u64,
+    job: u64,
+    fingerprint: u64,
+    init: SearchCheckpoint,
+}
+
+/// Runs one leased shard end to end: background heartbeats, the shard
+/// itself, the durable artifact copy, and the submit loop with its
+/// `Retry`/`Stale` handling. Shared verbatim by pinned and fleet
+/// workers — which is what keeps their submitted bytes identical.
+#[allow(clippy::too_many_arguments)] // internal helper threading one lease's context
+fn run_assignment(
+    base: &SearchConfig,
+    opts: &BatchOptions,
+    worker: &WorkerOptions,
+    store: &Option<Arc<dyn fnas_store::Store>>,
+    meter: &Arc<RetryMeter>,
+    scratch: &std::path::Path,
+    a: Assignment,
+    report: &mut WorkerReport,
+) -> Result<()> {
+    let spec = ShardSpec::new(a.shard, a.shard_count)?;
+    let path = scratch.join(shard_file(a.round, a.shard, a.shard_count));
+
+    // Heartbeat in the background for the duration of the run.
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat = {
+        let stop = Arc::clone(&stop);
+        let worker = worker.clone();
+        let meter = Arc::clone(meter);
+        let heartbeat = Request::Heartbeat {
+            worker: worker.name.clone(),
+            round: a.round,
+            shard: a.shard,
+            epoch: a.epoch,
+            job: a.job,
+            fingerprint: a.fingerprint,
+        };
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(worker.heartbeat_ms.max(10)));
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Failures are ignored: a missed heartbeat at
+                // worst costs the lease, never the result.
+                let _ = request(&worker, &meter, &heartbeat);
+            }
+        })
+    };
+    let ran = run_round_shard_stored(base, a.round, spec, &a.init, opts, &path, store.clone());
+    stop.store(true, Ordering::Relaxed);
+    let _ = beat.join();
+    let bytes = ran?;
+    // Durable copy under the owning job's namespace: a shared
+    // store directory keeps each job's shard checkpoints apart
+    // (best-effort, like every store write).
+    if let Some(store) = &store {
+        store.put_artifact(a.job, &shard_file(a.round, a.shard, a.shard_count), &bytes);
+    }
+
+    let submit = Request::Submit {
+        worker: worker.name.clone(),
+        round: a.round,
+        shard: a.shard,
+        epoch: a.epoch,
+        job: a.job,
+        fingerprint: a.fingerprint,
+        bytes,
+    };
+    loop {
+        match request(worker, meter, &submit)? {
+            Response::Accepted { fresh } => {
+                report.shards_run += 1;
+                if fresh {
+                    report.fresh_results += 1;
+                } else {
+                    report.duplicate_results += 1;
+                }
+                return Ok(());
+            }
+            // The coordinator is over its submit-buffer cap;
+            // the result stays ours — back off and resubmit.
+            Response::Retry { backoff_ms } => {
+                let ms = backoff_ms.clamp(10, 1_000);
+                std::thread::sleep(Duration::from_millis(ms));
+                meter.note_retry_served(ms);
+            }
+            // The coordinator restarted since this lease was
+            // issued; the recovered round settles the shard
+            // under the new epoch. Drop the result, re-poll.
+            Response::Stale { .. } => {
+                report.stale_results += 1;
+                return Ok(());
+            }
+            Response::Error { what } => {
+                return Err(FnasError::InvalidConfig {
+                    what: format!("coordinator rejected shard {}: {what}", a.shard),
+                })
+            }
+            // Not our search: the coordinator serves a
+            // different job. Exit rather than retry — no
+            // amount of backoff makes the jobs agree.
+            Response::WrongJob { job: theirs } => {
+                return Err(FnasError::InvalidConfig {
+                    what: format!(
+                        "coordinator serves job {theirs:#018x}, this worker was \
+                         started for job {:#018x}; check the job flags \
+                         (--preset/--device/--budget-ms/--trials/--seed)",
+                        a.job
+                    ),
+                })
+            }
+            other => {
+                return Err(FnasError::InvalidConfig {
+                    what: format!("unexpected submit response {other:?}"),
+                })
+            }
+        }
+    }
 }
 
 /// Runs the worker loop against a coordinator until the run finishes.
@@ -165,26 +336,32 @@ pub fn run_worker(
         Some(dir) => Some(Arc::new(fnas_store::DiskStore::open(dir)?)),
         None => None,
     };
+    let meter = Arc::new(RetryMeter::default());
     let mut report = WorkerReport::default();
     loop {
+        meter.fold_into(&mut report);
         let poll = Request::Poll {
             worker: worker.name.clone(),
             job,
             fingerprint,
         };
-        let response = match request(worker, &poll) {
+        let response = match request(worker, &meter, &poll) {
             Ok(r) => r,
             Err(e) if report.shards_run > 0 => {
                 // The coordinator merged its last round and left while we
                 // were backing off; the run is over.
                 let _ = e;
                 report.coordinator_lost = true;
+                meter.fold_into(&mut report);
                 return Ok(report);
             }
             Err(e) => return Err(e),
         };
         match response {
-            Response::Finished => return Ok(report),
+            Response::Finished => {
+                meter.fold_into(&mut report);
+                return Ok(report);
+            }
             Response::Wait { backoff_ms } => {
                 std::thread::sleep(Duration::from_millis(backoff_ms.clamp(10, 1_000)));
             }
@@ -205,102 +382,25 @@ pub fn run_worker(
                     });
                 }
                 let init = SearchCheckpoint::from_bytes(&init)?;
-                let spec = ShardSpec::new(shard, shard_count)?;
-                let path = worker.dir.join(shard_file(round, shard, shard_count));
-
-                // Heartbeat in the background for the duration of the run.
-                let stop = Arc::new(AtomicBool::new(false));
-                let beat = {
-                    let stop = Arc::clone(&stop);
-                    let worker = worker.clone();
-                    let heartbeat = Request::Heartbeat {
-                        worker: worker.name.clone(),
+                let scratch = worker.dir.clone();
+                run_assignment(
+                    base,
+                    opts,
+                    worker,
+                    &store,
+                    &meter,
+                    &scratch,
+                    Assignment {
                         round,
                         shard,
+                        shard_count,
                         epoch,
                         job,
                         fingerprint,
-                    };
-                    std::thread::spawn(move || {
-                        while !stop.load(Ordering::Relaxed) {
-                            std::thread::sleep(Duration::from_millis(worker.heartbeat_ms.max(10)));
-                            if stop.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            // Failures are ignored: a missed heartbeat at
-                            // worst costs the lease, never the result.
-                            let _ = request(&worker, &heartbeat);
-                        }
-                    })
-                };
-                let ran =
-                    run_round_shard_stored(base, round, spec, &init, opts, &path, store.clone());
-                stop.store(true, Ordering::Relaxed);
-                let _ = beat.join();
-                let bytes = ran?;
-                // Durable copy under the owning job's namespace: a shared
-                // store directory keeps each job's shard checkpoints apart
-                // (best-effort, like every store write).
-                if let Some(store) = &store {
-                    store.put_artifact(job, &shard_file(round, shard, shard_count), &bytes);
-                }
-
-                let submit = Request::Submit {
-                    worker: worker.name.clone(),
-                    round,
-                    shard,
-                    epoch,
-                    job,
-                    fingerprint,
-                    bytes,
-                };
-                loop {
-                    match request(worker, &submit)? {
-                        Response::Accepted { fresh } => {
-                            report.shards_run += 1;
-                            if fresh {
-                                report.fresh_results += 1;
-                            } else {
-                                report.duplicate_results += 1;
-                            }
-                            break;
-                        }
-                        // The coordinator is over its submit-buffer cap;
-                        // the result stays ours — back off and resubmit.
-                        Response::Retry { backoff_ms } => {
-                            std::thread::sleep(Duration::from_millis(backoff_ms.clamp(10, 1_000)));
-                        }
-                        // The coordinator restarted since this lease was
-                        // issued; the recovered round settles the shard
-                        // under the new epoch. Drop the result, re-poll.
-                        Response::Stale { .. } => {
-                            report.stale_results += 1;
-                            break;
-                        }
-                        Response::Error { what } => {
-                            return Err(FnasError::InvalidConfig {
-                                what: format!("coordinator rejected shard {shard}: {what}"),
-                            })
-                        }
-                        // Not our search: the coordinator serves a
-                        // different job. Exit rather than retry — no
-                        // amount of backoff makes the jobs agree.
-                        Response::WrongJob { job: theirs } => {
-                            return Err(FnasError::InvalidConfig {
-                                what: format!(
-                                    "coordinator serves job {theirs:#018x}, this worker was \
-                                     started for job {job:#018x}; check the job flags \
-                                     (--preset/--device/--budget-ms/--trials/--seed)"
-                                ),
-                            })
-                        }
-                        other => {
-                            return Err(FnasError::InvalidConfig {
-                                what: format!("unexpected submit response {other:?}"),
-                            })
-                        }
-                    }
-                }
+                        init,
+                    },
+                    &mut report,
+                )?;
             }
             Response::Error { what } => {
                 return Err(FnasError::InvalidConfig {
@@ -314,6 +414,125 @@ pub fn run_worker(
                          for job {job:#018x}; check the job flags \
                          (--preset/--device/--budget-ms/--trials/--seed)"
                     ),
+                })
+            }
+            other => {
+                return Err(FnasError::InvalidConfig {
+                    what: format!("unexpected poll response {other:?}"),
+                })
+            }
+        }
+    }
+}
+
+/// Runs the job-agnostic fleet loop until the endpoint answers
+/// `Finished` (a `fnas-serve` daemon says so once every admitted job is
+/// done; a single-job coordinator once its run merges).
+///
+/// The worker is launched with **no job flags**: each `Assign` carries
+/// the job's canonical spec bytes plus the execution knobs (`batch`,
+/// `rounds`), from which the worker resolves the config and derives the
+/// fingerprint it echoes on every heartbeat and submit. `opts`
+/// contributes only machine-local knobs (evaluation worker threads);
+/// its batch size is overridden per assignment by the wire value.
+///
+/// Shard scratch files are kept under a per-job subdirectory of
+/// `worker.dir`, so interleaved jobs with colliding round/shard indices
+/// never overwrite each other's checkpoints.
+///
+/// # Errors
+///
+/// Undecodable or mismatched spec bytes, protocol errors, and
+/// connection failures before any contribution — as [`run_worker`].
+pub fn run_fleet_worker(opts: &BatchOptions, worker: &WorkerOptions) -> Result<WorkerReport> {
+    std::fs::create_dir_all(&worker.dir)?;
+    let store: Option<Arc<dyn fnas_store::Store>> = match &worker.store_dir {
+        Some(dir) => Some(Arc::new(fnas_store::DiskStore::open(dir)?)),
+        None => None,
+    };
+    let meter = Arc::new(RetryMeter::default());
+    let mut report = WorkerReport::default();
+    loop {
+        meter.fold_into(&mut report);
+        let poll = Request::PollAny {
+            worker: worker.name.clone(),
+        };
+        let response = match request(worker, &meter, &poll) {
+            Ok(r) => r,
+            Err(e) if report.shards_run > 0 => {
+                let _ = e;
+                report.coordinator_lost = true;
+                meter.fold_into(&mut report);
+                return Ok(report);
+            }
+            Err(e) => return Err(e),
+        };
+        match response {
+            Response::Finished => {
+                meter.fold_into(&mut report);
+                return Ok(report);
+            }
+            Response::Wait { backoff_ms } => {
+                std::thread::sleep(Duration::from_millis(backoff_ms.clamp(10, 1_000)));
+            }
+            Response::Assign {
+                round,
+                shard,
+                shard_count,
+                epoch,
+                job,
+                spec,
+                batch,
+                rounds,
+                init,
+                ..
+            } => {
+                let spec = JobSpec::decode(&spec).ok_or_else(|| FnasError::InvalidConfig {
+                    what: format!(
+                        "assignment for job {job:#018x} carries undecodable spec bytes \
+                         (round {round} shard {shard})"
+                    ),
+                })?;
+                // The digest is derived from the spec bytes, never
+                // trusted from the header: a server bug that pairs the
+                // wrong spec with a job digest dies here, not at merge.
+                let derived = spec.job_digest();
+                if derived != job {
+                    return Err(FnasError::InvalidConfig {
+                        what: format!(
+                            "assignment names job {job:#018x} but its spec bytes decode \
+                             to job {derived:#018x}"
+                        ),
+                    });
+                }
+                let base = spec.resolve()?;
+                let fingerprint = config_fingerprint(&base, batch as usize, shard_count, rounds);
+                let run_opts = (*opts).with_batch_size(batch as usize);
+                let init = SearchCheckpoint::from_bytes(&init)?;
+                let scratch = worker.dir.join(format!("{job:016x}"));
+                std::fs::create_dir_all(&scratch)?;
+                run_assignment(
+                    &base,
+                    &run_opts,
+                    worker,
+                    &store,
+                    &meter,
+                    &scratch,
+                    Assignment {
+                        round,
+                        shard,
+                        shard_count,
+                        epoch,
+                        job,
+                        fingerprint,
+                        init,
+                    },
+                    &mut report,
+                )?;
+            }
+            Response::Error { what } => {
+                return Err(FnasError::InvalidConfig {
+                    what: format!("endpoint rejected poll: {what}"),
                 })
             }
             other => {

@@ -44,6 +44,8 @@ pub struct SearchTelemetry {
     journal_records: AtomicU64,
     rounds_recovered: AtomicU64,
     stale_submissions_rejected: AtomicU64,
+    retries_served: AtomicU64,
+    retry_sleep_ms: AtomicU64,
     analyzer_calls: AtomicU64,
     train_calls: AtomicU64,
     latency_cache_hits: AtomicU64,
@@ -161,6 +163,20 @@ impl SearchTelemetry {
     pub fn add_stale_submission_rejected(&self) {
         self.stale_submissions_rejected
             .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one `Retry` answered (coordinator-side: a deferred
+    /// submission at the admission cap) or received (worker-side),
+    /// together with the backoff it advised or cost.
+    pub fn add_retry_served(&self, backoff_ms: u64) {
+        self.retries_served.fetch_add(1, Ordering::Relaxed);
+        self.retry_sleep_ms.fetch_add(backoff_ms, Ordering::Relaxed);
+    }
+
+    /// Records backoff slept outside a `Retry` answer — connect-retry
+    /// waits on a coordinator that is momentarily unreachable.
+    pub fn add_retry_sleep_ms(&self, ms: u64) {
+        self.retry_sleep_ms.fetch_add(ms, Ordering::Relaxed);
     }
 
     /// Pre-loads the logical counters from a snapshot (checkpoint resume):
@@ -282,6 +298,8 @@ impl SearchTelemetry {
             &self.stale_submissions_rejected,
             s.stale_submissions_rejected,
         );
+        add(&self.retries_served, s.retries_served);
+        add(&self.retry_sleep_ms, s.retry_sleep_ms);
         add(&self.analyzer_calls, s.analyzer_calls);
         add(&self.train_calls, s.train_calls);
         add(&self.latency_cache_hits, s.latency_cache_hits);
@@ -346,6 +364,8 @@ impl SearchTelemetry {
             journal_records: load(&self.journal_records),
             rounds_recovered: load(&self.rounds_recovered),
             stale_submissions_rejected: load(&self.stale_submissions_rejected),
+            retries_served: load(&self.retries_served),
+            retry_sleep_ms: load(&self.retry_sleep_ms),
             analyzer_calls: load(&self.analyzer_calls),
             train_calls: load(&self.train_calls),
             latency_cache_hits: load(&self.latency_cache_hits),
@@ -432,6 +452,14 @@ pub struct TelemetrySnapshot {
     /// Submissions rejected by epoch fencing because they were produced
     /// under a previous coordinator incarnation (coordinator-side).
     pub stale_submissions_rejected: u64,
+    /// `Retry` answers: served at the submit-admission cap
+    /// (coordinator-side) or received and honoured (worker-side). Never
+    /// persisted into checkpoints.
+    pub retries_served: u64,
+    /// Milliseconds of backoff attached to those retries, plus
+    /// worker-side connect-retry sleeps. Never persisted into
+    /// checkpoints.
+    pub retry_sleep_ms: u64,
     /// Uncached FNAS-tool (analyzer) invocations.
     pub analyzer_calls: u64,
     /// Accuracy-oracle invocations.
@@ -520,6 +548,8 @@ impl TelemetrySnapshot {
             stale_submissions_rejected: self
                 .stale_submissions_rejected
                 .saturating_add(other.stale_submissions_rejected),
+            retries_served: self.retries_served.saturating_add(other.retries_served),
+            retry_sleep_ms: self.retry_sleep_ms.saturating_add(other.retry_sleep_ms),
             analyzer_calls: self.analyzer_calls.saturating_add(other.analyzer_calls),
             train_calls: self.train_calls.saturating_add(other.train_calls),
             latency_cache_hits: self
@@ -670,6 +700,11 @@ impl fmt::Display for TelemetrySnapshot {
         )?;
         writeln!(
             f,
+            "backpressure: {} retries served | {} ms retry sleep",
+            self.retries_served, self.retry_sleep_ms,
+        )?;
+        writeln!(
+            f,
             "store: {}/{} hits ({:.0}%) | writes {} | evictions {} | {} bytes on disk",
             self.store_hits,
             self.store_hits + self.store_misses,
@@ -738,6 +773,9 @@ mod tests {
         t.add_journal_record();
         t.add_rounds_recovered(2);
         t.add_stale_submission_rejected();
+        t.add_retry_served(50);
+        t.add_retry_served(50);
+        t.add_retry_sleep_ms(100);
         t.add_pass_nanos(10, 20, 30, 40, 50);
         t.add_pass_nanos(1, 2, 3, 4, 5);
         t.add_partition_stats(4, 128);
@@ -758,6 +796,8 @@ mod tests {
         assert_eq!(s.journal_records, 3);
         assert_eq!(s.rounds_recovered, 2);
         assert_eq!(s.stale_submissions_rejected, 1);
+        assert_eq!(s.retries_served, 2);
+        assert_eq!(s.retry_sleep_ms, 200);
         assert_eq!(s.analyzer_calls, 5);
         assert_eq!(s.train_calls, 3);
         assert_eq!(s.prune_rate(), 0.2);
@@ -835,6 +875,7 @@ mod tests {
         assert!(text.contains("faults:"));
         assert!(text.contains("coord:"));
         assert!(text.contains("journal:"));
+        assert!(text.contains("backpressure:"));
         assert!(text.contains("store:"));
         assert!(text.contains("bytes on disk"));
         assert!(text.contains("passes:"));

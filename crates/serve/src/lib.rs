@@ -1,0 +1,36 @@
+//! `fnas-serve` — a multi-tenant NAS-as-a-service scheduler.
+//!
+//! `fnas-coord` runs one search job; the ROADMAP north-star is a
+//! *service*: many users submitting `(device, rL, budget, seed)`
+//! searches concurrently, multiplexed over one elastic worker fleet.
+//! This crate is that service shape (DESIGN.md §18):
+//!
+//! * [`server`] — the long-lived daemon. One
+//!   [`fnas_coord::Coordinator`] round-state machine per admitted job
+//!   (each with its own crash-safe WAL under `jobs/<digest>/`), behind
+//!   a deficit-round-robin scheduler over runnable jobs' pending shard
+//!   slices, with a bounded job queue that answers `Retry` on
+//!   saturation.
+//! * [`progress`] — the per-job progress snapshot (`FNPR1` bytes)
+//!   published to the store as an artifact after every settlement, so
+//!   `JobStatus` answers from bytes, not live state.
+//! * [`client`] — one-connection-per-request helpers for the client
+//!   verbs (`SubmitJob`, `JobStatus`, `ListJobs`, `CancelJob`,
+//!   `WatchProgress`).
+//!
+//! Workers are **job-agnostic**: they send `PollAny` and resolve each
+//! job from the spec bytes its `Assign` carries
+//! ([`fnas_coord::worker::run_fleet_worker`]). The determinism contract
+//! extends PR 7's: each job's final merged checkpoint is
+//! **byte-identical** to a solo `fnas-coord` run of the same spec, no
+//! matter how many jobs share the fleet, how their shards interleave,
+//! or which workers die mid-round — pinned by `tests/serve_jobs.rs`
+//! and the CI `serve` job.
+
+pub mod client;
+pub mod progress;
+pub mod server;
+
+pub use client::{cancel_job, job_status, list_jobs, rpc, submit_job, watch_progress};
+pub use progress::JobProgress;
+pub use server::{JobState, ServeOptions, Server};

@@ -11,9 +11,12 @@
 //! failure (readers never see them). `gc` first deletes tmp litter, then
 //! evicts the oldest records until the store fits the byte budget.
 //!
-//! All three commands cover the content-addressed `objects/` tree only:
-//! the job-scoped `jobs/<digest>/` artifact namespace is owned by the
-//! search jobs that wrote it, never by cache maintenance.
+//! Maintenance (`verify`, `gc`) covers the content-addressed `objects/`
+//! tree only: the job-scoped `jobs/<digest>/` artifact namespace is
+//! owned by the search jobs that wrote it, never by cache maintenance.
+//! The namespace is still accounted for — `stat` reports per-job
+//! artifact counts and bytes alongside the object tree, and `gc` states
+//! how much artifact data it deliberately skipped.
 
 #![forbid(unsafe_code)]
 
@@ -70,6 +73,16 @@ fn run(cli: &Cli) -> Result<ExitCode, String> {
                 "{}: {} records, {} bytes, {} tmp files",
                 cli.dir, stat.records, stat.bytes, stat.tmp_files
             );
+            println!(
+                "jobs: {} job dirs, {} artifacts, {} bytes",
+                stat.jobs, stat.artifacts, stat.artifact_bytes
+            );
+            for job in store.job_stats().map_err(|err| format!("stat: {err}"))? {
+                println!(
+                    "  job {:#018x}: {} artifacts, {} bytes",
+                    job.job, job.files, job.bytes
+                );
+            }
             Ok(ExitCode::SUCCESS)
         }
         "verify" => {
@@ -101,6 +114,11 @@ fn run(cli: &Cli) -> Result<ExitCode, String> {
                 report.reclaimed_bytes,
                 report.tmp_removed,
                 report.remaining_bytes
+            );
+            println!(
+                "skipped {} job artifacts ({} bytes) — artifacts are owned by \
+                 their jobs, never gc'd",
+                report.artifacts_skipped, report.artifact_bytes_skipped
             );
             Ok(ExitCode::SUCCESS)
         }

@@ -27,9 +27,12 @@ pub const TMP_PREFIX: &str = ".tmp-";
 /// `<root>/jobs/<016x job digest>/<name>`: named blobs (shard checkpoints,
 /// trial logs) owned by one search job. Artifacts use the same atomic
 /// tmp-and-rename publication, but they are *not* cache records —
-/// [`DiskStore::stat`], [`DiskStore::verify`], and [`DiskStore::gc`]
-/// deliberately cover `objects/` only, so cache maintenance can never
-/// evict or flag a job's checkpoints.
+/// [`DiskStore::verify`] and [`DiskStore::gc`] deliberately operate on
+/// `objects/` only, so cache maintenance can never evict or flag a
+/// job's checkpoints. They are still *visible*: [`DiskStore::stat`]
+/// counts artifacts separately ([`DiskStore::job_stats`] breaks them
+/// down per job), and a gc pass reports how much artifact data it
+/// deliberately skipped.
 ///
 /// All failures are soft: an unreadable or corrupt record is a miss, and a
 /// failed write is dropped (the store is a cache, never the source of
@@ -54,6 +57,24 @@ pub struct StoreStat {
     pub bytes: u64,
     /// Abandoned `.tmp-*` files from interrupted writes.
     pub tmp_files: u64,
+    /// Job directories under `jobs/` holding at least one artifact.
+    pub jobs: u64,
+    /// Published artifacts across every job directory.
+    pub artifacts: u64,
+    /// Total size of those artifacts in bytes (not counted in `bytes`,
+    /// and never weighed against the gc budget).
+    pub artifact_bytes: u64,
+}
+
+/// Artifact accounting of one `jobs/<digest>/` directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobArtifacts {
+    /// The owning job's digest (the directory name, parsed).
+    pub job: u64,
+    /// Published artifacts directly in the job directory.
+    pub files: u64,
+    /// Their total size in bytes.
+    pub bytes: u64,
 }
 
 /// Outcome of a full-store integrity scan.
@@ -86,6 +107,11 @@ pub struct GcReport {
     pub tmp_removed: u64,
     /// Record bytes remaining after the pass.
     pub remaining_bytes: u64,
+    /// Job artifacts present and deliberately left untouched — reported
+    /// so "gc didn't shrink the directory" has a visible explanation.
+    pub artifacts_skipped: u64,
+    /// Total bytes of those skipped artifacts.
+    pub artifact_bytes_skipped: u64,
 }
 
 impl DiskStore {
@@ -143,11 +169,56 @@ impl DiskStore {
     pub fn list_artifacts(&self, job: u64) -> io::Result<Vec<String>> {
         let mut names: Vec<String> = sorted_entries(&self.job_dir(job))?
             .into_iter()
+            // Subdirectories (a job's `wal/`, say) are not artifacts.
+            .filter(|p| p.is_file())
             .filter_map(|p| p.file_name().and_then(|n| n.to_str()).map(String::from))
             .filter(|n| Self::artifact_name_ok(n))
             .collect();
         names.sort();
         Ok(names)
+    }
+
+    /// Per-job artifact accounting across the whole `jobs/` namespace,
+    /// sorted by job digest. Only plain artifact files directly in each
+    /// job directory count — subdirectories (per-job WALs) and in-flight
+    /// `.tmp-*` files do not. Directories whose name is not a job digest
+    /// are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error other than the `jobs/` tree not existing.
+    pub fn job_stats(&self) -> io::Result<Vec<JobArtifacts>> {
+        let mut stats = Vec::new();
+        for dir in sorted_entries(&self.root.join("jobs"))? {
+            if !dir.is_dir() {
+                continue;
+            }
+            let Some(job) = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| u64::from_str_radix(n, 16).ok())
+            else {
+                continue;
+            };
+            let mut entry = JobArtifacts {
+                job,
+                ..JobArtifacts::default()
+            };
+            for path in sorted_entries(&dir)? {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if !path.is_file() || !Self::artifact_name_ok(name) {
+                    continue;
+                }
+                if let Ok(meta) = fs::metadata(&path) {
+                    entry.files += 1;
+                    entry.bytes += meta.len();
+                }
+            }
+            if entry.files > 0 {
+                stats.push(entry);
+            }
+        }
+        Ok(stats)
     }
 
     /// Walks the object tree. Calls `on_record(path, len, mtime)` for every
@@ -179,17 +250,23 @@ impl DiskStore {
         Ok(tmp_files)
     }
 
-    /// Counts records, bytes, and abandoned tmp files.
+    /// Counts records, bytes, and abandoned tmp files in `objects/`,
+    /// plus (separately accounted) job artifacts under `jobs/`.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from walking the object tree.
+    /// Returns any I/O error from walking the object or jobs trees.
     pub fn stat(&self) -> io::Result<StoreStat> {
         let mut stat = StoreStat::default();
         stat.tmp_files = self.walk(|_, len, _| {
             stat.records += 1;
             stat.bytes += len;
         })?;
+        for job in self.job_stats()? {
+            stat.jobs += 1;
+            stat.artifacts += job.files;
+            stat.artifact_bytes += job.bytes;
+        }
         Ok(stat)
     }
 
@@ -265,6 +342,13 @@ impl DiskStore {
             }
         }
         report.remaining_bytes = total;
+        // Artifacts are owned by their jobs, not by cache maintenance:
+        // count what was present and deliberately left alone, so the
+        // report says out loud that gc skipped them.
+        for job in self.job_stats()? {
+            report.artifacts_skipped += job.files;
+            report.artifact_bytes_skipped += job.bytes;
+        }
         self.bytes.store(total, Ordering::Relaxed);
         Ok(report)
     }
@@ -495,19 +579,69 @@ mod tests {
         let store = DiskStore::open(&dir).unwrap();
         store.put(&key(9), b"cache record");
         store.put_artifact(0xD, "shard.ckpt", b"precious checkpoint");
-        // stat/verify see the object tree only.
+        // verify sees the object tree only; stat accounts both, on
+        // separate axes (record bytes never mix with artifact bytes).
         let stat = store.stat().unwrap();
         assert_eq!(stat.records, 1);
+        assert_eq!((stat.jobs, stat.artifacts), (1, 1));
+        assert_eq!(stat.artifact_bytes, b"precious checkpoint".len() as u64);
         assert!(store.verify().unwrap().is_ok());
         assert_eq!(store.verify().unwrap().valid, 1);
-        // gc to zero evicts every cache record but leaves artifacts.
+        // gc to zero evicts every cache record but leaves artifacts —
+        // and says so in its report.
         let gc = store.gc(0).unwrap();
         assert_eq!(gc.evicted, 1);
+        assert_eq!(gc.artifacts_skipped, 1);
+        assert_eq!(
+            gc.artifact_bytes_skipped,
+            b"precious checkpoint".len() as u64
+        );
         assert_eq!(store.get(&key(9)), None);
         assert_eq!(
             store.get_artifact(0xD, "shard.ckpt"),
             Some(b"precious checkpoint".to_vec())
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn job_stats_break_artifacts_down_per_job() {
+        let dir = scratch("jobs-stat");
+        let store = DiskStore::open(&dir).unwrap();
+        store.put_artifact(0xB, "merged.ckpt", b"bbbb");
+        store.put_artifact(0xA, "progress.bin", b"aa");
+        store.put_artifact(0xA, "merged.ckpt", b"aaaa");
+        // A per-job subdirectory (the WAL) and tmp litter are neither
+        // artifacts nor errors.
+        fs::create_dir_all(store.job_dir(0xA).join("wal")).unwrap();
+        fs::write(store.job_dir(0xA).join("wal").join("wal.log"), b"wal").unwrap();
+        fs::write(store.job_dir(0xA).join(".tmp-dead-1"), b"partial").unwrap();
+        let stats = store.job_stats().unwrap();
+        assert_eq!(
+            stats,
+            vec![
+                JobArtifacts {
+                    job: 0xA,
+                    files: 2,
+                    bytes: 6
+                },
+                JobArtifacts {
+                    job: 0xB,
+                    files: 1,
+                    bytes: 4
+                },
+            ]
+        );
+        assert_eq!(
+            store.list_artifacts(0xA).unwrap(),
+            vec!["merged.ckpt", "progress.bin"],
+            "the wal/ subdirectory is not listed as an artifact"
+        );
+        let stat = store.stat().unwrap();
+        assert_eq!((stat.jobs, stat.artifacts, stat.artifact_bytes), (2, 3, 10));
+        // Missing jobs tree reads as empty.
+        let empty = DiskStore::open(scratch("jobs-none")).unwrap();
+        assert_eq!(empty.job_stats().unwrap(), Vec::new());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -31,7 +31,7 @@ pub mod disk;
 pub mod key;
 pub mod record;
 
-pub use disk::{DiskStore, GcReport, StoreStat, VerifyReport};
+pub use disk::{DiskStore, GcReport, JobArtifacts, StoreStat, VerifyReport};
 pub use key::{digest128, Backend, CacheKey, ENCODED_KEY_LEN, SCHEMA_VERSION};
 pub use record::{decode_any_record, decode_record, encode_record, RECORD_MAGIC};
 
